@@ -1,0 +1,219 @@
+//! Reference JSONPath evaluator over the DOM — the correctness oracle.
+//!
+//! Implements the formal semantics of §2 of the paper directly on a parsed
+//! [`ValueNode`] tree, in both variants:
+//!
+//! * **node semantics** — the result is a *set* of nodes (each matched node
+//!   reported once, in document order); this is what the streaming engine
+//!   implements;
+//! * **path semantics** — the result is a *multiset*: one occurrence per
+//!   way the query can be matched to a path (what most existing JSONPath
+//!   implementations do; see Appendix D and Table 9 of the paper).
+//!
+//! This evaluator is deliberately naive and obviously correct; it exists
+//! to differentially test the streaming engines, and to reproduce the
+//! node-vs-path comparison of Appendix D.
+
+use rsq_json::{Span, ValueKind, ValueNode};
+use rsq_query::{Query, Selector};
+
+/// Which JSONPath result semantics to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Semantics {
+    /// Set-of-nodes semantics (the paper's choice).
+    Node,
+    /// Multiset semantics counting match derivations.
+    Path,
+}
+
+/// Evaluates `query` over a parsed document, returning the spans of the
+/// matched nodes in document order.
+///
+/// Under [`Semantics::Path`], a node appears once per derivation.
+///
+/// # Examples
+///
+/// ```
+/// use rsq_baselines::{evaluate, Semantics};
+/// use rsq_query::Query;
+///
+/// let doc = rsq_json::parse(br#"{"a":{"a":{"b":1}}}"#)?;
+/// let query = Query::parse("$..a..b")?;
+/// assert_eq!(evaluate(&query, &doc, Semantics::Node).len(), 1);
+/// assert_eq!(evaluate(&query, &doc, Semantics::Path).len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn evaluate(query: &Query, document: &ValueNode, semantics: Semantics) -> Vec<Span> {
+    let mut current: Vec<&ValueNode> = vec![document];
+    for selector in query.selectors() {
+        let mut next: Vec<&ValueNode> = Vec::new();
+        for node in &current {
+            apply(selector, node, &mut next);
+        }
+        if semantics == Semantics::Node {
+            dedup_by_span(&mut next);
+        }
+        current = next;
+    }
+    let mut spans: Vec<Span> = current.iter().map(|n| n.span).collect();
+    // Document order; stable so path-semantics duplicates stay adjacent.
+    spans.sort_by_key(|s| s.start);
+    spans
+}
+
+/// Applies a single selector to one node, appending matches in document
+/// order.
+fn apply<'a>(selector: &Selector, node: &'a ValueNode, out: &mut Vec<&'a ValueNode>) {
+    match selector {
+        Selector::Child(label) => {
+            if let ValueKind::Object(members) = &node.kind {
+                for (key, value) in members {
+                    if key.text == *label {
+                        out.push(value);
+                    }
+                }
+            }
+        }
+        Selector::ChildWildcard => out.extend(node.children()),
+        Selector::Descendant(label) => {
+            apply(&Selector::Child(label.clone()), node, out);
+            for child in node.children() {
+                apply(selector, child, out);
+            }
+        }
+        Selector::DescendantWildcard => {
+            for child in node.children() {
+                out.push(child);
+                apply(selector, child, out);
+            }
+        }
+        Selector::Index(n) => {
+            if let ValueKind::Array(items) = &node.kind {
+                if let Some(item) = items.get(*n as usize) {
+                    out.push(item);
+                }
+            }
+        }
+        Selector::DescendantIndex(n) => {
+            apply(&Selector::Index(*n), node, out);
+            for child in node.children() {
+                apply(selector, child, out);
+            }
+        }
+    }
+}
+
+fn dedup_by_span(nodes: &mut Vec<&ValueNode>) {
+    let mut seen = std::collections::HashSet::new();
+    nodes.retain(|n| seen.insert(n.span));
+}
+
+/// Convenience: match-count under the given semantics.
+#[must_use]
+pub fn count(query: &Query, document: &ValueNode, semantics: Semantics) -> usize {
+    evaluate(query, document, semantics).len()
+}
+
+/// Convenience: byte offsets of matched nodes (node semantics), for direct
+/// comparison with [`rsq_engine::Engine::positions`]-style output.
+#[must_use]
+pub fn positions(query: &Query, document: &ValueNode) -> Vec<usize> {
+    evaluate(query, document, Semantics::Node)
+        .into_iter()
+        .map(|s| s.start)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsq_json::parse;
+
+    fn eval(query: &str, doc: &str, semantics: Semantics) -> usize {
+        let q = Query::parse(query).unwrap();
+        let d = parse(doc.as_bytes()).unwrap();
+        count(&q, &d, semantics)
+    }
+
+    #[test]
+    fn child_and_wildcard() {
+        let doc = r#"{"a": {"b": 1, "c": 2}, "d": [3, 4]}"#;
+        assert_eq!(eval("$.a.b", doc, Semantics::Node), 1);
+        assert_eq!(eval("$.a.*", doc, Semantics::Node), 2);
+        assert_eq!(eval("$.d.*", doc, Semantics::Node), 2);
+        assert_eq!(eval("$.*", doc, Semantics::Node), 2);
+        assert_eq!(eval("$.d.b", doc, Semantics::Node), 0);
+    }
+
+    #[test]
+    fn paper_section2_example() {
+        // a..b.* on {a:[{b:{c:1}},{b:[2]}]} returns 1 and 2.
+        let doc = r#"{"a":[{"b":{"c":1}},{"b":[2]}]}"#;
+        assert_eq!(eval("$.a..b.*", doc, Semantics::Node), 2);
+    }
+
+    #[test]
+    fn node_vs_path_on_appendix_d_witness() {
+        // $..a..b on nested a's: node = 1, path = 3 (§2).
+        let doc = r#"{"a":{"a":{"a":{"b":"Yay!"}}}}"#;
+        assert_eq!(eval("$..a..b", doc, Semantics::Node), 1);
+        assert_eq!(eval("$..a..b", doc, Semantics::Path), 3);
+    }
+
+    #[test]
+    fn appendix_d_person_name_example() {
+        let doc = r#"{
+            "person": {
+                "name": "A",
+                "spouse": {"person": {"name": "B"}},
+                "children": [
+                    {"person": {"name": "C"}},
+                    {"person": {"name": "D"}}
+                ]
+            }
+        }"#;
+        // Node semantics: A, B, C, D once each. Path semantics: B, C, D
+        // are nested under the outer person as well as their own, so each
+        // has two derivations — 7 in total.
+        assert_eq!(eval("$..person..name", doc, Semantics::Node), 4);
+        assert_eq!(eval("$..person..name", doc, Semantics::Path), 7);
+    }
+
+    #[test]
+    fn path_semantics_can_explode_exponentially() {
+        // Chain of n nested a's with k descendant-a selectors multiplies
+        // derivations combinatorially.
+        let mut doc = String::new();
+        for _ in 0..6 {
+            doc.push_str("{\"a\":");
+        }
+        doc.push('1');
+        doc.push_str(&"}".repeat(6));
+        let node = eval("$..a..a", &doc, Semantics::Node);
+        let path = eval("$..a..a", &doc, Semantics::Path);
+        assert_eq!(node, 5); // a-values at depth 2..=6
+        assert!(path > node, "path = {path} must exceed node = {node}");
+    }
+
+    #[test]
+    fn descendant_wildcard_counts_all_non_root_nodes() {
+        let doc = r#"{"a": {"b": 1}, "c": [2, 3]}"#;
+        assert_eq!(eval("$..*", doc, Semantics::Node), 5);
+    }
+
+    #[test]
+    fn duplicate_keys_both_match() {
+        let doc = r#"{"k": 1, "k": 2}"#;
+        assert_eq!(eval("$.k", doc, Semantics::Node), 2);
+    }
+
+    #[test]
+    fn positions_are_document_ordered() {
+        let q = Query::parse("$..x").unwrap();
+        let d = parse(br#"{"x": 1, "a": {"x": 2}, "b": {"x": 3}}"#).unwrap();
+        let pos = positions(&q, &d);
+        assert_eq!(pos.len(), 3);
+        assert!(pos.windows(2).all(|w| w[0] < w[1]));
+    }
+}

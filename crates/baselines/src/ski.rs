@@ -1,0 +1,369 @@
+//! A descendant-free fast-forwarding engine — the JSONSki stand-in.
+//!
+//! JSONSki (ASPLOS 2022; the paper's main SIMD competitor, §5.2) supports
+//! JSONPath without descendants and with a *non-idiomatic* wildcard that
+//! steps into every entry of an array but **not** into the fields of an
+//! object. It relies on knowing whether each selector acts on objects or
+//! arrays — the very assumption the paper shows blocks descendant support.
+//!
+//! This module reimplements that execution model on top of the shared
+//! classifier substrate (JSONSki has equivalent bit-parallel primitives of
+//! its own; sharing ours compares algorithms, not SIMD plumbing):
+//!
+//! * recursive descent over the selectors — no query automaton;
+//! * wildcard selectors skip objects outright (the array-only assumption);
+//! * label selectors skip the remaining siblings once their key is found;
+//! * a **final label selector** must also match atomic member values, so
+//!   colons stay enabled while scanning for it — this reproduces JSONSki
+//!   being ≈3× slower on B3 than on B2 (§5.4);
+//! * a non-final label selector only inspects composite values, keeping
+//!   leaf skipping fully enabled.
+
+use rsq_classify::{BracketType, Structural, StructuralIterator};
+use rsq_engine::Sink;
+use rsq_query::{Query, Selector};
+use rsq_simd::Simd;
+use std::fmt;
+
+/// Error: the query uses features JSONSki does not support.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnsupportedQuery {
+    /// The offending selector, displayed.
+    pub selector: String,
+}
+
+impl fmt::Display for UnsupportedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "the JSONSki baseline does not support selector '{}' (descendants are unsupported)",
+            self.selector
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedQuery {}
+
+#[derive(Clone, Debug)]
+enum SkiSelector {
+    Label(Vec<u8>),
+    Wildcard,
+    Index(u64),
+}
+
+/// The descendant-free fast-forwarding baseline engine.
+///
+/// # Examples
+///
+/// ```
+/// use rsq_baselines::SkiEngine;
+///
+/// let engine = SkiEngine::from_text("$.items.*.name").unwrap();
+/// let doc = br#"{"items": [{"name": "a"}, {"name": "b"}]}"#;
+/// assert_eq!(engine.count(doc), 2);
+///
+/// // Descendants are rejected, as in JSONSki.
+/// assert!(SkiEngine::from_text("$..name").is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SkiEngine {
+    selectors: Vec<SkiSelector>,
+    simd: Simd,
+}
+
+impl SkiEngine {
+    /// Compiles the engine from query text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedQuery`] for queries with descendant selectors
+    /// (boxed together with parse errors).
+    pub fn from_text(query: &str) -> Result<Self, Box<dyn std::error::Error>> {
+        let query = Query::parse(query)?;
+        Ok(Self::from_query(&query)?)
+    }
+
+    /// Compiles the engine from a parsed query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedQuery`] for queries with descendant selectors.
+    pub fn from_query(query: &Query) -> Result<Self, UnsupportedQuery> {
+        let selectors = query
+            .selectors()
+            .iter()
+            .map(|s| match s {
+                Selector::Child(l) => Ok(SkiSelector::Label(l.as_bytes().to_vec())),
+                Selector::ChildWildcard => Ok(SkiSelector::Wildcard),
+                // JSONSki supports array indexing natively.
+                Selector::Index(n) => Ok(SkiSelector::Index(*n)),
+                other => Err(UnsupportedQuery {
+                    selector: other.to_string(),
+                }),
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(SkiEngine {
+            selectors,
+            simd: Simd::detect(),
+        })
+    }
+
+    /// Streams `input`, reporting matches to `sink`.
+    pub fn run<S: Sink>(&self, input: &[u8], sink: &mut S) {
+        let mut it = StructuralIterator::new(input, self.simd);
+        match it.next() {
+            Some(Structural::Opening(bracket, pos)) => {
+                if self.selectors.is_empty() {
+                    sink.report(pos);
+                    return;
+                }
+                self.process(&mut it, 0, bracket, sink);
+            }
+            Some(_) => {}
+            None => {
+                if self.selectors.is_empty() {
+                    if let Some(v) = input.iter().position(|b| !b.is_ascii_whitespace()) {
+                        sink.report(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts matches in `input`.
+    #[must_use]
+    pub fn count(&self, input: &[u8]) -> u64 {
+        let mut sink = rsq_engine::CountSink::new();
+        self.run(input, &mut sink);
+        sink.count()
+    }
+
+    /// Processes the element whose opening character has just been
+    /// consumed, looking for `selectors[idx]` among its children; consumes
+    /// through the element's closing character.
+    fn process<S: Sink>(
+        &self,
+        it: &mut StructuralIterator<'_>,
+        idx: usize,
+        bracket: BracketType,
+        sink: &mut S,
+    ) {
+        let last = idx + 1 == self.selectors.len();
+        match (&self.selectors[idx], bracket) {
+            // JSONSki's array-only wildcard: objects under a wildcard or an
+            // index selector are skipped wholesale, as are arrays under a
+            // label selector (array entries have no labels).
+            (SkiSelector::Wildcard, BracketType::Brace)
+            | (SkiSelector::Index(_), BracketType::Brace)
+            | (SkiSelector::Label(_), BracketType::Bracket) => {
+                self.skip_element(it, bracket);
+            }
+            (SkiSelector::Label(label), BracketType::Brace) => {
+                it.set_toggles(false, last);
+                while let Some(event) = it.next() {
+                    match event {
+                        Structural::Opening(b, pos) => {
+                            if it.label_before(pos) == Some(label.as_slice()) {
+                                if last {
+                                    sink.report(pos);
+                                    it.skip_past_close(b);
+                                } else {
+                                    self.process(it, idx + 1, b, sink);
+                                }
+                                // Sibling skipping: keys do not repeat.
+                                self.skip_element(it, BracketType::Brace);
+                                return;
+                            }
+                            it.skip_past_close(b);
+                        }
+                        Structural::Colon(pos) => {
+                            // Only reachable when `last`: atomic values of
+                            // the target key (composite values are handled
+                            // at their Opening).
+                            let Some(v) = value_start(it.input(), pos) else {
+                                continue;
+                            };
+                            if it.label_before(pos) == Some(label.as_slice()) {
+                                sink.report(v);
+                                self.skip_element(it, BracketType::Brace);
+                                return;
+                            }
+                        }
+                        Structural::Closing(..) => return,
+                        Structural::Comma(_) => {}
+                    }
+                }
+            }
+            (SkiSelector::Index(n), BracketType::Bracket) => {
+                let n = *n;
+                // Commas must be observed to count entries.
+                it.set_toggles(true, false);
+                let mut entry = 0u64;
+                if n == 0 && last {
+                    // An atomic first entry is not preceded by a comma.
+                    if let Some(v) = value_start(it.input(), it.position() - 1) {
+                        sink.report(v);
+                        self.skip_element(it, BracketType::Bracket);
+                        return;
+                    }
+                }
+                while let Some(event) = it.next() {
+                    match event {
+                        Structural::Opening(b, pos) => {
+                            if entry == n {
+                                if last {
+                                    sink.report(pos);
+                                    it.skip_past_close(b);
+                                } else {
+                                    self.process(it, idx + 1, b, sink);
+                                }
+                                self.skip_element(it, BracketType::Bracket);
+                                return;
+                            }
+                            it.skip_past_close(b);
+                        }
+                        Structural::Comma(pos) => {
+                            entry += 1;
+                            if entry == n && last {
+                                if let Some(v) = value_start(it.input(), pos) {
+                                    sink.report(v);
+                                    self.skip_element(it, BracketType::Bracket);
+                                    return;
+                                }
+                            } else if entry > n {
+                                // The target entry was atomic and a deeper
+                                // selector remains: it cannot match.
+                                self.skip_element(it, BracketType::Bracket);
+                                return;
+                            }
+                        }
+                        Structural::Closing(..) => return,
+                        Structural::Colon(_) => {}
+                    }
+                }
+            }
+            (SkiSelector::Wildcard, BracketType::Bracket) => {
+                it.set_toggles(last, false);
+                if last {
+                    self.try_first_item(it, sink);
+                }
+                while let Some(event) = it.next() {
+                    match event {
+                        Structural::Opening(b, pos) => {
+                            if last {
+                                sink.report(pos);
+                                it.skip_past_close(b);
+                            } else {
+                                self.process(it, idx + 1, b, sink);
+                                it.set_toggles(last, false);
+                            }
+                        }
+                        Structural::Comma(pos) => {
+                            if last {
+                                if let Some(v) = value_start(it.input(), pos) {
+                                    sink.report(v);
+                                }
+                            }
+                        }
+                        Structural::Closing(..) => return,
+                        Structural::Colon(_) => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes the rest of the current element, including its closer.
+    fn skip_element(&self, it: &mut StructuralIterator<'_>, bracket: BracketType) {
+        if it.fast_forward_to_close(bracket).is_some() {
+            let _ = it.next();
+        }
+    }
+
+    /// The first entry of an array is not preceded by a comma; match it
+    /// here if atomic.
+    fn try_first_item<S: Sink>(&self, it: &mut StructuralIterator<'_>, sink: &mut S) {
+        if let Some(v) = value_start(it.input(), it.position() - 1) {
+            sink.report(v);
+        }
+    }
+}
+
+fn value_start(input: &[u8], pos: usize) -> Option<usize> {
+    let v = input[pos + 1..]
+        .iter()
+        .position(|b| !b.is_ascii_whitespace())?
+        + pos
+        + 1;
+    match input[v] {
+        b'{' | b'[' | b'}' | b']' | b',' | b':' => None,
+        _ => Some(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(query: &str, doc: &str) -> u64 {
+        SkiEngine::from_text(query).unwrap().count(doc.as_bytes())
+    }
+
+    #[test]
+    fn rejects_descendants() {
+        assert!(SkiEngine::from_text("$..a").is_err());
+        assert!(SkiEngine::from_text("$.a..b").is_err());
+        assert!(SkiEngine::from_text("$.a.b").is_ok());
+    }
+
+    #[test]
+    fn label_chains() {
+        let doc = r#"{"a": {"b": {"c": 42}}, "x": {"b": 0}}"#;
+        assert_eq!(count("$.a.b.c", doc), 1);
+        assert_eq!(count("$.a.b", doc), 1);
+        assert_eq!(count("$.x.c", doc), 0);
+    }
+
+    #[test]
+    fn final_label_matches_atoms_and_composites() {
+        let doc = r#"{"p": {"v": [1, 2]}, "q": {"v": 3}, "r": {"w": 4}}"#;
+        assert_eq!(count("$.p.v", doc), 1);
+        assert_eq!(count("$.q.v", doc), 1);
+        assert_eq!(count("$.r.v", doc), 0);
+    }
+
+    #[test]
+    fn wildcard_steps_into_arrays_only() {
+        // Idiomatic wildcard would also match the object fields; JSONSki's
+        // does not (the paper's §1.1 point).
+        assert_eq!(count("$.*", r#"[1, 2, 3]"#), 3);
+        assert_eq!(count("$.*", r#"{"a": 1, "b": 2}"#), 0);
+        assert_eq!(count("$.a.*", r#"{"a": {"b": 1}}"#), 0);
+        assert_eq!(count("$.a.*", r#"{"a": [1, {"x": 2}]}"#), 2);
+    }
+
+    #[test]
+    fn jsonski_benchmark_shapes() {
+        let doc = r#"{"products": [
+            {"categoryPath": [{"id": 1}, {"id": 2}], "name": "tv"},
+            {"categoryPath": [{"id": 3}], "videoChapters": [{"chapter": "x"}]}
+        ]}"#;
+        assert_eq!(count("$.products.*.categoryPath.*.id", doc), 3);
+        assert_eq!(count("$.products.*.videoChapters.*.chapter", doc), 1);
+        assert_eq!(count("$.products.*.videoChapters", doc), 1);
+        assert_eq!(count("$.products.*.name", doc), 1);
+    }
+
+    #[test]
+    fn root_query() {
+        assert_eq!(count("$", r#"{"a": 1}"#), 1);
+        assert_eq!(count("$", "7"), 1);
+    }
+
+    #[test]
+    fn strings_with_lookalikes() {
+        let doc = r#"{"s": "fake \"a\": {1}", "a": [5]}"#;
+        assert_eq!(count("$.a", doc), 1);
+        assert_eq!(count("$.a.*", doc), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Ablation study over the design choices called out in DESIGN.md §5:
+//! each skipping technique, state-driven toggling, the sparse depth-stack,
+//! and the SIMD backend, disabled one at a time, on a representative query
+//! mix. Results must not change, only speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsq_bench::dataset;
+use rsq_datagen::catalog::by_id;
+use rsq_engine::{Engine, EngineOptions};
+use rsq_query::Query;
+use std::time::Duration;
+
+fn bench_ablations(c: &mut Criterion) {
+    let d = EngineOptions::default();
+    let variants: Vec<(&str, EngineOptions)> = vec![
+        ("all_on", d),
+        ("no_skip_leaves", EngineOptions { skip_leaves: false, ..d }),
+        ("no_skip_children", EngineOptions { skip_children: false, ..d }),
+        ("no_skip_siblings", EngineOptions { skip_siblings: false, ..d }),
+        ("no_head_start", EngineOptions { head_start: false, ..d }),
+        ("no_label_seek", EngineOptions { label_seek: false, ..d }),
+        ("unchecked_head_start", EngineOptions { checked_head_start: false, ..d }),
+        ("classical_stack", EngineOptions { sparse_stack: false, ..d }),
+        ("swar_backend", EngineOptions { backend: Some(rsq_simd::BackendKind::Swar), ..d }),
+        ("avx2_backend", EngineOptions { backend: Some(rsq_simd::BackendKind::Avx2), ..d }),
+    ];
+    // One child-heavy, one leaf-heavy, one rewritten-selective, one
+    // deep-ambiguous query.
+    let ids = ["B1", "W2", "B3r", "A2"];
+
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for id in ids {
+        let entry = by_id(id).expect("catalog id");
+        let input = dataset(entry.dataset);
+        let query = Query::parse(entry.query).expect("parses");
+        group.throughput(Throughput::Bytes(input.len() as u64));
+        let expected = Engine::from_query(&query).expect("compiles").count(input);
+        for (name, options) in &variants {
+            let engine = Engine::with_options(&query, *options).expect("compiles");
+            assert_eq!(engine.count(input), expected, "{name} changed results on {id}");
+            group.bench_function(BenchmarkId::new(*name, id), |b| {
+                b.iter(|| engine.count(input));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

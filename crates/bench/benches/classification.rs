@@ -1,0 +1,62 @@
+//! Table 2: classification cost as a function of the number of accepted
+//! symbols — the naive one-`cmpeq`-per-value method (linear in the symbol
+//! count) against the nibble-lookup method (flat).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsq_simd::{Block, ByteClassifier, ByteSet, Simd, BLOCK_SIZE};
+use std::time::Duration;
+
+fn random_data(len: usize) -> Vec<u8> {
+    let mut x = 0x1234_5678_u64;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x as u8
+        })
+        .collect()
+}
+
+fn classify_all(classifier: &ByteClassifier, simd: Simd, data: &[u8]) -> u64 {
+    let mut acc = 0u64;
+    for chunk in data.chunks_exact(BLOCK_SIZE) {
+        let block: &Block = chunk.try_into().expect("sized");
+        acc ^= classifier.classify_block(simd, block);
+    }
+    acc
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let simd = Simd::detect();
+    let data = random_data(4_000_000);
+    let mut group = c.benchmark_group("table2_classification");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Bytes(data.len() as u64));
+
+    for k in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        // Keep every accepted byte below 0x80 so the shuffle-based lookup
+        // applies to the whole set (Table 2 measures the lookup itself,
+        // not the high-byte supplement).
+        let set: ByteSet = if k <= 64 {
+            (0..k).map(|i| (i * 2 + 1) as u8).collect()
+        } else {
+            (0..k).map(|i| i as u8).collect()
+        };
+        let naive = ByteClassifier::naive(&set);
+        let smart = ByteClassifier::new(&set);
+        group.bench_with_input(BenchmarkId::new("naive", k), &naive, |b, cl| {
+            b.iter(|| classify_all(cl, simd, &data));
+        });
+        group.bench_with_input(BenchmarkId::new("lookup", k), &smart, |b, cl| {
+            b.iter(|| classify_all(cl, simd, &data));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classification);
+criterion_main!(benches);

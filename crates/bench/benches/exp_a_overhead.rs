@@ -1,0 +1,50 @@
+//! Experiment A (Table 4, Figure 4): throughput of descendant-free queries
+//! across the three engines. The paper's claim: full descendant/wildcard
+//! support costs nothing — rsq is competitive with (10–20% faster than)
+//! the descendant-free JSONSki and an order of magnitude faster than the
+//! scalar JsonSurfer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsq_baselines::{SkiEngine, SurferEngine};
+use rsq_bench::dataset;
+use rsq_datagen::catalog::{by_id, catalog, Experiment};
+use rsq_engine::Engine;
+use std::time::Duration;
+
+fn bench_experiment_a(c: &mut Criterion) {
+    let ids: Vec<&str> = catalog()
+        .iter()
+        .filter(|e| e.experiment == Experiment::Overhead)
+        .map(|e| e.id)
+        .collect();
+    let mut group = c.benchmark_group("exp_a_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for id in ids {
+        let entry = by_id(id).expect("catalog id");
+        let input = dataset(entry.dataset);
+        group.throughput(Throughput::Bytes(input.len() as u64));
+
+        let rsq = Engine::from_text(entry.query).expect("compiles");
+        group.bench_function(BenchmarkId::new("rsq", id), |b| {
+            b.iter(|| rsq.count(input));
+        });
+
+        let ski = SkiEngine::from_text(entry.query).expect("descendant-free");
+        group.bench_function(BenchmarkId::new("jsonski", id), |b| {
+            b.iter(|| ski.count(input));
+        });
+
+        let surfer = SurferEngine::from_text(entry.query).expect("compiles");
+        group.bench_function(BenchmarkId::new("jsurfer", id), |b| {
+            b.iter(|| surfer.count(input));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_a);
+criterion_main!(benches);

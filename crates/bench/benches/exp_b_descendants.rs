@@ -1,0 +1,55 @@
+//! Experiment B (Table 5, Figure 5): the same results fetched through
+//! descendant rewritings. The paper's claim: rewriting natural queries
+//! with descendants speeds them up, by up to an order of magnitude for
+//! selective labels (memmem skip-to-label), while the scalar baseline is
+//! unaffected by the rewriting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsq_baselines::SurferEngine;
+use rsq_bench::dataset;
+use rsq_datagen::catalog::{by_id, catalog, Experiment};
+use rsq_engine::Engine;
+use std::time::Duration;
+
+fn bench_experiment_b(c: &mut Criterion) {
+    let ids: Vec<&str> = catalog()
+        .iter()
+        .filter(|e| e.experiment == Experiment::Descendants)
+        .map(|e| e.id)
+        .collect();
+    let mut group = c.benchmark_group("exp_b_descendants");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for id in ids {
+        let entry = by_id(id).expect("catalog id");
+        let input = dataset(entry.dataset);
+        group.throughput(Throughput::Bytes(input.len() as u64));
+
+        let rewritten = Engine::from_text(entry.query).expect("compiles");
+        group.bench_function(BenchmarkId::new("rsq_rewritten", id), |b| {
+            b.iter(|| rewritten.count(input));
+        });
+
+        // The original (descendant-free) formulation, for the side-by-side
+        // bars of Figure 5.
+        let original_id = id.strip_suffix('r').expect("rewritten ids end in r");
+        let original = by_id(original_id).expect("original id");
+        let orig_engine = Engine::from_text(original.query).expect("compiles");
+        group.bench_function(BenchmarkId::new("rsq_original", id), |b| {
+            b.iter(|| orig_engine.count(input));
+        });
+
+        // The scalar baseline gains nothing from rewriting (§5.5).
+        let surfer = SurferEngine::from_text(entry.query).expect("compiles");
+        group.bench_function(BenchmarkId::new("jsurfer_rewritten", id), |b| {
+            b.iter(|| surfer.count(input));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_b);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Experiment C (Table 6, Figure 6): limits and opportunities —
+//! selective vs ambiguous descendant queries on the AST, low-selectivity
+//! memmem stress on Crossref, structure-dependent rewriting gains
+//! (C2 vs C3), and the Ts/Tsp/Tsr formulation ladder on Twitter-small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsq_bench::dataset;
+use rsq_datagen::catalog::by_id;
+use rsq_engine::Engine;
+use std::time::Duration;
+
+fn bench_experiment_c(c: &mut Criterion) {
+    let ids = ["A1", "A2", "C1", "C2", "C2r", "C3", "C3r", "Ts", "Tsp", "Tsr"];
+    let mut group = c.benchmark_group("exp_c_limits");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for id in ids {
+        let entry = by_id(id).expect("catalog id");
+        let input = dataset(entry.dataset);
+        group.throughput(Throughput::Bytes(input.len() as u64));
+        let engine = Engine::from_text(entry.query).expect("compiles");
+        group.bench_function(BenchmarkId::new("rsq", id), |b| {
+            b.iter(|| engine.count(input));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_c);
+criterion_main!(benches);

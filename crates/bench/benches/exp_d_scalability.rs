@@ -1,0 +1,37 @@
+//! Experiment D (Table 7): throughput of `$..affiliation..name` on
+//! Crossref fragments of increasing size — the paper observes no
+//! significant variation, confirming the streaming engine's O(1) memory
+//! and size-invariant throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsq_datagen::{Dataset, GenConfig};
+use rsq_engine::Engine;
+use std::time::Duration;
+
+fn bench_experiment_d(c: &mut Criterion) {
+    let engine = Engine::from_text("$..affiliation..name").expect("compiles");
+    let base = rsq_datagen::default_target_bytes();
+    let mut group = c.benchmark_group("exp_d_scalability");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for mult in [1usize, 2, 4, 8] {
+        let size = base * mult / 4;
+        let doc = Dataset::Crossref
+            .generate(&GenConfig {
+                target_bytes: size,
+                seed: rsq_bench::BENCH_SEED,
+            })
+            .into_bytes();
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        group.bench_function(BenchmarkId::new("crossref_mb", doc.len() / 1_000_000), |b| {
+            b.iter(|| engine.count(&doc));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_d);
+criterion_main!(benches);

@@ -1,0 +1,297 @@
+//! Regenerates the paper's result tables as plain text.
+//!
+//! ```sh
+//! cargo run --release -p rsq-bench --bin experiments -- all
+//! cargo run --release -p rsq-bench --bin experiments -- a b c d
+//! RSQ_DATASET_MB=64 cargo run --release -p rsq-bench --bin experiments -- appendix-c
+//! ```
+//!
+//! Subcommands: `table2`, `table3`, `a`, `b`, `c`, `d`, `appendix-c`,
+//! `semantics`, `ablations`, `all`.
+
+use rsq_bench::{cell, dataset, measure, run_engine, EngineKind, Measurement};
+use rsq_datagen::catalog::{by_id, catalog};
+use rsq_datagen::{Dataset, GenConfig};
+use rsq_engine::{Engine, EngineOptions};
+use rsq_query::Query;
+use std::collections::BTreeMap;
+
+const REPS: usize = 3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<&str> = if args.is_empty() {
+        vec!["all"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for arg in &args {
+        match *arg {
+            "table2" => table2(),
+            "table3" => table3(),
+            "a" => experiment_a(),
+            "b" => experiment_b(),
+            "c" => experiment_c(),
+            "d" => experiment_d(),
+            "appendix-c" => appendix_c(),
+            "semantics" => semantics(),
+            "ablations" => ablations(),
+            "all" => {
+                table2();
+                table3();
+                experiment_a();
+                experiment_b();
+                experiment_c();
+                experiment_d();
+                appendix_c();
+                semantics();
+                ablations();
+            }
+            other => {
+                eprintln!("unknown subcommand {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Table 2: naive classification cost grows with the number of accepted
+/// symbols; the nibble-lookup method stays flat.
+fn table2() {
+    use rsq_simd::{ByteClassifier, ByteSet, Simd, BLOCK_SIZE};
+    heading("Table 2: classification cost by symbol count (ns per 64B block)");
+    let simd = Simd::detect();
+    // 16 MB of pseudo-random bytes.
+    let data: Vec<u8> = {
+        let mut x = 0x12345678u64;
+        (0..16_000_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect()
+    };
+    let blocks = data.len() / BLOCK_SIZE;
+    println!("{:>8} {:>12} {:>12} {:>10}", "symbols", "naive", "lookup", "strategy");
+    for k in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        // Keep every accepted byte below 0x80 so the shuffle-based lookup
+        // applies to the whole set (Table 2 measures the lookup itself,
+        // not the high-byte supplement).
+        let set: ByteSet = if k <= 64 {
+            (0..k).map(|i| (i * 2 + 1) as u8).collect()
+        } else {
+            (0..k).map(|i| i as u8).collect()
+        };
+        let naive = ByteClassifier::naive(&set);
+        let smart = ByteClassifier::new(&set);
+        let time_per_block = |c: &ByteClassifier| {
+            let m = measure(data.len(), REPS, || {
+                let mut acc = 0u64;
+                for chunk in data.chunks_exact(BLOCK_SIZE) {
+                    let block: &rsq_simd::Block = chunk.try_into().expect("sized");
+                    acc ^= c.classify_block(simd, block);
+                }
+                acc.count_ones().into()
+            });
+            (data.len() as f64 / m.gbps / 1e9) / blocks as f64 * 1e9
+        };
+        println!(
+            "{:>8} {:>12.2} {:>12.2} {:>10}",
+            k,
+            time_per_block(&naive),
+            time_per_block(&smart),
+            smart.strategy().to_string()
+        );
+    }
+}
+
+/// Table 3: dataset characteristics.
+fn table3() {
+    heading("Table 3: datasets (synthetic stand-ins)");
+    println!("{:>14} {:>10} {:>7} {:>10}", "name", "size [MB]", "depth", "verbosity");
+    for d in Dataset::all() {
+        let stats = rsq_json::document_stats(dataset(d));
+        println!(
+            "{:>14} {:>10.1} {:>7} {:>10.1}",
+            d.name(),
+            stats.size_mb(),
+            stats.max_depth,
+            stats.verbosity()
+        );
+    }
+}
+
+fn run_table(title: &str, entries: &[&str]) {
+    heading(title);
+    println!(
+        "{:<5} {:<42} {:>16} {:>16} {:>16} {:>16}",
+        "id", "query", "rsq (n, GB/s)", "rsq-unchecked", "jsonski*", "jsurfer*"
+    );
+    for id in entries {
+        let entry = by_id(id).unwrap_or_else(|| panic!("unknown id {id}"));
+        let rsq = run_engine(EngineKind::Rsq, &entry, REPS);
+        let ski = run_engine(EngineKind::Ski, &entry, REPS);
+        let surfer = run_engine(EngineKind::Surfer, &entry, REPS);
+        // The paper's engine validates memmem candidates lazily rather
+        // than with a quote scan; the unchecked variant mirrors it for
+        // queries that use skip-to-label.
+        let unchecked = Query::parse(entry.query)
+            .ok()
+            .filter(|q| q.has_descendants())
+            .map(|q| {
+                let engine = Engine::with_options(
+                    &q,
+                    EngineOptions { checked_head_start: false, ..EngineOptions::default() },
+                )
+                .expect("compiles");
+                let input = dataset(entry.dataset);
+                measure(input.len(), REPS, || engine.count(input))
+            });
+        if let (Some(a), Some(b)) = (rsq, ski) {
+            assert_eq!(a.count, b.count, "count mismatch on {id}");
+        }
+        if let (Some(a), Some(b)) = (rsq, surfer) {
+            assert_eq!(a.count, b.count, "count mismatch on {id}");
+        }
+        if let (Some(a), Some(b)) = (rsq, unchecked) {
+            assert_eq!(a.count, b.count, "unchecked head start changed counts on {id}");
+        }
+        println!(
+            "{:<5} {:<42} {} {} {} {}",
+            entry.id,
+            entry.query,
+            cell(rsq),
+            cell(unchecked),
+            cell(ski),
+            cell(surfer)
+        );
+    }
+}
+
+/// Experiment A (Table 4 / Figure 4): descendant-free queries.
+fn experiment_a() {
+    run_table(
+        "Experiment A (Table 4, Figure 4): descendant-free queries",
+        &["B1", "B2", "B3", "G1", "G2", "N1", "N2", "T1", "T2", "W1", "W2", "Wi"],
+    );
+}
+
+/// Experiment B (Table 5 / Figure 5): rewritings with descendants.
+fn experiment_b() {
+    run_table(
+        "Experiment B (Table 5, Figure 5): descendant rewritings vs originals",
+        &[
+            "B1", "B1r", "B2", "B2r", "B3", "B3r", "G2", "G2r", "W1", "W1r", "W2", "W2r", "Wi",
+            "Wir",
+        ],
+    );
+}
+
+/// Experiment C (Table 6 / Figure 6): limits and opportunities.
+fn experiment_c() {
+    run_table(
+        "Experiment C (Table 6, Figure 6): limits and opportunities",
+        &["A1", "A2", "C1", "C2", "C2r", "C3", "C3r", "Ts", "Tsp", "Tsr"],
+    );
+}
+
+/// Experiment D (Table 7): throughput vs document size.
+fn experiment_d() {
+    heading("Experiment D (Table 7): $..affiliation..name on Crossref fragments");
+    let base = rsq_datagen::default_target_bytes();
+    let engine = Engine::from_text("$..affiliation..name").expect("query compiles");
+    println!("{:>10} {:>10} {:>8}", "size [MB]", "matches", "GB/s");
+    for mult in [1, 2, 4, 8] {
+        let bytes = Dataset::Crossref
+            .generate(&GenConfig {
+                target_bytes: base * mult / 4,
+                seed: rsq_bench::BENCH_SEED,
+            })
+            .into_bytes();
+        let m = measure(bytes.len(), REPS, || engine.count(&bytes));
+        println!(
+            "{:>10.1} {:>10} {:>8.2}",
+            bytes.len() as f64 / 1e6,
+            m.count,
+            m.gbps
+        );
+    }
+}
+
+/// The full Appendix C matrix.
+fn appendix_c() {
+    let ids: Vec<&'static str> = catalog().iter().map(|e| e.id).collect();
+    run_table("Appendix C: full result matrix", &ids);
+}
+
+/// Appendix D / Table 9: node vs path semantics on the witness query.
+fn semantics() {
+    heading("Appendix D (Table 9): node vs path semantics, $..person..name");
+    let doc = br#"{
+        "person": {
+            "name": "A",
+            "spouse": {"person": {"name": "B"}},
+            "children": [{"person": {"name": "C"}}, {"person": {"name": "D"}}]
+        }
+    }"#;
+    let dom = rsq_json::parse(doc).expect("valid document");
+    let query = Query::parse("$..person..name").expect("valid query");
+    for (semantics, label) in [
+        (rsq_baselines::Semantics::Node, "node semantics (rsq, 6/44 impls)"),
+        (rsq_baselines::Semantics::Path, "path semantics (34/44 impls)"),
+    ] {
+        let names: Vec<String> = rsq_baselines::evaluate(&query, &dom, semantics)
+            .into_iter()
+            .map(|s| String::from_utf8_lossy(&doc[s.start..s.end]).into_owned())
+            .collect();
+        println!("{label:<34} {names:?}");
+    }
+    let engine = Engine::from_text("$..person..name").expect("query compiles");
+    println!("streaming engine match count: {}", engine.count(doc));
+}
+
+/// Ablations: each design choice of §3–§4 disabled in turn (DESIGN.md §5).
+fn ablations() {
+    heading("Ablations: feature off → GB/s (per query)");
+    let d = EngineOptions::default();
+    let variants: Vec<(&str, EngineOptions)> = vec![
+        ("baseline (all on)", d),
+        ("no leaf skipping", EngineOptions { skip_leaves: false, ..d }),
+        ("no child skipping", EngineOptions { skip_children: false, ..d }),
+        ("no sibling skipping", EngineOptions { skip_siblings: false, ..d }),
+        ("no head start", EngineOptions { head_start: false, ..d }),
+        ("no label seek", EngineOptions { label_seek: false, ..d }),
+        ("unchecked head start", EngineOptions { checked_head_start: false, ..d }),
+        ("classical stack", EngineOptions { sparse_stack: false, ..d }),
+        ("swar backend", EngineOptions { backend: Some(rsq_simd::BackendKind::Swar), ..d }),
+        ("avx2 backend", EngineOptions { backend: Some(rsq_simd::BackendKind::Avx2), ..d }),
+    ];
+    let queries = ["B1", "W2", "B3r", "Wir", "A2", "Tsr", "C2r"];
+    print!("{:<22}", "variant");
+    for id in queries {
+        print!(" {id:>7}");
+    }
+    println!();
+    let mut baseline: BTreeMap<&str, u64> = BTreeMap::new();
+    for (name, options) in variants {
+        print!("{name:<22}");
+        for id in queries {
+            let entry = by_id(id).expect("known id");
+            let query = Query::parse(entry.query).expect("catalog query parses");
+            let engine = Engine::with_options(&query, options).expect("compiles");
+            let input = dataset(entry.dataset);
+            let m: Measurement = measure(input.len(), REPS, || engine.count(input));
+            // Every ablation must preserve the result.
+            let expect = *baseline.entry(id).or_insert(m.count);
+            assert_eq!(m.count, expect, "ablation changed result on {id}");
+            print!(" {:>7.2}", m.gbps);
+        }
+        println!();
+    }
+}

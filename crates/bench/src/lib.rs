@@ -1,0 +1,153 @@
+//! Shared harness for the paper-reproduction benchmarks.
+//!
+//! Regenerates every table and figure of §5 / Appendices B–C of
+//! *Supporting Descendants in SIMD-Accelerated JSONPath* (ASPLOS 2023):
+//!
+//! | Artifact | Criterion bench | `experiments` subcommand |
+//! |---|---|---|
+//! | Table 2 (classification cost) | `classification` | `table2` |
+//! | Table 3 (dataset stats) | — | `table3` |
+//! | Table 4 / Figure 4 (Experiment A) | `exp_a_overhead` | `a` |
+//! | Table 5 / Figure 5 (Experiment B) | `exp_b_descendants` | `b` |
+//! | Table 6 / Figure 6 (Experiment C) | `exp_c_limits` | `c` |
+//! | Table 7 (Experiment D) | `exp_d_scalability` | `d` |
+//! | Appendix C result matrix | — | `appendix-c` |
+//! | Appendix D / Table 9 (semantics) | — | `semantics` |
+//! | Design-choice ablations (§5.6) | `ablations` | `ablations` |
+//!
+//! Dataset size defaults to 16 MB per dataset and can be scaled with the
+//! `RSQ_DATASET_MB` environment variable (the paper uses 0.5–1.2 GB
+//! originals; the throughput *shape* is size-invariant, which Experiment D
+//! verifies).
+
+use rsq_baselines::{SkiEngine, SurferEngine};
+use rsq_datagen::catalog::CatalogEntry;
+use rsq_datagen::{Dataset, GenConfig};
+use rsq_engine::Engine;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Deterministic seed for every benchmark dataset.
+pub const BENCH_SEED: u64 = 0x5eed_2023;
+
+/// Generates (once) and caches all benchmark datasets at the configured
+/// size.
+pub fn datasets() -> &'static HashMap<Dataset, Vec<u8>> {
+    static CACHE: OnceLock<HashMap<Dataset, Vec<u8>>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let config = GenConfig {
+            target_bytes: rsq_datagen::default_target_bytes(),
+            seed: BENCH_SEED,
+        };
+        Dataset::all()
+            .into_iter()
+            .map(|d| (d, d.generate(&config).into_bytes()))
+            .collect()
+    })
+}
+
+/// The input bytes for a dataset.
+#[must_use]
+pub fn dataset(dataset: Dataset) -> &'static [u8] {
+    &datasets()[&dataset]
+}
+
+/// One engine's result on one query: match count and throughput.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Matches reported.
+    pub count: u64,
+    /// Throughput in gigabytes per second (10^9 bytes).
+    pub gbps: f64,
+}
+
+/// Times `f` (which returns a match count) over `input_len` bytes:
+/// one warm-up run, then the best of `reps` timed runs.
+pub fn measure(input_len: usize, reps: usize, mut f: impl FnMut() -> u64) -> Measurement {
+    let count = f(); // warm-up, also captures the count
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let c = f();
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(c, count, "nondeterministic match count");
+        best = best.min(elapsed);
+    }
+    Measurement {
+        count,
+        gbps: input_len as f64 / 1e9 / best,
+    }
+}
+
+/// The engines compared in the paper's figures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The paper's engine (this repository's reproduction).
+    Rsq,
+    /// The JSONSki-style descendant-free baseline.
+    Ski,
+    /// The JsonSurfer-style scalar baseline.
+    Surfer,
+}
+
+impl EngineKind {
+    /// Column label used in the output tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Rsq => "rsq",
+            EngineKind::Ski => "jsonski*",
+            EngineKind::Surfer => "jsurfer*",
+        }
+    }
+}
+
+/// Measures one catalog query on one engine; `None` when the engine does
+/// not support the query (JSONSki on descendants).
+#[must_use]
+pub fn run_engine(kind: EngineKind, entry: &CatalogEntry, reps: usize) -> Option<Measurement> {
+    let input = dataset(entry.dataset);
+    match kind {
+        EngineKind::Rsq => {
+            let engine = Engine::from_text(entry.query).expect("catalog query compiles");
+            Some(measure(input.len(), reps, || engine.count(input)))
+        }
+        EngineKind::Ski => {
+            let engine = SkiEngine::from_text(entry.query).ok()?;
+            Some(measure(input.len(), reps, || engine.count(input)))
+        }
+        EngineKind::Surfer => {
+            let engine = SurferEngine::from_text(entry.query).expect("catalog query compiles");
+            Some(measure(input.len(), reps, || engine.count(input)))
+        }
+    }
+}
+
+/// Formats an optional measurement as `count@GB/s` or `-`.
+#[must_use]
+pub fn cell(m: Option<Measurement>) -> String {
+    match m {
+        Some(m) => format!("{:>9} {:>6.2}", m.count, m.gbps),
+        None => format!("{:>9} {:>6}", "-", "-"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_count_and_positive_throughput() {
+        let m = measure(1_000_000, 2, || 42);
+        assert_eq!(m.count, 42);
+        assert!(m.gbps > 0.0);
+    }
+
+    #[test]
+    fn engine_kinds_have_labels() {
+        for k in [EngineKind::Rsq, EngineKind::Ski, EngineKind::Surfer] {
+            assert!(!k.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,658 @@
+//! The structural iterator (§4.3): the engine's window onto the stream.
+//!
+//! Classifies the input block by block through the quote and structural
+//! classifiers and yields [`Structural`] events. Supports:
+//!
+//! * `next` / `peek` — advance to / look at the next enabled structural
+//!   character;
+//! * `label_before` — backtrack from a structural character to the member
+//!   label preceding it (§3.4);
+//! * `set_toggles` — enable/disable commas and colons on the fly,
+//!   reclassifying the current block (§4.1, §4.3);
+//! * `skip_past_close` / `fast_forward_to_close` — hand control to the
+//!   depth classifier to fast-forward over the remainder of the current
+//!   element (§4.4, §4.5), then resume structural classification.
+
+use crate::depth::{low_bits, scan_block};
+use crate::pipeline::ResumeState;
+use crate::quotes::QuoteState;
+use crate::structural::StructuralTables;
+use rsq_simd::{Block, Simd, Superblock, BLOCK_SIZE, SUPERBLOCK_BLOCKS, SUPERBLOCK_SIZE};
+
+/// The two kinds of JSON containers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BracketType {
+    /// `{` … `}` — an object.
+    Brace,
+    /// `[` … `]` — an array.
+    Bracket,
+}
+
+impl BracketType {
+    /// The opening character.
+    #[must_use]
+    pub fn opening(self) -> u8 {
+        match self {
+            BracketType::Brace => b'{',
+            BracketType::Bracket => b'[',
+        }
+    }
+
+    /// The closing character.
+    #[must_use]
+    pub fn closing(self) -> u8 {
+        match self {
+            BracketType::Brace => b'}',
+            BracketType::Bracket => b']',
+        }
+    }
+}
+
+/// A structural event, carrying its absolute byte position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Structural {
+    /// `{` or `[`.
+    Opening(BracketType, usize),
+    /// `}` or `]`.
+    Closing(BracketType, usize),
+    /// `:` (only when colons are toggled on).
+    Colon(usize),
+    /// `,` (only when commas are toggled on).
+    Comma(usize),
+}
+
+impl Structural {
+    /// The absolute byte position of the character.
+    #[must_use]
+    pub fn position(self) -> usize {
+        match self {
+            Structural::Opening(_, p)
+            | Structural::Closing(_, p)
+            | Structural::Colon(p)
+            | Structural::Comma(p) => p,
+        }
+    }
+
+    /// Returns `true` for `{` and `[`.
+    #[must_use]
+    pub fn is_opening(self) -> bool {
+        matches!(self, Structural::Opening(..))
+    }
+}
+
+/// A quote-and-structurally classified block in flight.
+#[derive(Clone, Copy, Debug)]
+struct CurrentBlock {
+    start: usize,
+    within_quotes: u64,
+    /// Quote state at the start of this block (for stop/resume handoff).
+    state_before: QuoteState,
+    /// Structural bits not yet consumed.
+    mask: u64,
+}
+
+/// Walks the input in 64-byte blocks, running the quote classifier over
+/// each exactly once. This is the shared lower layer of the
+/// multi-classifier pipeline (§4.5): both the structural iterator and the
+/// depth fast-forward consume blocks from the same cursor, so the quote
+/// classification is never repeated or skipped.
+///
+/// Internally the cursor quote-classifies four blocks at a time through
+/// the superblock kernel, amortizing the backend dispatch cost.
+#[derive(Clone, Debug)]
+struct BlockCursor<'a> {
+    input: &'a [u8],
+    simd: Simd,
+    /// Offset of the next block to classify (multiple of [`BLOCK_SIZE`]).
+    next_block: usize,
+    /// Quote state at `next_block`.
+    quote_state: QuoteState,
+    /// Classified blocks not yet handed out: (start, within-quotes
+    /// mask, quote state before the block). Block bytes are viewed
+    /// directly in the input — no copies — except for the zero-padded
+    /// final partial block, stored in `tail`.
+    buf: [(usize, u64, QuoteState); SUPERBLOCK_BLOCKS],
+    buf_len: usize,
+    buf_pos: usize,
+    /// Zero-padded copy of the final partial block, if synthesized.
+    tail: Block,
+    /// Start offset of `tail`, or `usize::MAX` when unset.
+    tail_start: usize,
+}
+
+impl<'a> BlockCursor<'a> {
+    fn new(input: &'a [u8], simd: Simd) -> Self {
+        Self::from_resume(input, simd, ResumeState::default())
+    }
+
+    fn from_resume(input: &'a [u8], simd: Simd, resume: ResumeState) -> Self {
+        BlockCursor {
+            input,
+            simd,
+            next_block: resume.block_start,
+            quote_state: resume.quote_state,
+            buf: [(0, 0, QuoteState::default()); SUPERBLOCK_BLOCKS],
+            buf_len: 0,
+            buf_pos: 0,
+            tail: [0; BLOCK_SIZE],
+            tail_start: usize::MAX,
+        }
+    }
+
+    /// Classifies the next block's quotes and returns `(start,
+    /// within-quotes mask, state before)`, or `None` at EOF.
+    fn next(&mut self) -> Option<(usize, u64, QuoteState)> {
+        if self.buf_pos == self.buf_len {
+            self.refill();
+            if self.buf_len == 0 {
+                return None;
+            }
+        }
+        let entry = self.buf[self.buf_pos];
+        self.buf_pos += 1;
+        Some(entry)
+    }
+
+    /// The classification frontier: the next block `next` would return and
+    /// the quote state entering it.
+    fn frontier(&self) -> ResumeState {
+        if self.buf_pos < self.buf_len {
+            let (start, _, state_before) = self.buf[self.buf_pos];
+            ResumeState {
+                block_start: start,
+                quote_state: state_before,
+            }
+        } else {
+            ResumeState {
+                block_start: self.next_block,
+                quote_state: self.quote_state,
+            }
+        }
+    }
+
+    /// Start offset of the next block `next` would return, or `None` at
+    /// EOF. Refills the buffer if needed.
+    fn peek_start(&mut self) -> Option<usize> {
+        if self.buf_pos == self.buf_len {
+            self.refill();
+            if self.buf_len == 0 {
+                return None;
+            }
+        }
+        Some(self.buf[self.buf_pos].0)
+    }
+
+    fn refill(&mut self) {
+        self.buf_pos = 0;
+        self.buf_len = 0;
+        let start = self.next_block;
+        if start >= self.input.len() {
+            return;
+        }
+        if start + SUPERBLOCK_SIZE <= self.input.len() {
+            let chunk: &Superblock = self.input[start..start + SUPERBLOCK_SIZE]
+                .try_into()
+                .expect("superblock sized");
+            let mut state_before = self.quote_state;
+            let (within, after) = self.simd.classify_quotes4(chunk, &mut self.quote_state);
+            for i in 0..SUPERBLOCK_BLOCKS {
+                self.buf[i] = (start + i * BLOCK_SIZE, within[i], state_before);
+                state_before = after[i];
+            }
+            self.buf_len = SUPERBLOCK_BLOCKS;
+            self.next_block = start + SUPERBLOCK_SIZE;
+        } else {
+            // Tail: one zero-padded block at a time.
+            let end = (start + BLOCK_SIZE).min(self.input.len());
+            if end < start + BLOCK_SIZE {
+                self.tail = [0u8; BLOCK_SIZE];
+                self.tail[..end - start].copy_from_slice(&self.input[start..end]);
+                self.tail_start = start;
+            }
+            let state_before = self.quote_state;
+            let mut state = self.quote_state;
+            let within = self.simd.classify_quotes(self.bytes_at(start), &mut state);
+            self.quote_state = state;
+            self.buf[0] = (start, within, state_before);
+            self.buf_len = 1;
+            self.next_block = start + BLOCK_SIZE;
+        }
+    }
+
+    /// A zero-copy view of the block starting at `start`; partial final
+    /// blocks resolve to the zero-padded `tail` copy.
+    #[inline]
+    fn bytes_at(&self, start: usize) -> &Block {
+        if start + BLOCK_SIZE <= self.input.len() {
+            self.input[start..start + BLOCK_SIZE]
+                .try_into()
+                .expect("full block in bounds")
+        } else {
+            debug_assert_eq!(self.tail_start, start, "tail block not synthesized");
+            &self.tail
+        }
+    }
+}
+
+/// The structural iterator over a JSON byte stream.
+///
+/// # Examples
+///
+/// ```
+/// use rsq_classify::{Structural, StructuralIterator, BracketType};
+/// use rsq_simd::Simd;
+///
+/// let input = br#"{"a": [1]}"#;
+/// let mut iter = StructuralIterator::new(input, Simd::detect());
+/// // By default only brackets/braces are classified (leaf skipping).
+/// assert_eq!(iter.next(), Some(Structural::Opening(BracketType::Brace, 0)));
+/// assert_eq!(iter.next(), Some(Structural::Opening(BracketType::Bracket, 6)));
+/// assert_eq!(iter.label_before(6), Some(&b"a"[..]));
+/// assert_eq!(iter.next(), Some(Structural::Closing(BracketType::Bracket, 8)));
+/// assert_eq!(iter.next(), Some(Structural::Closing(BracketType::Brace, 9)));
+/// assert_eq!(iter.next(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StructuralIterator<'a> {
+    cursor: BlockCursor<'a>,
+    tables: StructuralTables,
+    current: Option<CurrentBlock>,
+    peeked: Option<Option<Structural>>,
+    /// Positions `< consumed_upto` have been yielded by `next` (or skipped).
+    consumed_upto: usize,
+}
+
+impl<'a> StructuralIterator<'a> {
+    /// Creates an iterator at the start of `input` with commas and colons
+    /// disabled.
+    #[must_use]
+    pub fn new(input: &'a [u8], simd: Simd) -> Self {
+        StructuralIterator {
+            cursor: BlockCursor::new(input, simd),
+            tables: StructuralTables::new(),
+            current: None,
+            peeked: None,
+            consumed_upto: 0,
+        }
+    }
+
+    /// Creates an iterator that starts yielding events at `start_pos`,
+    /// resuming quote classification from `resume` (a classification
+    /// origin at or before `start_pos` with a known quote state — blocks
+    /// are counted from that origin, which need not be 64-byte aligned).
+    ///
+    /// This is the resume half of the multi-classifier pipeline (§4.5),
+    /// used by skip-to-label to start the engine in the middle of the
+    /// document with correct in-string information.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resume.block_start` lies after `start_pos`.
+    #[must_use]
+    pub fn resume(input: &'a [u8], simd: Simd, resume: ResumeState, start_pos: usize) -> Self {
+        assert!(resume.block_start <= start_pos, "resume point after start");
+        let mut cursor = BlockCursor::from_resume(input, simd, resume);
+        // Advance the quote classifier over blocks wholly before start_pos.
+        while cursor
+            .peek_start()
+            .is_some_and(|s| s + BLOCK_SIZE <= start_pos)
+        {
+            let _ = cursor.next();
+        }
+        StructuralIterator {
+            cursor,
+            tables: StructuralTables::new(),
+            current: None,
+            peeked: None,
+            consumed_upto: start_pos,
+        }
+    }
+
+    /// The underlying input.
+    #[must_use]
+    pub fn input(&self) -> &'a [u8] {
+        self.cursor.input
+    }
+
+    /// The position after the last consumed character.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.consumed_upto
+    }
+
+    /// A [`ResumeState`] describing the current classification frontier,
+    /// for handing off to another classifier or a [`crate::QuoteScanner`].
+    #[must_use]
+    pub fn resume_state(&self) -> ResumeState {
+        match &self.current {
+            Some(c) => ResumeState {
+                block_start: c.start,
+                quote_state: c.state_before,
+            },
+            None => self.cursor.frontier(),
+        }
+    }
+
+    /// Yields the next enabled structural character.
+    pub fn next(&mut self) -> Option<Structural> {
+        let item = match self.peeked.take() {
+            Some(p) => p,
+            None => self.advance(),
+        };
+        if let Some(s) = item {
+            self.consumed_upto = s.position() + 1;
+        }
+        item
+    }
+
+    /// Looks at the next structural character without consuming it.
+    pub fn peek(&mut self) -> Option<Structural> {
+        if self.peeked.is_none() {
+            let item = self.advance();
+            self.peeked = Some(item);
+        }
+        self.peeked.expect("just filled")
+    }
+
+    fn advance(&mut self) -> Option<Structural> {
+        loop {
+            if let Some(cur) = &mut self.current {
+                if cur.mask != 0 {
+                    let rel = cur.mask.trailing_zeros();
+                    cur.mask &= cur.mask - 1;
+                    let pos = cur.start + rel as usize;
+                    let byte = self.cursor.input[pos];
+                    return Some(to_structural(byte, pos));
+                }
+            }
+            let (start, within_quotes, state_before) = self.cursor.next()?;
+            let mut mask = self
+                .tables
+                .classify(self.cursor.simd, self.cursor.bytes_at(start), within_quotes);
+            // Drop bits before a mid-block start position (resume case).
+            if self.consumed_upto > start {
+                mask &= !low_bits((self.consumed_upto - start) as u32);
+            }
+            self.current = Some(CurrentBlock {
+                start,
+                within_quotes,
+                state_before,
+                mask,
+            });
+        }
+    }
+
+    /// Enables or disables comma and colon classification, reclassifying
+    /// the not-yet-consumed remainder of the current block.
+    ///
+    /// Discards an outstanding peek: callers must toggle before peeking
+    /// (the engine's main loop does — toggles happen directly after a
+    /// `next` that returned an opening or closing character).
+    pub fn set_toggles(&mut self, commas: bool, colons: bool) {
+        debug_assert!(
+            self.peeked.is_none(),
+            "toggling with an outstanding peek loses events in skipped blocks"
+        );
+        let changed = self.tables.set_commas(commas) | self.tables.set_colons(colons);
+        if !changed {
+            return;
+        }
+        self.peeked = None;
+        if let Some(cur) = self.current {
+            let mut mask = self.tables.classify(
+                self.cursor.simd,
+                self.cursor.bytes_at(cur.start),
+                cur.within_quotes,
+            );
+            if self.consumed_upto > cur.start {
+                mask &= !low_bits((self.consumed_upto - cur.start) as u32);
+            }
+            self.current = Some(CurrentBlock { mask, ..cur });
+        }
+    }
+
+    /// Whether commas are currently classified.
+    #[must_use]
+    pub fn commas_enabled(&self) -> bool {
+        self.tables.commas_enabled()
+    }
+
+    /// Whether colons are currently classified.
+    #[must_use]
+    pub fn colons_enabled(&self) -> bool {
+        self.tables.colons_enabled()
+    }
+
+    /// Fast-forwards past the closing character matching an already-consumed
+    /// opening character of type `bracket` (*skipping children*, §3.3): the
+    /// closing character itself is consumed and not yielded.
+    ///
+    /// Returns the position of the closing character, or `None` if the
+    /// document ends first (malformed input).
+    pub fn skip_past_close(&mut self, bracket: BracketType) -> Option<usize> {
+        self.depth_skip(bracket, true)
+    }
+
+    /// Fast-forwards to the closing character that ends the *current*
+    /// element (*skipping siblings*, §3.3). The closing character is left
+    /// pending and will be yielded by the next `next` call.
+    ///
+    /// Returns the position of the closing character, or `None` if the
+    /// document ends first (malformed input).
+    pub fn fast_forward_to_close(&mut self, bracket: BracketType) -> Option<usize> {
+        self.depth_skip(bracket, false)
+    }
+
+    fn depth_skip(&mut self, bracket: BracketType, consume_close: bool) -> Option<usize> {
+        self.peeked = None;
+        let open = bracket.opening();
+        let close = bracket.closing();
+        let simd = self.cursor.simd;
+        let mut depth = 1usize;
+
+        // Phase 1: the unconsumed remainder of the current block.
+        if let Some(cur) = self.current {
+            let rel_from = cur.start.max(self.consumed_upto) - cur.start;
+            let keep = !low_bits(rel_from as u32);
+            let (opens, closes) = simd.eq_mask2(self.cursor.bytes_at(cur.start), open, close);
+            let opens = opens & !cur.within_quotes & keep;
+            let closes = closes & !cur.within_quotes & keep;
+            if let Some(rel) = scan_block(opens, closes, &mut depth) {
+                return Some(self.finish_skip(cur, rel, consume_close));
+            }
+        }
+
+        // The rest of the current block lies inside the skipped region;
+        // drop its pending structural bits before moving on.
+        if let Some(cur) = &mut self.current {
+            cur.mask = 0;
+        }
+
+        // Phase 2: subsequent blocks via the shared cursor (the structural
+        // classifier is stopped; the depth classifier drives the quote
+        // classifier forward).
+        while let Some((start, within_quotes, state_before)) = self.cursor.next() {
+            let (opens, closes) = simd.eq_mask2(self.cursor.bytes_at(start), open, close);
+            let opens = opens & !within_quotes;
+            let closes = closes & !within_quotes;
+            let cur = CurrentBlock {
+                start,
+                within_quotes,
+                state_before,
+                mask: 0,
+            };
+            self.current = Some(cur);
+            if let Some(rel) = scan_block(opens, closes, &mut depth) {
+                return Some(self.finish_skip(cur, rel, consume_close));
+            }
+        }
+        self.consumed_upto = self.cursor.input.len();
+        None
+    }
+
+    /// Resumes structural classification after a successful depth skip that
+    /// located the target closing character at bit `rel` of block `cur`.
+    fn finish_skip(&mut self, cur: CurrentBlock, rel: u32, consume_close: bool) -> usize {
+        let pos = cur.start + rel as usize;
+        self.consumed_upto = if consume_close { pos + 1 } else { pos };
+        let mask = self
+            .tables
+            .classify(self.cursor.simd, self.cursor.bytes_at(cur.start), cur.within_quotes)
+            & !low_bits(rel + u32::from(consume_close));
+        self.current = Some(CurrentBlock { mask, ..cur });
+        pos
+    }
+
+    /// Clears any outstanding peek (internal helper for classifiers that
+    /// take over the stream).
+    pub(crate) fn clear_peeked(&mut self) {
+        self.peeked = None;
+    }
+
+    /// The SIMD backend handle.
+    pub(crate) fn simd(&self) -> Simd {
+        self.cursor.simd
+    }
+
+    /// Ensures a current block covering `position()` is loaded and returns
+    /// its `(start, within_quotes)`, advancing over exhausted blocks.
+    pub(crate) fn seek_current_block(&mut self) -> Option<(usize, u64)> {
+        loop {
+            if let Some(cur) = &self.current {
+                if self.consumed_upto < cur.start + BLOCK_SIZE {
+                    return Some((cur.start, cur.within_quotes));
+                }
+            }
+            if !self.seek_advance_block() {
+                return None;
+            }
+        }
+    }
+
+    /// Loads the next block as the current one with an empty structural
+    /// mask (its events are being absorbed by a seek).
+    pub(crate) fn seek_advance_block(&mut self) -> bool {
+        match self.cursor.next() {
+            Some((start, within_quotes, state_before)) => {
+                self.current = Some(CurrentBlock {
+                    start,
+                    within_quotes,
+                    state_before,
+                    mask: 0,
+                });
+                if self.consumed_upto < start {
+                    self.consumed_upto = start;
+                }
+                true
+            }
+            None => {
+                if let Some(cur) = &mut self.current {
+                    cur.mask = 0;
+                }
+                self.consumed_upto = self.cursor.input.len();
+                false
+            }
+        }
+    }
+
+    /// Raw bytes of the block starting at `start` (which must be the
+    /// current block or a fully in-bounds block).
+    pub(crate) fn seek_block_bytes(&self, start: usize) -> &Block {
+        self.cursor.bytes_at(start)
+    }
+
+    /// Restores structural classification of the current block from `pos`
+    /// (exclusive when `consume` is set), leaving earlier bits consumed.
+    pub(crate) fn reposition_within_current(&mut self, pos: usize, consume: bool) {
+        let Some(cur) = self.current else { return };
+        debug_assert!(pos >= cur.start && pos < cur.start + BLOCK_SIZE);
+        self.consumed_upto = pos + usize::from(consume);
+        let rel = (pos - cur.start) as u32;
+        let mask = self
+            .tables
+            .classify(self.cursor.simd, self.cursor.bytes_at(cur.start), cur.within_quotes)
+            & !low_bits(rel + u32::from(consume));
+        self.current = Some(CurrentBlock { mask, ..cur });
+    }
+
+    /// Marks the remainder of the current block consumed (used by seeks
+    /// absorbing regions known to hold no structural characters). Returns
+    /// `false` at EOF.
+    pub(crate) fn consume_rest_of_block(&mut self) -> bool {
+        if let Some(cur) = &mut self.current {
+            cur.mask = 0;
+            self.consumed_upto = self.consumed_upto.max(cur.start + BLOCK_SIZE);
+            true
+        } else {
+            self.seek_advance_block()
+        }
+    }
+
+    /// Fast-forwards so that the next yielded event is at or after
+    /// `target`, which must not precede the current position. Returns
+    /// `false` at EOF.
+    pub(crate) fn advance_to(&mut self, target: usize) -> bool {
+        loop {
+            if let Some(cur) = self.current {
+                if target < cur.start + BLOCK_SIZE {
+                    self.reposition_within_current(target, false);
+                    return true;
+                }
+            }
+            if !self.seek_advance_block() {
+                return false;
+            }
+        }
+    }
+
+    /// Backtracks from the structural character at `pos` to the member
+    /// label preceding it (§3.4).
+    ///
+    /// Returns the raw label bytes (escapes undecoded, quotes stripped), or
+    /// `None` when there is no label — the element is an array entry or the
+    /// document root — in which case the engine uses the artificial label
+    /// (the automaton's fallback transition).
+    #[must_use]
+    pub fn label_before(&self, pos: usize) -> Option<&'a [u8]> {
+        let input = self.cursor.input;
+        let mut j = last_nonws_before(input, pos)?;
+        if input[j] == b':' {
+            j = last_nonws_before(input, j)?;
+        }
+        if input[j] != b'"' {
+            return None;
+        }
+        let close = j;
+        // Scan backwards for the nearest unescaped quote — the label's
+        // opening quote. A quote is unescaped iff preceded by an even
+        // number of backslashes.
+        let mut q = close;
+        loop {
+            q = input[..q].iter().rposition(|&b| b == b'"')?;
+            let backslashes = input[..q].iter().rev().take_while(|&&b| b == b'\\').count();
+            if backslashes % 2 == 0 {
+                return Some(&input[q + 1..close]);
+            }
+        }
+    }
+}
+
+/// Index of the last non-whitespace byte strictly before `pos`.
+fn last_nonws_before(input: &[u8], pos: usize) -> Option<usize> {
+    input[..pos]
+        .iter()
+        .rposition(|&b| !matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+}
+
+#[inline]
+fn to_structural(byte: u8, pos: usize) -> Structural {
+    match byte {
+        b'{' => Structural::Opening(BracketType::Brace, pos),
+        b'[' => Structural::Opening(BracketType::Bracket, pos),
+        b'}' => Structural::Closing(BracketType::Brace, pos),
+        b']' => Structural::Closing(BracketType::Bracket, pos),
+        b':' => Structural::Colon(pos),
+        b',' => Structural::Comma(pos),
+        other => unreachable!("classifier yielded non-structural byte {other:#04x}"),
+    }
+}

@@ -1,0 +1,36 @@
+//! Vectorised classification pipeline for streamed JSON (§4 of
+//! *Supporting Descendants in SIMD-Accelerated JSONPath*, ASPLOS 2023).
+//!
+//! The pipeline turns a raw JSON byte stream into the sparse sequence of
+//! events the query engine actually cares about:
+//!
+//! * the [quote classifier](quotes) marks characters inside strings,
+//!   handling escapes with add-carry propagation and prefix-XOR (§4.2);
+//! * the [structural classifier](StructuralTables) locates `{ } [ ] : ,`
+//!   outside strings with the paper's nibble-lookup tables, and can toggle
+//!   commas and colons on and off by XOR-ing the upper lookup table (§4.1);
+//! * the [depth classifier](StructuralIterator::skip_past_close) tracks
+//!   only one bracket pair and fast-forwards to the end of the current
+//!   element, skipping whole blocks whenever a block holds fewer closers
+//!   than the current relative depth (§4.4);
+//! * the [`StructuralIterator`] stitches these into the `next`/`peek`/
+//!   `label_before`/`toggle`/`skip` interface consumed by the engine's
+//!   main algorithm (§3.4), and [`ResumeState`]/[`QuoteScanner`] provide
+//!   the stop/resume handoff of the multi-classifier pipeline (§4.5).
+//!
+//! See the [`StructuralIterator`] example for typical usage.
+
+#![warn(missing_docs)]
+
+mod depth;
+mod iterator;
+mod pipeline;
+pub mod quotes;
+mod seek;
+mod structural;
+
+pub use iterator::{BracketType, Structural, StructuralIterator};
+pub use seek::LabelSeek;
+pub use pipeline::{QuoteScanner, ResumeState};
+pub use quotes::{classify_quotes, QuoteClassification, QuoteState};
+pub use structural::StructuralTables;

@@ -1,0 +1,224 @@
+//! Multi-classifier pipeline handoff (§4.5).
+//!
+//! Every classifier in the pipeline sits on top of the quote classifier,
+//! whose state must be threaded through whenever one classifier stops and
+//! another resumes. [`ResumeState`] is that handoff token: a block
+//! boundary plus the quote state at it. Rust's ownership makes the
+//! handoff zero-copy and statically ensures a single writer — the point
+//! the paper makes about implementing the pipeline in Rust.
+//!
+//! [`QuoteScanner`] is the cheapest member of the pipeline: it runs *only*
+//! the quote classifier, answering "is this position inside a string?" for
+//! monotonically increasing positions. The engine's skip-to-label uses it
+//! to validate `memmem` candidates without paying for full structural
+//! classification.
+
+use crate::quotes::QuoteState;
+use rsq_simd::{Simd, Superblock, BLOCK_SIZE, SUPERBLOCK_SIZE};
+
+/// A point in the input where classification can be resumed: a 64-byte
+/// block boundary and the quote state entering it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResumeState {
+    /// Block-aligned offset of the first unclassified block.
+    pub block_start: usize,
+    /// Quote classifier state at `block_start`.
+    pub quote_state: QuoteState,
+}
+
+impl Default for ResumeState {
+    /// The start of the document.
+    fn default() -> Self {
+        ResumeState {
+            block_start: 0,
+            quote_state: QuoteState::default(),
+        }
+    }
+}
+
+/// A forward-only scanner answering in-string queries at increasing
+/// positions.
+///
+/// # Examples
+///
+/// ```
+/// use rsq_classify::QuoteScanner;
+/// use rsq_simd::Simd;
+///
+/// let input = br#"{"key": "a {fake} brace"}"#;
+/// let mut scanner = QuoteScanner::new(input, Simd::detect());
+/// assert!(!scanner.in_string_at(0));  // '{'
+/// assert!(scanner.in_string_at(2));   // 'k'
+/// assert!(scanner.in_string_at(12));  // '{' inside the string
+/// assert!(!scanner.in_string_at(24)); // closing '}'
+/// ```
+#[derive(Clone, Debug)]
+pub struct QuoteScanner<'a> {
+    input: &'a [u8],
+    simd: Simd,
+    /// Start of the current (not yet committed) block.
+    block_start: usize,
+    /// Quote state entering `block_start`.
+    state_before: QuoteState,
+}
+
+impl<'a> QuoteScanner<'a> {
+    /// Creates a scanner at the start of the input.
+    #[must_use]
+    pub fn new(input: &'a [u8], simd: Simd) -> Self {
+        QuoteScanner {
+            input,
+            simd,
+            block_start: 0,
+            state_before: QuoteState::default(),
+        }
+    }
+
+    /// Returns `true` if byte `pos` lies inside a string (opening quote
+    /// inclusive, closing quote exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of bounds or *before* the scanner's current
+    /// block — the scanner only moves forward.
+    #[must_use]
+    pub fn in_string_at(&mut self, pos: usize) -> bool {
+        assert!(pos < self.input.len(), "position out of bounds");
+        assert!(pos >= self.block_start, "scanner cannot move backwards");
+        // Commit whole blocks before the one containing `pos`, superblock
+        // kernel first, block by block for the remainder.
+        let pos_block = pos - pos % BLOCK_SIZE;
+        while self.block_start + SUPERBLOCK_SIZE <= pos_block
+            && self.block_start + SUPERBLOCK_SIZE <= self.input.len()
+        {
+            let chunk: &Superblock = self.input
+                [self.block_start..self.block_start + SUPERBLOCK_SIZE]
+                .try_into()
+                .expect("superblock sized");
+            let _ = self.simd.classify_quotes4(chunk, &mut self.state_before);
+            self.block_start += SUPERBLOCK_SIZE;
+        }
+        while self.block_start + BLOCK_SIZE <= pos {
+            let block = self.load(self.block_start);
+            let _ = self.simd.classify_quotes(&block, &mut self.state_before);
+            self.block_start += BLOCK_SIZE;
+        }
+        // Classify the containing block without committing its state, so
+        // later queries within the same block recompute consistently.
+        let block = self.load(self.block_start);
+        let mut state = self.state_before;
+        let within = self.simd.classify_quotes(&block, &mut state);
+        within >> (pos - self.block_start) & 1 == 1
+    }
+
+    /// The scanner's frontier as a [`ResumeState`].
+    #[must_use]
+    pub fn resume_state(&self) -> ResumeState {
+        ResumeState {
+            block_start: self.block_start,
+            quote_state: self.state_before,
+        }
+    }
+
+    /// Fast-forwards the scanner to a later frontier (obtained from a
+    /// structural iterator that already classified the region in between).
+    /// A frontier at or before the current one is ignored.
+    pub fn catch_up(&mut self, resume: ResumeState) {
+        if resume.block_start > self.block_start {
+            self.block_start = resume.block_start;
+            self.state_before = resume.quote_state;
+        }
+    }
+
+    fn load(&self, start: usize) -> [u8; BLOCK_SIZE] {
+        let mut block = [0u8; BLOCK_SIZE];
+        let end = (start + BLOCK_SIZE).min(self.input.len());
+        block[..end - start].copy_from_slice(&self.input[start..end]);
+        block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_in_string(input: &[u8]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(input.len());
+        let mut inside = false;
+        let mut escaped = false;
+        for &b in input {
+            if inside {
+                if escaped {
+                    escaped = false;
+                    out.push(true);
+                } else if b == b'\\' {
+                    escaped = true;
+                    out.push(true);
+                } else if b == b'"' {
+                    inside = false;
+                    out.push(false);
+                } else {
+                    out.push(true);
+                }
+            } else if b == b'"' {
+                inside = true;
+                out.push(true);
+            } else {
+                out.push(false);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_scalar_reference_across_blocks() {
+        let mut input = br#"{"a": "x", "long": ""#.to_vec();
+        input.extend(std::iter::repeat(b'y').take(100));
+        input.extend_from_slice(br#"", "z": [1, "q\"w"]}"#);
+        let expected = scalar_in_string(&input);
+        let mut scanner = QuoteScanner::new(&input, Simd::detect());
+        for (i, &want) in expected.iter().enumerate() {
+            assert_eq!(scanner.in_string_at(i), want, "pos {i}");
+        }
+    }
+
+    #[test]
+    fn sparse_queries_skip_blocks() {
+        let mut input = vec![b' '; 300];
+        input[0] = b'{';
+        input[150] = b'"';
+        input[200] = b'"';
+        input[299] = b'}';
+        let mut scanner = QuoteScanner::new(&input, Simd::detect());
+        assert!(!scanner.in_string_at(10));
+        assert!(scanner.in_string_at(160));
+        assert!(!scanner.in_string_at(250));
+        assert!(!scanner.in_string_at(299));
+    }
+
+    #[test]
+    fn catch_up_moves_forward_only() {
+        let input = vec![b'x'; 256];
+        let mut scanner = QuoteScanner::new(&input, Simd::detect());
+        let early = scanner.resume_state();
+        scanner.in_string_at(130);
+        let mid = scanner.resume_state();
+        assert_eq!(mid.block_start, 128);
+        scanner.catch_up(early); // ignored
+        assert_eq!(scanner.resume_state().block_start, 128);
+        scanner.catch_up(ResumeState {
+            block_start: 192,
+            quote_state: QuoteState::default(),
+        });
+        assert_eq!(scanner.resume_state().block_start, 192);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn backwards_query_panics() {
+        let input = vec![b'x'; 256];
+        let mut scanner = QuoteScanner::new(&input, Simd::detect());
+        scanner.in_string_at(200);
+        let _ = scanner.in_string_at(10);
+    }
+}

@@ -1,0 +1,201 @@
+//! Skipping to a label *within an element* (§4.5's proposed classifier
+//! extension, §5.6's "improvement opportunity" for C2ʳ-style queries).
+//!
+//! When the automaton sits in a *waiting* state that cannot accept in one
+//! step (single label transition, looping fallback), the main loop would
+//! visit every opening character, backtrack for its label, and compare —
+//! only to stay in the same state almost every time. This classifier
+//! instead fast-forwards: SIMD substring search locates candidate
+//! occurrences of `"label"` while a depth scan (both bracket pairs at
+//! once) watches for the boundary where the depth-stack would pop and the
+//! state would change.
+//!
+//! Candidates are validated exactly like the global skip-to-label (§3.3):
+//! the closing quote must lie outside a string (free here — the quote
+//! masks are already computed) and a colon must follow; only candidates
+//! whose member value is *composite* are reported, because in an internal
+//! state an atomic value can never match.
+
+use crate::depth::{low_bits, scan_block};
+use crate::iterator::StructuralIterator;
+use rsq_memmem::Finder;
+use rsq_simd::BLOCK_SIZE;
+
+/// Outcome of [`StructuralIterator::seek_label`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LabelSeek {
+    /// A member with the sought label and a composite value was found.
+    /// The iterator will yield the value's opening character next;
+    /// `depth_delta` is the net container-depth change absorbed by the
+    /// seek (the candidate's parent object sits that many levels away
+    /// from where the seek started).
+    Candidate {
+        /// Net depth change relative to where the seek started.
+        depth_delta: i32,
+    },
+    /// The depth dropped below the allowed window: the closing character
+    /// crossing the boundary is left pending and will be yielded next.
+    /// The absorbed depth change is exactly `-levels`.
+    Boundary,
+    /// The input ended (malformed document).
+    End,
+}
+
+impl<'a> StructuralIterator<'a> {
+    /// Fast-forwards to the next member named `label` (with a composite
+    /// value) within the current element and its subtree, or to the
+    /// closing character that would drop the depth more than `levels`
+    /// levels below the current one — whichever comes first.
+    ///
+    /// Callers must ensure the automaton state cannot change on any event
+    /// the seek absorbs: in the engine this means a *waiting, internal*
+    /// state (fallback loops; no transition accepts in one step), with
+    /// the boundary set to the topmost depth-stack frame.
+    pub fn seek_label(&mut self, label: &[u8], levels: u32) -> LabelSeek {
+        self.clear_peeked();
+        let input = self.input();
+        let simd = self.simd();
+        let mut needle = Vec::with_capacity(label.len() + 2);
+        needle.push(b'"');
+        needle.extend_from_slice(label);
+        needle.push(b'"');
+        let finder = Finder::with_simd(&needle, simd);
+
+        // `sim` is the simulated depth with the boundary at zero: it
+        // starts at `levels + 1`; the closing that would take it to 0 is
+        // the boundary crossing and is left pending.
+        let mut sim = levels as usize + 1;
+        let mut cand = finder.find_from(input, self.position());
+        // A candidate whose depth scan is complete but whose closing quote
+        // lies in a block not yet quote-classified.
+        let mut deferred: Option<usize> = None;
+
+        loop {
+            let Some((start, within)) = self.seek_current_block() else {
+                return LabelSeek::End;
+            };
+            let block_end = start + BLOCK_SIZE;
+
+            if let Some(c) = deferred {
+                // The needle spans into this block; the bytes between the
+                // candidate and its closing quote are the needle text
+                // itself, which contains no structural characters, so no
+                // depth scanning is owed for the skipped region.
+                let closing_quote = c + needle.len() - 1;
+                if closing_quote >= block_end {
+                    if !self.consume_rest_of_block() {
+                        return LabelSeek::End;
+                    }
+                    continue;
+                }
+                deferred = None;
+                match self.seek_validate(c, &needle, within, start, sim, levels) {
+                    Some(outcome) => return outcome,
+                    None => {
+                        self.reposition_within_current(closing_quote, true);
+                        cand = finder.find_from(input, c + 1);
+                        continue;
+                    }
+                }
+            }
+
+            let from_bit = self.position().saturating_sub(start).min(64) as u32;
+            let keep = !low_bits(from_bit);
+            let (opens, closes) = {
+                let bytes = self.seek_block_bytes(start);
+                let (ob, cb) = simd.eq_mask2(bytes, b'{', b'[');
+                let (oe, ce) = simd.eq_mask2(bytes, b'}', b']');
+                ((ob | cb) & !within, (oe | ce) & !within)
+            };
+
+            match cand {
+                Some(c) if c < block_end => {
+                    debug_assert!(c >= self.position(), "candidate behind the scan");
+                    // Scan depth only up to the candidate.
+                    let cand_bit = (c - start) as u32;
+                    let below = low_bits(cand_bit) & keep;
+                    if let Some(rel) = scan_block(opens & below, closes & below, &mut sim) {
+                        // Boundary crossing before the candidate.
+                        self.reposition_within_current(start + rel as usize, false);
+                        return LabelSeek::Boundary;
+                    }
+                    self.reposition_within_current(c, true);
+                    let closing_quote = c + needle.len() - 1;
+                    if closing_quote >= block_end {
+                        // Needle straddles the block boundary: defer the
+                        // validation until its block is classified.
+                        deferred = Some(c);
+                        if !self.consume_rest_of_block() {
+                            return LabelSeek::End;
+                        }
+                        continue;
+                    }
+                    match self.seek_validate(c, &needle, within, start, sim, levels) {
+                        Some(outcome) => return outcome,
+                        None => {
+                            cand = finder.find_from(input, c + 1);
+                            continue;
+                        }
+                    }
+                }
+                _ => {
+                    // No candidate in this block: full-depth scan.
+                    if let Some(rel) = scan_block(opens & keep, closes & keep, &mut sim) {
+                        self.reposition_within_current(start + rel as usize, false);
+                        return LabelSeek::Boundary;
+                    }
+                    if !self.seek_advance_block() {
+                        return LabelSeek::End;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validates the candidate at `c` whose closing quote lies in the
+    /// current block (`start`/`within`). Returns the outcome for a valid
+    /// composite-valued member, or `None` to continue seeking.
+    fn seek_validate(
+        &mut self,
+        c: usize,
+        needle: &[u8],
+        within: u64,
+        start: usize,
+        sim: usize,
+        levels: u32,
+    ) -> Option<LabelSeek> {
+        let input = self.input();
+        // A genuine label's closing quote lies outside a string; a
+        // lookalike with escaped quotes reads as inside.
+        let closing_quote = c + needle.len() - 1;
+        debug_assert!((start..start + BLOCK_SIZE).contains(&closing_quote));
+        if within >> (closing_quote - start) & 1 == 1 {
+            return None;
+        }
+        let colon = first_nonws(input, c + needle.len())?;
+        if input[colon] != b':' {
+            return None;
+        }
+        let v = first_nonws(input, colon + 1)?;
+        if !matches!(input[v], b'{' | b'[') {
+            // Atomic value: cannot match in an internal state.
+            return None;
+        }
+        // Position the iterator so the value's opening is the next event.
+        // The gap [c, v) holds only the label string, whitespace, and the
+        // colon — no structural characters survive the masks there.
+        if !self.advance_to(v) {
+            return None;
+        }
+        Some(LabelSeek::Candidate {
+            depth_delta: sim as i32 - (levels as i32 + 1),
+        })
+    }
+}
+
+fn first_nonws(input: &[u8], pos: usize) -> Option<usize> {
+    input[pos.min(input.len())..]
+        .iter()
+        .position(|&b| !matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        .map(|off| pos + off)
+}

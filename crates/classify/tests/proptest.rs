@@ -1,0 +1,134 @@
+//! Differential property test: the SIMD structural iterator must agree with
+//! a trivial scalar lexer on arbitrary (valid and invalid) inputs, under
+//! every toggle configuration.
+
+use proptest::prelude::*;
+use rsq_classify::{Structural, StructuralIterator};
+use rsq_simd::Simd;
+
+/// Scalar reference lexer: structural characters outside strings.
+///
+/// Backslash escaping is modelled *globally*, as the bit-parallel quote
+/// classifier does (and simdjson before it): a backslash escapes the next
+/// character even outside a string. Valid JSON never has a backslash
+/// outside a string, so the two models only differ on garbage input.
+fn scalar_lex(input: &[u8], commas: bool, colons: bool) -> Vec<(u8, usize)> {
+    let mut out = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false; // current character is escaped by a backslash
+    for (i, &b) in input.iter().enumerate() {
+        let is_escaped = escaped;
+        escaped = b == b'\\' && !is_escaped;
+        if b == b'"' && !is_escaped {
+            in_string = !in_string;
+            continue;
+        }
+        if in_string {
+            continue;
+        }
+        match b {
+            b'{' | b'}' | b'[' | b']' => out.push((b, i)),
+            b',' if commas => out.push((b, i)),
+            b':' if colons => out.push((b, i)),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn simd_lex(input: &[u8], commas: bool, colons: bool) -> Vec<(u8, usize)> {
+    let mut it = StructuralIterator::new(input, Simd::detect());
+    it.set_toggles(commas, colons);
+    let mut out = Vec::new();
+    while let Some(s) = it.next() {
+        let b = match s {
+            Structural::Opening(t, _) => t.opening(),
+            Structural::Closing(t, _) => t.closing(),
+            Structural::Colon(_) => b':',
+            Structural::Comma(_) => b',',
+        };
+        out.push((b, s.position()));
+    }
+    out
+}
+
+/// Bytes weighted towards JSON-ish content, including escapes and quotes.
+fn arb_jsonish() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => prop_oneof![
+                Just(b'{'), Just(b'}'), Just(b'['), Just(b']'),
+                Just(b':'), Just(b','),
+            ],
+            3 => Just(b'"'),
+            2 => Just(b'\\'),
+            4 => prop_oneof![Just(b'a'), Just(b' '), Just(b'1'), Just(b'\n')],
+            1 => any::<u8>(),
+        ],
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+    #[test]
+    fn iterator_matches_scalar_lexer(
+        input in arb_jsonish(),
+        commas in any::<bool>(),
+        colons in any::<bool>(),
+    ) {
+        prop_assert_eq!(
+            simd_lex(&input, commas, colons),
+            scalar_lex(&input, commas, colons)
+        );
+    }
+
+    #[test]
+    fn peek_is_transparent(input in arb_jsonish()) {
+        let simd = Simd::detect();
+        let mut plain = StructuralIterator::new(&input, simd);
+        let mut peeky = StructuralIterator::new(&input, simd);
+        loop {
+            let expected = plain.next();
+            prop_assert_eq!(peeky.peek(), expected);
+            prop_assert_eq!(peeky.next(), expected);
+            if expected.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Skipping a subtree must land on the bracket a scalar depth counter
+    /// finds, for arbitrary valid JSON built by the json crate.
+    #[test]
+    fn skip_agrees_with_scalar_depth(seed in any::<u64>(), n in 1usize..40) {
+        // Deterministic nested-array/object soup.
+        let mut text = String::from("[");
+        let mut x = seed | 1;
+        let mut depth = 1;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match x >> 60 {
+                0..=3 if depth < 12 => { text.push('['); depth += 1; }
+                4..=5 if depth > 1 => { text.push_str("0],"); depth -= 1; }
+                6..=9 => text.push_str("\"s[]{}\","),
+                _ => text.push_str("7,"),
+            }
+        }
+        while depth > 0 { text.push_str("0]"); depth -= 1; }
+        let text = text.replace(",]", "]").replace(",,", ",");
+        if rsq_json::parse(text.as_bytes()).is_err() {
+            // The soup generator occasionally emits invalid JSON; only
+            // valid documents are interesting here.
+            return Ok(());
+        }
+        let bytes = text.as_bytes();
+
+        let mut it = StructuralIterator::new(bytes, Simd::detect());
+        let first = it.next().unwrap();
+        prop_assert_eq!(first.position(), 0);
+        let close = it.skip_past_close(rsq_classify::BracketType::Bracket).unwrap();
+        prop_assert_eq!(close, bytes.len() - 1);
+        prop_assert_eq!(it.next(), None);
+    }
+}

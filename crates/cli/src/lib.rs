@@ -1,0 +1,338 @@
+//! Library backing the `rsq` command-line tool, factored out so the
+//! argument parsing and the command implementations are unit-testable.
+
+#![warn(missing_docs)]
+
+use rsq_engine::Engine;
+use rsq_query::Query;
+use std::io::Write;
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+usage: rsq [MODE] QUERY [FILE]
+       rsq --stats [FILE]
+       rsq --compile QUERY
+
+modes:
+  (default)     print the text of every matched node
+  --count       print only the number of matches
+  --positions   print the byte offset of every match
+  --verify      evaluate both streamed and on a DOM oracle; fail on mismatch
+reads from stdin when FILE is omitted";
+
+/// What the user asked for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Print matched node text.
+    Values,
+    /// Print the match count.
+    Count,
+    /// Print byte offsets.
+    Positions,
+    /// Cross-check the streamed result against the DOM oracle.
+    Verify,
+    /// Print document statistics (no query).
+    Stats,
+    /// Print the compiled automaton in DOT format (no input).
+    Compile,
+}
+
+/// A parsed command line.
+#[derive(Clone, Debug)]
+pub struct Invocation {
+    /// Selected mode.
+    pub mode: Mode,
+    /// The query text (empty for `--stats`).
+    pub query: String,
+    /// Input path; `None` = stdin.
+    pub file: Option<String>,
+}
+
+impl Invocation {
+    /// Parses command-line arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the arguments do not form a
+    /// valid invocation.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut mode = Mode::Values;
+        let mut rest: Vec<&str> = Vec::new();
+        for arg in args {
+            match arg.as_str() {
+                "--count" => mode = Mode::Count,
+                "--positions" => mode = Mode::Positions,
+                "--verify" => mode = Mode::Verify,
+                "--stats" => mode = Mode::Stats,
+                "--compile" => mode = Mode::Compile,
+                "--help" | "-h" => return Err(String::new()),
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag {flag}"));
+                }
+                other => rest.push(other),
+            }
+        }
+        match mode {
+            Mode::Stats => match rest.as_slice() {
+                [] => Ok(Invocation { mode, query: String::new(), file: None }),
+                [file] => Ok(Invocation {
+                    mode,
+                    query: String::new(),
+                    file: Some((*file).to_owned()),
+                }),
+                _ => Err("--stats takes at most one FILE".to_owned()),
+            },
+            Mode::Compile => match rest.as_slice() {
+                [query] => Ok(Invocation {
+                    mode,
+                    query: (*query).to_owned(),
+                    file: None,
+                }),
+                _ => Err("--compile takes exactly one QUERY".to_owned()),
+            },
+            _ => match rest.as_slice() {
+                [query] => Ok(Invocation {
+                    mode,
+                    query: (*query).to_owned(),
+                    file: None,
+                }),
+                [query, file] => Ok(Invocation {
+                    mode,
+                    query: (*query).to_owned(),
+                    file: Some((*file).to_owned()),
+                }),
+                _ => Err("expected QUERY [FILE]".to_owned()),
+            },
+        }
+    }
+}
+
+fn read_input(file: Option<&str>) -> Result<Vec<u8>, String> {
+    match file {
+        Some(path) => std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}")),
+        None => {
+            let mut buf = Vec::new();
+            std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            Ok(buf)
+        }
+    }
+}
+
+/// Executes an invocation, writing results to `out`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on bad queries, unreadable input, or
+/// (in `--verify` mode) an engine/oracle mismatch.
+pub fn run(invocation: &Invocation, out: &mut impl Write) -> Result<(), String> {
+    let emit = |out: &mut dyn Write, text: std::fmt::Arguments<'_>| {
+        writeln!(out, "{text}").map_err(|e| format!("write error: {e}"))
+    };
+    match invocation.mode {
+        Mode::Stats => {
+            let input = read_input(invocation.file.as_deref())?;
+            let stats = rsq_json::document_stats(&input);
+            emit(out, format_args!("size      {} bytes ({:.2} MB)", stats.size_bytes, stats.size_mb()))?;
+            emit(out, format_args!("depth     {}", stats.max_depth))?;
+            emit(out, format_args!("nodes     {}", stats.node_count))?;
+            emit(out, format_args!("verbosity {:.2} bytes/node", stats.verbosity()))
+        }
+        Mode::Compile => {
+            let query = Query::parse(&invocation.query).map_err(|e| e.to_string())?;
+            let automaton = rsq_query::Automaton::compile(&query).map_err(|e| e.to_string())?;
+            write!(out, "{}", automaton.to_dot()).map_err(|e| format!("write error: {e}"))
+        }
+        Mode::Count => {
+            let engine = Engine::from_text(&invocation.query).map_err(|e| e.to_string())?;
+            let input = read_input(invocation.file.as_deref())?;
+            emit(out, format_args!("{}", engine.count(&input)))
+        }
+        Mode::Positions => {
+            let engine = Engine::from_text(&invocation.query).map_err(|e| e.to_string())?;
+            let input = read_input(invocation.file.as_deref())?;
+            for pos in engine.positions(&input) {
+                emit(out, format_args!("{pos}"))?;
+            }
+            Ok(())
+        }
+        Mode::Values => {
+            let engine = Engine::from_text(&invocation.query).map_err(|e| e.to_string())?;
+            let input = read_input(invocation.file.as_deref())?;
+            for pos in engine.positions(&input) {
+                let text = node_text(&input, pos).unwrap_or("<malformed>");
+                emit(out, format_args!("{text}"))?;
+            }
+            Ok(())
+        }
+        Mode::Verify => {
+            let query = Query::parse(&invocation.query).map_err(|e| e.to_string())?;
+            let engine = Engine::from_query(&query).map_err(|e| e.to_string())?;
+            let input = read_input(invocation.file.as_deref())?;
+            let streamed = engine.positions(&input);
+            let dom = rsq_json::parse(&input).map_err(|e| e.to_string())?;
+            let oracle = rsq_baselines::positions(&query, &dom);
+            if streamed == oracle {
+                emit(out, format_args!("ok: {} matches, engine and oracle agree", streamed.len()))
+            } else {
+                Err(format!(
+                    "MISMATCH: engine found {} matches, oracle {} (this is a bug — \
+                     duplicate sibling keys? see README on sibling skipping)",
+                    streamed.len(),
+                    oracle.len()
+                ))
+            }
+        }
+    }
+}
+
+/// Extracts the text of the JSON value starting at `pos`.
+fn node_text(document: &[u8], pos: usize) -> Option<&str> {
+    let bytes = document.get(pos..)?;
+    let end = match bytes.first()? {
+        open @ (b'{' | b'[') => {
+            let close = if *open == b'{' { b'}' } else { b']' };
+            let open = *open;
+            let mut depth = 0usize;
+            let mut in_string = false;
+            let mut escaped = false;
+            let mut end = None;
+            for (i, &b) in bytes.iter().enumerate() {
+                if in_string {
+                    if escaped {
+                        escaped = false;
+                    } else if b == b'\\' {
+                        escaped = true;
+                    } else if b == b'"' {
+                        in_string = false;
+                    }
+                    continue;
+                }
+                if b == b'"' {
+                    in_string = true;
+                } else if b == open {
+                    depth += 1;
+                } else if b == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(i + 1);
+                        break;
+                    }
+                }
+            }
+            end?
+        }
+        b'"' => {
+            let mut escaped = false;
+            let mut end = None;
+            for (i, &b) in bytes.iter().enumerate().skip(1) {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    end = Some(i + 1);
+                    break;
+                }
+            }
+            end?
+        }
+        _ => bytes
+            .iter()
+            .position(|&b| matches!(b, b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r'))
+            .unwrap_or(bytes.len()),
+    };
+    std::str::from_utf8(&bytes[..end]).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Invocation, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        Invocation::parse(&owned)
+    }
+
+    #[test]
+    fn parses_modes() {
+        assert_eq!(parse(&["$..a"]).unwrap().mode, Mode::Values);
+        assert_eq!(parse(&["--count", "$..a"]).unwrap().mode, Mode::Count);
+        assert_eq!(parse(&["--positions", "$..a", "f.json"]).unwrap().file.as_deref(), Some("f.json"));
+        assert_eq!(parse(&["--stats"]).unwrap().mode, Mode::Stats);
+        assert_eq!(parse(&["--compile", "$.a"]).unwrap().mode, Mode::Compile);
+        assert!(parse(&["--nope", "$..a"]).is_err());
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["a", "b", "c"]).is_err());
+    }
+
+    fn run_to_string(inv: &Invocation) -> Result<String, String> {
+        let mut out = Vec::new();
+        run(inv, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    fn with_temp_file(content: &str, f: impl FnOnce(&str)) {
+        let path = std::env::temp_dir().join(format!(
+            "rsq-cli-test-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, content).unwrap();
+        f(path.to_str().unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn count_values_positions_and_verify() {
+        with_temp_file(r#"{"a": [1, {"b": 2}], "b": 3}"#, |path| {
+            let inv = |mode| Invocation {
+                mode,
+                query: "$..b".to_owned(),
+                file: Some(path.to_owned()),
+            };
+            assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "2\n");
+            assert_eq!(run_to_string(&inv(Mode::Values)).unwrap(), "2\n3\n");
+            let positions = run_to_string(&inv(Mode::Positions)).unwrap();
+            assert_eq!(positions.lines().count(), 2);
+            let verify = run_to_string(&inv(Mode::Verify)).unwrap();
+            assert!(verify.starts_with("ok: 2 matches"));
+        });
+    }
+
+    #[test]
+    fn stats_mode() {
+        with_temp_file(r#"{"a": [1, 2]}"#, |path| {
+            let inv = Invocation {
+                mode: Mode::Stats,
+                query: String::new(),
+                file: Some(path.to_owned()),
+            };
+            let out = run_to_string(&inv).unwrap();
+            assert!(out.contains("nodes     4"), "{out}");
+            assert!(out.contains("depth     3"), "{out}");
+        });
+    }
+
+    #[test]
+    fn compile_mode_emits_dot() {
+        let inv = Invocation {
+            mode: Mode::Compile,
+            query: "$.a..b".to_owned(),
+            file: None,
+        };
+        let out = run_to_string(&inv).unwrap();
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("doublecircle"));
+    }
+
+    #[test]
+    fn bad_query_is_an_error() {
+        let inv = Invocation {
+            mode: Mode::Count,
+            query: "nope".to_owned(),
+            file: None,
+        };
+        assert!(run(&inv, &mut Vec::new()).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! `rsq` — command-line streaming JSONPath.
+//!
+//! ```text
+//! rsq QUERY [FILE]              print every matched node (stdin if no FILE)
+//! rsq --count QUERY [FILE]      print only the number of matches
+//! rsq --positions QUERY [FILE]  print byte offsets, one per line
+//! rsq --verify QUERY [FILE]     also evaluate on a DOM oracle and compare
+//! rsq --stats [FILE]            document statistics (size/depth/verbosity)
+//! rsq --compile QUERY           dump the query automaton in Graphviz DOT
+//! ```
+
+use rsq_cli::{run, Invocation};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let invocation = match Invocation::parse(&args) {
+        Ok(inv) => inv,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("{}", rsq_cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match run(&invocation, &mut std::io::stdout().lock()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("rsq: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The query catalog of the paper's evaluation (Tables 4–6 and the full
+//! Appendix C matrix), keyed to the synthetic datasets.
+//!
+//! Slice selectors from the original JSONSki benchmark were replaced by
+//! wildcards exactly as the paper does (§5.4). Scalability ids S0–S4 are
+//! not listed here; Experiment D generates Crossref fragments of varying
+//! sizes directly.
+
+use crate::Dataset;
+
+/// Which experiment of §5 a query belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Experiment {
+    /// Experiment A (Table 4, Figure 4): descendant-free originals.
+    Overhead,
+    /// Experiment B (Table 5, Figure 5): rewritings with descendants.
+    Descendants,
+    /// Experiment C (Table 6, Figure 6): limits and opportunities.
+    Limits,
+    /// Appendix C only (extra queries not plotted in the body).
+    AppendixOnly,
+}
+
+/// One benchmark query.
+#[derive(Clone, Copy, Debug)]
+pub struct CatalogEntry {
+    /// The id used in the paper (e.g. `B1`, `B1r`, `Ts4`).
+    pub id: &'static str,
+    /// The dataset the query runs on.
+    pub dataset: Dataset,
+    /// The JSONPath text.
+    pub query: &'static str,
+    /// Which experiment the id belongs to.
+    pub experiment: Experiment,
+    /// `true` for the rewritten (descendant) variants.
+    pub rewritten: bool,
+}
+
+/// The full Appendix C catalog.
+#[must_use]
+pub fn catalog() -> Vec<CatalogEntry> {
+    use Dataset::*;
+    use Experiment::*;
+    let e = |id, dataset, query, experiment, rewritten| CatalogEntry {
+        id,
+        dataset,
+        query,
+        experiment,
+        rewritten,
+    };
+    vec![
+        e("A1", Ast, "$..decl.name", Limits, true),
+        e("A2", Ast, "$..inner..inner..type.qualType", Limits, true),
+        e("A3", Ast, "$..loc.includedFrom.file", AppendixOnly, true),
+        e("B1", BestBuy, "$.products.*.categoryPath.*.id", Overhead, false),
+        e("B1r", BestBuy, "$..categoryPath..id", Descendants, true),
+        e("B2", BestBuy, "$.products.*.videoChapters.*.chapter", Overhead, false),
+        e("B2r", BestBuy, "$..videoChapters..chapter", Descendants, true),
+        e("B3", BestBuy, "$.products.*.videoChapters", Overhead, false),
+        e("B3r", BestBuy, "$..videoChapters", Descendants, true),
+        e("C1", Crossref, "$..DOI", Limits, true),
+        e("C2", Crossref, "$.items.*.author.*.affiliation.*.name", Limits, false),
+        e("C2r", Crossref, "$..author..affiliation..name", Limits, true),
+        e("C3", Crossref, "$.items.*.editor.*.affiliation.*.name", Limits, false),
+        e("C3r", Crossref, "$..editor..affiliation..name", Limits, true),
+        e("C4", Crossref, "$.items.*.title", AppendixOnly, false),
+        e("C4r", Crossref, "$..title", AppendixOnly, true),
+        e("C5", Crossref, "$.items.*.author.*.ORCID", AppendixOnly, false),
+        e("C5r", Crossref, "$..author..ORCID", AppendixOnly, true),
+        e("G1", GoogleMap, "$.*.routes.*.legs.*.steps.*.distance.text", Overhead, false),
+        e("G2", GoogleMap, "$.*.available_travel_modes", Overhead, false),
+        e("G2r", GoogleMap, "$..available_travel_modes", Descendants, true),
+        e("N1", Nspl, "$.meta.view.columns.*.name", Overhead, false),
+        e("N2", Nspl, "$.data.*.*.*", Overhead, false),
+        e("O1", OpenFood, "$.products.*.vitamins_tags", AppendixOnly, false),
+        e("O1r", OpenFood, "$..vitamins_tags", AppendixOnly, true),
+        e("O2", OpenFood, "$.products.*.added_countries_tags", AppendixOnly, false),
+        e("O2r", OpenFood, "$..added_countries_tags", AppendixOnly, true),
+        e("O3", OpenFood, "$.products.*.specific_ingredients.*.ingredient", AppendixOnly, false),
+        e("O3r", OpenFood, "$..specific_ingredients..ingredient", AppendixOnly, true),
+        e("T1", TwitterLarge, "$.*.entities.urls.*.url", Overhead, false),
+        e("T2", TwitterLarge, "$.*.text", Overhead, false),
+        e("Ts", TwitterSmall, "$.search_metadata.count", Limits, false),
+        e("Tsp", TwitterSmall, "$..search_metadata.count", Limits, true),
+        e("Tsr", TwitterSmall, "$..count", Limits, true),
+        e("Ts4", TwitterSmall, "$..hashtags..text", AppendixOnly, true),
+        e("Ts5", TwitterSmall, "$..retweeted_status..hashtags..text", AppendixOnly, true),
+        e("W1", Walmart, "$.items.*.bestMarketplacePrice.price", Overhead, false),
+        e("W1r", Walmart, "$..bestMarketplacePrice.price", Descendants, true),
+        e("W2", Walmart, "$.items.*.name", Overhead, false),
+        e("W2r", Walmart, "$..name", Descendants, true),
+        e("Wi", Wikimedia, "$.*.claims.P150.*.mainsnak.property", Overhead, false),
+        e("Wir", Wikimedia, "$..P150..mainsnak.property", Descendants, true),
+    ]
+}
+
+/// Looks an entry up by id.
+#[must_use]
+pub fn by_id(id: &str) -> Option<CatalogEntry> {
+    catalog().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse() {
+        for entry in catalog() {
+            assert!(
+                rsq_query::Query::parse(entry.query).is_ok(),
+                "{} does not parse: {}",
+                entry.id,
+                entry.query
+            );
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let entries = catalog();
+        let mut ids: Vec<&str> = entries.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), entries.len());
+    }
+
+    #[test]
+    fn rewritten_variants_use_descendants() {
+        for entry in catalog() {
+            let q = rsq_query::Query::parse(entry.query).unwrap();
+            if entry.rewritten {
+                assert!(q.has_descendants(), "{} should have descendants", entry.id);
+            } else {
+                assert!(!q.has_descendants(), "{} should be descendant-free", entry.id);
+            }
+        }
+    }
+
+    #[test]
+    fn by_id_finds_entries() {
+        assert_eq!(by_id("B1").unwrap().query, "$.products.*.categoryPath.*.id");
+        assert!(by_id("ZZ").is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! BestBuy-shaped product catalog (dataset **B** of Table 3).
+//!
+//! Root object with a large `products` array. Every product has a
+//! `categoryPath` array of `{id, name}` objects (query B1); a small
+//! fraction carries a `videoChapters` array (queries B2/B3 — high
+//! selectivity is what makes their rewritten forms shine).
+
+use super::super::words::{close, key, kv_raw, kv_str, sentence, sentence_between, word};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn generate(out: &mut String, rng: &mut StdRng, target_bytes: usize) {
+    out.push_str("{\"products\":[");
+    let mut first = true;
+    let mut sku = 1_000_000u64;
+    while out.len() < target_bytes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        sku += rng.gen_range(1..9);
+        product(out, rng, sku);
+    }
+    out.push_str("]}");
+}
+
+fn product(out: &mut String, rng: &mut StdRng, sku: u64) {
+    out.push('{');
+    kv_raw(out, "sku", sku);
+    kv_str(out, "name", &sentence_between(rng, 3, 7));
+    kv_str(out, "type", "HardGood");
+    kv_raw(out, "price", format!("{}.{:02}", rng.gen_range(5..2000), rng.gen_range(0..100)));
+    kv_str(out, "upc", &format!("{:012}", rng.gen::<u32>()));
+    kv_str(out, "manufacturer", word(rng));
+    kv_str(out, "model", &format!("{}-{}", word(rng), rng.gen_range(10..999)));
+    kv_str(out, "image", &format!("http://img.example/{}/{}.jpg", word(rng), sku));
+    kv_raw(out, "shippingWeight", format!("{}.{}", rng.gen_range(0..40), rng.gen_range(0..10)));
+    kv_str(out, "description", &sentence_between(rng, 8, 18));
+
+    key(out, "categoryPath");
+    out.push('[');
+    let cats = rng.gen_range(3..7);
+    for c in 0..cats {
+        if c > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        kv_str(out, "id", &format!("cat{:05}", rng.gen_range(0..60_000)));
+        kv_str(out, "name", word(rng));
+        close(out, '}');
+    }
+    out.push_str("],");
+
+    // Rare feature: roughly 1 in 180 products has video chapters.
+    if rng.gen_range(0..180) == 0 {
+        key(out, "videoChapters");
+        out.push('[');
+        let chapters = rng.gen_range(8..16);
+        for c in 0..chapters {
+            if c > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            kv_raw(out, "chapter", c + 1);
+            kv_str(out, "title", &sentence(rng, 3));
+            close(out, '}');
+        }
+        out.push_str("],");
+    }
+
+    kv_raw(out, "customerReviewCount", rng.gen_range(0..5000));
+    kv_raw(out, "customerReviewAverage", format!("{}.{}", rng.gen_range(1..5), rng.gen_range(0..10)));
+    kv_raw(out, "inStoreAvailability", rng.gen_bool(0.7));
+    kv_raw(out, "onlineAvailability", rng.gen_bool(0.9));
+    close(out, '}');
+}

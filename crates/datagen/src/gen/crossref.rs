@@ -1,0 +1,124 @@
+//! Crossref-metadata-shaped dump (dataset **C** of Table 3).
+//!
+//! Highly regular: an `items` array of publication records. Reproduces the
+//! paper's selectivity spread:
+//!
+//! * every item has a `DOI`, and most bibliography `reference` entries
+//!   carry one too — so `$..DOI` (C1) has very low selectivity, the
+//!   memmem-stress case of §5.6;
+//! * `author[*].affiliation[*].name` (C2) is common, and authors *without*
+//!   affiliations are the reason the C2 rewriting gains little;
+//! * `editor` (C3) is extremely rare, so the C3 rewriting flies;
+//! * a small fraction of authors carries an `ORCID` (C5).
+
+use super::super::words::{close, key, kv_raw, kv_str, sentence, sentence_between, word};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn generate(out: &mut String, rng: &mut StdRng, target_bytes: usize) {
+    out.push_str("{\"items\":[");
+    let mut first = true;
+    while out.len() < target_bytes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        item(out, rng);
+    }
+    out.push_str("],\"total-results\":140000000}");
+}
+
+fn doi(rng: &mut StdRng) -> String {
+    format!("10.{}/{}.{}", rng.gen_range(1000..9999), word(rng), rng.gen_range(100..99_999))
+}
+
+fn item(out: &mut String, rng: &mut StdRng) {
+    out.push('{');
+    kv_str(out, "DOI", &doi(rng));
+    kv_str(out, "type", "journal-article");
+    key(out, "title");
+    out.push('[');
+    out.push('"');
+    out.push_str(&sentence_between(rng, 5, 12));
+    out.push('"');
+    out.push_str("],");
+    kv_str(out, "publisher", &sentence(rng, 2));
+    key(out, "issued");
+    out.push_str(&format!(
+        "{{\"date-parts\":[[{},{}]]}},",
+        rng.gen_range(1970..2023),
+        rng.gen_range(1..13)
+    ));
+
+    key(out, "author");
+    out.push('[');
+    let authors = rng.gen_range(1..8);
+    for a in 0..authors {
+        if a > 0 {
+            out.push(',');
+        }
+        person(out, rng, true);
+    }
+    out.push_str("],");
+
+    // Editors are extremely rare (39 matches on 550 MB in the paper).
+    if rng.gen_range(0..2_500) == 0 {
+        key(out, "editor");
+        out.push('[');
+        person(out, rng, true);
+        out.push_str("],");
+    }
+
+    key(out, "reference");
+    out.push('[');
+    let refs = rng.gen_range(4..16);
+    for r in 0..refs {
+        if r > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        kv_str(out, "key", &format!("ref{r}"));
+        if rng.gen_bool(0.7) {
+            kv_str(out, "DOI", &doi(rng));
+        }
+        kv_raw(out, "year", rng.gen_range(1950..2023));
+        kv_str(out, "journal-title", &sentence(rng, 3));
+        close(out, '}');
+    }
+    out.push_str("],");
+
+    kv_str(out, "container-title", &sentence(rng, 3));
+    kv_raw(out, "is-referenced-by-count", rng.gen_range(0..500));
+    kv_str(out, "ISSN", &format!("{:04}-{:04}", rng.gen_range(0..9999), rng.gen_range(0..9999)));
+    close(out, '}');
+}
+
+fn person(out: &mut String, rng: &mut StdRng, orcid_possible: bool) {
+    out.push('{');
+    kv_str(out, "given", word(rng));
+    kv_str(out, "family", word(rng));
+    kv_str(out, "sequence", "additional");
+    if orcid_possible && rng.gen_bool(0.06) {
+        kv_str(
+            out,
+            "ORCID",
+            &format!("http://orcid.org/0000-000{}-{:04}-{:04}",
+                rng.gen_range(1..4), rng.gen_range(0..9999), rng.gen_range(0..9999)),
+        );
+    }
+    key(out, "affiliation");
+    out.push('[');
+    // Most authors have no affiliation — the C2r pain point: the engine
+    // still has to scan their whole subdocument.
+    let affs = if rng.gen_bool(0.35) { rng.gen_range(1..3) } else { 0 };
+    for f in 0..affs {
+        if f > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        kv_str(out, "name", &sentence_between(rng, 2, 5));
+        close(out, '}');
+    }
+    out.push(']');
+    out.push('}');
+}

@@ -1,0 +1,147 @@
+//! Google-Directions-shaped responses (dataset **G** of Table 3).
+//!
+//! Root array of direction responses, each with
+//! `routes[*].legs[*].steps[*]` nesting (query G1 matches every step's
+//! `distance.text`) and a very rare `available_travel_modes` member
+//! (query G2, 90 matches on the paper's gigabyte — high selectivity).
+
+use super::super::words::{close, key, kv_raw, kv_str, sentence, sentence_between, word};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn generate(out: &mut String, rng: &mut StdRng, target_bytes: usize) {
+    out.push('[');
+    let mut first = true;
+    while out.len() < target_bytes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        response(out, rng);
+    }
+    out.push(']');
+}
+
+fn response(out: &mut String, rng: &mut StdRng) {
+    out.push('{');
+    key(out, "geocoded_waypoints");
+    out.push('[');
+    for i in 0..2 {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        kv_str(out, "geocoder_status", "OK");
+        kv_str(out, "place_id", &format!("ChIJ{}", sentence(rng, 1)));
+        close(out, '}');
+    }
+    out.push_str("],");
+
+    key(out, "routes");
+    out.push('[');
+    let routes = rng.gen_range(1..3);
+    for r in 0..routes {
+        if r > 0 {
+            out.push(',');
+        }
+        route(out, rng);
+    }
+    out.push_str("],");
+
+    if rng.gen_range(0..700) == 0 {
+        key(out, "available_travel_modes");
+        out.push_str("[\"DRIVING\",\"WALKING\",\"TRANSIT\"],");
+    }
+    kv_str(out, "status", "OK");
+    close(out, '}');
+}
+
+fn route(out: &mut String, rng: &mut StdRng) {
+    out.push('{');
+    key(out, "bounds");
+    latlng_box(out, rng);
+    out.push(',');
+    kv_str(out, "copyrights", "Map data");
+    key(out, "legs");
+    out.push('[');
+    let legs = rng.gen_range(1..3);
+    for l in 0..legs {
+        if l > 0 {
+            out.push(',');
+        }
+        leg(out, rng);
+    }
+    out.push_str("],");
+    kv_str(out, "summary", word(rng));
+    close(out, '}');
+}
+
+fn leg(out: &mut String, rng: &mut StdRng) {
+    out.push('{');
+    distance_duration(out, rng);
+    kv_str(out, "end_address", &sentence(rng, 4));
+    kv_str(out, "start_address", &sentence(rng, 4));
+    key(out, "steps");
+    out.push('[');
+    let steps = rng.gen_range(4..14);
+    for s in 0..steps {
+        if s > 0 {
+            out.push(',');
+        }
+        step(out, rng);
+    }
+    out.push(']');
+    out.push('}');
+}
+
+fn step(out: &mut String, rng: &mut StdRng) {
+    out.push('{');
+    distance_duration(out, rng);
+    key(out, "end_location");
+    latlng(out, rng);
+    out.push(',');
+    key(out, "start_location");
+    latlng(out, rng);
+    out.push(',');
+    kv_str(out, "html_instructions", &sentence_between(rng, 4, 10));
+    key(out, "polyline");
+    out.push('{');
+    kv_str(out, "points", &sentence_between(rng, 2, 6).replace(' ', "~"));
+    close(out, '}');
+    out.push(',');
+    kv_str(out, "travel_mode", "DRIVING");
+    close(out, '}');
+}
+
+fn distance_duration(out: &mut String, rng: &mut StdRng) {
+    for name in ["distance", "duration"] {
+        key(out, name);
+        out.push('{');
+        if name == "distance" {
+            kv_str(out, "text", &format!("{}.{} km", rng.gen_range(0..40), rng.gen_range(0..10)));
+            kv_raw(out, "value", rng.gen_range(10..40_000));
+        } else {
+            kv_str(out, "text", &format!("{} mins", rng.gen_range(1..120)));
+            kv_raw(out, "value", rng.gen_range(60..7200));
+        }
+        close(out, '}');
+        out.push(',');
+    }
+}
+
+fn latlng(out: &mut String, rng: &mut StdRng) {
+    out.push('{');
+    kv_raw(out, "lat", format!("{}.{:06}", rng.gen_range(-89i32..90), rng.gen_range(0..999_999)));
+    kv_raw(out, "lng", format!("{}.{:06}", rng.gen_range(-179i32..180), rng.gen_range(0..999_999)));
+    close(out, '}');
+}
+
+fn latlng_box(out: &mut String, rng: &mut StdRng) {
+    out.push('{');
+    key(out, "northeast");
+    latlng(out, rng);
+    out.push(',');
+    key(out, "southwest");
+    latlng(out, rng);
+    close(out, '}');
+}

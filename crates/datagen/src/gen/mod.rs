@@ -1,0 +1,12 @@
+//! One generator module per dataset of Table 3 (plus OpenFood from the
+//! appendix).
+
+pub(crate) mod ast;
+pub(crate) mod bestbuy;
+pub(crate) mod crossref;
+pub(crate) mod googlemap;
+pub(crate) mod nspl;
+pub(crate) mod openfood;
+pub(crate) mod twitter;
+pub(crate) mod walmart;
+pub(crate) mod wikimedia;

@@ -1,0 +1,71 @@
+//! National-Statistics-Postcode-Lookup-shaped export (dataset **N** of
+//! Table 3).
+//!
+//! Socrata-style export: a `meta.view` header with a `columns` array
+//! (query N1 — all matches sit in a small prefix of the document) and a
+//! huge dense `data` array of rows containing nested arrays (query N2,
+//! `$.data[*][*][*]`, millions of matches). The lowest-verbosity dataset
+//! (≈14 bytes/node): almost no skippable text.
+
+use super::super::words::{close, key, kv_raw, kv_str, word};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn generate(out: &mut String, rng: &mut StdRng, target_bytes: usize) {
+    out.push_str("{\"meta\":{\"view\":{");
+    kv_str(out, "id", "nspl-2021");
+    kv_str(out, "name", "National Statistics Postcode Lookup");
+    kv_raw(out, "averageRating", 0);
+    kv_str(out, "category", "reference");
+    key(out, "columns");
+    out.push('[');
+    for c in 0..44 {
+        if c > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        kv_raw(out, "id", c + 1000);
+        kv_str(out, "name", &format!("{}_{}", word(rng), c));
+        kv_str(out, "dataTypeName", if c % 3 == 0 { "number" } else { "text" });
+        kv_raw(out, "position", c);
+        close(out, '}');
+    }
+    out.push_str("],");
+    kv_str(out, "rightsCategory", "PUBLIC");
+    close(out, '}');
+    out.push_str("},\"data\":[");
+
+    let mut first = true;
+    let mut row_id = 1u64;
+    while out.len() < target_bytes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        row(out, rng, row_id);
+        row_id += 1;
+    }
+    out.push_str("]}");
+}
+
+fn row(out: &mut String, rng: &mut StdRng, id: u64) {
+    out.push('[');
+    out.push_str(&format!("{id},"));
+    out.push_str(&format!("\"{}{:03}\",", word(rng), rng.gen_range(0..999)));
+    // Nested coordinate triple — the third wildcard level of N2.
+    out.push_str(&format!(
+        "[{},{},{}],",
+        rng.gen_range(0..700_000),
+        rng.gen_range(0..1_300_000),
+        rng.gen_range(1..10)
+    ));
+    // Nested code pair.
+    out.push_str(&format!(
+        "[\"E{:08}\",\"W{:08}\"],",
+        rng.gen_range(0..99_999_999),
+        rng.gen_range(0..99_999_999)
+    ));
+    out.push_str(&format!("{},", rng.gen_range(1..13)));
+    out.push_str(&format!("\"{}\"", word(rng)));
+    close(out, ']');
+}

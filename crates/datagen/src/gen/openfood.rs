@@ -1,0 +1,86 @@
+//! OpenFoodFacts-shaped product database (dataset **O** of the appendix).
+//!
+//! Products with many tag arrays and a nutriments object. The queried
+//! members are extremely rare: `vitamins_tags` (O1) and
+//! `added_countries_tags` (O2) appear in a tiny fraction of products, and
+//! `specific_ingredients[*].ingredient` (O3) is rarer still — these are
+//! the highest-speedup rewritings in Appendix C (20–35 GB/s).
+
+use super::super::words::{close, key, kv_raw, kv_str, sentence, sentence_between, word};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn generate(out: &mut String, rng: &mut StdRng, target_bytes: usize) {
+    out.push_str("{\"count\":3000000,\"products\":[");
+    let mut first = true;
+    while out.len() < target_bytes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        product(out, rng);
+    }
+    out.push_str("]}");
+}
+
+fn tag_array(out: &mut String, rng: &mut StdRng, name: &str, n: usize) {
+    key(out, name);
+    out.push('[');
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str("en:");
+        out.push_str(word(rng));
+        out.push('"');
+    }
+    out.push_str("],");
+}
+
+fn product(out: &mut String, rng: &mut StdRng) {
+    out.push('{');
+    kv_str(out, "code", &format!("{:013}", rng.gen::<u64>() % 10_000_000_000_000));
+    kv_str(out, "product_name", &sentence_between(rng, 2, 6));
+    kv_str(out, "brands", word(rng));
+    let n = rng.gen_range(2..7);
+    tag_array(out, rng, "categories_tags", n);
+    let n = rng.gen_range(0..4);
+    tag_array(out, rng, "labels_tags", n);
+    let n = rng.gen_range(1..4);
+    tag_array(out, rng, "countries_tags", n);
+    let n = rng.gen_range(0..3);
+    tag_array(out, rng, "allergens_tags", n);
+
+    if rng.gen_range(0..45_000) == 0 {
+        let n = rng.gen_range(1..4);
+    tag_array(out, rng, "vitamins_tags", n);
+    }
+    if rng.gen_range(0..45_000) == 0 {
+        let n = rng.gen_range(1..3);
+    tag_array(out, rng, "added_countries_tags", n);
+    }
+    if rng.gen_range(0..20_000) == 0 {
+        key(out, "specific_ingredients");
+        out.push('[');
+        out.push('{');
+        kv_str(out, "ingredient", word(rng));
+        kv_str(out, "text", &sentence(rng, 4));
+        close(out, '}');
+        out.push_str("],");
+    }
+
+    key(out, "nutriments");
+    out.push('{');
+    for n in ["energy", "fat", "saturated-fat", "sugars", "salt", "proteins"] {
+        kv_raw(out, n, format!("{}.{}", rng.gen_range(0..900), rng.gen_range(0..10)));
+    }
+    close(out, '}');
+    out.push(',');
+
+    kv_str(out, "ingredients_text", &sentence_between(rng, 8, 25));
+    kv_raw(out, "nutriscore_score", rng.gen_range(-10i32..30));
+    kv_str(out, "nutriscore_grade", ["a", "b", "c", "d", "e"][rng.gen_range(0..5)]);
+    kv_raw(out, "last_modified_t", rng.gen_range(1_400_000_000u64..1_700_000_000));
+    close(out, '}');
+}

@@ -1,0 +1,133 @@
+//! Twitter-shaped datasets: the large tweet array (**T**) and the small
+//! search-API response (**Ts**) of Table 3.
+//!
+//! The large dataset is a root array of tweets (queries T1 and T2). The
+//! small one mirrors simdjson's `twitter.json`: a `statuses` array first
+//! and a tiny `search_metadata` object **at the very end** — which is why
+//! the rewritten queries Ts³/Tsᵖ (descendant jumps via memmem) beat the
+//! original Ts (full traversal) in §5.6.
+
+use super::super::words::{close, key, kv_raw, kv_str, sentence, sentence_between, word};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn generate_large(out: &mut String, rng: &mut StdRng, target_bytes: usize) {
+    out.push('[');
+    let mut first = true;
+    let mut id = 500_000_000_000u64;
+    while out.len() < target_bytes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        id += rng.gen_range(1..99_999);
+        tweet(out, rng, id, true);
+    }
+    out.push(']');
+}
+
+pub(crate) fn generate_small(out: &mut String, rng: &mut StdRng, target_bytes: usize) {
+    out.push_str("{\"statuses\":[");
+    let mut first = true;
+    let mut id = 500_000_000_000u64;
+    // Leave room for the trailing search_metadata object.
+    while out.len() + 300 < target_bytes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        id += rng.gen_range(1..99_999);
+        let allow = rng.gen_bool(0.3);
+        tweet(out, rng, id, allow);
+    }
+    out.push_str("],\"search_metadata\":{");
+    kv_raw(out, "completed_in", format!("0.0{}", rng.gen_range(10..99)));
+    kv_raw(out, "max_id", id);
+    kv_str(out, "max_id_str", &id.to_string());
+    kv_str(out, "query", word(rng));
+    kv_raw(out, "count", 100);
+    kv_raw(out, "since_id", 0);
+    close(out, '}');
+    out.push('}');
+}
+
+fn tweet(out: &mut String, rng: &mut StdRng, id: u64, allow_retweet: bool) {
+    out.push('{');
+    kv_str(out, "created_at", "Thu Jun 22 21:00:00 +0000 2023");
+    kv_raw(out, "id", id);
+    kv_str(out, "id_str", &id.to_string());
+    kv_str(out, "text", &sentence_between(rng, 6, 16));
+    kv_str(out, "source", "web");
+    kv_raw(out, "truncated", false);
+    user(out, rng);
+    entities(out, rng);
+    if allow_retweet && rng.gen_bool(0.25) {
+        key(out, "retweeted_status");
+        out.push('{');
+        kv_raw(out, "id", id - 17);
+        kv_str(out, "text", &sentence_between(rng, 6, 16));
+        user(out, rng);
+        entities(out, rng);
+        kv_raw(out, "retweet_count", rng.gen_range(0..90_000));
+        close(out, '}');
+        out.push(',');
+    }
+    kv_raw(out, "retweet_count", rng.gen_range(0..500));
+    kv_raw(out, "favorite_count", rng.gen_range(0..2_000));
+    kv_raw(out, "favorited", false);
+    kv_raw(out, "retweeted", false);
+    kv_str(out, "lang", if rng.gen_bool(0.7) { "en" } else { "pl" });
+    close(out, '}');
+}
+
+fn user(out: &mut String, rng: &mut StdRng) {
+    key(out, "user");
+    out.push('{');
+    kv_raw(out, "id", rng.gen_range(10_000u64..99_999_999));
+    kv_str(out, "name", &sentence(rng, 2));
+    kv_str(out, "screen_name", word(rng));
+    kv_str(out, "location", word(rng));
+    kv_str(out, "description", &sentence_between(rng, 3, 9));
+    kv_raw(out, "followers_count", rng.gen_range(0..100_000));
+    kv_raw(out, "friends_count", rng.gen_range(0..5_000));
+    kv_raw(out, "statuses_count", rng.gen_range(0..200_000));
+    kv_raw(out, "verified", rng.gen_bool(0.05));
+    close(out, '}');
+    out.push(',');
+}
+
+fn entities(out: &mut String, rng: &mut StdRng) {
+    key(out, "entities");
+    out.push('{');
+    key(out, "hashtags");
+    out.push('[');
+    let tags = rng.gen_range(0..3);
+    for t in 0..tags {
+        if t > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        kv_str(out, "text", word(rng));
+        key(out, "indices");
+        out.push_str(&format!("[{},{}]", rng.gen_range(0..50), rng.gen_range(50..100)));
+        out.push('}');
+    }
+    out.push_str("],");
+    key(out, "urls");
+    out.push('[');
+    let urls = rng.gen_range(0..3);
+    for u in 0..urls {
+        if u > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        kv_str(out, "url", &format!("https://t.example/{}", word(rng)));
+        kv_str(out, "expanded_url", &format!("https://www.example.com/{}/{}", word(rng), word(rng)));
+        key(out, "indices");
+        out.push_str(&format!("[{},{}]", rng.gen_range(0..50), rng.gen_range(50..100)));
+        out.push('}');
+    }
+    out.push(']');
+    out.push('}');
+    out.push(',');
+}

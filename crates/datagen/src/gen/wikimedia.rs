@@ -1,0 +1,109 @@
+//! Wikidata-entity-shaped dump (dataset **Wi** of Table 3).
+//!
+//! Root array of entities, each with a `claims` object mapping property
+//! ids to statement arrays. `P150` ("contains administrative entity") is
+//! rare; query Wi matches `claims.P150[*].mainsnak.property`.
+
+use super::super::words::{close, key, kv_str, sentence, sentence_between, word};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn generate(out: &mut String, rng: &mut StdRng, target_bytes: usize) {
+    out.push('[');
+    let mut first = true;
+    let mut q = 1000u64;
+    while out.len() < target_bytes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        q += rng.gen_range(1..50);
+        entity(out, rng, q);
+    }
+    out.push(']');
+}
+
+fn entity(out: &mut String, rng: &mut StdRng, q: u64) {
+    out.push('{');
+    kv_str(out, "type", "item");
+    kv_str(out, "id", &format!("Q{q}"));
+
+    key(out, "labels");
+    out.push('{');
+    for lang in ["en", "de", "fr"] {
+        key(out, lang);
+        out.push('{');
+        kv_str(out, "language", lang);
+        kv_str(out, "value", &sentence(rng, 2));
+        close(out, '}');
+        out.push(',');
+    }
+    close(out, '}');
+    out.push(',');
+
+    key(out, "descriptions");
+    out.push('{');
+    key(out, "en");
+    out.push('{');
+    kv_str(out, "language", "en");
+    kv_str(out, "value", &sentence_between(rng, 3, 8));
+    close(out, '}');
+    close(out, '}');
+    out.push(',');
+
+    key(out, "claims");
+    out.push('{');
+    // Common properties.
+    let props = rng.gen_range(2..6);
+    for i in 0..props {
+        let pid = format!("P{}", [31, 17, 18, 569, 625, 856][i % 6]);
+        let n = rng.gen_range(1..3);
+        claim_array(out, rng, &pid, n);
+        out.push(',');
+    }
+    // The rare target property.
+    if rng.gen_range(0..45) == 0 {
+        let n = rng.gen_range(1..4);
+        claim_array(out, rng, "P150", n);
+        out.push(',');
+    }
+    close(out, '}');
+    out.push(',');
+
+    key(out, "sitelinks");
+    out.push('{');
+    key(out, "enwiki");
+    out.push('{');
+    kv_str(out, "site", "enwiki");
+    kv_str(out, "title", &sentence(rng, 2));
+    close(out, '}');
+    close(out, '}');
+    close(out, '}');
+}
+
+fn claim_array(out: &mut String, rng: &mut StdRng, pid: &str, n: usize) {
+    key(out, pid);
+    out.push('[');
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        key(out, "mainsnak");
+        out.push('{');
+        kv_str(out, "snaktype", "value");
+        kv_str(out, "property", pid);
+        key(out, "datavalue");
+        out.push('{');
+        kv_str(out, "value", &format!("Q{}", rng.gen_range(1..1_000_000)));
+        kv_str(out, "type", "wikibase-entityid");
+        close(out, '}');
+        close(out, '}');
+        out.push(',');
+        kv_str(out, "type", "statement");
+        kv_str(out, "rank", "normal");
+        kv_str(out, "id", &format!("{}${}", pid, word(rng)));
+        close(out, '}');
+    }
+    out.push(']');
+}

@@ -1,0 +1,76 @@
+//! Shared vocabulary and small random-text helpers for the generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) const WORDS: [&str; 48] = [
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india", "juliet",
+    "kilo", "lima", "mike", "november", "oscar", "papa", "quebec", "romeo", "sierra", "tango",
+    "uniform", "victor", "whiskey", "xray", "yankee", "zulu", "amber", "birch", "cedar", "dune",
+    "ember", "fjord", "grove", "harbor", "isle", "jade", "knoll", "lagoon", "mesa", "nectar",
+    "opal", "pine", "quartz", "reef", "slate", "tundra", "umber", "vale",
+];
+
+/// One random word from the pool.
+pub(crate) fn word(rng: &mut StdRng) -> &'static str {
+    WORDS[rng.gen_range(0..WORDS.len())]
+}
+
+/// Space-separated words, length sampled from `lo..hi`.
+pub(crate) fn sentence_between(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    let n = rng.gen_range(lo..hi);
+    sentence(rng, n)
+}
+
+/// Space-separated words (no characters needing escapes).
+pub(crate) fn sentence(rng: &mut StdRng, words: usize) -> String {
+    let mut s = String::with_capacity(words * 7);
+    for i in 0..words {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(word(rng));
+    }
+    s
+}
+
+/// A lowercase hex identifier like clang's AST node ids.
+pub(crate) fn hex_id(rng: &mut StdRng) -> String {
+    format!("{:#x}", rng.gen_range(0x1000_0000u64..0xffff_ffff))
+}
+
+/// Pushes `"key":` onto the buffer.
+pub(crate) fn key(out: &mut String, name: &str) {
+    out.push('"');
+    out.push_str(name);
+    out.push_str("\":");
+}
+
+/// Pushes a quoted string value (the text must not need escaping).
+pub(crate) fn str_val(out: &mut String, value: &str) {
+    out.push('"');
+    out.push_str(value);
+    out.push('"');
+}
+
+/// Pushes `"key":"value",`.
+pub(crate) fn kv_str(out: &mut String, name: &str, value: &str) {
+    key(out, name);
+    str_val(out, value);
+    out.push(',');
+}
+
+/// Pushes `"key":value,` for a raw (numeric/bool/null) value.
+pub(crate) fn kv_raw(out: &mut String, name: &str, value: impl std::fmt::Display) {
+    key(out, name);
+    out.push_str(&value.to_string());
+    out.push(',');
+}
+
+/// Replaces a trailing comma with the given closer.
+pub(crate) fn close(out: &mut String, closer: char) {
+    if out.ends_with(',') {
+        out.pop();
+    }
+    out.push(closer);
+}

@@ -1,0 +1,161 @@
+//! The depth-stack (§3.2): a sparse stack that records only the points
+//! where the simulated DFA changed state.
+//!
+//! In the ordinary stack-based simulation the stack height follows the
+//! tree depth; the depth-stack instead stores one frame per *state
+//! change*, each frame carrying the state to restore and the depth at
+//! which it was left. A frame is popped when the current depth drops back
+//! to the recorded depth. For a child-free query with `n` selectors this
+//! bounds the stack by `n`, mirroring the registers of the stackless
+//! depth-register algorithm; with child selectors it can grow up to the
+//! document depth, but on real data rarely does (query A1 of §5 is the
+//! counterexample).
+//!
+//! Storage is an inline-first [`StackVec`]: up to 128 frames live on the
+//! machine stack, matching the paper's SmallVec configuration; deeper
+//! stacks spill to the heap.
+
+use rsq_query::StateId;
+use rsq_stackvec::StackVec;
+
+/// One recorded state change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The DFA state to restore when the depth drops back.
+    pub state: StateId,
+    /// The depth at which the state was left (pre-increment depth of the
+    /// element that caused the change).
+    pub depth: u32,
+}
+
+/// The sparse depth-stack.
+///
+/// # Examples
+///
+/// ```
+/// use rsq_engine::DepthStack;
+/// use rsq_query::{Automaton, Query};
+///
+/// let automaton = Automaton::compile(&Query::parse("$.a")?).unwrap();
+/// let mut stack = DepthStack::new();
+/// stack.push(automaton.initial_state(), 1);
+/// assert_eq!(stack.pop_if_at_depth(1), Some(automaton.initial_state()));
+/// assert_eq!(stack.pop_if_at_depth(1), None);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DepthStack {
+    frames: StackVec<Frame, 128>,
+}
+
+impl DepthStack {
+    /// Creates an empty depth-stack (inline storage, no allocation).
+    #[must_use]
+    pub fn new() -> Self {
+        DepthStack {
+            frames: StackVec::new(),
+        }
+    }
+
+    /// Records a state change: `state` was left at `depth`.
+    #[inline]
+    pub fn push(&mut self, state: StateId, depth: u32) {
+        self.frames.push(Frame { state, depth });
+    }
+
+    /// If the topmost frame was recorded at `depth`, pops it and returns
+    /// the state to restore.
+    #[inline]
+    pub fn pop_if_at_depth(&mut self, depth: u32) -> Option<StateId> {
+        match self.frames.last() {
+            Some(top) if top.depth == depth => self.frames.pop().map(|f| f.state),
+            _ => None,
+        }
+    }
+
+    /// Depth recorded in the topmost frame, if any.
+    #[must_use]
+    pub fn top_depth(&self) -> Option<u32> {
+        self.frames.last().map(|f| f.depth)
+    }
+
+    /// Current number of frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Returns `true` if no state changes are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Returns `true` once the stack has spilled to the heap (deeper than
+    /// 128 frames).
+    #[must_use]
+    pub fn spilled(&self) -> bool {
+        self.frames.spilled()
+    }
+
+    /// High-water mark helper: the largest length observed so far must be
+    /// tracked by the caller; this just exposes the backing length.
+    #[must_use]
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Removes all frames.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsq_query::{Automaton, Query};
+
+    fn states() -> (StateId, StateId) {
+        let a = Automaton::compile(&Query::parse("$.a.b").unwrap()).unwrap();
+        let s0 = a.initial_state();
+        let s1 = a.transition(s0, rsq_query::PathSymbol::Label(b"a"));
+        (s0, s1)
+    }
+
+    #[test]
+    fn pop_only_at_matching_depth() {
+        let (s0, s1) = states();
+        let mut stack = DepthStack::new();
+        stack.push(s0, 1);
+        stack.push(s1, 5);
+        assert_eq!(stack.pop_if_at_depth(4), None);
+        assert_eq!(stack.pop_if_at_depth(5), Some(s1));
+        assert_eq!(stack.pop_if_at_depth(5), None);
+        assert_eq!(stack.pop_if_at_depth(1), Some(s0));
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn stays_inline_for_shallow_stacks() {
+        let (s0, _) = states();
+        let mut stack = DepthStack::new();
+        for d in 0..128 {
+            stack.push(s0, d);
+        }
+        assert!(!stack.spilled());
+        stack.push(s0, 128);
+        assert!(stack.spilled());
+        assert_eq!(stack.len(), 129);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let (s0, _) = states();
+        let mut stack = DepthStack::new();
+        stack.push(s0, 1);
+        stack.clear();
+        assert!(stack.is_empty());
+        assert_eq!(stack.frames().len(), 0);
+    }
+}

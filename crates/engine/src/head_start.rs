@@ -1,0 +1,114 @@
+//! Skipping to a label (§3.3, §3.4): when the query starts with a
+//! descendant selector `$..ℓ`, the engine leapfrogs between occurrences of
+//! `"ℓ"` located by SIMD substring search, running the main algorithm only
+//! on the subdocuments associated with them.
+//!
+//! Each candidate found by `memmem` is validated before use:
+//!
+//! * it must lie outside any string — checked with the [`QuoteScanner`]
+//!   (cheap: quote classification only). This check makes skip-to-label
+//!   sound even on documents whose string *values* contain text like
+//!   `"label":`; it can be turned off (`checked_head_start = false`) to
+//!   mimic the paper's rawer variant;
+//! * the next non-whitespace character after the closing quote must be a
+//!   colon — otherwise the occurrence is a string value, not a member
+//!   label.
+//!
+//! After processing a composite subdocument the search resumes *after* it,
+//! so nested occurrences of `ℓ` (already handled by the automaton during
+//! the sub-run) are never double-counted, and the scanner is fast-forwarded
+//! to the sub-run's classification frontier so no byte is quote-classified
+//! twice.
+
+use crate::main_loop::run_element;
+use crate::sink::Sink;
+use crate::util::first_nonws_at;
+use crate::EngineOptions;
+use rsq_classify::{BracketType, QuoteScanner, ResumeState, StructuralIterator};
+use rsq_memmem::Finder;
+use rsq_query::Automaton;
+use rsq_simd::Simd;
+
+/// Runs a query whose initial state is *waiting* (single label transition,
+/// looping fallback) using memmem-based skip-to-label.
+pub(crate) fn run_head_start(
+    automaton: &Automaton,
+    options: &EngineOptions,
+    simd: Simd,
+    input: &[u8],
+    sink: &mut impl Sink,
+) {
+    let (label, target) = automaton
+        .single_explicit_transition(automaton.initial_state())
+        .expect("head start requires a waiting initial state");
+    let mut needle = Vec::with_capacity(label.len() + 2);
+    needle.push(b'"');
+    needle.extend_from_slice(label);
+    needle.push(b'"');
+    let finder = Finder::with_simd(&needle, simd);
+    let mut scanner = QuoteScanner::new(input, simd);
+
+    let mut at = 0usize;
+    while let Some(p) = finder.find_from(input, at) {
+        // A genuine label's closing quote lies *outside* the string (the
+        // prefix-XOR convention marks opening quotes inside and closing
+        // quotes outside); a lookalike inside a string has escaped quotes,
+        // which the quote classifier does not treat as quotes at all, so
+        // its final position reads as inside.
+        if options.checked_head_start && scanner.in_string_at(p + needle.len() - 1) {
+            at = p + 1;
+            continue;
+        }
+        let after = p + needle.len();
+        let Some(colon) = first_nonws_at(input, after) else { break };
+        if input[colon] != b':' {
+            at = p + 1;
+            continue;
+        }
+        let Some(v) = first_nonws_at(input, colon + 1) else { break };
+        match input[v] {
+            open @ (b'{' | b'[') => {
+                let bracket = if open == b'{' {
+                    BracketType::Brace
+                } else {
+                    BracketType::Bracket
+                };
+                let resume = if options.checked_head_start {
+                    scanner.resume_state()
+                } else {
+                    // Paper-faithful unchecked variant: assume the value
+                    // start lies outside any string and classify from it
+                    // with a fresh quote state (blocks counted from `v`).
+                    ResumeState {
+                        block_start: v,
+                        quote_state: Default::default(),
+                    }
+                };
+                let mut it = StructuralIterator::resume(input, simd, resume, v);
+                let Some(first) = it.next() else { break };
+                debug_assert_eq!(first.position(), v);
+                if automaton.is_accepting(target) {
+                    sink.report(v);
+                }
+                run_element(&mut it, automaton, options, target, bracket, v, sink);
+                if options.checked_head_start {
+                    // The sub-run advanced the quote classification on the
+                    // scanner's grid; skip re-scanning that region.
+                    scanner.catch_up(it.resume_state());
+                }
+                at = it.position().max(p + 1);
+            }
+            b'}' | b']' | b',' | b':' => {
+                // Malformed construct; step over the candidate.
+                at = p + 1;
+            }
+            _ => {
+                // Atomic value.
+                if automaton.is_accepting(target) {
+                    sink.report(v);
+                }
+                at = after;
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The `rsq` streaming JSONPath engine — the primary contribution of
+//! *Supporting Descendants in SIMD-Accelerated JSONPath* (ASPLOS 2023),
+//! reimplemented from scratch.
+//!
+//! The engine evaluates JSONPath queries with child (`.ℓ`), wildcard
+//! (`.*`), and descendant (`..ℓ`) selectors over a raw JSON byte stream in
+//! a single pass, without building a DOM, under **node semantics** (each
+//! matched node reported exactly once, in document order). It combines:
+//!
+//! * a minimal deterministic query automaton (`rsq-query`, §3.1);
+//! * the sparse **depth-stack** simulation (§3.2) — see [`DepthStack`];
+//! * four **skipping** techniques (§3.3): leaves (comma/colon toggling),
+//!   children (depth fast-forward on rejecting transitions), siblings
+//!   (fast-forward after a unitary label is found), and skip-to-label
+//!   (`memmem` leapfrogging for queries starting with `$..ℓ`);
+//! * the SIMD multi-classifier pipeline (`rsq-classify`, §4).
+//!
+//! # Examples
+//!
+//! ```
+//! use rsq_engine::Engine;
+//!
+//! let engine = Engine::from_text("$..price")?;
+//! let doc = br#"{"store": {"book": {"price": 9}, "bike": {"price": 20}}}"#;
+//! assert_eq!(engine.count(doc), 2);
+//!
+//! // Byte offsets of the matches, in document order:
+//! let positions = engine.positions(doc);
+//! assert_eq!(&doc[positions[0]..positions[0] + 1], b"9");
+//! # Ok::<(), rsq_engine::EngineError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod depth_stack;
+mod head_start;
+mod main_loop;
+mod sink;
+mod util;
+
+pub use depth_stack::{DepthStack, Frame};
+pub use sink::{CountSink, PositionsSink, Sink};
+
+use rsq_classify::StructuralIterator;
+use rsq_query::{Automaton, CompileError, Query, QueryParseError};
+use rsq_simd::Simd;
+use std::fmt;
+
+/// Tuning knobs for the engine.
+///
+/// The defaults enable everything the paper describes; individual features
+/// can be disabled for the ablation study (§5's "identify improvement
+/// opportunities" goal — see the `ablations` benchmark).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Toggle commas/colons on demand so that leaves are fast-forwarded
+    /// over when the automaton cannot accept in one step (§3.3 *skipping
+    /// leaves*). When disabled, every comma and colon is classified.
+    pub skip_leaves: bool,
+    /// Fast-forward over subtrees entered on a rejecting transition (§3.3
+    /// *skipping children*).
+    pub skip_children: bool,
+    /// Fast-forward to the enclosing object's end once a unitary state's
+    /// label has been matched (§3.3 *skipping siblings*).
+    pub skip_siblings: bool,
+    /// Leapfrog between `memmem` hits of the first label for queries
+    /// starting with `$..ℓ` (§3.3 *skipping to a label*).
+    pub head_start: bool,
+    /// Fast-forward to the sought label *within the current element* when
+    /// the automaton is in a waiting state that cannot accept in one step
+    /// — the classifier extension §4.5 proposes and §5.6 identifies as
+    /// the fix for C2ʳ-style queries.
+    pub label_seek: bool,
+    /// Validate `memmem` candidates with the quote scanner so that label
+    /// lookalikes inside strings are rejected. Disable to mimic the
+    /// paper's unchecked variant (unsound on adversarial strings).
+    pub checked_head_start: bool,
+    /// Push depth-stack frames only on state changes (§3.2). When
+    /// disabled, a frame is pushed for every container, emulating the
+    /// classical stack-based simulation (ablation baseline).
+    pub sparse_stack: bool,
+    /// Force a specific SIMD backend instead of the best detected one
+    /// (ablation baseline; `None` = autodetect).
+    pub backend: Option<rsq_simd::BackendKind>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            skip_leaves: true,
+            skip_children: true,
+            skip_siblings: true,
+            head_start: true,
+            label_seek: true,
+            checked_head_start: true,
+            sparse_stack: true,
+            backend: None,
+        }
+    }
+}
+
+/// Error constructing an [`Engine`] from query text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The query text does not parse.
+    Parse(QueryParseError),
+    /// The query parsed but its automaton is too large.
+    Compile(CompileError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Parse(e) => Some(e),
+            EngineError::Compile(e) => Some(e),
+        }
+    }
+}
+
+impl From<QueryParseError> for EngineError {
+    fn from(e: QueryParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> Self {
+        EngineError::Compile(e)
+    }
+}
+
+/// A compiled streaming JSONPath engine.
+///
+/// Compile once with [`Engine::from_text`] (or [`Engine::from_query`]),
+/// then run over any number of documents with [`Engine::run`],
+/// [`Engine::count`], or [`Engine::positions`].
+///
+/// See the [crate documentation](crate) for an example.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    automaton: Automaton,
+    options: EngineOptions,
+    simd: Simd,
+}
+
+impl Engine {
+    /// Compiles an engine from JSONPath text with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if the query does not parse or its
+    /// automaton exceeds the state cap.
+    pub fn from_text(query: &str) -> Result<Self, EngineError> {
+        Ok(Self::from_query(&Query::parse(query)?)?)
+    }
+
+    /// Compiles an engine from a parsed query with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] if the query automaton exceeds the state
+    /// cap (exponential blow-up).
+    pub fn from_query(query: &Query) -> Result<Self, CompileError> {
+        Self::with_options(query, EngineOptions::default())
+    }
+
+    /// Compiles an engine with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] if the query automaton exceeds the state
+    /// cap.
+    pub fn with_options(query: &Query, options: EngineOptions) -> Result<Self, CompileError> {
+        let automaton = Automaton::compile(query)?;
+        let simd = match options.backend {
+            Some(kind) => Simd::with_kind(kind),
+            None => Simd::detect(),
+        };
+        Ok(Engine {
+            automaton,
+            options,
+            simd,
+        })
+    }
+
+    /// The compiled query automaton.
+    #[must_use]
+    pub fn automaton(&self) -> &Automaton {
+        &self.automaton
+    }
+
+    /// The options this engine runs with.
+    #[must_use]
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Streams `input`, reporting every match to `sink`.
+    ///
+    /// Matches are reported in document order, once per matched node (node
+    /// semantics). Malformed JSON is processed best-effort without
+    /// panicking; results on such input are unspecified.
+    pub fn run<S: Sink>(&self, input: &[u8], sink: &mut S) {
+        let initial = self.automaton.initial_state();
+        if self.options.head_start && self.automaton.is_waiting(initial) {
+            head_start::run_head_start(&self.automaton, &self.options, self.simd, input, sink);
+            return;
+        }
+        let mut it = StructuralIterator::new(input, self.simd);
+        main_loop::run_document(&mut it, &self.automaton, &self.options, sink);
+    }
+
+    /// Counts the matches in `input`.
+    #[must_use]
+    pub fn count(&self, input: &[u8]) -> u64 {
+        let mut sink = CountSink::new();
+        self.run(input, &mut sink);
+        sink.count()
+    }
+
+    /// Returns the byte offset of each match in `input`, in document
+    /// order.
+    #[must_use]
+    pub fn positions(&self, input: &[u8]) -> Vec<usize> {
+        let mut sink = PositionsSink::new();
+        self.run(input, &mut sink);
+        sink.into_positions()
+    }
+}

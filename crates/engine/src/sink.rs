@@ -1,0 +1,114 @@
+//! Match sinks: where the engine reports query matches.
+//!
+//! The engine streams; it never materializes matched nodes itself. A
+//! [`Sink`] receives the byte offset at which each matched node's text
+//! starts (in document order). [`CountSink`] mirrors the match counter
+//! used in the paper's benchmarks; [`PositionsSink`] records offsets for
+//! verification and for extracting node text.
+
+/// Receiver of match reports.
+pub trait Sink {
+    /// Called once per matched node, in document order, with the byte
+    /// offset of the first character of the node's text.
+    fn report(&mut self, pos: usize);
+}
+
+impl<S: Sink + ?Sized> Sink for &mut S {
+    #[inline]
+    fn report(&mut self, pos: usize) {
+        (**self).report(pos);
+    }
+}
+
+/// Counts matches — the benchmark sink (the paper replaced JSONSki's
+/// `std::vector` result gathering with a plain counter; this is ours).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountSink {
+    count: u64,
+}
+
+impl CountSink {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of matches reported so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Sink for CountSink {
+    #[inline]
+    fn report(&mut self, _pos: usize) {
+        self.count += 1;
+    }
+}
+
+/// Records the byte offset of every match, in document order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PositionsSink {
+    positions: Vec<usize>,
+}
+
+impl PositionsSink {
+    /// A fresh, empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded match offsets.
+    #[must_use]
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Consumes the sink, returning the offsets.
+    #[must_use]
+    pub fn into_positions(self) -> Vec<usize> {
+        self.positions
+    }
+}
+
+impl Sink for PositionsSink {
+    #[inline]
+    fn report(&mut self, pos: usize) {
+        self.positions.push(pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_sink_counts() {
+        let mut s = CountSink::new();
+        s.report(3);
+        s.report(8);
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn positions_sink_records_in_order() {
+        let mut s = PositionsSink::new();
+        s.report(3);
+        s.report(8);
+        assert_eq!(s.positions(), &[3, 8]);
+        assert_eq!(s.into_positions(), vec![3, 8]);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        fn takes_sink<S: Sink>(mut s: S) {
+            s.report(1);
+        }
+        let mut c = CountSink::new();
+        takes_sink(&mut c);
+        assert_eq!(c.count(), 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Array index selectors (`[n]`) — the paper's §6 future-work feature —
+//! under every engine configuration.
+
+use rsq_engine::{Engine, EngineOptions};
+use rsq_query::Query;
+
+fn configurations() -> Vec<EngineOptions> {
+    let d = EngineOptions::default();
+    vec![
+        d,
+        EngineOptions { skip_leaves: false, ..d },
+        EngineOptions { skip_children: false, ..d },
+        EngineOptions { skip_siblings: false, ..d },
+        EngineOptions { head_start: false, ..d },
+        EngineOptions { sparse_stack: false, ..d },
+        EngineOptions { backend: Some(rsq_simd::BackendKind::Swar), ..d },
+    ]
+}
+
+/// Extracts the text of the JSON value starting at `pos` (scalar scan).
+fn node_text(doc: &[u8], pos: usize) -> String {
+    let bytes = &doc[pos..];
+    let end = match bytes[0] {
+        open @ (b'{' | b'[') => {
+            let close = if open == b'{' { b'}' } else { b']' };
+            let mut depth = 0usize;
+            let mut in_string = false;
+            let mut escaped = false;
+            let mut end = bytes.len();
+            for (i, &b) in bytes.iter().enumerate() {
+                if in_string {
+                    if escaped {
+                        escaped = false;
+                    } else if b == b'\\' {
+                        escaped = true;
+                    } else if b == b'"' {
+                        in_string = false;
+                    }
+                    continue;
+                }
+                if b == b'"' {
+                    in_string = true;
+                } else if b == open {
+                    depth += 1;
+                } else if b == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+            }
+            end
+        }
+        b'"' => {
+            let mut escaped = false;
+            let mut end = bytes.len();
+            for (i, &b) in bytes.iter().enumerate().skip(1) {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    end = i + 1;
+                    break;
+                }
+            }
+            end
+        }
+        _ => bytes
+            .iter()
+            .position(|&b| matches!(b, b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r'))
+            .unwrap_or(bytes.len()),
+    };
+    String::from_utf8_lossy(&bytes[..end]).into_owned()
+}
+
+#[track_caller]
+fn assert_matches(query: &str, doc: &str, expected: &[&str]) {
+    let parsed = Query::parse(query).expect(query);
+    for options in configurations() {
+        let engine = Engine::with_options(&parsed, options).unwrap();
+        let got: Vec<String> = engine
+            .positions(doc.as_bytes())
+            .into_iter()
+            .map(|p| node_text(doc.as_bytes(), p))
+            .collect();
+        assert_eq!(got, expected, "query {query} on {doc} with {options:?}");
+    }
+}
+
+#[test]
+fn basic_index_selection() {
+    let doc = r#"{"a": [10, 20, 30]}"#;
+    assert_matches("$.a[0]", doc, &["10"]);
+    assert_matches("$.a[1]", doc, &["20"]);
+    assert_matches("$.a[2]", doc, &["30"]);
+    assert_matches("$.a[3]", doc, &[]);
+}
+
+#[test]
+fn index_on_objects_matches_nothing() {
+    let doc = r#"{"a": {"0": 1, "x": 2}}"#;
+    assert_matches("$.a[0]", doc, &[]);
+    // But the label "0" is still reachable as a member name.
+    assert_matches("$.a.0", doc, &["1"]);
+}
+
+#[test]
+fn index_selects_composites() {
+    let doc = r#"[[1, 2], {"k": 3}, [4]]"#;
+    assert_matches("$[0]", doc, &["[1, 2]"]);
+    assert_matches("$[1]", doc, &[r#"{"k": 3}"#]);
+    assert_matches("$[1].k", doc, &["3"]);
+    assert_matches("$[0][1]", doc, &["2"]);
+    assert_matches("$[2][0]", doc, &["4"]);
+}
+
+#[test]
+fn index_after_descendant() {
+    let doc = r#"{"rows": [[1, 2], [3, 4]], "x": {"rows": [[5, 6]]}}"#;
+    assert_matches("$..rows[0]", doc, &["[1, 2]", "[5, 6]"]);
+    assert_matches("$..rows[1][0]", doc, &["3"]);
+}
+
+#[test]
+fn descendant_index() {
+    // ..[0]: the first entry of every array, at any depth.
+    let doc = r#"{"a": [1, [2, 3]], "b": {"c": [4]}}"#;
+    assert_matches("$..[0]", doc, &["1", "2", "4"]);
+    assert_matches("$..[1]", doc, &["[2, 3]", "3"]);
+}
+
+#[test]
+fn index_mixed_with_wildcards_and_labels() {
+    let doc = r#"{"routes": [{"legs": [{"d": 1}, {"d": 2}]}, {"legs": [{"d": 3}]}]}"#;
+    assert_matches("$.routes[0].legs.*.d", doc, &["1", "2"]);
+    assert_matches("$.routes.*.legs[0].d", doc, &["1", "3"]);
+    assert_matches("$.routes[1].legs[0].d", doc, &["3"]);
+}
+
+#[test]
+fn whitespace_and_nested_atoms() {
+    let doc = "[ 1 , [ 2 , { \"x\" : 3 } ] , 4 ]";
+    assert_matches("$[2]", doc, &["4"]);
+    assert_matches("$[1][1].x", doc, &["3"]);
+    assert_matches("$[1][1]", doc, &["{ \"x\" : 3 }"]);
+}
+
+#[test]
+fn large_indices_and_sparse_matching() {
+    let entries: Vec<String> = (0..500).map(|i| i.to_string()).collect();
+    let doc = format!("[{}]", entries.join(","));
+    assert_matches("$[499]", &doc, &["499"]);
+    assert_matches("$[500]", &doc, &[]);
+    assert_matches("$[0]", &doc, &["0"]);
+}
+
+#[test]
+fn strings_with_commas_do_not_shift_indices() {
+    let doc = r#"["a,b", "c", {"k": ","}, "d"]"#;
+    assert_matches("$[1]", doc, &["\"c\""]);
+    assert_matches("$[3]", doc, &["\"d\""]);
+}
+
+#[test]
+fn index_zero_first_item_corner_cases() {
+    assert_matches("$[0]", "[]", &[]);
+    assert_matches("$[0]", "[42]", &["42"]);
+    assert_matches("$[0]", "[[]]", &["[]"]);
+    assert_matches("$[0][0]", "[[7]]", &["7"]);
+}
+
+#[test]
+fn parser_round_trips_indices() {
+    for text in ["$[0]", "$.a[12]", "$..rows[3]", "$..[7]"] {
+        let q = Query::parse(text).unwrap();
+        assert_eq!(q.to_string(), text);
+    }
+    assert!(Query::parse("$[-1]").is_err());
+    assert!(Query::parse("$[1").is_err());
+    assert!(Query::parse("$[1x]").is_err());
+}

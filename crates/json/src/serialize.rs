@@ -1,0 +1,145 @@
+//! Serialization of [`ValueNode`] trees back to JSON text.
+
+use crate::{ValueKind, ValueNode};
+
+/// Serializes a value to compact JSON (no whitespace).
+///
+/// Raw string and number storage makes this an exact inverse of
+/// [`crate::parse`] for documents without inter-token whitespace.
+///
+/// # Examples
+///
+/// ```
+/// let doc = rsq_json::parse(br#" { "a" : [ 1 , 2 ] } "#)?;
+/// assert_eq!(rsq_json::to_string(&doc), r#"{"a":[1,2]}"#);
+/// # Ok::<(), rsq_json::ParseError>(())
+/// ```
+#[must_use]
+pub fn to_string(value: &ValueNode) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    out
+}
+
+/// Serializes a value to indented JSON (two-space indent).
+#[must_use]
+pub fn to_string_pretty(value: &ValueNode) -> String {
+    let mut out = String::new();
+    write_pretty(value, 0, &mut out);
+    out
+}
+
+fn write_value(value: &ValueNode, out: &mut String) {
+    match &value.kind {
+        ValueKind::Null => out.push_str("null"),
+        ValueKind::Bool(true) => out.push_str("true"),
+        ValueKind::Bool(false) => out.push_str("false"),
+        ValueKind::Number(n) => out.push_str(n.as_raw()),
+        ValueKind::String(raw) => {
+            out.push('"');
+            out.push_str(raw);
+            out.push('"');
+        }
+        ValueKind::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        ValueKind::Object(members) => {
+            out.push('{');
+            for (i, (key, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&key.text);
+                out.push_str("\":");
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(value: &ValueNode, indent: usize, out: &mut String) {
+    match &value.kind {
+        ValueKind::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        ValueKind::Object(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                out.push('"');
+                out.push_str(&key.text);
+                out.push_str("\": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        _ => write_value(value, out),
+    }
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_round_trip() {
+        let cases = [
+            r#"{"a":[1,2],"b":{"c":null},"d":"x\ny","e":-1.5e3,"f":true,"g":false}"#,
+            r#"[]"#,
+            r#"{}"#,
+            r#"[[[]]]"#,
+            r#""escaped \" quote""#,
+        ];
+        for text in cases {
+            let doc = parse(text.as_bytes()).unwrap();
+            assert_eq!(to_string(&doc), text);
+        }
+    }
+
+    #[test]
+    fn pretty_reparses_to_same_value() {
+        let doc = parse(br#"{"a":[1,{"b":2}],"c":[]}"#).unwrap();
+        let pretty = to_string_pretty(&doc);
+        let reparsed = parse(pretty.as_bytes()).unwrap();
+        assert_eq!(to_string(&reparsed), to_string(&doc));
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn pretty_empty_containers_stay_compact() {
+        let doc = parse(br#"{"a":[],"b":{}}"#).unwrap();
+        let pretty = to_string_pretty(&doc);
+        assert!(pretty.contains("[]") && pretty.contains("{}"));
+    }
+}

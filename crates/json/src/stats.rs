@@ -1,0 +1,213 @@
+//! Streaming document statistics (Table 3 of the paper).
+//!
+//! Computes size, maximum depth, node count, and *verbosity* — the ratio
+//! of document size to the number of nodes in the underlying tree ("the
+//! lower the verbosity, the harder it is to achieve high throughput",
+//! §5.3) — in a single scalar pass without building a DOM.
+
+/// Statistics of a JSON document, as reported in Table 3 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DocumentStats {
+    /// Document size in bytes.
+    pub size_bytes: usize,
+    /// Maximum nesting depth (an atomic document has depth 1).
+    pub max_depth: usize,
+    /// Number of nodes in the document tree (atoms, arrays, objects).
+    pub node_count: usize,
+}
+
+impl DocumentStats {
+    /// Size in megabytes (10^6 bytes, as in the paper's Table 3).
+    #[must_use]
+    pub fn size_mb(&self) -> f64 {
+        self.size_bytes as f64 / 1_000_000.0
+    }
+
+    /// Verbosity: bytes per tree node.
+    #[must_use]
+    pub fn verbosity(&self) -> f64 {
+        if self.node_count == 0 {
+            0.0
+        } else {
+            self.size_bytes as f64 / self.node_count as f64
+        }
+    }
+}
+
+/// Computes [`DocumentStats`] for a (syntactically valid) JSON document in
+/// one pass.
+///
+/// The input is assumed to be valid JSON; malformed input yields
+/// unspecified (but memory-safe) statistics.
+///
+/// # Examples
+///
+/// ```
+/// let stats = rsq_json::document_stats(br#"{"a": [1, 2]}"#);
+/// assert_eq!(stats.max_depth, 3);   // object -> array -> atom
+/// assert_eq!(stats.node_count, 4);  // the object, the array, 1, and 2
+/// ```
+#[must_use]
+pub fn document_stats(input: &[u8]) -> DocumentStats {
+    let mut depth = 0usize;
+    let mut max_depth = 0usize;
+    let mut node_count = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    // True when the previous non-whitespace, non-structural position was
+    // inside an atom already counted.
+    let mut in_atom = false;
+
+    for &b in input {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => {
+                in_string = true;
+                // A string might be an object key; keys are followed by a
+                // colon. We cannot know yet, so strings are counted lazily:
+                // count it now, and uncount if a colon follows.
+                node_count += 1;
+                in_atom = false;
+            }
+            b':' => {
+                // The preceding string was a key, not a value node.
+                node_count -= 1;
+            }
+            b'{' | b'[' => {
+                node_count += 1;
+                depth += 1;
+                max_depth = max_depth.max(depth);
+                in_atom = false;
+            }
+            b'}' | b']' => {
+                depth = depth.saturating_sub(1);
+                in_atom = false;
+            }
+            b',' => in_atom = false,
+            b' ' | b'\t' | b'\n' | b'\r' => in_atom = false,
+            _ => {
+                // Part of a number / true / false / null literal.
+                if !in_atom {
+                    node_count += 1;
+                    in_atom = true;
+                }
+            }
+        }
+    }
+    // Atoms nested in containers sit one level deeper than the container,
+    // matching `ValueNode::depth` which counts an atom as depth 1.
+    let has_atom_leaves = node_count > 0;
+    DocumentStats {
+        size_bytes: input.len(),
+        max_depth: if has_atom_leaves { depth_with_leaves(input, max_depth) } else { 0 },
+        node_count,
+    }
+}
+
+/// The DOM's notion of depth counts atoms as an extra level; a container
+/// document with any direct or nested atom inside containers at depth `d`
+/// has DOM depth `d + 1` when the deepest node is an atom. Computing this
+/// exactly in one pass: track the maximum of (container depth at each
+/// atom + 1) and container depth itself.
+fn depth_with_leaves(input: &[u8], container_max: usize) -> usize {
+    let mut depth = 0usize;
+    let mut best = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut prev_nonws: u8 = 0;
+    for &b in input {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+                prev_nonws = b'"';
+            }
+            continue;
+        }
+        match b {
+            b'"' => {
+                in_string = true;
+                // Potential atom at depth + 1; corrected below if it turns
+                // out to be a key (next non-ws char is ':').
+                best = best.max(depth + 1);
+            }
+            b'{' | b'[' => {
+                depth += 1;
+                best = best.max(depth);
+                prev_nonws = b;
+            }
+            b'}' | b']' => {
+                depth = depth.saturating_sub(1);
+                prev_nonws = b;
+            }
+            b' ' | b'\t' | b'\n' | b'\r' => {}
+            b':' | b',' => prev_nonws = b,
+            _ => {
+                best = best.max(depth + 1);
+                prev_nonws = b;
+            }
+        }
+    }
+    let _ = prev_nonws;
+    best.max(container_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn check_against_dom(text: &str) {
+        let stats = document_stats(text.as_bytes());
+        let dom = parse(text.as_bytes()).unwrap();
+        assert_eq!(stats.node_count, dom.node_count(), "node count for {text}");
+        assert_eq!(stats.max_depth, dom.depth(), "depth for {text}");
+        assert_eq!(stats.size_bytes, text.len());
+    }
+
+    #[test]
+    fn matches_dom_on_examples() {
+        for text in [
+            "42",
+            "\"str\"",
+            "[]",
+            "{}",
+            "[1, 2, 3]",
+            r#"{"a": 1}"#,
+            r#"{"a": {"b": [1, "x", {"c": null}]}, "d": true}"#,
+            r#"[[[["deep"]]]]"#,
+            r#"{"s": "a,b:c{d}[e]\" f"}"#,
+            r#"{"k1": "v1", "k2": "v2"}"#,
+        ] {
+            check_against_dom(text);
+        }
+    }
+
+    #[test]
+    fn verbosity_is_bytes_per_node() {
+        let stats = document_stats(br#"[1,2,3,4]"#);
+        assert_eq!(stats.node_count, 5);
+        assert!((stats.verbosity() - 9.0 / 5.0).abs() < 1e-9);
+        assert!((stats.size_mb() - 9e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let stats = document_stats(b"");
+        assert_eq!(stats.node_count, 0);
+        assert_eq!(stats.max_depth, 0);
+        assert_eq!(stats.verbosity(), 0.0);
+    }
+}

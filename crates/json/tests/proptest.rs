@@ -1,0 +1,90 @@
+//! Property tests for the JSON substrate: generated DOMs must round-trip
+//! through serialization and parsing, and the streaming statistics must
+//! agree with the DOM.
+
+use proptest::prelude::*;
+use rsq_json::{document_stats, parse, to_string, to_string_pretty, ValueKind, ValueNode};
+
+/// Strategy producing arbitrary JSON *text* by generating a DOM first.
+fn arb_value() -> impl Strategy<Value = ValueNode> {
+    let leaf = prop_oneof![
+        Just(ValueKind::Null),
+        any::<bool>().prop_map(ValueKind::Bool),
+        (-1000i64..1000).prop_map(|n| ValueKind::Number(rsq_json::Number::from_raw(n.to_string()))),
+        "[a-z :,{}\\[\\]]{0,12}".prop_map(|s| {
+            let mut raw = String::new();
+            rsq_json::escape_into(&s, &mut raw);
+            ValueKind::String(raw)
+        }),
+    ]
+    .prop_map(|kind| ValueNode {
+        kind,
+        span: rsq_json::Span { start: 0, end: 0 },
+    });
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(|items| ValueNode {
+                kind: ValueKind::Array(items),
+                span: rsq_json::Span { start: 0, end: 0 },
+            }),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6).prop_map(|members| {
+                ValueNode {
+                    kind: ValueKind::Object(
+                        members
+                            .into_iter()
+                            .map(|(k, v)| {
+                                (
+                                    rsq_json::Key {
+                                        text: k,
+                                        span: rsq_json::Span { start: 0, end: 0 },
+                                    },
+                                    v,
+                                )
+                            })
+                            .collect(),
+                    ),
+                    span: rsq_json::Span { start: 0, end: 0 },
+                }
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn serialize_parse_round_trip(value in arb_value()) {
+        let text = to_string(&value);
+        let reparsed = parse(text.as_bytes()).unwrap();
+        prop_assert_eq!(to_string(&reparsed), text);
+    }
+
+    #[test]
+    fn pretty_and_compact_agree(value in arb_value()) {
+        let compact = to_string(&value);
+        let pretty = to_string_pretty(&value);
+        let from_pretty = parse(pretty.as_bytes()).unwrap();
+        prop_assert_eq!(to_string(&from_pretty), compact);
+    }
+
+    #[test]
+    fn stats_agree_with_dom(value in arb_value()) {
+        let text = to_string(&value);
+        let dom = parse(text.as_bytes()).unwrap();
+        let stats = document_stats(text.as_bytes());
+        prop_assert_eq!(stats.node_count, dom.node_count());
+        prop_assert_eq!(stats.max_depth, dom.depth());
+        prop_assert_eq!(stats.size_bytes, text.len());
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse(&bytes);
+    }
+
+    #[test]
+    fn unescape_escape_round_trip(s in "\\PC{0,32}") {
+        let mut raw = String::new();
+        rsq_json::escape_into(&s, &mut raw);
+        prop_assert_eq!(rsq_json::unescape(&raw).unwrap(), s);
+    }
+}

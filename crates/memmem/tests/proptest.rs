@@ -1,0 +1,62 @@
+//! Property tests: the SIMD searcher must agree with a naive scalar search
+//! on arbitrary haystacks and needles, including needles sampled from the
+//! haystack (guaranteeing matches deep in the vector loop).
+
+use proptest::prelude::*;
+use rsq_memmem::Finder;
+
+fn naive_all(haystack: &[u8], needle: &[u8]) -> Vec<usize> {
+    if needle.is_empty() {
+        return (0..=haystack.len()).collect();
+    }
+    if haystack.len() < needle.len() {
+        return Vec::new();
+    }
+    (0..=haystack.len() - needle.len())
+        .filter(|&i| &haystack[i..i + needle.len()] == needle)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn all_matches_agree_with_naive(
+        hay in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..400),
+        needle in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..6),
+    ) {
+        let f = Finder::new(&needle);
+        let got: Vec<usize> = f.find_iter(&hay).collect();
+        prop_assert_eq!(got, naive_all(&hay, &needle));
+    }
+
+    #[test]
+    fn needle_sampled_from_haystack_is_found(
+        hay in proptest::collection::vec(any::<u8>(), 10..600),
+        start in 0usize..500,
+        len in 1usize..10,
+    ) {
+        let start = start % hay.len();
+        let len = len.min(hay.len() - start);
+        let needle = hay[start..start + len].to_vec();
+        let f = Finder::new(&needle);
+        let pos = f.find(&hay);
+        prop_assert!(pos.is_some());
+        let pos = pos.unwrap();
+        prop_assert!(pos <= start);
+        prop_assert_eq!(&hay[pos..pos + len], needle.as_slice());
+    }
+
+    #[test]
+    fn find_from_never_reports_before_start(
+        hay in proptest::collection::vec(prop_oneof![Just(b'x'), Just(b'y')], 0..300),
+        start in 0usize..320,
+    ) {
+        let f = Finder::new(b"xy");
+        if let Some(pos) = f.find_from(&hay, start) {
+            prop_assert!(pos >= start);
+            prop_assert_eq!(&hay[pos..pos + 2], b"xy");
+        } else if start < hay.len() {
+            // no match after start: verify naively
+            prop_assert!(naive_all(&hay, b"xy").iter().all(|&p| p < start));
+        }
+    }
+}

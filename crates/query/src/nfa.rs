@@ -1,0 +1,234 @@
+//! Nondeterministic query automaton (§3.1, Figure 2 top).
+//!
+//! States correspond to selector positions; state `i` *advances* to `i + 1`
+//! when its selector matches the next label on the path, and *recursive*
+//! states (descendant selectors) additionally loop on every label. State
+//! `selectors.len()` is the accepting state.
+
+use crate::parser::{Query, Selector};
+
+/// Interned label index into [`Nfa::labels`].
+pub(crate) type LabelId = u16;
+
+/// The symbol a state advances on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Advance {
+    /// Advance only on this concrete label.
+    Label(LabelId),
+    /// Advance only on this array-entry index.
+    Index(IndexId),
+    /// Advance on every symbol (wildcard selectors).
+    Any,
+}
+
+/// Interned index position into [`Nfa::indices`].
+pub(crate) type IndexId = u16;
+
+/// A symbol of the path alphabet during determinization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Symbol {
+    /// A concrete query label.
+    Label(LabelId),
+    /// A label not mentioned in the query.
+    OtherLabel,
+    /// A concrete query array index.
+    Index(IndexId),
+    /// An array index not mentioned in the query.
+    OtherIndex,
+}
+
+/// One NFA state (a selector position).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct NfaState {
+    /// Recursive states loop on every label (descendant selectors).
+    pub recursive: bool,
+    /// The advancing transition to the next state.
+    pub advance: Advance,
+}
+
+/// The query NFA.
+#[derive(Clone, Debug)]
+pub(crate) struct Nfa {
+    /// Unique labels mentioned in the query, as raw bytes.
+    pub labels: Vec<Vec<u8>>,
+    /// Unique array indices mentioned in the query.
+    pub indices: Vec<u64>,
+    /// One state per selector; the accepting state is implicit at index
+    /// `states.len()`.
+    pub states: Vec<NfaState>,
+}
+
+impl Nfa {
+    /// Builds the NFA for a query, interning labels and indices.
+    pub(crate) fn from_query(query: &Query) -> Nfa {
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut indices: Vec<u64> = Vec::new();
+        let mut intern = |text: &str| -> LabelId {
+            let bytes = text.as_bytes();
+            match labels.iter().position(|l| l == bytes) {
+                Some(i) => i as LabelId,
+                None => {
+                    labels.push(bytes.to_vec());
+                    (labels.len() - 1) as LabelId
+                }
+            }
+        };
+        let mut intern_index = |n: u64| -> IndexId {
+            match indices.iter().position(|&i| i == n) {
+                Some(i) => i as IndexId,
+                None => {
+                    indices.push(n);
+                    (indices.len() - 1) as IndexId
+                }
+            }
+        };
+        let states = query
+            .selectors()
+            .iter()
+            .map(|sel| match sel {
+                Selector::Child(l) => NfaState {
+                    recursive: false,
+                    advance: Advance::Label(intern(l)),
+                },
+                Selector::ChildWildcard => NfaState {
+                    recursive: false,
+                    advance: Advance::Any,
+                },
+                Selector::Descendant(l) => NfaState {
+                    recursive: true,
+                    advance: Advance::Label(intern(l)),
+                },
+                Selector::DescendantWildcard => NfaState {
+                    recursive: true,
+                    advance: Advance::Any,
+                },
+                Selector::Index(n) => NfaState {
+                    recursive: false,
+                    advance: Advance::Index(intern_index(*n)),
+                },
+                Selector::DescendantIndex(n) => NfaState {
+                    recursive: true,
+                    advance: Advance::Index(intern_index(*n)),
+                },
+            })
+            .collect();
+        Nfa { labels, indices, states }
+    }
+
+    /// Index of the accepting state.
+    pub(crate) fn accept(&self) -> u16 {
+        self.states.len() as u16
+    }
+
+    /// Number of distinct labels (the concrete part of the alphabet; the
+    /// full alphabet adds the query indices and one "other" symbol each
+    /// for labels and indices outside the query).
+    pub(crate) fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of distinct array indices mentioned in the query.
+    pub(crate) fn index_count(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Computes the successor set of a sorted NFA state set over a symbol
+    /// of the path alphabet.
+    ///
+    /// Applies the **greedy match property**: all states below the highest
+    /// recursive state in the result are dropped (sound under node
+    /// semantics; see §3.1).
+    pub(crate) fn successors(&self, set: &[u16], symbol: Symbol) -> Vec<u16> {
+        let mut out: Vec<u16> = Vec::with_capacity(set.len() + 1);
+        let push = |s: u16, out: &mut Vec<u16>| {
+            if let Err(i) = out.binary_search(&s) {
+                out.insert(i, s);
+            }
+        };
+        for &s in set {
+            if s == self.accept() {
+                continue; // the accepting state has no outgoing transitions
+            }
+            let state = self.states[s as usize];
+            if state.recursive {
+                push(s, &mut out);
+            }
+            let advances = match state.advance {
+                Advance::Any => true,
+                Advance::Label(l) => symbol == Symbol::Label(l),
+                Advance::Index(i) => symbol == Symbol::Index(i),
+            };
+            if advances {
+                push(s + 1, &mut out);
+            }
+        }
+        // Greedy match: forget everything below the deepest recursive state.
+        if let Some(&r) = out
+            .iter()
+            .rev()
+            .find(|&&s| s < self.accept() && self.states[s as usize].recursive)
+        {
+            out.retain(|&s| s >= r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nfa(text: &str) -> Nfa {
+        Nfa::from_query(&Query::parse(text).unwrap())
+    }
+
+    #[test]
+    fn interns_duplicate_labels() {
+        let n = nfa("$..a.b..a");
+        assert_eq!(n.label_count(), 2);
+        assert_eq!(n.labels[0], b"a");
+        assert_eq!(n.labels[1], b"b");
+    }
+
+    #[test]
+    fn recursive_states_marked() {
+        let n = nfa("$.a..b.*..*");
+        let rec: Vec<bool> = n.states.iter().map(|s| s.recursive).collect();
+        assert_eq!(rec, [false, true, false, true]);
+    }
+
+    #[test]
+    fn successors_direct_label() {
+        let n = nfa("$.a.b");
+        assert_eq!(n.successors(&[0], Symbol::Label(0)), vec![1]);
+        assert_eq!(n.successors(&[0], Symbol::Label(1)), Vec::<u16>::new());
+        assert_eq!(n.successors(&[0], Symbol::OtherLabel), Vec::<u16>::new());
+        assert_eq!(n.successors(&[1], Symbol::Label(1)), vec![2]); // accept
+    }
+
+    #[test]
+    fn successors_recursive_loops() {
+        let n = nfa("$..a");
+        // ..a loops on everything and advances on a.
+        assert_eq!(n.successors(&[0], Symbol::OtherIndex), vec![0]);
+        assert_eq!(n.successors(&[0], Symbol::Label(0)), vec![0, 1]);
+        // accept has no outgoing transitions, recursive 0 persists
+        assert_eq!(n.successors(&[0, 1], Symbol::OtherLabel), vec![0]);
+    }
+
+    #[test]
+    fn greedy_match_drops_earlier_states() {
+        // $..a..b — once ..b (state 1) is reached, state 0 is dropped.
+        let n = nfa("$..a..b");
+        assert_eq!(n.successors(&[0], Symbol::Label(0)), vec![1]);
+        assert_eq!(n.successors(&[0, 1], Symbol::Label(0)), vec![1]);
+    }
+
+    #[test]
+    fn greedy_match_keeps_direct_states_after_recursive() {
+        // $..a.b — state 1 (.b) sits after the recursive state 0 and is kept.
+        let n = nfa("$..a.b");
+        assert_eq!(n.successors(&[0], Symbol::Label(0)), vec![0, 1]);
+        assert_eq!(n.successors(&[0, 1], Symbol::Label(1)), vec![0, 2]);
+    }
+}

@@ -1,0 +1,467 @@
+//! Textual JSONPath parser for the supported fragment.
+
+use std::fmt;
+
+/// A single JSONPath selector.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Selector {
+    /// `.ℓ` / `['ℓ']` — the value of property `ℓ` of the current element.
+    Child(String),
+    /// `.*` / `[*]` — every direct subdocument of the current element.
+    ChildWildcard,
+    /// `..ℓ` — the value of property `ℓ` in the current element or any of
+    /// its subdocuments.
+    Descendant(String),
+    /// `..*` — every node strictly below the current element (extension
+    /// beyond the paper's grammar).
+    DescendantWildcard,
+    /// `[n]` — the `n`-th entry of the current element if it is an array
+    /// (the paper's §6 future-work feature, implemented here).
+    Index(u64),
+    /// `..[n]` — the `n`-th entry of every array in the current element's
+    /// subtree, the element included.
+    DescendantIndex(u64),
+}
+
+impl Selector {
+    /// Returns `true` for descendant selectors (`..ℓ`, `..*`, `..[n]`).
+    #[must_use]
+    pub fn is_descendant(&self) -> bool {
+        matches!(
+            self,
+            Selector::Descendant(_) | Selector::DescendantWildcard | Selector::DescendantIndex(_)
+        )
+    }
+
+    /// The label this selector matches, if it is label-specific.
+    #[must_use]
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            Selector::Child(l) | Selector::Descendant(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Selector::Child(l) => write!(f, ".{l}"),
+            Selector::ChildWildcard => f.write_str(".*"),
+            Selector::Descendant(l) => write!(f, "..{l}"),
+            Selector::DescendantWildcard => f.write_str("..*"),
+            Selector::Index(n) => write!(f, "[{n}]"),
+            Selector::DescendantIndex(n) => write!(f, "..[{n}]"),
+        }
+    }
+}
+
+/// A parsed JSONPath query: `$` followed by a sequence of selectors.
+///
+/// Labels are stored and matched as *raw bytes* as written in the query;
+/// no escape decoding is applied. This matches the byte-comparison label
+/// semantics of the paper's engine.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Query {
+    selectors: Vec<Selector>,
+}
+
+/// What went wrong while parsing a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The query does not start with `$`.
+    MissingRoot,
+    /// A selector did not follow the grammar.
+    InvalidSelector,
+    /// A bracket selector was not terminated.
+    UnterminatedBracket,
+    /// An empty label (`.`, `..`, `['']`) was supplied.
+    EmptyLabel,
+    /// Unexpected trailing characters.
+    TrailingCharacters,
+}
+
+/// Error returned by [`Query::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Byte offset in the query string where the error was detected.
+    pub offset: usize,
+    /// The kind of error.
+    pub kind: ParseErrorKind,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            ParseErrorKind::MissingRoot => "query must start with '$'",
+            ParseErrorKind::InvalidSelector => "invalid selector",
+            ParseErrorKind::UnterminatedBracket => "unterminated bracket selector",
+            ParseErrorKind::EmptyLabel => "empty label",
+            ParseErrorKind::TrailingCharacters => "unexpected trailing characters",
+        };
+        write!(f, "JSONPath parse error at offset {}: {}", self.offset, what)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+impl Query {
+    /// Parses a JSONPath query in the supported fragment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryParseError`] when the text does not conform to the
+    /// grammar `$ (.ℓ | .* | ..ℓ | ..* | [*] | ['ℓ'] | ["ℓ"])*`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rsq_query::{Query, Selector};
+    ///
+    /// let q = Query::parse("$.products[*]..id")?;
+    /// assert_eq!(q.selectors().len(), 3);
+    /// assert_eq!(q.selectors()[1], Selector::ChildWildcard);
+    /// # Ok::<(), rsq_query::QueryParseError>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, QueryParseError> {
+        let bytes = text.as_bytes();
+        if bytes.first() != Some(&b'$') {
+            return Err(QueryParseError {
+                offset: 0,
+                kind: ParseErrorKind::MissingRoot,
+            });
+        }
+        let mut selectors = Vec::new();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'.' if bytes.get(i + 1) == Some(&b'.') => {
+                    // Descendant selector.
+                    i += 2;
+                    if bytes.get(i) == Some(&b'*') {
+                        selectors.push(Selector::DescendantWildcard);
+                        i += 1;
+                    } else if bytes.get(i) == Some(&b'[') {
+                        let (sel, next) = parse_bracket(text, i, true)?;
+                        selectors.push(sel);
+                        i = next;
+                    } else {
+                        let (label, next) = parse_member_name(text, i)?;
+                        selectors.push(Selector::Descendant(label));
+                        i = next;
+                    }
+                }
+                b'.' => {
+                    i += 1;
+                    if bytes.get(i) == Some(&b'*') {
+                        selectors.push(Selector::ChildWildcard);
+                        i += 1;
+                    } else {
+                        let (label, next) = parse_member_name(text, i)?;
+                        selectors.push(Selector::Child(label));
+                        i = next;
+                    }
+                }
+                b'[' => {
+                    let (sel, next) = parse_bracket(text, i, false)?;
+                    selectors.push(sel);
+                    i = next;
+                }
+                _ => {
+                    return Err(QueryParseError {
+                        offset: i,
+                        kind: ParseErrorKind::TrailingCharacters,
+                    })
+                }
+            }
+        }
+        Ok(Query { selectors })
+    }
+
+    /// Builds a query directly from selectors (used by tests and by random
+    /// query generation in the differential test suite).
+    #[must_use]
+    pub fn from_selectors(selectors: Vec<Selector>) -> Self {
+        Query { selectors }
+    }
+
+    /// The selectors of the query, in order.
+    #[must_use]
+    pub fn selectors(&self) -> &[Selector] {
+        &self.selectors
+    }
+
+    /// Returns `true` if the query contains a descendant selector.
+    #[must_use]
+    pub fn has_descendants(&self) -> bool {
+        self.selectors.iter().any(Selector::is_descendant)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("$")?;
+        for s in &self.selectors {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses a dotted member name starting at `i`; returns the label and the
+/// index just past it.
+fn parse_member_name(text: &str, i: usize) -> Result<(String, usize), QueryParseError> {
+    let bytes = text.as_bytes();
+    let start = i;
+    let mut end = i;
+    while end < bytes.len() {
+        let b = bytes[end];
+        let ok = b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b >= 0x80;
+        if !ok {
+            break;
+        }
+        end += 1;
+    }
+    if end == start {
+        return Err(QueryParseError {
+            offset: i,
+            kind: ParseErrorKind::EmptyLabel,
+        });
+    }
+    Ok((text[start..end].to_owned(), end))
+}
+
+/// Parses a bracket selector starting at the `[` at index `i`.
+fn parse_bracket(
+    text: &str,
+    i: usize,
+    descendant: bool,
+) -> Result<(Selector, usize), QueryParseError> {
+    let bytes = text.as_bytes();
+    debug_assert_eq!(bytes[i], b'[');
+    let mut j = i + 1;
+    // `[*]`
+    if bytes.get(j) == Some(&b'*') {
+        if bytes.get(j + 1) != Some(&b']') {
+            return Err(QueryParseError {
+                offset: j + 1,
+                kind: ParseErrorKind::UnterminatedBracket,
+            });
+        }
+        let sel = if descendant {
+            Selector::DescendantWildcard
+        } else {
+            Selector::ChildWildcard
+        };
+        return Ok((sel, j + 2));
+    }
+    // `[n]` — array index selector.
+    if bytes.get(j).is_some_and(u8::is_ascii_digit) {
+        let start = j;
+        while bytes.get(j).is_some_and(u8::is_ascii_digit) {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b']') {
+            return Err(QueryParseError {
+                offset: j,
+                kind: ParseErrorKind::UnterminatedBracket,
+            });
+        }
+        let n: u64 = text[start..j].parse().map_err(|_| QueryParseError {
+            offset: start,
+            kind: ParseErrorKind::InvalidSelector,
+        })?;
+        let sel = if descendant {
+            Selector::DescendantIndex(n)
+        } else {
+            Selector::Index(n)
+        };
+        return Ok((sel, j + 1));
+    }
+    // `['label']` or `["label"]`
+    let quote = match bytes.get(j) {
+        Some(&q @ (b'\'' | b'"')) => q,
+        _ => {
+            return Err(QueryParseError {
+                offset: j,
+                kind: ParseErrorKind::InvalidSelector,
+            })
+        }
+    };
+    j += 1;
+    let start = j;
+    while j < bytes.len() && bytes[j] != quote {
+        if bytes[j] == b'\\' {
+            j += 1; // skip the escaped character
+        }
+        j += 1;
+    }
+    if j >= bytes.len() {
+        return Err(QueryParseError {
+            offset: i,
+            kind: ParseErrorKind::UnterminatedBracket,
+        });
+    }
+    let label = text[start..j].to_owned();
+    if label.is_empty() {
+        return Err(QueryParseError {
+            offset: start,
+            kind: ParseErrorKind::EmptyLabel,
+        });
+    }
+    j += 1; // closing quote
+    if bytes.get(j) != Some(&b']') {
+        return Err(QueryParseError {
+            offset: j,
+            kind: ParseErrorKind::UnterminatedBracket,
+        });
+    }
+    let sel = if descendant {
+        Selector::Descendant(label)
+    } else {
+        Selector::Child(label)
+    };
+    Ok((sel, j + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_root_only() {
+        let q = Query::parse("$").unwrap();
+        assert!(q.selectors().is_empty());
+        assert!(!q.has_descendants());
+        assert_eq!(q.to_string(), "$");
+    }
+
+    #[test]
+    fn parses_child_chain() {
+        let q = Query::parse("$.a.b.c").unwrap();
+        assert_eq!(
+            q.selectors(),
+            [
+                Selector::Child("a".into()),
+                Selector::Child("b".into()),
+                Selector::Child("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_paper_queries() {
+        // All queries from Tables 4–6 of the paper must parse.
+        for text in [
+            "$.products.*.categoryPath.*.id",
+            "$.products[*].categoryPath[*].id",
+            "$.products.*.videoChapters.*.chapter",
+            "$.products.*.videoChapters",
+            "$.*.routes.*.legs.*.steps.*.distance.text",
+            "$.*.available_travel_modes",
+            "$.meta.view.columns.*.name",
+            "$.data.*.*.*",
+            "$.data[*][*][*]",
+            "$.*.entities.urls.*.url",
+            "$.*.text",
+            "$.items.*.bestMarketplacePrice.price",
+            "$.items.*.name",
+            "$.*.claims.P150.*.mainsnak.property",
+            "$..categoryPath..id",
+            "$..videoChapters..chapter",
+            "$..videoChapters",
+            "$..available_travel_modes",
+            "$..bestMarketplacePrice.price",
+            "$..name",
+            "$..P150..mainsnak.property",
+            "$..decl.name",
+            "$..inner..inner..type.qualType",
+            "$..DOI",
+            "$.items.*.author.*.affiliation.*.name",
+            "$..author..affiliation..name",
+            "$.search_metadata.count",
+            "$..count",
+            "$..search_metadata.count",
+            "$..a.b.*.c.*",
+        ] {
+            let q = Query::parse(text).expect(text);
+            assert!(!q.selectors().is_empty(), "{text}");
+        }
+    }
+
+    #[test]
+    fn dotted_and_bracket_forms_agree() {
+        assert_eq!(
+            Query::parse("$.products[*].id").unwrap(),
+            Query::parse("$.products.*.id").unwrap()
+        );
+        assert_eq!(
+            Query::parse("$['products']").unwrap(),
+            Query::parse("$.products").unwrap()
+        );
+        assert_eq!(
+            Query::parse("$[\"products\"]").unwrap(),
+            Query::parse("$.products").unwrap()
+        );
+    }
+
+    #[test]
+    fn parses_descendant_wildcard_extension() {
+        let q = Query::parse("$..*").unwrap();
+        assert_eq!(q.selectors(), [Selector::DescendantWildcard]);
+        assert!(q.has_descendants());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in ["$", "$.a", "$.a.*..b..*", "$..deep-label_1"] {
+            let q = Query::parse(text).unwrap();
+            assert_eq!(q.to_string(), text);
+            assert_eq!(Query::parse(&q.to_string()).unwrap(), q);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        use ParseErrorKind::*;
+        let cases: &[(&str, ParseErrorKind)] = &[
+            ("", MissingRoot),
+            ("a", MissingRoot),
+            ("$.", EmptyLabel),
+            ("$..", EmptyLabel),
+            ("$.a.", EmptyLabel),
+            ("$x", TrailingCharacters),
+            ("$.a b", TrailingCharacters),
+            ("$['a'", UnterminatedBracket),
+            ("$['a]", UnterminatedBracket),
+            ("$[*", UnterminatedBracket),
+            ("$[a]", InvalidSelector),
+            ("$[''']", EmptyLabel),
+            ("$['']", EmptyLabel),
+        ];
+        for (text, kind) in cases {
+            let err = Query::parse(text).expect_err(text);
+            assert_eq!(&err.kind, kind, "{text}");
+        }
+    }
+
+    #[test]
+    fn unicode_labels_parse() {
+        let q = Query::parse("$..żółć").unwrap();
+        assert_eq!(q.selectors(), [Selector::Descendant("żółć".into())]);
+    }
+
+    #[test]
+    fn selector_accessors() {
+        assert!(Selector::Descendant("x".into()).is_descendant());
+        assert!(!Selector::Child("x".into()).is_descendant());
+        assert_eq!(Selector::Child("x".into()).label(), Some("x"));
+        assert_eq!(Selector::ChildWildcard.label(), None);
+    }
+
+    #[test]
+    fn error_display_mentions_offset() {
+        let err = Query::parse("$.a.").unwrap_err();
+        assert!(err.to_string().contains("offset 4"));
+    }
+}

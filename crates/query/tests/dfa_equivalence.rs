@@ -1,0 +1,156 @@
+//! The compiled minimal DFA (built with the greedy-match subset reduction)
+//! must recognize exactly the same language as a naive full-subset NFA
+//! simulation of the query, on arbitrary path words over labels *and*
+//! array indices. This validates the greedy match property (§3.1), the
+//! minimization, and the array-index alphabet extension.
+
+use proptest::prelude::*;
+use rsq_query::{Automaton, PathSymbol, Query, Selector};
+
+/// A symbol of a generated path word.
+#[derive(Clone, Copy, Debug)]
+enum Sym {
+    Label(&'static str),
+    Index(u64),
+}
+
+/// Naive NFA simulation: full subsets, no greedy reduction.
+fn nfa_accepts(query: &Query, word: &[Sym]) -> bool {
+    let sels = query.selectors();
+    let accept = sels.len();
+    let mut set: Vec<usize> = vec![0.min(accept)];
+    for &symbol in word {
+        let mut next: Vec<usize> = Vec::new();
+        for &s in &set {
+            if s == accept {
+                continue;
+            }
+            let (recursive, advances) = match (&sels[s], symbol) {
+                (Selector::Child(l), Sym::Label(x)) => (false, l == x),
+                (Selector::Child(_), Sym::Index(_)) => (false, false),
+                (Selector::ChildWildcard, _) => (false, true),
+                (Selector::Index(n), Sym::Index(k)) => (false, *n == k),
+                (Selector::Index(_), Sym::Label(_)) => (false, false),
+                (Selector::Descendant(l), Sym::Label(x)) => (true, l == x),
+                (Selector::Descendant(_), Sym::Index(_)) => (true, false),
+                (Selector::DescendantWildcard, _) => (true, true),
+                (Selector::DescendantIndex(n), Sym::Index(k)) => (true, *n == k),
+                (Selector::DescendantIndex(_), Sym::Label(_)) => (true, false),
+            };
+            if recursive {
+                next.push(s);
+            }
+            if advances {
+                next.push(s + 1);
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        set = next;
+    }
+    set.contains(&accept)
+}
+
+fn dfa_accepts(automaton: &Automaton, word: &[Sym]) -> bool {
+    let mut state = automaton.initial_state();
+    for &symbol in word {
+        let sym = match symbol {
+            Sym::Label(l) => PathSymbol::Label(l.as_bytes()),
+            Sym::Index(n) => PathSymbol::Index(n),
+        };
+        state = automaton.transition(state, sym);
+    }
+    automaton.is_accepting(state)
+}
+
+fn arb_selector() -> impl Strategy<Value = Selector> {
+    let label = prop_oneof![Just("a"), Just("b"), Just("c")];
+    prop_oneof![
+        3 => label.clone().prop_map(|l| Selector::Child(l.to_owned())),
+        2 => Just(Selector::ChildWildcard),
+        3 => label.prop_map(|l| Selector::Descendant(l.to_owned())),
+        1 => Just(Selector::DescendantWildcard),
+        2 => prop_oneof![Just(0u64), Just(1), Just(5)].prop_map(Selector::Index),
+        1 => prop_oneof![Just(0u64), Just(1)].prop_map(Selector::DescendantIndex),
+    ]
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<Sym>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(Sym::Label("a")),
+            Just(Sym::Label("b")),
+            Just(Sym::Label("c")),
+            Just(Sym::Label("z")), // label outside every query
+            Just(Sym::Index(0)),
+            Just(Sym::Index(1)),
+            Just(Sym::Index(5)),
+            Just(Sym::Index(7)), // index outside every query
+        ],
+        0..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn dfa_equals_nfa(
+        selectors in proptest::collection::vec(arb_selector(), 0..6),
+        words in proptest::collection::vec(arb_word(), 1..20),
+    ) {
+        let query = Query::from_selectors(selectors);
+        let automaton = Automaton::compile(&query).unwrap();
+        for word in &words {
+            prop_assert_eq!(
+                dfa_accepts(&automaton, word),
+                nfa_accepts(&query, word),
+                "query {} word {:?}",
+                query,
+                word
+            );
+        }
+    }
+
+    #[test]
+    fn rejecting_states_never_recover(
+        selectors in proptest::collection::vec(arb_selector(), 1..5),
+        word in arb_word(),
+    ) {
+        let query = Query::from_selectors(selectors);
+        let automaton = Automaton::compile(&query).unwrap();
+        let mut state = automaton.initial_state();
+        let mut rejected = false;
+        for &symbol in &word {
+            let sym = match symbol {
+                Sym::Label(l) => PathSymbol::Label(l.as_bytes()),
+                Sym::Index(n) => PathSymbol::Index(n),
+            };
+            state = automaton.transition(state, sym);
+            if rejected {
+                prop_assert!(automaton.is_rejecting(state));
+            }
+            rejected |= automaton.is_rejecting(state);
+        }
+    }
+
+    #[test]
+    fn internal_states_cannot_accept_next(
+        selectors in proptest::collection::vec(arb_selector(), 1..5),
+        word in arb_word(),
+    ) {
+        let query = Query::from_selectors(selectors);
+        let automaton = Automaton::compile(&query).unwrap();
+        let mut state = automaton.initial_state();
+        for &symbol in &word {
+            let was_internal = automaton.is_internal(state);
+            let sym = match symbol {
+                Sym::Label(l) => PathSymbol::Label(l.as_bytes()),
+                Sym::Index(n) => PathSymbol::Index(n),
+            };
+            state = automaton.transition(state, sym);
+            if was_internal {
+                prop_assert!(!automaton.is_accepting(state));
+            }
+        }
+    }
+}

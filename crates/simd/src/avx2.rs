@@ -1,0 +1,217 @@
+//! AVX2 implementations of the block primitives and superblock kernels.
+//!
+//! Every function in this module is compiled with `target_feature(avx2)`
+//! (plus `pclmulqdq` where needed) and must only be called after runtime
+//! feature detection — [`crate::Simd`] guarantees this. Functions are
+//! `#[inline]` so they fuse into the superblock kernels below, which exist
+//! to amortize the (uninlinable) dispatch call from feature-agnostic code
+//! over 256 bytes instead of 64.
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::groups::TablePair;
+use crate::quotes::{quotes_from_masks, QuoteState};
+use crate::{Block, Superblock, BLOCK_SIZE, SUPERBLOCK_BLOCKS};
+use core::arch::x86_64::*;
+
+/// Positions in `block` equal to `byte`, as a 64-bit mask.
+///
+/// # Safety
+///
+/// The CPU must support AVX2.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn eq_mask(block: &Block, byte: u8) -> u64 {
+    eq_mask_ptr(block.as_ptr(), _mm256_set1_epi8(byte as i8))
+}
+
+/// Equality mask for 64 bytes at `ptr` against a pre-broadcast needle.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn eq_mask_ptr(ptr: *const u8, needle: __m256i) -> u64 {
+    let lo = _mm256_loadu_si256(ptr.cast());
+    let hi = _mm256_loadu_si256(ptr.add(32).cast());
+    let lo_mask = _mm256_movemask_epi8(_mm256_cmpeq_epi8(lo, needle)) as u32;
+    let hi_mask = _mm256_movemask_epi8(_mm256_cmpeq_epi8(hi, needle)) as u32;
+    u64::from(lo_mask) | (u64::from(hi_mask) << 32)
+}
+
+/// Equality masks of one block against two needles in a single call.
+///
+/// # Safety
+///
+/// The CPU must support AVX2.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn eq_mask2(block: &Block, a: u8, b: u8) -> (u64, u64) {
+    let na = _mm256_set1_epi8(a as i8);
+    let nb = _mm256_set1_epi8(b as i8);
+    (eq_mask_ptr(block.as_ptr(), na), eq_mask_ptr(block.as_ptr(), nb))
+}
+
+/// Broadcasts a 16-byte table to both 128-bit lanes of a 256-bit vector.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn broadcast_table(table: &[u8; 16]) -> __m256i {
+    let t = _mm_loadu_si128(table.as_ptr().cast());
+    _mm256_broadcastsi128_si256(t)
+}
+
+/// The paper's 5-instruction non-overlapping-groups classification for one
+/// 32-byte vector: two shuffles, a simulated per-byte right shift, and a
+/// byte equality compare.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn lookup_eq_vec(src: __m256i, ltab: __m256i, utab: __m256i) -> __m256i {
+    let usrc = _mm256_and_si256(_mm256_srli_epi16::<4>(src), _mm256_set1_epi8(0x0F));
+    // Bytes with the high bit set zero their lane in `llookup`; since group
+    // ids are >= 1 and the utab filler is 0xFE, such bytes never compare
+    // equal — exactly the "upper nibbles of b are zeroed" caveat of §4.1.
+    let llookup = _mm256_shuffle_epi8(ltab, src);
+    let ulookup = _mm256_shuffle_epi8(utab, usrc);
+    _mm256_cmpeq_epi8(llookup, ulookup)
+}
+
+/// The few-groups variant: OR the lookups and compare against all-ones.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn lookup_or_vec(src: __m256i, ltab: __m256i, utab: __m256i) -> __m256i {
+    let usrc = _mm256_and_si256(_mm256_srli_epi16::<4>(src), _mm256_set1_epi8(0x0F));
+    let llookup = _mm256_shuffle_epi8(ltab, src);
+    let ulookup = _mm256_shuffle_epi8(utab, usrc);
+    let lookup = _mm256_or_si256(llookup, ulookup);
+    _mm256_cmpeq_epi8(lookup, _mm256_set1_epi8(-1))
+}
+
+/// Non-overlapping-groups classification of a 64-byte block.
+///
+/// # Safety
+///
+/// The CPU must support AVX2.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn lookup_eq_mask(block: &Block, tables: &TablePair) -> u64 {
+    let ltab = broadcast_table(&tables.ltab);
+    let utab = broadcast_table(&tables.utab);
+    let lo = _mm256_loadu_si256(block.as_ptr().cast());
+    let hi = _mm256_loadu_si256(block.as_ptr().add(32).cast());
+    let lo_mask = _mm256_movemask_epi8(lookup_eq_vec(lo, ltab, utab)) as u32;
+    let hi_mask = _mm256_movemask_epi8(lookup_eq_vec(hi, ltab, utab)) as u32;
+    u64::from(lo_mask) | (u64::from(hi_mask) << 32)
+}
+
+/// Few-groups classification of a 64-byte block.
+///
+/// # Safety
+///
+/// The CPU must support AVX2.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn lookup_or_mask(block: &Block, tables: &TablePair) -> u64 {
+    let ltab = broadcast_table(&tables.ltab);
+    let utab = broadcast_table(&tables.utab);
+    let lo = _mm256_loadu_si256(block.as_ptr().cast());
+    let hi = _mm256_loadu_si256(block.as_ptr().add(32).cast());
+    let lo_mask = _mm256_movemask_epi8(lookup_or_vec(lo, ltab, utab)) as u32;
+    let hi_mask = _mm256_movemask_epi8(lookup_or_vec(hi, ltab, utab)) as u32;
+    u64::from(lo_mask) | (u64::from(hi_mask) << 32)
+}
+
+/// Prefix XOR via carry-less multiplication by all-ones (§4.2).
+///
+/// # Safety
+///
+/// The CPU must support PCLMULQDQ (and SSE2, which is baseline on x86-64).
+#[inline]
+#[target_feature(enable = "pclmulqdq")]
+pub(crate) unsafe fn prefix_xor_clmul(m: u64) -> u64 {
+    let v = _mm_set_epi64x(0, m as i64);
+    let ones = _mm_set1_epi8(-1);
+    let product = _mm_clmulepi64_si128::<0>(v, ones);
+    _mm_cvtsi128_si64(product) as u64
+}
+
+/// Quote-classifies a 256-byte superblock: per 64-byte block, the
+/// inside-string mask and the quote state *after* it.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 and PCLMULQDQ.
+#[inline]
+#[target_feature(enable = "avx2", enable = "pclmulqdq")]
+pub(crate) unsafe fn quotes4_clmul(
+    chunk: &Superblock,
+    state: &mut QuoteState,
+) -> ([u64; SUPERBLOCK_BLOCKS], [QuoteState; SUPERBLOCK_BLOCKS]) {
+    let slash = _mm256_set1_epi8(b'\\' as i8);
+    let quote = _mm256_set1_epi8(b'"' as i8);
+    let mut within = [0u64; SUPERBLOCK_BLOCKS];
+    let mut after = [QuoteState::default(); SUPERBLOCK_BLOCKS];
+    for i in 0..SUPERBLOCK_BLOCKS {
+        let ptr = chunk.as_ptr().add(i * BLOCK_SIZE);
+        let backslash = eq_mask_ptr(ptr, slash);
+        let quotes = eq_mask_ptr(ptr, quote);
+        within[i] = quotes_from_masks(backslash, quotes, |m| prefix_xor_clmul(m), state);
+        after[i] = *state;
+    }
+    (within, after)
+}
+
+/// As [`quotes4_clmul`] but with the shift-XOR prefix (CPUs without
+/// PCLMULQDQ).
+///
+/// # Safety
+///
+/// The CPU must support AVX2.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn quotes4_noclmul(
+    chunk: &Superblock,
+    state: &mut QuoteState,
+) -> ([u64; SUPERBLOCK_BLOCKS], [QuoteState; SUPERBLOCK_BLOCKS]) {
+    let slash = _mm256_set1_epi8(b'\\' as i8);
+    let quote = _mm256_set1_epi8(b'"' as i8);
+    let mut within = [0u64; SUPERBLOCK_BLOCKS];
+    let mut after = [QuoteState::default(); SUPERBLOCK_BLOCKS];
+    for i in 0..SUPERBLOCK_BLOCKS {
+        let ptr = chunk.as_ptr().add(i * BLOCK_SIZE);
+        let backslash = eq_mask_ptr(ptr, slash);
+        let quotes = eq_mask_ptr(ptr, quote);
+        within[i] = quotes_from_masks(backslash, quotes, crate::swar::prefix_xor, state);
+        after[i] = *state;
+    }
+    (within, after)
+}
+
+/// Finds the first position `p >= start` with `hay[p] == first` and
+/// `hay[p + gap] == last`, scanning only the region where a full 64-byte
+/// window fits. On success returns `Ok(candidate)` — an *unverified*
+/// candidate the caller must confirm (re-entering with `start = p + 1` on
+/// a false positive). When the vector region is exhausted, returns
+/// `Err(first unchecked position)` for the caller's scalar tail.
+///
+/// # Safety
+///
+/// The CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn find_pair(
+    hay: &[u8],
+    start: usize,
+    first: u8,
+    last: u8,
+    gap: usize,
+) -> Result<usize, usize> {
+    let nf = _mm256_set1_epi8(first as i8);
+    let nl = _mm256_set1_epi8(last as i8);
+    let mut at = start;
+    while at + gap + BLOCK_SIZE <= hay.len() {
+        let a = eq_mask_ptr(hay.as_ptr().add(at), nf);
+        let b = eq_mask_ptr(hay.as_ptr().add(at + gap), nl);
+        let candidates = a & b;
+        if candidates != 0 {
+            return Ok(at + candidates.trailing_zeros() as usize);
+        }
+        at += BLOCK_SIZE;
+    }
+    Err(at)
+}

@@ -1,0 +1,169 @@
+//! AVX-512 implementations of the block primitives and superblock kernels.
+//!
+//! With 512-bit vectors a 64-byte block is a *single* register and byte
+//! compares produce the 64-bit position mask directly
+//! (`_mm512_cmpeq_epi8_mask`) — no `movemask` assembly step at all. The
+//! nibble lookups still use the in-lane `shuffle` (AVX-512BW), with the
+//! 16-byte tables broadcast to all four lanes, so the classification
+//! sequence of §4.1 runs on 64 bytes in the same ~5 instructions the
+//! paper counts for 16.
+//!
+//! Functions here require runtime detection of `avx512f` + `avx512bw`
+//! (plus `pclmulqdq` for the prefix XOR); [`crate::Simd`] guarantees it.
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::groups::TablePair;
+use crate::quotes::{quotes_from_masks, QuoteState};
+use crate::{Block, Superblock, BLOCK_SIZE, SUPERBLOCK_BLOCKS};
+use core::arch::x86_64::*;
+
+/// Positions in `block` equal to `byte`.
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512BW.
+#[inline]
+#[target_feature(enable = "avx512f", enable = "avx512bw")]
+pub(crate) unsafe fn eq_mask(block: &Block, byte: u8) -> u64 {
+    let src = _mm512_loadu_si512(block.as_ptr().cast());
+    _mm512_cmpeq_epi8_mask(src, _mm512_set1_epi8(byte as i8))
+}
+
+/// Equality masks of one block against two needles in a single call.
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512BW.
+#[inline]
+#[target_feature(enable = "avx512f", enable = "avx512bw")]
+pub(crate) unsafe fn eq_mask2(block: &Block, a: u8, b: u8) -> (u64, u64) {
+    let src = _mm512_loadu_si512(block.as_ptr().cast());
+    (
+        _mm512_cmpeq_epi8_mask(src, _mm512_set1_epi8(a as i8)),
+        _mm512_cmpeq_epi8_mask(src, _mm512_set1_epi8(b as i8)),
+    )
+}
+
+/// Broadcasts a 16-byte table to all four 128-bit lanes.
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn broadcast_table(table: &[u8; 16]) -> __m512i {
+    let t = _mm_loadu_si128(table.as_ptr().cast());
+    _mm512_broadcast_i32x4(t)
+}
+
+/// Non-overlapping-groups classification of a 64-byte block (§4.1).
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512BW.
+#[inline]
+#[target_feature(enable = "avx512f", enable = "avx512bw")]
+pub(crate) unsafe fn lookup_eq_mask(block: &Block, tables: &TablePair) -> u64 {
+    let ltab = broadcast_table(&tables.ltab);
+    let utab = broadcast_table(&tables.utab);
+    let src = _mm512_loadu_si512(block.as_ptr().cast());
+    let usrc = _mm512_and_si512(_mm512_srli_epi16::<4>(src), _mm512_set1_epi8(0x0F));
+    let llookup = _mm512_shuffle_epi8(ltab, src);
+    let ulookup = _mm512_shuffle_epi8(utab, usrc);
+    _mm512_cmpeq_epi8_mask(llookup, ulookup)
+}
+
+/// Few-groups classification of a 64-byte block (§4.1).
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512BW.
+#[inline]
+#[target_feature(enable = "avx512f", enable = "avx512bw")]
+pub(crate) unsafe fn lookup_or_mask(block: &Block, tables: &TablePair) -> u64 {
+    let ltab = broadcast_table(&tables.ltab);
+    let utab = broadcast_table(&tables.utab);
+    let src = _mm512_loadu_si512(block.as_ptr().cast());
+    let usrc = _mm512_and_si512(_mm512_srli_epi16::<4>(src), _mm512_set1_epi8(0x0F));
+    let llookup = _mm512_shuffle_epi8(ltab, src);
+    let ulookup = _mm512_shuffle_epi8(utab, usrc);
+    let lookup = _mm512_or_si512(llookup, ulookup);
+    _mm512_cmpeq_epi8_mask(lookup, _mm512_set1_epi8(-1))
+}
+
+/// Quote-classifies a 256-byte superblock (CLMUL prefix XOR).
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F, AVX-512BW, and PCLMULQDQ.
+#[inline]
+#[target_feature(enable = "avx512f", enable = "avx512bw", enable = "pclmulqdq")]
+pub(crate) unsafe fn quotes4_clmul(
+    chunk: &Superblock,
+    state: &mut QuoteState,
+) -> ([u64; SUPERBLOCK_BLOCKS], [QuoteState; SUPERBLOCK_BLOCKS]) {
+    let slash = _mm512_set1_epi8(b'\\' as i8);
+    let quote = _mm512_set1_epi8(b'"' as i8);
+    let mut within = [0u64; SUPERBLOCK_BLOCKS];
+    let mut after = [QuoteState::default(); SUPERBLOCK_BLOCKS];
+    for i in 0..SUPERBLOCK_BLOCKS {
+        let src = _mm512_loadu_si512(chunk.as_ptr().add(i * BLOCK_SIZE).cast());
+        let backslash = _mm512_cmpeq_epi8_mask(src, slash);
+        let quotes = _mm512_cmpeq_epi8_mask(src, quote);
+        within[i] =
+            quotes_from_masks(backslash, quotes, |m| crate::avx2::prefix_xor_clmul(m), state);
+        after[i] = *state;
+    }
+    (within, after)
+}
+
+/// As [`quotes4_clmul`] with the shift-XOR prefix fallback.
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512BW.
+#[inline]
+#[target_feature(enable = "avx512f", enable = "avx512bw")]
+pub(crate) unsafe fn quotes4_noclmul(
+    chunk: &Superblock,
+    state: &mut QuoteState,
+) -> ([u64; SUPERBLOCK_BLOCKS], [QuoteState; SUPERBLOCK_BLOCKS]) {
+    let slash = _mm512_set1_epi8(b'\\' as i8);
+    let quote = _mm512_set1_epi8(b'"' as i8);
+    let mut within = [0u64; SUPERBLOCK_BLOCKS];
+    let mut after = [QuoteState::default(); SUPERBLOCK_BLOCKS];
+    for i in 0..SUPERBLOCK_BLOCKS {
+        let src = _mm512_loadu_si512(chunk.as_ptr().add(i * BLOCK_SIZE).cast());
+        let backslash = _mm512_cmpeq_epi8_mask(src, slash);
+        let quotes = _mm512_cmpeq_epi8_mask(src, quote);
+        within[i] = quotes_from_masks(backslash, quotes, crate::swar::prefix_xor, state);
+        after[i] = *state;
+    }
+    (within, after)
+}
+
+/// Two-byte candidate scan (see the AVX2 counterpart for the contract).
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512BW.
+#[target_feature(enable = "avx512f", enable = "avx512bw")]
+pub(crate) unsafe fn find_pair(
+    hay: &[u8],
+    start: usize,
+    first: u8,
+    last: u8,
+    gap: usize,
+) -> Result<usize, usize> {
+    let nf = _mm512_set1_epi8(first as i8);
+    let nl = _mm512_set1_epi8(last as i8);
+    let mut at = start;
+    while at + gap + BLOCK_SIZE <= hay.len() {
+        let a = _mm512_loadu_si512(hay.as_ptr().add(at).cast());
+        let b = _mm512_loadu_si512(hay.as_ptr().add(at + gap).cast());
+        let candidates =
+            _mm512_cmpeq_epi8_mask(a, nf) & _mm512_cmpeq_epi8_mask(b, nl);
+        if candidates != 0 {
+            return Ok(at + candidates.trailing_zeros() as usize);
+        }
+        at += BLOCK_SIZE;
+    }
+    Err(at)
+}

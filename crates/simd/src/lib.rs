@@ -1,0 +1,486 @@
+//! SIMD primitives for the `rsq` streaming JSONPath engine.
+//!
+//! This crate implements the *raw classification* layer of §4.1 of
+//! *Supporting Descendants in SIMD-Accelerated JSONPath* (ASPLOS 2023):
+//! given a classification function `f : byte → {0, 1}`, compute for a block
+//! of input bytes the bitmask of positions where `f` accepts. Three
+//! strategies of increasing generality are provided, exactly following the
+//! paper:
+//!
+//! * **Non-overlapping acceptance groups** — two 16-entry nibble lookup
+//!   tables combined with a byte-equality comparison (5 SIMD ops,
+//!   ~4 cycles). This is the case used by the JSON structural classifier.
+//! * **Few groups** (≤ 7 non-empty groups) — bit-per-group tables combined
+//!   with OR and compared against all-ones (6 SIMD ops, ~5 cycles).
+//! * **General case** — the few-groups method applied to a partition of the
+//!   groups, with the results OR-ed together.
+//!
+//! A **naive** strategy (one `cmpeq` per accepted byte value) is also
+//! provided; it is what Table 2 of the paper benchmarks against.
+//!
+//! All operations come in two backends selected at runtime: an AVX2
+//! implementation (with CLMUL-accelerated [`Simd::prefix_xor`]) and a
+//! portable scalar/SWAR fallback, so the crate runs on any target. Use
+//! [`Simd::detect`] for the best available backend or [`Simd::with_kind`]
+//! to force one (used by the paper-reproduction ablation benchmarks).
+//!
+//! # Examples
+//!
+//! ```
+//! use rsq_simd::{ByteClassifier, ByteSet, Simd, BLOCK_SIZE};
+//!
+//! // Classify the JSON structural characters of Table 1 of the paper.
+//! let set = ByteSet::from_bytes(b"{}[]:,");
+//! let classifier = ByteClassifier::new(&set);
+//! let simd = Simd::detect();
+//!
+//! let mut block = [b'x'; BLOCK_SIZE];
+//! block[3] = b'{';
+//! block[40] = b':';
+//! let mask = classifier.classify_block(simd, &block);
+//! assert_eq!(mask, (1 << 3) | (1 << 40));
+//! ```
+
+#![warn(missing_docs)]
+
+mod avx2;
+mod avx512;
+mod classifier;
+mod groups;
+mod quotes;
+mod swar;
+
+pub use classifier::{ByteClassifier, Strategy};
+pub use groups::{AcceptanceGroups, ByteSet, Group, TablePair};
+pub use quotes::QuoteState;
+
+/// The number of bytes processed per classification step.
+///
+/// All block-level primitives in this crate operate on 64-byte blocks and
+/// produce 64-bit masks, bit *i* corresponding to byte *i* of the block.
+pub const BLOCK_SIZE: usize = 64;
+
+/// A 64-byte input block.
+pub type Block = [u8; BLOCK_SIZE];
+
+/// Blocks per superblock: the granularity at which the backend kernels
+/// amortize their dispatch cost.
+pub const SUPERBLOCK_BLOCKS: usize = 4;
+
+/// The number of bytes processed per superblock kernel call.
+pub const SUPERBLOCK_SIZE: usize = BLOCK_SIZE * SUPERBLOCK_BLOCKS;
+
+/// A 256-byte superblock.
+pub type Superblock = [u8; SUPERBLOCK_SIZE];
+
+/// The instruction-set backend used by [`Simd`] operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// AVX-512 (F + BW): one 64-byte block per register, native 64-bit
+    /// compare masks (x86-64 only).
+    Avx512,
+    /// AVX2 vector instructions (x86-64 only).
+    Avx2,
+    /// Portable scalar / SWAR fallback, available everywhere.
+    Swar,
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Avx512 => f.write_str("avx512"),
+            BackendKind::Avx2 => f.write_str("avx2"),
+            BackendKind::Swar => f.write_str("swar"),
+        }
+    }
+}
+
+/// A handle to the selected SIMD backend.
+///
+/// `Simd` is a small `Copy` token passed to every block-level primitive.
+/// Constructing it once (via [`Simd::detect`]) and reusing it keeps feature
+/// detection out of hot loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Simd {
+    kind: BackendKind,
+    clmul: bool,
+}
+
+impl Simd {
+    /// Detects the best backend available on the running CPU.
+    #[must_use]
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {
+                return Simd {
+                    kind: BackendKind::Avx512,
+                    clmul: is_x86_feature_detected!("pclmulqdq"),
+                };
+            }
+            if is_x86_feature_detected!("avx2") {
+                return Simd {
+                    kind: BackendKind::Avx2,
+                    clmul: is_x86_feature_detected!("pclmulqdq"),
+                };
+            }
+        }
+        Simd {
+            kind: BackendKind::Swar,
+            clmul: false,
+        }
+    }
+
+    /// Forces a specific backend.
+    ///
+    /// Used by the ablation benchmarks to compare instruction sets on the
+    /// same machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CPU does not support the requested instruction set.
+    #[must_use]
+    pub fn with_kind(kind: BackendKind) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        let clmul = is_x86_feature_detected!("pclmulqdq");
+        #[cfg(not(target_arch = "x86_64"))]
+        let clmul = false;
+        match kind {
+            BackendKind::Avx512 => {
+                #[cfg(target_arch = "x86_64")]
+                let ok = is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw");
+                #[cfg(not(target_arch = "x86_64"))]
+                let ok = false;
+                assert!(ok, "AVX-512 backend requested but the CPU does not support AVX-512F/BW");
+                Simd { kind, clmul }
+            }
+            BackendKind::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                let ok = is_x86_feature_detected!("avx2");
+                #[cfg(not(target_arch = "x86_64"))]
+                let ok = false;
+                assert!(ok, "AVX2 backend requested but the CPU does not support AVX2");
+                Simd { kind, clmul }
+            }
+            BackendKind::Swar => Simd {
+                kind: BackendKind::Swar,
+                clmul: false,
+            },
+        }
+    }
+
+    /// The backend this handle dispatches to.
+    #[inline]
+    #[must_use]
+    pub fn kind(self) -> BackendKind {
+        self.kind
+    }
+
+    /// Returns the bitmask of positions in `block` equal to `byte`.
+    #[inline]
+    #[must_use]
+    pub fn eq_mask(self, block: &Block, byte: u8) -> u64 {
+        match self.kind {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `kind == Avx512` only when AVX-512F/BW was detected.
+            BackendKind::Avx512 => unsafe { avx512::eq_mask(block, byte) },
+            #[cfg(not(target_arch = "x86_64"))]
+            BackendKind::Avx512 => unreachable!("AVX-512 backend on non-x86_64"),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `kind == Avx2` only when AVX2 was detected.
+            BackendKind::Avx2 => unsafe { avx2::eq_mask(block, byte) },
+            #[cfg(not(target_arch = "x86_64"))]
+            BackendKind::Avx2 => unreachable!("AVX2 backend on non-x86_64"),
+            BackendKind::Swar => swar::eq_mask(block, byte),
+        }
+    }
+
+    /// Nibble-lookup classification with *equality* combination
+    /// (the non-overlapping-groups case of §4.1).
+    ///
+    /// Bit *i* of the result is set iff
+    /// `tables.ltab[block[i] & 0xF] == tables.utab[block[i] >> 4]`
+    /// and `block[i] < 0x80`.
+    ///
+    /// Table constructors in this crate guarantee that bytes with the high
+    /// bit set are never accepted, matching the `shuffle` semantics the
+    /// paper relies on (a lit most-significant bit zeroes the lane).
+    #[inline]
+    #[must_use]
+    pub fn lookup_eq_mask(self, block: &Block, tables: &TablePair) -> u64 {
+        match self.kind {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `kind == Avx512` only when AVX-512F/BW was detected.
+            BackendKind::Avx512 => unsafe { avx512::lookup_eq_mask(block, tables) },
+            #[cfg(not(target_arch = "x86_64"))]
+            BackendKind::Avx512 => unreachable!("AVX-512 backend on non-x86_64"),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `kind == Avx2` only when AVX2 was detected.
+            BackendKind::Avx2 => unsafe { avx2::lookup_eq_mask(block, tables) },
+            #[cfg(not(target_arch = "x86_64"))]
+            BackendKind::Avx2 => unreachable!("AVX2 backend on non-x86_64"),
+            BackendKind::Swar => swar::lookup_eq_mask(block, tables),
+        }
+    }
+
+    /// Nibble-lookup classification with *OR-to-all-ones* combination
+    /// (the few-groups case of §4.1).
+    ///
+    /// Bit *i* of the result is set iff
+    /// `(tables.ltab[block[i] & 0xF] | tables.utab[block[i] >> 4]) == 0xFF`
+    /// and `block[i] < 0x80`.
+    #[inline]
+    #[must_use]
+    pub fn lookup_or_mask(self, block: &Block, tables: &TablePair) -> u64 {
+        match self.kind {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `kind == Avx512` only when AVX-512F/BW was detected.
+            BackendKind::Avx512 => unsafe { avx512::lookup_or_mask(block, tables) },
+            #[cfg(not(target_arch = "x86_64"))]
+            BackendKind::Avx512 => unreachable!("AVX-512 backend on non-x86_64"),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `kind == Avx2` only when AVX2 was detected.
+            BackendKind::Avx2 => unsafe { avx2::lookup_or_mask(block, tables) },
+            #[cfg(not(target_arch = "x86_64"))]
+            BackendKind::Avx2 => unreachable!("AVX2 backend on non-x86_64"),
+            BackendKind::Swar => swar::lookup_or_mask(block, tables),
+        }
+    }
+
+    /// Equality masks of a block against two needles in a single dispatch
+    /// (used by the depth classifier, which tracks one bracket pair).
+    #[inline]
+    #[must_use]
+    pub fn eq_mask2(self, block: &Block, a: u8, b: u8) -> (u64, u64) {
+        match self.kind {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `kind == Avx512` only when AVX-512F/BW was detected.
+            BackendKind::Avx512 => unsafe { avx512::eq_mask2(block, a, b) },
+            #[cfg(not(target_arch = "x86_64"))]
+            BackendKind::Avx512 => unreachable!("AVX-512 backend on non-x86_64"),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `kind == Avx2` only when AVX2 was detected.
+            BackendKind::Avx2 => unsafe { avx2::eq_mask2(block, a, b) },
+            #[cfg(not(target_arch = "x86_64"))]
+            BackendKind::Avx2 => unreachable!("AVX2 backend on non-x86_64"),
+            BackendKind::Swar => swar::eq_mask2(block, a, b),
+        }
+    }
+
+    /// Quote-classifies a 256-byte superblock in one dispatch: per 64-byte
+    /// block, the inside-string mask (§4.2 semantics: opening quote
+    /// inclusive, closing exclusive) and the quote state *after* that
+    /// block. `state` is advanced to the end of the superblock.
+    #[inline]
+    #[must_use]
+    pub fn classify_quotes4(
+        self,
+        chunk: &Superblock,
+        state: &mut QuoteState,
+    ) -> ([u64; SUPERBLOCK_BLOCKS], [QuoteState; SUPERBLOCK_BLOCKS]) {
+        match self.kind {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `kind == Avx512` only when AVX-512F/BW was detected,
+            // and the clmul variant only when PCLMULQDQ was detected.
+            BackendKind::Avx512 => unsafe {
+                if self.clmul {
+                    avx512::quotes4_clmul(chunk, state)
+                } else {
+                    avx512::quotes4_noclmul(chunk, state)
+                }
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            BackendKind::Avx512 => unreachable!("AVX-512 backend on non-x86_64"),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `kind == Avx2` only when AVX2 was detected, and the
+            // clmul variant only when PCLMULQDQ was detected.
+            BackendKind::Avx2 => unsafe {
+                if self.clmul {
+                    avx2::quotes4_clmul(chunk, state)
+                } else {
+                    avx2::quotes4_noclmul(chunk, state)
+                }
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            BackendKind::Avx2 => unreachable!("AVX2 backend on non-x86_64"),
+            BackendKind::Swar => swar::quotes4(chunk, state),
+        }
+    }
+
+    /// Quote-classifies a single block, advancing `state` past it.
+    ///
+    /// Convenience single-block form of [`Simd::classify_quotes4`] for
+    /// partial tails; superblock callers should prefer the batched kernel.
+    #[inline]
+    #[must_use]
+    pub fn classify_quotes(self, block: &Block, state: &mut QuoteState) -> u64 {
+        let backslash = self.eq_mask(block, b'\\');
+        let quote = self.eq_mask(block, b'"');
+        quotes::quotes_from_masks(backslash, quote, |m| self.prefix_xor(m), state)
+    }
+
+    /// Vectorised two-byte candidate scan for substring search: the first
+    /// `p >= start` with `hay[p] == first` and `hay[p + gap] == last`.
+    ///
+    /// Returns `Ok(candidate)` (unverified — the caller confirms the full
+    /// needle) or `Err(first unchecked position)` once no full 64-byte
+    /// window fits; the caller finishes with a scalar tail from there.
+    #[inline]
+    pub fn find_pair(
+        self,
+        hay: &[u8],
+        start: usize,
+        first: u8,
+        last: u8,
+        gap: usize,
+    ) -> Result<usize, usize> {
+        match self.kind {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `kind == Avx512` only when AVX-512F/BW was detected.
+            BackendKind::Avx512 => unsafe { avx512::find_pair(hay, start, first, last, gap) },
+            #[cfg(not(target_arch = "x86_64"))]
+            BackendKind::Avx512 => unreachable!("AVX-512 backend on non-x86_64"),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `kind == Avx2` only when AVX2 was detected.
+            BackendKind::Avx2 => unsafe { avx2::find_pair(hay, start, first, last, gap) },
+            #[cfg(not(target_arch = "x86_64"))]
+            BackendKind::Avx2 => unreachable!("AVX2 backend on non-x86_64"),
+            BackendKind::Swar => swar::find_pair(hay, start, first, last, gap),
+        }
+    }
+
+    /// Computes the prefix XOR of a 64-bit mask: bit *i* of the result is
+    /// the XOR of bits `0..=i` of `m`.
+    ///
+    /// With bit *i* marking unescaped double quotes, the result marks the
+    /// positions *inside* JSON strings (opening quote inclusive, closing
+    /// quote exclusive) — the core of the quote classifier of §4.2. Uses
+    /// carry-less multiplication by all-ones when the CPU supports CLMUL.
+    #[inline]
+    #[must_use]
+    pub fn prefix_xor(self, m: u64) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if self.clmul {
+                // SAFETY: `clmul` is only set when PCLMULQDQ was detected.
+                return unsafe { avx2::prefix_xor_clmul(m) };
+            }
+        }
+        swar::prefix_xor(m)
+    }
+}
+
+impl Default for Simd {
+    fn default() -> Self {
+        Self::detect()
+    }
+}
+
+/// Iterator over the positions of set bits in a 64-bit mask, in increasing
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// let bits: Vec<u32> = rsq_simd::BitIter::new(0b1001_0001).collect();
+/// assert_eq!(bits, [0, 4, 7]);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct BitIter(u64);
+
+impl BitIter {
+    /// Creates an iterator over the set bits of `mask`.
+    #[inline]
+    #[must_use]
+    pub fn new(mask: u64) -> Self {
+        BitIter(mask)
+    }
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            let pos = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(pos)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BitIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_runs() {
+        let simd = Simd::detect();
+        // On the CI machine this is AVX2, but the test must pass anywhere.
+        let _ = simd.kind();
+    }
+
+    #[test]
+    fn eq_mask_finds_all_occurrences() {
+        let simd = Simd::detect();
+        let mut block = [0u8; BLOCK_SIZE];
+        block[0] = b'"';
+        block[31] = b'"';
+        block[32] = b'"';
+        block[63] = b'"';
+        assert_eq!(
+            simd.eq_mask(&block, b'"'),
+            1 | (1 << 31) | (1 << 32) | (1 << 63)
+        );
+        assert_eq!(simd.eq_mask(&block, b'x'), 0);
+    }
+
+    #[test]
+    fn eq_mask_backends_agree() {
+        let avx = Simd::detect();
+        let swar = Simd::with_kind(BackendKind::Swar);
+        let mut block = [0u8; BLOCK_SIZE];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = (i * 7 % 256) as u8;
+        }
+        for byte in [0u8, 7, 14, 255, b'{'] {
+            assert_eq!(avx.eq_mask(&block, byte), swar.eq_mask(&block, byte));
+        }
+    }
+
+    #[test]
+    fn prefix_xor_small_cases() {
+        let simd = Simd::detect();
+        assert_eq!(simd.prefix_xor(0), 0);
+        assert_eq!(simd.prefix_xor(1), u64::MAX);
+        // quotes at 1 and 3 -> inside-string at 1,2
+        assert_eq!(simd.prefix_xor(0b1010), 0b0110);
+    }
+
+    #[test]
+    fn prefix_xor_backends_agree() {
+        let simd = Simd::detect();
+        let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+        for _ in 0..100 {
+            x = x.wrapping_mul(0x2545_f491_4f6c_dd1d).rotate_left(17);
+            assert_eq!(simd.prefix_xor(x), swar::prefix_xor(x));
+        }
+    }
+
+    #[test]
+    fn bit_iter_empty_and_full() {
+        assert_eq!(BitIter::new(0).count(), 0);
+        assert_eq!(BitIter::new(u64::MAX).count(), 64);
+        assert_eq!(BitIter::new(u64::MAX).last(), Some(63));
+    }
+}

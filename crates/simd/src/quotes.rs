@@ -1,0 +1,67 @@
+//! Block-level quote classification (§4.2): the portable core shared by
+//! all backends.
+//!
+//! Locating strings requires three steps per 64-byte block: equality masks
+//! for backslashes and quotes, *add-carry propagation* to find characters
+//! escaped by odd-length backslash runs, and a prefix XOR turning the
+//! unescaped-quote mask into an inside-string mask. The mask-combination
+//! logic here is pure 64-bit arithmetic; the backends supply the equality
+//! masks and the prefix XOR and inline this logic into their superblock
+//! kernels.
+
+/// Carry state of the quote classifier between blocks.
+///
+/// The default state is the document start: not escaped, not in a string.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuoteState {
+    /// The first character of the next block is escaped by a backslash run
+    /// ending at the previous block boundary.
+    pub next_escaped: bool,
+    /// The previous block ended while inside a string.
+    pub in_string: bool,
+}
+
+/// Marks characters escaped by a backslash run of odd length, carrying
+/// run state across the block boundary (simdjson's add-carry propagation).
+#[inline(always)]
+pub(crate) fn find_escaped(backslash: u64, next_escaped: &mut bool) -> u64 {
+    const ODD_BITS: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+    const EVEN_BITS: u64 = 0x5555_5555_5555_5555;
+
+    if backslash == 0 {
+        let escaped = u64::from(*next_escaped);
+        *next_escaped = false;
+        return escaped;
+    }
+
+    // A backslash that is itself escaped does not start a run.
+    let backslash = backslash & !u64::from(*next_escaped);
+    let follows_escape = (backslash << 1) | u64::from(*next_escaped);
+    let odd_sequence_starts = backslash & ODD_BITS & !follows_escape;
+    let (sequences_starting_on_even_bits, overflow) =
+        odd_sequence_starts.overflowing_add(backslash);
+    *next_escaped = overflow;
+    let invert_mask = sequences_starting_on_even_bits << 1;
+    (EVEN_BITS ^ invert_mask) & follows_escape
+}
+
+/// Combines the backslash and quote masks of one block into the
+/// inside-string mask (opening quote inclusive, closing exclusive),
+/// advancing `state` to the end of the block. `prefix_xor` is supplied by
+/// the backend so that the CLMUL variant inlines into its kernels.
+#[inline(always)]
+pub(crate) fn quotes_from_masks(
+    backslash: u64,
+    quote: u64,
+    prefix_xor: impl Fn(u64) -> u64,
+    state: &mut QuoteState,
+) -> u64 {
+    let escaped = find_escaped(backslash, &mut state.next_escaped);
+    let unescaped_quotes = quote & !escaped;
+    let mut within = prefix_xor(unescaped_quotes);
+    if state.in_string {
+        within = !within;
+    }
+    state.in_string = within >> 63 != 0;
+    within
+}

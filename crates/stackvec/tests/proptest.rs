@@ -1,0 +1,48 @@
+//! Property-based differential test: `StackVec` must behave exactly like `Vec`
+//! under an arbitrary sequence of operations, across the spill boundary.
+
+use proptest::prelude::*;
+use rsq_stackvec::StackVec;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+    Truncate(usize),
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<u32>().prop_map(Op::Push),
+        2 => Just(Op::Pop),
+        1 => (0usize..12).prop_map(Op::Truncate),
+        1 => Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn behaves_like_vec(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let mut sv: StackVec<u32, 4> = StackVec::new();
+        let mut model: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Push(x) => { sv.push(x); model.push(x); }
+                Op::Pop => prop_assert_eq!(sv.pop(), model.pop()),
+                Op::Truncate(n) => { sv.truncate(n); model.truncate(n); }
+                Op::Clear => { sv.clear(); model.clear(); }
+            }
+            prop_assert_eq!(sv.as_slice(), model.as_slice());
+            prop_assert_eq!(sv.len(), model.len());
+            prop_assert_eq!(sv.last(), model.last());
+        }
+    }
+
+    #[test]
+    fn collects_like_vec(items in proptest::collection::vec(any::<u32>(), 0..64)) {
+        let sv: StackVec<u32, 8> = items.iter().copied().collect();
+        prop_assert_eq!(sv.as_slice(), items.as_slice());
+        prop_assert_eq!(sv.spilled(), items.len() > 8);
+    }
+}

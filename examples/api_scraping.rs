@@ -1,0 +1,54 @@
+//! Scraping values out of an API response without knowing its schema —
+//! the motivating example of §1.2: "one could scrape all url property
+//! values from a document without knowing anything about the paths
+//! leading to them".
+//!
+//! Also demonstrates the performance lens of §5.6: the same result fetched
+//! through three query formulations (exact path, partial rewriting, full
+//! descendant rewriting) with per-query throughput.
+//!
+//! Run with `cargo run --release --example api_scraping`.
+
+use rsq::datagen::{Dataset, GenConfig};
+use rsq::{node_text, Engine};
+use std::time::Instant;
+
+fn timed(engine: &Engine, bytes: &[u8]) -> (u64, f64) {
+    let start = Instant::now();
+    let count = engine.count(bytes);
+    let secs = start.elapsed().as_secs_f64();
+    (count, bytes.len() as f64 / 1e9 / secs)
+}
+
+fn main() -> Result<(), rsq::EngineError> {
+    // A Twitter-search-style response (see rsq-datagen): a large statuses
+    // array with the interesting `search_metadata` at the very end.
+    let doc = Dataset::TwitterSmall.generate(&GenConfig {
+        target_bytes: 8_000_000,
+        seed: 5,
+    });
+    let bytes = doc.as_bytes();
+    println!("document: {:.1} MB\n", bytes.len() as f64 / 1e6);
+
+    // Scrape every url in the document, wherever it occurs.
+    let urls = Engine::from_text("$..url")?;
+    let url_positions = urls.positions(bytes);
+    println!("$..url found {} urls; first three:", url_positions.len());
+    for pos in url_positions.iter().take(3) {
+        println!("    {}", node_text(bytes, *pos).unwrap_or("?"));
+    }
+
+    // All hashtag texts — Ts4 of the paper's appendix.
+    let hashtags = Engine::from_text("$..hashtags..text")?;
+    println!("$..hashtags..text found {} hashtags", hashtags.count(bytes));
+
+    // Ts / Tsp / Tsr: the same single value through three formulations.
+    // The less specified the path, the faster (§5.6).
+    println!("\nfetching search_metadata.count three ways:");
+    for query in ["$.search_metadata.count", "$..search_metadata.count", "$..count"] {
+        let engine = Engine::from_text(query)?;
+        let (count, gbps) = timed(&engine, bytes);
+        println!("    {query:<28} matches={count}  {gbps:>6.2} GB/s");
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: compile a query, stream a document, extract matches.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! # or query your own file:
+//! cargo run --release --example quickstart -- '$..price' data.json
+//! ```
+
+use rsq::{node_text, Engine};
+use std::process::ExitCode;
+
+const SAMPLE: &str = r#"{
+    "store": {
+        "book": [
+            {"title": "Sabotage", "price": 23.99, "tags": ["thriller"]},
+            {"title": "Borrowed Time", "price": 9.50},
+            {"title": "The Classifier", "price": 42.00, "tags": ["simd", "json"]}
+        ],
+        "bicycle": {"color": "red", "price": 199.95}
+    }
+}"#;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (query_text, document) = match args.as_slice() {
+        [] => ("$..price".to_owned(), SAMPLE.as_bytes().to_vec()),
+        [query] => (query.clone(), SAMPLE.as_bytes().to_vec()),
+        [query, path] => match std::fs::read(path) {
+            Ok(bytes) => (query.clone(), bytes),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("usage: quickstart [QUERY [FILE]]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Compile once; an Engine is reusable across documents.
+    let engine = match Engine::from_text(&query_text) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("invalid query {query_text:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Count without materializing anything…
+    println!("query : {query_text}");
+    println!("count : {}", engine.count(&document));
+
+    // …or collect match offsets and pull out the node text.
+    for (i, pos) in engine.positions(&document).into_iter().enumerate() {
+        let text = node_text(&document, pos).unwrap_or("<malformed>");
+        let preview: String = text.chars().take(60).collect();
+        println!("match {i:>3} @ byte {pos:>8}: {preview}");
+    }
+    ExitCode::SUCCESS
+}

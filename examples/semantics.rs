@@ -1,0 +1,68 @@
+//! Node vs path semantics (§2 and Appendix D of the paper).
+//!
+//! Most JSONPath implementations use *path* semantics: a node is returned
+//! once per way it can be reached, which clutters results with duplicates
+//! and can blow up exponentially. The paper argues for *node* semantics —
+//! each matched node once — and `rsq` implements it. This example
+//! reproduces the Appendix D witness query and the exponential blow-up.
+//!
+//! Run with `cargo run --release --example semantics`.
+
+use rsq::baselines::{evaluate, Semantics};
+use rsq::{node_text, Engine, Query};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Appendix D example document (values shortened as in the paper).
+    let doc = br#"{
+        "person": {
+            "name": "A",
+            "spouse": {"person": {"name": "B"}},
+            "children": [
+                {"person": {"name": "C"}},
+                {"person": {"name": "D"}}
+            ]
+        }
+    }"#;
+    let query = Query::parse("$..person..name")?;
+    let dom = rsq::json::parse(doc)?;
+
+    let show = |semantics: Semantics| -> Vec<String> {
+        evaluate(&query, &dom, semantics)
+            .into_iter()
+            .map(|span| node_text(doc, span.start).unwrap_or("?").to_owned())
+            .collect()
+    };
+
+    println!("query: $..person..name\n");
+    println!("node semantics (rsq, jsurfer, …): {:?}", show(Semantics::Node));
+    println!("path semantics (34 of 44 tested implementations): {:?}\n", show(Semantics::Path));
+
+    // The streaming engine implements node semantics natively.
+    let engine = Engine::from_text("$..person..name")?;
+    let streamed: Vec<String> = engine
+        .positions(doc)
+        .into_iter()
+        .map(|p| node_text(doc, p).unwrap_or("?").to_owned())
+        .collect();
+    println!("streaming engine agrees with node semantics: {streamed:?}");
+    assert_eq!(streamed, show(Semantics::Node));
+
+    // Why path semantics is dangerous: results can be exponential in the
+    // query length (§2). Nested a's + repeated ..a selectors:
+    println!("\nexponential blow-up, document {{\"a\":{{\"a\":…}}}} nested 16 deep:");
+    let mut nested = String::new();
+    for _ in 0..16 {
+        nested.push_str("{\"a\":");
+    }
+    nested.push('1');
+    nested.push_str(&"}".repeat(16));
+    let dom = rsq::json::parse(nested.as_bytes())?;
+    for selectors in 1..=4 {
+        let text = format!("${}", "..a".repeat(selectors));
+        let q = Query::parse(&text)?;
+        let node = evaluate(&q, &dom, Semantics::Node).len();
+        let path = evaluate(&q, &dom, Semantics::Path).len();
+        println!("    {text:<16} node = {node:>3}   path = {path:>6}");
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Every ablation configuration must produce identical results on every
+//! catalog query over every generated dataset — features may only change
+//! speed, never answers. This is the repository-wide safety net for the
+//! benchmark configurations.
+
+use rsq::datagen::catalog::catalog;
+use rsq::datagen::GenConfig;
+use rsq::{Engine, EngineOptions, Query};
+use std::collections::HashMap;
+
+#[test]
+fn all_option_combinations_agree_on_the_catalog() {
+    let d = EngineOptions::default();
+    let variants = [
+        d,
+        EngineOptions { skip_leaves: false, ..d },
+        EngineOptions { skip_children: false, ..d },
+        EngineOptions { skip_siblings: false, ..d },
+        EngineOptions { head_start: false, ..d },
+        EngineOptions { checked_head_start: false, ..d },
+        EngineOptions { label_seek: false, ..d },
+        EngineOptions { sparse_stack: false, ..d },
+        EngineOptions { backend: Some(rsq_simd::BackendKind::Swar), ..d },
+        // Everything off at once.
+        EngineOptions {
+            skip_leaves: false,
+            skip_children: false,
+            skip_siblings: false,
+            head_start: false,
+            label_seek: false,
+            checked_head_start: false,
+            sparse_stack: false,
+            backend: Some(rsq_simd::BackendKind::Swar),
+        },
+    ];
+
+    let config = GenConfig {
+        target_bytes: 200_000,
+        seed: 77,
+    };
+    let mut docs: HashMap<_, Vec<u8>> = HashMap::new();
+
+    for entry in catalog() {
+        let doc = docs
+            .entry(entry.dataset)
+            .or_insert_with(|| entry.dataset.generate(&config).into_bytes());
+        let query = Query::parse(entry.query).unwrap();
+        let reference = Engine::with_options(&query, d).unwrap().positions(doc);
+        for options in variants {
+            let engine = Engine::with_options(&query, options).unwrap();
+            assert_eq!(
+                engine.positions(doc),
+                reference,
+                "{} with {options:?}",
+                entry.id
+            );
+        }
+    }
+}

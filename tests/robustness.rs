@@ -1,0 +1,97 @@
+//! Robustness: the streaming engines must never panic, whatever bytes they
+//! are fed — malformed JSON, truncations, binary garbage — under every
+//! configuration. Results on invalid input are unspecified; crashes are
+//! bugs.
+
+use proptest::prelude::*;
+use rsq::baselines::{SkiEngine, SurferEngine};
+use rsq::{Engine, EngineOptions, Query};
+
+fn engines() -> Vec<Engine> {
+    let d = EngineOptions::default();
+    let queries = ["$..a", "$.a.b", "$.*.*", "$..a.b[1]", "$", "$..[0]..x"];
+    let mut out = Vec::new();
+    for q in queries {
+        let query = Query::parse(q).unwrap();
+        for options in [
+            d,
+            EngineOptions { skip_leaves: false, ..d },
+            EngineOptions { checked_head_start: false, ..d },
+            EngineOptions { backend: Some(rsq::simd::BackendKind::Swar), ..d },
+        ] {
+            out.push(Engine::with_options(&query, options).unwrap());
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        for engine in engines() {
+            let _ = engine.count(&bytes);
+        }
+        let surfer = SurferEngine::from_text("$..a").unwrap();
+        let _ = surfer.count(&bytes);
+        let ski = SkiEngine::from_text("$.a.*").unwrap();
+        let _ = ski.count(&bytes);
+    }
+
+    #[test]
+    fn never_panics_on_truncated_json(
+        cut in 0usize..200,
+        seed in any::<u64>(),
+    ) {
+        // Truncate a VALID document at every possible point.
+        let doc = rsq::datagen::Dataset::TwitterSmall
+            .generate(&rsq::datagen::GenConfig { target_bytes: 2_000, seed });
+        let cut = cut.min(doc.len());
+        let truncated = &doc.as_bytes()[..cut];
+        for engine in engines() {
+            let _ = engine.count(truncated);
+        }
+    }
+
+    #[test]
+    fn never_panics_on_json_with_bit_flips(
+        seed in any::<u64>(),
+        flips in proptest::collection::vec((0usize..2000, 0u8..8), 1..8),
+    ) {
+        let doc = rsq::datagen::Dataset::Crossref
+            .generate(&rsq::datagen::GenConfig { target_bytes: 1_500, seed });
+        let mut bytes = doc.into_bytes();
+        for (pos, bit) in flips {
+            let pos = pos % bytes.len();
+            bytes[pos] ^= 1 << bit;
+        }
+        for engine in engines() {
+            let _ = engine.count(&bytes);
+        }
+    }
+}
+
+#[test]
+fn structural_only_garbage() {
+    // Deterministic nasty inputs exercising unbalanced structure.
+    let cases: &[&[u8]] = &[
+        b"}}}}}}",
+        b"]]]]{{{{",
+        b"{{{{",
+        b"[[[[",
+        b"{\"a\"",
+        b"{\"a\":}",
+        b"{:1}",
+        b"[,]",
+        b"\"unterminated",
+        b"\\\\\\\"",
+        b"{\"a\": [1, 2}",
+        b"[{\"x\": ]1}",
+        b"\x00\x01\x02{\"a\":1}\xff\xfe",
+    ];
+    for engine in engines() {
+        for case in cases {
+            let _ = engine.count(case);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Node vs path semantics (§2 and Appendix D of the paper): the streaming
+//! engine implements node semantics; the DOM reference can compute both,
+//! and their divergence follows the paper's examples exactly.
+
+use rsq::baselines::{evaluate, Semantics};
+use rsq::{Engine, Query};
+
+fn counts(query: &str, doc: &str) -> (usize, usize, u64) {
+    let q = Query::parse(query).unwrap();
+    let dom = rsq::json::parse(doc.as_bytes()).unwrap();
+    let node = evaluate(&q, &dom, Semantics::Node).len();
+    let path = evaluate(&q, &dom, Semantics::Path).len();
+    let engine = Engine::from_query(&q).unwrap().count(doc.as_bytes());
+    (node, path, engine)
+}
+
+#[test]
+fn section2_yay_example() {
+    // {a:{a:{a:{b:"Yay!"}}}} with $..a..b: node = 1, path = 3.
+    let doc = r#"{"a":{"a":{"a":{"b":"Yay!"}}}}"#;
+    let (node, path, engine) = counts("$..a..b", doc);
+    assert_eq!(node, 1);
+    assert_eq!(path, 3);
+    assert_eq!(engine, 1, "the streaming engine uses node semantics");
+}
+
+#[test]
+fn appendix_d_witness_document() {
+    let doc = r#"{
+        "person": {
+            "name": "A",
+            "spouse": {"person": {"name": "B"}},
+            "children": [{"person": {"name": "C"}}, {"person": {"name": "D"}}]
+        }
+    }"#;
+    let (node, path, engine) = counts("$..person..name", doc);
+    assert_eq!(node, 4); // A, B, C, D — once each
+    assert_eq!(path, 7); // B, C, D twice (nested person contexts)
+    assert_eq!(engine, 4);
+}
+
+#[test]
+fn path_semantics_result_grows_exponentially_in_query_length() {
+    // §2: the path-semantics result set can be exponential in the query.
+    let mut doc = String::new();
+    let depth = 14;
+    for _ in 0..depth {
+        doc.push_str("{\"a\":");
+    }
+    doc.push('0');
+    doc.push_str(&"}".repeat(depth));
+
+    let q = rsq::json::parse(doc.as_bytes()).unwrap();
+    let mut previous = 0usize;
+    for selectors in 1..=4 {
+        let text = format!("${}", "..a".repeat(selectors));
+        let query = Query::parse(&text).unwrap();
+        let node = evaluate(&query, &q, Semantics::Node).len();
+        let path = evaluate(&query, &q, Semantics::Path).len();
+        // Node result shrinks linearly; path result explodes
+        // combinatorially (binomial growth).
+        assert_eq!(node, depth + 1 - selectors);
+        assert!(path > previous, "path counts must grow: {path} vs {previous}");
+        previous = path;
+    }
+    assert!(previous > 400, "4 selectors over 14 levels: C(13,3) = 286 … grew to {previous}");
+}
+
+#[test]
+fn streaming_engine_order_is_document_order() {
+    let doc = br#"{"z": {"n": 1}, "a": {"n": 2}, "m": [{"n": 3}]}"#;
+    let engine = Engine::from_text("$..n").unwrap();
+    let positions = engine.positions(doc);
+    assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    let values: Vec<u8> = positions.iter().map(|&p| doc[p]).collect();
+    assert_eq!(values, [b'1', b'2', b'3']);
+}
