@@ -150,7 +150,9 @@ impl Tokenizer<'_> {
                 } else {
                     loop {
                         self.skip_ws();
-                        let Some(key) = self.string_token() else { return };
+                        let Some(key) = self.string_token() else {
+                            return;
+                        };
                         listener.event(StreamEvent::Key(key));
                         self.skip_ws();
                         if self.peek() != Some(b':') {
@@ -289,8 +291,10 @@ impl<S: Sink> Matcher<'_, S> {
             None => self.state, // the document root has no incoming transition
             Some(Frame::Object(_)) => {
                 let label = self.pending_key.take();
-                self.automaton
-                    .transition(self.state, PathSymbol::Label(label.as_deref().unwrap_or(b"")))
+                self.automaton.transition(
+                    self.state,
+                    PathSymbol::Label(label.as_deref().unwrap_or(b"")),
+                )
             }
             Some(Frame::Array(_, index)) => {
                 let i = *index;
@@ -350,7 +354,9 @@ mod tests {
     use super::*;
 
     fn count(query: &str, doc: &str) -> u64 {
-        SurferEngine::from_text(query).unwrap().count(doc.as_bytes())
+        SurferEngine::from_text(query)
+            .unwrap()
+            .count(doc.as_bytes())
     }
 
     #[test]

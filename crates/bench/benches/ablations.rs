@@ -14,15 +14,69 @@ fn bench_ablations(c: &mut Criterion) {
     let d = EngineOptions::default();
     let variants: Vec<(&str, EngineOptions)> = vec![
         ("all_on", d),
-        ("no_skip_leaves", EngineOptions { skip_leaves: false, ..d }),
-        ("no_skip_children", EngineOptions { skip_children: false, ..d }),
-        ("no_skip_siblings", EngineOptions { skip_siblings: false, ..d }),
-        ("no_head_start", EngineOptions { head_start: false, ..d }),
-        ("no_label_seek", EngineOptions { label_seek: false, ..d }),
-        ("unchecked_head_start", EngineOptions { checked_head_start: false, ..d }),
-        ("classical_stack", EngineOptions { sparse_stack: false, ..d }),
-        ("swar_backend", EngineOptions { backend: Some(rsq_simd::BackendKind::Swar), ..d }),
-        ("avx2_backend", EngineOptions { backend: Some(rsq_simd::BackendKind::Avx2), ..d }),
+        (
+            "no_skip_leaves",
+            EngineOptions {
+                skip_leaves: false,
+                ..d
+            },
+        ),
+        (
+            "no_skip_children",
+            EngineOptions {
+                skip_children: false,
+                ..d
+            },
+        ),
+        (
+            "no_skip_siblings",
+            EngineOptions {
+                skip_siblings: false,
+                ..d
+            },
+        ),
+        (
+            "no_head_start",
+            EngineOptions {
+                head_start: false,
+                ..d
+            },
+        ),
+        (
+            "no_label_seek",
+            EngineOptions {
+                label_seek: false,
+                ..d
+            },
+        ),
+        (
+            "unchecked_head_start",
+            EngineOptions {
+                checked_head_start: false,
+                ..d
+            },
+        ),
+        (
+            "classical_stack",
+            EngineOptions {
+                sparse_stack: false,
+                ..d
+            },
+        ),
+        (
+            "swar_backend",
+            EngineOptions {
+                backend: Some(rsq_simd::BackendKind::Swar),
+                ..d
+            },
+        ),
+        (
+            "avx2_backend",
+            EngineOptions {
+                backend: Some(rsq_simd::BackendKind::Avx2),
+                ..d
+            },
+        ),
     ];
     // One child-heavy, one leaf-heavy, one rewritten-selective, one
     // deep-ambiguous query.
@@ -42,7 +96,11 @@ fn bench_ablations(c: &mut Criterion) {
         let expected = Engine::from_query(&query).expect("compiles").count(input);
         for (name, options) in &variants {
             let engine = Engine::with_options(&query, *options).expect("compiles");
-            assert_eq!(engine.count(input), expected, "{name} changed results on {id}");
+            assert_eq!(
+                engine.count(input),
+                expected,
+                "{name} changed results on {id}"
+            );
             group.bench_function(BenchmarkId::new(*name, id), |b| {
                 b.iter(|| engine.count(input));
             });

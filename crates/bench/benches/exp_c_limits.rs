@@ -10,7 +10,9 @@ use rsq_engine::Engine;
 use std::time::Duration;
 
 fn bench_experiment_c(c: &mut Criterion) {
-    let ids = ["A1", "A2", "C1", "C2", "C2r", "C3", "C3r", "Ts", "Tsp", "Tsr"];
+    let ids = [
+        "A1", "A2", "C1", "C2", "C2r", "C3", "C3r", "Ts", "Tsp", "Tsr",
+    ];
     let mut group = c.benchmark_group("exp_c_limits");
     group
         .sample_size(10)

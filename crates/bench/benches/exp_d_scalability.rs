@@ -26,9 +26,12 @@ fn bench_experiment_d(c: &mut Criterion) {
             })
             .into_bytes();
         group.throughput(Throughput::Bytes(doc.len() as u64));
-        group.bench_function(BenchmarkId::new("crossref_mb", doc.len() / 1_000_000), |b| {
-            b.iter(|| engine.count(&doc));
-        });
+        group.bench_function(
+            BenchmarkId::new("crossref_mb", doc.len() / 1_000_000),
+            |b| {
+                b.iter(|| engine.count(&doc));
+            },
+        );
     }
     group.finish();
 }

@@ -78,7 +78,10 @@ fn table2() {
             .collect()
     };
     let blocks = data.len() / BLOCK_SIZE;
-    println!("{:>8} {:>12} {:>12} {:>10}", "symbols", "naive", "lookup", "strategy");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "symbols", "naive", "lookup", "strategy"
+    );
     for k in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         // Keep every accepted byte below 0x80 so the shuffle-based lookup
         // applies to the whole set (Table 2 measures the lookup itself,
@@ -114,7 +117,10 @@ fn table2() {
 /// Table 3: dataset characteristics.
 fn table3() {
     heading("Table 3: datasets (synthetic stand-ins)");
-    println!("{:>14} {:>10} {:>7} {:>10}", "name", "size [MB]", "depth", "verbosity");
+    println!(
+        "{:>14} {:>10} {:>7} {:>10}",
+        "name", "size [MB]", "depth", "verbosity"
+    );
     for d in Dataset::all() {
         let stats = rsq_json::document_stats(dataset(d));
         println!(
@@ -147,7 +153,10 @@ fn run_table(title: &str, entries: &[&str]) {
             .map(|q| {
                 let engine = Engine::with_options(
                     &q,
-                    EngineOptions { checked_head_start: false, ..EngineOptions::default() },
+                    EngineOptions {
+                        checked_head_start: false,
+                        ..EngineOptions::default()
+                    },
                 )
                 .expect("compiles");
                 let input = dataset(entry.dataset);
@@ -160,7 +169,10 @@ fn run_table(title: &str, entries: &[&str]) {
             assert_eq!(a.count, b.count, "count mismatch on {id}");
         }
         if let (Some(a), Some(b)) = (rsq, unchecked) {
-            assert_eq!(a.count, b.count, "unchecked head start changed counts on {id}");
+            assert_eq!(
+                a.count, b.count,
+                "unchecked head start changed counts on {id}"
+            );
         }
         println!(
             "{:<5} {:<42} {} {} {} {}",
@@ -178,7 +190,9 @@ fn run_table(title: &str, entries: &[&str]) {
 fn experiment_a() {
     run_table(
         "Experiment A (Table 4, Figure 4): descendant-free queries",
-        &["B1", "B2", "B3", "G1", "G2", "N1", "N2", "T1", "T2", "W1", "W2", "Wi"],
+        &[
+            "B1", "B2", "B3", "G1", "G2", "N1", "N2", "T1", "T2", "W1", "W2", "Wi",
+        ],
     );
 }
 
@@ -197,7 +211,9 @@ fn experiment_b() {
 fn experiment_c() {
     run_table(
         "Experiment C (Table 6, Figure 6): limits and opportunities",
-        &["A1", "A2", "C1", "C2", "C2r", "C3", "C3r", "Ts", "Tsp", "Tsr"],
+        &[
+            "A1", "A2", "C1", "C2", "C2r", "C3", "C3r", "Ts", "Tsp", "Tsr",
+        ],
     );
 }
 
@@ -243,8 +259,14 @@ fn semantics() {
     let dom = rsq_json::parse(doc).expect("valid document");
     let query = Query::parse("$..person..name").expect("valid query");
     for (semantics, label) in [
-        (rsq_baselines::Semantics::Node, "node semantics (rsq, 6/44 impls)"),
-        (rsq_baselines::Semantics::Path, "path semantics (34/44 impls)"),
+        (
+            rsq_baselines::Semantics::Node,
+            "node semantics (rsq, 6/44 impls)",
+        ),
+        (
+            rsq_baselines::Semantics::Path,
+            "path semantics (34/44 impls)",
+        ),
     ] {
         let names: Vec<String> = rsq_baselines::evaluate(&query, &dom, semantics)
             .into_iter()
@@ -262,15 +284,69 @@ fn ablations() {
     let d = EngineOptions::default();
     let variants: Vec<(&str, EngineOptions)> = vec![
         ("baseline (all on)", d),
-        ("no leaf skipping", EngineOptions { skip_leaves: false, ..d }),
-        ("no child skipping", EngineOptions { skip_children: false, ..d }),
-        ("no sibling skipping", EngineOptions { skip_siblings: false, ..d }),
-        ("no head start", EngineOptions { head_start: false, ..d }),
-        ("no label seek", EngineOptions { label_seek: false, ..d }),
-        ("unchecked head start", EngineOptions { checked_head_start: false, ..d }),
-        ("classical stack", EngineOptions { sparse_stack: false, ..d }),
-        ("swar backend", EngineOptions { backend: Some(rsq_simd::BackendKind::Swar), ..d }),
-        ("avx2 backend", EngineOptions { backend: Some(rsq_simd::BackendKind::Avx2), ..d }),
+        (
+            "no leaf skipping",
+            EngineOptions {
+                skip_leaves: false,
+                ..d
+            },
+        ),
+        (
+            "no child skipping",
+            EngineOptions {
+                skip_children: false,
+                ..d
+            },
+        ),
+        (
+            "no sibling skipping",
+            EngineOptions {
+                skip_siblings: false,
+                ..d
+            },
+        ),
+        (
+            "no head start",
+            EngineOptions {
+                head_start: false,
+                ..d
+            },
+        ),
+        (
+            "no label seek",
+            EngineOptions {
+                label_seek: false,
+                ..d
+            },
+        ),
+        (
+            "unchecked head start",
+            EngineOptions {
+                checked_head_start: false,
+                ..d
+            },
+        ),
+        (
+            "classical stack",
+            EngineOptions {
+                sparse_stack: false,
+                ..d
+            },
+        ),
+        (
+            "swar backend",
+            EngineOptions {
+                backend: Some(rsq_simd::BackendKind::Swar),
+                ..d
+            },
+        ),
+        (
+            "avx2 backend",
+            EngineOptions {
+                backend: Some(rsq_simd::BackendKind::Avx2),
+                ..d
+            },
+        ),
     ];
     let queries = ["B1", "W2", "B3r", "Wir", "A2", "Tsr", "C2r"];
     print!("{:<22}", "variant");

@@ -72,10 +72,10 @@ mod tests {
     fn finds_matching_close_in_block() {
         let (o, c) = masks(b"{a}{b{c}}", b'{', b'}');
         let mut depth = 1; // we are inside a `{` that opened before this text? no:
-        // text starts right after an opening brace; depth 1 means the first
-        // unmatched '}' closes it. "{a}" opens+closes (net 0), so the first
-        // unmatched close is... let's trace: '{'0 d=2, '}'2 d=1, '{'3 d=2,
-        // '{'5 d=3, '}'7 d=2, '}'8 d=1 — never 0.
+                           // text starts right after an opening brace; depth 1 means the first
+                           // unmatched '}' closes it. "{a}" opens+closes (net 0), so the first
+                           // unmatched close is... let's trace: '{'0 d=2, '}'2 d=1, '{'3 d=2,
+                           // '{'5 d=3, '}'7 d=2, '}'8 d=1 — never 0.
         assert_eq!(scan_block(o, c, &mut depth), None);
         assert_eq!(depth, 1);
 

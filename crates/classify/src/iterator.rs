@@ -334,6 +334,7 @@ impl<'a> StructuralIterator<'a> {
     }
 
     /// Yields the next enabled structural character.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: lending-style cursor with peek
     pub fn next(&mut self) -> Option<Structural> {
         let item = match self.peeked.take() {
             Some(p) => p,
@@ -366,9 +367,9 @@ impl<'a> StructuralIterator<'a> {
                 }
             }
             let (start, within_quotes, state_before) = self.cursor.next()?;
-            let mut mask = self
-                .tables
-                .classify(self.cursor.simd, self.cursor.bytes_at(start), within_quotes);
+            let mut mask =
+                self.tables
+                    .classify(self.cursor.simd, self.cursor.bytes_at(start), within_quotes);
             // Drop bits before a mid-block start position (resume case).
             if self.consumed_upto > start {
                 mask &= !low_bits((self.consumed_upto - start) as u32);
@@ -495,10 +496,11 @@ impl<'a> StructuralIterator<'a> {
     fn finish_skip(&mut self, cur: CurrentBlock, rel: u32, consume_close: bool) -> usize {
         let pos = cur.start + rel as usize;
         self.consumed_upto = if consume_close { pos + 1 } else { pos };
-        let mask = self
-            .tables
-            .classify(self.cursor.simd, self.cursor.bytes_at(cur.start), cur.within_quotes)
-            & !low_bits(rel + u32::from(consume_close));
+        let mask = self.tables.classify(
+            self.cursor.simd,
+            self.cursor.bytes_at(cur.start),
+            cur.within_quotes,
+        ) & !low_bits(rel + u32::from(consume_close));
         self.current = Some(CurrentBlock { mask, ..cur });
         pos
     }
@@ -568,10 +570,11 @@ impl<'a> StructuralIterator<'a> {
         debug_assert!(pos >= cur.start && pos < cur.start + BLOCK_SIZE);
         self.consumed_upto = pos + usize::from(consume);
         let rel = (pos - cur.start) as u32;
-        let mask = self
-            .tables
-            .classify(self.cursor.simd, self.cursor.bytes_at(cur.start), cur.within_quotes)
-            & !low_bits(rel + u32::from(consume));
+        let mask = self.tables.classify(
+            self.cursor.simd,
+            self.cursor.bytes_at(cur.start),
+            cur.within_quotes,
+        ) & !low_bits(rel + u32::from(consume));
         self.current = Some(CurrentBlock { mask, ..cur });
     }
 

@@ -28,9 +28,11 @@ mod pipeline;
 pub mod quotes;
 mod seek;
 mod structural;
+mod validate;
 
 pub use iterator::{BracketType, Structural, StructuralIterator};
-pub use seek::LabelSeek;
 pub use pipeline::{QuoteScanner, ResumeState};
 pub use quotes::{classify_quotes, QuoteClassification, QuoteState};
+pub use seek::LabelSeek;
 pub use structural::StructuralTables;
+pub use validate::{StructuralValidator, ValidationError, ValidationErrorKind};

@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn matches_scalar_reference_across_blocks() {
         let mut input = br#"{"a": "x", "long": ""#.to_vec();
-        input.extend(std::iter::repeat(b'y').take(100));
+        input.extend(std::iter::repeat_n(b'y', 100));
         input.extend_from_slice(br#"", "z": [1, "q\"w"]}"#);
         let expected = scalar_in_string(&input);
         let mut scanner = QuoteScanner::new(&input, Simd::detect());
@@ -201,7 +201,7 @@ mod tests {
         let input = vec![b'x'; 256];
         let mut scanner = QuoteScanner::new(&input, Simd::detect());
         let early = scanner.resume_state();
-        scanner.in_string_at(130);
+        let _ = scanner.in_string_at(130);
         let mid = scanner.resume_state();
         assert_eq!(mid.block_start, 128);
         scanner.catch_up(early); // ignored
@@ -218,7 +218,7 @@ mod tests {
     fn backwards_query_panics() {
         let input = vec![b'x'; 256];
         let mut scanner = QuoteScanner::new(&input, Simd::detect());
-        scanner.in_string_at(200);
+        let _ = scanner.in_string_at(200);
         let _ = scanner.in_string_at(10);
     }
 }

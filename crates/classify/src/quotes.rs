@@ -152,7 +152,7 @@ mod tests {
     fn long_backslash_runs() {
         for n in 0..10 {
             let mut v = b"\"".to_vec();
-            v.extend(std::iter::repeat(b'\\').take(n));
+            v.extend(std::iter::repeat_n(b'\\', n));
             v.extend_from_slice(b"\" {}");
             check(&v);
         }
@@ -169,7 +169,7 @@ mod tests {
     fn state_carries_across_superblock_boundary() {
         let mut input = vec![b' '; 250];
         input.extend_from_slice(br#""str", ["#);
-        input.extend(std::iter::repeat(b'x').take(300));
+        input.extend(std::iter::repeat_n(b'x', 300));
         input.extend_from_slice(br#" "tail\"" ]"#);
         check(&input);
     }
@@ -180,7 +180,7 @@ mod tests {
             for run in 1..6 {
                 let mut input = vec![b'x'; pad];
                 input.push(b'"');
-                input.extend(std::iter::repeat(b'\\').take(run));
+                input.extend(std::iter::repeat_n(b'\\', run));
                 input.extend_from_slice(b"\"q\" [,]");
                 check(&input);
             }
@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn block_of_only_backslashes() {
         let mut input = b"\"".to_vec();
-        input.extend(std::iter::repeat(b'\\').take(130));
+        input.extend(std::iter::repeat_n(b'\\', 130));
         input.extend_from_slice(b"\\\"\" 1");
         check(&input);
     }
@@ -204,7 +204,7 @@ mod tests {
     fn superblock_after_states_match_block_states() {
         let simd = Simd::detect();
         let mut input = br#"{"a": ""#.to_vec();
-        input.extend(std::iter::repeat(b'y').take(400));
+        input.extend(std::iter::repeat_n(b'y', 400));
         input.extend_from_slice(br#"", "b\\": 2}"#);
         input.resize(512, b' ');
         let sb0: &rsq_simd::Superblock = input[..256].try_into().unwrap();

@@ -1,0 +1,512 @@
+//! Streaming structural validation.
+//!
+//! The engine's classifiers (§4) assume well-formed input; on garbage they
+//! merely guarantee absence of panics, not meaningful results. For inputs
+//! from untrusted sources the engine offers a *strict* mode, and for the
+//! chunked-reader path it enforces a nesting-depth limit while bytes
+//! arrive. Both are powered by [`StructuralValidator`]: an incremental,
+//! SIMD-backed checker that consumes arbitrary-sized chunks, carries the
+//! quote-classifier state across block boundaries (the same stop/resume
+//! handoff as [`ResumeState`](crate::ResumeState), §4.5), and tracks one
+//! bracket-type bit per nesting level.
+//!
+//! The validator checks *structure*, not full JSON grammar:
+//!
+//! * brackets outside strings balance and types match (`[` closes with
+//!   `]`, `{` with `}`);
+//! * strings terminate (escape-aware, via the quote classifier);
+//! * nothing but whitespace follows a bracket-closed root value;
+//! * nesting depth stays within a configurable limit.
+//!
+//! Token-level mistakes (`{:1}`, `[,]`, misplaced literals) pass — the
+//! engine's event loop tolerates them by construction, so rejecting them
+//! is a parser's job, not this validator's. Depth accounting always runs;
+//! malformation *reporting* is opt-in (`strict`), so the lenient reader
+//! path can enforce the depth limit alone.
+
+use crate::quotes::QuoteState;
+use rsq_simd::{BitIter, Block, ByteClassifier, ByteSet, Simd, BLOCK_SIZE};
+use std::fmt;
+
+/// What a [`StructuralValidator`] found wrong.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValidationErrorKind {
+    /// A closing bracket with no container open.
+    UnexpectedCloser,
+    /// A closing bracket of the wrong type for the innermost container.
+    MismatchedCloser,
+    /// A non-whitespace byte after the root container closed.
+    TrailingContent,
+    /// The input ended inside a string.
+    UnclosedString,
+    /// The input ended with containers still open.
+    UnclosedBrackets {
+        /// How many containers were open at end of input.
+        open: u32,
+    },
+    /// Nesting exceeded the configured depth limit.
+    DepthLimitExceeded {
+        /// The configured limit.
+        limit: u32,
+    },
+}
+
+/// A structural defect, located at the byte offset that revealed it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Byte offset of the offending character (end of input for
+    /// `Unclosed*` kinds).
+    pub pos: usize,
+    /// The defect.
+    pub kind: ValidationErrorKind,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ValidationErrorKind::UnexpectedCloser => {
+                write!(f, "unexpected closing bracket at byte {}", self.pos)
+            }
+            ValidationErrorKind::MismatchedCloser => {
+                write!(f, "mismatched closing bracket at byte {}", self.pos)
+            }
+            ValidationErrorKind::TrailingContent => {
+                write!(
+                    f,
+                    "trailing content after document root at byte {}",
+                    self.pos
+                )
+            }
+            ValidationErrorKind::UnclosedString => {
+                write!(f, "unterminated string at end of input (byte {})", self.pos)
+            }
+            ValidationErrorKind::UnclosedBrackets { open } => {
+                write!(
+                    f,
+                    "{open} unclosed bracket(s) at end of input (byte {})",
+                    self.pos
+                )
+            }
+            ValidationErrorKind::DepthLimitExceeded { limit } => {
+                write!(
+                    f,
+                    "nesting depth exceeds limit {limit} at byte {}",
+                    self.pos
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Incremental structural validator over arbitrary-sized input chunks.
+///
+/// Feed bytes with [`feed`](Self::feed) (any chunk sizes, including one
+/// byte at a time), then call [`finish`](Self::finish) once at end of
+/// input. Both fail fast: after an error is detected, further feeding
+/// returns the same error immediately.
+///
+/// # Examples
+///
+/// ```
+/// use rsq_classify::{StructuralValidator, ValidationErrorKind};
+/// use rsq_simd::Simd;
+///
+/// let simd = Simd::detect();
+/// let mut ok = StructuralValidator::new(simd);
+/// ok.feed(br#"{"a": [1, "]"]}"#).unwrap();
+/// ok.finish().unwrap();
+///
+/// let mut bad = StructuralValidator::new(simd);
+/// bad.feed(br#"{"a": [1, 2}"#).unwrap();
+/// let err = bad.finish().unwrap_err();
+/// assert_eq!(err.kind, ValidationErrorKind::MismatchedCloser);
+/// assert_eq!(err.pos, 11);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StructuralValidator {
+    simd: Simd,
+    whitespace: ByteClassifier,
+    quote_state: QuoteState,
+    /// One bit per open container: 1 = array (`[`), 0 = object (`{`).
+    stack: Vec<u64>,
+    depth: u32,
+    max_depth: Option<u32>,
+    strict: bool,
+    /// Absolute offset of the first byte of `staging`.
+    consumed: usize,
+    staging: Block,
+    staged: usize,
+    root_closed: bool,
+    error: Option<ValidationError>,
+}
+
+impl StructuralValidator {
+    /// A validator reporting every structural defect (strict), with no
+    /// depth limit.
+    #[must_use]
+    pub fn new(simd: Simd) -> Self {
+        StructuralValidator {
+            simd,
+            whitespace: ByteClassifier::new(&ByteSet::from_bytes(b" \t\n\r")),
+            quote_state: QuoteState::default(),
+            stack: Vec::new(),
+            depth: 0,
+            max_depth: None,
+            strict: true,
+            consumed: 0,
+            staging: [0; BLOCK_SIZE],
+            staged: 0,
+            root_closed: false,
+            error: None,
+        }
+    }
+
+    /// Caps nesting depth; exceeding it is reported even when malformation
+    /// reporting is off.
+    #[must_use]
+    pub fn with_max_depth(mut self, limit: u32) -> Self {
+        self.max_depth = Some(limit);
+        self
+    }
+
+    /// Enables or disables malformation reporting. With `false`, only
+    /// [`DepthLimitExceeded`](ValidationErrorKind::DepthLimitExceeded) is
+    /// ever reported; depth bookkeeping continues best-effort through
+    /// malformed structure (extra closers are ignored).
+    #[must_use]
+    pub fn strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+
+    /// Consumes the next chunk of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect detected so far (possibly from
+    /// an earlier chunk; detection is at block granularity, so an error may
+    /// also surface one call late).
+    pub fn feed(&mut self, mut bytes: &[u8]) -> Result<(), ValidationError> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        // Top up the staging block first. If the chunk doesn't fill it,
+        // the input is exhausted and the bytes stay staged.
+        if self.staged > 0 {
+            let take = bytes.len().min(BLOCK_SIZE - self.staged);
+            self.staging[self.staged..self.staged + take].copy_from_slice(&bytes[..take]);
+            self.staged += take;
+            bytes = &bytes[take..];
+            if self.staged < BLOCK_SIZE {
+                return Ok(());
+            }
+            let block = self.staging;
+            self.process_block(&block, BLOCK_SIZE);
+            self.staged = 0;
+            if let Some(err) = self.error {
+                return Err(err);
+            }
+        }
+        // Whole blocks straight from the input.
+        let mut chunks = bytes.chunks_exact(BLOCK_SIZE);
+        for chunk in chunks.by_ref() {
+            let block: &Block = chunk.try_into().expect("exact chunk");
+            self.process_block(block, BLOCK_SIZE);
+            if let Some(err) = self.error {
+                return Err(err);
+            }
+        }
+        // Stage the remainder.
+        let rest = chunks.remainder();
+        self.staging[..rest.len()].copy_from_slice(rest);
+        self.staged = rest.len();
+        Ok(())
+    }
+
+    /// Signals end of input and reports the verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect of the whole input.
+    pub fn finish(&mut self) -> Result<(), ValidationError> {
+        if self.error.is_none() && self.staged > 0 {
+            let mut block = self.staging;
+            let len = self.staged;
+            // Zero the tail: stale bytes past `len` would otherwise leak
+            // into the quote classifier's carried state.
+            block[len..].fill(0);
+            self.process_block(&block, len);
+            self.consumed += len;
+            self.staged = 0;
+        }
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        if self.strict {
+            if self.quote_state.in_string {
+                return Err(self.set_error(self.consumed, ValidationErrorKind::UnclosedString));
+            }
+            if self.depth > 0 {
+                return Err(self.set_error(
+                    self.consumed,
+                    ValidationErrorKind::UnclosedBrackets { open: self.depth },
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Nesting depth at the current frontier.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    fn set_error(&mut self, pos: usize, kind: ValidationErrorKind) -> ValidationError {
+        let err = ValidationError { pos, kind };
+        self.error = Some(err);
+        err
+    }
+
+    fn process_block(&mut self, block: &Block, len: usize) {
+        let valid = if len == BLOCK_SIZE {
+            !0u64
+        } else {
+            (1u64 << len) - 1
+        };
+        let within = self.simd.classify_quotes(block, &mut self.quote_state);
+        let outside = !within & valid;
+        let (open_brace, close_brace) = self.simd.eq_mask2(block, b'{', b'}');
+        let (open_bracket, close_bracket) = self.simd.eq_mask2(block, b'[', b']');
+        let opens = (open_brace | open_bracket) & outside;
+        let closes = (close_brace | close_bracket) & outside;
+        let array_bits = open_bracket | close_bracket;
+
+        // `trailing_from` is the bit after which non-whitespace bytes are
+        // trailing content (the root closed there), if any.
+        let mut trailing_from: Option<u32> = if self.root_closed { Some(0) } else { None };
+
+        for bit in BitIter::new(opens | closes) {
+            let pos = self.consumed + bit as usize;
+            let is_array = array_bits >> bit & 1 == 1;
+            if opens >> bit & 1 == 1 {
+                if let Some(limit) = self.max_depth {
+                    if self.depth >= limit {
+                        self.set_error(pos, ValidationErrorKind::DepthLimitExceeded { limit });
+                        return;
+                    }
+                }
+                let (word, level_bit) = (self.depth as usize / 64, self.depth % 64);
+                if word == self.stack.len() {
+                    self.stack.push(0);
+                }
+                if is_array {
+                    self.stack[word] |= 1 << level_bit;
+                } else {
+                    self.stack[word] &= !(1 << level_bit);
+                }
+                self.depth += 1;
+            } else if self.depth == 0 {
+                if self.strict {
+                    self.set_error(pos, ValidationErrorKind::UnexpectedCloser);
+                    return;
+                }
+                // Lenient: ignore the extra closer.
+            } else {
+                self.depth -= 1;
+                let (word, level_bit) = (self.depth as usize / 64, self.depth % 64);
+                let opened_array = self.stack[word] >> level_bit & 1 == 1;
+                if self.strict && opened_array != is_array {
+                    self.set_error(pos, ValidationErrorKind::MismatchedCloser);
+                    return;
+                }
+                if self.depth == 0 && !self.root_closed {
+                    self.root_closed = true;
+                    trailing_from = Some(bit + 1);
+                }
+            }
+        }
+
+        if self.strict {
+            if let Some(from) = trailing_from {
+                // Any non-whitespace byte after the root closed is trailing
+                // content — including string bytes, so use `valid`, not
+                // `outside`.
+                let after = if from >= 64 { 0 } else { !0u64 << from };
+                let nonws = !self.whitespace.classify_block(self.simd, block) & valid;
+                let trailing = nonws & after;
+                if trailing != 0 {
+                    let pos = self.consumed + trailing.trailing_zeros() as usize;
+                    self.set_error(pos, ValidationErrorKind::TrailingContent);
+                    return;
+                }
+            }
+        }
+
+        if len == BLOCK_SIZE {
+            self.consumed += BLOCK_SIZE;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simd() -> Simd {
+        Simd::detect()
+    }
+
+    fn validate(input: &[u8]) -> Result<(), ValidationError> {
+        let mut v = StructuralValidator::new(simd());
+        v.feed(input)?;
+        v.finish()
+    }
+
+    /// Every chunking of the input must yield the identical verdict.
+    fn validate_chunked(input: &[u8], chunk: usize) -> Result<(), ValidationError> {
+        let mut v = StructuralValidator::new(simd());
+        for piece in input.chunks(chunk.max(1)) {
+            v.feed(piece)?;
+        }
+        v.finish()
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        for doc in [
+            br#"{"a": [1, 2, {"b": "]}"}]}"#.as_slice(),
+            b"[]",
+            b"{}",
+            br#"  {"x": "\"{["}  "#,
+            b"123",
+            br#""just a string""#,
+            b"",
+            b"   ",
+        ] {
+            assert_eq!(validate(doc), Ok(()), "{:?}", String::from_utf8_lossy(doc));
+        }
+    }
+
+    #[test]
+    fn rejects_structural_garbage() {
+        let cases: &[(&[u8], ValidationErrorKind)] = &[
+            (b"}}}}", ValidationErrorKind::UnexpectedCloser),
+            (b"]]]]{{{{", ValidationErrorKind::UnexpectedCloser),
+            (b"{{{{", ValidationErrorKind::UnclosedBrackets { open: 4 }),
+            (b"[[[[", ValidationErrorKind::UnclosedBrackets { open: 4 }),
+            (b"{\"a\"", ValidationErrorKind::UnclosedBrackets { open: 1 }),
+            (b"\"unterminated", ValidationErrorKind::UnclosedString),
+            (b"{\"a\": [1, 2}", ValidationErrorKind::MismatchedCloser),
+            (b"[{\"x\": ]1}", ValidationErrorKind::MismatchedCloser),
+            (b"{} {}", ValidationErrorKind::TrailingContent),
+            (b"{}x", ValidationErrorKind::TrailingContent),
+            (b"[] \"s\"", ValidationErrorKind::TrailingContent),
+        ];
+        for &(doc, want) in cases {
+            let got = validate(doc).unwrap_err();
+            assert_eq!(got.kind, want, "{:?}", String::from_utf8_lossy(doc));
+        }
+    }
+
+    #[test]
+    fn brackets_inside_strings_are_ignored() {
+        assert_eq!(validate(br#"{"s": "}}}]]]["}"#), Ok(()));
+        assert_eq!(validate(br#"["a\"]", "]"]"#), Ok(()));
+    }
+
+    #[test]
+    fn chunking_is_invisible() {
+        let mut doc = br#"{"pad": ""#.to_vec();
+        doc.extend(std::iter::repeat_n(b'x', 200));
+        doc.extend_from_slice(br#"", "deep": [[[{"a": 1}]]]}"#);
+        let whole = validate(&doc);
+        for chunk in [1, 2, 3, 7, 63, 64, 65, 256] {
+            assert_eq!(validate_chunked(&doc, chunk), whole, "chunk {chunk}");
+        }
+        let mut bad = doc.clone();
+        let len = bad.len();
+        bad[len - 1] = b')'; // drop the final closer
+        let whole = validate(&bad);
+        assert!(whole.is_err());
+        for chunk in [1, 5, 64, 100] {
+            assert_eq!(validate_chunked(&bad, chunk), whole, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_trips_exactly() {
+        let doc = b"[[[[[[[[]]]]]]]]"; // depth 8
+        let v = |limit| {
+            let mut v = StructuralValidator::new(simd()).with_max_depth(limit);
+            v.feed(doc).and_then(|()| v.finish())
+        };
+        assert_eq!(v(8), Ok(()));
+        let err = v(7).unwrap_err();
+        assert_eq!(
+            err.kind,
+            ValidationErrorKind::DepthLimitExceeded { limit: 7 }
+        );
+        assert_eq!(err.pos, 7);
+    }
+
+    #[test]
+    fn lenient_mode_reports_only_depth() {
+        let mut v = StructuralValidator::new(simd())
+            .strict(false)
+            .with_max_depth(4);
+        v.feed(b"}}}} [1, 2").unwrap();
+        v.finish().unwrap();
+
+        let mut v = StructuralValidator::new(simd())
+            .strict(false)
+            .with_max_depth(4);
+        let err = v
+            .feed(b"]]] [[[[[ 1")
+            .and_then(|()| v.finish())
+            .unwrap_err();
+        assert_eq!(
+            err.kind,
+            ValidationErrorKind::DepthLimitExceeded { limit: 4 }
+        );
+    }
+
+    #[test]
+    fn deep_document_fails_fast_without_memory_blowup() {
+        // One million openers, fed in chunks: the validator must stop at
+        // the limit, long before buffering the rest.
+        let chunk = vec![b'['; 4096];
+        let mut v = StructuralValidator::new(simd()).with_max_depth(1024);
+        let mut result = Ok(());
+        for _ in 0..250 {
+            result = v.feed(&chunk);
+            if result.is_err() {
+                break;
+            }
+        }
+        let err = result.unwrap_err();
+        assert_eq!(
+            err.kind,
+            ValidationErrorKind::DepthLimitExceeded { limit: 1024 }
+        );
+        assert_eq!(err.pos, 1024);
+    }
+
+    #[test]
+    fn error_positions_are_absolute() {
+        let mut doc = vec![b'['; 1];
+        doc.extend(std::iter::repeat_n(b' ', 100));
+        doc.push(b'}');
+        let err = validate(&doc).unwrap_err();
+        assert_eq!(err.kind, ValidationErrorKind::MismatchedCloser);
+        assert_eq!(err.pos, 101);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_string() {
+        let err = validate(br#""ends with escape \""#).unwrap_err();
+        assert_eq!(err.kind, ValidationErrorKind::UnclosedString);
+    }
+}

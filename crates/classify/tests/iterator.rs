@@ -53,7 +53,10 @@ fn toggled_commas_and_colons_appear() {
 fn toggle_mid_stream_reclassifies_current_block() {
     let input = br#"{"a": 1, "b": 2}"#;
     let mut it = iter(input);
-    assert!(matches!(it.next(), Some(Structural::Opening(BracketType::Brace, 0))));
+    assert!(matches!(
+        it.next(),
+        Some(Structural::Opening(BracketType::Brace, 0))
+    ));
     // Nothing but the closing brace is classified yet.
     it.set_toggles(false, true);
     let got = drain(&mut it);
@@ -98,11 +101,11 @@ fn label_before_openings() {
     assert_eq!(
         labels,
         vec![
-            None,                      // root {
-            Some(b"alpha".to_vec()),   // {"beta"...
-            Some(b"beta".to_vec()),    // [1]
-            Some(b"g".to_vec()),       // [{}]
-            None,                      // {} inside array
+            None,                    // root {
+            Some(b"alpha".to_vec()), // {"beta"...
+            Some(b"beta".to_vec()),  // [1]
+            Some(b"g".to_vec()),     // [{}]
+            None,                    // {} inside array
         ]
     );
 }
@@ -266,7 +269,7 @@ fn empty_and_tiny_inputs() {
 #[test]
 fn resume_state_round_trips_through_iterator() {
     let mut input = br#"{"a": "#.to_vec();
-    input.extend(std::iter::repeat(b' ').take(100));
+    input.extend(std::iter::repeat_n(b' ', 100));
     input.extend_from_slice(br#"[1], "b": {}}"#);
     let mut it = iter(&input);
     it.next(); // {

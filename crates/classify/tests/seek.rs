@@ -59,7 +59,7 @@ fn boundary_respects_levels() {
     it.next(); // root {
     it.next(); // o's {
     it.next(); // i's {
-    // From inside i, allow climbing out of i (one level) but not out of o.
+               // From inside i, allow climbing out of i (one level) but not out of o.
     match it.seek_label(b"target", 1) {
         LabelSeek::Boundary => {}
         other => panic!("{other:?}"),
@@ -94,7 +94,10 @@ fn lookalikes_inside_strings_are_rejected() {
     }
     let next = it.next().unwrap();
     assert_eq!(input[next.position()], b'{');
-    assert!(next.position() > 30, "must be the real target, not the fake");
+    assert!(
+        next.position() > 30,
+        "must be the real target, not the fake"
+    );
 }
 
 #[test]
@@ -103,7 +106,10 @@ fn string_value_of_label_is_not_a_member() {
     let input = br#"{"a": "target", "target": [0]}"#;
     let mut it = iter(input);
     it.next();
-    assert!(matches!(it.seek_label(b"target", 0), LabelSeek::Candidate { .. }));
+    assert!(matches!(
+        it.seek_label(b"target", 0),
+        LabelSeek::Candidate { .. }
+    ));
     let next = it.next().unwrap();
     assert!(matches!(next, Structural::Opening(BracketType::Bracket, _)));
 }

@@ -1,15 +1,22 @@
 //! Library backing the `rsq` command-line tool, factored out so the
 //! argument parsing and the command implementations are unit-testable.
+//!
+//! Failures carry a [`CliErrorKind`] so the binary can exit with a
+//! distinct status per failure class (bad query vs. unreadable input vs.
+//! tripped resource limit), making the tool scriptable: a wrapper can
+//! retry I/O failures but treat query errors as fatal. All diagnostics go
+//! to stderr; stdout carries results only.
 
 #![warn(missing_docs)]
 
-use rsq_engine::Engine;
+use rsq_engine::{Engine, EngineOptions, RunError};
 use rsq_query::Query;
+use std::fmt;
 use std::io::Write;
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "\
-usage: rsq [MODE] QUERY [FILE]
+usage: rsq [MODE] [OPTIONS] QUERY [FILE]
        rsq --stats [FILE]
        rsq --compile QUERY
 
@@ -18,7 +25,18 @@ modes:
   --count       print only the number of matches
   --positions   print the byte offset of every match
   --verify      evaluate both streamed and on a DOM oracle; fail on mismatch
-reads from stdin when FILE is omitted";
+
+options:
+  --strict            reject structurally malformed documents
+  --max-depth N       abort beyond N nesting levels (default 1024)
+  --max-bytes N       abort when the document exceeds N bytes
+  --max-matches N     abort after N matches
+
+reads from stdin when FILE is omitted (chunked; limits apply while
+bytes arrive)
+
+exit codes: 0 ok, 1 failure, 2 usage, 3 bad query, 4 I/O error,
+5 resource limit exceeded, 6 malformed document";
 
 /// What the user asked for.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,6 +55,73 @@ pub enum Mode {
     Compile,
 }
 
+/// Failure class, mapped to the process exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CliErrorKind {
+    /// Any other failure (oracle mismatch, write error).
+    Failure,
+    /// The query does not parse or compile.
+    Query,
+    /// The input cannot be read.
+    Io,
+    /// A resource limit tripped.
+    Limit,
+    /// The document failed strict validation.
+    Malformed,
+}
+
+impl CliErrorKind {
+    /// The exit code for this failure class (usage errors are code 2,
+    /// raised before a `CliError` exists).
+    #[must_use]
+    pub fn exit_code(self) -> u8 {
+        match self {
+            CliErrorKind::Failure => 1,
+            CliErrorKind::Query => 3,
+            CliErrorKind::Io => 4,
+            CliErrorKind::Limit => 5,
+            CliErrorKind::Malformed => 6,
+        }
+    }
+}
+
+/// A classified failure with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError {
+    /// Failure class (drives the exit code).
+    pub kind: CliErrorKind,
+    /// Message for stderr.
+    pub message: String,
+}
+
+impl CliError {
+    fn new(kind: CliErrorKind, message: impl Into<String>) -> Self {
+        CliError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<RunError> for CliError {
+    fn from(e: RunError) -> Self {
+        let kind = match &e {
+            RunError::Io(_) => CliErrorKind::Io,
+            RunError::LimitExceeded { .. } => CliErrorKind::Limit,
+            RunError::Malformed(_) => CliErrorKind::Malformed,
+        };
+        CliError::new(kind, e.to_string())
+    }
+}
+
 /// A parsed command line.
 #[derive(Clone, Debug)]
 pub struct Invocation {
@@ -46,6 +131,8 @@ pub struct Invocation {
     pub query: String,
     /// Input path; `None` = stdin.
     pub file: Option<String>,
+    /// Engine options assembled from `--strict`/`--max-*` flags.
+    pub options: EngineOptions,
 }
 
 impl Invocation {
@@ -57,129 +144,207 @@ impl Invocation {
     /// valid invocation.
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut mode = Mode::Values;
+        let mut options = EngineOptions::default();
         let mut rest: Vec<&str> = Vec::new();
-        for arg in args {
+        let mut it = args.iter();
+        // A valued flag accepts both `--flag N` and `--flag=N`.
+        let value_of = |flag: &str, arg: &str, it: &mut std::slice::Iter<'_, String>| {
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                return Some(Ok(v.to_owned()));
+            }
+            if arg == flag {
+                return Some(match it.next() {
+                    Some(v) => Ok(v.clone()),
+                    None => Err(format!("{flag} requires a value")),
+                });
+            }
+            None
+        };
+        while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--count" => mode = Mode::Count,
                 "--positions" => mode = Mode::Positions,
                 "--verify" => mode = Mode::Verify,
                 "--stats" => mode = Mode::Stats,
                 "--compile" => mode = Mode::Compile,
+                "--strict" => options.strict = true,
                 "--help" | "-h" => return Err(String::new()),
                 flag if flag.starts_with("--") => {
-                    return Err(format!("unknown flag {flag}"));
+                    if let Some(v) = value_of("--max-depth", flag, &mut it) {
+                        options.max_depth = parse_number("--max-depth", &v?)?;
+                    } else if let Some(v) = value_of("--max-bytes", flag, &mut it) {
+                        options.max_document_bytes = Some(parse_number("--max-bytes", &v?)?);
+                    } else if let Some(v) = value_of("--max-matches", flag, &mut it) {
+                        options.max_matches = Some(parse_number("--max-matches", &v?)?);
+                    } else {
+                        return Err(format!("unknown flag {flag}"));
+                    }
                 }
                 other => rest.push(other),
             }
         }
+        let invocation = |mode, query: &str, file: Option<&str>| Invocation {
+            mode,
+            query: query.to_owned(),
+            file: file.map(str::to_owned),
+            options,
+        };
         match mode {
             Mode::Stats => match rest.as_slice() {
-                [] => Ok(Invocation { mode, query: String::new(), file: None }),
-                [file] => Ok(Invocation {
-                    mode,
-                    query: String::new(),
-                    file: Some((*file).to_owned()),
-                }),
+                [] => Ok(invocation(mode, "", None)),
+                [file] => Ok(invocation(mode, "", Some(file))),
                 _ => Err("--stats takes at most one FILE".to_owned()),
             },
             Mode::Compile => match rest.as_slice() {
-                [query] => Ok(Invocation {
-                    mode,
-                    query: (*query).to_owned(),
-                    file: None,
-                }),
+                [query] => Ok(invocation(mode, query, None)),
                 _ => Err("--compile takes exactly one QUERY".to_owned()),
             },
             _ => match rest.as_slice() {
-                [query] => Ok(Invocation {
-                    mode,
-                    query: (*query).to_owned(),
-                    file: None,
-                }),
-                [query, file] => Ok(Invocation {
-                    mode,
-                    query: (*query).to_owned(),
-                    file: Some((*file).to_owned()),
-                }),
+                [query] => Ok(invocation(mode, query, None)),
+                [query, file] => Ok(invocation(mode, query, Some(file))),
                 _ => Err("expected QUERY [FILE]".to_owned()),
             },
         }
     }
 }
 
-fn read_input(file: Option<&str>) -> Result<Vec<u8>, String> {
+fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: invalid number {value:?}"))
+}
+
+/// Ingests the document through the engine's hardened reader path:
+/// chunked reads (stdin included), transient-error retry, and limits
+/// enforced while bytes arrive.
+fn read_input(engine: &Engine, file: Option<&str>) -> Result<Vec<u8>, CliError> {
     match file {
-        Some(path) => std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}")),
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot read {path}: {e}")))?;
+            engine
+                .read_document(std::io::BufReader::new(file))
+                .map_err(|e| {
+                    let mut err = CliError::from(e);
+                    err.message = format!("{path}: {}", err.message);
+                    err
+                })
+        }
+        None => engine.read_document(std::io::stdin().lock()).map_err(|e| {
+            let mut err = CliError::from(e);
+            err.message = format!("stdin: {}", err.message);
+            err
+        }),
+    }
+}
+
+/// Reads input without an engine (`--stats` has no query to configure
+/// one).
+fn read_input_plain(file: Option<&str>) -> Result<Vec<u8>, CliError> {
+    match file {
+        Some(path) => std::fs::read(path)
+            .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot read {path}: {e}"))),
         None => {
             let mut buf = Vec::new();
             std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut buf)
-                .map_err(|e| format!("cannot read stdin: {e}"))?;
+                .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot read stdin: {e}")))?;
             Ok(buf)
         }
     }
+}
+
+fn compile(invocation: &Invocation) -> Result<Engine, CliError> {
+    let query = Query::parse(&invocation.query)
+        .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))?;
+    Engine::with_options(&query, invocation.options)
+        .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))
 }
 
 /// Executes an invocation, writing results to `out`.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message on bad queries, unreadable input, or
-/// (in `--verify` mode) an engine/oracle mismatch.
-pub fn run(invocation: &Invocation, out: &mut impl Write) -> Result<(), String> {
+/// Returns a classified [`CliError`] on bad queries, unreadable input,
+/// tripped limits, strict-mode validation failures, or (in `--verify`
+/// mode) an engine/oracle mismatch.
+pub fn run(invocation: &Invocation, out: &mut impl Write) -> Result<(), CliError> {
     let emit = |out: &mut dyn Write, text: std::fmt::Arguments<'_>| {
-        writeln!(out, "{text}").map_err(|e| format!("write error: {e}"))
+        writeln!(out, "{text}")
+            .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))
     };
     match invocation.mode {
         Mode::Stats => {
-            let input = read_input(invocation.file.as_deref())?;
+            let input = read_input_plain(invocation.file.as_deref())?;
             let stats = rsq_json::document_stats(&input);
-            emit(out, format_args!("size      {} bytes ({:.2} MB)", stats.size_bytes, stats.size_mb()))?;
+            emit(
+                out,
+                format_args!(
+                    "size      {} bytes ({:.2} MB)",
+                    stats.size_bytes,
+                    stats.size_mb()
+                ),
+            )?;
             emit(out, format_args!("depth     {}", stats.max_depth))?;
             emit(out, format_args!("nodes     {}", stats.node_count))?;
-            emit(out, format_args!("verbosity {:.2} bytes/node", stats.verbosity()))
+            emit(
+                out,
+                format_args!("verbosity {:.2} bytes/node", stats.verbosity()),
+            )
         }
         Mode::Compile => {
-            let query = Query::parse(&invocation.query).map_err(|e| e.to_string())?;
-            let automaton = rsq_query::Automaton::compile(&query).map_err(|e| e.to_string())?;
-            write!(out, "{}", automaton.to_dot()).map_err(|e| format!("write error: {e}"))
+            let query = Query::parse(&invocation.query)
+                .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))?;
+            let automaton = rsq_query::Automaton::compile(&query)
+                .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))?;
+            write!(out, "{}", automaton.to_dot())
+                .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))
         }
         Mode::Count => {
-            let engine = Engine::from_text(&invocation.query).map_err(|e| e.to_string())?;
-            let input = read_input(invocation.file.as_deref())?;
-            emit(out, format_args!("{}", engine.count(&input)))
+            let engine = compile(invocation)?;
+            let input = read_input(&engine, invocation.file.as_deref())?;
+            emit(out, format_args!("{}", engine.try_count(&input)?))
         }
         Mode::Positions => {
-            let engine = Engine::from_text(&invocation.query).map_err(|e| e.to_string())?;
-            let input = read_input(invocation.file.as_deref())?;
-            for pos in engine.positions(&input) {
+            let engine = compile(invocation)?;
+            let input = read_input(&engine, invocation.file.as_deref())?;
+            for pos in engine.try_positions(&input)? {
                 emit(out, format_args!("{pos}"))?;
             }
             Ok(())
         }
         Mode::Values => {
-            let engine = Engine::from_text(&invocation.query).map_err(|e| e.to_string())?;
-            let input = read_input(invocation.file.as_deref())?;
-            for pos in engine.positions(&input) {
+            let engine = compile(invocation)?;
+            let input = read_input(&engine, invocation.file.as_deref())?;
+            for pos in engine.try_positions(&input)? {
                 let text = node_text(&input, pos).unwrap_or("<malformed>");
                 emit(out, format_args!("{text}"))?;
             }
             Ok(())
         }
         Mode::Verify => {
-            let query = Query::parse(&invocation.query).map_err(|e| e.to_string())?;
-            let engine = Engine::from_query(&query).map_err(|e| e.to_string())?;
-            let input = read_input(invocation.file.as_deref())?;
-            let streamed = engine.positions(&input);
-            let dom = rsq_json::parse(&input).map_err(|e| e.to_string())?;
+            let query = Query::parse(&invocation.query)
+                .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))?;
+            let engine = Engine::with_options(&query, invocation.options)
+                .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))?;
+            let input = read_input(&engine, invocation.file.as_deref())?;
+            let streamed = engine.try_positions(&input)?;
+            let dom = rsq_json::parse(&input)
+                .map_err(|e| CliError::new(CliErrorKind::Malformed, e.to_string()))?;
             let oracle = rsq_baselines::positions(&query, &dom);
             if streamed == oracle {
-                emit(out, format_args!("ok: {} matches, engine and oracle agree", streamed.len()))
+                emit(
+                    out,
+                    format_args!("ok: {} matches, engine and oracle agree", streamed.len()),
+                )
             } else {
-                Err(format!(
-                    "MISMATCH: engine found {} matches, oracle {} (this is a bug — \
-                     duplicate sibling keys? see README on sibling skipping)",
-                    streamed.len(),
-                    oracle.len()
+                Err(CliError::new(
+                    CliErrorKind::Failure,
+                    format!(
+                        "MISMATCH: engine found {} matches, oracle {} (this is a bug — \
+                         duplicate sibling keys? see README on sibling skipping)",
+                        streamed.len(),
+                        oracle.len()
+                    ),
                 ))
             }
         }
@@ -258,7 +423,13 @@ mod tests {
     fn parses_modes() {
         assert_eq!(parse(&["$..a"]).unwrap().mode, Mode::Values);
         assert_eq!(parse(&["--count", "$..a"]).unwrap().mode, Mode::Count);
-        assert_eq!(parse(&["--positions", "$..a", "f.json"]).unwrap().file.as_deref(), Some("f.json"));
+        assert_eq!(
+            parse(&["--positions", "$..a", "f.json"])
+                .unwrap()
+                .file
+                .as_deref(),
+            Some("f.json")
+        );
         assert_eq!(parse(&["--stats"]).unwrap().mode, Mode::Stats);
         assert_eq!(parse(&["--compile", "$.a"]).unwrap().mode, Mode::Compile);
         assert!(parse(&["--nope", "$..a"]).is_err());
@@ -266,7 +437,28 @@ mod tests {
         assert!(parse(&["a", "b", "c"]).is_err());
     }
 
-    fn run_to_string(inv: &Invocation) -> Result<String, String> {
+    #[test]
+    fn parses_limit_flags() {
+        let inv = parse(&[
+            "--strict",
+            "--max-depth",
+            "64",
+            "--max-bytes=1000",
+            "--max-matches",
+            "5",
+            "$..a",
+        ])
+        .unwrap();
+        assert!(inv.options.strict);
+        assert_eq!(inv.options.max_depth, 64);
+        assert_eq!(inv.options.max_document_bytes, Some(1000));
+        assert_eq!(inv.options.max_matches, Some(5));
+        assert!(parse(&["--max-depth", "$..a"]).is_err()); // not a number
+        assert!(parse(&["--max-depth"]).is_err()); // missing value
+        assert!(parse(&["--max-bytes=many", "$..a"]).is_err());
+    }
+
+    fn run_to_string(inv: &Invocation) -> Result<String, CliError> {
         let mut out = Vec::new();
         run(inv, &mut out)?;
         Ok(String::from_utf8(out).unwrap())
@@ -290,6 +482,7 @@ mod tests {
                 mode,
                 query: "$..b".to_owned(),
                 file: Some(path.to_owned()),
+                options: EngineOptions::default(),
             };
             assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "2\n");
             assert_eq!(run_to_string(&inv(Mode::Values)).unwrap(), "2\n3\n");
@@ -301,12 +494,70 @@ mod tests {
     }
 
     #[test]
+    fn error_kinds_are_classified() {
+        let bad_query = Invocation {
+            mode: Mode::Count,
+            query: "nope".to_owned(),
+            file: None,
+            options: EngineOptions::default(),
+        };
+        assert_eq!(
+            run(&bad_query, &mut Vec::new()).unwrap_err().kind,
+            CliErrorKind::Query
+        );
+
+        let missing_file = Invocation {
+            mode: Mode::Count,
+            query: "$..a".to_owned(),
+            file: Some("/nonexistent/rsq-test.json".to_owned()),
+            options: EngineOptions::default(),
+        };
+        assert_eq!(
+            run(&missing_file, &mut Vec::new()).unwrap_err().kind,
+            CliErrorKind::Io
+        );
+
+        with_temp_file(r#"{"a": 1, "a": 2"#, |path| {
+            let strict = Invocation {
+                mode: Mode::Count,
+                query: "$..a".to_owned(),
+                file: Some(path.to_owned()),
+                options: EngineOptions {
+                    strict: true,
+                    ..EngineOptions::default()
+                },
+            };
+            assert_eq!(
+                run(&strict, &mut Vec::new()).unwrap_err().kind,
+                CliErrorKind::Malformed
+            );
+        });
+
+        with_temp_file(r#"{"a": 1, "b": {"a": 2}}"#, |path| {
+            let limited = Invocation {
+                mode: Mode::Count,
+                query: "$..a".to_owned(),
+                file: Some(path.to_owned()),
+                options: EngineOptions {
+                    max_matches: Some(1),
+                    ..EngineOptions::default()
+                },
+            };
+            assert_eq!(
+                run(&limited, &mut Vec::new()).unwrap_err().kind,
+                CliErrorKind::Limit
+            );
+        });
+    }
+
+    #[test]
     fn stats_mode() {
         with_temp_file(r#"{"a": [1, 2]}"#, |path| {
             let inv = Invocation {
                 mode: Mode::Stats,
                 query: String::new(),
                 file: Some(path.to_owned()),
+                options: EngineOptions::default(),
             };
             let out = run_to_string(&inv).unwrap();
             assert!(out.contains("nodes     4"), "{out}");
@@ -320,19 +571,10 @@ mod tests {
             mode: Mode::Compile,
             query: "$.a..b".to_owned(),
             file: None,
+            options: EngineOptions::default(),
         };
         let out = run_to_string(&inv).unwrap();
         assert!(out.starts_with("digraph"));
         assert!(out.contains("doublecircle"));
-    }
-
-    #[test]
-    fn bad_query_is_an_error() {
-        let inv = Invocation {
-            mode: Mode::Count,
-            query: "nope".to_owned(),
-            file: None,
-        };
-        assert!(run(&inv, &mut Vec::new()).is_err());
     }
 }

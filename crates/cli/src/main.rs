@@ -8,6 +8,11 @@
 //! rsq --stats [FILE]            document statistics (size/depth/verbosity)
 //! rsq --compile QUERY           dump the query automaton in Graphviz DOT
 //! ```
+//!
+//! Hardening flags: `--strict`, `--max-depth N`, `--max-bytes N`,
+//! `--max-matches N`. Stdin is consumed in chunks with limits enforced
+//! while bytes arrive. Diagnostics go to stderr only; the exit code
+//! identifies the failure class (see `--help`).
 
 use rsq_cli::{run, Invocation};
 use std::process::ExitCode;
@@ -24,9 +29,9 @@ fn main() -> ExitCode {
     };
     match run(&invocation, &mut std::io::stdout().lock()) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("rsq: {message}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("rsq: {error}");
+            ExitCode::from(error.kind.exit_code())
         }
     }
 }

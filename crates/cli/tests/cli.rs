@@ -1,0 +1,112 @@
+//! End-to-end tests of the `rsq` binary: exit codes per failure class,
+//! stderr-only diagnostics, and chunked stdin consumption.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_rsq");
+
+fn rsq(args: &[&str], stdin: Option<&[u8]>) -> Output {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdin(if stdin.is_some() {
+            Stdio::piped()
+        } else {
+            Stdio::null()
+        })
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    if let Some(bytes) = stdin {
+        // Feed the document in small fragments so the reader sees many
+        // short reads rather than one big one. The child may exit before
+        // draining stdin (bad query, tripped limit) — a broken pipe here
+        // is expected, not a test failure.
+        let mut pipe = child.stdin.take().expect("stdin piped");
+        for chunk in bytes.chunks(7) {
+            if pipe.write_all(chunk).and_then(|()| pipe.flush()).is_err() {
+                break;
+            }
+        }
+        drop(pipe);
+    }
+    child.wait_with_output().expect("binary exits")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8(output.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8(output.stderr.clone()).expect("utf-8 stderr")
+}
+
+const DOC: &[u8] = br#"{"a": [1, {"b": 2}], "b": 3}"#;
+
+#[test]
+fn matches_from_chunked_stdin() {
+    let out = rsq(&["--count", "$..b"], Some(DOC));
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert_eq!(stdout(&out), "2\n");
+
+    let out = rsq(&["$..b"], Some(DOC));
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(stdout(&out), "2\n3\n");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = rsq(&["--nope", "$..a"], None);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+    assert!(stdout(&out).is_empty(), "diagnostics must not reach stdout");
+}
+
+#[test]
+fn bad_query_exits_3() {
+    let out = rsq(&["--count", "definitely not jsonpath"], Some(DOC));
+    assert_eq!(out.status.code(), Some(3));
+    assert!(stdout(&out).is_empty());
+    assert!(!stderr(&out).is_empty());
+}
+
+#[test]
+fn unreadable_input_exits_4() {
+    let out = rsq(&["--count", "$..a", "/nonexistent/rsq-it.json"], None);
+    assert_eq!(out.status.code(), Some(4));
+    assert!(stdout(&out).is_empty());
+    assert!(stderr(&out).contains("cannot read"));
+}
+
+#[test]
+fn tripped_limit_exits_5() {
+    let out = rsq(&["--count", "--max-matches", "1", "$..b"], Some(DOC));
+    assert_eq!(out.status.code(), Some(5), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("limit"));
+
+    let out = rsq(&["--count", "--max-bytes", "10", "$..b"], Some(DOC));
+    assert_eq!(out.status.code(), Some(5));
+
+    let out = rsq(&["--count", "--max-depth", "1", "$..b"], Some(DOC));
+    assert_eq!(out.status.code(), Some(5));
+}
+
+#[test]
+fn strict_mode_rejects_malformed_with_6() {
+    let out = rsq(&["--count", "--strict", "$..b"], Some(br#"{"a": [1, 2}"#));
+    assert_eq!(out.status.code(), Some(6), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("malformed"));
+    assert!(stdout(&out).is_empty());
+
+    // The same document passes without --strict (lenient best-effort).
+    let out = rsq(&["--count", "$..b"], Some(br#"{"a": [1, 2}"#));
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn strict_well_formed_still_matches() {
+    let out = rsq(&["--count", "--strict", "$..b"], Some(DOC));
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert_eq!(stdout(&out), "2\n");
+}

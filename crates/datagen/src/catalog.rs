@@ -52,45 +52,183 @@ pub fn catalog() -> Vec<CatalogEntry> {
         e("A1", Ast, "$..decl.name", Limits, true),
         e("A2", Ast, "$..inner..inner..type.qualType", Limits, true),
         e("A3", Ast, "$..loc.includedFrom.file", AppendixOnly, true),
-        e("B1", BestBuy, "$.products.*.categoryPath.*.id", Overhead, false),
+        e(
+            "B1",
+            BestBuy,
+            "$.products.*.categoryPath.*.id",
+            Overhead,
+            false,
+        ),
         e("B1r", BestBuy, "$..categoryPath..id", Descendants, true),
-        e("B2", BestBuy, "$.products.*.videoChapters.*.chapter", Overhead, false),
-        e("B2r", BestBuy, "$..videoChapters..chapter", Descendants, true),
+        e(
+            "B2",
+            BestBuy,
+            "$.products.*.videoChapters.*.chapter",
+            Overhead,
+            false,
+        ),
+        e(
+            "B2r",
+            BestBuy,
+            "$..videoChapters..chapter",
+            Descendants,
+            true,
+        ),
         e("B3", BestBuy, "$.products.*.videoChapters", Overhead, false),
         e("B3r", BestBuy, "$..videoChapters", Descendants, true),
         e("C1", Crossref, "$..DOI", Limits, true),
-        e("C2", Crossref, "$.items.*.author.*.affiliation.*.name", Limits, false),
-        e("C2r", Crossref, "$..author..affiliation..name", Limits, true),
-        e("C3", Crossref, "$.items.*.editor.*.affiliation.*.name", Limits, false),
-        e("C3r", Crossref, "$..editor..affiliation..name", Limits, true),
+        e(
+            "C2",
+            Crossref,
+            "$.items.*.author.*.affiliation.*.name",
+            Limits,
+            false,
+        ),
+        e(
+            "C2r",
+            Crossref,
+            "$..author..affiliation..name",
+            Limits,
+            true,
+        ),
+        e(
+            "C3",
+            Crossref,
+            "$.items.*.editor.*.affiliation.*.name",
+            Limits,
+            false,
+        ),
+        e(
+            "C3r",
+            Crossref,
+            "$..editor..affiliation..name",
+            Limits,
+            true,
+        ),
         e("C4", Crossref, "$.items.*.title", AppendixOnly, false),
         e("C4r", Crossref, "$..title", AppendixOnly, true),
-        e("C5", Crossref, "$.items.*.author.*.ORCID", AppendixOnly, false),
+        e(
+            "C5",
+            Crossref,
+            "$.items.*.author.*.ORCID",
+            AppendixOnly,
+            false,
+        ),
         e("C5r", Crossref, "$..author..ORCID", AppendixOnly, true),
-        e("G1", GoogleMap, "$.*.routes.*.legs.*.steps.*.distance.text", Overhead, false),
-        e("G2", GoogleMap, "$.*.available_travel_modes", Overhead, false),
-        e("G2r", GoogleMap, "$..available_travel_modes", Descendants, true),
+        e(
+            "G1",
+            GoogleMap,
+            "$.*.routes.*.legs.*.steps.*.distance.text",
+            Overhead,
+            false,
+        ),
+        e(
+            "G2",
+            GoogleMap,
+            "$.*.available_travel_modes",
+            Overhead,
+            false,
+        ),
+        e(
+            "G2r",
+            GoogleMap,
+            "$..available_travel_modes",
+            Descendants,
+            true,
+        ),
         e("N1", Nspl, "$.meta.view.columns.*.name", Overhead, false),
         e("N2", Nspl, "$.data.*.*.*", Overhead, false),
-        e("O1", OpenFood, "$.products.*.vitamins_tags", AppendixOnly, false),
+        e(
+            "O1",
+            OpenFood,
+            "$.products.*.vitamins_tags",
+            AppendixOnly,
+            false,
+        ),
         e("O1r", OpenFood, "$..vitamins_tags", AppendixOnly, true),
-        e("O2", OpenFood, "$.products.*.added_countries_tags", AppendixOnly, false),
-        e("O2r", OpenFood, "$..added_countries_tags", AppendixOnly, true),
-        e("O3", OpenFood, "$.products.*.specific_ingredients.*.ingredient", AppendixOnly, false),
-        e("O3r", OpenFood, "$..specific_ingredients..ingredient", AppendixOnly, true),
-        e("T1", TwitterLarge, "$.*.entities.urls.*.url", Overhead, false),
+        e(
+            "O2",
+            OpenFood,
+            "$.products.*.added_countries_tags",
+            AppendixOnly,
+            false,
+        ),
+        e(
+            "O2r",
+            OpenFood,
+            "$..added_countries_tags",
+            AppendixOnly,
+            true,
+        ),
+        e(
+            "O3",
+            OpenFood,
+            "$.products.*.specific_ingredients.*.ingredient",
+            AppendixOnly,
+            false,
+        ),
+        e(
+            "O3r",
+            OpenFood,
+            "$..specific_ingredients..ingredient",
+            AppendixOnly,
+            true,
+        ),
+        e(
+            "T1",
+            TwitterLarge,
+            "$.*.entities.urls.*.url",
+            Overhead,
+            false,
+        ),
         e("T2", TwitterLarge, "$.*.text", Overhead, false),
         e("Ts", TwitterSmall, "$.search_metadata.count", Limits, false),
-        e("Tsp", TwitterSmall, "$..search_metadata.count", Limits, true),
+        e(
+            "Tsp",
+            TwitterSmall,
+            "$..search_metadata.count",
+            Limits,
+            true,
+        ),
         e("Tsr", TwitterSmall, "$..count", Limits, true),
         e("Ts4", TwitterSmall, "$..hashtags..text", AppendixOnly, true),
-        e("Ts5", TwitterSmall, "$..retweeted_status..hashtags..text", AppendixOnly, true),
-        e("W1", Walmart, "$.items.*.bestMarketplacePrice.price", Overhead, false),
-        e("W1r", Walmart, "$..bestMarketplacePrice.price", Descendants, true),
+        e(
+            "Ts5",
+            TwitterSmall,
+            "$..retweeted_status..hashtags..text",
+            AppendixOnly,
+            true,
+        ),
+        e(
+            "W1",
+            Walmart,
+            "$.items.*.bestMarketplacePrice.price",
+            Overhead,
+            false,
+        ),
+        e(
+            "W1r",
+            Walmart,
+            "$..bestMarketplacePrice.price",
+            Descendants,
+            true,
+        ),
         e("W2", Walmart, "$.items.*.name", Overhead, false),
         e("W2r", Walmart, "$..name", Descendants, true),
-        e("Wi", Wikimedia, "$.*.claims.P150.*.mainsnak.property", Overhead, false),
-        e("Wir", Wikimedia, "$..P150..mainsnak.property", Descendants, true),
+        e(
+            "Wi",
+            Wikimedia,
+            "$.*.claims.P150.*.mainsnak.property",
+            Overhead,
+            false,
+        ),
+        e(
+            "Wir",
+            Wikimedia,
+            "$..P150..mainsnak.property",
+            Descendants,
+            true,
+        ),
     ]
 }
 
@@ -132,7 +270,11 @@ mod tests {
             if entry.rewritten {
                 assert!(q.has_descendants(), "{} should have descendants", entry.id);
             } else {
-                assert!(!q.has_descendants(), "{} should be descendant-free", entry.id);
+                assert!(
+                    !q.has_descendants(),
+                    "{} should be descendant-free",
+                    entry.id
+                );
             }
         }
     }

@@ -7,7 +7,7 @@
 //! `decl` member are very rare (query A1, 35 matches on 25.6 MB), and
 //! `loc.includedFrom.file` is uncommon (query A3).
 
-use super::super::words::{close, key, kv_raw, kv_str, hex_id, sentence, word};
+use super::super::words::{close, hex_id, key, kv_raw, kv_str, sentence, word};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -66,7 +66,11 @@ pub(crate) fn generate(out: &mut String, rng: &mut StdRng, target_bytes: usize) 
         if want_children {
             key(out, "inner");
             out.push('[');
-            let kids = if rng.gen_bool(0.7) { 1 } else { rng.gen_range(2..5) };
+            let kids = if rng.gen_bool(0.7) {
+                1
+            } else {
+                rng.gen_range(2..5)
+            };
             stack.push(kids);
             first_at_level = true;
         } else {
@@ -110,13 +114,21 @@ fn node_header(out: &mut String, rng: &mut StdRng, depth: usize) {
     if rng.gen_bool(0.4) {
         key(out, "type");
         out.push('{');
-        kv_str(out, "qualType", TYPE_NAMES[rng.gen_range(0..TYPE_NAMES.len())]);
+        kv_str(
+            out,
+            "qualType",
+            TYPE_NAMES[rng.gen_range(0..TYPE_NAMES.len())],
+        );
         close(out, '}');
         out.push(',');
     }
 
     if rng.gen_bool(0.25) {
-        kv_str(out, "name", &format!("{}_{}", word(rng), rng.gen_range(0..999)));
+        kv_str(
+            out,
+            "name",
+            &format!("{}_{}", word(rng), rng.gen_range(0..999)),
+        );
     }
 
     // The A1 needle: a rare `decl` reference object with a `name`.
@@ -124,7 +136,11 @@ fn node_header(out: &mut String, rng: &mut StdRng, depth: usize) {
         key(out, "decl");
         out.push('{');
         kv_str(out, "id", &hex_id(rng));
-        kv_str(out, "name", &format!("{}_{}", word(rng), rng.gen_range(0..999)));
+        kv_str(
+            out,
+            "name",
+            &format!("{}_{}", word(rng), rng.gen_range(0..999)),
+        );
         close(out, '}');
         out.push(',');
     }

@@ -29,12 +29,28 @@ fn product(out: &mut String, rng: &mut StdRng, sku: u64) {
     kv_raw(out, "sku", sku);
     kv_str(out, "name", &sentence_between(rng, 3, 7));
     kv_str(out, "type", "HardGood");
-    kv_raw(out, "price", format!("{}.{:02}", rng.gen_range(5..2000), rng.gen_range(0..100)));
+    kv_raw(
+        out,
+        "price",
+        format!("{}.{:02}", rng.gen_range(5..2000), rng.gen_range(0..100)),
+    );
     kv_str(out, "upc", &format!("{:012}", rng.gen::<u32>()));
     kv_str(out, "manufacturer", word(rng));
-    kv_str(out, "model", &format!("{}-{}", word(rng), rng.gen_range(10..999)));
-    kv_str(out, "image", &format!("http://img.example/{}/{}.jpg", word(rng), sku));
-    kv_raw(out, "shippingWeight", format!("{}.{}", rng.gen_range(0..40), rng.gen_range(0..10)));
+    kv_str(
+        out,
+        "model",
+        &format!("{}-{}", word(rng), rng.gen_range(10..999)),
+    );
+    kv_str(
+        out,
+        "image",
+        &format!("http://img.example/{}/{}.jpg", word(rng), sku),
+    );
+    kv_raw(
+        out,
+        "shippingWeight",
+        format!("{}.{}", rng.gen_range(0..40), rng.gen_range(0..10)),
+    );
     kv_str(out, "description", &sentence_between(rng, 8, 18));
 
     key(out, "categoryPath");
@@ -69,7 +85,11 @@ fn product(out: &mut String, rng: &mut StdRng, sku: u64) {
     }
 
     kv_raw(out, "customerReviewCount", rng.gen_range(0..5000));
-    kv_raw(out, "customerReviewAverage", format!("{}.{}", rng.gen_range(1..5), rng.gen_range(0..10)));
+    kv_raw(
+        out,
+        "customerReviewAverage",
+        format!("{}.{}", rng.gen_range(1..5), rng.gen_range(0..10)),
+    );
     kv_raw(out, "inStoreAvailability", rng.gen_bool(0.7));
     kv_raw(out, "onlineAvailability", rng.gen_bool(0.9));
     close(out, '}');

@@ -29,7 +29,12 @@ pub(crate) fn generate(out: &mut String, rng: &mut StdRng, target_bytes: usize) 
 }
 
 fn doi(rng: &mut StdRng) -> String {
-    format!("10.{}/{}.{}", rng.gen_range(1000..9999), word(rng), rng.gen_range(100..99_999))
+    format!(
+        "10.{}/{}.{}",
+        rng.gen_range(1000..9999),
+        word(rng),
+        rng.gen_range(100..99_999)
+    )
 }
 
 fn item(out: &mut String, rng: &mut StdRng) {
@@ -89,7 +94,15 @@ fn item(out: &mut String, rng: &mut StdRng) {
 
     kv_str(out, "container-title", &sentence(rng, 3));
     kv_raw(out, "is-referenced-by-count", rng.gen_range(0..500));
-    kv_str(out, "ISSN", &format!("{:04}-{:04}", rng.gen_range(0..9999), rng.gen_range(0..9999)));
+    kv_str(
+        out,
+        "ISSN",
+        &format!(
+            "{:04}-{:04}",
+            rng.gen_range(0..9999),
+            rng.gen_range(0..9999)
+        ),
+    );
     close(out, '}');
 }
 
@@ -102,15 +115,23 @@ fn person(out: &mut String, rng: &mut StdRng, orcid_possible: bool) {
         kv_str(
             out,
             "ORCID",
-            &format!("http://orcid.org/0000-000{}-{:04}-{:04}",
-                rng.gen_range(1..4), rng.gen_range(0..9999), rng.gen_range(0..9999)),
+            &format!(
+                "http://orcid.org/0000-000{}-{:04}-{:04}",
+                rng.gen_range(1..4),
+                rng.gen_range(0..9999),
+                rng.gen_range(0..9999)
+            ),
         );
     }
     key(out, "affiliation");
     out.push('[');
     // Most authors have no affiliation — the C2r pain point: the engine
     // still has to scan their whole subdocument.
-    let affs = if rng.gen_bool(0.35) { rng.gen_range(1..3) } else { 0 };
+    let affs = if rng.gen_bool(0.35) {
+        rng.gen_range(1..3)
+    } else {
+        0
+    };
     for f in 0..affs {
         if f > 0 {
             out.push(',');

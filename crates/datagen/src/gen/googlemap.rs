@@ -106,7 +106,11 @@ fn step(out: &mut String, rng: &mut StdRng) {
     kv_str(out, "html_instructions", &sentence_between(rng, 4, 10));
     key(out, "polyline");
     out.push('{');
-    kv_str(out, "points", &sentence_between(rng, 2, 6).replace(' ', "~"));
+    kv_str(
+        out,
+        "points",
+        &sentence_between(rng, 2, 6).replace(' ', "~"),
+    );
     close(out, '}');
     out.push(',');
     kv_str(out, "travel_mode", "DRIVING");
@@ -118,7 +122,11 @@ fn distance_duration(out: &mut String, rng: &mut StdRng) {
         key(out, name);
         out.push('{');
         if name == "distance" {
-            kv_str(out, "text", &format!("{}.{} km", rng.gen_range(0..40), rng.gen_range(0..10)));
+            kv_str(
+                out,
+                "text",
+                &format!("{}.{} km", rng.gen_range(0..40), rng.gen_range(0..10)),
+            );
             kv_raw(out, "value", rng.gen_range(10..40_000));
         } else {
             kv_str(out, "text", &format!("{} mins", rng.gen_range(1..120)));
@@ -131,8 +139,24 @@ fn distance_duration(out: &mut String, rng: &mut StdRng) {
 
 fn latlng(out: &mut String, rng: &mut StdRng) {
     out.push('{');
-    kv_raw(out, "lat", format!("{}.{:06}", rng.gen_range(-89i32..90), rng.gen_range(0..999_999)));
-    kv_raw(out, "lng", format!("{}.{:06}", rng.gen_range(-179i32..180), rng.gen_range(0..999_999)));
+    kv_raw(
+        out,
+        "lat",
+        format!(
+            "{}.{:06}",
+            rng.gen_range(-89i32..90),
+            rng.gen_range(0..999_999)
+        ),
+    );
+    kv_raw(
+        out,
+        "lng",
+        format!(
+            "{}.{:06}",
+            rng.gen_range(-179i32..180),
+            rng.gen_range(0..999_999)
+        ),
+    );
     close(out, '}');
 }
 

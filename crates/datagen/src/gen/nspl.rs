@@ -26,7 +26,11 @@ pub(crate) fn generate(out: &mut String, rng: &mut StdRng, target_bytes: usize) 
         out.push('{');
         kv_raw(out, "id", c + 1000);
         kv_str(out, "name", &format!("{}_{}", word(rng), c));
-        kv_str(out, "dataTypeName", if c % 3 == 0 { "number" } else { "text" });
+        kv_str(
+            out,
+            "dataTypeName",
+            if c % 3 == 0 { "number" } else { "text" },
+        );
         kv_raw(out, "position", c);
         close(out, '}');
     }

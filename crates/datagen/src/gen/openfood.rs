@@ -40,7 +40,11 @@ fn tag_array(out: &mut String, rng: &mut StdRng, name: &str, n: usize) {
 
 fn product(out: &mut String, rng: &mut StdRng) {
     out.push('{');
-    kv_str(out, "code", &format!("{:013}", rng.gen::<u64>() % 10_000_000_000_000));
+    kv_str(
+        out,
+        "code",
+        &format!("{:013}", rng.gen::<u64>() % 10_000_000_000_000),
+    );
     kv_str(out, "product_name", &sentence_between(rng, 2, 6));
     kv_str(out, "brands", word(rng));
     let n = rng.gen_range(2..7);
@@ -54,11 +58,11 @@ fn product(out: &mut String, rng: &mut StdRng) {
 
     if rng.gen_range(0..45_000) == 0 {
         let n = rng.gen_range(1..4);
-    tag_array(out, rng, "vitamins_tags", n);
+        tag_array(out, rng, "vitamins_tags", n);
     }
     if rng.gen_range(0..45_000) == 0 {
         let n = rng.gen_range(1..3);
-    tag_array(out, rng, "added_countries_tags", n);
+        tag_array(out, rng, "added_countries_tags", n);
     }
     if rng.gen_range(0..20_000) == 0 {
         key(out, "specific_ingredients");
@@ -72,15 +76,34 @@ fn product(out: &mut String, rng: &mut StdRng) {
 
     key(out, "nutriments");
     out.push('{');
-    for n in ["energy", "fat", "saturated-fat", "sugars", "salt", "proteins"] {
-        kv_raw(out, n, format!("{}.{}", rng.gen_range(0..900), rng.gen_range(0..10)));
+    for n in [
+        "energy",
+        "fat",
+        "saturated-fat",
+        "sugars",
+        "salt",
+        "proteins",
+    ] {
+        kv_raw(
+            out,
+            n,
+            format!("{}.{}", rng.gen_range(0..900), rng.gen_range(0..10)),
+        );
     }
     close(out, '}');
     out.push(',');
 
     kv_str(out, "ingredients_text", &sentence_between(rng, 8, 25));
     kv_raw(out, "nutriscore_score", rng.gen_range(-10i32..30));
-    kv_str(out, "nutriscore_grade", ["a", "b", "c", "d", "e"][rng.gen_range(0..5)]);
-    kv_raw(out, "last_modified_t", rng.gen_range(1_400_000_000u64..1_700_000_000));
+    kv_str(
+        out,
+        "nutriscore_grade",
+        ["a", "b", "c", "d", "e"][rng.gen_range(0..5)],
+    );
+    kv_raw(
+        out,
+        "last_modified_t",
+        rng.gen_range(1_400_000_000u64..1_700_000_000),
+    );
     close(out, '}');
 }

@@ -30,8 +30,9 @@ pub(crate) fn generate_small(out: &mut String, rng: &mut StdRng, target_bytes: u
     out.push_str("{\"statuses\":[");
     let mut first = true;
     let mut id = 500_000_000_000u64;
-    // Leave room for the trailing search_metadata object.
-    while out.len() + 300 < target_bytes {
+    // The trailing search_metadata object does not count toward the
+    // target: GenConfig documents the output as at least `target_bytes`.
+    while out.len() < target_bytes {
         if !first {
             out.push(',');
         }
@@ -109,7 +110,11 @@ fn entities(out: &mut String, rng: &mut StdRng) {
         out.push('{');
         kv_str(out, "text", word(rng));
         key(out, "indices");
-        out.push_str(&format!("[{},{}]", rng.gen_range(0..50), rng.gen_range(50..100)));
+        out.push_str(&format!(
+            "[{},{}]",
+            rng.gen_range(0..50),
+            rng.gen_range(50..100)
+        ));
         out.push('}');
     }
     out.push_str("],");
@@ -122,9 +127,17 @@ fn entities(out: &mut String, rng: &mut StdRng) {
         }
         out.push('{');
         kv_str(out, "url", &format!("https://t.example/{}", word(rng)));
-        kv_str(out, "expanded_url", &format!("https://www.example.com/{}/{}", word(rng), word(rng)));
+        kv_str(
+            out,
+            "expanded_url",
+            &format!("https://www.example.com/{}/{}", word(rng), word(rng)),
+        );
         key(out, "indices");
-        out.push_str(&format!("[{},{}]", rng.gen_range(0..50), rng.gen_range(50..100)));
+        out.push_str(&format!(
+            "[{},{}]",
+            rng.gen_range(0..50),
+            rng.gen_range(50..100)
+        ));
         out.push('}');
     }
     out.push(']');

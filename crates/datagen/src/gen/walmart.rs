@@ -25,18 +25,34 @@ pub(crate) fn generate(out: &mut String, rng: &mut StdRng, target_bytes: usize) 
 fn item(out: &mut String, rng: &mut StdRng) {
     out.push('{');
     kv_raw(out, "itemId", rng.gen_range(10_000_000u64..99_999_999));
-    kv_raw(out, "parentItemId", rng.gen_range(10_000_000u64..99_999_999));
+    kv_raw(
+        out,
+        "parentItemId",
+        rng.gen_range(10_000_000u64..99_999_999),
+    );
     kv_str(out, "name", &sentence_between(rng, 4, 9));
-    kv_raw(out, "salePrice", format!("{}.{:02}", rng.gen_range(1..900), rng.gen_range(0..100)));
+    kv_raw(
+        out,
+        "salePrice",
+        format!("{}.{:02}", rng.gen_range(1..900), rng.gen_range(0..100)),
+    );
     kv_str(out, "upc", &format!("{:012}", rng.gen::<u32>()));
     kv_str(out, "categoryPath", &sentence(rng, 3));
 
     if rng.gen_range(0..17) == 0 {
         key(out, "bestMarketplacePrice");
         out.push('{');
-        kv_raw(out, "price", format!("{}.{:02}", rng.gen_range(1..900), rng.gen_range(0..100)));
+        kv_raw(
+            out,
+            "price",
+            format!("{}.{:02}", rng.gen_range(1..900), rng.gen_range(0..100)),
+        );
         kv_str(out, "sellerInfo", &sentence(rng, 2));
-        kv_raw(out, "standardShipRate", format!("{}.{:02}", rng.gen_range(0..20), rng.gen_range(0..100)));
+        kv_raw(
+            out,
+            "standardShipRate",
+            format!("{}.{:02}", rng.gen_range(0..20), rng.gen_range(0..100)),
+        );
         kv_raw(out, "availableOnline", rng.gen_bool(0.8));
         close(out, '}');
         out.push(',');
@@ -45,11 +61,31 @@ fn item(out: &mut String, rng: &mut StdRng) {
     // The long free-text fields that push verbosity up.
     kv_str(out, "shortDescription", &sentence_between(rng, 30, 60));
     kv_str(out, "longDescription", &sentence_between(rng, 60, 120));
-    kv_str(out, "thumbnailImage", &format!("http://i.example/{}.jpg", rng.gen::<u32>()));
-    kv_str(out, "productTrackingUrl", &format!("http://r.example/track?id={}", rng.gen::<u32>()));
-    kv_raw(out, "standardShipRate", format!("{}.{:02}", rng.gen_range(0..20), rng.gen_range(0..100)));
-    kv_str(out, "size", &format!("{}x{}", rng.gen_range(1..90), rng.gen_range(1..90)));
+    kv_str(
+        out,
+        "thumbnailImage",
+        &format!("http://i.example/{}.jpg", rng.gen::<u32>()),
+    );
+    kv_str(
+        out,
+        "productTrackingUrl",
+        &format!("http://r.example/track?id={}", rng.gen::<u32>()),
+    );
+    kv_raw(
+        out,
+        "standardShipRate",
+        format!("{}.{:02}", rng.gen_range(0..20), rng.gen_range(0..100)),
+    );
+    kv_str(
+        out,
+        "size",
+        &format!("{}x{}", rng.gen_range(1..90), rng.gen_range(1..90)),
+    );
     kv_raw(out, "marketplace", rng.gen_bool(0.3));
-    kv_str(out, "shipToStore", if rng.gen_bool(0.5) { "true" } else { "false" });
+    kv_str(
+        out,
+        "shipToStore",
+        if rng.gen_bool(0.5) { "true" } else { "false" },
+    );
     close(out, '}');
 }

@@ -206,14 +206,23 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = Dataset::BestBuy.generate(&GenConfig { target_bytes: 10_000, seed: 1 });
-        let b = Dataset::BestBuy.generate(&GenConfig { target_bytes: 10_000, seed: 2 });
+        let a = Dataset::BestBuy.generate(&GenConfig {
+            target_bytes: 10_000,
+            seed: 1,
+        });
+        let b = Dataset::BestBuy.generate(&GenConfig {
+            target_bytes: 10_000,
+            seed: 2,
+        });
         assert_ne!(a, b);
     }
 
     #[test]
     fn ast_is_deep() {
-        let text = Dataset::Ast.generate(&GenConfig { target_bytes: 400_000, seed: 42 });
+        let text = Dataset::Ast.generate(&GenConfig {
+            target_bytes: 400_000,
+            seed: 42,
+        });
         let stats = rsq_json::document_stats(text.as_bytes());
         assert!(stats.max_depth > 30, "AST depth only {}", stats.max_depth);
     }
@@ -221,7 +230,10 @@ mod tests {
     #[test]
     fn verbosity_ordering_matches_table3() {
         // NSPL is the densest, Walmart the most verbose (Table 3).
-        let config = GenConfig { target_bytes: 300_000, seed: 42 };
+        let config = GenConfig {
+            target_bytes: 300_000,
+            seed: 42,
+        };
         let v = |d: Dataset| {
             let text = d.generate(&config);
             rsq_json::document_stats(text.as_bytes()).verbosity()
@@ -237,9 +249,15 @@ mod tests {
 
     #[test]
     fn twitter_small_has_trailing_metadata() {
-        let text = Dataset::TwitterSmall.generate(&GenConfig { target_bytes: 100_000, seed: 3 });
+        let text = Dataset::TwitterSmall.generate(&GenConfig {
+            target_bytes: 100_000,
+            seed: 3,
+        });
         let meta_pos = text.find("search_metadata").unwrap();
-        assert!(meta_pos > text.len() * 3 / 4, "metadata must be near the end");
+        assert!(
+            meta_pos > text.len() * 3 / 4,
+            "metadata must be near the end"
+        );
     }
 
     #[test]

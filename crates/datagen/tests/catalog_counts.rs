@@ -91,7 +91,12 @@ fn selectivity_shape_matches_the_paper() {
     }
 
     // C1 (every DOI, including references) dwarfs C4 (titles).
-    assert!(count("C1") > count("C4") * 3, "C1 = {}, C4 = {}", count("C1"), count("C4"));
+    assert!(
+        count("C1") > count("C4") * 3,
+        "C1 = {}, C4 = {}",
+        count("C1"),
+        count("C4")
+    );
 
     // Ts / Tsp / Tsr: same single match through three formulations.
     assert_eq!(count("Ts"), 1);

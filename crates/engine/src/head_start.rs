@@ -20,27 +20,31 @@
 //! to the sub-run's classification frontier so no byte is quote-classified
 //! twice.
 
+use crate::error::Interrupt;
 use crate::main_loop::run_element;
 use crate::sink::Sink;
 use crate::util::first_nonws_at;
 use crate::EngineOptions;
 use rsq_classify::{BracketType, QuoteScanner, ResumeState, StructuralIterator};
 use rsq_memmem::Finder;
-use rsq_query::Automaton;
+use rsq_query::{Automaton, StateId};
 use rsq_simd::Simd;
 
 /// Runs a query whose initial state is *waiting* (single label transition,
-/// looping fallback) using memmem-based skip-to-label.
+/// looping fallback) using memmem-based skip-to-label. The caller resolves
+/// the waiting state's sole transition and passes it as `(label, target)`
+/// — so an automaton violating the waiting-state invariant is handled at
+/// the dispatch site (by falling back to the main loop) instead of
+/// panicking here.
 pub(crate) fn run_head_start(
     automaton: &Automaton,
     options: &EngineOptions,
     simd: Simd,
     input: &[u8],
+    label: &[u8],
+    target: StateId,
     sink: &mut impl Sink,
-) {
-    let (label, target) = automaton
-        .single_explicit_transition(automaton.initial_state())
-        .expect("head start requires a waiting initial state");
+) -> Result<(), Interrupt> {
     let mut needle = Vec::with_capacity(label.len() + 2);
     needle.push(b'"');
     needle.extend_from_slice(label);
@@ -60,12 +64,16 @@ pub(crate) fn run_head_start(
             continue;
         }
         let after = p + needle.len();
-        let Some(colon) = first_nonws_at(input, after) else { break };
+        let Some(colon) = first_nonws_at(input, after) else {
+            break;
+        };
         if input[colon] != b':' {
             at = p + 1;
             continue;
         }
-        let Some(v) = first_nonws_at(input, colon + 1) else { break };
+        let Some(v) = first_nonws_at(input, colon + 1) else {
+            break;
+        };
         match input[v] {
             open @ (b'{' | b'[') => {
                 let bracket = if open == b'{' {
@@ -88,9 +96,9 @@ pub(crate) fn run_head_start(
                 let Some(first) = it.next() else { break };
                 debug_assert_eq!(first.position(), v);
                 if automaton.is_accepting(target) {
-                    sink.report(v);
+                    sink.record(v)?;
                 }
-                run_element(&mut it, automaton, options, target, bracket, v, sink);
+                run_element(&mut it, automaton, options, target, bracket, v, sink)?;
                 if options.checked_head_start {
                     // The sub-run advanced the quote classification on the
                     // scanner's grid; skip re-scanning that region.
@@ -105,10 +113,11 @@ pub(crate) fn run_head_start(
             _ => {
                 // Atomic value.
                 if automaton.is_accepting(target) {
-                    sink.report(v);
+                    sink.record(v)?;
                 }
                 at = after;
             }
         }
     }
+    Ok(())
 }

@@ -1,0 +1,179 @@
+//! Chunked document ingest for [`Engine::run_reader`](crate::Engine::run_reader).
+//!
+//! The engine's query algorithm needs the whole document in memory: both
+//! skip-to-label (`memmem` over the full input, §3.3) and the backward
+//! `label_before` probes assume random access. The reader path therefore
+//! *ingests* rather than streams the query: bytes are pulled through an
+//! [`io::Read`] in arbitrary-sized chunks, with three protections applied
+//! while they arrive — before the document is buffered whole:
+//!
+//! * transient read errors ([`Interrupted`](io::ErrorKind::Interrupted)
+//!   and [`WouldBlock`](io::ErrorKind::WouldBlock)) are retried, other
+//!   I/O errors abort with [`RunError::Io`];
+//! * [`max_document_bytes`](crate::EngineOptions::max_document_bytes) is
+//!   enforced incrementally, so an unbounded input cannot exhaust memory;
+//! * an incremental [`StructuralValidator`] runs over every chunk,
+//!   enforcing [`max_depth`](crate::EngineOptions::max_depth) always and
+//!   full structural validation in [strict](crate::EngineOptions::strict)
+//!   mode — a pathological document (e.g. a million unclosed openers)
+//!   fails while its bytes stream past, not after buffering.
+//!
+//! Once ingest completes, the slice engine runs over the buffer, so the
+//! reader path is byte-identical to [`Engine::try_run`](crate::Engine::try_run)
+//! on the same document by construction — regardless of how the reader
+//! fragments its chunks.
+//!
+//! Note on `WouldBlock`: retrying it makes the call spin-wait on a
+//! non-blocking source. The engine has no event loop to yield to; callers
+//! integrating with async I/O should buffer the document themselves and
+//! use the slice API.
+
+use crate::error::{LimitKind, RunError};
+use crate::EngineOptions;
+use rsq_classify::{StructuralValidator, ValidationError, ValidationErrorKind};
+use rsq_simd::Simd;
+use std::io::{self, Read};
+
+/// Ingest chunk size. Large enough to amortize syscalls, small enough to
+/// keep limit enforcement responsive.
+const CHUNK: usize = 64 * 1024;
+
+/// Maps a validator verdict onto the engine's error vocabulary: the depth
+/// limit is a resource limit, everything else is a malformation.
+pub(crate) fn map_validation(err: ValidationError, options: &EngineOptions) -> RunError {
+    match err.kind {
+        ValidationErrorKind::DepthLimitExceeded { .. } => RunError::LimitExceeded {
+            kind: LimitKind::Depth,
+            limit: u64::from(options.max_depth),
+        },
+        _ => RunError::Malformed(err),
+    }
+}
+
+/// Reads a whole document from `reader`, enforcing size, depth, and
+/// (in strict mode) structural validity while the bytes arrive.
+pub(crate) fn read_document<R: Read>(
+    reader: &mut R,
+    options: &EngineOptions,
+    simd: Simd,
+) -> Result<Vec<u8>, RunError> {
+    let mut validator = StructuralValidator::new(simd)
+        .strict(options.strict)
+        .with_max_depth(options.max_depth);
+    let mut doc = Vec::new();
+    let mut chunk = vec![0u8; CHUNK];
+    loop {
+        match reader.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                if let Some(limit) = options.max_document_bytes {
+                    if doc.len() + n > limit {
+                        return Err(RunError::LimitExceeded {
+                            kind: LimitKind::DocumentBytes,
+                            limit: limit as u64,
+                        });
+                    }
+                }
+                validator
+                    .feed(&chunk[..n])
+                    .map_err(|e| map_validation(e, options))?;
+                doc.extend_from_slice(&chunk[..n]);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::Interrupted
+                    || e.kind() == io::ErrorKind::WouldBlock =>
+            {
+                continue;
+            }
+            Err(e) => return Err(RunError::Io(e)),
+        }
+    }
+    validator.finish().map_err(|e| map_validation(e, options))?;
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that yields its data one byte at a time, with an
+    /// `Interrupted` error before every byte.
+    struct OneByteInterrupted<'a> {
+        data: &'a [u8],
+        at: usize,
+        interrupt_next: bool,
+    }
+
+    impl Read for OneByteInterrupted<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+            }
+            self.interrupt_next = true;
+            if self.at == self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.at];
+            self.at += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn retries_interrupted_and_reassembles() {
+        let doc = br#"{"a": [1, 2, 3]}"#;
+        let mut reader = OneByteInterrupted {
+            data: doc,
+            at: 0,
+            interrupt_next: true,
+        };
+        let options = EngineOptions::default();
+        let got = read_document(&mut reader, &options, Simd::detect()).unwrap();
+        assert_eq!(got, doc);
+    }
+
+    #[test]
+    fn document_size_limit_is_incremental() {
+        struct Endless;
+        impl Read for Endless {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                buf.fill(b' ');
+                Ok(buf.len())
+            }
+        }
+        let options = EngineOptions {
+            max_document_bytes: Some(1 << 20),
+            ..EngineOptions::default()
+        };
+        let err = read_document(&mut Endless, &options, Simd::detect()).unwrap_err();
+        assert!(err.is_limit(LimitKind::DocumentBytes), "{err}");
+    }
+
+    #[test]
+    fn genuine_io_error_aborts() {
+        struct Broken;
+        impl Read for Broken {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::UnexpectedEof, "pipe gone"))
+            }
+        }
+        let options = EngineOptions::default();
+        let err = read_document(&mut Broken, &options, Simd::detect()).unwrap_err();
+        assert!(matches!(err, RunError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn depth_limit_trips_during_ingest() {
+        struct Openers;
+        impl Read for Openers {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                buf.fill(b'[');
+                Ok(buf.len())
+            }
+        }
+        let options = EngineOptions::default(); // lenient: depth still enforced
+        let err = read_document(&mut Openers, &options, Simd::detect()).unwrap_err();
+        assert!(err.is_limit(LimitKind::Depth), "{err}");
+    }
+}

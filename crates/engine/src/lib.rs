@@ -29,22 +29,58 @@
 //! assert_eq!(&doc[positions[0]..positions[0] + 1], b"9");
 //! # Ok::<(), rsq_engine::EngineError>(())
 //! ```
+//!
+//! For untrusted input, the fallible entry points add strict validation,
+//! resource limits, and chunked [`std::io::Read`] ingest:
+//!
+//! ```
+//! use rsq_engine::{Engine, EngineOptions, LimitKind, PositionsSink, RunError};
+//! use rsq_query::Query;
+//!
+//! let options = EngineOptions {
+//!     strict: true,
+//!     max_matches: Some(10_000),
+//!     ..EngineOptions::default()
+//! };
+//! let engine = Engine::with_options(&Query::parse("$..price")?, options)?;
+//!
+//! // Strict mode rejects structurally broken documents up front…
+//! assert!(matches!(
+//!     engine.try_count(br#"{"price": 9"#),
+//!     Err(RunError::Malformed(_))
+//! ));
+//!
+//! // …and the reader path enforces limits while bytes arrive.
+//! let doc: &[u8] = br#"{"store": {"bike": {"price": 20}}}"#;
+//! let mut sink = PositionsSink::new();
+//! engine.run_reader(doc, &mut sink)?;
+//! assert_eq!(sink.positions(), engine.try_positions(doc)?.as_slice());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 
 mod depth_stack;
+mod error;
 mod head_start;
+mod input;
 mod main_loop;
 mod sink;
 mod util;
 
 pub use depth_stack::{DepthStack, Frame};
-pub use sink::{CountSink, PositionsSink, Sink};
+pub use error::{LimitKind, RunError};
+pub use sink::{CountSink, PositionsSink, Sink, SinkFull};
 
-use rsq_classify::StructuralIterator;
+// The validation error vocabulary surfaces through `RunError::Malformed`.
+pub use rsq_classify::{ValidationError, ValidationErrorKind};
+
+use error::Interrupt;
+use rsq_classify::{StructuralIterator, StructuralValidator};
 use rsq_query::{Automaton, CompileError, Query, QueryParseError};
 use rsq_simd::Simd;
 use std::fmt;
+use std::io::Read;
 
 /// Tuning knobs for the engine.
 ///
@@ -82,6 +118,36 @@ pub struct EngineOptions {
     /// Force a specific SIMD backend instead of the best detected one
     /// (ablation baseline; `None` = autodetect).
     pub backend: Option<rsq_simd::BackendKind>,
+    /// Validate document structure before matching. With `true`, the
+    /// fallible entry points reject malformed input with
+    /// [`RunError::Malformed`] instead of processing it best-effort.
+    /// Validation is structural (balanced, type-matched brackets outside
+    /// strings; terminated strings; nothing after the root) — not a full
+    /// JSON grammar check.
+    pub strict: bool,
+    /// Maximum nesting depth, always enforced. The default (1024) matches
+    /// simdjson's; the deepest document in the paper's evaluation reaches
+    /// 269 levels. On the slice path the limit applies to nesting the
+    /// engine actually traverses; the reader path validates the whole
+    /// document's depth during ingest.
+    pub max_depth: u32,
+    /// Maximum document size in bytes for the fallible entry points
+    /// (`None` = unlimited). [`Engine::run_reader`] enforces this while
+    /// bytes arrive, bounding memory for unbounded inputs.
+    pub max_document_bytes: Option<usize>,
+    /// Maximum length in bytes of a member label the automaton examines
+    /// (`None` = unlimited). Labels in skipped-over subtrees are never
+    /// examined and do not count.
+    pub max_label_bytes: Option<usize>,
+    /// Maximum number of matches the fallible entry points may produce
+    /// before aborting with [`RunError::LimitExceeded`] (`None` =
+    /// unlimited).
+    pub max_matches: Option<u64>,
+}
+
+impl EngineOptions {
+    /// The default nesting-depth limit (simdjson parity).
+    pub const DEFAULT_MAX_DEPTH: u32 = 1024;
 }
 
 impl Default for EngineOptions {
@@ -95,6 +161,11 @@ impl Default for EngineOptions {
             checked_head_start: true,
             sparse_stack: true,
             backend: None,
+            strict: false,
+            max_depth: Self::DEFAULT_MAX_DEPTH,
+            max_document_bytes: None,
+            max_label_bytes: None,
+            max_matches: None,
         }
     }
 }
@@ -204,19 +275,94 @@ impl Engine {
         &self.options
     }
 
-    /// Streams `input`, reporting every match to `sink`.
+    /// Streams `input`, reporting every match to `sink`, with full error
+    /// reporting.
     ///
     /// Matches are reported in document order, once per matched node (node
-    /// semantics). Malformed JSON is processed best-effort without
-    /// panicking; results on such input are unspecified.
-    pub fn run<S: Sink>(&self, input: &[u8], sink: &mut S) {
-        let initial = self.automaton.initial_state();
-        if self.options.head_start && self.automaton.is_waiting(initial) {
-            head_start::run_head_start(&self.automaton, &self.options, self.simd, input, sink);
-            return;
+    /// semantics). The sink may stop the run early by returning
+    /// [`SinkFull`]; that is a clean `Ok(())` exit, not an error.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::LimitExceeded`] when a configured resource limit in
+    ///   [`EngineOptions`] trips. Matches reported before the trip have
+    ///   already reached the sink.
+    /// * [`RunError::Malformed`] when [`EngineOptions::strict`] is set and
+    ///   the document fails structural validation (checked up front; no
+    ///   matches are reported).
+    ///
+    /// [`RunError::Io`] is never returned from the slice path.
+    pub fn try_run<S: Sink>(&self, input: &[u8], sink: &mut S) -> Result<(), RunError> {
+        if let Some(limit) = self.options.max_document_bytes {
+            if input.len() > limit {
+                return Err(RunError::LimitExceeded {
+                    kind: LimitKind::DocumentBytes,
+                    limit: limit as u64,
+                });
+            }
         }
-        let mut it = StructuralIterator::new(input, self.simd);
-        main_loop::run_document(&mut it, &self.automaton, &self.options, sink);
+        if self.options.strict {
+            let mut validator = StructuralValidator::new(self.simd)
+                .strict(true)
+                .with_max_depth(self.options.max_depth);
+            validator
+                .feed(input)
+                .and_then(|()| validator.finish())
+                .map_err(|e| input::map_validation(e, &self.options))?;
+        }
+        self.run_limited(input, sink)
+    }
+
+    /// Streams a document pulled from `reader` in arbitrary-sized chunks,
+    /// reporting every match to `sink`.
+    ///
+    /// Transient read errors ([`Interrupted`](std::io::ErrorKind::Interrupted),
+    /// [`WouldBlock`](std::io::ErrorKind::WouldBlock)) are retried; short
+    /// reads of any size are reassembled. Size and depth limits — and, in
+    /// strict mode, structural validation — are enforced *while bytes
+    /// arrive*, so a hostile input fails before it is buffered whole. The
+    /// match output is byte-identical to [`try_run`](Self::try_run) on the
+    /// same document, no matter how the reader fragments it.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`try_run`](Self::try_run) returns, plus
+    /// [`RunError::Io`] when the reader fails with a non-transient error.
+    pub fn run_reader<R: Read, S: Sink>(
+        &self,
+        mut reader: R,
+        sink: &mut S,
+    ) -> Result<(), RunError> {
+        let doc = input::read_document(&mut reader, &self.options, self.simd)?;
+        // Ingest already validated and size-checked; go straight to
+        // matching.
+        self.run_limited(&doc, sink)
+    }
+
+    /// Reads a whole document from `reader` with the same protections as
+    /// [`run_reader`](Self::run_reader) — chunk reassembly, transient-error
+    /// retry, incremental size/depth limits, strict validation — but
+    /// without running the query. Useful when the caller needs the
+    /// document bytes afterwards, e.g. to extract matched node text:
+    /// ingest once, then query the returned buffer with
+    /// [`try_run`](Self::try_run).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_reader`](Self::run_reader), minus match-time errors.
+    pub fn read_document<R: Read>(&self, mut reader: R) -> Result<Vec<u8>, RunError> {
+        input::read_document(&mut reader, &self.options, self.simd)
+    }
+
+    /// Streams `input`, reporting every match to `sink` — the lenient
+    /// classic API.
+    ///
+    /// Equivalent to [`try_run`](Self::try_run) with the error discarded:
+    /// malformed JSON is processed best-effort without panicking (results
+    /// on such input are unspecified), and a tripped resource limit simply
+    /// ends the run after the matches already reported.
+    pub fn run<S: Sink>(&self, input: &[u8], sink: &mut S) {
+        let _ = self.try_run(input, sink);
     }
 
     /// Counts the matches in `input`.
@@ -227,6 +373,18 @@ impl Engine {
         sink.count()
     }
 
+    /// Counts the matches in `input`, with full error reporting (see
+    /// [`try_run`](Self::try_run)).
+    ///
+    /// # Errors
+    ///
+    /// As [`try_run`](Self::try_run).
+    pub fn try_count(&self, input: &[u8]) -> Result<u64, RunError> {
+        let mut sink = CountSink::new();
+        self.try_run(input, &mut sink)?;
+        Ok(sink.count())
+    }
+
     /// Returns the byte offset of each match in `input`, in document
     /// order.
     #[must_use]
@@ -234,5 +392,108 @@ impl Engine {
         let mut sink = PositionsSink::new();
         self.run(input, &mut sink);
         sink.into_positions()
+    }
+
+    /// Returns the byte offset of each match in `input`, with full error
+    /// reporting (see [`try_run`](Self::try_run)).
+    ///
+    /// # Errors
+    ///
+    /// As [`try_run`](Self::try_run).
+    pub fn try_positions(&self, input: &[u8]) -> Result<Vec<usize>, RunError> {
+        let mut sink = PositionsSink::new();
+        self.try_run(input, &mut sink)?;
+        Ok(sink.into_positions())
+    }
+
+    /// Runs the matching loops over an already-validated document,
+    /// translating interrupts into the public error vocabulary and
+    /// enforcing `max_matches`.
+    fn run_limited<S: Sink>(&self, input: &[u8], sink: &mut S) -> Result<(), RunError> {
+        let result = match self.options.max_matches {
+            Some(max) => {
+                let mut limited = LimitSink {
+                    inner: sink,
+                    left: max,
+                    tripped: false,
+                };
+                let r = self.dispatch(input, &mut limited);
+                if limited.tripped {
+                    return Err(RunError::LimitExceeded {
+                        kind: LimitKind::Matches,
+                        limit: max,
+                    });
+                }
+                r
+            }
+            None => self.dispatch(input, sink),
+        };
+        match result {
+            // A sink-initiated stop is a voluntary early exit.
+            Ok(()) | Err(Interrupt::SinkStop) => Ok(()),
+            Err(Interrupt::Limit(kind)) => Err(RunError::LimitExceeded {
+                kind,
+                limit: self.limit_value(kind),
+            }),
+        }
+    }
+
+    /// The configured value of a limit, for error reporting.
+    fn limit_value(&self, kind: LimitKind) -> u64 {
+        match kind {
+            LimitKind::Depth => u64::from(self.options.max_depth),
+            LimitKind::DocumentBytes => {
+                self.options.max_document_bytes.unwrap_or(usize::MAX) as u64
+            }
+            LimitKind::LabelBytes => self.options.max_label_bytes.unwrap_or(usize::MAX) as u64,
+            LimitKind::Matches => self.options.max_matches.unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Picks the evaluation strategy and runs it.
+    fn dispatch<S: Sink>(&self, input: &[u8], sink: &mut S) -> Result<(), Interrupt> {
+        let initial = self.automaton.initial_state();
+        if self.options.head_start && self.automaton.is_waiting(initial) {
+            // A waiting state has exactly one label transition; resolve it
+            // here so `run_head_start` needs no panicking lookup. If the
+            // invariant is ever violated, the main loop below handles the
+            // query correctly, just without the memmem head start.
+            if let Some((label, target)) = self.automaton.single_explicit_transition(initial) {
+                return head_start::run_head_start(
+                    &self.automaton,
+                    &self.options,
+                    self.simd,
+                    input,
+                    label,
+                    target,
+                    sink,
+                );
+            }
+        }
+        let mut it = StructuralIterator::new(input, self.simd);
+        main_loop::run_document(&mut it, &self.automaton, &self.options, sink)
+    }
+}
+
+/// Wraps the user's sink to enforce `max_matches`, distinguishing the
+/// engine-imposed trip from a voluntary [`SinkFull`] raised by the inner
+/// sink.
+struct LimitSink<'a, S: Sink> {
+    inner: &'a mut S,
+    left: u64,
+    tripped: bool,
+}
+
+impl<S: Sink> Sink for LimitSink<'_, S> {
+    #[inline]
+    fn record(&mut self, pos: usize) -> Result<(), SinkFull> {
+        if self.left == 0 {
+            self.tripped = true;
+            return Err(SinkFull);
+        }
+        // The inner sink's own stop propagates without tripping the limit.
+        self.inner.record(pos)?;
+        self.left -= 1;
+        Ok(())
     }
 }

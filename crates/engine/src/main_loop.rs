@@ -2,6 +2,7 @@
 //! structural iterator, with leaf, child, and sibling skipping.
 
 use crate::depth_stack::DepthStack;
+use crate::error::{Interrupt, LimitKind};
 use crate::sink::Sink;
 use crate::util::{first_nonws_at, value_start_after};
 use crate::EngineOptions;
@@ -75,7 +76,13 @@ impl IndexStack {
 
     #[inline]
     fn get(&self, depth: u32) -> u64 {
-        u64::from(self.counters.as_slice().get(depth as usize).copied().unwrap_or(0))
+        u64::from(
+            self.counters
+                .as_slice()
+                .get(depth as usize)
+                .copied()
+                .unwrap_or(0),
+        )
     }
 }
 
@@ -136,15 +143,30 @@ fn try_match_first_item(
     state: StateId,
     open_pos: usize,
     sink: &mut impl Sink,
-) {
+) -> Result<(), Interrupt> {
     if !automaton.is_accepting(automaton.transition(state, PathSymbol::Index(0))) {
-        return;
+        return Ok(());
     }
     // A structural byte after the `[` means the first entry is composite
     // (handled at its Opening) or the array is empty.
     if let Some(v) = value_start_after(it.input(), open_pos) {
-        sink.report(v);
+        sink.record(v)?;
     }
+    Ok(())
+}
+
+/// Enforces [`EngineOptions::max_label_bytes`] on a label the automaton is
+/// about to examine. Only examined labels are guarded: labels the engine
+/// skips over (fast-forwarded subtrees, toggled-off colons) cost nothing
+/// and are not measured.
+#[inline]
+fn check_label(options: &EngineOptions, label: Option<&[u8]>) -> Result<(), Interrupt> {
+    if let (Some(limit), Some(label)) = (options.max_label_bytes, label) {
+        if label.len() > limit {
+            return Err(Interrupt::Limit(LimitKind::LabelBytes));
+        }
+    }
+    Ok(())
 }
 
 /// Runs the DFA over one element: the opening character at `root_pos` (of
@@ -156,6 +178,12 @@ fn try_match_first_item(
 /// Used both for whole documents (element = root, `state0` = initial
 /// state) and for skip-to-label sub-runs (element = the value of a matched
 /// label, `state0` = the target of the label transition).
+///
+/// Unwinds with an [`Interrupt`] when the sink declines a match or a
+/// resource limit trips. `max_depth` is enforced relative to the element's
+/// root — exact for whole-document runs; for skip-to-label sub-runs it
+/// bounds nesting below the matched value (the `memmem` jump does not
+/// track the candidate's absolute depth).
 pub(crate) fn run_element(
     it: &mut StructuralIterator<'_>,
     automaton: &Automaton,
@@ -164,7 +192,7 @@ pub(crate) fn run_element(
     root_bracket: BracketType,
     root_pos: usize,
     sink: &mut impl Sink,
-) {
+) -> Result<(), Interrupt> {
     let mut state = state0;
     let mut depth: u32 = 1;
     let mut stack = DepthStack::new();
@@ -177,7 +205,7 @@ pub(crate) fn run_element(
 
     let mut comma_mode = apply_toggles(it, automaton, options, state, root_bracket);
     if root_bracket == BracketType::Bracket {
-        try_match_first_item(it, automaton, state, root_pos, sink);
+        try_match_first_item(it, automaton, state, root_pos, sink)?;
     }
 
     // §1.3 of the paper: "the cost of switching often exceeds the gain…
@@ -198,28 +226,38 @@ pub(crate) fn run_element(
             && automaton.is_waiting(state)
             && automaton.is_internal(state)
         {
-            let boundary = stack.top_depth().map_or(1, |d| d + 1);
-            let levels = depth.saturating_sub(boundary);
-            let (needle, _) = automaton
-                .single_explicit_transition(state)
-                .expect("waiting states have exactly one label transition");
-            match it.seek_label(needle, levels) {
-                LabelSeek::Candidate { depth_delta } => {
-                    depth = (i64::from(depth) + i64::from(depth_delta)) as u32;
-                    // The candidate's parent is necessarily an object.
-                    types.set(depth, BracketType::Brace);
+            // A waiting state has exactly one label transition by
+            // construction; if the automaton violates that invariant, fall
+            // back to the ordinary event loop instead of panicking, and
+            // reset the streak so the seek is not retried every event.
+            if let Some((needle, _)) = automaton.single_explicit_transition(state) {
+                let boundary = stack.top_depth().map_or(1, |d| d + 1);
+                let levels = depth.saturating_sub(boundary);
+                match it.seek_label(needle, levels) {
+                    LabelSeek::Candidate { depth_delta } => {
+                        depth = (i64::from(depth) + i64::from(depth_delta)) as u32;
+                        if depth > options.max_depth {
+                            return Err(Interrupt::Limit(LimitKind::Depth));
+                        }
+                        // The candidate's parent is necessarily an object.
+                        types.set(depth, BracketType::Brace);
+                    }
+                    LabelSeek::Boundary => {
+                        depth -= levels;
+                    }
+                    LabelSeek::End => break,
                 }
-                LabelSeek::Boundary => {
-                    depth -= levels;
-                }
-                LabelSeek::End => break,
+            } else {
+                waiting_streak = 0;
             }
         }
 
         let Some(event) = it.next() else { break };
         match event {
             Structural::Opening(bracket, pos) => {
-                let symbol = match it.label_before(pos) {
+                let label = it.label_before(pos);
+                check_label(options, label)?;
+                let symbol = match label {
                     Some(label) => PathSymbol::Label(label),
                     None => PathSymbol::Index(indices.get(depth)),
                 };
@@ -228,6 +266,9 @@ pub(crate) fn run_element(
                     // Skipping children (§3.3): nothing below can match.
                     it.skip_past_close(bracket);
                     continue;
+                }
+                if depth >= options.max_depth {
+                    return Err(Interrupt::Limit(LimitKind::Depth));
                 }
                 if target != state || !options.sparse_stack {
                     stack.push(state, depth);
@@ -242,11 +283,11 @@ pub(crate) fn run_element(
                     indices.reset(depth);
                 }
                 if automaton.is_accepting(state) {
-                    sink.report(pos);
+                    sink.record(pos)?;
                 }
                 comma_mode = apply_toggles(it, automaton, options, state, bracket);
                 if bracket == BracketType::Bracket {
-                    try_match_first_item(it, automaton, state, pos, sink);
+                    try_match_first_item(it, automaton, state, pos, sink)?;
                 }
             }
             Structural::Closing(_, _) => {
@@ -283,9 +324,10 @@ pub(crate) fn run_element(
                     continue;
                 };
                 let label = it.label_before(pos);
+                check_label(options, label)?;
                 let target = automaton.transition_label(state, label);
                 if automaton.is_accepting(target) {
-                    sink.report(v);
+                    sink.record(v)?;
                 }
                 if options.skip_siblings
                     && automaton.is_unitary(state)
@@ -308,7 +350,7 @@ pub(crate) fn run_element(
                     CommaMode::All => {
                         indices.increment(depth);
                         if let Some(v) = value_start_after(it.input(), pos) {
-                            sink.report(v);
+                            sink.record(v)?;
                         }
                     }
                     CommaMode::Indexed => {
@@ -317,7 +359,7 @@ pub(crate) fn run_element(
                             automaton.transition(state, PathSymbol::Index(indices.get(depth)));
                         if automaton.is_accepting(target) {
                             if let Some(v) = value_start_after(it.input(), pos) {
-                                sink.report(v);
+                                sink.record(v)?;
                             }
                         }
                     }
@@ -325,6 +367,7 @@ pub(crate) fn run_element(
             }
         }
     }
+    Ok(())
 }
 
 /// Runs a query over a whole document (without skip-to-label).
@@ -333,14 +376,14 @@ pub(crate) fn run_document(
     automaton: &Automaton,
     options: &EngineOptions,
     sink: &mut impl Sink,
-) {
+) -> Result<(), Interrupt> {
     let initial = automaton.initial_state();
     match it.next() {
         Some(Structural::Opening(bracket, pos)) => {
             if automaton.is_accepting(initial) {
-                sink.report(pos); // query `$` on a composite document
+                sink.record(pos)?; // query `$` on a composite document
             }
-            run_element(it, automaton, options, initial, bracket, pos, sink);
+            run_element(it, automaton, options, initial, bracket, pos, sink)?;
         }
         Some(_) => {
             // Malformed document (starts with a closer/comma/colon).
@@ -349,9 +392,10 @@ pub(crate) fn run_document(
             // Atomic document: only `$` can match it.
             if automaton.is_accepting(initial) {
                 if let Some(v) = first_nonws_at(it.input(), 0) {
-                    sink.report(v);
+                    sink.record(v)?;
                 }
             }
         }
     }
+    Ok(())
 }

@@ -5,18 +5,50 @@
 //! starts (in document order). [`CountSink`] mirrors the match counter
 //! used in the paper's benchmarks; [`PositionsSink`] records offsets for
 //! verification and for extracting node text.
+//!
+//! A sink can stop a run early: [`Sink::record`] returns
+//! `Err(`[`SinkFull`]`)` when the sink declines further matches, and the
+//! engine unwinds promptly — [`Engine::try_run`](crate::Engine::try_run)
+//! treats this as a successful (voluntary) early exit, not an error.
+
+use std::fmt;
+
+/// The signal a [`Sink`] raises to stop the run: it will not accept more
+/// matches. Not an error — the engine exits cleanly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SinkFull;
+
+impl fmt::Display for SinkFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sink declined further matches")
+    }
+}
 
 /// Receiver of match reports.
 pub trait Sink {
     /// Called once per matched node, in document order, with the byte
     /// offset of the first character of the node's text.
-    fn report(&mut self, pos: usize);
+    ///
+    /// # Errors
+    ///
+    /// Return `Err(SinkFull)` to stop the run early; the engine will not
+    /// deliver further matches.
+    fn record(&mut self, pos: usize) -> Result<(), SinkFull>;
+
+    /// Infallible convenience wrapper around [`record`](Self::record) that
+    /// discards the early-stop signal. Useful for callers that always
+    /// consume the whole document (e.g. the baseline engines, which have
+    /// no early-exit machinery).
+    #[inline]
+    fn report(&mut self, pos: usize) {
+        let _ = self.record(pos);
+    }
 }
 
 impl<S: Sink + ?Sized> Sink for &mut S {
     #[inline]
-    fn report(&mut self, pos: usize) {
-        (**self).report(pos);
+    fn record(&mut self, pos: usize) -> Result<(), SinkFull> {
+        (**self).record(pos)
     }
 }
 
@@ -43,8 +75,9 @@ impl CountSink {
 
 impl Sink for CountSink {
     #[inline]
-    fn report(&mut self, _pos: usize) {
+    fn record(&mut self, _pos: usize) -> Result<(), SinkFull> {
         self.count += 1;
+        Ok(())
     }
 }
 
@@ -76,8 +109,9 @@ impl PositionsSink {
 
 impl Sink for PositionsSink {
     #[inline]
-    fn report(&mut self, pos: usize) {
+    fn record(&mut self, pos: usize) -> Result<(), SinkFull> {
         self.positions.push(pos);
+        Ok(())
     }
 }
 
@@ -110,5 +144,26 @@ mod tests {
         let mut c = CountSink::new();
         takes_sink(&mut c);
         assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn full_sink_signals_without_erroring_report() {
+        struct One {
+            got: Option<usize>,
+        }
+        impl Sink for One {
+            fn record(&mut self, pos: usize) -> Result<(), SinkFull> {
+                if self.got.is_some() {
+                    return Err(SinkFull);
+                }
+                self.got = Some(pos);
+                Ok(())
+            }
+        }
+        let mut s = One { got: None };
+        assert_eq!(s.record(5), Ok(()));
+        assert_eq!(s.record(9), Err(SinkFull));
+        s.report(11); // provided wrapper swallows the signal
+        assert_eq!(s.got, Some(5));
     }
 }

@@ -10,14 +10,38 @@ fn configurations() -> Vec<EngineOptions> {
     let d = EngineOptions::default();
     vec![
         d,
-        EngineOptions { skip_leaves: false, ..d },
-        EngineOptions { skip_children: false, ..d },
-        EngineOptions { skip_siblings: false, ..d },
-        EngineOptions { head_start: false, ..d },
-        EngineOptions { checked_head_start: false, ..d },
-        EngineOptions { sparse_stack: false, ..d },
-        EngineOptions { backend: Some(rsq_simd::BackendKind::Swar), ..d },
-        EngineOptions { label_seek: false, ..d },
+        EngineOptions {
+            skip_leaves: false,
+            ..d
+        },
+        EngineOptions {
+            skip_children: false,
+            ..d
+        },
+        EngineOptions {
+            skip_siblings: false,
+            ..d
+        },
+        EngineOptions {
+            head_start: false,
+            ..d
+        },
+        EngineOptions {
+            checked_head_start: false,
+            ..d
+        },
+        EngineOptions {
+            sparse_stack: false,
+            ..d
+        },
+        EngineOptions {
+            backend: Some(rsq_simd::BackendKind::Swar),
+            ..d
+        },
+        EngineOptions {
+            label_seek: false,
+            ..d
+        },
         EngineOptions {
             skip_leaves: false,
             skip_children: false,
@@ -27,6 +51,7 @@ fn configurations() -> Vec<EngineOptions> {
             checked_head_start: false,
             sparse_stack: false,
             backend: Some(rsq_simd::BackendKind::Swar),
+            ..d
         },
     ]
 }
@@ -92,8 +117,16 @@ fn root_query_matches_whole_document() {
 fn wildcard_idiomatic_objects_and_arrays() {
     // JSONSki would only step into arrays here; idiomatic wildcard also
     // matches object members (the paper's B3 discussion).
-    assert_matches("$.*", r#"{"a": 1, "b": [2], "c": {"d": 3}}"#, &["1", "[2]", r#"{"d": 3}"#]);
-    assert_matches("$.*", r#"[10, [20], {"x": 30}]"#, &["10", "[20]", r#"{"x": 30}"#]);
+    assert_matches(
+        "$.*",
+        r#"{"a": 1, "b": [2], "c": {"d": 3}}"#,
+        &["1", "[2]", r#"{"d": 3}"#],
+    );
+    assert_matches(
+        "$.*",
+        r#"[10, [20], {"x": 30}]"#,
+        &["10", "[20]", r#"{"x": 30}"#],
+    );
     assert_count("$.*.*", r#"{"a": {"b": 1}, "c": [2, 3]}"#, 3);
 }
 
@@ -102,7 +135,11 @@ fn paper_node_semantics_example() {
     // §2: in {"a":[{"b":{"c":1}},{"b":[2]}]}, the query $..b.* returns 1 and 2... wait:
     // the paper says query a..b.* returns 1 and 2.
     assert_count("$.a..b.*", r#"{"a":[{"b":{"c":1}},{"b":[2]}]}"#, 2);
-    assert_matches("$.a..b.*", r#"{"a":[{"b":{"c":1}},{"b":[2]}]}"#, &["1", "2"]);
+    assert_matches(
+        "$.a..b.*",
+        r#"{"a":[{"b":{"c":1}},{"b":[2]}]}"#,
+        &["1", "2"],
+    );
 }
 
 #[test]
@@ -191,7 +228,11 @@ fn leaf_matching_in_arrays() {
 
 #[test]
 fn leaf_matching_in_objects() {
-    assert_matches("$.a.*", r#"{"a": {"x": 1, "y": "s", "z": {"w": 0}}}"#, &["1", "\"s\"", r#"{"w": 0}"#]);
+    assert_matches(
+        "$.a.*",
+        r#"{"a": {"x": 1, "y": "s", "z": {"w": 0}}}"#,
+        &["1", "\"s\"", r#"{"w": 0}"#],
+    );
 }
 
 #[test]
@@ -241,7 +282,10 @@ fn duplicate_keys_and_sibling_skipping() {
     assert_eq!(default.count(doc.as_bytes()), 1);
     let no_skip = Engine::with_options(
         &q,
-        EngineOptions { skip_siblings: false, ..EngineOptions::default() },
+        EngineOptions {
+            skip_siblings: false,
+            ..EngineOptions::default()
+        },
     )
     .unwrap();
     assert_eq!(no_skip.count(doc.as_bytes()), 2);

@@ -8,12 +8,30 @@ fn configurations() -> Vec<EngineOptions> {
     let d = EngineOptions::default();
     vec![
         d,
-        EngineOptions { skip_leaves: false, ..d },
-        EngineOptions { skip_children: false, ..d },
-        EngineOptions { skip_siblings: false, ..d },
-        EngineOptions { head_start: false, ..d },
-        EngineOptions { sparse_stack: false, ..d },
-        EngineOptions { backend: Some(rsq_simd::BackendKind::Swar), ..d },
+        EngineOptions {
+            skip_leaves: false,
+            ..d
+        },
+        EngineOptions {
+            skip_children: false,
+            ..d
+        },
+        EngineOptions {
+            skip_siblings: false,
+            ..d
+        },
+        EngineOptions {
+            head_start: false,
+            ..d
+        },
+        EngineOptions {
+            sparse_stack: false,
+            ..d
+        },
+        EngineOptions {
+            backend: Some(rsq_simd::BackendKind::Swar),
+            ..d
+        },
     ]
 }
 

@@ -151,9 +151,7 @@ impl ValueNode {
             ValueKind::Object(members) => (None, Some(members.iter().map(|(_, v)| v))),
             _ => (None, None),
         };
-        arr.into_iter()
-            .flatten()
-            .chain(obj.into_iter().flatten())
+        arr.into_iter().flatten().chain(obj.into_iter().flatten())
     }
 
     /// Returns `true` for atomic values (strings, numbers, booleans, null).
@@ -178,9 +176,7 @@ impl ValueNode {
     pub fn depth(&self) -> usize {
         1 + match &self.kind {
             ValueKind::Array(items) => items.iter().map(ValueNode::depth).max().unwrap_or(0),
-            ValueKind::Object(members) => {
-                members.iter().map(|(_, v)| v.depth()).max().unwrap_or(0)
-            }
+            ValueKind::Object(members) => members.iter().map(|(_, v)| v.depth()).max().unwrap_or(0),
             _ => 0,
         }
     }

@@ -29,7 +29,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -124,7 +128,10 @@ impl<'a> Parser<'a> {
                 let raw = self.parse_string_raw()?;
                 Ok(ValueNode {
                     kind: ValueKind::String(raw),
-                    span: Span { start, end: self.pos },
+                    span: Span {
+                        start,
+                        end: self.pos,
+                    },
                 })
             }
             Some(b't') => self.parse_literal(b"true", ValueKind::Bool(true), start),
@@ -145,7 +152,10 @@ impl<'a> Parser<'a> {
             self.pos += text.len();
             Ok(ValueNode {
                 kind,
-                span: Span { start, end: self.pos },
+                span: Span {
+                    start,
+                    end: self.pos,
+                },
             })
         } else {
             Err(self.error(format!(
@@ -238,7 +248,10 @@ impl<'a> Parser<'a> {
             .to_owned();
         Ok(ValueNode {
             kind: ValueKind::Number(Number::from_raw(raw)),
-            span: Span { start, end: self.pos },
+            span: Span {
+                start,
+                end: self.pos,
+            },
         })
     }
 
@@ -250,7 +263,10 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             return Ok(ValueNode {
                 kind: ValueKind::Array(items),
-                span: Span { start, end: self.pos },
+                span: Span {
+                    start,
+                    end: self.pos,
+                },
             });
         }
         loop {
@@ -268,7 +284,10 @@ impl<'a> Parser<'a> {
         }
         Ok(ValueNode {
             kind: ValueKind::Array(items),
-            span: Span { start, end: self.pos },
+            span: Span {
+                start,
+                end: self.pos,
+            },
         })
     }
 
@@ -280,7 +299,10 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             return Ok(ValueNode {
                 kind: ValueKind::Object(members),
-                span: Span { start, end: self.pos },
+                span: Span {
+                    start,
+                    end: self.pos,
+                },
             });
         }
         loop {
@@ -289,7 +311,10 @@ impl<'a> Parser<'a> {
             let key_text = self.parse_string_raw()?;
             let key = Key {
                 text: key_text,
-                span: Span { start: key_start, end: self.pos },
+                span: Span {
+                    start: key_start,
+                    end: self.pos,
+                },
             };
             self.skip_whitespace();
             self.expect(b':')?;
@@ -308,7 +333,10 @@ impl<'a> Parser<'a> {
         }
         Ok(ValueNode {
             kind: ValueKind::Object(members),
-            span: Span { start, end: self.pos },
+            span: Span {
+                start,
+                end: self.pos,
+            },
         })
     }
 }
@@ -333,7 +361,9 @@ mod tests {
     #[test]
     fn parses_nested_structures() {
         let doc = parse(br#" { "a" : [ 1 , { "b" : null } ] , "c" : "d" } "#).unwrap();
-        let ValueKind::Object(members) = &doc.kind else { panic!() };
+        let ValueKind::Object(members) = &doc.kind else {
+            panic!()
+        };
         assert_eq!(members.len(), 2);
         assert_eq!(members[0].0.text, "a");
         assert_eq!(members[1].0.text, "c");
@@ -343,11 +373,21 @@ mod tests {
     fn spans_point_at_source_text() {
         let text = br#"{"a": [10, 20]}"#;
         let doc = parse(text).unwrap();
-        assert_eq!(doc.span, Span { start: 0, end: text.len() });
-        let ValueKind::Object(members) = &doc.kind else { panic!() };
+        assert_eq!(
+            doc.span,
+            Span {
+                start: 0,
+                end: text.len()
+            }
+        );
+        let ValueKind::Object(members) = &doc.kind else {
+            panic!()
+        };
         let arr = &members[0].1;
         assert_eq!(&text[arr.span.start..arr.span.end], b"[10, 20]");
-        let ValueKind::Array(items) = &arr.kind else { panic!() };
+        let ValueKind::Array(items) = &arr.kind else {
+            panic!()
+        };
         assert_eq!(&text[items[0].span.start..items[0].span.end], b"10");
         assert_eq!(&text[items[1].span.start..items[1].span.end], b"20");
     }
@@ -355,14 +395,18 @@ mod tests {
     #[test]
     fn keys_keep_raw_escapes() {
         let doc = parse(br#"{"a\"b": 1}"#).unwrap();
-        let ValueKind::Object(members) = &doc.kind else { panic!() };
+        let ValueKind::Object(members) = &doc.kind else {
+            panic!()
+        };
         assert_eq!(members[0].0.text, r#"a\"b"#);
     }
 
     #[test]
     fn duplicate_keys_are_preserved() {
         let doc = parse(br#"{"k": 1, "k": 2}"#).unwrap();
-        let ValueKind::Object(members) = &doc.kind else { panic!() };
+        let ValueKind::Object(members) = &doc.kind else {
+            panic!()
+        };
         assert_eq!(members.len(), 2);
     }
 
@@ -370,7 +414,9 @@ mod tests {
     fn paper_example_string_with_embedded_json() {
         // {"a":"{\"b\":2022}"} from §2 of the paper: the value is a string.
         let doc = parse(br#"{"a":"{\"b\":2022}"}"#).unwrap();
-        let ValueKind::Object(members) = &doc.kind else { panic!() };
+        let ValueKind::Object(members) = &doc.kind else {
+            panic!()
+        };
         assert_eq!(
             members[0].1.kind,
             ValueKind::String(r#"{\"b\":2022}"#.into())
@@ -380,9 +426,29 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[", "]", "{]", "[1,]", "{\"a\"}", "{\"a\":}", "1 2", "tru", "\"", "\"\\q\"",
-            "01", "1.", "1e", "-", "+1", "\"\\u12g4\"", "{\"a\":1,}", "nan", "[1 2]",
-            "\u{1}", "\"a\nb\"",
+            "",
+            "{",
+            "[",
+            "]",
+            "{]",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "1 2",
+            "tru",
+            "\"",
+            "\"\\q\"",
+            "01",
+            "1.",
+            "1e",
+            "-",
+            "+1",
+            "\"\\u12g4\"",
+            "{\"a\":1,}",
+            "nan",
+            "[1 2]",
+            "\u{1}",
+            "\"a\nb\"",
         ] {
             assert!(parse(bad.as_bytes()).is_err(), "should reject {bad:?}");
         }
@@ -395,15 +461,24 @@ mod tests {
 
     #[test]
     fn depth_limit_is_enforced() {
-        let deep: String =
-            std::iter::repeat('[').take(64).chain(std::iter::repeat(']').take(64)).collect();
+        let deep: String = std::iter::repeat_n('[', 64)
+            .chain(std::iter::repeat_n(']', 64))
+            .collect();
         assert!(parse_with_options(deep.as_bytes(), ParseOptions { max_depth: 63 }).is_err());
         assert!(parse_with_options(deep.as_bytes(), ParseOptions { max_depth: 64 }).is_ok());
     }
 
     #[test]
     fn number_grammar_edge_cases() {
-        for good in ["0", "-0", "0.5", "123e10", "1E-2", "1e+2", "9007199254740993"] {
+        for good in [
+            "0",
+            "-0",
+            "0.5",
+            "123e10",
+            "1E-2",
+            "1e+2",
+            "9007199254740993",
+        ] {
             assert!(parse(good.as_bytes()).is_ok(), "should accept {good}");
         }
     }

@@ -108,7 +108,11 @@ pub fn document_stats(input: &[u8]) -> DocumentStats {
     let has_atom_leaves = node_count > 0;
     DocumentStats {
         size_bytes: input.len(),
-        max_depth: if has_atom_leaves { depth_with_leaves(input, max_depth) } else { 0 },
+        max_depth: if has_atom_leaves {
+            depth_with_leaves(input, max_depth)
+        } else {
+            0
+        },
         node_count,
     }
 }

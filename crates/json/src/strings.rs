@@ -13,7 +13,11 @@ pub struct UnescapeError {
 
 impl fmt::Display for UnescapeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid escape at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "invalid escape at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 

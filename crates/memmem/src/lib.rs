@@ -122,7 +122,10 @@ impl<'n> Finder<'n> {
         // is verified with a full comparison. The kernel searches for the
         // *first filter byte's* position, i.e. match position + off_a.
         loop {
-            match self.simd.find_pair(haystack, at + off_a, byte_a, byte_b, gap) {
+            match self
+                .simd
+                .find_pair(haystack, at + off_a, byte_a, byte_b, gap)
+            {
                 Ok(hit) => {
                     let pos = hit - off_a;
                     if pos + n.len() <= haystack.len() && &haystack[pos..pos + n.len()] == n {
@@ -250,8 +253,7 @@ mod tests {
         if haystack.len() < needle.len() {
             return None;
         }
-        (start..=haystack.len() - needle.len())
-            .find(|&i| &haystack[i..i + needle.len()] == needle)
+        (start..=haystack.len() - needle.len()).find(|&i| &haystack[i..i + needle.len()] == needle)
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::TooManyStates { limit } => {
-                write!(f, "query automaton exceeds {limit} states (exponential blow-up)")
+                write!(
+                    f,
+                    "query automaton exceeds {limit} states (exponential blow-up)"
+                )
             }
         }
     }
@@ -130,7 +133,6 @@ impl Automaton {
     }
 
     /// The distinct labels mentioned by the query, as raw bytes.
-    #[must_use]
     pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
         self.labels.iter().map(Vec::as_slice)
     }
@@ -213,10 +215,7 @@ impl Automaton {
     }
 
     /// The explicit transitions of a state as `(label bytes, target)`.
-    pub fn explicit_transitions(
-        &self,
-        state: StateId,
-    ) -> impl Iterator<Item = (&[u8], StateId)> {
+    pub fn explicit_transitions(&self, state: StateId) -> impl Iterator<Item = (&[u8], StateId)> {
         self.states[state.index()]
             .explicit
             .iter()
@@ -318,7 +317,11 @@ impl Automaton {
             for &(idx, t) in &s.explicit_indices {
                 let _ = writeln!(out, "  q{i} -> q{} [label=\"[{idx}]\"];", t.0);
             }
-            let _ = writeln!(out, "  q{i} -> q{} [label=\"*\", style=dashed];", s.fallback.0);
+            let _ = writeln!(
+                out,
+                "  q{i} -> q{} [label=\"*\", style=dashed];",
+                s.fallback.0
+            );
             if s.fallback_index != s.fallback {
                 let _ = writeln!(
                     out,
@@ -364,8 +367,14 @@ fn determinize(nfa: &Nfa) -> Result<(RawTransitions, Vec<bool>, usize), CompileE
     subsets.push(Vec::new());
     transitions.push(vec![0; width]);
 
-    let initial_subset = vec![0u16.min(nfa.accept())]; // {0}, or {accept} for `$`
-    let initial = intern(initial_subset, &mut subset_ids, &mut subsets, &mut transitions, width)?;
+    let initial_subset = vec![0u16]; // {0}, or {accept} for `$`
+    let initial = intern(
+        initial_subset,
+        &mut subset_ids,
+        &mut subsets,
+        &mut transitions,
+        width,
+    )?;
 
     let mut work = initial;
     while work < subsets.len() {

@@ -112,7 +112,11 @@ impl Nfa {
                 },
             })
             .collect();
-        Nfa { labels, indices, states }
+        Nfa {
+            labels,
+            indices,
+            states,
+        }
     }
 
     /// Index of the accepting state.

@@ -99,7 +99,11 @@ impl fmt::Display for QueryParseError {
             ParseErrorKind::EmptyLabel => "empty label",
             ParseErrorKind::TrailingCharacters => "unexpected trailing characters",
         };
-        write!(f, "JSONPath parse error at offset {}: {}", self.offset, what)
+        write!(
+            f,
+            "JSONPath parse error at offset {}: {}",
+            self.offset, what
+        )
     }
 }
 

@@ -1,0 +1,270 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The rsq workspace must build in dependency-starved environments where
+//! the registry is unreachable, so the benches cannot depend on crates.io
+//! `criterion`. This shim provides the API subset they use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup` tuning methods, `BenchmarkId`, `Throughput::Bytes`
+//! and `Bencher::iter` — backed by a simple wall-clock measurement loop.
+//!
+//! It is honest but unsophisticated: per benchmark it runs a short
+//! warm-up, then `sample_size` timed samples (each sized to roughly fill
+//! `measurement_time / sample_size`), and reports the median sample's
+//! ns/iter plus throughput when configured. There is no outlier
+//! analysis, no HTML report, and no statistical comparison with previous
+//! runs — it exists so `cargo bench` produces useful numbers offline,
+//! not to replace criterion's rigor.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark harness entry point, handed to each `criterion_group!`
+/// target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Runs `routine` as a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, routine);
+        group.finish();
+        self
+    }
+}
+
+/// A set of benchmarks sharing tuning parameters and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to exercise the routine before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total wall-clock budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares the quantity processed per iteration, enabling
+    /// throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            ns_per_iter: None,
+        };
+        routine(&mut bencher);
+        match bencher.ns_per_iter {
+            Some(ns) => {
+                let rate = match self.throughput {
+                    Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
+                        let gib_s = bytes as f64 / ns; // bytes/ns == GB/s
+                        format!("  {gib_s:>8.3} GB/s")
+                    }
+                    Some(Throughput::Elements(n)) if ns > 0.0 => {
+                        let me_s = n as f64 / ns * 1e3;
+                        format!("  {me_s:>8.3} Melem/s")
+                    }
+                    _ => String::new(),
+                };
+                println!("{label:<50} {:>14.1} ns/iter{rate}", ns);
+            }
+            None => println!("{label:<50} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+
+    /// Runs one benchmark that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group. (No-op beyond marking intent, as in criterion.)
+    pub fn finish(&mut self) {}
+}
+
+/// Times a closure over many iterations.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording the median sample's ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Size each sample to fill its share of the measurement budget.
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((budget_ns / est_ns) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name plus a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifies a benchmark as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        group.throughput(Throughput::Bytes(1024));
+        let data = vec![1u8; 1024];
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| d.iter().map(|&x| x as u64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_runner_macros_compile() {
+        fn bench_noop(c: &mut Criterion) {
+            let mut group = c.benchmark_group("noop");
+            group
+                .sample_size(2)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(2));
+            group.bench_function(BenchmarkId::new("nothing", 0), |b| b.iter(|| 1 + 1));
+            group.finish();
+        }
+        criterion_group!(benches, bench_noop);
+        benches();
+    }
+}

@@ -1,0 +1,823 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The rsq workspace must build and test in dependency-starved
+//! environments where the registry is unreachable, so the property-test
+//! suites cannot depend on crates.io `proptest`. This shim provides the
+//! exact API subset those suites use — `proptest!`, `prop_oneof!`,
+//! `prop_assert!`/`prop_assert_eq!`, `Strategy` with `prop_map`,
+//! `prop_recursive` and `boxed`, `Just`, `any`, integer ranges, string
+//! patterns, tuples, `collection::{vec, btree_map}` and
+//! `array::uniform32` — over a deterministic SplitMix64 generator.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs
+//!   verbatim (they are printed before the body runs, so even a panic
+//!   mid-body shows them) but is not minimized;
+//! * **deterministic seeding** — the RNG is seeded from the test's file
+//!   and function name, so a failure reproduces exactly on re-run; there
+//!   is no persistence file;
+//! * string "regex" strategies support only the forms the workspace
+//!   uses: `[class]{m,n}` character classes (with ranges and escapes)
+//!   and `\PC{m,n}` (printable chars, including some multi-byte);
+//! * only the names the workspace imports exist.
+
+pub mod test_runner {
+    //! Test execution: configuration, error type, RNG, and the panic
+    //! guard that reports inputs when a case dies.
+
+    /// Run configuration. Only `cases` is honoured.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` generated inputs.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Matches upstream proptest's default.
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An assertion (e.g. `prop_assert!`) failed.
+        Fail(String),
+        /// The input was rejected (unused by this shim's strategies).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Convenience constructor for a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream, seeded per test function.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from the test's location and name, so every
+        /// run of the same test explores the same inputs.
+        pub fn for_test(file: &str, name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+            for b in file.bytes().chain(name.bytes()) {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// The next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `lo..hi` (`lo < hi`).
+        pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(lo < hi);
+            lo + self.next_u64() % (hi - lo)
+        }
+    }
+
+    /// Prints the generated inputs if the case body panics, so failures
+    /// are diagnosable without shrinking.
+    pub struct CaseGuard {
+        armed: bool,
+        name: &'static str,
+        case: u32,
+        inputs: String,
+    }
+
+    impl CaseGuard {
+        /// Arms the guard for one case.
+        pub fn new(name: &'static str, case: u32, inputs: String) -> Self {
+            CaseGuard {
+                armed: true,
+                name,
+                case,
+                inputs,
+            }
+        }
+
+        /// The case passed; forget the inputs.
+        pub fn disarm(mut self) {
+            self.armed = false;
+        }
+
+        /// Formats an assertion failure, disarming the panic path.
+        pub fn failure(mut self, err: TestCaseError) -> String {
+            self.armed = false;
+            format!(
+                "proptest {}: case {} failed: {}\n  inputs: {}",
+                self.name, self.case, err, self.inputs
+            )
+        }
+    }
+
+    impl Drop for CaseGuard {
+        fn drop(&mut self) {
+            if self.armed && std::thread::panicking() {
+                eprintln!(
+                    "proptest {}: panic in case {}\n  inputs: {}",
+                    self.name, self.case, self.inputs
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::test_runner::TestRng;
+    use std::fmt;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: fmt::Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erases the strategy behind a cheaply clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Builds recursive values: `recurse` wraps the strategy for one
+        /// more level of nesting, applied up to `depth` times with leaves
+        /// mixed in at every level (so generated sizes stay bounded).
+        /// The `_desired_size` and `_expected_branch` tuning knobs of the
+        /// real crate are accepted and ignored.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let branch = recurse(strat).boxed();
+                strat = Union::weighted(vec![(1, leaf.clone()), (2, branch)]).boxed();
+            }
+            strat
+        }
+    }
+
+    /// Object-safe core used by [`BoxedStrategy`].
+    trait ErasedStrategy<T> {
+        fn generate_erased(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> ErasedStrategy<S::Value> for S {
+        fn generate_erased(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, clonable strategy handle.
+    pub struct BoxedStrategy<T>(Arc<dyn ErasedStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_erased(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: fmt::Debug,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Weighted choice among strategies of a common value type.
+    /// Built by [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Uniform choice.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            Self::weighted(arms.into_iter().map(|s| (1, s)).collect())
+        }
+
+        /// Weighted choice; weights need not be normalized.
+        pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.next_u64() % self.total;
+            for (weight, strat) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return strat.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights summed incorrectly")
+        }
+    }
+
+    /// Full-domain strategy for [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: fmt::Debug + Sized {
+        /// Draws a value uniformly over the whole domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// `any::<T>()` — uniform over `T`'s whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "cannot generate from empty range {:?}",
+                        self
+                    );
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::pattern::generate(self, rng)
+        }
+    }
+}
+
+mod pattern {
+    //! The tiny "regex" subset backing `&str` strategies: a sequence of
+    //! atoms (`[class]`, `\PC`, escaped or literal chars), each followed
+    //! by an optional `{m,n}` or `{n}` repetition.
+
+    use super::test_runner::TestRng;
+
+    /// Printable pool for `\PC`: ASCII printables plus a few multi-byte
+    /// characters so UTF-8 handling gets exercised.
+    fn printable_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+        pool.extend(['ż', 'ó', 'ł', 'ć', 'λ', '€', '好']);
+        pool
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let pool: Vec<char> = match c {
+                '[' => {
+                    let mut pool = Vec::new();
+                    let mut class: Vec<char> = Vec::new();
+                    for n in chars.by_ref() {
+                        if n == ']' && !matches!(class.last(), Some('\\')) {
+                            break;
+                        }
+                        class.push(n);
+                    }
+                    let mut i = 0;
+                    while i < class.len() {
+                        let ch = class[i];
+                        if ch == '\\' && i + 1 < class.len() {
+                            pool.push(class[i + 1]);
+                            i += 2;
+                        } else if i + 2 < class.len() && class[i + 1] == '-' {
+                            let (lo, hi) = (ch as u32, class[i + 2] as u32);
+                            for cp in lo..=hi {
+                                if let Some(c) = char::from_u32(cp) {
+                                    pool.push(c);
+                                }
+                            }
+                            i += 3;
+                        } else {
+                            pool.push(ch);
+                            i += 1;
+                        }
+                    }
+                    pool
+                }
+                '\\' => match chars.next() {
+                    // \PC (and \pC): "not a control character".
+                    Some('P') | Some('p') => {
+                        chars.next(); // consume the property letter
+                        printable_pool()
+                    }
+                    Some(escaped) => vec![escaped],
+                    None => vec!['\\'],
+                },
+                '{' | '}' => continue, // stray brace outside a repetition
+                lit => vec![lit],
+            };
+            // Optional repetition.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for n in chars.by_ref() {
+                    if n == '}' {
+                        break;
+                    }
+                    spec.push(n);
+                }
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().unwrap_or(0),
+                        b.trim().parse().unwrap_or(8usize),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = if lo == hi {
+                lo
+            } else {
+                rng.below(lo as u64, hi as u64 + 1) as usize
+            };
+            if pool.is_empty() {
+                continue;
+            }
+            for _ in 0..count {
+                let pick = rng.below(0, pool.len() as u64) as usize;
+                out.push(pool[pick]);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_map`.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::fmt;
+    use std::ops::Range;
+
+    /// `Vec<T>` with a length drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = sample_len(&self.size, rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeMap<K, V>` with entry count drawn from `size`. Duplicate
+    /// generated keys collapse, so maps may come out smaller.
+    pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord + fmt::Debug,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = sample_len(&self.size, rng);
+            (0..len)
+                .map(|_| (self.keys.generate(rng), self.values.generate(rng)))
+                .collect()
+        }
+    }
+
+    fn sample_len(size: &Range<usize>, rng: &mut TestRng) -> usize {
+        if size.start >= size.end {
+            size.start
+        } else {
+            rng.below(size.start as u64, size.end as u64) as usize
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// `[T; 32]` with every element drawn from `element`.
+    pub fn uniform32<S: Strategy>(element: S) -> Uniform32<S> {
+        Uniform32 { element }
+    }
+
+    /// See [`uniform32`].
+    #[derive(Clone, Debug)]
+    pub struct Uniform32<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for Uniform32<S> {
+        type Value = [S::Value; 32];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+// Re-export at the root too, as the real crate does.
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+pub use test_runner::Config as ProptestConfig;
+
+/// Declares property tests. Each function runs `Config::cases` generated
+/// inputs; generated values are formatted *before* the body runs, so a
+/// panicking case still reports its inputs (no shrinking is performed).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                let mut __rng = $crate::test_runner::TestRng::for_test(file!(), stringify!($name));
+                let ($($arg,)+) = ($($strat,)+);
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);
+                    )+
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        __inputs.push_str(stringify!($arg));
+                        __inputs.push_str(" = ");
+                        __inputs.push_str(&format!("{:?}; ", &$arg));
+                    )+
+                    let __guard = $crate::test_runner::CaseGuard::new(
+                        stringify!($name),
+                        __case,
+                        __inputs,
+                    );
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => __guard.disarm(),
+                        ::std::result::Result::Err(e) => ::std::panic!("{}", __guard.failure(e)),
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Chooses among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($item) ),+
+        ])
+    };
+    ($($weight:literal => $item:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $( ($weight, $crate::strategy::Strategy::boxed($item)) ),+
+        ])
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not the whole
+/// process) with the generated inputs attached.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __left,
+            __right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_charclass() {
+        let mut rng = TestRng::for_test("shim", "pattern_charclass");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_escapes_and_spaces() {
+        let mut rng = TestRng::for_test("shim", "pattern_escapes");
+        let allowed = "abcdefghijklmnopqrstuvwxyz :,{}[]";
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z :,{}\\[\\]]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12, "{s:?}");
+            assert!(s.chars().all(|c| allowed.contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_printable() {
+        let mut rng = TestRng::for_test("shim", "pattern_printable");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"\\PC{0,32}", &mut rng);
+            assert!(s.chars().count() <= 32, "{s:?}");
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_unions() {
+        let mut rng = TestRng::for_test("shim", "ranges_and_unions");
+        let strat = prop_oneof![
+            3 => (0i64..10).prop_map(|n| n * 2),
+            1 => Just(-1i64),
+        ];
+        let mut saw_neg = false;
+        let mut saw_even = false;
+        for _ in 0..300 {
+            let v = Strategy::generate(&strat, &mut rng);
+            if v == -1 {
+                saw_neg = true;
+            } else {
+                assert!(v % 2 == 0 && (0..20).contains(&v));
+                saw_even = true;
+            }
+        }
+        assert!(saw_neg && saw_even);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 64, 6, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::for_test("shim", "recursion_terminates");
+        let mut max = 0;
+        for _ in 0..200 {
+            max = max.max(depth(&Strategy::generate(&strat, &mut rng)));
+        }
+        assert!(max > 1, "recursion never branched");
+        assert!(max <= 5, "recursion exceeded depth bound: {max}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_end_to_end(v in crate::collection::vec(any::<u8>(), 0..16), n in 1usize..4) {
+            // Consume `v` by value to prove the body may move inputs.
+            let total: usize = v.into_iter().map(usize::from).sum();
+            prop_assert!(n >= 1);
+            prop_assert_eq!(total, total, "n = {}", n);
+        }
+    }
+}

@@ -46,7 +46,10 @@ unsafe fn eq_mask_ptr(ptr: *const u8, needle: __m256i) -> u64 {
 pub(crate) unsafe fn eq_mask2(block: &Block, a: u8, b: u8) -> (u64, u64) {
     let na = _mm256_set1_epi8(a as i8);
     let nb = _mm256_set1_epi8(b as i8);
-    (eq_mask_ptr(block.as_ptr(), na), eq_mask_ptr(block.as_ptr(), nb))
+    (
+        eq_mask_ptr(block.as_ptr(), na),
+        eq_mask_ptr(block.as_ptr(), nb),
+    )
 }
 
 /// Broadcasts a 16-byte table to both 128-bit lanes of a 256-bit vector.

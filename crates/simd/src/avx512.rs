@@ -107,8 +107,12 @@ pub(crate) unsafe fn quotes4_clmul(
         let src = _mm512_loadu_si512(chunk.as_ptr().add(i * BLOCK_SIZE).cast());
         let backslash = _mm512_cmpeq_epi8_mask(src, slash);
         let quotes = _mm512_cmpeq_epi8_mask(src, quote);
-        within[i] =
-            quotes_from_masks(backslash, quotes, |m| crate::avx2::prefix_xor_clmul(m), state);
+        within[i] = quotes_from_masks(
+            backslash,
+            quotes,
+            |m| crate::avx2::prefix_xor_clmul(m),
+            state,
+        );
         after[i] = *state;
     }
     (within, after)
@@ -158,8 +162,7 @@ pub(crate) unsafe fn find_pair(
     while at + gap + BLOCK_SIZE <= hay.len() {
         let a = _mm512_loadu_si512(hay.as_ptr().add(at).cast());
         let b = _mm512_loadu_si512(hay.as_ptr().add(at + gap).cast());
-        let candidates =
-            _mm512_cmpeq_epi8_mask(a, nf) & _mm512_cmpeq_epi8_mask(b, nl);
+        let candidates = _mm512_cmpeq_epi8_mask(a, nf) & _mm512_cmpeq_epi8_mask(b, nl);
         if candidates != 0 {
             return Ok(at + candidates.trailing_zeros() as usize);
         }

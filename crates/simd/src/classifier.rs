@@ -234,7 +234,7 @@ mod tests {
         // Give every upper nibble 0..=9 a distinct overlapping lower set.
         let mut set = ByteSet::new();
         for u in 0..10u8 {
-            set.insert((u << 4) | 0x0); // shared lower nibble forces overlap
+            set.insert(u << 4); // shared lower nibble forces overlap
             set.insert((u << 4) | (u + 1));
         }
         let c = ByteClassifier::new(&set);

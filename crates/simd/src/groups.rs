@@ -254,7 +254,10 @@ impl TablePair {
     /// Panics if more than 7 groups are supplied.
     #[must_use]
     pub fn few_groups(groups: &[Group]) -> Self {
-        assert!(groups.len() <= 7, "few-groups tables support at most 7 groups");
+        assert!(
+            groups.len() <= 7,
+            "few-groups tables support at most 7 groups"
+        );
         let mut ltab = [0u8; 16];
         let mut utab = [0u8; 16];
         for (i, g) in groups.iter().enumerate() {
@@ -307,9 +310,18 @@ mod tests {
         assert_eq!(groups.len(), 3);
         assert!(!groups.any_overlapping());
         let expect = [
-            Group { uppers: (1 << 2), lowers: 1 << 0xc },
-            Group { uppers: (1 << 3), lowers: 1 << 0xa },
-            Group { uppers: (1 << 5) | (1 << 7), lowers: (1 << 0xb) | (1 << 0xd) },
+            Group {
+                uppers: (1 << 2),
+                lowers: 1 << 0xc,
+            },
+            Group {
+                uppers: (1 << 3),
+                lowers: 1 << 0xa,
+            },
+            Group {
+                uppers: (1 << 5) | (1 << 7),
+                lowers: (1 << 0xb) | (1 << 0xd),
+            },
         ];
         let mut got = groups.groups().to_vec();
         got.sort_by_key(|g| g.uppers);
@@ -364,7 +376,10 @@ mod tests {
     #[should_panic(expected = "at most 7")]
     fn few_groups_rejects_too_many() {
         let groups: Vec<Group> = (0..8)
-            .map(|i| Group { uppers: 1 << i, lowers: 1 << i })
+            .map(|i| Group {
+                uppers: 1 << i,
+                lowers: 1 << i,
+            })
             .collect();
         let _ = TablePair::few_groups(&groups);
     }

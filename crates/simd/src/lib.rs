@@ -148,10 +148,14 @@ impl Simd {
         match kind {
             BackendKind::Avx512 => {
                 #[cfg(target_arch = "x86_64")]
-                let ok = is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw");
+                let ok =
+                    is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw");
                 #[cfg(not(target_arch = "x86_64"))]
                 let ok = false;
-                assert!(ok, "AVX-512 backend requested but the CPU does not support AVX-512F/BW");
+                assert!(
+                    ok,
+                    "AVX-512 backend requested but the CPU does not support AVX-512F/BW"
+                );
                 Simd { kind, clmul }
             }
             BackendKind::Avx2 => {
@@ -159,7 +163,10 @@ impl Simd {
                 let ok = is_x86_feature_detected!("avx2");
                 #[cfg(not(target_arch = "x86_64"))]
                 let ok = false;
-                assert!(ok, "AVX2 backend requested but the CPU does not support AVX2");
+                assert!(
+                    ok,
+                    "AVX2 backend requested but the CPU does not support AVX2"
+                );
                 Simd { kind, clmul }
             }
             BackendKind::Swar => Simd {

@@ -57,7 +57,10 @@ pub(crate) fn eq_mask2(block: &Block, a: u8, b: u8) -> (u64, u64) {
 pub(crate) fn quotes4(
     chunk: &crate::Superblock,
     state: &mut crate::QuoteState,
-) -> ([u64; crate::SUPERBLOCK_BLOCKS], [crate::QuoteState; crate::SUPERBLOCK_BLOCKS]) {
+) -> (
+    [u64; crate::SUPERBLOCK_BLOCKS],
+    [crate::QuoteState; crate::SUPERBLOCK_BLOCKS],
+) {
     let mut within = [0u64; crate::SUPERBLOCK_BLOCKS];
     let mut after = [crate::QuoteState::default(); crate::SUPERBLOCK_BLOCKS];
     for i in 0..crate::SUPERBLOCK_BLOCKS {
@@ -66,8 +69,7 @@ pub(crate) fn quotes4(
             .expect("superblock slice is block-sized");
         let backslash = eq_mask(block, b'\\');
         let quotes = eq_mask(block, b'"');
-        within[i] =
-            crate::quotes::quotes_from_masks(backslash, quotes, prefix_xor, state);
+        within[i] = crate::quotes::quotes_from_masks(backslash, quotes, prefix_xor, state);
         after[i] = *state;
     }
     (within, after)

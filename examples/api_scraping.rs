@@ -45,7 +45,11 @@ fn main() -> Result<(), rsq::EngineError> {
     // Ts / Tsp / Tsr: the same single value through three formulations.
     // The less specified the path, the faster (§5.6).
     println!("\nfetching search_metadata.count three ways:");
-    for query in ["$.search_metadata.count", "$..search_metadata.count", "$..count"] {
+    for query in [
+        "$.search_metadata.count",
+        "$..search_metadata.count",
+        "$..count",
+    ] {
         let engine = Engine::from_text(query)?;
         let (count, gbps) = timed(&engine, bytes);
         println!("    {query:<28} matches={count}  {gbps:>6.2} GB/s");

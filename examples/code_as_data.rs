@@ -32,7 +32,10 @@ fn main() -> Result<(), rsq::EngineError> {
     // it hides. Without `..` one would need to spell out every nesting.
     let decl_names = Engine::from_text("$..decl.name")?;
     let positions = decl_names.positions(bytes);
-    println!("$..decl.name          → {} referenced declarations", positions.len());
+    println!(
+        "$..decl.name          → {} referenced declarations",
+        positions.len()
+    );
     for pos in positions.iter().take(5) {
         println!("    {}", node_text(bytes, *pos).unwrap_or("?"));
     }
@@ -54,7 +57,10 @@ fn main() -> Result<(), rsq::EngineError> {
         .collect();
     files.sort();
     files.dedup();
-    println!("$..loc.includedFrom.file → {} distinct headers", files.len());
+    println!(
+        "$..loc.includedFrom.file → {} distinct headers",
+        files.len()
+    );
     for f in files.iter().take(5) {
         println!("    {f}");
     }

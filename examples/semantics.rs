@@ -34,8 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("query: $..person..name\n");
-    println!("node semantics (rsq, jsurfer, …): {:?}", show(Semantics::Node));
-    println!("path semantics (34 of 44 tested implementations): {:?}\n", show(Semantics::Path));
+    println!(
+        "node semantics (rsq, jsurfer, …): {:?}",
+        show(Semantics::Node)
+    );
+    println!(
+        "path semantics (34 of 44 tested implementations): {:?}\n",
+        show(Semantics::Path)
+    );
 
     // The streaming engine implements node semantics natively.
     let engine = Engine::from_text("$..person..name")?;

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, tier-1 tests, and an overflow-checked
+# test pass. Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: release build + tests"
+cargo build --release
+cargo test -q
+
+echo "==> workspace tests with overflow checks"
+RUSTFLAGS="-C overflow-checks=on" cargo test --workspace -q
+
+echo "CI OK"

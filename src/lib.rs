@@ -52,7 +52,10 @@ pub use rsq_query as query;
 pub use rsq_simd as simd;
 pub use rsq_stackvec as stackvec;
 
-pub use rsq_engine::{CountSink, Engine, EngineError, EngineOptions, PositionsSink, Sink};
+pub use rsq_engine::{
+    CountSink, Engine, EngineError, EngineOptions, LimitKind, PositionsSink, RunError, Sink,
+    SinkFull, ValidationError, ValidationErrorKind,
+};
 pub use rsq_query::{Automaton, Query, Selector};
 
 /// Extracts the full text of the matched node starting at `pos`.

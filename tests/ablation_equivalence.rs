@@ -13,14 +13,38 @@ fn all_option_combinations_agree_on_the_catalog() {
     let d = EngineOptions::default();
     let variants = [
         d,
-        EngineOptions { skip_leaves: false, ..d },
-        EngineOptions { skip_children: false, ..d },
-        EngineOptions { skip_siblings: false, ..d },
-        EngineOptions { head_start: false, ..d },
-        EngineOptions { checked_head_start: false, ..d },
-        EngineOptions { label_seek: false, ..d },
-        EngineOptions { sparse_stack: false, ..d },
-        EngineOptions { backend: Some(rsq_simd::BackendKind::Swar), ..d },
+        EngineOptions {
+            skip_leaves: false,
+            ..d
+        },
+        EngineOptions {
+            skip_children: false,
+            ..d
+        },
+        EngineOptions {
+            skip_siblings: false,
+            ..d
+        },
+        EngineOptions {
+            head_start: false,
+            ..d
+        },
+        EngineOptions {
+            checked_head_start: false,
+            ..d
+        },
+        EngineOptions {
+            label_seek: false,
+            ..d
+        },
+        EngineOptions {
+            sparse_stack: false,
+            ..d
+        },
+        EngineOptions {
+            backend: Some(rsq_simd::BackendKind::Swar),
+            ..d
+        },
         // Everything off at once.
         EngineOptions {
             skip_leaves: false,
@@ -31,6 +55,7 @@ fn all_option_combinations_agree_on_the_catalog() {
             checked_head_start: false,
             sparse_stack: false,
             backend: Some(rsq_simd::BackendKind::Swar),
+            ..d
         },
     ];
 

@@ -33,7 +33,10 @@ fn node_text_extracts_each_kind() {
         .into_iter()
         .filter_map(|p| node_text(doc, p))
         .collect();
-    assert_eq!(texts, ["\"x\"", "-1.5e3", "true", "null", r#"{"k": []}"#, "[1, 2]"]);
+    assert_eq!(
+        texts,
+        ["\"x\"", "-1.5e3", "true", "null", r#"{"k": []}"#, "[1, 2]"]
+    );
 }
 
 #[test]
@@ -63,8 +66,10 @@ fn catalog_queries_run_through_facade() {
 fn sinks_compose_with_custom_impls() {
     struct FirstMatch(Option<usize>);
     impl rsq::Sink for FirstMatch {
-        fn report(&mut self, pos: usize) {
-            self.0.get_or_insert(pos);
+        fn record(&mut self, pos: usize) -> Result<(), rsq::SinkFull> {
+            self.0 = Some(pos);
+            // Declining further matches ends the run early, cleanly.
+            Err(rsq::SinkFull)
         }
     }
     let engine = Engine::from_text("$..target").unwrap();
@@ -86,7 +91,9 @@ fn options_are_inspectable() {
     )
     .unwrap();
     assert!(!engine.options().head_start);
-    assert!(engine.automaton().is_waiting(engine.automaton().initial_state()));
+    assert!(engine
+        .automaton()
+        .is_waiting(engine.automaton().initial_state()));
 }
 
 #[test]

@@ -15,9 +15,18 @@ fn engines() -> Vec<Engine> {
         let query = Query::parse(q).unwrap();
         for options in [
             d,
-            EngineOptions { skip_leaves: false, ..d },
-            EngineOptions { checked_head_start: false, ..d },
-            EngineOptions { backend: Some(rsq::simd::BackendKind::Swar), ..d },
+            EngineOptions {
+                skip_leaves: false,
+                ..d
+            },
+            EngineOptions {
+                checked_head_start: false,
+                ..d
+            },
+            EngineOptions {
+                backend: Some(rsq::simd::BackendKind::Swar),
+                ..d
+            },
         ] {
             out.push(Engine::with_options(&query, options).unwrap());
         }
@@ -71,27 +80,6 @@ proptest! {
     }
 }
 
-#[test]
-fn structural_only_garbage() {
-    // Deterministic nasty inputs exercising unbalanced structure.
-    let cases: &[&[u8]] = &[
-        b"}}}}}}",
-        b"]]]]{{{{",
-        b"{{{{",
-        b"[[[[",
-        b"{\"a\"",
-        b"{\"a\":}",
-        b"{:1}",
-        b"[,]",
-        b"\"unterminated",
-        b"\\\\\\\"",
-        b"{\"a\": [1, 2}",
-        b"[{\"x\": ]1}",
-        b"\x00\x01\x02{\"a\":1}\xff\xfe",
-    ];
-    for engine in engines() {
-        for case in cases {
-            let _ = engine.count(case);
-        }
-    }
-}
+// The deterministic structural-garbage cases moved to
+// `tests/robustness_deterministic.rs`, which runs in every tier-1
+// invocation (this randomized suite is gated behind `slow-tests`).

@@ -60,10 +60,16 @@ fn path_semantics_result_grows_exponentially_in_query_length() {
         // Node result shrinks linearly; path result explodes
         // combinatorially (binomial growth).
         assert_eq!(node, depth + 1 - selectors);
-        assert!(path > previous, "path counts must grow: {path} vs {previous}");
+        assert!(
+            path > previous,
+            "path counts must grow: {path} vs {previous}"
+        );
         previous = path;
     }
-    assert!(previous > 400, "4 selectors over 14 levels: C(13,3) = 286 … grew to {previous}");
+    assert!(
+        previous > 400,
+        "4 selectors over 14 levels: C(13,3) = 286 … grew to {previous}"
+    );
 }
 
 #[test]
