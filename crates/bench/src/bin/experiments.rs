@@ -3,16 +3,23 @@
 //! ```sh
 //! cargo run --release -p rsq-bench --bin experiments -- all
 //! cargo run --release -p rsq-bench --bin experiments -- a b c d
+//! cargo run --release -p rsq-bench --bin experiments -- --json BENCH_all.json all
 //! RSQ_DATASET_MB=64 cargo run --release -p rsq-bench --bin experiments -- appendix-c
 //! ```
 //!
 //! Subcommands: `table2`, `table3`, `a`, `b`, `c`, `d`, `appendix-c`,
-//! `semantics`, `ablations`, `all`.
+//! `semantics`, `ablations`, `stats-overhead`, `all`.
+//!
+//! `--json <path>` additionally writes a machine-readable report: one row
+//! per measured configuration with throughput and (for rsq runs) the Tier A
+//! [`rsq_engine::RunStats`].
 
-use rsq_bench::{cell, dataset, measure, run_engine, EngineKind, Measurement};
+use rsq_bench::{
+    cell, dataset, measure, run_engine, run_stats, EngineKind, Measurement, Report, ReportEntry,
+};
 use rsq_datagen::catalog::{by_id, catalog};
 use rsq_datagen::{Dataset, GenConfig};
-use rsq_engine::{Engine, EngineOptions};
+use rsq_engine::{CountSink, Engine, EngineOptions};
 use rsq_query::Query;
 use std::collections::BTreeMap;
 
@@ -20,38 +27,66 @@ const REPS: usize = 3;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let args: Vec<&str> = if args.is_empty() {
+    let mut json_path: Option<String> = None;
+    let mut subcommands: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if let Some(path) = arg.strip_prefix("--json=") {
+            json_path = Some(path.to_owned());
+        } else if arg == "--json" {
+            match it.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            subcommands.push(arg);
+        }
+    }
+    let subcommands: Vec<&str> = if subcommands.is_empty() {
         vec!["all"]
     } else {
-        args.iter().map(String::as_str).collect()
+        subcommands.iter().map(String::as_str).collect()
     };
-    for arg in &args {
+    let mut report = Report::default();
+    for arg in &subcommands {
         match *arg {
             "table2" => table2(),
             "table3" => table3(),
-            "a" => experiment_a(),
-            "b" => experiment_b(),
-            "c" => experiment_c(),
-            "d" => experiment_d(),
-            "appendix-c" => appendix_c(),
+            "a" => experiment_a(&mut report),
+            "b" => experiment_b(&mut report),
+            "c" => experiment_c(&mut report),
+            "d" => experiment_d(&mut report),
+            "appendix-c" => appendix_c(&mut report),
             "semantics" => semantics(),
-            "ablations" => ablations(),
+            "ablations" => ablations(&mut report),
+            "stats-overhead" => stats_overhead(&mut report),
             "all" => {
                 table2();
                 table3();
-                experiment_a();
-                experiment_b();
-                experiment_c();
-                experiment_d();
-                appendix_c();
+                experiment_a(&mut report);
+                experiment_b(&mut report);
+                experiment_c(&mut report);
+                experiment_d(&mut report);
+                appendix_c(&mut report);
                 semantics();
-                ablations();
+                ablations(&mut report);
+                stats_overhead(&mut report);
             }
             other => {
                 eprintln!("unknown subcommand {other:?}");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = report.write_to(&path) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(4);
+        }
+        eprintln!("machine-readable report written to {path}");
     }
 }
 
@@ -133,7 +168,7 @@ fn table3() {
     }
 }
 
-fn run_table(title: &str, entries: &[&str]) {
+fn run_table(title: &str, experiment: &str, entries: &[&str], report: &mut Report) {
     heading(title);
     println!(
         "{:<5} {:<42} {:>16} {:>16} {:>16} {:>16}",
@@ -174,6 +209,17 @@ fn run_table(title: &str, entries: &[&str]) {
                 "unchecked head start changed counts on {id}"
             );
         }
+        if let Some(m) = rsq {
+            report.push(ReportEntry {
+                experiment: experiment.to_owned(),
+                name: entry.id.to_owned(),
+                query: Some(entry.query.to_owned()),
+                input_bytes: dataset(entry.dataset).len() as u64,
+                count: m.count,
+                gbps: m.gbps,
+                stats: Some(run_stats(&entry)),
+            });
+        }
         println!(
             "{:<5} {:<42} {} {} {} {}",
             entry.id,
@@ -187,41 +233,48 @@ fn run_table(title: &str, entries: &[&str]) {
 }
 
 /// Experiment A (Table 4 / Figure 4): descendant-free queries.
-fn experiment_a() {
+fn experiment_a(report: &mut Report) {
     run_table(
         "Experiment A (Table 4, Figure 4): descendant-free queries",
+        "experiment-a",
         &[
             "B1", "B2", "B3", "G1", "G2", "N1", "N2", "T1", "T2", "W1", "W2", "Wi",
         ],
+        report,
     );
 }
 
 /// Experiment B (Table 5 / Figure 5): rewritings with descendants.
-fn experiment_b() {
+fn experiment_b(report: &mut Report) {
     run_table(
         "Experiment B (Table 5, Figure 5): descendant rewritings vs originals",
+        "experiment-b",
         &[
             "B1", "B1r", "B2", "B2r", "B3", "B3r", "G2", "G2r", "W1", "W1r", "W2", "W2r", "Wi",
             "Wir",
         ],
+        report,
     );
 }
 
 /// Experiment C (Table 6 / Figure 6): limits and opportunities.
-fn experiment_c() {
+fn experiment_c(report: &mut Report) {
     run_table(
         "Experiment C (Table 6, Figure 6): limits and opportunities",
+        "experiment-c",
         &[
             "A1", "A2", "C1", "C2", "C2r", "C3", "C3r", "Ts", "Tsp", "Tsr",
         ],
+        report,
     );
 }
 
 /// Experiment D (Table 7): throughput vs document size.
-fn experiment_d() {
+fn experiment_d(report: &mut Report) {
     heading("Experiment D (Table 7): $..affiliation..name on Crossref fragments");
     let base = rsq_datagen::default_target_bytes();
-    let engine = Engine::from_text("$..affiliation..name").expect("query compiles");
+    let query = "$..affiliation..name";
+    let engine = Engine::from_text(query).expect("query compiles");
     println!("{:>10} {:>10} {:>8}", "size [MB]", "matches", "GB/s");
     for mult in [1, 2, 4, 8] {
         let bytes = Dataset::Crossref
@@ -231,6 +284,19 @@ fn experiment_d() {
             })
             .into_bytes();
         let m = measure(bytes.len(), REPS, || engine.count(&bytes));
+        let mut sink = CountSink::new();
+        let stats = engine
+            .try_run_with_stats(&bytes, &mut sink)
+            .expect("crossref run succeeds");
+        report.push(ReportEntry {
+            experiment: "experiment-d".to_owned(),
+            name: format!("crossref-x{mult}"),
+            query: Some(query.to_owned()),
+            input_bytes: bytes.len() as u64,
+            count: m.count,
+            gbps: m.gbps,
+            stats: Some(stats),
+        });
         println!(
             "{:>10.1} {:>10} {:>8.2}",
             bytes.len() as f64 / 1e6,
@@ -241,9 +307,9 @@ fn experiment_d() {
 }
 
 /// The full Appendix C matrix.
-fn appendix_c() {
+fn appendix_c(report: &mut Report) {
     let ids: Vec<&'static str> = catalog().iter().map(|e| e.id).collect();
-    run_table("Appendix C: full result matrix", &ids);
+    run_table("Appendix C: full result matrix", "appendix-c", &ids, report);
 }
 
 /// Appendix D / Table 9: node vs path semantics on the witness query.
@@ -279,7 +345,7 @@ fn semantics() {
 }
 
 /// Ablations: each design choice of §3–§4 disabled in turn (DESIGN.md §5).
-fn ablations() {
+fn ablations(report: &mut Report) {
     heading("Ablations: feature off → GB/s (per query)");
     let d = EngineOptions::default();
     let variants: Vec<(&str, EngineOptions)> = vec![
@@ -366,8 +432,74 @@ fn ablations() {
             // Every ablation must preserve the result.
             let expect = *baseline.entry(id).or_insert(m.count);
             assert_eq!(m.count, expect, "ablation changed result on {id}");
+            report.push(ReportEntry {
+                experiment: "ablations".to_owned(),
+                name: format!("{name}/{id}"),
+                query: Some(entry.query.to_owned()),
+                input_bytes: input.len() as u64,
+                count: m.count,
+                gbps: m.gbps,
+                stats: None,
+            });
             print!(" {:>7.2}", m.gbps);
         }
         println!();
+    }
+}
+
+/// Observability ablation (DESIGN.md §8): `try_run` vs
+/// `try_run_with_stats`. Tier A statistics are gathered by monomorphising
+/// the inner loops over a recorder, so the two entry points must be
+/// throughput-indistinguishable.
+fn stats_overhead(report: &mut Report) {
+    heading("Stats overhead: try_run vs try_run_with_stats (GB/s)");
+    println!(
+        "{:<5} {:<42} {:>8} {:>11} {:>7}",
+        "id", "query", "plain", "with-stats", "ratio"
+    );
+    for id in ["B1", "W2", "B3r", "Wir", "A2", "C2r"] {
+        let entry = by_id(id).expect("known id");
+        let engine = Engine::from_text(entry.query).expect("catalog query compiles");
+        let input = dataset(entry.dataset);
+        let plain = measure(input.len(), REPS, || {
+            let mut sink = CountSink::new();
+            engine
+                .try_run(input, &mut sink)
+                .expect("catalog run succeeds");
+            sink.count()
+        });
+        let with_stats = measure(input.len(), REPS, || {
+            let mut sink = CountSink::new();
+            engine
+                .try_run_with_stats(input, &mut sink)
+                .expect("catalog run succeeds");
+            sink.count()
+        });
+        assert_eq!(
+            plain.count, with_stats.count,
+            "stats collection changed the result on {id}"
+        );
+        for (variant, m, stats) in [
+            ("plain", plain, None),
+            ("with-stats", with_stats, Some(run_stats(&entry))),
+        ] {
+            report.push(ReportEntry {
+                experiment: "stats-overhead".to_owned(),
+                name: format!("{id}/{variant}"),
+                query: Some(entry.query.to_owned()),
+                input_bytes: input.len() as u64,
+                count: m.count,
+                gbps: m.gbps,
+                stats,
+            });
+        }
+        println!(
+            "{:<5} {:<42} {:>8.2} {:>11.2} {:>7.2}",
+            entry.id,
+            entry.query,
+            plain.gbps,
+            with_stats.gbps,
+            with_stats.gbps / plain.gbps
+        );
     }
 }

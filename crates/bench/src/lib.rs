@@ -23,7 +23,7 @@
 use rsq_baselines::{SkiEngine, SurferEngine};
 use rsq_datagen::catalog::CatalogEntry;
 use rsq_datagen::{Dataset, GenConfig};
-use rsq_engine::Engine;
+use rsq_engine::{CountSink, Engine, RunStats};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -133,6 +133,114 @@ pub fn cell(m: Option<Measurement>) -> String {
     }
 }
 
+/// Runs `entry`'s query over its dataset once, collecting Tier A
+/// [`RunStats`] (no timing — statistics are run-deterministic, so one pass
+/// suffices).
+#[must_use]
+pub fn run_stats(entry: &CatalogEntry) -> RunStats {
+    let engine = Engine::from_text(entry.query).expect("catalog query compiles");
+    let mut sink = CountSink::new();
+    engine
+        .try_run_with_stats(dataset(entry.dataset), &mut sink)
+        .expect("catalog run succeeds")
+}
+
+/// One row of a machine-readable benchmark report: an experiment name, a
+/// measured configuration, its throughput, and (for rsq runs) the Tier A
+/// run statistics.
+#[derive(Clone, Debug)]
+pub struct ReportEntry {
+    /// The experiment this row belongs to (e.g. `"experiment-a"`).
+    pub experiment: String,
+    /// Configuration label within the experiment: catalog query id,
+    /// ablation variant, engine name.
+    pub name: String,
+    /// The query text, when the row measures one.
+    pub query: Option<String>,
+    /// Input size in bytes.
+    pub input_bytes: u64,
+    /// Matches reported.
+    pub count: u64,
+    /// Throughput in gigabytes per second.
+    pub gbps: f64,
+    /// Tier A run statistics, when collected for this row.
+    pub stats: Option<RunStats>,
+}
+
+/// A machine-readable benchmark report, serialised as a single JSON
+/// document (`experiments --json <path>`).
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    entries: Vec<ReportEntry>,
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Report {
+    /// Appends a row.
+    pub fn push(&mut self, entry: ReportEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Rows recorded so far.
+    #[must_use]
+    pub fn entries(&self) -> &[ReportEntry] {
+        &self.entries
+    }
+
+    /// Serialises the report as a JSON document (an object with an
+    /// `entries` array; every row carries `experiment`, `name`,
+    /// `input_bytes`, `count`, `gbps`, and optionally `query` and the
+    /// nested `stats` object from [`RunStats::to_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"entries\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"experiment\":\"{}\",\"name\":\"{}\"",
+                escape_json(&e.experiment),
+                escape_json(&e.name)
+            ));
+            if let Some(q) = &e.query {
+                s.push_str(&format!(",\"query\":\"{}\"", escape_json(q)));
+            }
+            s.push_str(&format!(
+                ",\"input_bytes\":{},\"count\":{},\"gbps\":{:.6}",
+                e.input_bytes, e.count, e.gbps
+            ));
+            if let Some(stats) = &e.stats {
+                s.push_str(&format!(",\"stats\":{}", stats.to_json()));
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +256,35 @@ mod tests {
     fn engine_kinds_have_labels() {
         for k in [EngineKind::Rsq, EngineKind::Ski, EngineKind::Surfer] {
             assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn report_serialises_to_valid_json() {
+        let mut report = Report::default();
+        report.push(ReportEntry {
+            experiment: "experiment-a".to_owned(),
+            name: "B1".to_owned(),
+            query: Some(r#"$.products[*]."video-info".frames"#.to_owned()),
+            input_bytes: 1_000,
+            count: 7,
+            gbps: 1.25,
+            stats: Some(RunStats::default()),
+        });
+        report.push(ReportEntry {
+            experiment: "stats-overhead".to_owned(),
+            name: "with-stats".to_owned(),
+            query: None,
+            input_bytes: 2_000,
+            count: 3,
+            gbps: 0.5,
+            stats: None,
+        });
+        let json = report.to_json();
+        let dom = rsq_json::parse(json.as_bytes()).expect("report JSON parses");
+        let text = format!("{dom:?}");
+        for key in ["entries", "experiment", "gbps", "stats", "skips"] {
+            assert!(text.contains(key), "missing {key} in {json}");
         }
     }
 }

@@ -17,6 +17,7 @@ use crate::depth::{low_bits, scan_block};
 use crate::pipeline::ResumeState;
 use crate::quotes::QuoteState;
 use crate::structural::StructuralTables;
+use rsq_obs::ClassifierCounters;
 use rsq_simd::{Block, Simd, Superblock, BLOCK_SIZE, SUPERBLOCK_BLOCKS, SUPERBLOCK_SIZE};
 
 /// The two kinds of JSON containers.
@@ -260,6 +261,10 @@ pub struct StructuralIterator<'a> {
     peeked: Option<Option<Structural>>,
     /// Positions `< consumed_upto` have been yielded by `next` (or skipped).
     consumed_upto: usize,
+    /// Blocks pulled from the cursor, attributed to the classifier that
+    /// pulled them, plus toggle flips. One saturating add per 64-byte
+    /// block — always on (Tier A observability).
+    counters: ClassifierCounters,
 }
 
 impl<'a> StructuralIterator<'a> {
@@ -273,6 +278,7 @@ impl<'a> StructuralIterator<'a> {
             current: None,
             peeked: None,
             consumed_upto: 0,
+            counters: ClassifierCounters::default(),
         }
     }
 
@@ -293,11 +299,15 @@ impl<'a> StructuralIterator<'a> {
         assert!(resume.block_start <= start_pos, "resume point after start");
         let mut cursor = BlockCursor::from_resume(input, simd, resume);
         // Advance the quote classifier over blocks wholly before start_pos.
+        // These blocks get quote classification only (no structural
+        // tables), so they count as quote-classifier work.
+        let mut catch_up_blocks = 0u64;
         while cursor
             .peek_start()
             .is_some_and(|s| s + BLOCK_SIZE <= start_pos)
         {
             let _ = cursor.next();
+            catch_up_blocks = catch_up_blocks.saturating_add(1);
         }
         StructuralIterator {
             cursor,
@@ -305,6 +315,10 @@ impl<'a> StructuralIterator<'a> {
             current: None,
             peeked: None,
             consumed_upto: start_pos,
+            counters: ClassifierCounters {
+                blocks_quote: catch_up_blocks,
+                ..ClassifierCounters::default()
+            },
         }
     }
 
@@ -318,6 +332,15 @@ impl<'a> StructuralIterator<'a> {
     #[must_use]
     pub fn position(&self) -> usize {
         self.consumed_upto
+    }
+
+    /// Block and toggle counters accumulated so far (Tier A
+    /// observability): each 64-byte block the iterator classified,
+    /// attributed to the classifier — structural, depth, seek, or
+    /// quote-only — that consumed it.
+    #[must_use]
+    pub fn counters(&self) -> ClassifierCounters {
+        self.counters
     }
 
     /// A [`ResumeState`] describing the current classification frontier,
@@ -367,6 +390,7 @@ impl<'a> StructuralIterator<'a> {
                 }
             }
             let (start, within_quotes, state_before) = self.cursor.next()?;
+            self.counters.blocks_structural = self.counters.blocks_structural.saturating_add(1);
             let mut mask =
                 self.tables
                     .classify(self.cursor.simd, self.cursor.bytes_at(start), within_quotes);
@@ -398,6 +422,7 @@ impl<'a> StructuralIterator<'a> {
         if !changed {
             return;
         }
+        self.counters.toggle_flips = self.counters.toggle_flips.saturating_add(1);
         self.peeked = None;
         if let Some(cur) = self.current {
             let mut mask = self.tables.classify(
@@ -473,6 +498,7 @@ impl<'a> StructuralIterator<'a> {
         // classifier is stopped; the depth classifier drives the quote
         // classifier forward).
         while let Some((start, within_quotes, state_before)) = self.cursor.next() {
+            self.counters.blocks_depth = self.counters.blocks_depth.saturating_add(1);
             let (opens, closes) = simd.eq_mask2(self.cursor.bytes_at(start), open, close);
             let opens = opens & !within_quotes;
             let closes = closes & !within_quotes;
@@ -536,6 +562,7 @@ impl<'a> StructuralIterator<'a> {
     pub(crate) fn seek_advance_block(&mut self) -> bool {
         match self.cursor.next() {
             Some((start, within_quotes, state_before)) => {
+                self.counters.blocks_seek = self.counters.blocks_seek.saturating_add(1);
                 self.current = Some(CurrentBlock {
                     start,
                     within_quotes,

@@ -32,7 +32,11 @@ mod validate;
 
 pub use iterator::{BracketType, Structural, StructuralIterator};
 pub use pipeline::{QuoteScanner, ResumeState};
+// The per-classifier block counters live in `rsq-obs` (the dependency-free
+// observability layer); re-exported so classifier consumers need not name
+// that crate.
 pub use quotes::{classify_quotes, QuoteClassification, QuoteState};
+pub use rsq_obs::ClassifierCounters;
 pub use seek::LabelSeek;
 pub use structural::StructuralTables;
 pub use validate::{StructuralValidator, ValidationError, ValidationErrorKind};

@@ -60,6 +60,9 @@ pub struct QuoteScanner<'a> {
     block_start: usize,
     /// Quote state entering `block_start`.
     state_before: QuoteState,
+    /// Blocks quote-classified so far, recomputations of the uncommitted
+    /// trailing block included (Tier A observability).
+    blocks: u64,
 }
 
 impl<'a> QuoteScanner<'a> {
@@ -71,6 +74,7 @@ impl<'a> QuoteScanner<'a> {
             simd,
             block_start: 0,
             state_before: QuoteState::default(),
+            blocks: 0,
         }
     }
 
@@ -97,18 +101,31 @@ impl<'a> QuoteScanner<'a> {
                 .expect("superblock sized");
             let _ = self.simd.classify_quotes4(chunk, &mut self.state_before);
             self.block_start += SUPERBLOCK_SIZE;
+            self.blocks = self
+                .blocks
+                .saturating_add((SUPERBLOCK_SIZE / BLOCK_SIZE) as u64);
         }
         while self.block_start + BLOCK_SIZE <= pos {
             let block = self.load(self.block_start);
             let _ = self.simd.classify_quotes(&block, &mut self.state_before);
             self.block_start += BLOCK_SIZE;
+            self.blocks = self.blocks.saturating_add(1);
         }
         // Classify the containing block without committing its state, so
         // later queries within the same block recompute consistently.
         let block = self.load(self.block_start);
         let mut state = self.state_before;
         let within = self.simd.classify_quotes(&block, &mut state);
+        self.blocks = self.blocks.saturating_add(1);
         within >> (pos - self.block_start) & 1 == 1
+    }
+
+    /// Number of 64-byte blocks quote-classified so far. Repeated queries
+    /// within one uncommitted trailing block re-classify it and count each
+    /// time — the counter measures work performed, not bytes covered.
+    #[must_use]
+    pub fn blocks_classified(&self) -> u64 {
+        self.blocks
     }
 
     /// The scanner's frontier as a [`ResumeState`].

@@ -9,7 +9,7 @@
 
 #![warn(missing_docs)]
 
-use rsq_engine::{Engine, EngineOptions, RunError};
+use rsq_engine::{CountSink, Engine, EngineOptions, PositionsSink, RunError, RunStats, Sink};
 use rsq_query::Query;
 use std::fmt;
 use std::io::Write;
@@ -31,12 +31,26 @@ options:
   --max-depth N       abort beyond N nesting levels (default 1024)
   --max-bytes N       abort when the document exceeds N bytes
   --max-matches N     abort after N matches
+  --stats             with a QUERY: print run statistics (skip/SIMD event
+                      counters) as a table on stderr; without one: print
+                      document statistics (size/depth/verbosity)
+  --stats-json        print run statistics as single-line JSON on stderr
+                      (stdout stays result-only either way)
 
 reads from stdin when FILE is omitted (chunked; limits apply while
 bytes arrive)
 
 exit codes: 0 ok, 1 failure, 2 usage, 3 bad query, 4 I/O error,
 5 resource limit exceeded, 6 malformed document";
+
+/// How run statistics are rendered on stderr.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Human-readable table (`--stats` with a query).
+    Human,
+    /// Single-line machine-readable JSON (`--stats-json`).
+    Json,
+}
 
 /// What the user asked for.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -133,6 +147,9 @@ pub struct Invocation {
     pub file: Option<String>,
     /// Engine options assembled from `--strict`/`--max-*` flags.
     pub options: EngineOptions,
+    /// Emit run statistics on stderr after a successful run
+    /// (`--stats`/`--stats-json` alongside a query).
+    pub stats: Option<StatsFormat>,
 }
 
 impl Invocation {
@@ -145,6 +162,8 @@ impl Invocation {
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut mode = Mode::Values;
         let mut options = EngineOptions::default();
+        let mut saw_stats = false;
+        let mut saw_stats_json = false;
         let mut rest: Vec<&str> = Vec::new();
         let mut it = args.iter();
         // A valued flag accepts both `--flag N` and `--flag=N`.
@@ -165,7 +184,8 @@ impl Invocation {
                 "--count" => mode = Mode::Count,
                 "--positions" => mode = Mode::Positions,
                 "--verify" => mode = Mode::Verify,
-                "--stats" => mode = Mode::Stats,
+                "--stats" => saw_stats = true,
+                "--stats-json" => saw_stats_json = true,
                 "--compile" => mode = Mode::Compile,
                 "--strict" => options.strict = true,
                 "--help" | "-h" => return Err(String::new()),
@@ -183,11 +203,33 @@ impl Invocation {
                 other => rest.push(other),
             }
         }
+        // `--stats` is overloaded: without a query it is the document
+        // statistics mode (back compat); alongside a query (or with
+        // `--stats-json` or another mode flag) it requests run statistics.
+        // A positional starting with `$` is unambiguously a query.
+        if saw_stats
+            && !saw_stats_json
+            && mode == Mode::Values
+            && !rest.iter().any(|a| a.starts_with('$'))
+        {
+            mode = Mode::Stats;
+        }
+        let stats = if saw_stats_json {
+            Some(StatsFormat::Json)
+        } else if saw_stats && mode != Mode::Stats {
+            Some(StatsFormat::Human)
+        } else {
+            None
+        };
+        if stats.is_some() && matches!(mode, Mode::Stats | Mode::Compile) {
+            return Err("--stats-json requires a QUERY to run".to_owned());
+        }
         let invocation = |mode, query: &str, file: Option<&str>| Invocation {
             mode,
             query: query.to_owned(),
             file: file.map(str::to_owned),
             options,
+            stats,
         };
         match mode {
             Mode::Stats => match rest.as_slice() {
@@ -260,18 +302,50 @@ fn compile(invocation: &Invocation) -> Result<Engine, CliError> {
         .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))
 }
 
-/// Executes an invocation, writing results to `out`.
+/// Runs the engine over `input` into `sink`, gathering [`RunStats`] only
+/// when requested — the plain path stays on the zero-overhead entry point.
+fn run_engine<S: Sink>(
+    engine: &Engine,
+    input: &[u8],
+    sink: &mut S,
+    want_stats: bool,
+) -> Result<Option<RunStats>, RunError> {
+    if want_stats {
+        engine.try_run_with_stats(input, sink).map(Some)
+    } else {
+        engine.try_run(input, sink).map(|()| None)
+    }
+}
+
+/// Executes an invocation, writing results to `out` and diagnostics
+/// (run statistics) to `err`.
+///
+/// Results go to `out` only; `--stats`/`--stats-json` reports go to `err`
+/// only, so stdout is byte-identical with and without the flags.
 ///
 /// # Errors
 ///
 /// Returns a classified [`CliError`] on bad queries, unreadable input,
 /// tripped limits, strict-mode validation failures, or (in `--verify`
 /// mode) an engine/oracle mismatch.
-pub fn run(invocation: &Invocation, out: &mut impl Write) -> Result<(), CliError> {
+pub fn run(
+    invocation: &Invocation,
+    out: &mut impl Write,
+    err: &mut impl Write,
+) -> Result<(), CliError> {
     let emit = |out: &mut dyn Write, text: std::fmt::Arguments<'_>| {
         writeln!(out, "{text}")
             .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))
     };
+    let emit_stats = |err: &mut dyn Write, stats: Option<RunStats>| {
+        let Some(stats) = stats else { return Ok(()) };
+        match invocation.stats {
+            Some(StatsFormat::Json) => writeln!(err, "{}", stats.to_json()),
+            Some(StatsFormat::Human) | None => write!(err, "{stats}"),
+        }
+        .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))
+    };
+    let want_stats = invocation.stats.is_some();
     match invocation.mode {
         Mode::Stats => {
             let input = read_input_plain(invocation.file.as_deref())?;
@@ -302,24 +376,31 @@ pub fn run(invocation: &Invocation, out: &mut impl Write) -> Result<(), CliError
         Mode::Count => {
             let engine = compile(invocation)?;
             let input = read_input(&engine, invocation.file.as_deref())?;
-            emit(out, format_args!("{}", engine.try_count(&input)?))
+            let mut sink = CountSink::new();
+            let stats = run_engine(&engine, &input, &mut sink, want_stats)?;
+            emit(out, format_args!("{}", sink.count()))?;
+            emit_stats(err, stats)
         }
         Mode::Positions => {
             let engine = compile(invocation)?;
             let input = read_input(&engine, invocation.file.as_deref())?;
-            for pos in engine.try_positions(&input)? {
+            let mut sink = PositionsSink::new();
+            let stats = run_engine(&engine, &input, &mut sink, want_stats)?;
+            for pos in sink.into_positions() {
                 emit(out, format_args!("{pos}"))?;
             }
-            Ok(())
+            emit_stats(err, stats)
         }
         Mode::Values => {
             let engine = compile(invocation)?;
             let input = read_input(&engine, invocation.file.as_deref())?;
-            for pos in engine.try_positions(&input)? {
+            let mut sink = PositionsSink::new();
+            let stats = run_engine(&engine, &input, &mut sink, want_stats)?;
+            for pos in sink.into_positions() {
                 let text = node_text(&input, pos).unwrap_or("<malformed>");
                 emit(out, format_args!("{text}"))?;
             }
-            Ok(())
+            emit_stats(err, stats)
         }
         Mode::Verify => {
             let query = Query::parse(&invocation.query)
@@ -327,7 +408,9 @@ pub fn run(invocation: &Invocation, out: &mut impl Write) -> Result<(), CliError
             let engine = Engine::with_options(&query, invocation.options)
                 .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))?;
             let input = read_input(&engine, invocation.file.as_deref())?;
-            let streamed = engine.try_positions(&input)?;
+            let mut sink = PositionsSink::new();
+            let stats = run_engine(&engine, &input, &mut sink, want_stats)?;
+            let streamed = sink.into_positions();
             let dom = rsq_json::parse(&input)
                 .map_err(|e| CliError::new(CliErrorKind::Malformed, e.to_string()))?;
             let oracle = rsq_baselines::positions(&query, &dom);
@@ -335,7 +418,8 @@ pub fn run(invocation: &Invocation, out: &mut impl Write) -> Result<(), CliError
                 emit(
                     out,
                     format_args!("ok: {} matches, engine and oracle agree", streamed.len()),
-                )
+                )?;
+                emit_stats(err, stats)
             } else {
                 Err(CliError::new(
                     CliErrorKind::Failure,
@@ -438,6 +522,35 @@ mod tests {
     }
 
     #[test]
+    fn stats_flag_is_mode_without_query_and_report_with_one() {
+        // Back compat: no query positional → document statistics mode.
+        let doc_stats = parse(&["--stats", "f.json"]).unwrap();
+        assert_eq!(doc_stats.mode, Mode::Stats);
+        assert_eq!(doc_stats.stats, None);
+
+        // A `$…` positional makes it the run-statistics flag.
+        let run_stats = parse(&["--stats", "$..a", "f.json"]).unwrap();
+        assert_eq!(run_stats.mode, Mode::Values);
+        assert_eq!(run_stats.stats, Some(StatsFormat::Human));
+
+        // So does another mode flag.
+        let with_count = parse(&["--count", "--stats", "$..a"]).unwrap();
+        assert_eq!(with_count.mode, Mode::Count);
+        assert_eq!(with_count.stats, Some(StatsFormat::Human));
+
+        // `--stats-json` always means run statistics; it wins over
+        // `--stats` when both are given.
+        let json = parse(&["--stats-json", "$..a"]).unwrap();
+        assert_eq!(json.mode, Mode::Values);
+        assert_eq!(json.stats, Some(StatsFormat::Json));
+        let both = parse(&["--stats", "--stats-json", "$..a"]).unwrap();
+        assert_eq!(both.stats, Some(StatsFormat::Json));
+
+        // Run statistics need a run.
+        assert!(parse(&["--compile", "--stats-json", "$.a"]).is_err());
+    }
+
+    #[test]
     fn parses_limit_flags() {
         let inv = parse(&[
             "--strict",
@@ -460,7 +573,7 @@ mod tests {
 
     fn run_to_string(inv: &Invocation) -> Result<String, CliError> {
         let mut out = Vec::new();
-        run(inv, &mut out)?;
+        run(inv, &mut out, &mut Vec::new())?;
         Ok(String::from_utf8(out).unwrap())
     }
 
@@ -483,6 +596,7 @@ mod tests {
                 query: "$..b".to_owned(),
                 file: Some(path.to_owned()),
                 options: EngineOptions::default(),
+                stats: None,
             };
             assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "2\n");
             assert_eq!(run_to_string(&inv(Mode::Values)).unwrap(), "2\n3\n");
@@ -500,9 +614,12 @@ mod tests {
             query: "nope".to_owned(),
             file: None,
             options: EngineOptions::default(),
+            stats: None,
         };
         assert_eq!(
-            run(&bad_query, &mut Vec::new()).unwrap_err().kind,
+            run(&bad_query, &mut Vec::new(), &mut Vec::new())
+                .unwrap_err()
+                .kind,
             CliErrorKind::Query
         );
 
@@ -511,9 +628,12 @@ mod tests {
             query: "$..a".to_owned(),
             file: Some("/nonexistent/rsq-test.json".to_owned()),
             options: EngineOptions::default(),
+            stats: None,
         };
         assert_eq!(
-            run(&missing_file, &mut Vec::new()).unwrap_err().kind,
+            run(&missing_file, &mut Vec::new(), &mut Vec::new())
+                .unwrap_err()
+                .kind,
             CliErrorKind::Io
         );
 
@@ -526,9 +646,12 @@ mod tests {
                     strict: true,
                     ..EngineOptions::default()
                 },
+                stats: None,
             };
             assert_eq!(
-                run(&strict, &mut Vec::new()).unwrap_err().kind,
+                run(&strict, &mut Vec::new(), &mut Vec::new())
+                    .unwrap_err()
+                    .kind,
                 CliErrorKind::Malformed
             );
         });
@@ -542,9 +665,12 @@ mod tests {
                     max_matches: Some(1),
                     ..EngineOptions::default()
                 },
+                stats: None,
             };
             assert_eq!(
-                run(&limited, &mut Vec::new()).unwrap_err().kind,
+                run(&limited, &mut Vec::new(), &mut Vec::new())
+                    .unwrap_err()
+                    .kind,
                 CliErrorKind::Limit
             );
         });
@@ -558,10 +684,40 @@ mod tests {
                 query: String::new(),
                 file: Some(path.to_owned()),
                 options: EngineOptions::default(),
+                stats: None,
             };
             let out = run_to_string(&inv).unwrap();
             assert!(out.contains("nodes     4"), "{out}");
             assert!(out.contains("depth     3"), "{out}");
+        });
+    }
+
+    #[test]
+    fn run_stats_go_to_err_writer_only() {
+        with_temp_file(r#"{"a": [1, {"b": 2}], "b": 3}"#, |path| {
+            let inv = |stats| Invocation {
+                mode: Mode::Count,
+                query: "$..b".to_owned(),
+                file: Some(path.to_owned()),
+                options: EngineOptions::default(),
+                stats,
+            };
+            let mut out = Vec::new();
+            let mut err = Vec::new();
+            run(&inv(Some(StatsFormat::Json)), &mut out, &mut err).unwrap();
+            assert_eq!(out, b"2\n", "stdout is results only");
+            let err = String::from_utf8(err).unwrap();
+            assert_eq!(err.lines().count(), 1, "single line: {err}");
+            assert!(err.contains("\"matches\":2"), "{err}");
+
+            let mut err = Vec::new();
+            run(&inv(Some(StatsFormat::Human)), &mut Vec::new(), &mut err).unwrap();
+            let err = String::from_utf8(err).unwrap();
+            assert!(err.contains("matches"), "{err}");
+
+            let mut err = Vec::new();
+            run(&inv(None), &mut Vec::new(), &mut err).unwrap();
+            assert!(err.is_empty(), "no stats without the flag");
         });
     }
 
@@ -572,6 +728,7 @@ mod tests {
             query: "$.a..b".to_owned(),
             file: None,
             options: EngineOptions::default(),
+            stats: None,
         };
         let out = run_to_string(&inv).unwrap();
         assert!(out.starts_with("digraph"));

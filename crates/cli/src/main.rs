@@ -27,7 +27,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(&invocation, &mut std::io::stdout().lock()) {
+    match run(
+        &invocation,
+        &mut std::io::stdout().lock(),
+        &mut std::io::stderr().lock(),
+    ) {
         Ok(()) => ExitCode::SUCCESS,
         Err(error) => {
             eprintln!("rsq: {error}");

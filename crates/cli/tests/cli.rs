@@ -110,3 +110,59 @@ fn strict_well_formed_still_matches() {
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
     assert_eq!(stdout(&out), "2\n");
 }
+
+#[test]
+fn stats_json_goes_to_stderr_and_leaves_stdout_identical() {
+    let plain = rsq(&["$..b"], Some(DOC));
+    let with_stats = rsq(&["--stats-json", "$..b"], Some(DOC));
+    assert_eq!(with_stats.status.code(), Some(0));
+    // Stdout must be byte-identical to a run without the flag.
+    assert_eq!(with_stats.stdout, plain.stdout);
+
+    // Stderr carries exactly one line of valid JSON with the stable keys.
+    let err = stderr(&with_stats);
+    assert_eq!(err.lines().count(), 1, "single-line JSON: {err}");
+    let parsed = rsq_json::parse(err.trim().as_bytes()).expect("valid JSON");
+    let text = format!("{parsed:?}");
+    for key in [
+        "bytes",
+        "blocks_classified",
+        "skips",
+        "leaf",
+        "child",
+        "sibling",
+        "label",
+        "memmem_jumps",
+        "matches",
+    ] {
+        assert!(text.contains(key), "missing key {key} in {err}");
+    }
+}
+
+#[test]
+fn stats_table_goes_to_stderr() {
+    let out = rsq(&["--count", "--stats", "$..b"], Some(DOC));
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert_eq!(stdout(&out), "2\n", "results stay on stdout");
+    let err = stderr(&out);
+    assert!(err.contains("bytes"), "table on stderr: {err}");
+    assert!(err.contains("matches"), "table on stderr: {err}");
+}
+
+#[test]
+fn stats_does_not_corrupt_count_exit_codes() {
+    // A tripped limit must still exit 5, with no stats report (the run
+    // failed) and nothing extra on stdout.
+    let out = rsq(
+        &["--count", "--stats-json", "--max-matches", "1", "$..b"],
+        Some(DOC),
+    );
+    assert_eq!(out.status.code(), Some(5), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).is_empty());
+    assert!(!stderr(&out).contains("blocks_classified"));
+
+    // Legacy document-statistics mode is untouched by the overload.
+    let out = rsq(&["--stats"], Some(DOC));
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("nodes"));
+}

@@ -27,6 +27,7 @@ use crate::util::first_nonws_at;
 use crate::EngineOptions;
 use rsq_classify::{BracketType, QuoteScanner, ResumeState, StructuralIterator};
 use rsq_memmem::Finder;
+use rsq_obs::Recorder;
 use rsq_query::{Automaton, StateId};
 use rsq_simd::Simd;
 
@@ -36,6 +37,7 @@ use rsq_simd::Simd;
 /// — so an automaton violating the waiting-state invariant is handled at
 /// the dispatch site (by falling back to the main loop) instead of
 /// panicking here.
+#[allow(clippy::too_many_arguments)] // internal: one slot over, a context struct would obscure the hot path
 pub(crate) fn run_head_start(
     automaton: &Automaton,
     options: &EngineOptions,
@@ -44,7 +46,9 @@ pub(crate) fn run_head_start(
     label: &[u8],
     target: StateId,
     sink: &mut impl Sink,
+    rec: &mut impl Recorder,
 ) -> Result<(), Interrupt> {
+    let _span = rsq_obs::span!(HeadStart);
     let mut needle = Vec::with_capacity(label.len() + 2);
     needle.push(b'"');
     needle.extend_from_slice(label);
@@ -52,6 +56,39 @@ pub(crate) fn run_head_start(
     let finder = Finder::with_simd(&needle, simd);
     let mut scanner = QuoteScanner::new(input, simd);
 
+    // Quote-classification work must be folded into the recorder on every
+    // exit path, early unwinds (sink stop, tripped limit) included.
+    let result = scan_candidates(
+        automaton,
+        options,
+        simd,
+        input,
+        &finder,
+        needle.len(),
+        target,
+        &mut scanner,
+        sink,
+        rec,
+    );
+    rec.quote_blocks(scanner.blocks_classified());
+    result
+}
+
+/// The candidate loop proper, split out so the caller can fold the quote
+/// scanner's block counter regardless of how this returns.
+#[allow(clippy::too_many_arguments)]
+fn scan_candidates(
+    automaton: &Automaton,
+    options: &EngineOptions,
+    simd: Simd,
+    input: &[u8],
+    finder: &Finder<'_>,
+    needle_len: usize,
+    target: StateId,
+    scanner: &mut QuoteScanner<'_>,
+    sink: &mut impl Sink,
+    rec: &mut impl Recorder,
+) -> Result<(), Interrupt> {
     let mut at = 0usize;
     while let Some(p) = finder.find_from(input, at) {
         // A genuine label's closing quote lies *outside* the string (the
@@ -59,15 +96,19 @@ pub(crate) fn run_head_start(
         // quotes outside); a lookalike inside a string has escaped quotes,
         // which the quote classifier does not treat as quotes at all, so
         // its final position reads as inside.
-        if options.checked_head_start && scanner.in_string_at(p + needle.len() - 1) {
+        if options.checked_head_start && scanner.in_string_at(p + needle_len - 1) {
+            rec.memmem_decline();
+            rsq_obs::event!(MemmemDecline, p, 0u32);
             at = p + 1;
             continue;
         }
-        let after = p + needle.len();
+        let after = p + needle_len;
         let Some(colon) = first_nonws_at(input, after) else {
             break;
         };
         if input[colon] != b':' {
+            rec.memmem_decline();
+            rsq_obs::event!(MemmemDecline, p, 0u32);
             at = p + 1;
             continue;
         }
@@ -81,6 +122,8 @@ pub(crate) fn run_head_start(
                 } else {
                     BracketType::Bracket
                 };
+                rec.memmem_jump();
+                rsq_obs::event!(MemmemJump, p, 0u32);
                 let resume = if options.checked_head_start {
                     scanner.resume_state()
                 } else {
@@ -93,12 +136,26 @@ pub(crate) fn run_head_start(
                     }
                 };
                 let mut it = StructuralIterator::resume(input, simd, resume, v);
-                let Some(first) = it.next() else { break };
+                rec.resume_handoff();
+                let Some(first) = it.next() else {
+                    rec.classifier(&it.counters());
+                    break;
+                };
+                rec.event();
                 debug_assert_eq!(first.position(), v);
                 if automaton.is_accepting(target) {
                     sink.record(v)?;
+                    rec.matched();
+                    rsq_obs::event!(Match, v, 0u32);
                 }
-                run_element(&mut it, automaton, options, target, bracket, v, sink)?;
+                // Fold the sub-run's classifier counters before
+                // propagating an interrupt: an early sink stop maps to a
+                // clean `Ok` upstream and must keep its stats.
+                let sub = run_element(
+                    &mut it, automaton, options, target, bracket, v, sink, &mut *rec,
+                );
+                rec.classifier(&it.counters());
+                sub?;
                 if options.checked_head_start {
                     // The sub-run advanced the quote classification on the
                     // scanner's grid; skip re-scanning that region.
@@ -108,12 +165,18 @@ pub(crate) fn run_head_start(
             }
             b'}' | b']' | b',' | b':' => {
                 // Malformed construct; step over the candidate.
+                rec.memmem_decline();
+                rsq_obs::event!(MemmemDecline, p, 0u32);
                 at = p + 1;
             }
             _ => {
                 // Atomic value.
+                rec.memmem_jump();
+                rsq_obs::event!(MemmemJump, p, 0u32);
                 if automaton.is_accepting(target) {
                     sink.record(v)?;
+                    rec.matched();
+                    rsq_obs::event!(Match, v, 0u32);
                 }
                 at = after;
             }

@@ -75,6 +75,10 @@ pub use sink::{CountSink, PositionsSink, Sink, SinkFull};
 // The validation error vocabulary surfaces through `RunError::Malformed`.
 pub use rsq_classify::{ValidationError, ValidationErrorKind};
 
+// Tier A observability: run statistics and the recorder abstraction, from
+// the dependency-free `rsq-obs` crate (see `try_run_with_stats`).
+pub use rsq_obs::{BlockStats, ClassifierCounters, NoStats, Recorder, RunStats, SkipStats};
+
 use error::Interrupt;
 use rsq_classify::{StructuralIterator, StructuralValidator};
 use rsq_query::{Automaton, CompileError, Query, QueryParseError};
@@ -293,6 +297,49 @@ impl Engine {
     ///
     /// [`RunError::Io`] is never returned from the slice path.
     pub fn try_run<S: Sink>(&self, input: &[u8], sink: &mut S) -> Result<(), RunError> {
+        self.try_run_impl(input, sink, &mut NoStats)
+    }
+
+    /// Like [`try_run`](Self::try_run), but additionally returns Tier A
+    /// [`RunStats`] for the run: bytes and blocks processed per classifier,
+    /// structural events delivered, skip events by kind, `memmem`
+    /// head-start jumps taken and declined, maximum depth reached, and
+    /// matches reported.
+    ///
+    /// The match output is byte-identical to [`try_run`](Self::try_run) on
+    /// the same document: the statistics are gathered by monomorphising the
+    /// engine's inner loops over a recorder parameter, so the plain entry
+    /// points compile to the exact pre-instrumentation code (no branches,
+    /// no atomics) and the counting variant adds only saturating integer
+    /// increments.
+    ///
+    /// On a run that ends early — the sink declines a match, or
+    /// `max_matches` trips — the statistics cover the work performed up to
+    /// that point; for error returns the partial statistics are discarded
+    /// with the run.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_run`](Self::try_run).
+    pub fn try_run_with_stats<S: Sink>(
+        &self,
+        input: &[u8],
+        sink: &mut S,
+    ) -> Result<RunStats, RunError> {
+        let mut stats = RunStats {
+            bytes: input.len() as u64,
+            ..RunStats::default()
+        };
+        self.try_run_impl(input, sink, &mut stats)?;
+        Ok(stats)
+    }
+
+    fn try_run_impl<S: Sink>(
+        &self,
+        input: &[u8],
+        sink: &mut S,
+        rec: &mut impl Recorder,
+    ) -> Result<(), RunError> {
         if let Some(limit) = self.options.max_document_bytes {
             if input.len() > limit {
                 return Err(RunError::LimitExceeded {
@@ -310,7 +357,7 @@ impl Engine {
                 .and_then(|()| validator.finish())
                 .map_err(|e| input::map_validation(e, &self.options))?;
         }
-        self.run_limited(input, sink)
+        self.run_limited(input, sink, rec)
     }
 
     /// Streams a document pulled from `reader` in arbitrary-sized chunks,
@@ -336,7 +383,33 @@ impl Engine {
         let doc = input::read_document(&mut reader, &self.options, self.simd)?;
         // Ingest already validated and size-checked; go straight to
         // matching.
-        self.run_limited(&doc, sink)
+        self.run_limited(&doc, sink, &mut NoStats)
+    }
+
+    /// Like [`run_reader`](Self::run_reader), but additionally returns Tier
+    /// A [`RunStats`] for the matching phase (see
+    /// [`try_run_with_stats`](Self::try_run_with_stats)). Ingest-side work
+    /// (chunk reassembly, incremental validation) is not counted; `bytes`
+    /// reflects the assembled document.
+    ///
+    /// Statistics from runs over separate chunks or documents can be merged
+    /// with [`RunStats`]'s `Add`/`AddAssign`.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_reader`](Self::run_reader).
+    pub fn run_reader_with_stats<R: Read, S: Sink>(
+        &self,
+        mut reader: R,
+        sink: &mut S,
+    ) -> Result<RunStats, RunError> {
+        let doc = input::read_document(&mut reader, &self.options, self.simd)?;
+        let mut stats = RunStats {
+            bytes: doc.len() as u64,
+            ..RunStats::default()
+        };
+        self.run_limited(&doc, sink, &mut stats)?;
+        Ok(stats)
     }
 
     /// Reads a whole document from `reader` with the same protections as
@@ -409,7 +482,12 @@ impl Engine {
     /// Runs the matching loops over an already-validated document,
     /// translating interrupts into the public error vocabulary and
     /// enforcing `max_matches`.
-    fn run_limited<S: Sink>(&self, input: &[u8], sink: &mut S) -> Result<(), RunError> {
+    fn run_limited<S: Sink>(
+        &self,
+        input: &[u8],
+        sink: &mut S,
+        rec: &mut impl Recorder,
+    ) -> Result<(), RunError> {
         let result = match self.options.max_matches {
             Some(max) => {
                 let mut limited = LimitSink {
@@ -417,7 +495,7 @@ impl Engine {
                     left: max,
                     tripped: false,
                 };
-                let r = self.dispatch(input, &mut limited);
+                let r = self.dispatch(input, &mut limited, rec);
                 if limited.tripped {
                     return Err(RunError::LimitExceeded {
                         kind: LimitKind::Matches,
@@ -426,7 +504,7 @@ impl Engine {
                 }
                 r
             }
-            None => self.dispatch(input, sink),
+            None => self.dispatch(input, sink, rec),
         };
         match result {
             // A sink-initiated stop is a voluntary early exit.
@@ -451,7 +529,13 @@ impl Engine {
     }
 
     /// Picks the evaluation strategy and runs it.
-    fn dispatch<S: Sink>(&self, input: &[u8], sink: &mut S) -> Result<(), Interrupt> {
+    fn dispatch<S: Sink>(
+        &self,
+        input: &[u8],
+        sink: &mut S,
+        rec: &mut impl Recorder,
+    ) -> Result<(), Interrupt> {
+        let _span = rsq_obs::span!(Dispatch);
         let initial = self.automaton.initial_state();
         if self.options.head_start && self.automaton.is_waiting(initial) {
             // A waiting state has exactly one label transition; resolve it
@@ -467,11 +551,17 @@ impl Engine {
                     label,
                     target,
                     sink,
+                    rec,
                 );
             }
         }
         let mut it = StructuralIterator::new(input, self.simd);
-        main_loop::run_document(&mut it, &self.automaton, &self.options, sink)
+        // Fold the iterator's classifier counters before propagating an
+        // interrupt: an early sink stop maps to `Ok` upstream and must keep
+        // its stats.
+        let result = main_loop::run_document(&mut it, &self.automaton, &self.options, sink, rec);
+        rec.classifier(&it.counters());
+        result
     }
 }
 

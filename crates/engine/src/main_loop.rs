@@ -7,6 +7,7 @@ use crate::sink::Sink;
 use crate::util::{first_nonws_at, value_start_after};
 use crate::EngineOptions;
 use rsq_classify::{BracketType, LabelSeek, Structural, StructuralIterator};
+use rsq_obs::Recorder;
 use rsq_query::{Automaton, PathSymbol, StateId};
 use rsq_stackvec::StackVec;
 
@@ -108,6 +109,7 @@ fn apply_toggles(
     options: &EngineOptions,
     state: StateId,
     container: BracketType,
+    rec: &mut impl Recorder,
 ) -> CommaMode {
     let mode = if container != BracketType::Bracket {
         CommaMode::Off
@@ -125,10 +127,20 @@ fn apply_toggles(
     }
     match container {
         BracketType::Bracket => {
-            it.set_toggles(mode != CommaMode::Off, false);
+            let commas = mode != CommaMode::Off;
+            it.set_toggles(commas, false);
+            if !commas {
+                // Atomic array entries at this level are skipped over.
+                rec.leaf_skip();
+            }
         }
         BracketType::Brace => {
-            it.set_toggles(false, automaton.is_object_accepting(state));
+            let colons = automaton.is_object_accepting(state);
+            it.set_toggles(false, colons);
+            if !colons {
+                // Atomic member values at this level are skipped over.
+                rec.leaf_skip();
+            }
         }
     }
     mode
@@ -143,6 +155,7 @@ fn try_match_first_item(
     state: StateId,
     open_pos: usize,
     sink: &mut impl Sink,
+    rec: &mut impl Recorder,
 ) -> Result<(), Interrupt> {
     if !automaton.is_accepting(automaton.transition(state, PathSymbol::Index(0))) {
         return Ok(());
@@ -151,6 +164,8 @@ fn try_match_first_item(
     // (handled at its Opening) or the array is empty.
     if let Some(v) = value_start_after(it.input(), open_pos) {
         sink.record(v)?;
+        rec.matched();
+        rsq_obs::event!(Match, v, 0u32);
     }
     Ok(())
 }
@@ -184,6 +199,7 @@ fn check_label(options: &EngineOptions, label: Option<&[u8]>) -> Result<(), Inte
 /// root — exact for whole-document runs; for skip-to-label sub-runs it
 /// bounds nesting below the matched value (the `memmem` jump does not
 /// track the candidate's absolute depth).
+#[allow(clippy::too_many_arguments)] // internal: one slot over, a context struct would obscure the hot path
 pub(crate) fn run_element(
     it: &mut StructuralIterator<'_>,
     automaton: &Automaton,
@@ -192,7 +208,9 @@ pub(crate) fn run_element(
     root_bracket: BracketType,
     root_pos: usize,
     sink: &mut impl Sink,
+    rec: &mut impl Recorder,
 ) -> Result<(), Interrupt> {
+    let _span = rsq_obs::span!(Element);
     let mut state = state0;
     let mut depth: u32 = 1;
     let mut stack = DepthStack::new();
@@ -202,10 +220,11 @@ pub(crate) fn run_element(
     if root_bracket == BracketType::Bracket {
         indices.reset(1);
     }
+    rec.depth(depth);
 
-    let mut comma_mode = apply_toggles(it, automaton, options, state, root_bracket);
+    let mut comma_mode = apply_toggles(it, automaton, options, state, root_bracket, rec);
     if root_bracket == BracketType::Bracket {
-        try_match_first_item(it, automaton, state, root_pos, sink)?;
+        try_match_first_item(it, automaton, state, root_pos, sink, rec)?;
     }
 
     // §1.3 of the paper: "the cost of switching often exceeds the gain…
@@ -233,12 +252,15 @@ pub(crate) fn run_element(
             if let Some((needle, _)) = automaton.single_explicit_transition(state) {
                 let boundary = stack.top_depth().map_or(1, |d| d + 1);
                 let levels = depth.saturating_sub(boundary);
+                rec.label_seek();
                 match it.seek_label(needle, levels) {
                     LabelSeek::Candidate { depth_delta } => {
                         depth = (i64::from(depth) + i64::from(depth_delta)) as u32;
                         if depth > options.max_depth {
                             return Err(Interrupt::Limit(LimitKind::Depth));
                         }
+                        rec.depth(depth);
+                        rsq_obs::event!(LabelSeek, 0u64, depth);
                         // The candidate's parent is necessarily an object.
                         types.set(depth, BracketType::Brace);
                     }
@@ -253,6 +275,7 @@ pub(crate) fn run_element(
         }
 
         let Some(event) = it.next() else { break };
+        rec.event();
         match event {
             Structural::Opening(bracket, pos) => {
                 let label = it.label_before(pos);
@@ -264,6 +287,8 @@ pub(crate) fn run_element(
                 let target = automaton.transition(state, symbol);
                 if automaton.is_rejecting(target) && options.skip_children {
                     // Skipping children (§3.3): nothing below can match.
+                    rec.child_skip();
+                    rsq_obs::event!(ChildSkip, pos, depth);
                     it.skip_past_close(bracket);
                     continue;
                 }
@@ -278,19 +303,22 @@ pub(crate) fn run_element(
                     waiting_streak += 1;
                 }
                 depth += 1;
+                rec.depth(depth);
                 types.set(depth, bracket);
                 if bracket == BracketType::Bracket {
                     indices.reset(depth);
                 }
                 if automaton.is_accepting(state) {
                     sink.record(pos)?;
+                    rec.matched();
+                    rsq_obs::event!(Match, pos, depth);
                 }
-                comma_mode = apply_toggles(it, automaton, options, state, bracket);
+                comma_mode = apply_toggles(it, automaton, options, state, bracket, &mut *rec);
                 if bracket == BracketType::Bracket {
-                    try_match_first_item(it, automaton, state, pos, sink)?;
+                    try_match_first_item(it, automaton, state, pos, sink, &mut *rec)?;
                 }
             }
-            Structural::Closing(_, _) => {
+            Structural::Closing(_, _pos) => {
                 if depth == 0 {
                     break; // malformed: more closers than openers
                 }
@@ -308,6 +336,8 @@ pub(crate) fn run_element(
                         // found; labels do not repeat among siblings, so
                         // fast-forward to the enclosing object's end. The
                         // closing brace is delivered as the next event.
+                        rec.sibling_skip();
+                        rsq_obs::event!(SiblingSkip, _pos, depth);
                         it.fast_forward_to_close(BracketType::Brace);
                         continue;
                     }
@@ -315,7 +345,8 @@ pub(crate) fn run_element(
                 if depth == 0 {
                     break; // the element this run was started on has closed
                 }
-                comma_mode = apply_toggles(it, automaton, options, state, types.get(depth));
+                comma_mode =
+                    apply_toggles(it, automaton, options, state, types.get(depth), &mut *rec);
             }
             Structural::Colon(pos) => {
                 // Composite member values are handled at their Opening; a
@@ -328,6 +359,8 @@ pub(crate) fn run_element(
                 let target = automaton.transition_label(state, label);
                 if automaton.is_accepting(target) {
                     sink.record(v)?;
+                    rec.matched();
+                    rsq_obs::event!(Match, v, depth);
                 }
                 if options.skip_siblings
                     && automaton.is_unitary(state)
@@ -335,6 +368,8 @@ pub(crate) fn run_element(
                 {
                     // The unitary label matched an atomic value; skip the
                     // remaining siblings.
+                    rec.sibling_skip();
+                    rsq_obs::event!(SiblingSkip, pos, depth);
                     it.fast_forward_to_close(BracketType::Brace);
                 }
             }
@@ -351,6 +386,8 @@ pub(crate) fn run_element(
                         indices.increment(depth);
                         if let Some(v) = value_start_after(it.input(), pos) {
                             sink.record(v)?;
+                            rec.matched();
+                            rsq_obs::event!(Match, v, depth);
                         }
                     }
                     CommaMode::Indexed => {
@@ -360,6 +397,8 @@ pub(crate) fn run_element(
                         if automaton.is_accepting(target) {
                             if let Some(v) = value_start_after(it.input(), pos) {
                                 sink.record(v)?;
+                                rec.matched();
+                                rsq_obs::event!(Match, v, depth);
                             }
                         }
                     }
@@ -376,23 +415,30 @@ pub(crate) fn run_document(
     automaton: &Automaton,
     options: &EngineOptions,
     sink: &mut impl Sink,
+    rec: &mut impl Recorder,
 ) -> Result<(), Interrupt> {
     let initial = automaton.initial_state();
     match it.next() {
         Some(Structural::Opening(bracket, pos)) => {
+            rec.event();
             if automaton.is_accepting(initial) {
                 sink.record(pos)?; // query `$` on a composite document
+                rec.matched();
+                rsq_obs::event!(Match, pos, 0u32);
             }
-            run_element(it, automaton, options, initial, bracket, pos, sink)?;
+            run_element(it, automaton, options, initial, bracket, pos, sink, rec)?;
         }
         Some(_) => {
             // Malformed document (starts with a closer/comma/colon).
+            rec.event();
         }
         None => {
             // Atomic document: only `$` can match it.
             if automaton.is_accepting(initial) {
                 if let Some(v) = first_nonws_at(it.input(), 0) {
                     sink.record(v)?;
+                    rec.matched();
+                    rsq_obs::event!(Match, v, 0u32);
                 }
             }
         }

@@ -1,0 +1,247 @@
+//! Tier B: the bounded trace ring (`obs-trace` feature only).
+//!
+//! Fixed-size records — byte offset, event kind, depth, optional pipeline
+//! stage; deliberately *no timestamps*, so two runs over the same
+//! document produce identical traces — are written into a bounded
+//! thread-local ring buffer by the [`event!`](crate::event) and
+//! [`span!`](crate::span) macros. When the ring is full the oldest
+//! records are overwritten (the tail of a run is what debugging skip
+//! decisions needs) and a drop counter records the loss.
+//!
+//! The ring is thread-local: the engine is single-threaded per run, and a
+//! thread-local avoids both atomics on the record path and cross-run
+//! interleaving. Drain it with [`drain`] after the run, on the thread
+//! that ran the engine.
+
+use std::cell::RefCell;
+
+/// Number of records the ring retains. At 16 bytes per record this is a
+/// 1 MiB buffer — enough for the tail of any realistic debugging session
+/// while staying bounded no matter how large the document is.
+pub const TRACE_CAPACITY: usize = 1 << 16;
+
+/// What happened, in the engine's vocabulary (§3.3–§4.5 of the paper).
+#[repr(u8)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A pipeline stage was entered (`stage` identifies it).
+    SpanEnter,
+    /// A pipeline stage was left.
+    SpanExit,
+    /// A match was delivered to the sink (offset = node start).
+    Match,
+    /// A subtree was fast-forwarded over on a rejecting transition.
+    ChildSkip,
+    /// Fast-forward to the enclosing object's end (unitary label found).
+    SiblingSkip,
+    /// An in-element label seek was engaged.
+    LabelSeek,
+    /// A `memmem` head-start jump was taken (offset = candidate).
+    MemmemJump,
+    /// A `memmem` head-start candidate was declined.
+    MemmemDecline,
+}
+
+/// The pipeline stage a span record refers to (`None` for plain events).
+#[repr(u8)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Not a span record.
+    None,
+    /// Engine dispatch (strategy selection and the whole run).
+    Dispatch,
+    /// The `memmem` head-start driver.
+    HeadStart,
+    /// One element sub-run of the main algorithm.
+    Element,
+}
+
+/// One fixed-size trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Absolute byte offset the event refers to.
+    pub offset: u64,
+    /// Nesting depth at the event (0 when not meaningful).
+    pub depth: u32,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Pipeline stage for span records, [`Stage::None`] otherwise.
+    pub stage: Stage,
+}
+
+struct Ring {
+    buf: Vec<TraceRecord>,
+    /// Index of the oldest record.
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            buf: Vec::with_capacity(TRACE_CAPACITY),
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, record: TraceRecord) {
+        if self.len < TRACE_CAPACITY {
+            self.buf.push(record);
+            self.len += 1;
+        } else {
+            // Full: overwrite the oldest record.
+            self.buf[self.head] = record;
+            self.head = (self.head + 1) % TRACE_CAPACITY;
+            self.dropped += 1;
+        }
+    }
+
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.len);
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+        self.len = 0;
+        out
+    }
+}
+
+thread_local! {
+    static RING: RefCell<Ring> = RefCell::new(Ring::new());
+}
+
+/// Appends one record to this thread's ring. Usually called through the
+/// [`event!`](crate::event) macro rather than directly.
+#[inline]
+pub fn record(kind: TraceKind, stage: Stage, offset: u64, depth: u32) {
+    RING.with(|ring| {
+        ring.borrow_mut().push(TraceRecord {
+            offset,
+            depth,
+            kind,
+            stage,
+        })
+    });
+}
+
+/// Takes every retained record (oldest first), leaving the ring empty.
+/// The drop counter is preserved; see [`dropped`].
+#[must_use]
+pub fn drain() -> Vec<TraceRecord> {
+    RING.with(|ring| ring.borrow_mut().drain())
+}
+
+/// Empties the ring and resets the drop counter — call before a run whose
+/// trace should stand alone.
+pub fn clear() {
+    RING.with(|ring| {
+        let mut ring = ring.borrow_mut();
+        let _ = ring.drain();
+        ring.dropped = 0;
+    });
+}
+
+/// Number of records lost to ring overflow since the last [`clear`].
+#[must_use]
+pub fn dropped() -> u64 {
+    RING.with(|ring| ring.borrow().dropped)
+}
+
+/// RAII guard emitting `SpanEnter` on construction and `SpanExit` on
+/// drop. Created by the [`span!`](crate::span) macro.
+#[derive(Debug)]
+pub struct SpanGuard {
+    stage: Stage,
+}
+
+impl SpanGuard {
+    /// Opens a span for `stage`.
+    #[must_use]
+    pub fn enter(stage: Stage) -> Self {
+        record(TraceKind::SpanEnter, stage, 0, 0);
+        SpanGuard { stage }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        record(TraceKind::SpanExit, self.stage, 0, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_drains_empty() {
+        clear();
+        record(TraceKind::Match, Stage::None, 10, 2);
+        record(TraceKind::ChildSkip, Stage::None, 20, 3);
+        let got = drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].offset, 10);
+        assert_eq!(got[0].kind, TraceKind::Match);
+        assert_eq!(got[1].offset, 20);
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        clear();
+        let extra = 100u64;
+        for i in 0..TRACE_CAPACITY as u64 + extra {
+            record(TraceKind::Match, Stage::None, i, 0);
+        }
+        assert_eq!(dropped(), extra);
+        let got = drain();
+        assert_eq!(got.len(), TRACE_CAPACITY);
+        // Oldest retained record is `extra`; newest is the last written.
+        assert_eq!(got.first().unwrap().offset, extra);
+        assert_eq!(
+            got.last().unwrap().offset,
+            TRACE_CAPACITY as u64 + extra - 1
+        );
+        clear();
+        assert_eq!(dropped(), 0);
+    }
+
+    #[test]
+    fn span_guard_emits_enter_exit_pair() {
+        clear();
+        {
+            let _guard = SpanGuard::enter(Stage::HeadStart);
+            record(TraceKind::MemmemJump, Stage::None, 5, 1);
+        }
+        let got = drain();
+        let kinds: Vec<TraceKind> = got.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                TraceKind::SpanEnter,
+                TraceKind::MemmemJump,
+                TraceKind::SpanExit
+            ]
+        );
+        assert_eq!(got[0].stage, Stage::HeadStart);
+        assert_eq!(got[2].stage, Stage::HeadStart);
+    }
+
+    #[test]
+    fn macros_expand_to_real_records() {
+        clear();
+        {
+            let _span = crate::span!(Element);
+            crate::event!(SiblingSkip, 42usize, 7u32);
+        }
+        let got = drain();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[1].kind, TraceKind::SiblingSkip);
+        assert_eq!(got[1].offset, 42);
+        assert_eq!(got[1].depth, 7);
+    }
+}

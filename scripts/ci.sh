@@ -10,11 +10,19 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy with obs-trace (deny warnings)"
+cargo clippy --workspace --all-targets --features rsq-engine/obs-trace -- -D warnings
+
 echo "==> tier-1: release build + tests"
 cargo build --release
 cargo test -q
 
 echo "==> workspace tests with overflow checks"
 RUSTFLAGS="-C overflow-checks=on" cargo test --workspace -q
+
+echo "==> workspace build + tests with the obs-trace feature (Tier B)"
+cargo build --workspace --features rsq-engine/obs-trace
+cargo test --workspace --features rsq-engine/obs-trace -q
+cargo test -p rsq-obs --features obs-trace -q
 
 echo "CI OK"

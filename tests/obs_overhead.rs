@@ -1,0 +1,62 @@
+//! Observability overhead guard (slow): on a large generated document,
+//! `try_run_with_stats` must report byte-identical match positions to
+//! `try_run`, and the statistics must be consistent with the run. The
+//! throughput comparison lives in the `stats-overhead` experiments
+//! subcommand (timing assertions are too flaky for CI).
+
+#![cfg(feature = "slow-tests")]
+
+use rsq::datagen::{Dataset, GenConfig};
+use rsq::engine::{PositionsSink, RunStats};
+use rsq::{Engine, EngineOptions, Query};
+
+fn large_doc(dataset: Dataset) -> Vec<u8> {
+    dataset
+        .generate(&GenConfig {
+            target_bytes: 4_000_000,
+            seed: 0x0b5_2023,
+        })
+        .into_bytes()
+}
+
+#[test]
+fn stats_collection_never_changes_matches() {
+    let cases = [
+        (Dataset::BestBuy, "$.products.*.categoryPath.*.id"),
+        (Dataset::BestBuy, "$..videoChapters"),
+        (Dataset::Wikimedia, "$..P150..mainsnak.property"),
+        (Dataset::Crossref, "$..author..affiliation..name"),
+        (Dataset::Ast, "$..inner..inner..type.qualType"),
+    ];
+    let d = EngineOptions::default();
+    let variants = [
+        d,
+        EngineOptions {
+            head_start: false,
+            ..d
+        },
+        EngineOptions {
+            skip_leaves: false,
+            skip_children: false,
+            skip_siblings: false,
+            label_seek: false,
+            ..d
+        },
+    ];
+    for (dataset, query) in cases {
+        let doc = large_doc(dataset);
+        for options in variants {
+            let engine = Engine::with_options(&Query::parse(query).unwrap(), options).unwrap();
+            let plain = engine.try_positions(&doc).unwrap();
+
+            let mut sink = PositionsSink::new();
+            let stats: RunStats = engine.try_run_with_stats(&doc, &mut sink).unwrap();
+            let with_stats = sink.into_positions();
+
+            assert_eq!(plain, with_stats, "{query} with {options:?}");
+            assert_eq!(stats.bytes, doc.len() as u64, "{query}");
+            assert_eq!(stats.matches, plain.len() as u64, "{query}");
+            assert!(stats.blocks.total() > 0, "{query}: no classification work");
+        }
+    }
+}
