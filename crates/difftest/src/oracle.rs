@@ -1,0 +1,247 @@
+//! Naive scalar oracle for the SIMD classification kernels.
+//!
+//! Every function here is a deliberately simple byte-at-a-time
+//! reimplementation of a kernel contract from `rsq-simd` — written from the
+//! paper's semantics, not from the kernel code — so that a differential
+//! mismatch implicates the kernel, not a shared bug. Nothing in this module
+//! may call into `rsq-simd` beyond plain data types ([`TablePair`]).
+
+use rsq_simd::{ByteSet, TablePair, BLOCK_SIZE};
+
+/// Positions in `block` holding a member of `set`, bit *i* for byte *i* —
+/// the reference semantics for `ByteClassifier::classify_block` under any
+/// strategy.
+#[must_use]
+pub fn eq_set_mask(block: &[u8], set: &ByteSet) -> u64 {
+    debug_assert!(block.len() <= 64);
+    let mut mask = 0u64;
+    for (i, &b) in block.iter().enumerate() {
+        if set.contains(b) {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// Positions in `block` equal to `byte`, bit *i* for byte *i*.
+#[must_use]
+pub fn eq_mask(block: &[u8], byte: u8) -> u64 {
+    debug_assert!(block.len() <= 64);
+    let mut mask = 0u64;
+    for (i, &b) in block.iter().enumerate() {
+        if b == byte {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// Non-overlapping-groups nibble classification (§4.1, equality
+/// combination): accepted iff the two table lookups agree and the byte is
+/// ASCII (`shuffle` zeroes lanes whose source has the high bit set).
+#[must_use]
+pub fn lookup_eq_mask(block: &[u8], tables: &TablePair) -> u64 {
+    debug_assert!(block.len() <= 64);
+    let mut mask = 0u64;
+    for (i, &b) in block.iter().enumerate() {
+        if b < 0x80 && tables.ltab[(b & 0x0F) as usize] == tables.utab[(b >> 4) as usize] {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// Few-groups nibble classification (§4.1, OR-to-all-ones combination).
+#[must_use]
+pub fn lookup_or_mask(block: &[u8], tables: &TablePair) -> u64 {
+    debug_assert!(block.len() <= 64);
+    let mut mask = 0u64;
+    for (i, &b) in block.iter().enumerate() {
+        if b < 0x80 && (tables.ltab[(b & 0x0F) as usize] | tables.utab[(b >> 4) as usize]) == 0xFF {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// Prefix XOR, one bit at a time: bit *i* of the result is the XOR of bits
+/// `0..=i` of `m`.
+#[must_use]
+pub fn prefix_xor(m: u64) -> u64 {
+    let mut acc = 0u64;
+    let mut out = 0u64;
+    for i in 0..64 {
+        acc ^= (m >> i) & 1;
+        out |= acc << i;
+    }
+    out
+}
+
+/// Per-byte inside-string flags for the whole input (§4.2 semantics:
+/// opening quote inclusive, closing quote exclusive), via a character-level
+/// escape/string state machine.
+///
+/// Matches the kernels' semantics exactly, including on non-JSON bytes: a
+/// backslash run of odd length escapes the following character *regardless*
+/// of whether the scan is currently inside a string (the mask arithmetic of
+/// `find_escaped` never consults the string state).
+#[must_use]
+pub fn quote_bits(input: &[u8]) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(input.len());
+    let mut escaped = false;
+    let mut in_string = false;
+    for &b in input {
+        if escaped {
+            escaped = false;
+            bits.push(in_string);
+        } else if b == b'\\' {
+            escaped = true;
+            bits.push(in_string);
+        } else if b == b'"' {
+            if in_string {
+                in_string = false;
+                bits.push(false); // closing quote exclusive
+            } else {
+                in_string = true;
+                bits.push(true); // opening quote inclusive
+            }
+        } else {
+            bits.push(in_string);
+        }
+    }
+    bits
+}
+
+/// Packs per-byte flags into per-block 64-bit masks.
+///
+/// `input.len()` must be a multiple of [`BLOCK_SIZE`].
+#[must_use]
+pub fn pack_blocks(bits: &[bool]) -> Vec<u64> {
+    assert_eq!(bits.len() % BLOCK_SIZE, 0, "input must be block-aligned");
+    bits.chunks_exact(BLOCK_SIZE)
+        .map(|chunk| {
+            let mut m = 0u64;
+            for (i, &bit) in chunk.iter().enumerate() {
+                if bit {
+                    m |= 1 << i;
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+/// Per-block inside-string masks for block-aligned input.
+#[must_use]
+pub fn quote_masks(input: &[u8]) -> Vec<u64> {
+    pack_blocks(&quote_bits(input))
+}
+
+/// Per-block structural masks: positions of bytes from `accepted` that lie
+/// outside strings. `input.len()` must be a multiple of [`BLOCK_SIZE`].
+#[must_use]
+pub fn structural_masks(input: &[u8], accepted: &[u8]) -> Vec<u64> {
+    let quotes = quote_bits(input);
+    let bits: Vec<bool> = input
+        .iter()
+        .zip(&quotes)
+        .map(|(&b, &q)| !q && accepted.contains(&b))
+        .collect();
+    pack_blocks(&bits)
+}
+
+/// Naive candidate scan matching the `find_pair` contract: the first
+/// `p >= start` with `hay[p] == first && hay[p + gap] == last`, confined to
+/// the region where a full 64-byte window fits; `Err(first unchecked
+/// position)` once it no longer does.
+pub fn find_pair(
+    hay: &[u8],
+    start: usize,
+    first: u8,
+    last: u8,
+    gap: usize,
+) -> Result<usize, usize> {
+    let mut at = start;
+    loop {
+        let Some(end) = at.checked_add(gap + BLOCK_SIZE) else {
+            return Err(at);
+        };
+        if end > hay.len() {
+            return Err(at);
+        }
+        if hay[at] == first && hay[at + gap] == last {
+            return Ok(at);
+        }
+        at += 1;
+    }
+}
+
+/// Naive depth scan: starting *at* `from` with relative depth `depth`,
+/// find the position where the depth drops to zero, counting only `open`
+/// and `close` bytes outside strings. Returns `None` when the input ends
+/// first.
+#[must_use]
+pub fn skip_to_close(
+    input: &[u8],
+    from: usize,
+    open: u8,
+    close: u8,
+    depth: usize,
+) -> Option<usize> {
+    let quotes = quote_bits(input);
+    let mut d = depth;
+    for (i, &b) in input.iter().enumerate().skip(from) {
+        if quotes[i] {
+            continue;
+        }
+        if b == open {
+            d += 1;
+        } else if b == close {
+            d -= 1;
+            if d == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_xor_known_values() {
+        assert_eq!(prefix_xor(0), 0);
+        assert_eq!(prefix_xor(1), u64::MAX);
+        assert_eq!(prefix_xor(0b1010), 0b0110);
+    }
+
+    #[test]
+    fn quote_bits_basic_string() {
+        // `a"bc"d` — opening inclusive, closing exclusive.
+        let bits = quote_bits(b"a\"bc\"d");
+        assert_eq!(bits, [false, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn quote_bits_escaped_quote_stays_inside() {
+        // `"a\"b"` — the escaped quote does not close the string.
+        let bits = quote_bits(br#""a\"b""#);
+        assert_eq!(bits, [true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn quote_bits_escape_outside_string() {
+        // A backslash outside a string still escapes the next character,
+        // matching the kernels' mask arithmetic: the quote never opens.
+        let bits = quote_bits(br#"\"x"#);
+        assert_eq!(bits, [false, false, false]);
+    }
+
+    #[test]
+    fn skip_to_close_ignores_brackets_in_strings() {
+        let input = br#"{"a}":1}rest"#;
+        assert_eq!(skip_to_close(input, 1, b'{', b'}', 1), Some(7));
+    }
+}

@@ -1,0 +1,29 @@
+//! Randomized differential sweep — the slow companion to `corpus.rs`.
+//!
+//! Gated behind `--features slow-tests` so tier-1 stays fast; CI runs it
+//! via `cargo xtask fuzz-smoke`, which shares the same generators and
+//! checks but is time-boxed instead of iteration-boxed.
+#![cfg(feature = "slow-tests")]
+
+use rsq_difftest::{random_input, random_json, Target, XorShift64};
+
+/// Fixed seed so a failure here reproduces byte-for-byte; change it only
+/// together with the failure-report format in `xtask fuzz-smoke`.
+const SEED: u64 = 0x0DD5_EED5_0F_F00D;
+
+#[test]
+fn random_inputs_agree_across_backends() {
+    for target in Target::ALL {
+        let mut rng = XorShift64::new(SEED ^ target.name().len() as u64);
+        for round in 0..256 {
+            let input = if round % 2 == 0 {
+                random_input(&mut rng, 2048)
+            } else {
+                random_json(&mut rng, 8)
+            };
+            if let Err(m) = target.check(&input) {
+                panic!("target {} round {round}: {m:?}", target.name());
+            }
+        }
+    }
+}

@@ -102,6 +102,12 @@ pub struct EngineOptions {
     pub skip_children: bool,
     /// Fast-forward to the enclosing object's end once a unitary state's
     /// label has been matched (§3.3 *skipping siblings*).
+    ///
+    /// Rests on the JSON interoperability assumption (RFC 8259 §4) that
+    /// labels are unique within an object: on documents with duplicate
+    /// sibling labels, only the first member with a given label is
+    /// reported while a DOM evaluator would report all of them. Disable
+    /// for duplicate-faithful results on such documents.
     pub skip_siblings: bool,
     /// Leapfrog between `memmem` hits of the first label for queries
     /// starting with `$..ℓ` (§3.3 *skipping to a label*).

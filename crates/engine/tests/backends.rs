@@ -1,0 +1,70 @@
+//! Dispatch-boundary tests at the engine level (DESIGN.md §9): the same
+//! query over the same document must yield identical match positions no
+//! matter which instruction-set backend the engine is pinned to, and an
+//! explicitly pinned backend must equal the auto-detected run.
+
+use rsq_engine::{Engine, EngineOptions};
+use rsq_query::Query;
+use rsq_simd::{BackendKind, Simd};
+
+const DOCUMENT: &str = r#"{
+  "a": {"b": [1, 2, {"a": "x\"y{z[", "b": null}], "c": true},
+  "list": [{"a": 3}, {"a": {"b": 4}}, "tail"],
+  "deep": {"a": {"a": {"a": {"b": [false, {"a": 7}]}}}}
+}"#;
+
+const QUERIES: &[&str] = &["$..a", "$.a.b", "$..a..b", "$..*", "$.list[1]", "$..a[1]"];
+
+/// Backends the host CPU can run (SWAR always; vector ISAs when present).
+fn supported() -> Vec<BackendKind> {
+    let mut kinds = vec![BackendKind::Swar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            kinds.push(BackendKind::Avx2);
+        }
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {
+            kinds.push(BackendKind::Avx512);
+        }
+    }
+    kinds
+}
+
+fn positions(query: &Query, backend: Option<BackendKind>) -> Vec<usize> {
+    let options = EngineOptions {
+        backend,
+        ..EngineOptions::default()
+    };
+    let engine = Engine::with_options(query, options).expect("query compiles");
+    engine
+        .try_positions(DOCUMENT.as_bytes())
+        .expect("document is valid")
+}
+
+#[test]
+fn pinned_backends_agree_with_each_other() {
+    for query_text in QUERIES {
+        let query = Query::parse(query_text).expect("query parses");
+        let baseline = positions(&query, Some(BackendKind::Swar));
+        for kind in supported() {
+            assert_eq!(
+                positions(&query, Some(kind)),
+                baseline,
+                "{query_text} on {kind} diverges from swar"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_detected_backend_matches_pinned_detection() {
+    let detected = Simd::detect().kind();
+    for query_text in QUERIES {
+        let query = Query::parse(query_text).expect("query parses");
+        assert_eq!(
+            positions(&query, None),
+            positions(&query, Some(detected)),
+            "{query_text}: auto-dispatch diverges from pinned {detected}"
+        );
+    }
+}

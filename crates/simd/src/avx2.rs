@@ -6,6 +6,11 @@
 //! `#[inline]` so they fuse into the superblock kernels below, which exist
 //! to amortize the (uninlinable) dispatch call from feature-agnostic code
 //! over 256 bytes instead of 64.
+//!
+//! Unsafety discipline (DESIGN.md §9): `unsafe_op_in_unsafe_fn` is denied,
+//! so every intrinsic call and pointer offset sits in its own `unsafe`
+//! block with a `SAFETY:` comment, and pointer arithmetic is paired with
+//! `debug_assert!`s stating the bound it relies on.
 
 #![cfg(target_arch = "x86_64")]
 
@@ -22,15 +27,24 @@ use core::arch::x86_64::*;
 #[inline]
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn eq_mask(block: &Block, byte: u8) -> u64 {
-    eq_mask_ptr(block.as_ptr(), _mm256_set1_epi8(byte as i8))
+    // SAFETY: `block` is a 64-byte array, so 64 bytes are readable from
+    // its base pointer; avx2 is required by this fn's own contract.
+    unsafe { eq_mask_ptr(block.as_ptr(), _mm256_set1_epi8(byte as i8)) }
 }
 
 /// Equality mask for 64 bytes at `ptr` against a pre-broadcast needle.
+///
+/// # Safety
+///
+/// The CPU must support AVX2, and `ptr` must be valid for reads of
+/// [`BLOCK_SIZE`] (64) bytes.
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn eq_mask_ptr(ptr: *const u8, needle: __m256i) -> u64 {
-    let lo = _mm256_loadu_si256(ptr.cast());
-    let hi = _mm256_loadu_si256(ptr.add(32).cast());
+    // SAFETY: the caller provides 64 readable bytes at `ptr`.
+    let lo = unsafe { _mm256_loadu_si256(ptr.cast()) };
+    // SAFETY: as above — offset 32 keeps this load inside those 64 bytes.
+    let hi = unsafe { _mm256_loadu_si256(ptr.add(32).cast()) };
     let lo_mask = _mm256_movemask_epi8(_mm256_cmpeq_epi8(lo, needle)) as u32;
     let hi_mask = _mm256_movemask_epi8(_mm256_cmpeq_epi8(hi, needle)) as u32;
     u64::from(lo_mask) | (u64::from(hi_mask) << 32)
@@ -46,23 +60,36 @@ unsafe fn eq_mask_ptr(ptr: *const u8, needle: __m256i) -> u64 {
 pub(crate) unsafe fn eq_mask2(block: &Block, a: u8, b: u8) -> (u64, u64) {
     let na = _mm256_set1_epi8(a as i8);
     let nb = _mm256_set1_epi8(b as i8);
-    (
-        eq_mask_ptr(block.as_ptr(), na),
-        eq_mask_ptr(block.as_ptr(), nb),
-    )
+    // SAFETY: `block` is a 64-byte array — both reads stay inside it.
+    unsafe {
+        (
+            eq_mask_ptr(block.as_ptr(), na),
+            eq_mask_ptr(block.as_ptr(), nb),
+        )
+    }
 }
 
 /// Broadcasts a 16-byte table to both 128-bit lanes of a 256-bit vector.
+///
+/// # Safety
+///
+/// The CPU must support AVX2.
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn broadcast_table(table: &[u8; 16]) -> __m256i {
-    let t = _mm_loadu_si128(table.as_ptr().cast());
+    // SAFETY: `table` is a 16-byte array, exactly one unaligned 128-bit
+    // load.
+    let t = unsafe { _mm_loadu_si128(table.as_ptr().cast()) };
     _mm256_broadcastsi128_si256(t)
 }
 
 /// The paper's 5-instruction non-overlapping-groups classification for one
 /// 32-byte vector: two shuffles, a simulated per-byte right shift, and a
 /// byte equality compare.
+///
+/// # Safety
+///
+/// The CPU must support AVX2. Pure register arithmetic — no memory access.
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn lookup_eq_vec(src: __m256i, ltab: __m256i, utab: __m256i) -> __m256i {
@@ -76,6 +103,10 @@ unsafe fn lookup_eq_vec(src: __m256i, ltab: __m256i, utab: __m256i) -> __m256i {
 }
 
 /// The few-groups variant: OR the lookups and compare against all-ones.
+///
+/// # Safety
+///
+/// The CPU must support AVX2. Pure register arithmetic — no memory access.
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn lookup_or_vec(src: __m256i, ltab: __m256i, utab: __m256i) -> __m256i {
@@ -94,13 +125,19 @@ unsafe fn lookup_or_vec(src: __m256i, ltab: __m256i, utab: __m256i) -> __m256i {
 #[inline]
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn lookup_eq_mask(block: &Block, tables: &TablePair) -> u64 {
-    let ltab = broadcast_table(&tables.ltab);
-    let utab = broadcast_table(&tables.utab);
-    let lo = _mm256_loadu_si256(block.as_ptr().cast());
-    let hi = _mm256_loadu_si256(block.as_ptr().add(32).cast());
-    let lo_mask = _mm256_movemask_epi8(lookup_eq_vec(lo, ltab, utab)) as u32;
-    let hi_mask = _mm256_movemask_epi8(lookup_eq_vec(hi, ltab, utab)) as u32;
-    u64::from(lo_mask) | (u64::from(hi_mask) << 32)
+    // SAFETY: `tables.ltab`/`utab` are 16-byte arrays; `block` is a
+    // 64-byte array, so the loads at offsets 0 and 32 stay inside it.
+    // `lookup_eq_vec` is register-only; avx2 is this fn's own contract.
+    unsafe {
+        let ltab = broadcast_table(&tables.ltab);
+        let utab = broadcast_table(&tables.utab);
+        let lo = _mm256_loadu_si256(block.as_ptr().cast());
+        // SAFETY: offset 32 keeps the second half inside the 64-byte block.
+        let hi = _mm256_loadu_si256(block.as_ptr().add(32).cast());
+        let lo_mask = _mm256_movemask_epi8(lookup_eq_vec(lo, ltab, utab)) as u32;
+        let hi_mask = _mm256_movemask_epi8(lookup_eq_vec(hi, ltab, utab)) as u32;
+        u64::from(lo_mask) | (u64::from(hi_mask) << 32)
+    }
 }
 
 /// Few-groups classification of a 64-byte block.
@@ -111,13 +148,18 @@ pub(crate) unsafe fn lookup_eq_mask(block: &Block, tables: &TablePair) -> u64 {
 #[inline]
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn lookup_or_mask(block: &Block, tables: &TablePair) -> u64 {
-    let ltab = broadcast_table(&tables.ltab);
-    let utab = broadcast_table(&tables.utab);
-    let lo = _mm256_loadu_si256(block.as_ptr().cast());
-    let hi = _mm256_loadu_si256(block.as_ptr().add(32).cast());
-    let lo_mask = _mm256_movemask_epi8(lookup_or_vec(lo, ltab, utab)) as u32;
-    let hi_mask = _mm256_movemask_epi8(lookup_or_vec(hi, ltab, utab)) as u32;
-    u64::from(lo_mask) | (u64::from(hi_mask) << 32)
+    // SAFETY: same bounds as `lookup_eq_mask` — 16-byte tables, 64-byte
+    // block, register-only combine; avx2 is this fn's own contract.
+    unsafe {
+        let ltab = broadcast_table(&tables.ltab);
+        let utab = broadcast_table(&tables.utab);
+        let lo = _mm256_loadu_si256(block.as_ptr().cast());
+        // SAFETY: offset 32 keeps the second half inside the 64-byte block.
+        let hi = _mm256_loadu_si256(block.as_ptr().add(32).cast());
+        let lo_mask = _mm256_movemask_epi8(lookup_or_vec(lo, ltab, utab)) as u32;
+        let hi_mask = _mm256_movemask_epi8(lookup_or_vec(hi, ltab, utab)) as u32;
+        u64::from(lo_mask) | (u64::from(hi_mask) << 32)
+    }
 }
 
 /// Prefix XOR via carry-less multiplication by all-ones (§4.2).
@@ -130,6 +172,8 @@ pub(crate) unsafe fn lookup_or_mask(block: &Block, tables: &TablePair) -> u64 {
 pub(crate) unsafe fn prefix_xor_clmul(m: u64) -> u64 {
     let v = _mm_set_epi64x(0, m as i64);
     let ones = _mm_set1_epi8(-1);
+    // Register-only carry-less multiply — a safe intrinsic here because
+    // this fn itself enables pclmulqdq (target_feature 1.1).
     let product = _mm_clmulepi64_si128::<0>(v, ones);
     _mm_cvtsi128_si64(product) as u64
 }
@@ -151,10 +195,19 @@ pub(crate) unsafe fn quotes4_clmul(
     let mut within = [0u64; SUPERBLOCK_BLOCKS];
     let mut after = [QuoteState::default(); SUPERBLOCK_BLOCKS];
     for i in 0..SUPERBLOCK_BLOCKS {
-        let ptr = chunk.as_ptr().add(i * BLOCK_SIZE);
-        let backslash = eq_mask_ptr(ptr, slash);
-        let quotes = eq_mask_ptr(ptr, quote);
-        within[i] = quotes_from_masks(backslash, quotes, |m| prefix_xor_clmul(m), state);
+        debug_assert!(
+            (i + 1) * BLOCK_SIZE <= chunk.len(),
+            "block stays inside the superblock"
+        );
+        // SAFETY: `chunk` is a 256-byte array and `i < 4`, so the 64
+        // bytes at offset `i * 64` are inside it; avx2/pclmulqdq are this
+        // fn's own contract.
+        unsafe {
+            let ptr = chunk.as_ptr().add(i * BLOCK_SIZE);
+            let backslash = eq_mask_ptr(ptr, slash);
+            let quotes = eq_mask_ptr(ptr, quote);
+            within[i] = quotes_from_masks(backslash, quotes, |m| prefix_xor_clmul(m), state);
+        }
         after[i] = *state;
     }
     (within, after)
@@ -177,10 +230,19 @@ pub(crate) unsafe fn quotes4_noclmul(
     let mut within = [0u64; SUPERBLOCK_BLOCKS];
     let mut after = [QuoteState::default(); SUPERBLOCK_BLOCKS];
     for i in 0..SUPERBLOCK_BLOCKS {
-        let ptr = chunk.as_ptr().add(i * BLOCK_SIZE);
-        let backslash = eq_mask_ptr(ptr, slash);
-        let quotes = eq_mask_ptr(ptr, quote);
-        within[i] = quotes_from_masks(backslash, quotes, crate::swar::prefix_xor, state);
+        debug_assert!(
+            (i + 1) * BLOCK_SIZE <= chunk.len(),
+            "block stays inside the superblock"
+        );
+        // SAFETY: `chunk` is a 256-byte array and `i < 4`, so the 64
+        // bytes at offset `i * 64` are inside it; avx2 is this fn's own
+        // contract. The prefix fold is the safe scalar shift-XOR.
+        unsafe {
+            let ptr = chunk.as_ptr().add(i * BLOCK_SIZE);
+            let backslash = eq_mask_ptr(ptr, slash);
+            let quotes = eq_mask_ptr(ptr, quote);
+            within[i] = quotes_from_masks(backslash, quotes, crate::swar::prefix_xor, state);
+        }
         after[i] = *state;
     }
     (within, after)
@@ -208,8 +270,15 @@ pub(crate) unsafe fn find_pair(
     let nl = _mm256_set1_epi8(last as i8);
     let mut at = start;
     while at + gap + BLOCK_SIZE <= hay.len() {
-        let a = eq_mask_ptr(hay.as_ptr().add(at), nf);
-        let b = eq_mask_ptr(hay.as_ptr().add(at + gap), nl);
+        debug_assert!(at + BLOCK_SIZE <= hay.len() && at + gap + BLOCK_SIZE <= hay.len());
+        // SAFETY: the loop condition guarantees both 64-byte windows — at
+        // offsets `at` and `at + gap` — end at or before `hay.len()`.
+        let (a, b) = unsafe {
+            (
+                eq_mask_ptr(hay.as_ptr().add(at), nf),
+                eq_mask_ptr(hay.as_ptr().add(at + gap), nl),
+            )
+        };
         let candidates = a & b;
         if candidates != 0 {
             return Ok(at + candidates.trailing_zeros() as usize);

@@ -10,6 +10,11 @@
 //!
 //! Functions here require runtime detection of `avx512f` + `avx512bw`
 //! (plus `pclmulqdq` for the prefix XOR); [`crate::Simd`] guarantees it.
+//!
+//! Unsafety discipline (DESIGN.md §9): `unsafe_op_in_unsafe_fn` is denied,
+//! so every memory-touching intrinsic and pointer offset sits in its own
+//! `unsafe` block with a `SAFETY:` comment, and pointer arithmetic is
+//! paired with `debug_assert!`s stating the bound it relies on.
 
 #![cfg(target_arch = "x86_64")]
 
@@ -26,7 +31,9 @@ use core::arch::x86_64::*;
 #[inline]
 #[target_feature(enable = "avx512f", enable = "avx512bw")]
 pub(crate) unsafe fn eq_mask(block: &Block, byte: u8) -> u64 {
-    let src = _mm512_loadu_si512(block.as_ptr().cast());
+    // SAFETY: `block` is a 64-byte array, exactly one unaligned 512-bit
+    // load from its base pointer.
+    let src = unsafe { _mm512_loadu_si512(block.as_ptr().cast()) };
     _mm512_cmpeq_epi8_mask(src, _mm512_set1_epi8(byte as i8))
 }
 
@@ -38,7 +45,9 @@ pub(crate) unsafe fn eq_mask(block: &Block, byte: u8) -> u64 {
 #[inline]
 #[target_feature(enable = "avx512f", enable = "avx512bw")]
 pub(crate) unsafe fn eq_mask2(block: &Block, a: u8, b: u8) -> (u64, u64) {
-    let src = _mm512_loadu_si512(block.as_ptr().cast());
+    // SAFETY: `block` is a 64-byte array, exactly one unaligned 512-bit
+    // load from its base pointer.
+    let src = unsafe { _mm512_loadu_si512(block.as_ptr().cast()) };
     (
         _mm512_cmpeq_epi8_mask(src, _mm512_set1_epi8(a as i8)),
         _mm512_cmpeq_epi8_mask(src, _mm512_set1_epi8(b as i8)),
@@ -46,10 +55,16 @@ pub(crate) unsafe fn eq_mask2(block: &Block, a: u8, b: u8) -> (u64, u64) {
 }
 
 /// Broadcasts a 16-byte table to all four 128-bit lanes.
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F.
 #[inline]
 #[target_feature(enable = "avx512f")]
 unsafe fn broadcast_table(table: &[u8; 16]) -> __m512i {
-    let t = _mm_loadu_si128(table.as_ptr().cast());
+    // SAFETY: `table` is a 16-byte array, exactly one unaligned 128-bit
+    // load.
+    let t = unsafe { _mm_loadu_si128(table.as_ptr().cast()) };
     _mm512_broadcast_i32x4(t)
 }
 
@@ -61,9 +76,16 @@ unsafe fn broadcast_table(table: &[u8; 16]) -> __m512i {
 #[inline]
 #[target_feature(enable = "avx512f", enable = "avx512bw")]
 pub(crate) unsafe fn lookup_eq_mask(block: &Block, tables: &TablePair) -> u64 {
-    let ltab = broadcast_table(&tables.ltab);
-    let utab = broadcast_table(&tables.utab);
-    let src = _mm512_loadu_si512(block.as_ptr().cast());
+    // SAFETY: `tables.ltab`/`utab` are 16-byte arrays and `block` is a
+    // 64-byte array — all three loads stay inside their sources; avx512f
+    // is this fn's own contract.
+    let (ltab, utab, src) = unsafe {
+        (
+            broadcast_table(&tables.ltab),
+            broadcast_table(&tables.utab),
+            _mm512_loadu_si512(block.as_ptr().cast()),
+        )
+    };
     let usrc = _mm512_and_si512(_mm512_srli_epi16::<4>(src), _mm512_set1_epi8(0x0F));
     let llookup = _mm512_shuffle_epi8(ltab, src);
     let ulookup = _mm512_shuffle_epi8(utab, usrc);
@@ -78,9 +100,15 @@ pub(crate) unsafe fn lookup_eq_mask(block: &Block, tables: &TablePair) -> u64 {
 #[inline]
 #[target_feature(enable = "avx512f", enable = "avx512bw")]
 pub(crate) unsafe fn lookup_or_mask(block: &Block, tables: &TablePair) -> u64 {
-    let ltab = broadcast_table(&tables.ltab);
-    let utab = broadcast_table(&tables.utab);
-    let src = _mm512_loadu_si512(block.as_ptr().cast());
+    // SAFETY: same bounds as `lookup_eq_mask` — 16-byte tables, 64-byte
+    // block; avx512f is this fn's own contract.
+    let (ltab, utab, src) = unsafe {
+        (
+            broadcast_table(&tables.ltab),
+            broadcast_table(&tables.utab),
+            _mm512_loadu_si512(block.as_ptr().cast()),
+        )
+    };
     let usrc = _mm512_and_si512(_mm512_srli_epi16::<4>(src), _mm512_set1_epi8(0x0F));
     let llookup = _mm512_shuffle_epi8(ltab, src);
     let ulookup = _mm512_shuffle_epi8(utab, usrc);
@@ -104,15 +132,24 @@ pub(crate) unsafe fn quotes4_clmul(
     let mut within = [0u64; SUPERBLOCK_BLOCKS];
     let mut after = [QuoteState::default(); SUPERBLOCK_BLOCKS];
     for i in 0..SUPERBLOCK_BLOCKS {
-        let src = _mm512_loadu_si512(chunk.as_ptr().add(i * BLOCK_SIZE).cast());
-        let backslash = _mm512_cmpeq_epi8_mask(src, slash);
-        let quotes = _mm512_cmpeq_epi8_mask(src, quote);
-        within[i] = quotes_from_masks(
-            backslash,
-            quotes,
-            |m| crate::avx2::prefix_xor_clmul(m),
-            state,
+        debug_assert!(
+            (i + 1) * BLOCK_SIZE <= chunk.len(),
+            "block stays inside the superblock"
         );
+        // SAFETY: `chunk` is a 256-byte array and `i < 4`, so the 64
+        // bytes at offset `i * 64` are inside it; pclmulqdq (required by
+        // `prefix_xor_clmul`) is this fn's own contract.
+        unsafe {
+            let src = _mm512_loadu_si512(chunk.as_ptr().add(i * BLOCK_SIZE).cast());
+            let backslash = _mm512_cmpeq_epi8_mask(src, slash);
+            let quotes = _mm512_cmpeq_epi8_mask(src, quote);
+            within[i] = quotes_from_masks(
+                backslash,
+                quotes,
+                |m| crate::avx2::prefix_xor_clmul(m),
+                state,
+            );
+        }
         after[i] = *state;
     }
     (within, after)
@@ -134,10 +171,19 @@ pub(crate) unsafe fn quotes4_noclmul(
     let mut within = [0u64; SUPERBLOCK_BLOCKS];
     let mut after = [QuoteState::default(); SUPERBLOCK_BLOCKS];
     for i in 0..SUPERBLOCK_BLOCKS {
-        let src = _mm512_loadu_si512(chunk.as_ptr().add(i * BLOCK_SIZE).cast());
-        let backslash = _mm512_cmpeq_epi8_mask(src, slash);
-        let quotes = _mm512_cmpeq_epi8_mask(src, quote);
-        within[i] = quotes_from_masks(backslash, quotes, crate::swar::prefix_xor, state);
+        debug_assert!(
+            (i + 1) * BLOCK_SIZE <= chunk.len(),
+            "block stays inside the superblock"
+        );
+        // SAFETY: `chunk` is a 256-byte array and `i < 4`, so the 64
+        // bytes at offset `i * 64` are inside it. The prefix fold is the
+        // safe scalar shift-XOR.
+        unsafe {
+            let src = _mm512_loadu_si512(chunk.as_ptr().add(i * BLOCK_SIZE).cast());
+            let backslash = _mm512_cmpeq_epi8_mask(src, slash);
+            let quotes = _mm512_cmpeq_epi8_mask(src, quote);
+            within[i] = quotes_from_masks(backslash, quotes, crate::swar::prefix_xor, state);
+        }
         after[i] = *state;
     }
     (within, after)
@@ -160,8 +206,15 @@ pub(crate) unsafe fn find_pair(
     let nl = _mm512_set1_epi8(last as i8);
     let mut at = start;
     while at + gap + BLOCK_SIZE <= hay.len() {
-        let a = _mm512_loadu_si512(hay.as_ptr().add(at).cast());
-        let b = _mm512_loadu_si512(hay.as_ptr().add(at + gap).cast());
+        debug_assert!(at + BLOCK_SIZE <= hay.len() && at + gap + BLOCK_SIZE <= hay.len());
+        // SAFETY: the loop condition guarantees both 64-byte windows — at
+        // offsets `at` and `at + gap` — end at or before `hay.len()`.
+        let (a, b) = unsafe {
+            (
+                _mm512_loadu_si512(hay.as_ptr().add(at).cast()),
+                _mm512_loadu_si512(hay.as_ptr().add(at + gap).cast()),
+            )
+        };
         let candidates = _mm512_cmpeq_epi8_mask(a, nf) & _mm512_cmpeq_epi8_mask(b, nl);
         if candidates != 0 {
             return Ok(at + candidates.trailing_zeros() as usize);

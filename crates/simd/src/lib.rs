@@ -95,6 +95,40 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    /// Parses the names printed by `Display` (case-insensitive) — the
+    /// accepted values of the `RSQ_BACKEND` environment override.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("avx512") {
+            Ok(BackendKind::Avx512)
+        } else if s.eq_ignore_ascii_case("avx2") {
+            Ok(BackendKind::Avx2)
+        } else if s.eq_ignore_ascii_case("swar") {
+            Ok(BackendKind::Swar)
+        } else {
+            Err(format!(
+                "unknown backend `{s}` (expected `avx512`, `avx2`, or `swar`)"
+            ))
+        }
+    }
+}
+
+/// The `RSQ_BACKEND` environment override, read and parsed once per
+/// process. An invalid value panics — an explicit override silently
+/// falling back to auto-detection would defeat its purpose (comparing
+/// backends or forcing the portable path in CI).
+fn env_override() -> Option<BackendKind> {
+    static OVERRIDE: std::sync::OnceLock<Option<BackendKind>> = std::sync::OnceLock::new();
+    *OVERRIDE.get_or_init(|| match std::env::var("RSQ_BACKEND") {
+        Ok(value) if !value.is_empty() => {
+            Some(value.parse().unwrap_or_else(|e| panic!("RSQ_BACKEND: {e}")))
+        }
+        _ => None,
+    })
+}
+
 /// A handle to the selected SIMD backend.
 ///
 /// `Simd` is a small `Copy` token passed to every block-level primitive.
@@ -108,8 +142,25 @@ pub struct Simd {
 
 impl Simd {
     /// Detects the best backend available on the running CPU.
+    ///
+    /// Honors the `RSQ_BACKEND` environment variable (`avx512`, `avx2`,
+    /// or `swar`) as an explicit override — useful for A/B-comparing
+    /// backends on the same machine and for forcing the portable path in
+    /// CI; panics if the named backend is unsupported here or unknown.
+    /// Under Miri the portable SWAR backend is always selected: Miri
+    /// interprets Rust, not vendor intrinsics, and this fallback is what
+    /// makes the whole engine Miri-checkable (DESIGN.md §9).
     #[must_use]
     pub fn detect() -> Self {
+        if cfg!(miri) {
+            return Simd {
+                kind: BackendKind::Swar,
+                clmul: false,
+            };
+        }
+        if let Some(kind) = env_override() {
+            return Simd::with_kind(kind);
+        }
         #[cfg(target_arch = "x86_64")]
         {
             if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {

@@ -1,0 +1,96 @@
+//! Dispatch-boundary tests (DESIGN.md §9): the backend chosen by
+//! [`Simd::detect`] must agree with what `is_x86_feature_detected!`
+//! reports, and every backend the host supports must be constructible and
+//! produce identical masks on the block primitives.
+//!
+//! The `RSQ_BACKEND` environment override has its own integration test
+//! binary (`env_override.rs`) because the override is latched once per
+//! process.
+
+use rsq_simd::{BackendKind, QuoteState, Simd, BLOCK_SIZE, SUPERBLOCK_SIZE};
+
+/// Backends the host CPU can actually run.
+fn supported() -> Vec<BackendKind> {
+    let mut kinds = vec![BackendKind::Swar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            kinds.push(BackendKind::Avx2);
+        }
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {
+            kinds.push(BackendKind::Avx512);
+        }
+    }
+    kinds
+}
+
+#[test]
+fn detect_matches_feature_detection() {
+    let detected = Simd::detect().kind();
+    #[cfg(target_arch = "x86_64")]
+    {
+        let expected =
+            if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {
+                BackendKind::Avx512
+            } else if is_x86_feature_detected!("avx2") {
+                BackendKind::Avx2
+            } else {
+                BackendKind::Swar
+            };
+        assert_eq!(detected, expected);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    assert_eq!(detected, BackendKind::Swar);
+}
+
+#[test]
+fn every_supported_backend_is_constructible() {
+    for kind in supported() {
+        assert_eq!(Simd::with_kind(kind).kind(), kind);
+    }
+}
+
+#[test]
+fn backend_names_round_trip_through_fromstr() {
+    for kind in [BackendKind::Avx512, BackendKind::Avx2, BackendKind::Swar] {
+        let parsed: BackendKind = kind.to_string().parse().expect("display name parses");
+        assert_eq!(parsed, kind);
+        let upper: BackendKind = kind
+            .to_string()
+            .to_uppercase()
+            .parse()
+            .expect("case-insensitive");
+        assert_eq!(upper, kind);
+    }
+    assert!("neon".parse::<BackendKind>().is_err());
+    assert!("".parse::<BackendKind>().is_err());
+}
+
+#[test]
+fn block_primitives_agree_across_supported_backends() {
+    let mut block = [0u8; BLOCK_SIZE];
+    for (i, b) in block.iter_mut().enumerate() {
+        *b = (i as u8).wrapping_mul(37) ^ b'"';
+    }
+    let mut chunk = [0u8; SUPERBLOCK_SIZE];
+    for (i, b) in chunk.iter_mut().enumerate() {
+        *b = [b'"', b'\\', b'{', b'x'][i % 4];
+    }
+
+    let reference = Simd::with_kind(BackendKind::Swar);
+    let want_eq = reference.eq_mask(&block, b'"');
+    let mut ref_state = QuoteState::default();
+    let want_quotes = reference.classify_quotes4(&chunk, &mut ref_state);
+
+    for kind in supported() {
+        let simd = Simd::with_kind(kind);
+        assert_eq!(simd.eq_mask(&block, b'"'), want_eq, "eq_mask on {kind}");
+        let mut state = QuoteState::default();
+        assert_eq!(
+            simd.classify_quotes4(&chunk, &mut state),
+            want_quotes,
+            "classify_quotes4 on {kind}"
+        );
+        assert_eq!(state, ref_state, "quote state after superblock on {kind}");
+    }
+}

@@ -121,16 +121,18 @@ impl<T, const N: usize> StackVec<T, N> {
     fn spill_and_push(&mut self, value: T) {
         let mut vec = Vec::with_capacity(N * 2);
         if let Repr::Inline { buf, len } = &mut self.repr {
-            for slot in buf.iter().take(*len) {
-                // SAFETY: the first `len` slots are initialized; we take
-                // ownership of each exactly once and then forget the buffer
-                // by overwriting `self.repr` with the heap variant (the
-                // inline variant is dropped, but `Drop` for `StackVec`
-                // consults `len`, and plain `Repr` has no `Drop` glue for
-                // `MaybeUninit` slots, so no double-drop occurs).
+            // Panic safety: zero `len` *before* moving anything out. If a
+            // panic unwound mid-loop with `len` still set, `Drop` for
+            // `StackVec` would drop slots whose contents were already
+            // moved into `vec` — a double drop. With `len` zeroed first
+            // the worst case is a leak of the not-yet-moved tail.
+            let count = std::mem::take(len);
+            for slot in buf.iter().take(count) {
+                // SAFETY: the first `count` slots were initialized (they
+                // were within the old `len`), and with `len` now 0 each is
+                // read exactly once — nothing else will drop or read them.
                 vec.push(unsafe { slot.assume_init_read() });
             }
-            *len = 0; // the moved-out elements must not be dropped again
         }
         vec.push(value);
         self.repr = Repr::Heap(vec);
@@ -443,6 +445,49 @@ mod tests {
             assert_eq!(drops.get(), 4);
         }
         assert_eq!(drops.get(), 5);
+    }
+
+    /// Counts drops and optionally panics in `Drop` — exercises the
+    /// unwind paths through `truncate`/`Drop` (DESIGN.md §9).
+    struct PanicOnDrop<'a> {
+        drops: &'a Cell<usize>,
+        panics: bool,
+    }
+    impl Drop for PanicOnDrop<'_> {
+        fn drop(&mut self) {
+            self.drops.set(self.drops.get() + 1);
+            if self.panics {
+                panic!("drop panic");
+            }
+        }
+    }
+
+    /// Regression test: `len` must shrink *before* an element is dropped
+    /// or moved out (see `truncate`/`spill_and_push`). If it shrank after,
+    /// a panicking `Drop` mid-`truncate` would leave `len` covering the
+    /// already-dropped slot and the `StackVec`'s own `Drop` would free it
+    /// a second time — counted here as a fourth drop.
+    #[test]
+    fn unwind_through_truncate_drops_each_element_once() {
+        let drops = Cell::new(0);
+        let mut v: StackVec<PanicOnDrop<'_>, 4> = StackVec::new();
+        v.push(PanicOnDrop {
+            drops: &drops,
+            panics: false,
+        });
+        v.push(PanicOnDrop {
+            drops: &drops,
+            panics: true,
+        });
+        v.push(PanicOnDrop {
+            drops: &drops,
+            panics: false,
+        });
+        let unwound =
+            std::panic::catch_unwind(core::panic::AssertUnwindSafe(|| v.truncate(0))).is_err();
+        assert!(unwound, "the panicking Drop must propagate");
+        drop(v);
+        assert_eq!(drops.get(), 3, "each element dropped exactly once");
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! The `cargo xtask fuzz-smoke` driver: a bounded, no-nightly stand-in
+//! for the cargo-fuzz targets in `fuzz/`.
+//!
+//! Runs the same differential checks (`rsq-difftest`) over the same
+//! checked-in corpus, then spends the remaining time budget on
+//! deterministic random inputs. Everything is seeded, so a CI failure
+//! reproduces locally with the same `--seed`.
+
+use rsq_difftest::{load_corpus, random_input, random_json, Mismatch, Target, XorShift64};
+use std::time::{Duration, Instant};
+
+/// Options for one smoke run.
+pub struct Options {
+    /// Total wall-clock budget across all targets.
+    pub max_seconds: u64,
+    /// Restrict to one target by name (`classifier_diff`, …).
+    pub target: Option<String>,
+    /// RNG seed for the randomized phase.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_seconds: 20,
+            target: None,
+            seed: 0x5EED_CAFE_F00D_0001,
+        }
+    }
+}
+
+/// Outcome of one smoke run.
+pub struct Report {
+    /// Corpus cases executed (across targets).
+    pub corpus_cases: usize,
+    /// Random cases executed (across targets).
+    pub random_cases: usize,
+    /// Mismatches found (empty on success).
+    pub failures: Vec<Mismatch>,
+}
+
+/// Runs the corpus plus a time-boxed randomized phase for each selected
+/// target. Stops at the first mismatch per target (like a fuzzer crash)
+/// but still runs the remaining targets so one report shows all broken
+/// lanes.
+#[must_use]
+pub fn run(opts: &Options) -> Report {
+    let targets: Vec<Target> = Target::ALL
+        .into_iter()
+        .filter(|t| opts.target.as_deref().is_none_or(|name| t.name() == name))
+        .collect();
+    let mut report = Report {
+        corpus_cases: 0,
+        random_cases: 0,
+        failures: Vec::new(),
+    };
+    if targets.is_empty() {
+        return report;
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(opts.max_seconds);
+    let per_target = Duration::from_secs(opts.max_seconds.max(1)) / targets.len() as u32;
+
+    for target in targets {
+        // Phase 1: the checked-in corpus, always in full.
+        let corpus = load_corpus(target);
+        let mut broken = false;
+        for (name, input) in &corpus {
+            report.corpus_cases += 1;
+            if let Err(mut m) = target.check(input) {
+                m.detail = format!("corpus case `{name}`: {}", m.detail);
+                report.failures.push(m);
+                broken = true;
+                break;
+            }
+        }
+        if broken {
+            continue;
+        }
+
+        // Phase 2: deterministic random inputs until this target's slice
+        // of the budget is spent. Alternate byte-soup (stresses the
+        // classifier/quote kernels) and structured JSON (stresses depth
+        // tracking and the engine).
+        let target_deadline = (Instant::now() + per_target).min(deadline);
+        let mut rng = XorShift64::new(opts.seed ^ target.name().len() as u64);
+        let mut case = 0u64;
+        while Instant::now() < target_deadline {
+            let input = if case.is_multiple_of(2) {
+                random_input(&mut rng, 2048)
+            } else {
+                random_json(&mut rng, 8)
+            };
+            case += 1;
+            report.random_cases += 1;
+            if let Err(mut m) = target.check(&input) {
+                m.detail = format!(
+                    "random case #{case} (seed 0x{seed:016x}): {}",
+                    m.detail,
+                    seed = opts.seed
+                );
+                report.failures.push(m);
+                break;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_second_smoke_is_clean() {
+        let report = run(&Options {
+            max_seconds: 1,
+            target: None,
+            seed: 42,
+        });
+        assert!(
+            report.failures.is_empty(),
+            "differential mismatch: {:?}",
+            report.failures
+        );
+        assert!(report.corpus_cases > 0, "corpus must not be empty");
+        assert!(report.random_cases > 0, "randomized phase must run");
+    }
+
+    #[test]
+    fn unknown_target_filter_runs_nothing() {
+        let report = run(&Options {
+            max_seconds: 1,
+            target: Some("no_such_target".to_owned()),
+            seed: 1,
+        });
+        assert_eq!(report.corpus_cases + report.random_cases, 0);
+    }
+}

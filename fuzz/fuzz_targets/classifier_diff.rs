@@ -1,0 +1,13 @@
+//! Differential target: structural classification masks must be
+//! bit-identical across every backend the host supports (AVX-512, AVX2,
+//! SWAR), on every input byte string.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use rsq_difftest::Target;
+
+fuzz_target!(|data: &[u8]| {
+    if let Err(mismatch) = Target::Classifier.check(data) {
+        panic!("{mismatch:?}");
+    }
+});

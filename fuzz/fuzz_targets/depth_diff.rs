@@ -1,0 +1,12 @@
+//! Differential target: depth-vector computation must agree across
+//! backends and with a scalar re-derivation from the classified masks.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use rsq_difftest::Target;
+
+fuzz_target!(|data: &[u8]| {
+    if let Err(mismatch) = Target::Depth.check(data) {
+        panic!("{mismatch:?}");
+    }
+});

@@ -1,0 +1,14 @@
+//! Differential target: full engine runs over a battery of queries must
+//! return identical results on every backend, and — when the input parses
+//! as JSON without duplicate sibling labels (see DESIGN.md §9) — match a
+//! naive DOM-walking reference interpreter.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use rsq_difftest::Target;
+
+fuzz_target!(|data: &[u8]| {
+    if let Err(mismatch) = Target::Engine.check(data) {
+        panic!("{mismatch:?}");
+    }
+});

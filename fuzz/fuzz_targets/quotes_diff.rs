@@ -1,0 +1,13 @@
+//! Differential target: quote/escape classification (CLMUL prefix-XOR vs
+//! shift-XOR vs SWAR) must agree bit-for-bit, including the carried
+//! quote state at every superblock boundary.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use rsq_difftest::Target;
+
+fuzz_target!(|data: &[u8]| {
+    if let Err(mismatch) = Target::Quotes.check(data) {
+        panic!("{mismatch:?}");
+    }
+});

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, tier-1 tests, and an overflow-checked
-# test pass. Run from anywhere; operates on the workspace root.
+# Local CI gate: formatting, lints, the unsafe audit, tier-1 tests, an
+# overflow-checked test pass, differential fuzz smoke, and (when the
+# host toolchain provides them) Miri and AddressSanitizer lanes.
+# Run from anywhere; operates on the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo xtask audit (unsafe soundness gate)"
+cargo run --quiet --package xtask -- audit
+
+echo "==> cargo clippy (deny warnings, undocumented unsafe blocks)"
+cargo clippy --workspace --all-targets -- -D warnings -W clippy::undocumented-unsafe-blocks
 
 echo "==> cargo clippy with obs-trace (deny warnings)"
 cargo clippy --workspace --all-targets --features rsq-engine/obs-trace -- -D warnings
@@ -24,5 +29,30 @@ echo "==> workspace build + tests with the obs-trace feature (Tier B)"
 cargo build --workspace --features rsq-engine/obs-trace
 cargo test --workspace --features rsq-engine/obs-trace -q
 cargo test -p rsq-obs --features obs-trace -q
+
+echo "==> differential fuzz smoke (30s budget across all targets)"
+cargo run --quiet --package xtask -- fuzz-smoke --max-seconds 30
+
+# Optional lanes: both need components the offline stable image may not
+# ship. Each is gated on a probe so the gate stays green everywhere but
+# runs the deeper check wherever the toolchain allows it.
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  echo "==> Miri lane (kernel + stackvec crates, SWAR fallback)"
+  # Miri interprets Rust, not vendor intrinsics: Simd::detect falls back
+  # to the portable SWAR backend under cfg(miri) (DESIGN.md §9).
+  cargo +nightly miri test -p rsq-stackvec -p rsq-simd -q
+  cargo +nightly miri test -p rsq-difftest -q
+else
+  echo "==> Miri lane skipped (nightly miri not installed)"
+fi
+
+if [ "$(uname -sm)" = "Linux x86_64" ] && rustc +nightly --version >/dev/null 2>&1; then
+  echo "==> AddressSanitizer lane (kernel + stackvec crates)"
+  # --tests only: doctest binaries don't link the ASan runtime.
+  RUSTFLAGS="-Zsanitizer=address" cargo +nightly test \
+    -p rsq-stackvec -p rsq-simd -q --tests --target x86_64-unknown-linux-gnu
+else
+  echo "==> AddressSanitizer lane skipped (needs nightly on x86_64 Linux)"
+fi
 
 echo "CI OK"
