@@ -1,0 +1,491 @@
+//! Sharded multi-document batch execution for the rsq engine.
+//!
+//! The single-document engine ([`rsq_engine::Engine`]) answers one query
+//! over one buffer at peak per-byte throughput; this crate scales that
+//! to *corpora* — a slice of in-memory documents, an NDJSON buffer (one
+//! JSON document per line), or a directory of files — while preserving
+//! the property the rest of the workspace is built on: **the output is
+//! byte-identical to a sequential loop**, no matter how many threads
+//! run.
+//!
+//! Three pieces, all dependency-free std:
+//!
+//! * a compiled-query LRU cache ([`QueryCache`]) keyed by normalized
+//!   query text, so a working set of queries compiles once, not once
+//!   per document;
+//! * an atomic chunk-claiming work queue (one `fetch_add` per claim)
+//!   feeding a fixed pool of [`std::thread::scope`] workers, each with
+//!   its own reusable [`Scratch`](rsq_engine::Scratch) so steady-state
+//!   workers allocate nothing per document beyond the output they keep;
+//! * a deterministic merge: workers tag every result with its document
+//!   index, the merge orders by index, and [`RunStats`] merge with the
+//!   existing commutative `+` — so per-document outputs *and* aggregate
+//!   statistics are independent of scheduling.
+//!
+//! Per-document failures (limit trips, strict-mode rejections) are
+//! *reported*, not fatal: the batch completes and each document's slot
+//! holds either its output or its [`DocError`].
+//!
+//! # Example
+//!
+//! ```
+//! use rsq_batch::{BatchEngine, BatchOptions};
+//!
+//! let engine = BatchEngine::new(BatchOptions::default());
+//! let docs: Vec<&[u8]> = vec![br#"{"a": 1}"#, br#"{"b": {"a": 2}}"#];
+//! let result = engine.run_slices("$..a", &docs).unwrap();
+//! assert_eq!(result.outcomes.len(), 2);
+//! assert_eq!(result.outcomes[0].as_ref().unwrap().count, 1);
+//! assert_eq!(result.counters.documents, 2);
+//! ```
+
+mod cache;
+mod ndjson;
+mod queue;
+
+pub use cache::QueryCache;
+pub use ndjson::split_ndjson;
+
+use queue::WorkQueue;
+use rsq_engine::{Engine, EngineError, EngineOptions, LimitKind, RunError, Scratch};
+use rsq_obs::{BatchCounters, RunStats};
+use std::fs;
+use std::io;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::path::Path;
+use std::sync::Arc;
+use std::thread;
+
+/// Configuration for a [`BatchEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct BatchOptions {
+    /// Worker threads. `0` means auto: one per available CPU.
+    pub threads: usize,
+    /// Documents per work-queue claim. `0` means auto: scaled from the
+    /// corpus size and thread count (roughly four claims per worker,
+    /// capped at 32).
+    pub chunk_docs: usize,
+    /// Engine options applied to every compiled query. Fixed per
+    /// `BatchEngine`, which keeps them out of the cache key.
+    pub engine: EngineOptions,
+    /// Compiled-query cache capacity (distinct resident queries).
+    pub cache_capacity: usize,
+    /// Gather per-run [`RunStats`] and merge them into
+    /// [`BatchResult::stats`]. Off by default: the counting run costs a
+    /// few percent of throughput.
+    pub collect_stats: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            threads: 0,
+            chunk_docs: 0,
+            engine: EngineOptions::default(),
+            cache_capacity: 32,
+            collect_stats: false,
+        }
+    }
+}
+
+/// Output for one successfully processed document.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DocOutput {
+    /// Number of matches.
+    pub count: u64,
+    /// Byte offset of each match, in document order.
+    pub positions: Vec<usize>,
+}
+
+/// Failure class of a [`DocError`] — the batch-side mirror of
+/// [`RunError`], minus the live `io::Error` payload so outcomes stay
+/// clonable and comparable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DocErrorKind {
+    /// The document could not be read (directory mode only).
+    Io,
+    /// A resource limit from [`EngineOptions`] tripped.
+    Limit(LimitKind),
+    /// Strict-mode structural validation rejected the document.
+    Malformed,
+}
+
+/// A per-document failure. Never fatal to the batch: the remaining
+/// documents still run, and this slot records what went wrong here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DocError {
+    /// Failure class.
+    pub kind: DocErrorKind,
+    /// Rendered error message (the underlying [`RunError`]'s `Display`).
+    pub message: String,
+}
+
+impl DocError {
+    fn from_run(err: &RunError) -> Self {
+        let kind = match err {
+            RunError::Io(_) => DocErrorKind::Io,
+            RunError::LimitExceeded { kind, .. } => DocErrorKind::Limit(*kind),
+            RunError::Malformed(_) => DocErrorKind::Malformed,
+        };
+        DocError {
+            kind,
+            message: err.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for DocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DocError {}
+
+/// The result of one batch run.
+#[derive(Clone, Debug, Default)]
+pub struct BatchResult {
+    /// One outcome per input document, **in input order** regardless of
+    /// which shard processed it.
+    pub outcomes: Vec<Result<DocOutput, DocError>>,
+    /// Merged [`RunStats`] across all successful documents (all zeros
+    /// unless [`BatchOptions::collect_stats`] is set).
+    pub stats: RunStats,
+    /// Batch-layer counters: documents, shards, queue claims, cache
+    /// hits/misses.
+    pub counters: BatchCounters,
+}
+
+impl BatchResult {
+    /// Total matches across all successful documents.
+    #[must_use]
+    pub fn total_count(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.as_ref().ok())
+            .fold(0u64, |acc, o| acc.saturating_add(o.count))
+    }
+}
+
+/// A multi-document batch executor: compiled-query cache + worker pool.
+///
+/// One `BatchEngine` owns one [`QueryCache`] and one fixed
+/// [`BatchOptions`] configuration; it is cheap to keep alive across
+/// many batches so the cache pays off. See the [crate
+/// documentation](crate) for the determinism guarantees.
+#[derive(Debug)]
+pub struct BatchEngine {
+    cache: QueryCache,
+    options: BatchOptions,
+}
+
+impl BatchEngine {
+    /// A batch engine with the given configuration and an empty query
+    /// cache.
+    #[must_use]
+    pub fn new(options: BatchOptions) -> Self {
+        BatchEngine {
+            cache: QueryCache::new(options.cache_capacity),
+            options,
+        }
+    }
+
+    /// The compiled-query cache (for hit/miss inspection).
+    #[must_use]
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// The configuration this engine runs with.
+    #[must_use]
+    pub fn options(&self) -> &BatchOptions {
+        &self.options
+    }
+
+    /// Worker count a run will actually use: the configured count, or
+    /// one per available CPU when `threads == 0`.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.options.threads > 0 {
+            self.options.threads
+        } else {
+            thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+
+    /// Runs `query` over every document in `docs`, sharded across the
+    /// worker pool. Outcomes come back in input order, byte-identical to
+    /// a sequential loop over the same documents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] only when the *query* fails to compile;
+    /// per-document failures land in [`BatchResult::outcomes`].
+    pub fn run_slices(&self, query: &str, docs: &[&[u8]]) -> Result<BatchResult, EngineError> {
+        let hits_before = self.cache.hits();
+        let misses_before = self.cache.misses();
+        let engine = self.cache.get_or_compile(query, &self.options.engine)?;
+        let mut result = self.run_compiled(&engine, docs);
+        result.counters.cache_hits = self.cache.hits() - hits_before;
+        result.counters.cache_misses = self.cache.misses() - misses_before;
+        Ok(result)
+    }
+
+    /// Runs `query` over an NDJSON buffer (one JSON document per line,
+    /// split with the quote-aware [`split_ndjson`] scan). Returns the
+    /// byte range of each document alongside the batch result, so
+    /// callers can map outcome `i` back to its line.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_slices`](Self::run_slices).
+    pub fn run_ndjson(
+        &self,
+        query: &str,
+        input: &[u8],
+    ) -> Result<(Vec<Range<usize>>, BatchResult), EngineError> {
+        let ranges = split_ndjson(input);
+        let docs: Vec<&[u8]> = ranges.iter().map(|r| &input[r.clone()]).collect();
+        let result = self.run_slices(query, &docs)?;
+        Ok((ranges, result))
+    }
+
+    /// Runs a compiled engine over the documents, sharded. This is the
+    /// core worker-pool loop shared by every entry point.
+    fn run_compiled(&self, engine: &Arc<Engine>, docs: &[&[u8]]) -> BatchResult {
+        let threads = self.effective_threads().min(docs.len()).max(1);
+        let chunk = if self.options.chunk_docs > 0 {
+            self.options.chunk_docs
+        } else {
+            WorkQueue::auto_chunk(docs.len(), threads)
+        };
+        let queue = WorkQueue::new(docs.len(), chunk);
+        let collect_stats = self.options.collect_stats;
+
+        // Each worker collects (index, outcome) pairs privately and
+        // returns them with its local stats merge — no shared mutable
+        // state, no locks on the hot path. The main thread merges by
+        // index, which makes the output independent of scheduling.
+        type ShardOutput = (Vec<(usize, Result<DocOutput, DocError>)>, RunStats);
+        let shard = |_worker: usize| -> ShardOutput {
+            let mut local: Vec<(usize, Result<DocOutput, DocError>)> = Vec::new();
+            let mut stats = RunStats::default();
+            let mut scratch = Scratch::new();
+            while let Some(range) = queue.claim() {
+                for i in range {
+                    let outcome = run_one(engine, docs[i], &mut scratch, collect_stats, &mut stats);
+                    local.push((i, outcome));
+                }
+            }
+            (local, stats)
+        };
+
+        let mut shards: Vec<ShardOutput> = if threads == 1 {
+            // Run inline: identical code path, no thread spawn overhead.
+            vec![shard(0)]
+        } else {
+            thread::scope(|scope| {
+                let shard = &shard;
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| scope.spawn(move || shard(w)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut result = BatchResult {
+            outcomes: Vec::with_capacity(docs.len()),
+            ..BatchResult::default()
+        };
+        result.outcomes.resize(docs.len(), Ok(DocOutput::default()));
+        for (local, stats) in shards.drain(..) {
+            result.stats += stats;
+            for (i, outcome) in local {
+                if outcome.is_err() {
+                    result.counters.failed_documents += 1;
+                }
+                result.outcomes[i] = outcome;
+            }
+        }
+        result.counters.documents = docs.len() as u64;
+        result.counters.shards = threads as u64;
+        result.counters.queue_claims = queue.claims();
+        result
+    }
+
+    /// Loads every regular file in `dir` (sorted by file name for a
+    /// stable document order) for batch processing: ingest is sequential
+    /// — one disk — and the compute stays parallel via
+    /// [`run_slices`](Self::run_slices) on the returned buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first directory-walk or read error; per-file content
+    /// problems surface later as per-document outcomes.
+    pub fn load_dir(dir: &Path) -> io::Result<Vec<(String, Vec<u8>)>> {
+        let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+        let mut names: Vec<(String, std::path::PathBuf)> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if entry.file_type()?.is_file() {
+                names.push((entry.file_name().to_string_lossy().into_owned(), path));
+            }
+        }
+        names.sort();
+        for (name, path) in names {
+            files.push((name, fs::read(&path)?));
+        }
+        Ok(files)
+    }
+}
+
+/// Runs one document through the engine using the worker's scratch
+/// buffers, producing its outcome and (optionally) accumulating stats.
+fn run_one(
+    engine: &Engine,
+    doc: &[u8],
+    scratch: &mut Scratch,
+    collect_stats: bool,
+    stats: &mut RunStats,
+) -> Result<DocOutput, DocError> {
+    scratch.positions.clear();
+    let run = if collect_stats {
+        engine
+            .try_run_with_stats(doc, &mut scratch.positions)
+            .map(|s| *stats += s)
+    } else {
+        engine.try_run(doc, &mut scratch.positions)
+    };
+    match run {
+        Ok(()) => Ok(DocOutput {
+            count: scratch.positions.len() as u64,
+            // Exact-size clone: the kept output never carries scratch
+            // slack capacity.
+            positions: scratch.positions.as_slice().to_vec(),
+        }),
+        Err(e) => Err(DocError::from_run(&e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_doc_matches_engine() {
+        let doc: &[u8] = br#"{"a": {"b": 1}, "b": [2, {"b": 3}]}"#;
+        let batch = BatchEngine::new(BatchOptions::default());
+        let result = batch.run_slices("$..b", &[doc]).unwrap();
+        let expected = Engine::from_text("$..b")
+            .unwrap()
+            .try_positions(doc)
+            .unwrap();
+        let out = result.outcomes[0].as_ref().unwrap();
+        assert_eq!(out.positions, expected);
+        assert_eq!(out.count, expected.len() as u64);
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let batch = BatchEngine::new(BatchOptions::default());
+        let result = batch.run_slices("$..a", &[]).unwrap();
+        assert!(result.outcomes.is_empty());
+        assert_eq!(result.counters.documents, 0);
+        assert_eq!(result.total_count(), 0);
+    }
+
+    #[test]
+    fn query_compile_error_is_batch_fatal() {
+        let batch = BatchEngine::new(BatchOptions::default());
+        assert!(batch.run_slices("nope", &[b"{}"]).is_err());
+    }
+
+    #[test]
+    fn per_document_failure_does_not_abort() {
+        let options = BatchOptions {
+            engine: EngineOptions {
+                max_matches: Some(2),
+                ..EngineOptions::default()
+            },
+            ..BatchOptions::default()
+        };
+        let batch = BatchEngine::new(options);
+        let many: &[u8] = br#"{"a": 1, "b": {"a": 2}, "c": {"a": 3}}"#;
+        let few: &[u8] = br#"{"a": 1}"#;
+        let result = batch.run_slices("$..a", &[many, few, many]).unwrap();
+        assert!(matches!(
+            result.outcomes[0],
+            Err(DocError {
+                kind: DocErrorKind::Limit(LimitKind::Matches),
+                ..
+            })
+        ));
+        assert_eq!(result.outcomes[1].as_ref().unwrap().count, 1);
+        assert!(result.outcomes[2].is_err());
+        assert_eq!(result.counters.failed_documents, 2);
+        assert_eq!(result.counters.documents, 3);
+    }
+
+    #[test]
+    fn cache_counters_are_per_batch() {
+        let batch = BatchEngine::new(BatchOptions::default());
+        let docs: [&[u8]; 1] = [br#"{"a": 1}"#];
+        let first = batch.run_slices("$..a", &docs).unwrap();
+        assert_eq!(
+            (first.counters.cache_hits, first.counters.cache_misses),
+            (0, 1)
+        );
+        let second = batch.run_slices("$..a", &docs).unwrap();
+        assert_eq!(
+            (second.counters.cache_hits, second.counters.cache_misses),
+            (1, 0)
+        );
+    }
+
+    #[test]
+    fn stats_collection_merges_runs() {
+        let options = BatchOptions {
+            collect_stats: true,
+            ..BatchOptions::default()
+        };
+        let batch = BatchEngine::new(options);
+        let docs: [&[u8]; 3] = [br#"{"a": 1}"#, br#"{"b": {"a": 2}}"#, b"[1, 2]"];
+        let result = batch.run_slices("$..a", &docs).unwrap();
+        let total_bytes: u64 = docs.iter().map(|d| d.len() as u64).sum();
+        assert_eq!(result.stats.bytes, total_bytes);
+        assert_eq!(result.stats.matches, result.total_count());
+    }
+
+    #[test]
+    fn ndjson_entry_point_maps_lines_to_outcomes() {
+        let input = b"{\"a\": 1}\n\n{\"a\": {\"a\": 2}}\n[3]\n";
+        let batch = BatchEngine::new(BatchOptions::default());
+        let (ranges, result) = batch.run_ndjson("$..a", input).unwrap();
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(result.outcomes.len(), 3);
+        assert_eq!(result.outcomes[0].as_ref().unwrap().count, 1);
+        assert_eq!(result.outcomes[1].as_ref().unwrap().count, 2);
+        assert_eq!(result.outcomes[2].as_ref().unwrap().count, 0);
+        assert_eq!(&input[ranges[2].clone()], b"[3]");
+    }
+
+    #[test]
+    fn load_dir_sorts_by_name() {
+        let dir = std::env::temp_dir().join(format!("rsq-batch-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("b.json"), b"[2]").unwrap();
+        fs::write(dir.join("a.json"), b"[1]").unwrap();
+        let files = BatchEngine::load_dir(&dir).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        let names: Vec<&str> = files.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.json", "b.json"]);
+        assert_eq!(files[0].1, b"[1]");
+    }
+}

@@ -1,0 +1,141 @@
+//! Quote-aware NDJSON splitting.
+//!
+//! NDJSON (newline-delimited JSON) carries one document per line. A
+//! syntactically valid JSON document cannot contain a raw newline inside
+//! a string (control characters must be escaped), but a batch layer that
+//! serves untrusted corpora cannot assume validity: a lenient engine run
+//! over a document with a raw `\n` inside a string must still see the
+//! same bytes the producer wrote. The splitter therefore scans with the
+//! same quote/escape automaton the engine's scalar paths use — a `"`
+//! toggles string state unless preceded by an odd run of backslashes —
+//! and treats a newline as a document boundary *only outside strings*.
+//! Braces, brackets, and anything else inside strings never confuse it,
+//! because it never looks at them.
+//!
+//! Blank lines (empty or whitespace-only) are skipped; a trailing `\r`
+//! (CRLF input) is trimmed from each document. Offsets returned are
+//! ranges into the original buffer, so callers can borrow each document
+//! as a subslice without copying.
+
+use std::ops::Range;
+
+/// Splits an NDJSON buffer into one byte range per document.
+///
+/// Newlines inside JSON strings (tracked with a quote/escape scan) do
+/// not split; blank lines are skipped; a trailing `\r` is trimmed from
+/// each line. An unterminated string swallows the rest of the input into
+/// the final document — deterministic, and the lenient engine will
+/// process it best-effort like any other malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let input = b"{\"a\": 1}\n\n{\"b\": \"x\\ny\"}\n";
+/// let docs = rsq_batch::split_ndjson(input);
+/// assert_eq!(docs.len(), 2);
+/// assert_eq!(&input[docs[0].clone()], b"{\"a\": 1}");
+/// ```
+#[must_use]
+pub fn split_ndjson(input: &[u8]) -> Vec<Range<usize>> {
+    let mut docs = Vec::new();
+    let mut start = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in input.iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'\n' => {
+                push_line(input, start, i, &mut docs);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    push_line(input, start, input.len(), &mut docs);
+    docs
+}
+
+/// Appends `input[start..end]` (trailing `\r` trimmed) unless the line is
+/// blank.
+fn push_line(input: &[u8], start: usize, mut end: usize, docs: &mut Vec<Range<usize>>) {
+    if end > start && input[end - 1] == b'\r' {
+        end -= 1;
+    }
+    if input[start..end].iter().any(|b| !b.is_ascii_whitespace()) {
+        docs.push(start..end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(input: &[u8]) -> Vec<&[u8]> {
+        split_ndjson(input).into_iter().map(|r| &input[r]).collect()
+    }
+
+    #[test]
+    fn plain_lines_split_on_newlines() {
+        assert_eq!(
+            lines(b"{\"a\":1}\n[2,3]\ntrue"),
+            [&b"{\"a\":1}"[..], b"[2,3]", b"true"]
+        );
+    }
+
+    #[test]
+    fn blank_lines_and_trailing_newline_are_skipped() {
+        assert_eq!(lines(b"\n\n{\"a\":1}\n   \n\t\n"), [&b"{\"a\":1}"[..]]);
+        assert_eq!(lines(b""), Vec::<&[u8]>::new());
+        assert_eq!(lines(b"\n"), Vec::<&[u8]>::new());
+    }
+
+    #[test]
+    fn crlf_is_trimmed() {
+        assert_eq!(
+            lines(b"{\"a\":1}\r\n{\"b\":2}\r\n"),
+            [&b"{\"a\":1}"[..], b"{\"b\":2}"]
+        );
+    }
+
+    #[test]
+    fn newline_inside_string_does_not_split() {
+        let input = b"{\"a\": \"x\ny\"}\n{\"b\": 2}";
+        assert_eq!(lines(input), [&b"{\"a\": \"x\ny\"}"[..], b"{\"b\": 2}"]);
+    }
+
+    #[test]
+    fn escaped_quote_keeps_string_open_across_newline() {
+        // The string `"x\"` is still open at the newline: no split there.
+        let input = b"{\"a\": \"x\\\"\n\"}\n[1]";
+        assert_eq!(lines(input), [&b"{\"a\": \"x\\\"\n\"}"[..], b"[1]"]);
+    }
+
+    #[test]
+    fn braces_inside_strings_are_ignored() {
+        let input = b"{\"a\": \"}{][\"}\n{\"b\": 1}";
+        assert_eq!(lines(input), [&b"{\"a\": \"}{][\"}"[..], b"{\"b\": 1}"]);
+    }
+
+    #[test]
+    fn even_backslash_run_closes_string() {
+        // `"x\\"` — the backslash is itself escaped, the quote closes.
+        let input = b"{\"a\": \"x\\\\\"}\n[2]";
+        assert_eq!(lines(input), [&b"{\"a\": \"x\\\\\"}"[..], b"[2]"]);
+    }
+
+    #[test]
+    fn unterminated_string_swallows_the_rest() {
+        let input = b"{\"a\": \"open\nstill\nsame doc";
+        assert_eq!(lines(input), [&input[..]]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Atomic chunk-claiming work queue.
+//!
+//! The batch layer shards a corpus of `total` documents across workers
+//! without any locks or channels: the queue is a single [`AtomicUsize`]
+//! cursor into the index space `0..total`, and each worker claims the
+//! next `chunk` indices with one `fetch_add`. Claiming in chunks (rather
+//! than one document at a time) amortizes the atomic traffic while
+//! keeping load balancing fine-grained — a worker stuck on a pathological
+//! document only delays the chunk it already holds, and the rest of the
+//! corpus drains through the other workers.
+//!
+//! Determinism does not depend on the queue at all: workers tag every
+//! result with its document index and the merge step orders by index, so
+//! any interleaving of claims produces byte-identical output.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A lock-free claim queue over the document index space `0..total`.
+#[derive(Debug)]
+pub(crate) struct WorkQueue {
+    next: AtomicUsize,
+    total: usize,
+    chunk: usize,
+    claims: AtomicU64,
+}
+
+impl WorkQueue {
+    /// A queue over `total` documents handing out `chunk`-sized ranges
+    /// (`chunk` is clamped to at least 1).
+    pub(crate) fn new(total: usize, chunk: usize) -> Self {
+        WorkQueue {
+            next: AtomicUsize::new(0),
+            total,
+            chunk: chunk.max(1),
+            claims: AtomicU64::new(0),
+        }
+    }
+
+    /// Picks a chunk size for `total` documents on `threads` workers:
+    /// roughly four claims per worker for balance, capped at 32 so a
+    /// straggler never holds a large tail, floored at 1.
+    pub(crate) fn auto_chunk(total: usize, threads: usize) -> usize {
+        let per_claim = total / (threads.max(1) * 4);
+        per_claim.clamp(1, 32)
+    }
+
+    /// Claims the next range of document indices, or `None` when the
+    /// corpus is exhausted. Each index is handed out exactly once.
+    pub(crate) fn claim(&self) -> Option<Range<usize>> {
+        // fetch_add hands each caller a disjoint starting point; the
+        // cursor may run past `total` (by < chunk per late claimer) but
+        // the range end is clamped, so no index is issued twice or
+        // out of bounds.
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.total {
+            return None;
+        }
+        self.claims.fetch_add(1, Ordering::Relaxed);
+        Some(start..(start + self.chunk).min(self.total))
+    }
+
+    /// Number of successful claims so far (the `queue_claims` counter).
+    pub(crate) fn claims(&self) -> u64 {
+        self.claims.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let queue = WorkQueue::new(10, 3);
+        let mut seen = Vec::new();
+        while let Some(range) = queue.claim() {
+            seen.extend(range);
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(queue.claims(), 4); // 3+3+3+1
+    }
+
+    #[test]
+    fn empty_queue_yields_nothing() {
+        let queue = WorkQueue::new(0, 8);
+        assert!(queue.claim().is_none());
+        assert_eq!(queue.claims(), 0);
+    }
+
+    #[test]
+    fn chunk_zero_is_clamped() {
+        let queue = WorkQueue::new(2, 0);
+        assert_eq!(queue.claim(), Some(0..1));
+        assert_eq!(queue.claim(), Some(1..2));
+        assert!(queue.claim().is_none());
+    }
+
+    #[test]
+    fn auto_chunk_bounds() {
+        assert_eq!(WorkQueue::auto_chunk(0, 4), 1);
+        assert_eq!(WorkQueue::auto_chunk(10, 0), 2); // threads clamped to 1
+        assert_eq!(WorkQueue::auto_chunk(1_000_000, 2), 32);
+        assert_eq!(WorkQueue::auto_chunk(64, 4), 4);
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_space() {
+        let queue = WorkQueue::new(1000, 7);
+        let seen = Mutex::new(vec![false; 1000]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while let Some(range) = queue.claim() {
+                        let mut seen = seen.lock().unwrap();
+                        for i in range {
+                            assert!(!seen[i], "index {i} claimed twice");
+                            seen[i] = true;
+                        }
+                    }
+                });
+            }
+        });
+        assert!(seen.into_inner().unwrap().into_iter().all(|b| b));
+    }
+}

@@ -8,7 +8,12 @@
 //! ```
 //!
 //! Subcommands: `table2`, `table3`, `a`, `b`, `c`, `d`, `appendix-c`,
-//! `semantics`, `ablations`, `stats-overhead`, `all`.
+//! `semantics`, `ablations`, `stats-overhead`, `batch-scaling`, `all`.
+//!
+//! `batch-scaling` sweeps worker threads over an NDJSON corpus through
+//! `rsq-batch`; the sweep's upper bound is the host's available
+//! parallelism, overridable with `RSQ_BENCH_MAX_THREADS` (useful on
+//! CI runners that report a single CPU).
 //!
 //! `--json <path>` additionally writes a machine-readable report: one row
 //! per measured configuration with throughput and (for rsq runs) the Tier A
@@ -63,6 +68,7 @@ fn main() {
             "semantics" => semantics(),
             "ablations" => ablations(&mut report),
             "stats-overhead" => stats_overhead(&mut report),
+            "batch-scaling" => batch_scaling(&mut report),
             "all" => {
                 table2();
                 table3();
@@ -74,6 +80,7 @@ fn main() {
                 semantics();
                 ablations(&mut report);
                 stats_overhead(&mut report);
+                batch_scaling(&mut report);
             }
             other => {
                 eprintln!("unknown subcommand {other:?}");
@@ -217,6 +224,7 @@ fn run_table(title: &str, experiment: &str, entries: &[&str], report: &mut Repor
                 input_bytes: dataset(entry.dataset).len() as u64,
                 count: m.count,
                 gbps: m.gbps,
+                speedup: None,
                 stats: Some(run_stats(&entry)),
             });
         }
@@ -295,6 +303,7 @@ fn experiment_d(report: &mut Report) {
             input_bytes: bytes.len() as u64,
             count: m.count,
             gbps: m.gbps,
+            speedup: None,
             stats: Some(stats),
         });
         println!(
@@ -439,11 +448,121 @@ fn ablations(report: &mut Report) {
                 input_bytes: input.len() as u64,
                 count: m.count,
                 gbps: m.gbps,
+                speedup: None,
                 stats: None,
             });
             print!(" {:>7.2}", m.gbps);
         }
         println!();
+    }
+}
+
+/// Batch scaling: the sharded multi-document engine (`rsq-batch`) over
+/// an NDJSON corpus, sweeping worker-thread counts. Every configuration
+/// must produce outcomes identical to the single-threaded run; the rows
+/// record throughput plus speedup relative to one thread.
+fn batch_scaling(report: &mut Report) {
+    use rsq_batch::{BatchEngine, BatchOptions};
+    heading("Batch scaling: NDJSON corpus, worker threads vs throughput");
+    // Corpus: many small documents of the B1 query's dataset, each
+    // compacted to a single NDJSON line. The per-document size is small
+    // enough that sharding (not one long document) dominates.
+    let entry = by_id("B1").expect("catalog has B1");
+    let total = rsq_datagen::default_target_bytes();
+    let doc_target = 64 * 1024;
+    let doc_count = (total / doc_target).clamp(8, 512);
+    let mut corpus: Vec<u8> = Vec::with_capacity(doc_count * doc_target);
+    for i in 0..doc_count {
+        let doc = entry.dataset.generate(&GenConfig {
+            target_bytes: doc_target,
+            seed: rsq_bench::BENCH_SEED ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        });
+        corpus.extend_from_slice(&rsq_bench::compact_json(doc.as_bytes()));
+        corpus.push(b'\n');
+    }
+    let docs: Vec<&[u8]> = rsq_batch::split_ndjson(&corpus)
+        .into_iter()
+        .map(|r| &corpus[r])
+        .collect();
+    assert_eq!(docs.len(), doc_count, "one NDJSON line per document");
+
+    // Sweep 1..=max workers. The default ceiling is the host's available
+    // parallelism; RSQ_BENCH_MAX_THREADS overrides it (single-CPU CI
+    // runners can still exercise the multi-worker code paths, just
+    // without expecting a speedup).
+    let max_threads = std::env::var("RSQ_BENCH_MAX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let mut sweep: Vec<usize> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+    if !sweep.contains(&max_threads) {
+        sweep.push(max_threads);
+    }
+
+    println!(
+        "{} documents, {:.1} MB; sweeping up to {max_threads} threads",
+        docs.len(),
+        corpus.len() as f64 / 1e6
+    );
+    println!(
+        "{:>8} {:>10} {:>8} {:>8} {:>11} {:>13}",
+        "threads", "matches", "GB/s", "speedup", "cache(h/m)", "queue claims"
+    );
+    let mut baseline: Option<(String, f64)> = None;
+    for &threads in &sweep {
+        let engine = BatchEngine::new(BatchOptions {
+            threads,
+            collect_stats: true,
+            ..BatchOptions::default()
+        });
+        let result = engine
+            .run_slices(entry.query, &docs)
+            .expect("catalog query compiles");
+        // Outcome identity across thread counts (the batch crate's own
+        // tests cover this; re-asserting here keeps the benchmark honest
+        // about what it measures).
+        let fingerprint = format!("{:?}", result.outcomes);
+        let (base_fingerprint, base_gbps) = baseline.get_or_insert((fingerprint.clone(), 0.0));
+        assert_eq!(
+            *base_fingerprint, fingerprint,
+            "batch outcomes changed at {threads} threads"
+        );
+        let m = measure(corpus.len(), REPS, || {
+            engine
+                .run_slices(entry.query, &docs)
+                .expect("catalog query compiles")
+                .total_count()
+        });
+        if *base_gbps == 0.0 {
+            *base_gbps = m.gbps;
+        }
+        let speedup = m.gbps / *base_gbps;
+        report.push(ReportEntry {
+            experiment: "batch-scaling".to_owned(),
+            name: format!("threads-{threads}"),
+            query: Some(entry.query.to_owned()),
+            input_bytes: corpus.len() as u64,
+            count: m.count,
+            gbps: m.gbps,
+            speedup: Some(speedup),
+            stats: Some(result.stats),
+        });
+        println!(
+            "{:>8} {:>10} {:>8.2} {:>7.2}x {:>11} {:>13}",
+            threads,
+            m.count,
+            m.gbps,
+            speedup,
+            format!(
+                "{}/{}",
+                result.counters.cache_hits, result.counters.cache_misses
+            ),
+            result.counters.queue_claims
+        );
     }
 }
 
@@ -490,6 +609,7 @@ fn stats_overhead(report: &mut Report) {
                 input_bytes: input.len() as u64,
                 count: m.count,
                 gbps: m.gbps,
+                speedup: None,
                 stats,
             });
         }

@@ -145,6 +145,45 @@ pub fn run_stats(entry: &CatalogEntry) -> RunStats {
         .expect("catalog run succeeds")
 }
 
+/// Compacts a JSON document to a single line by removing all whitespace
+/// outside strings — the shape NDJSON corpora need, one document per
+/// line.
+///
+/// The scan is quote-aware (a backslash escapes the next byte inside a
+/// string), mirroring the state machine `rsq_batch::split_ndjson` uses
+/// on the other side.
+///
+/// # Examples
+///
+/// ```
+/// let doc = "{\n  \"a b\": [1,\n 2]\n}";
+/// assert_eq!(rsq_bench::compact_json(doc.as_bytes()), b"{\"a b\":[1,2]}");
+/// ```
+#[must_use]
+pub fn compact_json(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut in_string = false;
+    let mut escaped = false;
+    for &b in input {
+        if in_string {
+            out.push(b);
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+        } else if b == b'"' {
+            in_string = true;
+            out.push(b);
+        } else if !matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            out.push(b);
+        }
+    }
+    out
+}
+
 /// One row of a machine-readable benchmark report: an experiment name, a
 /// measured configuration, its throughput, and (for rsq runs) the Tier A
 /// run statistics.
@@ -163,6 +202,9 @@ pub struct ReportEntry {
     pub count: u64,
     /// Throughput in gigabytes per second.
     pub gbps: f64,
+    /// Throughput relative to the experiment's baseline configuration
+    /// (used by `batch-scaling`: speedup vs the single-threaded run).
+    pub speedup: Option<f64>,
     /// Tier A run statistics, when collected for this row.
     pub stats: Option<RunStats>,
 }
@@ -222,6 +264,9 @@ impl Report {
                 ",\"input_bytes\":{},\"count\":{},\"gbps\":{:.6}",
                 e.input_bytes, e.count, e.gbps
             ));
+            if let Some(speedup) = e.speedup {
+                s.push_str(&format!(",\"speedup\":{speedup:.4}"));
+            }
             if let Some(stats) = &e.stats {
                 s.push_str(&format!(",\"stats\":{}", stats.to_json()));
             }
@@ -269,6 +314,7 @@ mod tests {
             input_bytes: 1_000,
             count: 7,
             gbps: 1.25,
+            speedup: None,
             stats: Some(RunStats::default()),
         });
         report.push(ReportEntry {
@@ -278,13 +324,27 @@ mod tests {
             input_bytes: 2_000,
             count: 3,
             gbps: 0.5,
+            speedup: Some(2.0),
             stats: None,
         });
         let json = report.to_json();
         let dom = rsq_json::parse(json.as_bytes()).expect("report JSON parses");
         let text = format!("{dom:?}");
-        for key in ["entries", "experiment", "gbps", "stats", "skips"] {
+        for key in ["entries", "experiment", "gbps", "stats", "skips", "speedup"] {
             assert!(text.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn compact_json_preserves_strings() {
+        // Whitespace inside strings (including an escaped quote before a
+        // space) must survive; everything structural collapses.
+        let doc = br#"{ "a \" b" : [ 1 ,
+            "x y" ] }"#;
+        assert_eq!(compact_json(doc), br#"{"a \" b":[1,"x y"]}"#.to_vec());
+        // An escaped backslash closes the escape: the quote after it ends
+        // the string, and the newline after that is structural.
+        let doc = b"{\"k\":\"v\\\\\"\n}";
+        assert_eq!(compact_json(doc), b"{\"k\":\"v\\\\\"}".to_vec());
     }
 }

@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+use rsq_batch::{BatchEngine, BatchOptions, DocErrorKind};
 use rsq_engine::{CountSink, Engine, EngineOptions, PositionsSink, RunError, RunStats, Sink};
 use rsq_query::Query;
 use std::fmt;
@@ -17,6 +18,8 @@ use std::io::Write;
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "\
 usage: rsq [MODE] [OPTIONS] QUERY [FILE]
+       rsq [MODE] [OPTIONS] --batch-ndjson FILE QUERY
+       rsq [MODE] [OPTIONS] --batch-dir DIR QUERY
        rsq --stats [FILE]
        rsq --compile QUERY
 
@@ -37,11 +40,28 @@ options:
   --stats-json        print run statistics as single-line JSON on stderr
                       (stdout stays result-only either way)
 
-reads from stdin when FILE is omitted (chunked; limits apply while
-bytes arrive)
+batch mode (many documents, sharded across threads; output is printed
+in input order, byte-identical to looping rsq over each document):
+  --batch-ndjson FILE one JSON document per line ('-' reads stdin)
+  --batch-dir DIR     every regular file in DIR, sorted by name
+  --threads N         worker threads (default: one per CPU)
+a failing document is reported on stderr and does not abort the batch;
+the exit code reflects the first failure's class
 
 exit codes: 0 ok, 1 failure, 2 usage, 3 bad query, 4 I/O error,
-5 resource limit exceeded, 6 malformed document";
+5 resource limit exceeded, 6 malformed document
+
+reads from stdin when FILE is omitted (chunked; limits apply while
+bytes arrive)";
+
+/// Where a batch invocation takes its documents from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchSource {
+    /// An NDJSON file, one JSON document per line (`-` = stdin).
+    Ndjson(String),
+    /// Every regular file in a directory, sorted by file name.
+    Dir(String),
+}
 
 /// How run statistics are rendered on stderr.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -150,6 +170,11 @@ pub struct Invocation {
     /// Emit run statistics on stderr after a successful run
     /// (`--stats`/`--stats-json` alongside a query).
     pub stats: Option<StatsFormat>,
+    /// Batch input (`--batch-ndjson`/`--batch-dir`); `None` = single
+    /// document.
+    pub batch: Option<BatchSource>,
+    /// Worker threads for batch mode (`--threads`); 0 = one per CPU.
+    pub threads: usize,
 }
 
 impl Invocation {
@@ -162,6 +187,8 @@ impl Invocation {
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut mode = Mode::Values;
         let mut options = EngineOptions::default();
+        let mut batch: Option<BatchSource> = None;
+        let mut threads: Option<usize> = None;
         let mut saw_stats = false;
         let mut saw_stats_json = false;
         let mut rest: Vec<&str> = Vec::new();
@@ -196,6 +223,12 @@ impl Invocation {
                         options.max_document_bytes = Some(parse_number("--max-bytes", &v?)?);
                     } else if let Some(v) = value_of("--max-matches", flag, &mut it) {
                         options.max_matches = Some(parse_number("--max-matches", &v?)?);
+                    } else if let Some(v) = value_of("--batch-ndjson", flag, &mut it) {
+                        batch = Some(BatchSource::Ndjson(v?));
+                    } else if let Some(v) = value_of("--batch-dir", flag, &mut it) {
+                        batch = Some(BatchSource::Dir(v?));
+                    } else if let Some(v) = value_of("--threads", flag, &mut it) {
+                        threads = Some(parse_number("--threads", &v?)?);
                     } else {
                         return Err(format!("unknown flag {flag}"));
                     }
@@ -224,12 +257,23 @@ impl Invocation {
         if stats.is_some() && matches!(mode, Mode::Stats | Mode::Compile) {
             return Err("--stats-json requires a QUERY to run".to_owned());
         }
+        if threads.is_some() && batch.is_none() {
+            return Err("--threads requires --batch-ndjson or --batch-dir".to_owned());
+        }
+        if batch.is_some() && !matches!(mode, Mode::Values | Mode::Count | Mode::Positions) {
+            return Err(
+                "batch mode supports the default, --count, and --positions modes".to_owned(),
+            );
+        }
+        let threads = threads.unwrap_or(0);
         let invocation = |mode, query: &str, file: Option<&str>| Invocation {
             mode,
             query: query.to_owned(),
             file: file.map(str::to_owned),
             options,
             stats,
+            batch: batch.clone(),
+            threads,
         };
         match mode {
             Mode::Stats => match rest.as_slice() {
@@ -240,6 +284,13 @@ impl Invocation {
             Mode::Compile => match rest.as_slice() {
                 [query] => Ok(invocation(mode, query, None)),
                 _ => Err("--compile takes exactly one QUERY".to_owned()),
+            },
+            _ if batch.is_some() => match rest.as_slice() {
+                [query] => Ok(invocation(mode, query, None)),
+                [_, _] => {
+                    Err("batch mode takes its input from the batch flag, not FILE".to_owned())
+                }
+                _ => Err("expected QUERY".to_owned()),
             },
             _ => match rest.as_slice() {
                 [query] => Ok(invocation(mode, query, None)),
@@ -346,6 +397,9 @@ pub fn run(
         .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))
     };
     let want_stats = invocation.stats.is_some();
+    if let Some(source) = &invocation.batch {
+        return run_batch(invocation, source, out, err);
+    }
     match invocation.mode {
         Mode::Stats => {
             let input = read_input_plain(invocation.file.as_deref())?;
@@ -432,6 +486,112 @@ pub fn run(
                 ))
             }
         }
+    }
+}
+
+/// Executes a batch invocation: documents from the batch source, sharded
+/// across worker threads, results printed **in input order** — stdout is
+/// byte-identical to looping `rsq` over each document sequentially.
+///
+/// A failing document is reported on `err` (`<label>: <message>`) and
+/// does not abort the batch; when any document failed, the returned error
+/// carries the first failure's class so the exit code reflects it.
+fn run_batch(
+    invocation: &Invocation,
+    source: &BatchSource,
+    out: &mut impl Write,
+    err: &mut impl Write,
+) -> Result<(), CliError> {
+    let engine = BatchEngine::new(BatchOptions {
+        threads: invocation.threads,
+        engine: invocation.options,
+        collect_stats: invocation.stats.is_some(),
+        ..BatchOptions::default()
+    });
+
+    // Load the corpus: ingest is sequential (one disk), compute parallel.
+    // Labels name documents in stderr diagnostics: line numbers for
+    // NDJSON, file names for directories.
+    let mut buffers: Vec<Vec<u8>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    match source {
+        BatchSource::Ndjson(path) => {
+            let input = if path == "-" {
+                read_input_plain(None)?
+            } else {
+                read_input_plain(Some(path))?
+            };
+            for range in rsq_batch::split_ndjson(&input) {
+                labels.push(format!("document {}", labels.len() + 1));
+                buffers.push(input[range].to_vec());
+            }
+        }
+        BatchSource::Dir(path) => {
+            let files = BatchEngine::load_dir(std::path::Path::new(path))
+                .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot read {path}: {e}")))?;
+            for (name, bytes) in files {
+                labels.push(name);
+                buffers.push(bytes);
+            }
+        }
+    }
+    let docs: Vec<&[u8]> = buffers.iter().map(Vec::as_slice).collect();
+
+    let result = engine
+        .run_slices(&invocation.query, &docs)
+        .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))?;
+
+    let mut first_failure: Option<CliErrorKind> = None;
+    let mut failed = 0usize;
+    for (i, outcome) in result.outcomes.iter().enumerate() {
+        match outcome {
+            Ok(output) => match invocation.mode {
+                Mode::Count => writeln!(out, "{}", output.count),
+                Mode::Positions => output
+                    .positions
+                    .iter()
+                    .try_for_each(|pos| writeln!(out, "{pos}")),
+                _ => output.positions.iter().try_for_each(|pos| {
+                    let text = node_text(docs[i], *pos).unwrap_or("<malformed>");
+                    writeln!(out, "{text}")
+                }),
+            }
+            .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))?,
+            Err(doc_err) => {
+                failed += 1;
+                let kind = match doc_err.kind {
+                    DocErrorKind::Io => CliErrorKind::Io,
+                    DocErrorKind::Limit(_) => CliErrorKind::Limit,
+                    DocErrorKind::Malformed => CliErrorKind::Malformed,
+                };
+                first_failure.get_or_insert(kind);
+                writeln!(err, "{}: {}", labels[i], doc_err.message).map_err(|e| {
+                    CliError::new(CliErrorKind::Failure, format!("write error: {e}"))
+                })?;
+            }
+        }
+    }
+
+    match invocation.stats {
+        Some(StatsFormat::Json) => writeln!(
+            err,
+            "{{\"batch\":{},\"stats\":{}}}",
+            result.counters.to_json(),
+            result.stats.to_json()
+        ),
+        Some(StatsFormat::Human) => {
+            writeln!(err, "{}", result.counters).and_then(|()| write!(err, "{}", result.stats))
+        }
+        None => Ok(()),
+    }
+    .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))?;
+
+    match first_failure {
+        Some(kind) => Err(CliError::new(
+            kind,
+            format!("{failed} of {} documents failed", result.outcomes.len()),
+        )),
+        None => Ok(()),
     }
 }
 
@@ -597,6 +757,8 @@ mod tests {
                 file: Some(path.to_owned()),
                 options: EngineOptions::default(),
                 stats: None,
+                batch: None,
+                threads: 0,
             };
             assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "2\n");
             assert_eq!(run_to_string(&inv(Mode::Values)).unwrap(), "2\n3\n");
@@ -615,6 +777,8 @@ mod tests {
             file: None,
             options: EngineOptions::default(),
             stats: None,
+            batch: None,
+            threads: 0,
         };
         assert_eq!(
             run(&bad_query, &mut Vec::new(), &mut Vec::new())
@@ -629,6 +793,8 @@ mod tests {
             file: Some("/nonexistent/rsq-test.json".to_owned()),
             options: EngineOptions::default(),
             stats: None,
+            batch: None,
+            threads: 0,
         };
         assert_eq!(
             run(&missing_file, &mut Vec::new(), &mut Vec::new())
@@ -647,6 +813,8 @@ mod tests {
                     ..EngineOptions::default()
                 },
                 stats: None,
+                batch: None,
+                threads: 0,
             };
             assert_eq!(
                 run(&strict, &mut Vec::new(), &mut Vec::new())
@@ -666,6 +834,8 @@ mod tests {
                     ..EngineOptions::default()
                 },
                 stats: None,
+                batch: None,
+                threads: 0,
             };
             assert_eq!(
                 run(&limited, &mut Vec::new(), &mut Vec::new())
@@ -685,6 +855,8 @@ mod tests {
                 file: Some(path.to_owned()),
                 options: EngineOptions::default(),
                 stats: None,
+                batch: None,
+                threads: 0,
             };
             let out = run_to_string(&inv).unwrap();
             assert!(out.contains("nodes     4"), "{out}");
@@ -701,6 +873,8 @@ mod tests {
                 file: Some(path.to_owned()),
                 options: EngineOptions::default(),
                 stats,
+                batch: None,
+                threads: 0,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -722,6 +896,139 @@ mod tests {
     }
 
     #[test]
+    fn parses_batch_flags() {
+        let inv = parse(&[
+            "--count",
+            "--batch-ndjson",
+            "corpus.ndjson",
+            "--threads",
+            "4",
+            "$..a",
+        ])
+        .unwrap();
+        assert_eq!(
+            inv.batch,
+            Some(BatchSource::Ndjson("corpus.ndjson".to_owned()))
+        );
+        assert_eq!(inv.threads, 4);
+        assert_eq!(inv.mode, Mode::Count);
+
+        let dir = parse(&["--batch-dir=docs/", "$..a"]).unwrap();
+        assert_eq!(dir.batch, Some(BatchSource::Dir("docs/".to_owned())));
+        assert_eq!(dir.threads, 0, "auto by default");
+
+        // --threads needs a batch source; batch needs a runnable mode and
+        // takes no FILE positional.
+        assert!(parse(&["--threads", "4", "$..a"]).is_err());
+        assert!(parse(&["--verify", "--batch-ndjson", "x", "$..a"]).is_err());
+        assert!(parse(&["--batch-ndjson", "x", "$..a", "f.json"]).is_err());
+        assert!(parse(&["--batch-ndjson", "x"]).is_err()); // no query
+    }
+
+    #[test]
+    fn batch_ndjson_outputs_in_input_order() {
+        with_temp_file(
+            "{\"a\": 1}\n{\"b\": {\"a\": [2, 3]}}\n{\"c\": 0}\n",
+            |path| {
+                let inv = |mode| Invocation {
+                    mode,
+                    query: "$..a".to_owned(),
+                    file: None,
+                    options: EngineOptions::default(),
+                    stats: None,
+                    batch: Some(BatchSource::Ndjson(path.to_owned())),
+                    threads: 2,
+                };
+                assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "1\n1\n0\n");
+                assert_eq!(
+                    run_to_string(&inv(Mode::Values)).unwrap(),
+                    "1\n[2, 3]\n",
+                    "values in input order, no output for the no-match doc"
+                );
+            },
+        );
+    }
+
+    #[test]
+    fn batch_reports_failures_without_aborting() {
+        with_temp_file("{\"a\": 1, \"b\": {\"a\": 2}}\n{\"a\": 3}\n", |path| {
+            let inv = Invocation {
+                mode: Mode::Count,
+                query: "$..a".to_owned(),
+                file: None,
+                options: EngineOptions {
+                    max_matches: Some(1),
+                    ..EngineOptions::default()
+                },
+                stats: None,
+                batch: Some(BatchSource::Ndjson(path.to_owned())),
+                threads: 1,
+            };
+            let mut out = Vec::new();
+            let mut err = Vec::new();
+            let failure = run(&inv, &mut out, &mut err).unwrap_err();
+            assert_eq!(failure.kind, CliErrorKind::Limit);
+            assert!(failure.message.contains("1 of 2 documents failed"));
+            assert_eq!(out, b"1\n", "the healthy document still prints");
+            let err = String::from_utf8(err).unwrap();
+            assert!(err.starts_with("document 1: "), "{err}");
+        });
+    }
+
+    #[test]
+    fn batch_stats_json_reports_cache_and_merged_stats() {
+        with_temp_file("{\"a\": 1}\n{\"a\": 2}\n", |path| {
+            let inv = Invocation {
+                mode: Mode::Count,
+                query: "$..a".to_owned(),
+                file: None,
+                options: EngineOptions::default(),
+                stats: Some(StatsFormat::Json),
+                batch: Some(BatchSource::Ndjson(path.to_owned())),
+                threads: 1,
+            };
+            let mut out = Vec::new();
+            let mut err = Vec::new();
+            run(&inv, &mut out, &mut err).unwrap();
+            assert_eq!(out, b"1\n1\n");
+            let err = String::from_utf8(err).unwrap();
+            assert_eq!(err.lines().count(), 1, "{err}");
+            assert!(err.contains("\"batch\":{\"documents\":2"), "{err}");
+            assert!(err.contains("\"cache_misses\":1"), "{err}");
+            assert!(err.contains("\"stats\":{"), "{err}");
+            assert!(err.contains("\"matches\":2"), "{err}");
+        });
+    }
+
+    #[test]
+    fn batch_dir_mode_labels_errors_by_file_name() {
+        let dir = std::env::temp_dir().join(format!("rsq-cli-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("1-bad.json"), b"{\"a\": 1, \"a\": 2").unwrap();
+        std::fs::write(dir.join("2-good.json"), b"{\"a\": 1}").unwrap();
+        let inv = Invocation {
+            mode: Mode::Count,
+            query: "$..a".to_owned(),
+            file: None,
+            options: EngineOptions {
+                strict: true,
+                ..EngineOptions::default()
+            },
+            stats: None,
+            batch: Some(BatchSource::Dir(dir.to_str().unwrap().to_owned())),
+            threads: 2,
+        };
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let failure = run(&inv, &mut out, &mut err).unwrap_err();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(failure.kind, CliErrorKind::Malformed);
+        assert_eq!(out, b"1\n", "good file still counted");
+        let err = String::from_utf8(err).unwrap();
+        assert!(err.starts_with("1-bad.json: "), "{err}");
+    }
+
+    #[test]
     fn compile_mode_emits_dot() {
         let inv = Invocation {
             mode: Mode::Compile,
@@ -729,6 +1036,8 @@ mod tests {
             file: None,
             options: EngineOptions::default(),
             stats: None,
+            batch: None,
+            threads: 0,
         };
         let out = run_to_string(&inv).unwrap();
         assert!(out.starts_with("digraph"));

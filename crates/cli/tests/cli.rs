@@ -149,6 +149,99 @@ fn stats_table_goes_to_stderr() {
     assert!(err.contains("matches"), "table on stderr: {err}");
 }
 
+const NDJSON: &[u8] = b"{\"a\": 1, \"b\": {\"a\": 2}}\n{\"c\": 0}\n{\"a\": [3, {\"a\": 4}]}\n";
+
+fn with_temp_ndjson(f: impl FnOnce(&str)) {
+    let path = std::env::temp_dir().join(format!(
+        "rsq-e2e-batch-{}-{:?}.ndjson",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, NDJSON).unwrap();
+    f(path.to_str().unwrap());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn batch_ndjson_matches_sequential_loop_across_thread_counts() {
+    with_temp_ndjson(|path| {
+        // Expected stdout: each line run through rsq individually.
+        let mut expected = String::new();
+        for line in NDJSON.split(|&b| b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            let one = rsq(&["--count", "$..a"], Some(line));
+            assert_eq!(one.status.code(), Some(0));
+            expected.push_str(&stdout(&one));
+        }
+        for threads in ["1", "2", "8"] {
+            let out = rsq(
+                &[
+                    "--count",
+                    "--batch-ndjson",
+                    path,
+                    "--threads",
+                    threads,
+                    "$..a",
+                ],
+                None,
+            );
+            assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+            assert_eq!(stdout(&out), expected, "threads={threads}");
+        }
+    });
+}
+
+#[test]
+fn batch_stats_json_exposes_cache_counters() {
+    with_temp_ndjson(|path| {
+        let out = rsq(
+            &["--count", "--stats-json", "--batch-ndjson", path, "$..a"],
+            None,
+        );
+        assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+        let err = stderr(&out);
+        assert_eq!(err.lines().count(), 1, "single-line JSON: {err}");
+        let parsed = rsq_json::parse(err.trim().as_bytes()).expect("valid JSON");
+        let text = format!("{parsed:?}");
+        for key in [
+            "batch",
+            "documents",
+            "cache_hits",
+            "cache_misses",
+            "stats",
+            "matches",
+        ] {
+            assert!(text.contains(key), "missing key {key} in {err}");
+        }
+    });
+}
+
+#[test]
+fn batch_failing_document_reports_but_does_not_abort() {
+    with_temp_ndjson(|path| {
+        let out = rsq(
+            &[
+                "--count",
+                "--max-matches",
+                "1",
+                "--batch-ndjson",
+                path,
+                "$..a",
+            ],
+            None,
+        );
+        // Docs 1 and 3 trip the 1-match limit; doc 2 still prints its 0.
+        assert_eq!(out.status.code(), Some(5), "stderr: {}", stderr(&out));
+        assert_eq!(stdout(&out), "0\n");
+        let err = stderr(&out);
+        assert!(err.contains("document 1: "), "{err}");
+        assert!(err.contains("document 3: "), "{err}");
+        assert!(err.contains("2 of 3 documents failed"), "{err}");
+    });
+}
+
 #[test]
 fn stats_does_not_corrupt_count_exit_codes() {
     // A tripped limit must still exit 5, with no stats report (the run

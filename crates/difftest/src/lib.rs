@@ -23,7 +23,7 @@
 pub mod oracle;
 
 use rsq_classify::{Structural, StructuralIterator};
-use rsq_engine::{Engine, EngineOptions, RunError};
+use rsq_engine::{Engine, EngineOptions, PositionsSink, RunError};
 use rsq_simd::{
     BackendKind, ByteClassifier, ByteSet, QuoteState, Simd, Superblock, BLOCK_SIZE, SUPERBLOCK_SIZE,
 };
@@ -72,15 +72,19 @@ pub enum Target {
     Depth,
     /// Full engine runs vs the DOM reference interpreter.
     Engine,
+    /// `run_reader` over randomized chunk splits vs the one-shot slice
+    /// run (covers pipeline resume handoffs and the memmem head-start).
+    Reader,
 }
 
 impl Target {
     /// All targets, in the order they are smoke-tested.
-    pub const ALL: [Target; 4] = [
+    pub const ALL: [Target; 5] = [
         Target::Classifier,
         Target::Quotes,
         Target::Depth,
         Target::Engine,
+        Target::Reader,
     ];
 
     /// The target's name: fuzz-target binary and corpus directory name.
@@ -91,6 +95,7 @@ impl Target {
             Target::Quotes => "quotes_diff",
             Target::Depth => "depth_diff",
             Target::Engine => "engine_diff",
+            Target::Reader => "reader_diff",
         }
     }
 
@@ -105,6 +110,7 @@ impl Target {
             Target::Quotes => check_quotes(input),
             Target::Depth => check_depth(input),
             Target::Engine => check_engine(input),
+            Target::Reader => check_reader(input),
         }
     }
 }
@@ -583,6 +589,106 @@ pub fn check_engine(input: &[u8]) -> Result<(), Mismatch> {
                     input,
                     format!(
                         "query {query_text}: engine positions {positions:?} != reference {want:?}",
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The query subset the reader target runs: kept small (the reader path
+/// re-runs the whole battery per chunk plan), but covering the descendant
+/// head-start (`$..a` engages the `memmem` jump), child chains, the
+/// descendant wildcard, and index selection.
+#[must_use]
+pub fn reader_queries() -> &'static [&'static str] {
+    &["$..a", "$.a.b", "$..*", "$..a[1]"]
+}
+
+/// An `io::Read` that fragments its data according to a chunk plan,
+/// cycling through the plan's sizes — so the reader ingest path sees
+/// short reads, block-straddling reads, and everything between.
+struct ChunkedReader<'a> {
+    data: &'a [u8],
+    plan: &'a [usize],
+    step: usize,
+}
+
+impl std::io::Read for ChunkedReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.data.is_empty() {
+            return Ok(0);
+        }
+        let want = self.plan[self.step % self.plan.len()].max(1);
+        self.step += 1;
+        let n = want.min(self.data.len()).min(buf.len());
+        buf[..n].copy_from_slice(&self.data[..n]);
+        self.data = &self.data[n..];
+        Ok(n)
+    }
+}
+
+/// Differentially checks the chunked-reader path: for every query in
+/// [`reader_queries`] and every chunk plan — fixed sizes around the
+/// block/superblock boundaries plus deterministic pseudo-random splits
+/// seeded from the input — `run_reader` must produce a byte-identical
+/// result (positions or error) to the one-shot slice run over the same
+/// bytes. This exercises the classifier pipeline's resume handoffs and
+/// the `memmem` head-start across arbitrary read fragmentation.
+///
+/// Both sides run with an effectively unlimited `max_depth`: the reader
+/// validates the *whole* document's nesting during ingest, while the
+/// slice path only charges nesting it actually traverses (child-skipped
+/// subtrees are free), so a small limit would trip on one side only —
+/// a documented asymmetry, not a bug this check hunts.
+///
+/// # Errors
+///
+/// Returns the first [`Mismatch`] found.
+pub fn check_reader(input: &[u8]) -> Result<(), Mismatch> {
+    let options = EngineOptions {
+        max_depth: 1 << 20,
+        ..EngineOptions::default()
+    };
+
+    // Fixed plans bracket the kernel geometry (single bytes, a 64-byte
+    // block, one past it, a large read); random plans come from the input
+    // itself so every corpus entry explores its own splits.
+    let mut plans: Vec<Vec<usize>> = vec![vec![1], vec![3], vec![64], vec![65], vec![4096]];
+    let seed = input.iter().fold(0x9e37_79b9_7f4a_7c15_u64, |acc, &b| {
+        acc.rotate_left(5) ^ u64::from(b)
+    }) | 1;
+    let mut rng = XorShift64::new(seed);
+    for _ in 0..3 {
+        let len = 1 + rng.below(6);
+        let plan: Vec<usize> = (0..len).map(|_| 1 + rng.below(200)).collect();
+        plans.push(plan);
+    }
+
+    for query_text in reader_queries() {
+        let query = rsq_query::Query::parse(query_text).expect("reader queries parse");
+        let engine = Engine::with_options(&query, options).expect("reader queries compile");
+        let slice_result = engine.try_positions(input);
+        for plan in &plans {
+            let reader = ChunkedReader {
+                data: input,
+                plan,
+                step: 0,
+            };
+            let mut sink = PositionsSink::new();
+            let reader_result = engine
+                .run_reader(reader, &mut sink)
+                .map(|()| sink.into_positions());
+            // RunError wraps io::Error and cannot be PartialEq; Debug
+            // rendering distinguishes every variant.
+            if format!("{reader_result:?}") != format!("{slice_result:?}") {
+                return Err(mismatch(
+                    "reader",
+                    input,
+                    format!(
+                        "query {query_text}, chunk plan {plan:?}: reader got {reader_result:?}, \
+                         slice got {slice_result:?}"
                     ),
                 ));
             }

@@ -57,10 +57,25 @@ pub(crate) fn read_document<R: Read>(
     options: &EngineOptions,
     simd: Simd,
 ) -> Result<Vec<u8>, RunError> {
+    let mut doc = Vec::new();
+    read_document_into(reader, options, simd, &mut doc)?;
+    Ok(doc)
+}
+
+/// Like [`read_document`], but ingests into a caller-provided buffer
+/// (cleared first), so repeated ingests — a batch worker walking a
+/// directory of files — reuse one allocation instead of growing a fresh
+/// `Vec` per document.
+pub(crate) fn read_document_into<R: Read>(
+    reader: &mut R,
+    options: &EngineOptions,
+    simd: Simd,
+    doc: &mut Vec<u8>,
+) -> Result<(), RunError> {
     let mut validator = StructuralValidator::new(simd)
         .strict(options.strict)
         .with_max_depth(options.max_depth);
-    let mut doc = Vec::new();
+    doc.clear();
     let mut chunk = vec![0u8; CHUNK];
     loop {
         match reader.read(&mut chunk) {
@@ -89,7 +104,7 @@ pub(crate) fn read_document<R: Read>(
         }
     }
     validator.finish().map_err(|e| map_validation(e, options))?;
-    Ok(doc)
+    Ok(())
 }
 
 #[cfg(test)]

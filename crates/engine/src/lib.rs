@@ -65,11 +65,13 @@ mod error;
 mod head_start;
 mod input;
 mod main_loop;
+mod scratch;
 mod sink;
 mod util;
 
 pub use depth_stack::{DepthStack, Frame};
 pub use error::{LimitKind, RunError};
+pub use scratch::Scratch;
 pub use sink::{CountSink, PositionsSink, Sink, SinkFull};
 
 // The validation error vocabulary surfaces through `RunError::Malformed`.

@@ -1,0 +1,163 @@
+//! Reusable per-worker scratch buffers for multi-document workloads.
+//!
+//! The engine's matching loops are already allocation-light: the depth
+//! stack, type stack, and index counters live in inline-first
+//! [`StackVec`](rsq_stackvec::StackVec)s and the classifier pipeline's
+//! [`ResumeState`](rsq_classify::ResumeState) handoffs are plain `Copy`
+//! tokens, so a run over one document touches the heap only when nesting
+//! spills past the inline capacity. What *does* allocate per document in
+//! a naive batch loop is everything around the run: a fresh positions
+//! vector per document and a fresh ingest buffer per file.
+//!
+//! [`Scratch`] bundles those two buffers so a worker shard allocates them
+//! once and reuses them for every document it claims (the `rsq-batch`
+//! worker loop does exactly this). The buffers only ever grow, so a
+//! steady-state worker performs zero allocations per document beyond the
+//! per-document output it actually keeps.
+
+use crate::error::RunError;
+use crate::{input, Engine};
+use std::io::Read;
+
+/// Reusable buffers for running one engine over many documents.
+///
+/// See the [module documentation](self) for the rationale. The fields
+/// are public: a caller may use either buffer directly (e.g. format
+/// output into `document` between runs) — the engine only touches them
+/// inside the `*_into` entry points, clearing before use.
+#[derive(Clone, Debug, Default)]
+pub struct Scratch {
+    /// Match-offset buffer reused by [`Engine::try_positions_into`].
+    pub positions: Vec<usize>,
+    /// Document ingest buffer reused by [`Engine::read_document_into`].
+    pub document: Vec<u8>,
+}
+
+impl Scratch {
+    /// Fresh, empty scratch space.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears both buffers, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.positions.clear();
+        self.document.clear();
+    }
+}
+
+impl Engine {
+    /// Like [`try_positions`](Engine::try_positions), but records the
+    /// offsets into a caller-provided vector (cleared first) instead of
+    /// allocating a new one — the allocation-reuse entry point for
+    /// multi-document loops.
+    ///
+    /// On error the vector holds the matches reported before the failure
+    /// (mirroring [`try_run`](Engine::try_run)'s sink semantics).
+    ///
+    /// # Errors
+    ///
+    /// As [`try_run`](Engine::try_run).
+    pub fn try_positions_into(&self, input: &[u8], out: &mut Vec<usize>) -> Result<(), RunError> {
+        out.clear();
+        self.try_run(input, out)
+    }
+
+    /// Like [`read_document`](Engine::read_document), but ingests into a
+    /// caller-provided buffer (cleared first), reusing its capacity
+    /// across documents. Same protections: chunked reads,
+    /// transient-error retry, incremental size/depth limits, strict
+    /// validation while bytes arrive.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_document`](Engine::read_document).
+    pub fn read_document_into<R: Read>(
+        &self,
+        mut reader: R,
+        doc: &mut Vec<u8>,
+    ) -> Result<(), RunError> {
+        input::read_document_into(&mut reader, &self.options, self.simd, doc)
+    }
+
+    /// Runs the query over `input` using `scratch`'s positions buffer and
+    /// returns the recorded offsets as a slice — the one-call form of
+    /// [`try_positions_into`](Engine::try_positions_into) for workers
+    /// that consume the offsets immediately.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_run`](Engine::try_run).
+    pub fn try_positions_scratch<'s>(
+        &self,
+        input: &[u8],
+        scratch: &'s mut Scratch,
+    ) -> Result<&'s [usize], RunError> {
+        self.try_positions_into(input, &mut scratch.positions)?;
+        Ok(&scratch.positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_and_engine_cross_threads() {
+        // The batch worker pool moves a Scratch into each worker and
+        // shares one Engine across all of them.
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Scratch>();
+        assert_send::<Engine>();
+        assert_sync::<Engine>();
+    }
+
+    #[test]
+    fn positions_into_reuses_capacity_and_matches_fresh_run() {
+        let engine = Engine::from_text("$..b").unwrap();
+        let doc1: &[u8] = br#"{"a": [1, {"b": 2}], "b": 3}"#;
+        let doc2: &[u8] = br#"{"b": {"b": 1}}"#;
+        let mut buf = Vec::new();
+        engine.try_positions_into(doc1, &mut buf).unwrap();
+        assert_eq!(buf, engine.try_positions(doc1).unwrap());
+        let cap = buf.capacity();
+        engine.try_positions_into(doc2, &mut buf).unwrap();
+        assert_eq!(buf, engine.try_positions(doc2).unwrap());
+        assert!(buf.capacity() >= cap.min(buf.len()));
+    }
+
+    #[test]
+    fn scratch_slice_form_agrees() {
+        let engine = Engine::from_text("$..b").unwrap();
+        let doc: &[u8] = br#"{"a": {"b": 1}, "b": 2}"#;
+        let mut scratch = Scratch::new();
+        let got = engine.try_positions_scratch(doc, &mut scratch).unwrap();
+        assert_eq!(got, engine.try_positions(doc).unwrap().as_slice());
+    }
+
+    #[test]
+    fn read_document_into_reuses_buffer() {
+        let engine = Engine::from_text("$..a").unwrap();
+        let mut scratch = Scratch::new();
+        engine
+            .read_document_into(&br#"{"a": 1}"#[..], &mut scratch.document)
+            .unwrap();
+        assert_eq!(scratch.document, br#"{"a": 1}"#);
+        engine
+            .read_document_into(&b"[2]"[..], &mut scratch.document)
+            .unwrap();
+        assert_eq!(scratch.document, b"[2]");
+    }
+
+    #[test]
+    fn clear_keeps_nothing_but_capacity() {
+        let mut scratch = Scratch {
+            positions: vec![1, 2, 3],
+            document: b"xyz".to_vec(),
+        };
+        scratch.clear();
+        assert!(scratch.positions.is_empty() && scratch.document.is_empty());
+    }
+}

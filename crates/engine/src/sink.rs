@@ -115,6 +115,19 @@ impl Sink for PositionsSink {
     }
 }
 
+/// A plain `Vec<usize>` is a sink: offsets are appended in document
+/// order. This is the allocation-reuse form of [`PositionsSink`] — a
+/// caller that runs many documents (e.g. a batch worker) clears and
+/// refills one vector instead of constructing a sink per document, so
+/// the buffer's capacity survives across runs.
+impl Sink for Vec<usize> {
+    #[inline]
+    fn record(&mut self, pos: usize) -> Result<(), SinkFull> {
+        self.push(pos);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,150 @@
+//! Batch-execution counters (Tier A).
+//!
+//! [`BatchCounters`] is the batch-layer sibling of [`RunStats`]: plain
+//! saturating `u64` counters describing one multi-document batch run —
+//! how many documents were processed, across how many worker shards, how
+//! many chunks the work queue handed out, and how the compiled-query
+//! cache behaved. `rsq-batch` fills one in per batch; like [`RunStats`],
+//! reports from several batches merge with `+`/`+=`.
+//!
+//! [`RunStats`]: crate::RunStats
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::ops::{Add, AddAssign};
+
+/// Counters describing one batch run over many documents.
+///
+/// All counters saturate instead of wrapping, so accumulation can never
+/// panic (even under `-C overflow-checks=on`) and merged totals are
+/// monotone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchCounters {
+    /// Documents fed to the engine (successful or not).
+    pub documents: u64,
+    /// Documents whose run ended in an error (limit trip, strict-mode
+    /// rejection). These are *reported*, never fatal to the batch.
+    pub failed_documents: u64,
+    /// Worker shards the batch actually ran on.
+    pub shards: u64,
+    /// Chunks claimed from the atomic work queue (load-balance grain).
+    pub queue_claims: u64,
+    /// Compiled-query cache hits: runs that skipped parser + NFA +
+    /// minimization entirely.
+    pub cache_hits: u64,
+    /// Compiled-query cache misses: full compilations performed.
+    pub cache_misses: u64,
+}
+
+impl BatchCounters {
+    /// A zeroed report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serializes the counters as single-line JSON (no trailing newline).
+    ///
+    /// Keys are stable: `documents`, `failed_documents`, `shards`,
+    /// `queue_claims`, `cache_hits`, `cache_misses`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"documents\":{},\"failed_documents\":{},\"shards\":{},\"queue_claims\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+            self.documents,
+            self.failed_documents,
+            self.shards,
+            self.queue_claims,
+            self.cache_hits,
+            self.cache_misses,
+        );
+        s
+    }
+}
+
+impl fmt::Display for BatchCounters {
+    /// Human-readable table (multi-line), for `--stats` output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "documents          {} ({} failed)",
+            self.documents, self.failed_documents
+        )?;
+        writeln!(f, "shards             {}", self.shards)?;
+        writeln!(f, "queue claims       {}", self.queue_claims)?;
+        write!(
+            f,
+            "query cache        {} hits, {} misses",
+            self.cache_hits, self.cache_misses
+        )
+    }
+}
+
+impl AddAssign for BatchCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.documents = self.documents.saturating_add(rhs.documents);
+        self.failed_documents = self.failed_documents.saturating_add(rhs.failed_documents);
+        self.shards = self.shards.saturating_add(rhs.shards);
+        self.queue_claims = self.queue_claims.saturating_add(rhs.queue_claims);
+        self.cache_hits = self.cache_hits.saturating_add(rhs.cache_hits);
+        self.cache_misses = self.cache_misses.saturating_add(rhs.cache_misses);
+    }
+}
+
+impl Add for BatchCounters {
+    type Output = BatchCounters;
+
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_every_counter() {
+        let a = BatchCounters {
+            documents: 10,
+            failed_documents: 1,
+            shards: 4,
+            queue_claims: 7,
+            cache_hits: 2,
+            cache_misses: 1,
+        };
+        let b = BatchCounters {
+            documents: u64::MAX,
+            ..BatchCounters::new()
+        };
+        let sum = a + b;
+        assert_eq!(sum.documents, u64::MAX, "saturating, not wrapping");
+        assert_eq!(sum.shards, 4);
+        assert_eq!(sum.cache_hits, 2);
+    }
+
+    #[test]
+    fn json_has_stable_keys() {
+        let json = BatchCounters::new().to_json();
+        for key in [
+            "documents",
+            "failed_documents",
+            "shards",
+            "queue_claims",
+            "cache_hits",
+            "cache_misses",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "{json}");
+        }
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn display_mentions_cache() {
+        let text = BatchCounters::new().to_string();
+        assert!(text.contains("query cache"), "{text}");
+    }
+}

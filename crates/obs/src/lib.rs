@@ -32,8 +32,10 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod stats;
 
+pub use batch::BatchCounters;
 pub use stats::{BlockStats, ClassifierCounters, NoStats, Recorder, RunStats, SkipStats};
 
 #[cfg(feature = "obs-trace")]

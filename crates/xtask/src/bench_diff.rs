@@ -1,0 +1,301 @@
+//! The `cargo xtask bench-diff` regression gate.
+//!
+//! Compares two `experiments --json` reports (see `rsq-bench`) row by
+//! row — rows are matched on `(experiment, name)` — and flags:
+//!
+//! * **throughput regressions**: `gbps` dropped by more than the
+//!   threshold;
+//! * **skip regressions**: the total skip count (leaf, child, sibling,
+//!   and label, from the optional per-row `stats`) *decreased* by more
+//!   than the threshold — the engine is fast-forwarding less;
+//! * **work regressions**: total blocks classified *increased* by more
+//!   than the threshold — the engine is touching more input.
+//!
+//! Rows present in the old report but missing from the new one are
+//! reported too: a silently dropped experiment must not read as "no
+//! regressions". New rows absent from the old report are informational.
+//!
+//! Skip/work checks only run when *both* rows carry `stats`; throughput
+//! checks always run.
+
+use rsq_json::{ValueKind, ValueNode};
+use std::fmt;
+use std::path::Path;
+
+/// One benchmark row extracted from a report.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The `experiment` field.
+    pub experiment: String,
+    /// The `name` field.
+    pub name: String,
+    /// Throughput in GB/s.
+    pub gbps: f64,
+    /// Total skip events (from `stats.skips`), when the row carries stats.
+    pub skips_total: Option<u64>,
+    /// Total blocks classified (from `stats.blocks_classified.total`),
+    /// when the row carries stats.
+    pub blocks_total: Option<u64>,
+}
+
+/// One detected regression (or report-shape problem).
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// `experiment/name` of the offending row.
+    pub row: String,
+    /// What regressed and by how much.
+    pub detail: String,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.row, self.detail)
+    }
+}
+
+/// The outcome of a report comparison.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Rows compared (present in both reports).
+    pub compared: usize,
+    /// Rows only in the new report (informational, not a failure).
+    pub added: Vec<String>,
+    /// Regressions found (non-empty fails the gate).
+    pub regressions: Vec<Regression>,
+}
+
+/// Reads and flattens a report file into rows.
+///
+/// # Errors
+///
+/// Returns a message when the file is unreadable or not a report shape
+/// this gate understands.
+pub fn load_report(path: &Path) -> Result<Vec<Row>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = rsq_json::parse(&bytes)
+        .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+    let entries =
+        member(&doc, "entries").ok_or_else(|| format!("{}: no `entries` array", path.display()))?;
+    let ValueKind::Array(items) = &entries.kind else {
+        return Err(format!("{}: `entries` is not an array", path.display()));
+    };
+    let mut rows = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let experiment = string_member(item, "experiment")
+            .ok_or_else(|| format!("{}: entry {i} has no `experiment`", path.display()))?;
+        let name = string_member(item, "name")
+            .ok_or_else(|| format!("{}: entry {i} has no `name`", path.display()))?;
+        let gbps = number_member(item, "gbps")
+            .ok_or_else(|| format!("{}: entry {i} has no numeric `gbps`", path.display()))?;
+        let stats = member(item, "stats");
+        let skips_total = stats.and_then(|s| {
+            let skips = member(s, "skips")?;
+            let mut total = 0u64;
+            for key in ["leaf", "child", "sibling", "label"] {
+                total = total.saturating_add(number_member(skips, key)? as u64);
+            }
+            Some(total)
+        });
+        let blocks_total = stats
+            .and_then(|s| member(s, "blocks_classified"))
+            .and_then(|b| number_member(b, "total"))
+            .map(|n| n as u64);
+        rows.push(Row {
+            experiment,
+            name,
+            gbps,
+            skips_total,
+            blocks_total,
+        });
+    }
+    Ok(rows)
+}
+
+/// Compares two row sets; `threshold_pct` is the relative change (in
+/// percent of the old value) beyond which a difference is a regression.
+#[must_use]
+pub fn diff(old: &[Row], new: &[Row], threshold_pct: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+    let find = |rows: &[Row], e: &str, n: &str| -> Option<Row> {
+        rows.iter()
+            .find(|r| r.experiment == e && r.name == n)
+            .cloned()
+    };
+    for old_row in old {
+        let key = format!("{}/{}", old_row.experiment, old_row.name);
+        let Some(new_row) = find(new, &old_row.experiment, &old_row.name) else {
+            report.regressions.push(Regression {
+                row: key,
+                detail: "row missing from the new report".to_owned(),
+            });
+            continue;
+        };
+        report.compared += 1;
+        // Throughput: lower is worse.
+        if old_row.gbps > 0.0 {
+            let drop_pct = (old_row.gbps - new_row.gbps) / old_row.gbps * 100.0;
+            if drop_pct > threshold_pct {
+                report.regressions.push(Regression {
+                    row: key.clone(),
+                    detail: format!(
+                        "throughput dropped {drop_pct:.1}% ({:.3} -> {:.3} GB/s)",
+                        old_row.gbps, new_row.gbps
+                    ),
+                });
+            }
+        }
+        // Skips: fewer fast-forwards is worse.
+        if let (Some(old_skips), Some(new_skips)) = (old_row.skips_total, new_row.skips_total) {
+            if old_skips > 0 {
+                let drop_pct = (old_skips as f64 - new_skips as f64) / old_skips as f64 * 100.0;
+                if drop_pct > threshold_pct {
+                    report.regressions.push(Regression {
+                        row: key.clone(),
+                        detail: format!(
+                            "skip events dropped {drop_pct:.1}% ({old_skips} -> {new_skips})"
+                        ),
+                    });
+                }
+            }
+        }
+        // Blocks classified: more work touched is worse.
+        if let (Some(old_blocks), Some(new_blocks)) = (old_row.blocks_total, new_row.blocks_total) {
+            if old_blocks > 0 {
+                let rise_pct = (new_blocks as f64 - old_blocks as f64) / old_blocks as f64 * 100.0;
+                if rise_pct > threshold_pct {
+                    report.regressions.push(Regression {
+                        row: key.clone(),
+                        detail: format!(
+                            "blocks classified rose {rise_pct:.1}% ({old_blocks} -> {new_blocks})"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for new_row in new {
+        if find(old, &new_row.experiment, &new_row.name).is_none() {
+            report
+                .added
+                .push(format!("{}/{}", new_row.experiment, new_row.name));
+        }
+    }
+    report
+}
+
+fn member<'a>(node: &'a ValueNode, key: &str) -> Option<&'a ValueNode> {
+    if let ValueKind::Object(members) = &node.kind {
+        members.iter().find(|(k, _)| k.text == key).map(|(_, v)| v)
+    } else {
+        None
+    }
+}
+
+fn string_member(node: &ValueNode, key: &str) -> Option<String> {
+    match &member(node, key)?.kind {
+        ValueKind::String(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn number_member(node: &ValueNode, key: &str) -> Option<f64> {
+    match &member(node, key)?.kind {
+        ValueKind::Number(n) => Some(n.as_f64()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(experiment: &str, name: &str, gbps: f64, skips: Option<u64>) -> Row {
+        Row {
+            experiment: experiment.to_owned(),
+            name: name.to_owned(),
+            gbps,
+            skips_total: skips,
+            blocks_total: None,
+        }
+    }
+
+    #[test]
+    fn identical_reports_are_clean() {
+        let rows = vec![row("tables", "B1", 3.0, Some(100))];
+        let report = diff(&rows, &rows, 10.0);
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.compared, 1);
+    }
+
+    #[test]
+    fn throughput_drop_beyond_threshold_flags() {
+        let old = vec![row("tables", "B1", 3.0, None)];
+        let new = vec![row("tables", "B1", 2.5, None)];
+        let report = diff(&old, &new, 10.0);
+        assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
+        assert!(report.regressions[0].detail.contains("throughput"));
+        // The same drop passes a looser threshold.
+        assert!(diff(&old, &new, 20.0).regressions.is_empty());
+    }
+
+    #[test]
+    fn small_fluctuations_pass() {
+        let old = vec![row("tables", "B1", 3.0, Some(100))];
+        let new = vec![row("tables", "B1", 2.9, Some(95))];
+        assert!(diff(&old, &new, 10.0).regressions.is_empty());
+    }
+
+    #[test]
+    fn skip_count_decrease_flags() {
+        let old = vec![row("ablations", "A1", 3.0, Some(1000))];
+        let new = vec![row("ablations", "A1", 3.0, Some(500))];
+        let report = diff(&old, &new, 10.0);
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].detail.contains("skip events"));
+    }
+
+    #[test]
+    fn blocks_increase_flags() {
+        let mut old = vec![row("tables", "B1", 3.0, None)];
+        let mut new = vec![row("tables", "B1", 3.0, None)];
+        old[0].blocks_total = Some(1000);
+        new[0].blocks_total = Some(1500);
+        let report = diff(&old, &new, 10.0);
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].detail.contains("blocks"));
+    }
+
+    #[test]
+    fn missing_row_is_a_regression_added_row_is_not() {
+        let old = vec![row("tables", "B1", 3.0, None)];
+        let new = vec![row("tables", "B2", 3.0, None)];
+        let report = diff(&old, &new, 10.0);
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].detail.contains("missing"));
+        assert_eq!(report.added, ["tables/B2"]);
+    }
+
+    #[test]
+    fn load_report_parses_bench_json() {
+        let json = br#"{"entries":[
+            {"experiment":"tables","name":"B1","query":"$..a","input_bytes":100,
+             "count":5,"gbps":2.5,
+             "stats":{"bytes":100,
+                      "blocks_classified":{"structural":4,"depth":1,"seek":0,"quote":0,"total":5},
+                      "events":9,"toggle_flips":0,
+                      "skips":{"leaf":1,"child":2,"sibling":3,"label":4},
+                      "memmem_jumps":0,"memmem_declined":0,"resume_handoffs":0,
+                      "max_depth":3,"matches":5}},
+            {"experiment":"tables","name":"B2","input_bytes":10,"count":0,"gbps":1.0}
+        ]}"#;
+        let path = std::env::temp_dir().join(format!("rsq-bench-diff-{}.json", std::process::id()));
+        std::fs::write(&path, json).unwrap();
+        let rows = load_report(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].skips_total, Some(10));
+        assert_eq!(rows[0].blocks_total, Some(5));
+        assert!((rows[0].gbps - 2.5).abs() < 1e-9);
+        assert_eq!(rows[1].skips_total, None);
+    }
+}

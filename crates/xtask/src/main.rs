@@ -5,15 +5,20 @@
 //! * `cargo xtask fuzz-smoke` — the bounded differential-fuzz driver:
 //!   runs the `fuzz/corpus/` seeds plus a time-boxed randomized phase
 //!   through `rsq-difftest` without needing nightly or cargo-fuzz.
+//! * `cargo xtask bench-diff OLD NEW` — the performance regression gate:
+//!   compares two `experiments --json` reports and fails on throughput
+//!   drops, skip-count drops, or classified-block increases beyond a
+//!   threshold.
 //!
-//! Exit codes: `0` success, `1` findings/mismatches, `2` usage or
-//! environment error.
+//! Exit codes: `0` success, `1` findings/mismatches/regressions, `2`
+//! usage or environment error.
 
 mod audit;
+mod bench_diff;
 mod fuzz_smoke;
 mod lexer;
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -24,7 +29,11 @@ commands:
               run the unsafe-audit static-analysis pass over the workspace
   fuzz-smoke  [--max-seconds N] [--target NAME] [--seed N]
               run the differential fuzz corpus + a bounded random phase
-              (targets: classifier_diff, quotes_diff, depth_diff, engine_diff)
+              (targets: classifier_diff, quotes_diff, depth_diff,
+              engine_diff, reader_diff)
+  bench-diff  OLD.json NEW.json [--threshold PCT]
+              compare two `experiments --json` reports; fail on throughput
+              or skip-count regressions beyond PCT percent (default 10)
 ";
 
 fn main() -> ExitCode {
@@ -32,6 +41,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("audit") => cmd_audit(&args[1..]),
         Some("fuzz-smoke") => cmd_fuzz_smoke(&args[1..]),
+        Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -168,6 +178,64 @@ fn cmd_fuzz_smoke(args: &[String]) -> ExitCode {
             eprintln!("fuzz-smoke FAILURE [{}]: {}", m.check, m.detail);
             eprintln!("  input ({} bytes): {:?}", m.input.len(), preview(&m.input));
         }
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_bench_diff(args: &[String]) -> ExitCode {
+    // Two positionals (OLD NEW) followed by optional flag-value pairs.
+    let positionals: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    let [old_path, new_path] = positionals.as_slice() else {
+        eprintln!("xtask bench-diff: expected OLD.json NEW.json\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = match parse_flags(&args[2..], &["--threshold"]) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("xtask bench-diff: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut threshold = 10.0f64;
+    for (flag, value) in &flags {
+        match flag.as_str() {
+            "--threshold" => match value.parse::<f64>() {
+                Ok(pct) if pct >= 0.0 && pct.is_finite() => threshold = pct,
+                _ => {
+                    eprintln!("xtask bench-diff: `--threshold` needs a non-negative percentage");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => unreachable!("parse_flags rejected unknown options"),
+        }
+    }
+
+    let (old, new) = match (
+        bench_diff::load_report(Path::new(old_path)),
+        bench_diff::load_report(Path::new(new_path)),
+    ) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("xtask bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = bench_diff::diff(&old, &new, threshold);
+    println!(
+        "bench-diff: {} rows compared (threshold {threshold}%)",
+        report.compared
+    );
+    for added in &report.added {
+        println!("bench-diff: new row {added} (not in old report)");
+    }
+    if report.regressions.is_empty() {
+        println!("bench-diff: no regressions");
+        ExitCode::SUCCESS
+    } else {
+        for r in &report.regressions {
+            eprintln!("bench-diff REGRESSION {r}");
+        }
+        eprintln!("bench-diff: {} regression(s)", report.regressions.len());
         ExitCode::FAILURE
     }
 }

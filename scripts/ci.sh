@@ -25,6 +25,13 @@ cargo test -q
 echo "==> workspace tests with overflow checks"
 RUSTFLAGS="-C overflow-checks=on" cargo test --workspace -q
 
+echo "==> batch determinism gate (multi-threaded merge, SWAR override)"
+# The rsq-batch suites sweep worker counts {1, 2, 8} and assert the
+# merged outcomes are identical to a sequential run; the second pass
+# repeats that under the portable backend override.
+cargo test -p rsq-batch -q
+RSQ_BACKEND=swar cargo test -p rsq-batch -q
+
 echo "==> workspace build + tests with the obs-trace feature (Tier B)"
 cargo build --workspace --features rsq-engine/obs-trace
 cargo test --workspace --features rsq-engine/obs-trace -q
