@@ -37,6 +37,7 @@ struct Inner {
     clock: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// A bounded LRU cache of compiled query engines, keyed by normalized
@@ -103,6 +104,7 @@ impl QueryCache {
                 .map(|(i, _)| i)
                 .expect("capacity >= 1, so a full cache has slots");
             inner.slots.swap_remove(lru);
+            inner.evictions += 1;
         }
         inner.slots.push(Slot {
             key,
@@ -122,6 +124,12 @@ impl QueryCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.inner.lock().expect("query cache poisoned").misses
+    }
+
+    /// Entries evicted to make room so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().expect("query cache poisoned").evictions
     }
 
     /// Number of compiled queries currently resident.
@@ -169,8 +177,10 @@ mod tests {
         cache.get_or_compile("$.a", &opts()).unwrap();
         cache.get_or_compile("$.b", &opts()).unwrap();
         cache.get_or_compile("$.a", &opts()).unwrap(); // refresh a
+        assert_eq!(cache.evictions(), 0);
         cache.get_or_compile("$.c", &opts()).unwrap(); // evicts b
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
         let misses_before = cache.misses();
         cache.get_or_compile("$.a", &opts()).unwrap(); // still resident
         assert_eq!(cache.misses(), misses_before);

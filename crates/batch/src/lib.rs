@@ -47,8 +47,8 @@ pub use cache::QueryCache;
 pub use ndjson::split_ndjson;
 
 use queue::WorkQueue;
-use rsq_engine::{Engine, EngineError, EngineOptions, LimitKind, RunError, Scratch};
-use rsq_obs::{BatchCounters, RunStats};
+use rsq_engine::{Engine, EngineError, EngineOptions, LimitKind, ProfileStats, RunError, Scratch};
+use rsq_obs::{BatchCounters, BatchProfile, Histogram, RunStats, WorkerProfile};
 use std::fs;
 use std::io;
 use std::num::NonZeroUsize;
@@ -56,6 +56,7 @@ use std::ops::Range;
 use std::path::Path;
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// Configuration for a [`BatchEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +76,13 @@ pub struct BatchOptions {
     /// [`BatchResult::stats`]. Off by default: the counting run costs a
     /// few percent of throughput.
     pub collect_stats: bool,
+    /// Gather the Tier C batch profile — per-technique `bytes_skipped`,
+    /// stage times, a per-document latency histogram, and per-worker
+    /// busy/queue-wait accounting — into [`BatchResult::profile`].
+    /// Implies stats collection (the profile recorder carries the Tier A
+    /// counters). Off by default: the profiled run reads the monotonic
+    /// clock around every fast-forward and document.
+    pub profile: bool,
 }
 
 impl Default for BatchOptions {
@@ -85,6 +93,7 @@ impl Default for BatchOptions {
             engine: EngineOptions::default(),
             cache_capacity: 32,
             collect_stats: false,
+            profile: false,
         }
     }
 }
@@ -153,8 +162,15 @@ pub struct BatchResult {
     /// unless [`BatchOptions::collect_stats`] is set).
     pub stats: RunStats,
     /// Batch-layer counters: documents, shards, queue claims, cache
-    /// hits/misses.
+    /// hits/misses/evictions.
     pub counters: BatchCounters,
+    /// Merged Tier C batch profile (`None` unless
+    /// [`BatchOptions::profile`] is set). Histograms and byte counters
+    /// merge with saturating element-wise adds, so the merged values are
+    /// independent of how documents were sharded; `workers` is ordered by
+    /// worker index. Partial work from failed documents stays in the
+    /// aggregate.
+    pub profile: Option<BatchProfile>,
 }
 
 impl BatchResult {
@@ -227,10 +243,12 @@ impl BatchEngine {
     pub fn run_slices(&self, query: &str, docs: &[&[u8]]) -> Result<BatchResult, EngineError> {
         let hits_before = self.cache.hits();
         let misses_before = self.cache.misses();
+        let evictions_before = self.cache.evictions();
         let engine = self.cache.get_or_compile(query, &self.options.engine)?;
         let mut result = self.run_compiled(&engine, docs);
         result.counters.cache_hits = self.cache.hits() - hits_before;
         result.counters.cache_misses = self.cache.misses() - misses_before;
+        result.counters.cache_evictions = self.cache.evictions() - evictions_before;
         Ok(result)
     }
 
@@ -264,23 +282,59 @@ impl BatchEngine {
         };
         let queue = WorkQueue::new(docs.len(), chunk);
         let collect_stats = self.options.collect_stats;
+        let profile = self.options.profile;
 
         // Each worker collects (index, outcome) pairs privately and
         // returns them with its local stats merge — no shared mutable
         // state, no locks on the hot path. The main thread merges by
         // index, which makes the output independent of scheduling.
-        type ShardOutput = (Vec<(usize, Result<DocOutput, DocError>)>, RunStats);
+        type ShardOutput = (
+            Vec<(usize, Result<DocOutput, DocError>)>,
+            RunStats,
+            Option<ShardProfile>,
+        );
         let shard = |_worker: usize| -> ShardOutput {
             let mut local: Vec<(usize, Result<DocOutput, DocError>)> = Vec::new();
             let mut stats = RunStats::default();
             let mut scratch = Scratch::new();
-            while let Some(range) = queue.claim() {
+            let mut prof: Option<ShardProfile> = profile.then(ShardProfile::default);
+            loop {
+                let claim_start = prof.as_ref().map(|_| Instant::now());
+                let Some(range) = queue.claim() else { break };
+                if let (Some(p), Some(t0)) = (prof.as_mut(), claim_start) {
+                    p.worker.queue_wait_ns = p.worker.queue_wait_ns.saturating_add(elapsed_ns(t0));
+                    p.worker.claims += 1;
+                }
                 for i in range {
-                    let outcome = run_one(engine, docs[i], &mut scratch, collect_stats, &mut stats);
+                    let outcome = if let Some(p) = prof.as_mut() {
+                        let t0 = Instant::now();
+                        let outcome = run_one(
+                            engine,
+                            docs[i],
+                            &mut scratch,
+                            collect_stats,
+                            &mut stats,
+                            Some(&mut p.profile),
+                        );
+                        let ns = elapsed_ns(t0);
+                        p.latency.record(ns);
+                        p.worker.busy_ns = p.worker.busy_ns.saturating_add(ns);
+                        p.worker.documents += 1;
+                        outcome
+                    } else {
+                        run_one(
+                            engine,
+                            docs[i],
+                            &mut scratch,
+                            collect_stats,
+                            &mut stats,
+                            None,
+                        )
+                    };
                     local.push((i, outcome));
                 }
             }
-            (local, stats)
+            (local, stats, prof)
         };
 
         let mut shards: Vec<ShardOutput> = if threads == 1 {
@@ -301,11 +355,21 @@ impl BatchEngine {
 
         let mut result = BatchResult {
             outcomes: Vec::with_capacity(docs.len()),
+            profile: profile.then(BatchProfile::default),
             ..BatchResult::default()
         };
         result.outcomes.resize(docs.len(), Ok(DocOutput::default()));
-        for (local, stats) in shards.drain(..) {
+        // Shards come back in worker-index order (spawn order), so the
+        // merged `workers` vec is stable across runs of the same shape.
+        for (local, stats, shard_profile) in shards.drain(..) {
             result.stats += stats;
+            if let (Some(merged), Some(sp)) = (result.profile.as_mut(), shard_profile) {
+                result.stats += sp.profile.stats;
+                merged.bytes_skipped += sp.profile.bytes_skipped;
+                merged.stages += sp.profile.stages;
+                merged.latency += &sp.latency;
+                merged.workers.push(sp.worker);
+            }
             for (i, outcome) in local {
                 if outcome.is_err() {
                     result.counters.failed_documents += 1;
@@ -346,17 +410,38 @@ impl BatchEngine {
     }
 }
 
+/// One worker's accumulated Tier C profile: an engine-side profile shared
+/// across the shard's documents (no per-document skip map), the
+/// per-document latency histogram, and the worker's own busy/queue-wait
+/// accounting.
+#[derive(Debug, Default)]
+struct ShardProfile {
+    profile: ProfileStats,
+    latency: Histogram,
+    worker: WorkerProfile,
+}
+
+/// Nanoseconds since `t0`, saturated to `u64::MAX`.
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Runs one document through the engine using the worker's scratch
-/// buffers, producing its outcome and (optionally) accumulating stats.
+/// buffers, producing its outcome and (optionally) accumulating stats or
+/// a full profile. When `profile` is given it supersedes `collect_stats`:
+/// the profile recorder carries the Tier A counters.
 fn run_one(
     engine: &Engine,
     doc: &[u8],
     scratch: &mut Scratch,
     collect_stats: bool,
     stats: &mut RunStats,
+    profile: Option<&mut ProfileStats>,
 ) -> Result<DocOutput, DocError> {
     scratch.positions.clear();
-    let run = if collect_stats {
+    let run = if let Some(p) = profile {
+        engine.try_run_into_profile(doc, &mut scratch.positions, p)
+    } else if collect_stats {
         engine
             .try_run_with_stats(doc, &mut scratch.positions)
             .map(|s| *stats += s)
@@ -461,6 +546,65 @@ mod tests {
         let total_bytes: u64 = docs.iter().map(|d| d.len() as u64).sum();
         assert_eq!(result.stats.bytes, total_bytes);
         assert_eq!(result.stats.matches, result.total_count());
+    }
+
+    #[test]
+    fn profile_off_leaves_result_profile_empty() {
+        let batch = BatchEngine::new(BatchOptions::default());
+        let result = batch.run_slices("$..a", &[br#"{"a": 1}"#]).unwrap();
+        assert!(result.profile.is_none());
+    }
+
+    #[test]
+    fn profile_collects_latency_workers_and_spans() {
+        let options = BatchOptions {
+            threads: 2,
+            profile: true,
+            ..BatchOptions::default()
+        };
+        let batch = BatchEngine::new(options);
+        let doc: &[u8] = br#"{"a": 1, "deep": {"nested": {"a": [1, 2, 3]}}, "pad": "xxxx"}"#;
+        let docs: Vec<&[u8]> = vec![doc; 8];
+        let result = batch.run_slices("$..a", &docs).unwrap();
+        let profile = result.profile.as_ref().unwrap();
+        assert_eq!(profile.latency.count(), 8);
+        assert_eq!(profile.workers.len() as u64, result.counters.shards);
+        let docs_run: u64 = profile.workers.iter().map(|w| w.documents).sum();
+        assert_eq!(docs_run, 8);
+        let claims: u64 = profile.workers.iter().map(|w| w.claims).sum();
+        assert_eq!(claims, result.counters.queue_claims);
+        // Profiling implies stats collection even with collect_stats off.
+        let total_bytes: u64 = docs.iter().map(|d| d.len() as u64).sum();
+        assert_eq!(result.stats.bytes, total_bytes);
+        assert!(result.stats.events > 0);
+    }
+
+    #[test]
+    fn profile_does_not_change_outcomes() {
+        let doc_a: &[u8] = br#"{"a": {"b": 1}, "b": [2, {"b": 3}]}"#;
+        let doc_b: &[u8] = br#"[{"b": []}, {"c": {"b": 4}}]"#;
+        let plain = BatchEngine::new(BatchOptions::default());
+        let profiled = BatchEngine::new(BatchOptions {
+            profile: true,
+            ..BatchOptions::default()
+        });
+        let without = plain.run_slices("$..b", &[doc_a, doc_b]).unwrap();
+        let with = profiled.run_slices("$..b", &[doc_a, doc_b]).unwrap();
+        assert_eq!(without.outcomes, with.outcomes);
+    }
+
+    #[test]
+    fn eviction_counter_is_per_batch() {
+        let options = BatchOptions {
+            cache_capacity: 1,
+            ..BatchOptions::default()
+        };
+        let batch = BatchEngine::new(options);
+        let docs: [&[u8]; 1] = [br#"{"a": 1}"#];
+        let first = batch.run_slices("$.a", &docs).unwrap();
+        assert_eq!(first.counters.cache_evictions, 0);
+        let second = batch.run_slices("$.b", &docs).unwrap();
+        assert_eq!(second.counters.cache_evictions, 1);
     }
 
     #[test]

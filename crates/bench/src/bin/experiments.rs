@@ -8,7 +8,14 @@
 //! ```
 //!
 //! Subcommands: `table2`, `table3`, `a`, `b`, `c`, `d`, `appendix-c`,
-//! `semantics`, `ablations`, `stats-overhead`, `batch-scaling`, `all`.
+//! `semantics`, `ablations`, `stats-overhead`, `skip-ablation`,
+//! `batch-scaling`, `all`.
+//!
+//! `skip-ablation` reproduces the paper's Table-6-style skip-rate view
+//! from the Tier C profiler: per dataset × query, the bytes each skipping
+//! technique elided, the aggregate skip rate, and throughput — and it
+//! checks the byte-accounting identity (classified + memmem-elided bytes
+//! equal the padded document size).
 //!
 //! `batch-scaling` sweeps worker threads over an NDJSON corpus through
 //! `rsq-batch`; the sweep's upper bound is the host's available
@@ -68,6 +75,7 @@ fn main() {
             "semantics" => semantics(),
             "ablations" => ablations(&mut report),
             "stats-overhead" => stats_overhead(&mut report),
+            "skip-ablation" => skip_ablation(&mut report),
             "batch-scaling" => batch_scaling(&mut report),
             "all" => {
                 table2();
@@ -80,6 +88,7 @@ fn main() {
                 semantics();
                 ablations(&mut report);
                 stats_overhead(&mut report);
+                skip_ablation(&mut report);
                 batch_scaling(&mut report);
             }
             other => {
@@ -226,6 +235,8 @@ fn run_table(title: &str, experiment: &str, entries: &[&str], report: &mut Repor
                 gbps: m.gbps,
                 speedup: None,
                 stats: Some(run_stats(&entry)),
+                bytes_skipped: None,
+                latency: None,
             });
         }
         println!(
@@ -305,6 +316,8 @@ fn experiment_d(report: &mut Report) {
             gbps: m.gbps,
             speedup: None,
             stats: Some(stats),
+            bytes_skipped: None,
+            latency: None,
         });
         println!(
             "{:>10.1} {:>10} {:>8.2}",
@@ -450,6 +463,8 @@ fn ablations(report: &mut Report) {
                 gbps: m.gbps,
                 speedup: None,
                 stats: None,
+                bytes_skipped: None,
+                latency: None,
             });
             print!(" {:>7.2}", m.gbps);
         }
@@ -514,12 +529,21 @@ fn batch_scaling(report: &mut Report) {
     );
     let mut baseline: Option<(String, f64)> = None;
     for &threads in &sweep {
+        // The first run profiles (per-document latency histogram, skipped
+        // bytes) for the report; the timed runs below use a plain engine
+        // so the Tier C clock reads never pollute the throughput figure.
+        let profiled = BatchEngine::new(BatchOptions {
+            threads,
+            collect_stats: true,
+            profile: true,
+            ..BatchOptions::default()
+        });
         let engine = BatchEngine::new(BatchOptions {
             threads,
             collect_stats: true,
             ..BatchOptions::default()
         });
-        let result = engine
+        let result = profiled
             .run_slices(entry.query, &docs)
             .expect("catalog query compiles");
         // Outcome identity across thread counts (the batch crate's own
@@ -550,6 +574,8 @@ fn batch_scaling(report: &mut Report) {
             gbps: m.gbps,
             speedup: Some(speedup),
             stats: Some(result.stats),
+            bytes_skipped: result.profile.as_ref().map(|p| p.bytes_skipped),
+            latency: result.profile.as_ref().map(|p| p.latency.clone()),
         });
         println!(
             "{:>8} {:>10} {:>8.2} {:>7.2}x {:>11} {:>13}",
@@ -611,6 +637,8 @@ fn stats_overhead(report: &mut Report) {
                 gbps: m.gbps,
                 speedup: None,
                 stats,
+                bytes_skipped: None,
+                latency: None,
             });
         }
         println!(
@@ -621,5 +649,89 @@ fn stats_overhead(report: &mut Report) {
             with_stats.gbps,
             with_stats.gbps / plain.gbps
         );
+    }
+}
+
+/// Skip-rate ablation (the paper's Table-6-style view, from the Tier C
+/// profiler): per dataset × query, the bytes each skipping technique
+/// elided, the aggregate skip rate, and throughput.
+///
+/// Also checks the profiler's byte accounting: blocks classified by the
+/// structural, depth, and seek classifiers plus the bytes the `memmem`
+/// head start elided must add up to the block-padded document size. Each
+/// resume handoff can double-count up to two blocks — the sub-run's
+/// classification starts on the block grid (before the value byte the
+/// elided span runs up to) and ends past the close (inside the next
+/// elided span) — so the tolerance is two blocks per handoff plus the
+/// final-block padding; for queries with no head start the identity is
+/// exact up to the final block.
+fn skip_ablation(report: &mut Report) {
+    use rsq_engine::SkipTechnique;
+    heading("Skip ablation (Table 6 style): bytes skipped per technique");
+    println!(
+        "{:<5} {:<34} {:>6} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "id", "query", "GB/s", "skip%", "leaf", "child", "sibling", "label", "memmem"
+    );
+    for id in ["B1", "W2", "B3r", "Wir", "A2", "Tsr", "C2r"] {
+        let entry = by_id(id).expect("known id");
+        let engine = Engine::from_text(entry.query).expect("catalog query compiles");
+        let input = dataset(entry.dataset);
+        let mut sink = CountSink::new();
+        let profile = engine
+            .try_run_with_profile(input, &mut sink)
+            .expect("catalog run succeeds");
+        assert_eq!(
+            sink.count(),
+            profile.stats.matches,
+            "profiled run disagrees with its own stats on {id}"
+        );
+        assert!(
+            profile.bytes_skipped.total() > 0,
+            "no bytes skipped on {id} — the paper predicts skipping dominates here"
+        );
+
+        // Byte-accounting identity: every byte is either structurally
+        // classified (structural/depth/seek blocks) or elided by the
+        // memmem head start, up to two blocks of slack per resume handoff
+        // plus the final partial block.
+        let covered = (profile.stats.blocks.structural
+            + profile.stats.blocks.depth
+            + profile.stats.blocks.seek)
+            * 64;
+        let padded = (input.len() as u64).div_ceil(64) * 64;
+        let slack = 64 * (2 * profile.stats.resume_handoffs + 1);
+        let accounted = covered + profile.bytes_skipped.memmem;
+        assert!(
+            accounted.abs_diff(padded) <= slack,
+            "byte accounting broken on {id}: classified {covered} + memmem \
+             {} = {accounted}, document {padded} (±{slack})",
+            profile.bytes_skipped.memmem
+        );
+
+        let m = measure(input.len(), REPS, || engine.count(input));
+        println!(
+            "{:<5} {:<34} {:>6.2} {:>6.1}% {:>12} {:>12} {:>12} {:>12} {:>12}",
+            entry.id,
+            entry.query,
+            m.gbps,
+            profile.skip_rate_pct(),
+            profile.bytes_skipped.get(SkipTechnique::Leaf),
+            profile.bytes_skipped.get(SkipTechnique::Child),
+            profile.bytes_skipped.get(SkipTechnique::Sibling),
+            profile.bytes_skipped.get(SkipTechnique::Label),
+            profile.bytes_skipped.get(SkipTechnique::Memmem),
+        );
+        report.push(ReportEntry {
+            experiment: "skip-ablation".to_owned(),
+            name: entry.id.to_owned(),
+            query: Some(entry.query.to_owned()),
+            input_bytes: input.len() as u64,
+            count: m.count,
+            gbps: m.gbps,
+            speedup: None,
+            stats: Some(profile.stats),
+            bytes_skipped: Some(profile.bytes_skipped),
+            latency: None,
+        });
     }
 }

@@ -23,7 +23,8 @@
 use rsq_baselines::{SkiEngine, SurferEngine};
 use rsq_datagen::catalog::CatalogEntry;
 use rsq_datagen::{Dataset, GenConfig};
-use rsq_engine::{CountSink, Engine, RunStats};
+use rsq_engine::{CountSink, Engine, Histogram, RunStats, SkipBytes};
+use rsq_obs::STATS_SCHEMA_VERSION;
 use std::collections::HashMap;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -207,6 +208,11 @@ pub struct ReportEntry {
     pub speedup: Option<f64>,
     /// Tier A run statistics, when collected for this row.
     pub stats: Option<RunStats>,
+    /// Tier C per-technique bytes elided, when profiled (serialised with
+    /// the derived `skip_rate_pct`).
+    pub bytes_skipped: Option<SkipBytes>,
+    /// Per-document latency histogram, when the row measures a batch run.
+    pub latency: Option<Histogram>,
 }
 
 /// A machine-readable benchmark report, serialised as a single JSON
@@ -241,13 +247,15 @@ impl Report {
         &self.entries
     }
 
-    /// Serialises the report as a JSON document (an object with an
-    /// `entries` array; every row carries `experiment`, `name`,
-    /// `input_bytes`, `count`, `gbps`, and optionally `query` and the
-    /// nested `stats` object from [`RunStats::to_json`]).
+    /// Serialises the report as a JSON document: a top-level
+    /// `schema_version` (see [`STATS_SCHEMA_VERSION`]) and an `entries`
+    /// array; every row carries `experiment`, `name`, `input_bytes`,
+    /// `count`, `gbps`, and optionally `query`, the nested `stats` object
+    /// from [`RunStats::to_json`], `bytes_skipped`/`skip_rate_pct`, and a
+    /// `latency` histogram.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\"entries\":[");
+        let mut s = format!("{{\"schema_version\":{STATS_SCHEMA_VERSION},\"entries\":[");
         for (i, e) in self.entries.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -269,6 +277,23 @@ impl Report {
             }
             if let Some(stats) = &e.stats {
                 s.push_str(&format!(",\"stats\":{}", stats.to_json()));
+            }
+            if let Some(bytes_skipped) = &e.bytes_skipped {
+                let rate = if e.input_bytes == 0 {
+                    0.0
+                } else {
+                    #[allow(clippy::cast_precision_loss)]
+                    {
+                        bytes_skipped.total() as f64 / e.input_bytes as f64 * 100.0
+                    }
+                };
+                s.push_str(&format!(
+                    ",\"bytes_skipped\":{},\"skip_rate_pct\":{rate:.2}",
+                    bytes_skipped.to_json()
+                ));
+            }
+            if let Some(latency) = &e.latency {
+                s.push_str(&format!(",\"latency\":{}", latency.to_json()));
             }
             s.push('}');
         }
@@ -316,6 +341,8 @@ mod tests {
             gbps: 1.25,
             speedup: None,
             stats: Some(RunStats::default()),
+            bytes_skipped: None,
+            latency: None,
         });
         report.push(ReportEntry {
             experiment: "stats-overhead".to_owned(),
@@ -326,6 +353,8 @@ mod tests {
             gbps: 0.5,
             speedup: Some(2.0),
             stats: None,
+            bytes_skipped: None,
+            latency: None,
         });
         let json = report.to_json();
         let dom = rsq_json::parse(json.as_bytes()).expect("report JSON parses");

@@ -10,10 +10,15 @@
 #![warn(missing_docs)]
 
 use rsq_batch::{BatchEngine, BatchOptions, DocErrorKind};
-use rsq_engine::{CountSink, Engine, EngineOptions, PositionsSink, RunError, RunStats, Sink};
+use rsq_engine::{
+    CountSink, Engine, EngineOptions, PositionsSink, ProfileStage, ProfileStats, RunError,
+    RunStats, Sink,
+};
+use rsq_obs::{prometheus, STATS_SCHEMA_VERSION};
 use rsq_query::Query;
 use std::fmt;
 use std::io::Write;
+use std::time::Instant;
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "\
@@ -39,6 +44,15 @@ options:
                       document statistics (size/depth/verbosity)
   --stats-json        print run statistics as single-line JSON on stderr
                       (stdout stays result-only either way)
+  --profile           with a QUERY: print the full profile on stderr —
+                      bytes skipped per technique, pipeline stage times,
+                      and a document skip map (batch mode: per-document
+                      latency percentiles and per-worker busy/queue-wait
+                      instead); with --stats-json, adds a \"profile\"
+                      object to the JSON report
+  --metrics-out PATH  write the run's counters (and profile, when
+                      enabled) to PATH as Prometheus-style text
+                      exposition
 
 batch mode (many documents, sharded across threads; output is printed
 in input order, byte-identical to looping rsq over each document):
@@ -175,6 +189,13 @@ pub struct Invocation {
     pub batch: Option<BatchSource>,
     /// Worker threads for batch mode (`--threads`); 0 = one per CPU.
     pub threads: usize,
+    /// Gather the Tier C profile (`--profile`): byte-span skip
+    /// accounting, stage timers, and a skip map for single documents, or
+    /// a latency histogram plus per-worker accounting in batch mode.
+    pub profile: bool,
+    /// Write Prometheus-style text exposition to this path after the run
+    /// (`--metrics-out`).
+    pub metrics_out: Option<String>,
 }
 
 impl Invocation {
@@ -191,6 +212,8 @@ impl Invocation {
         let mut threads: Option<usize> = None;
         let mut saw_stats = false;
         let mut saw_stats_json = false;
+        let mut profile = false;
+        let mut metrics_out: Option<String> = None;
         let mut rest: Vec<&str> = Vec::new();
         let mut it = args.iter();
         // A valued flag accepts both `--flag N` and `--flag=N`.
@@ -213,6 +236,7 @@ impl Invocation {
                 "--verify" => mode = Mode::Verify,
                 "--stats" => saw_stats = true,
                 "--stats-json" => saw_stats_json = true,
+                "--profile" => profile = true,
                 "--compile" => mode = Mode::Compile,
                 "--strict" => options.strict = true,
                 "--help" | "-h" => return Err(String::new()),
@@ -229,6 +253,8 @@ impl Invocation {
                         batch = Some(BatchSource::Dir(v?));
                     } else if let Some(v) = value_of("--threads", flag, &mut it) {
                         threads = Some(parse_number("--threads", &v?)?);
+                    } else if let Some(v) = value_of("--metrics-out", flag, &mut it) {
+                        metrics_out = Some(v?);
                     } else {
                         return Err(format!("unknown flag {flag}"));
                     }
@@ -257,6 +283,9 @@ impl Invocation {
         if stats.is_some() && matches!(mode, Mode::Stats | Mode::Compile) {
             return Err("--stats-json requires a QUERY to run".to_owned());
         }
+        if (profile || metrics_out.is_some()) && matches!(mode, Mode::Stats | Mode::Compile) {
+            return Err("--profile/--metrics-out require a QUERY to run".to_owned());
+        }
         if threads.is_some() && batch.is_none() {
             return Err("--threads requires --batch-ndjson or --batch-dir".to_owned());
         }
@@ -274,6 +303,8 @@ impl Invocation {
             stats,
             batch: batch.clone(),
             threads,
+            profile,
+            metrics_out: metrics_out.clone(),
         };
         match mode {
             Mode::Stats => match rest.as_slice() {
@@ -353,19 +384,74 @@ fn compile(invocation: &Invocation) -> Result<Engine, CliError> {
         .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))
 }
 
-/// Runs the engine over `input` into `sink`, gathering [`RunStats`] only
-/// when requested — the plain path stays on the zero-overhead entry point.
+/// What a run gathered for the stderr report: nothing, Tier A counters,
+/// or the full Tier C profile (which carries the counters inside).
+enum EngineReport {
+    Stats(RunStats),
+    Profile(Box<ProfileStats>),
+}
+
+impl EngineReport {
+    fn stats(&self) -> &RunStats {
+        match self {
+            EngineReport::Stats(stats) => stats,
+            EngineReport::Profile(profile) => &profile.stats,
+        }
+    }
+
+    fn profile(&self) -> Option<&ProfileStats> {
+        match self {
+            EngineReport::Stats(_) => None,
+            EngineReport::Profile(profile) => Some(profile),
+        }
+    }
+}
+
+/// Runs the engine over `input` into `sink`, gathering [`RunStats`] or a
+/// full [`ProfileStats`] only when requested — the plain path stays on
+/// the zero-overhead entry point.
 fn run_engine<S: Sink>(
     engine: &Engine,
     input: &[u8],
     sink: &mut S,
     want_stats: bool,
-) -> Result<Option<RunStats>, RunError> {
-    if want_stats {
-        engine.try_run_with_stats(input, sink).map(Some)
+    want_profile: bool,
+) -> Result<Option<EngineReport>, RunError> {
+    if want_profile {
+        engine
+            .try_run_with_profile(input, sink)
+            .map(|p| Some(EngineReport::Profile(Box::new(p))))
+    } else if want_stats {
+        engine
+            .try_run_with_stats(input, sink)
+            .map(|s| Some(EngineReport::Stats(s)))
     } else {
         engine.try_run(input, sink).map(|()| None)
     }
+}
+
+/// Nanoseconds since `t0`, saturated to `u64::MAX`.
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The single-document `--stats-json` line: the [`RunStats`] JSON with a
+/// leading `schema_version` field spliced in, plus a trailing `profile`
+/// object when profiling was on. With `--profile` off this is
+/// byte-identical to the unversioned report modulo the version field.
+fn versioned_stats_json(stats: &RunStats, profile: Option<&ProfileStats>) -> String {
+    let stats_json = stats.to_json();
+    let mut s = format!(
+        "{{\"schema_version\":{STATS_SCHEMA_VERSION},{}",
+        &stats_json[1..]
+    );
+    if let Some(p) = profile {
+        s.pop();
+        s.push_str(",\"profile\":");
+        s.push_str(&p.to_json());
+        s.push('}');
+    }
+    s
 }
 
 /// Executes an invocation, writing results to `out` and diagnostics
@@ -388,15 +474,32 @@ pub fn run(
         writeln!(out, "{text}")
             .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))
     };
-    let emit_stats = |err: &mut dyn Write, stats: Option<RunStats>| {
-        let Some(stats) = stats else { return Ok(()) };
-        match invocation.stats {
-            Some(StatsFormat::Json) => writeln!(err, "{}", stats.to_json()),
-            Some(StatsFormat::Human) | None => write!(err, "{stats}"),
+    // Writes the metrics exposition (when requested) and the stderr
+    // stats/profile report for a finished single-document run.
+    let emit_stats = |err: &mut dyn Write, report: Option<EngineReport>| -> Result<(), CliError> {
+        let Some(report) = report else { return Ok(()) };
+        if let Some(path) = &invocation.metrics_out {
+            let text = prometheus(report.stats(), report.profile(), None);
+            std::fs::write(path, text).map_err(|e| {
+                CliError::new(CliErrorKind::Io, format!("cannot write {path}: {e}"))
+            })?;
+        }
+        match (&report, invocation.stats) {
+            (_, Some(StatsFormat::Json)) => writeln!(
+                err,
+                "{}",
+                versioned_stats_json(report.stats(), report.profile())
+            ),
+            (EngineReport::Profile(p), Some(StatsFormat::Human)) => writeln!(err, "{p}"),
+            (EngineReport::Profile(p), None) if invocation.profile => writeln!(err, "{p}"),
+            (EngineReport::Stats(stats), Some(StatsFormat::Human)) => write!(err, "{stats}"),
+            // Stats gathered only to feed --metrics-out: nothing on stderr.
+            (_, None) => Ok(()),
         }
         .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))
     };
-    let want_stats = invocation.stats.is_some();
+    let want_profile = invocation.profile;
+    let want_stats = invocation.stats.is_some() || invocation.metrics_out.is_some();
     if let Some(source) = &invocation.batch {
         return run_batch(invocation, source, out, err);
     }
@@ -429,32 +532,44 @@ pub fn run(
         }
         Mode::Count => {
             let engine = compile(invocation)?;
+            let t_ingest = want_profile.then(Instant::now);
             let input = read_input(&engine, invocation.file.as_deref())?;
+            let ingest_ns = t_ingest.map(elapsed_ns);
             let mut sink = CountSink::new();
-            let stats = run_engine(&engine, &input, &mut sink, want_stats)?;
+            let mut report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
+            let t_sink = want_profile.then(Instant::now);
             emit(out, format_args!("{}", sink.count()))?;
-            emit_stats(err, stats)
+            add_driver_stages(&mut report, ingest_ns, t_sink);
+            emit_stats(err, report)
         }
         Mode::Positions => {
             let engine = compile(invocation)?;
+            let t_ingest = want_profile.then(Instant::now);
             let input = read_input(&engine, invocation.file.as_deref())?;
+            let ingest_ns = t_ingest.map(elapsed_ns);
             let mut sink = PositionsSink::new();
-            let stats = run_engine(&engine, &input, &mut sink, want_stats)?;
+            let mut report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
+            let t_sink = want_profile.then(Instant::now);
             for pos in sink.into_positions() {
                 emit(out, format_args!("{pos}"))?;
             }
-            emit_stats(err, stats)
+            add_driver_stages(&mut report, ingest_ns, t_sink);
+            emit_stats(err, report)
         }
         Mode::Values => {
             let engine = compile(invocation)?;
+            let t_ingest = want_profile.then(Instant::now);
             let input = read_input(&engine, invocation.file.as_deref())?;
+            let ingest_ns = t_ingest.map(elapsed_ns);
             let mut sink = PositionsSink::new();
-            let stats = run_engine(&engine, &input, &mut sink, want_stats)?;
+            let mut report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
+            let t_sink = want_profile.then(Instant::now);
             for pos in sink.into_positions() {
                 let text = node_text(&input, pos).unwrap_or("<malformed>");
                 emit(out, format_args!("{text}"))?;
             }
-            emit_stats(err, stats)
+            add_driver_stages(&mut report, ingest_ns, t_sink);
+            emit_stats(err, report)
         }
         Mode::Verify => {
             let query = Query::parse(&invocation.query)
@@ -463,7 +578,7 @@ pub fn run(
                 .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))?;
             let input = read_input(&engine, invocation.file.as_deref())?;
             let mut sink = PositionsSink::new();
-            let stats = run_engine(&engine, &input, &mut sink, want_stats)?;
+            let report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
             let streamed = sink.into_positions();
             let dom = rsq_json::parse(&input)
                 .map_err(|e| CliError::new(CliErrorKind::Malformed, e.to_string()))?;
@@ -473,7 +588,7 @@ pub fn run(
                     out,
                     format_args!("ok: {} matches, engine and oracle agree", streamed.len()),
                 )?;
-                emit_stats(err, stats)
+                emit_stats(err, report)
             } else {
                 Err(CliError::new(
                     CliErrorKind::Failure,
@@ -505,7 +620,8 @@ fn run_batch(
     let engine = BatchEngine::new(BatchOptions {
         threads: invocation.threads,
         engine: invocation.options,
-        collect_stats: invocation.stats.is_some(),
+        collect_stats: invocation.stats.is_some() || invocation.metrics_out.is_some(),
+        profile: invocation.profile,
         ..BatchOptions::default()
     });
 
@@ -572,17 +688,43 @@ fn run_batch(
         }
     }
 
+    if let Some(path) = &invocation.metrics_out {
+        let text = prometheus(
+            &result.stats,
+            None,
+            Some((&result.counters, result.profile.as_ref())),
+        );
+        std::fs::write(path, text)
+            .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot write {path}: {e}")))?;
+    }
     match invocation.stats {
-        Some(StatsFormat::Json) => writeln!(
-            err,
-            "{{\"batch\":{},\"stats\":{}}}",
-            result.counters.to_json(),
-            result.stats.to_json()
-        ),
-        Some(StatsFormat::Human) => {
-            writeln!(err, "{}", result.counters).and_then(|()| write!(err, "{}", result.stats))
+        Some(StatsFormat::Json) => {
+            let mut line = format!(
+                "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"batch\":{},\"stats\":{}",
+                result.counters.to_json(),
+                result.stats.to_json()
+            );
+            if let Some(profile) = &result.profile {
+                line.push_str(",\"profile\":");
+                line.push_str(&profile.to_json());
+            }
+            line.push('}');
+            writeln!(err, "{line}")
         }
-        None => Ok(()),
+        Some(StatsFormat::Human) => {
+            writeln!(err, "{}", result.counters).and_then(|()| match &result.profile {
+                // RunStats::Display ends without a newline; terminate it
+                // before the profile block.
+                Some(profile) => {
+                    writeln!(err, "{}", result.stats).and_then(|()| writeln!(err, "{profile}"))
+                }
+                None => write!(err, "{}", result.stats),
+            })
+        }
+        None => match &result.profile {
+            Some(profile) => writeln!(err, "{profile}"),
+            None => Ok(()),
+        },
     }
     .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))?;
 
@@ -592,6 +734,23 @@ fn run_batch(
             format!("{failed} of {} documents failed", result.outcomes.len()),
         )),
         None => Ok(()),
+    }
+}
+
+/// Folds the CLI driver's ingest and sink timings into a profiled
+/// report (no-op for unprofiled runs).
+fn add_driver_stages(
+    report: &mut Option<EngineReport>,
+    ingest_ns: Option<u64>,
+    sink_start: Option<Instant>,
+) {
+    if let Some(EngineReport::Profile(p)) = report {
+        if let Some(ns) = ingest_ns {
+            p.add_stage_ns(ProfileStage::Ingest, ns);
+        }
+        if let Some(t0) = sink_start {
+            p.add_stage_ns(ProfileStage::Sink, elapsed_ns(t0));
+        }
     }
 }
 
@@ -759,6 +918,8 @@ mod tests {
                 stats: None,
                 batch: None,
                 threads: 0,
+                profile: false,
+                metrics_out: None,
             };
             assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "2\n");
             assert_eq!(run_to_string(&inv(Mode::Values)).unwrap(), "2\n3\n");
@@ -779,6 +940,8 @@ mod tests {
             stats: None,
             batch: None,
             threads: 0,
+            profile: false,
+            metrics_out: None,
         };
         assert_eq!(
             run(&bad_query, &mut Vec::new(), &mut Vec::new())
@@ -795,6 +958,8 @@ mod tests {
             stats: None,
             batch: None,
             threads: 0,
+            profile: false,
+            metrics_out: None,
         };
         assert_eq!(
             run(&missing_file, &mut Vec::new(), &mut Vec::new())
@@ -815,6 +980,8 @@ mod tests {
                 stats: None,
                 batch: None,
                 threads: 0,
+                profile: false,
+                metrics_out: None,
             };
             assert_eq!(
                 run(&strict, &mut Vec::new(), &mut Vec::new())
@@ -836,6 +1003,8 @@ mod tests {
                 stats: None,
                 batch: None,
                 threads: 0,
+                profile: false,
+                metrics_out: None,
             };
             assert_eq!(
                 run(&limited, &mut Vec::new(), &mut Vec::new())
@@ -857,6 +1026,8 @@ mod tests {
                 stats: None,
                 batch: None,
                 threads: 0,
+                profile: false,
+                metrics_out: None,
             };
             let out = run_to_string(&inv).unwrap();
             assert!(out.contains("nodes     4"), "{out}");
@@ -875,6 +1046,8 @@ mod tests {
                 stats,
                 batch: None,
                 threads: 0,
+                profile: false,
+                metrics_out: None,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -938,6 +1111,8 @@ mod tests {
                     stats: None,
                     batch: Some(BatchSource::Ndjson(path.to_owned())),
                     threads: 2,
+                    profile: false,
+                    metrics_out: None,
                 };
                 assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "1\n1\n0\n");
                 assert_eq!(
@@ -963,6 +1138,8 @@ mod tests {
                 stats: None,
                 batch: Some(BatchSource::Ndjson(path.to_owned())),
                 threads: 1,
+                profile: false,
+                metrics_out: None,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -986,6 +1163,8 @@ mod tests {
                 stats: Some(StatsFormat::Json),
                 batch: Some(BatchSource::Ndjson(path.to_owned())),
                 threads: 1,
+                profile: false,
+                metrics_out: None,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1017,6 +1196,8 @@ mod tests {
             stats: None,
             batch: Some(BatchSource::Dir(dir.to_str().unwrap().to_owned())),
             threads: 2,
+            profile: false,
+            metrics_out: None,
         };
         let mut out = Vec::new();
         let mut err = Vec::new();
@@ -1029,6 +1210,155 @@ mod tests {
     }
 
     #[test]
+    fn parses_profile_and_metrics_flags() {
+        let inv = parse(&["--profile", "--stats-json", "$..a", "f.json"]).unwrap();
+        assert!(inv.profile);
+        assert_eq!(inv.stats, Some(StatsFormat::Json));
+
+        let metrics = parse(&["--metrics-out", "m.prom", "$..a"]).unwrap();
+        assert_eq!(metrics.metrics_out.as_deref(), Some("m.prom"));
+        assert!(!metrics.profile);
+
+        // Profiling needs a run, like --stats-json.
+        assert!(parse(&["--compile", "--profile", "$.a"]).is_err());
+        assert!(parse(&["--profile", "--stats", "f.json"]).is_err());
+    }
+
+    #[test]
+    fn stats_json_carries_schema_version_and_profile_object() {
+        with_temp_file(r#"{"a": [1, {"b": 2}], "b": 3}"#, |path| {
+            let inv = |profile| Invocation {
+                mode: Mode::Count,
+                query: "$..b".to_owned(),
+                file: Some(path.to_owned()),
+                options: EngineOptions::default(),
+                stats: Some(StatsFormat::Json),
+                batch: None,
+                threads: 0,
+                profile,
+                metrics_out: None,
+            };
+            let mut err = Vec::new();
+            run(&inv(false), &mut Vec::new(), &mut err).unwrap();
+            let plain = String::from_utf8(err).unwrap();
+            assert!(plain.starts_with("{\"schema_version\":2,"), "{plain}");
+            assert!(!plain.contains("\"profile\""), "{plain}");
+
+            let mut err = Vec::new();
+            run(&inv(true), &mut Vec::new(), &mut err).unwrap();
+            let profiled = String::from_utf8(err).unwrap();
+            assert_eq!(profiled.lines().count(), 1, "{profiled}");
+            for key in [
+                "\"schema_version\":2,",
+                "\"profile\":{",
+                "\"bytes_skipped\":{",
+                "\"skip_rate_pct\":",
+                "\"stages\":{",
+                "\"skip_map\":{",
+            ] {
+                assert!(profiled.contains(key), "{key} missing from {profiled}");
+            }
+            // Modulo the version field and the appended profile object,
+            // the profiled line still carries the identical stats body.
+            let stats_body = plain
+                .trim_end()
+                .strip_prefix("{\"schema_version\":2,")
+                .unwrap()
+                .strip_suffix('}')
+                .unwrap();
+            assert!(profiled.contains(stats_body), "{profiled}");
+        });
+    }
+
+    #[test]
+    fn profile_without_stats_prints_human_table() {
+        with_temp_file(r#"{"a": [1, {"b": 2}], "b": 3}"#, |path| {
+            let inv = Invocation {
+                mode: Mode::Count,
+                query: "$..b".to_owned(),
+                file: Some(path.to_owned()),
+                options: EngineOptions::default(),
+                stats: None,
+                batch: None,
+                threads: 0,
+                profile: true,
+                metrics_out: None,
+            };
+            let mut out = Vec::new();
+            let mut err = Vec::new();
+            run(&inv, &mut out, &mut err).unwrap();
+            assert_eq!(out, b"2\n", "stdout unchanged by --profile");
+            let err = String::from_utf8(err).unwrap();
+            assert!(err.contains("bytes skipped"), "{err}");
+            assert!(err.contains("skip map"), "{err}");
+            assert!(err.contains("stage times (ns)"), "{err}");
+        });
+    }
+
+    #[test]
+    fn metrics_out_writes_prometheus_exposition() {
+        with_temp_file(r#"{"a": [1, {"b": 2}], "b": 3}"#, |path| {
+            let metrics_path = format!("{path}.prom");
+            let inv = Invocation {
+                mode: Mode::Count,
+                query: "$..b".to_owned(),
+                file: Some(path.to_owned()),
+                options: EngineOptions::default(),
+                stats: None,
+                batch: None,
+                threads: 0,
+                profile: true,
+                metrics_out: Some(metrics_path.clone()),
+            };
+            let mut err = Vec::new();
+            run(&inv, &mut Vec::new(), &mut err).unwrap();
+            let text = std::fs::read_to_string(&metrics_path).unwrap();
+            let _ = std::fs::remove_file(&metrics_path);
+            assert!(text.contains("# TYPE rsq_matches_total counter"), "{text}");
+            assert!(text.contains("rsq_matches_total 2"), "{text}");
+            assert!(text.contains("rsq_bytes_skipped_total{"), "{text}");
+        });
+    }
+
+    #[test]
+    fn batch_profile_reports_latency_and_workers() {
+        with_temp_file("{\"a\": 1}\n{\"b\": {\"a\": [2, 3]}}\n", |path| {
+            let inv = |stats| Invocation {
+                mode: Mode::Count,
+                query: "$..a".to_owned(),
+                file: None,
+                options: EngineOptions::default(),
+                stats,
+                batch: Some(BatchSource::Ndjson(path.to_owned())),
+                threads: 1,
+                profile: true,
+                metrics_out: None,
+            };
+            let mut err = Vec::new();
+            run(&inv(Some(StatsFormat::Json)), &mut Vec::new(), &mut err).unwrap();
+            let json = String::from_utf8(err).unwrap();
+            assert_eq!(json.lines().count(), 1, "{json}");
+            for key in [
+                "\"schema_version\":2,",
+                "\"batch\":{",
+                "\"cache_hit_ratio\":",
+                "\"profile\":{",
+                "\"latency\":{",
+                "\"workers\":[{",
+                "\"queue_wait_ns\":",
+            ] {
+                assert!(json.contains(key), "{key} missing from {json}");
+            }
+
+            let mut err = Vec::new();
+            run(&inv(None), &mut Vec::new(), &mut err).unwrap();
+            let human = String::from_utf8(err).unwrap();
+            assert!(human.contains("doc latency (ns)"), "{human}");
+            assert!(human.contains("worker 0"), "{human}");
+        });
+    }
+
+    #[test]
     fn compile_mode_emits_dot() {
         let inv = Invocation {
             mode: Mode::Compile,
@@ -1038,6 +1368,8 @@ mod tests {
             stats: None,
             batch: None,
             threads: 0,
+            profile: false,
+            metrics_out: None,
         };
         let out = run_to_string(&inv).unwrap();
         assert!(out.starts_with("digraph"));

@@ -27,7 +27,7 @@ use crate::util::first_nonws_at;
 use crate::EngineOptions;
 use rsq_classify::{BracketType, QuoteScanner, ResumeState, StructuralIterator};
 use rsq_memmem::Finder;
-use rsq_obs::Recorder;
+use rsq_obs::{ProfileStage, Recorder, SkipTechnique};
 use rsq_query::{Automaton, StateId};
 use rsq_simd::Simd;
 
@@ -90,7 +90,17 @@ fn scan_candidates(
     rec: &mut impl Recorder,
 ) -> Result<(), Interrupt> {
     let mut at = 0usize;
-    while let Some(p) = finder.find_from(input, at) {
+    // End of the last structurally-classified region (Tier C byte-span
+    // accounting): everything between `frontier` and the next sub-run's
+    // value start is elided by the memmem head start — the automaton
+    // never sees those bytes, only the quote scanner (in checked mode)
+    // and the substring search touch them.
+    let mut frontier = 0usize;
+    loop {
+        let t = rec.clock();
+        let found = finder.find_from(input, at);
+        rec.stage_ns(ProfileStage::Classify, t);
+        let Some(p) = found else { break };
         // A genuine label's closing quote lies *outside* the string (the
         // prefix-XOR convention marks opening quotes inside and closing
         // quotes outside); a lookalike inside a string has escaped quotes,
@@ -124,6 +134,8 @@ fn scan_candidates(
                 };
                 rec.memmem_jump();
                 rsq_obs::event!(MemmemJump, p, 0u32);
+                rec.skip_span(SkipTechnique::Memmem, frontier, v);
+                frontier = v;
                 let resume = if options.checked_head_start {
                     scanner.resume_state()
                 } else {
@@ -141,7 +153,7 @@ fn scan_candidates(
                     rec.classifier(&it.counters());
                     break;
                 };
-                rec.event();
+                rec.event(v);
                 debug_assert_eq!(first.position(), v);
                 if automaton.is_accepting(target) {
                     sink.record(v)?;
@@ -161,6 +173,7 @@ fn scan_candidates(
                     // scanner's grid; skip re-scanning that region.
                     scanner.catch_up(it.resume_state());
                 }
+                frontier = it.position();
                 at = it.position().max(p + 1);
             }
             b'}' | b']' | b',' | b':' => {
@@ -182,5 +195,8 @@ fn scan_candidates(
             }
         }
     }
+    // Tail: from the last classification frontier to end-of-input, no
+    // structural classification happened.
+    rec.skip_span(SkipTechnique::Memmem, frontier, input.len());
     Ok(())
 }

@@ -81,6 +81,13 @@ pub use rsq_classify::{ValidationError, ValidationErrorKind};
 // the dependency-free `rsq-obs` crate (see `try_run_with_stats`).
 pub use rsq_obs::{BlockStats, ClassifierCounters, NoStats, Recorder, RunStats, SkipStats};
 
+// Tier C observability: the profiling layer — byte-span accounting, stage
+// timers, latency histograms, and the document skip map (see
+// `try_run_with_profile`).
+pub use rsq_obs::{
+    Histogram, ProfileStage, ProfileStats, SkipBytes, SkipMap, SkipTechnique, StageTimes,
+};
+
 use error::Interrupt;
 use rsq_classify::{StructuralIterator, StructuralValidator};
 use rsq_query::{Automaton, CompileError, Query, QueryParseError};
@@ -342,6 +349,57 @@ impl Engine {
         Ok(stats)
     }
 
+    /// Like [`try_run_with_stats`](Self::try_run_with_stats), but returns
+    /// the full Tier C [`ProfileStats`]: the Tier A counters plus
+    /// per-technique `bytes_skipped` (the byte ranges each skip elided),
+    /// wall-clock per pipeline stage, and a bounded-resolution
+    /// [`SkipMap`] of the document.
+    ///
+    /// The match output is byte-identical to [`try_run`](Self::try_run):
+    /// profiling rides the same monomorphized recorder parameter as Tier
+    /// A, so the unprofiled entry points still compile to clock-free
+    /// code; only this entry point reads the monotonic clock (twice per
+    /// fast-forward plus twice per run).
+    ///
+    /// # Errors
+    ///
+    /// As [`try_run`](Self::try_run).
+    pub fn try_run_with_profile<S: Sink>(
+        &self,
+        input: &[u8],
+        sink: &mut S,
+    ) -> Result<ProfileStats, RunError> {
+        let mut profile = ProfileStats::for_document(input.len());
+        self.try_run_impl(input, sink, &mut profile)?;
+        Ok(profile)
+    }
+
+    /// Like [`try_run_with_profile`](Self::try_run_with_profile), but
+    /// accumulates into a caller-owned [`ProfileStats`]. The batch layer
+    /// reuses one profile (and its clock epoch) per worker across all the
+    /// documents of a shard, so steady-state profiled runs allocate no
+    /// per-document skip map — and a profile built with
+    /// [`ProfileStats::new`] carries no map at all.
+    ///
+    /// `profile.stats.bytes` grows by the document length; everything else
+    /// accumulates through the recorder hooks. Unlike
+    /// [`try_run_with_stats`](Self::try_run_with_stats), on an error
+    /// return the partial work performed before the failure remains in the
+    /// accumulator.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_run`](Self::try_run).
+    pub fn try_run_into_profile<S: Sink>(
+        &self,
+        input: &[u8],
+        sink: &mut S,
+        profile: &mut ProfileStats,
+    ) -> Result<(), RunError> {
+        profile.stats.bytes = profile.stats.bytes.saturating_add(input.len() as u64);
+        self.try_run_impl(input, sink, profile)
+    }
+
     fn try_run_impl<S: Sink>(
         &self,
         input: &[u8],
@@ -357,13 +415,16 @@ impl Engine {
             }
         }
         if self.options.strict {
+            let t = rec.clock();
             let mut validator = StructuralValidator::new(self.simd)
                 .strict(true)
                 .with_max_depth(self.options.max_depth);
-            validator
+            let validated = validator
                 .feed(input)
                 .and_then(|()| validator.finish())
-                .map_err(|e| input::map_validation(e, &self.options))?;
+                .map_err(|e| input::map_validation(e, &self.options));
+            rec.stage_ns(ProfileStage::Validate, t);
+            validated?;
         }
         self.run_limited(input, sink, rec)
     }
@@ -536,8 +597,23 @@ impl Engine {
         }
     }
 
-    /// Picks the evaluation strategy and runs it.
+    /// Picks the evaluation strategy and runs it, bracketing the whole
+    /// matching pass as the `automaton` stage (classification is fused
+    /// into it; the `classify` stage counts only the dedicated
+    /// fast-forwards within).
     fn dispatch<S: Sink>(
+        &self,
+        input: &[u8],
+        sink: &mut S,
+        rec: &mut impl Recorder,
+    ) -> Result<(), Interrupt> {
+        let t = rec.clock();
+        let result = self.dispatch_inner(input, sink, rec);
+        rec.stage_ns(ProfileStage::Automaton, t);
+        result
+    }
+
+    fn dispatch_inner<S: Sink>(
         &self,
         input: &[u8],
         sink: &mut S,

@@ -7,7 +7,7 @@ use crate::sink::Sink;
 use crate::util::{first_nonws_at, value_start_after};
 use crate::EngineOptions;
 use rsq_classify::{BracketType, LabelSeek, Structural, StructuralIterator};
-use rsq_obs::Recorder;
+use rsq_obs::{ProfileStage, Recorder, SkipTechnique};
 use rsq_query::{Automaton, PathSymbol, StateId};
 use rsq_stackvec::StackVec;
 
@@ -101,7 +101,10 @@ enum CommaMode {
 /// Applies the state-driven toggle policy (§3.4): commas in arrays whose
 /// entries can match (or must be counted for `[n]` selectors), colons in
 /// objects whose members can match. Returns the comma reporting mode,
-/// cached so the hot comma path needs no automaton lookups.
+/// cached so the hot comma path needs no automaton lookups, and whether
+/// leaf skipping is active in the current container (used by Tier C
+/// byte-span accounting: while active, inter-event gaps are bytes the
+/// technique crossed without event delivery).
 #[inline]
 fn apply_toggles(
     it: &mut StructuralIterator<'_>,
@@ -110,7 +113,7 @@ fn apply_toggles(
     state: StateId,
     container: BracketType,
     rec: &mut impl Recorder,
-) -> CommaMode {
+) -> (CommaMode, bool) {
     let mode = if container != BracketType::Bracket {
         CommaMode::Off
     } else if automaton.needs_indices(state) {
@@ -123,9 +126,9 @@ fn apply_toggles(
     if !options.skip_leaves {
         // Leaf skipping disabled: classify every comma and colon, always.
         it.set_toggles(true, true);
-        return mode;
+        return (mode, false);
     }
-    match container {
+    let leaf_active = match container {
         BracketType::Bracket => {
             let commas = mode != CommaMode::Off;
             it.set_toggles(commas, false);
@@ -133,6 +136,7 @@ fn apply_toggles(
                 // Atomic array entries at this level are skipped over.
                 rec.leaf_skip();
             }
+            !commas
         }
         BracketType::Brace => {
             let colons = automaton.is_object_accepting(state);
@@ -141,9 +145,10 @@ fn apply_toggles(
                 // Atomic member values at this level are skipped over.
                 rec.leaf_skip();
             }
+            !colons
         }
-    }
-    mode
+    };
+    (mode, leaf_active)
 }
 
 /// The corner case of §3.4: the first entry of an array is not preceded by
@@ -222,7 +227,8 @@ pub(crate) fn run_element(
     }
     rec.depth(depth);
 
-    let mut comma_mode = apply_toggles(it, automaton, options, state, root_bracket, rec);
+    let (mut comma_mode, mut leaf_active) =
+        apply_toggles(it, automaton, options, state, root_bracket, rec);
     if root_bracket == BracketType::Bracket {
         try_match_first_item(it, automaton, state, root_pos, sink, rec)?;
     }
@@ -253,7 +259,12 @@ pub(crate) fn run_element(
                 let boundary = stack.top_depth().map_or(1, |d| d + 1);
                 let levels = depth.saturating_sub(boundary);
                 rec.label_seek();
-                match it.seek_label(needle, levels) {
+                let seek_from = it.position();
+                let t = rec.clock();
+                let outcome = it.seek_label(needle, levels);
+                rec.stage_ns(ProfileStage::Classify, t);
+                rec.skip_span(SkipTechnique::Label, seek_from, it.position());
+                match outcome {
                     LabelSeek::Candidate { depth_delta } => {
                         depth = (i64::from(depth) + i64::from(depth_delta)) as u32;
                         if depth > options.max_depth {
@@ -274,8 +285,14 @@ pub(crate) fn run_element(
             }
         }
 
+        let gap_from = it.position();
         let Some(event) = it.next() else { break };
-        rec.event();
+        rec.event(event.position());
+        if leaf_active {
+            // Bytes crossed in one step because commas/colons were
+            // toggled off (atomic members elided by leaf skipping).
+            rec.skip_span(SkipTechnique::Leaf, gap_from, event.position());
+        }
         match event {
             Structural::Opening(bracket, pos) => {
                 let label = it.label_before(pos);
@@ -289,7 +306,13 @@ pub(crate) fn run_element(
                     // Skipping children (§3.3): nothing below can match.
                     rec.child_skip();
                     rsq_obs::event!(ChildSkip, pos, depth);
-                    it.skip_past_close(bracket);
+                    let t = rec.clock();
+                    let close = it.skip_past_close(bracket);
+                    rec.stage_ns(ProfileStage::Classify, t);
+                    // Elided: everything after the (delivered) opening
+                    // through the consumed closing character.
+                    let end = close.map_or_else(|| it.position(), |c| c + 1);
+                    rec.skip_span(SkipTechnique::Child, pos + 1, end);
                     continue;
                 }
                 if depth >= options.max_depth {
@@ -313,7 +336,8 @@ pub(crate) fn run_element(
                     rec.matched();
                     rsq_obs::event!(Match, pos, depth);
                 }
-                comma_mode = apply_toggles(it, automaton, options, state, bracket, &mut *rec);
+                (comma_mode, leaf_active) =
+                    apply_toggles(it, automaton, options, state, bracket, &mut *rec);
                 if bracket == BracketType::Bracket {
                     try_match_first_item(it, automaton, state, pos, sink, &mut *rec)?;
                 }
@@ -338,14 +362,21 @@ pub(crate) fn run_element(
                         // closing brace is delivered as the next event.
                         rec.sibling_skip();
                         rsq_obs::event!(SiblingSkip, _pos, depth);
-                        it.fast_forward_to_close(BracketType::Brace);
+                        let from = it.position();
+                        let t = rec.clock();
+                        let close = it.fast_forward_to_close(BracketType::Brace);
+                        rec.stage_ns(ProfileStage::Classify, t);
+                        // The closing brace is left pending (and will be
+                        // delivered), so the span excludes it.
+                        let end = close.unwrap_or_else(|| it.position());
+                        rec.skip_span(SkipTechnique::Sibling, from, end);
                         continue;
                     }
                 }
                 if depth == 0 {
                     break; // the element this run was started on has closed
                 }
-                comma_mode =
+                (comma_mode, leaf_active) =
                     apply_toggles(it, automaton, options, state, types.get(depth), &mut *rec);
             }
             Structural::Colon(pos) => {
@@ -370,7 +401,12 @@ pub(crate) fn run_element(
                     // remaining siblings.
                     rec.sibling_skip();
                     rsq_obs::event!(SiblingSkip, pos, depth);
-                    it.fast_forward_to_close(BracketType::Brace);
+                    let from = it.position();
+                    let t = rec.clock();
+                    let close = it.fast_forward_to_close(BracketType::Brace);
+                    rec.stage_ns(ProfileStage::Classify, t);
+                    let end = close.unwrap_or_else(|| it.position());
+                    rec.skip_span(SkipTechnique::Sibling, from, end);
                 }
             }
             Structural::Comma(pos) => {
@@ -420,7 +456,7 @@ pub(crate) fn run_document(
     let initial = automaton.initial_state();
     match it.next() {
         Some(Structural::Opening(bracket, pos)) => {
-            rec.event();
+            rec.event(pos);
             if automaton.is_accepting(initial) {
                 sink.record(pos)?; // query `$` on a composite document
                 rec.matched();
@@ -428,9 +464,9 @@ pub(crate) fn run_document(
             }
             run_element(it, automaton, options, initial, bracket, pos, sink, rec)?;
         }
-        Some(_) => {
+        Some(other) => {
             // Malformed document (starts with a closer/comma/colon).
-            rec.event();
+            rec.event(other.position());
         }
         None => {
             // Atomic document: only `$` can match it.

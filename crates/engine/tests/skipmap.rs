@@ -1,0 +1,189 @@
+//! Skip-map property test (DESIGN.md §11): on randomized documents, the
+//! union of cells the Tier C profiler attributes to any skipping
+//! technique must never overlap a cell in which the structural classifier
+//! delivered an event the automaton consumed — `SkipMap::conflicts` is
+//! zero — and the byte-span accounting identity must hold: blocks
+//! classified plus `memmem`-elided bytes equal the block-padded document
+//! size, up to two blocks of slack per resume handoff. Both properties
+//! are checked across every instruction-set backend the host supports,
+//! and the profiled run must report the exact match positions of the
+//! plain run.
+
+use rsq_engine::{Engine, EngineOptions, ProfileStats, SkipTechnique};
+use rsq_query::Query;
+use rsq_simd::BackendKind;
+
+/// Backends the host CPU can run (SWAR always; vector ISAs when present).
+fn supported() -> Vec<Option<BackendKind>> {
+    let mut kinds = vec![None, Some(BackendKind::Swar)];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            kinds.push(Some(BackendKind::Avx2));
+        }
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {
+            kinds.push(Some(BackendKind::Avx512));
+        }
+    }
+    kinds
+}
+
+/// Deterministic xorshift64* generator — the test must reproduce
+/// bit-identically across runs and platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Grows a random JSON value. Labels are drawn from a small pool that
+/// includes the queried names, so descendant queries match at varied
+/// depths; string values include quotes, escapes, and structural bytes
+/// to stress the quote classifier under every skipping technique.
+fn gen_value(rng: &mut Rng, depth: usize, out: &mut String) {
+    const LABELS: &[&str] = &["a", "b", "target", "items", "name", "x9"];
+    const STRINGS: &[&str] = &[
+        "plain",
+        "with \\\"escaped quotes\\\"",
+        "braces { ] } [ inside",
+        "colon : comma , here",
+        "backslash \\\\ tail",
+    ];
+    match if depth == 0 {
+        5 + rng.below(3)
+    } else {
+        rng.below(8)
+    } {
+        0 | 1 => {
+            // Object with 1..=6 members.
+            out.push('{');
+            let n = 1 + rng.below(6);
+            for i in 0..n {
+                if i > 0 {
+                    out.push(',');
+                }
+                let label = LABELS[rng.below(LABELS.len() as u64) as usize];
+                out.push('"');
+                out.push_str(label);
+                out.push_str("\":");
+                gen_value(rng, depth - 1, out);
+            }
+            out.push('}');
+        }
+        2 | 3 => {
+            // Array with 0..=5 elements.
+            out.push('[');
+            let n = rng.below(6);
+            for i in 0..n {
+                if i > 0 {
+                    out.push(',');
+                }
+                gen_value(rng, depth - 1, out);
+            }
+            out.push(']');
+        }
+        4 => {
+            out.push('"');
+            out.push_str(STRINGS[rng.below(STRINGS.len() as u64) as usize]);
+            out.push('"');
+        }
+        5 => {
+            out.push_str(&format!("{}", rng.below(100_000)));
+        }
+        6 => out.push_str("true"),
+        _ => out.push_str("null"),
+    }
+}
+
+fn gen_document(seed: u64) -> String {
+    let mut rng = Rng(seed | 1);
+    let mut out = String::new();
+    // A top-level object of several deep subtrees keeps documents in the
+    // tens-of-kilobytes range with plenty of skippable structure.
+    out.push('{');
+    for i in 0..24 {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"sub{i}\":"));
+        gen_value(&mut rng, 6, &mut out);
+    }
+    out.push('}');
+    out
+}
+
+const QUERIES: &[&str] = &[
+    "$..target",
+    "$..a..b",
+    "$..items.*.name",
+    "$.sub0.a",
+    "$..*",
+];
+
+#[test]
+fn skip_map_never_conflicts_with_consumed_events_across_backends() {
+    for seed in [0x5eed_0001u64, 0xdead_beef, 0x0bad_cafe] {
+        let document = gen_document(seed);
+        let input = document.as_bytes();
+        for query_text in QUERIES {
+            let query = Query::parse(query_text).expect("query parses");
+            for backend in supported() {
+                let options = EngineOptions {
+                    backend,
+                    ..EngineOptions::default()
+                };
+                let engine = Engine::with_options(&query, options).expect("query compiles");
+                let expected = engine.try_positions(input).expect("document is valid");
+
+                let mut positions: Vec<usize> = Vec::new();
+                let profile: ProfileStats = engine
+                    .try_run_with_profile(input, &mut positions)
+                    .expect("document is valid");
+                let context = format!("{query_text} seed={seed:#x} backend={backend:?}");
+
+                // The profiled run observes the plain run's matches.
+                assert_eq!(positions, expected, "positions diverge: {context}");
+
+                // Property 1: no cell is both elided and event-bearing.
+                let map = profile.map.as_ref().expect("for_document attaches a map");
+                assert_eq!(map.conflicts(), 0, "skip-map conflict: {context}");
+
+                // Whole-cell attribution never exceeds the reported spans.
+                for t in SkipTechnique::ALL {
+                    assert!(
+                        map.covered_bytes(t) <= profile.bytes_skipped.get(t),
+                        "map over-attributes {t}: {context}"
+                    );
+                }
+
+                // Property 2: classified blocks + memmem-elided bytes
+                // account for the padded document, ± two blocks per
+                // resume handoff (entry and exit boundary blocks).
+                let covered = (profile.stats.blocks.structural
+                    + profile.stats.blocks.depth
+                    + profile.stats.blocks.seek)
+                    * 64;
+                let accounted = covered + profile.bytes_skipped.get(SkipTechnique::Memmem);
+                let padded = (input.len() as u64).div_ceil(64) * 64;
+                let slack = 64 * (2 * profile.stats.resume_handoffs + 1);
+                assert!(
+                    accounted.abs_diff(padded) <= slack,
+                    "byte accounting broken: classified {covered} + memmem {} = {accounted}, \
+                     padded {padded} (±{slack}): {context}",
+                    profile.bytes_skipped.get(SkipTechnique::Memmem),
+                );
+            }
+        }
+    }
+}

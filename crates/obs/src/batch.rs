@@ -34,6 +34,8 @@ pub struct BatchCounters {
     pub cache_hits: u64,
     /// Compiled-query cache misses: full compilations performed.
     pub cache_misses: u64,
+    /// Compiled-query cache evictions: entries dropped to make room.
+    pub cache_evictions: u64,
 }
 
 impl BatchCounters {
@@ -43,22 +45,56 @@ impl BatchCounters {
         Self::default()
     }
 
+    /// Fraction of cache lookups that hit, in `[0, 1]` (0 when there
+    /// were no lookups).
+    #[must_use]
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let lookups = self.cache_hits.saturating_add(self.cache_misses);
+        if lookups == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.cache_hits as f64 / lookups as f64
+            }
+        }
+    }
+
+    /// Fraction of cache lookups that missed, in `[0, 1]` (0 when there
+    /// were no lookups).
+    #[must_use]
+    pub fn cache_miss_ratio(&self) -> f64 {
+        let lookups = self.cache_hits.saturating_add(self.cache_misses);
+        if lookups == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.cache_misses as f64 / lookups as f64
+            }
+        }
+    }
+
     /// Serializes the counters as single-line JSON (no trailing newline).
     ///
     /// Keys are stable: `documents`, `failed_documents`, `shards`,
-    /// `queue_claims`, `cache_hits`, `cache_misses`.
+    /// `queue_claims`, `cache_hits`, `cache_misses`, `cache_evictions`,
+    /// `cache_hit_ratio`, `cache_miss_ratio`.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(128);
+        let mut s = String::with_capacity(192);
         let _ = write!(
             s,
-            "{{\"documents\":{},\"failed_documents\":{},\"shards\":{},\"queue_claims\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+            "{{\"documents\":{},\"failed_documents\":{},\"shards\":{},\"queue_claims\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\"cache_hit_ratio\":{:.4},\"cache_miss_ratio\":{:.4}}}",
             self.documents,
             self.failed_documents,
             self.shards,
             self.queue_claims,
             self.cache_hits,
             self.cache_misses,
+            self.cache_evictions,
+            self.cache_hit_ratio(),
+            self.cache_miss_ratio(),
         );
         s
     }
@@ -76,8 +112,11 @@ impl fmt::Display for BatchCounters {
         writeln!(f, "queue claims       {}", self.queue_claims)?;
         write!(
             f,
-            "query cache        {} hits, {} misses",
-            self.cache_hits, self.cache_misses
+            "query cache        {} hits, {} misses, {} evictions ({:.1}% hit)",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_hit_ratio() * 100.0
         )
     }
 }
@@ -90,6 +129,7 @@ impl AddAssign for BatchCounters {
         self.queue_claims = self.queue_claims.saturating_add(rhs.queue_claims);
         self.cache_hits = self.cache_hits.saturating_add(rhs.cache_hits);
         self.cache_misses = self.cache_misses.saturating_add(rhs.cache_misses);
+        self.cache_evictions = self.cache_evictions.saturating_add(rhs.cache_evictions);
     }
 }
 
@@ -115,6 +155,7 @@ mod tests {
             queue_claims: 7,
             cache_hits: 2,
             cache_misses: 1,
+            cache_evictions: 0,
         };
         let b = BatchCounters {
             documents: u64::MAX,
@@ -146,5 +187,104 @@ mod tests {
     fn display_mentions_cache() {
         let text = BatchCounters::new().to_string();
         assert!(text.contains("query cache"), "{text}");
+        assert!(text.contains("evictions"), "{text}");
+    }
+
+    #[test]
+    fn ratios_cover_empty_and_mixed_lookups() {
+        let empty = BatchCounters::new();
+        assert!((empty.cache_hit_ratio() - 0.0).abs() < 1e-12);
+        let c = BatchCounters {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..BatchCounters::new()
+        };
+        assert!((c.cache_hit_ratio() - 0.75).abs() < 1e-12);
+        assert!((c.cache_miss_ratio() - 0.25).abs() < 1e-12);
+        let json = c.to_json();
+        assert!(json.contains("\"cache_hit_ratio\":0.7500"), "{json}");
+        assert!(json.contains("\"cache_miss_ratio\":0.2500"), "{json}");
+        assert!(json.contains("\"cache_evictions\":0"), "{json}");
+    }
+
+    #[test]
+    fn merge_is_associative_and_saturates_at_max() {
+        // Three counter sets whose pairwise sums overflow several fields:
+        // (a + b) + c must equal a + (b + c), with every counter pinned
+        // at u64::MAX rather than wrapping.
+        let a = BatchCounters {
+            documents: u64::MAX - 5,
+            failed_documents: 1,
+            shards: 2,
+            queue_claims: u64::MAX,
+            cache_hits: 10,
+            cache_misses: 20,
+            cache_evictions: u64::MAX - 1,
+        };
+        let b = BatchCounters {
+            documents: 10,
+            failed_documents: u64::MAX,
+            shards: 3,
+            queue_claims: 1,
+            cache_hits: u64::MAX,
+            cache_misses: 5,
+            cache_evictions: 7,
+        };
+        let c = BatchCounters {
+            documents: 1,
+            failed_documents: 1,
+            shards: u64::MAX,
+            queue_claims: 2,
+            cache_hits: 4,
+            cache_misses: u64::MAX,
+            cache_evictions: 9,
+        };
+        let left = (a + b) + c;
+        let right = a + (b + c);
+        assert_eq!(left, right, "merge must be associative");
+        assert_eq!(left.documents, u64::MAX);
+        assert_eq!(left.failed_documents, u64::MAX);
+        assert_eq!(left.shards, u64::MAX);
+        assert_eq!(left.queue_claims, u64::MAX);
+        assert_eq!(left.cache_hits, u64::MAX);
+        assert_eq!(left.cache_misses, u64::MAX);
+        assert_eq!(left.cache_evictions, u64::MAX);
+    }
+
+    #[test]
+    fn run_stats_merge_is_associative_and_saturates_at_max() {
+        use crate::RunStats;
+        let mut a = RunStats {
+            bytes: u64::MAX - 1,
+            events: 5,
+            max_depth: 3,
+            matches: u64::MAX,
+            ..RunStats::new()
+        };
+        a.skips.leaf = u64::MAX - 2;
+        let mut b = RunStats {
+            bytes: 10,
+            events: u64::MAX,
+            max_depth: 9,
+            matches: 1,
+            ..RunStats::new()
+        };
+        b.skips.leaf = 1;
+        let mut c = RunStats {
+            bytes: 3,
+            events: 2,
+            max_depth: 1,
+            matches: 4,
+            ..RunStats::new()
+        };
+        c.skips.leaf = u64::MAX;
+        let left = (a + b) + c;
+        let right = a + (b + c);
+        assert_eq!(left, right, "merge must be associative");
+        assert_eq!(left.bytes, u64::MAX);
+        assert_eq!(left.events, u64::MAX);
+        assert_eq!(left.skips.leaf, u64::MAX);
+        assert_eq!(left.matches, u64::MAX);
+        assert_eq!(left.max_depth, 9, "max_depth takes the maximum");
     }
 }

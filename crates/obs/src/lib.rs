@@ -13,6 +13,14 @@
 //!   existed. Counter updates are saturating — they can never panic, even
 //!   under `-C overflow-checks=on`.
 //!
+//! * **Tier C (always compiled, pay-per-use):** the profiling layer
+//!   ([`ProfileStats`]) — per-technique byte-span accounting
+//!   ([`SkipBytes`], [`SkipMap`]), monomorphized stage timers
+//!   ([`StageTimes`]), and a log2-bucketed latency [`Histogram`]. The
+//!   hooks are further defaulted `Recorder` methods, so `NoStats` *and*
+//!   `RunStats` runs still compile to clock-free code; only a run
+//!   driven by `ProfileStats` (the CLI's `--profile`) reads the clock.
+//!
 //! * **Tier B (compile-time feature `obs-trace`):** the [`event!`] and
 //!   [`span!`] macros write fixed-size records (offset + kind + depth —
 //!   no timestamps, so runs are reproducible) into a bounded thread-local
@@ -33,9 +41,18 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod hist;
+mod profile;
+mod skipmap;
 mod stats;
 
 pub use batch::BatchCounters;
+pub use hist::Histogram;
+pub use profile::{
+    prometheus, BatchProfile, ProfileStage, ProfileStats, SkipBytes, StageTimes, WorkerProfile,
+    STATS_SCHEMA_VERSION,
+};
+pub use skipmap::{SkipMap, SkipTechnique};
 pub use stats::{BlockStats, ClassifierCounters, NoStats, Recorder, RunStats, SkipStats};
 
 #[cfg(feature = "obs-trace")]

@@ -226,9 +226,12 @@ impl Add for RunStats {
 /// overrides what it cares about, and the no-op recorder ([`NoStats`])
 /// monomorphizes to nothing at all.
 pub trait Recorder {
-    /// One structural event consumed by the automaton loop.
+    /// One structural event consumed by the automaton loop, at byte
+    /// position `pos`.
     #[inline]
-    fn event(&mut self) {}
+    fn event(&mut self, pos: usize) {
+        let _ = pos;
+    }
 
     /// One leaf-skip toggle decision (commas/colons disabled for the
     /// current container).
@@ -281,6 +284,30 @@ pub trait Recorder {
     fn quote_blocks(&mut self, blocks: u64) {
         let _ = blocks;
     }
+
+    /// Tier C: a skip fast-forward elided the byte range `[from, to)`
+    /// for `technique` (no structural events were delivered from it).
+    #[inline]
+    fn skip_span(&mut self, technique: crate::SkipTechnique, from: usize, to: usize) {
+        let _ = (technique, from, to);
+    }
+
+    /// Tier C: reads the recorder's monotonic clock, in nanoseconds.
+    ///
+    /// Non-profiling recorders return 0 without touching a clock, so
+    /// the surrounding timing brackets fold away entirely.
+    #[inline]
+    fn clock(&mut self) -> u64 {
+        0
+    }
+
+    /// Tier C: closes a timing bracket opened at `start` (a value
+    /// previously returned by [`Recorder::clock`]), attributing the
+    /// elapsed time to `stage`.
+    #[inline]
+    fn stage_ns(&mut self, stage: crate::ProfileStage, start: u64) {
+        let _ = (stage, start);
+    }
 }
 
 /// The no-op recorder: all methods are empty and inline away. Running the
@@ -293,7 +320,7 @@ impl Recorder for NoStats {}
 
 impl Recorder for RunStats {
     #[inline]
-    fn event(&mut self) {
+    fn event(&mut self, _pos: usize) {
         bump(&mut self.events);
     }
 

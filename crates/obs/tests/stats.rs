@@ -29,7 +29,7 @@ fn counters_saturate_instead_of_overflowing() {
     stats.skips.sibling = u64::MAX;
     stats.skips.label = u64::MAX;
 
-    stats.event();
+    stats.event(0);
     stats.leaf_skip();
     stats.child_skip();
     stats.sibling_skip();

@@ -9,16 +9,32 @@
 //!   and label, from the optional per-row `stats`) *decreased* by more
 //!   than the threshold — the engine is fast-forwarding less;
 //! * **work regressions**: total blocks classified *increased* by more
-//!   than the threshold — the engine is touching more input.
+//!   than the threshold — the engine is touching more input;
+//! * **skipped-byte regressions**: `bytes_skipped.total` (from the
+//!   skip-ablation profile columns) *decreased* by more than the
+//!   threshold — the fast-forwards are eliding less input;
+//! * **latency regressions**: the per-document `latency.p99` *rose* by
+//!   more than the threshold.
 //!
 //! Rows present in the old report but missing from the new one are
 //! reported too: a silently dropped experiment must not read as "no
-//! regressions". New rows absent from the old report are informational.
+//! regressions". Likewise a row that *had* a profiling column
+//! (`bytes_skipped`, `latency`) in the old report but lost it in the new
+//! one is a regression — dropped instrumentation must not read as
+//! "nothing to compare". New rows absent from the old report are
+//! informational.
 //!
-//! Skip/work checks only run when *both* rows carry `stats`; throughput
-//! checks always run.
+//! Skip/work/byte/latency checks only run when *both* rows carry the
+//! column (modulo the missing-column check above); throughput checks
+//! always run.
+//!
+//! Reports must carry `"schema_version": 2` (written by `experiments
+//! --json` since the profiling layer landed); older reports are rejected
+//! with an error asking for regeneration rather than silently compared
+//! with missing columns.
 
 use rsq_json::{ValueKind, ValueNode};
+use rsq_obs::STATS_SCHEMA_VERSION;
 use std::fmt;
 use std::path::Path;
 
@@ -36,6 +52,12 @@ pub struct Row {
     /// Total blocks classified (from `stats.blocks_classified.total`),
     /// when the row carries stats.
     pub blocks_total: Option<u64>,
+    /// Total bytes elided by fast-forwards (from `bytes_skipped.total`),
+    /// when the row carries the skip-ablation profile columns.
+    pub bytes_skipped_total: Option<u64>,
+    /// 99th-percentile per-document latency in nanoseconds (from
+    /// `latency.p99`), when the row carries a latency histogram.
+    pub latency_p99: Option<u64>,
 }
 
 /// One detected regression (or report-shape problem).
@@ -74,6 +96,24 @@ pub fn load_report(path: &Path) -> Result<Vec<Row>, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let doc = rsq_json::parse(&bytes)
         .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+    match number_member(&doc, "schema_version") {
+        Some(v) if (v as u64) == STATS_SCHEMA_VERSION => {}
+        Some(v) => {
+            return Err(format!(
+                "{}: report schema version {} is not the supported version \
+                 {STATS_SCHEMA_VERSION}; regenerate it with `experiments --json`",
+                path.display(),
+                v as u64,
+            ));
+        }
+        None => {
+            return Err(format!(
+                "{}: report has no `schema_version` (pre-profiling format); \
+                 regenerate it with `experiments --json`",
+                path.display(),
+            ));
+        }
+    }
     let entries =
         member(&doc, "entries").ok_or_else(|| format!("{}: no `entries` array", path.display()))?;
     let ValueKind::Array(items) = &entries.kind else {
@@ -100,12 +140,20 @@ pub fn load_report(path: &Path) -> Result<Vec<Row>, String> {
             .and_then(|s| member(s, "blocks_classified"))
             .and_then(|b| number_member(b, "total"))
             .map(|n| n as u64);
+        let bytes_skipped_total = member(item, "bytes_skipped")
+            .and_then(|b| number_member(b, "total"))
+            .map(|n| n as u64);
+        let latency_p99 = member(item, "latency")
+            .and_then(|l| number_member(l, "p99"))
+            .map(|n| n as u64);
         rows.push(Row {
             experiment,
             name,
             gbps,
             skips_total,
             blocks_total,
+            bytes_skipped_total,
+            latency_p99,
         });
     }
     Ok(rows)
@@ -113,8 +161,16 @@ pub fn load_report(path: &Path) -> Result<Vec<Row>, String> {
 
 /// Compares two row sets; `threshold_pct` is the relative change (in
 /// percent of the old value) beyond which a difference is a regression.
+/// The latency check gets its own `latency_threshold_pct` because
+/// wall-clock percentiles are far noisier than the deterministic skip
+/// and block counts.
 #[must_use]
-pub fn diff(old: &[Row], new: &[Row], threshold_pct: f64) -> DiffReport {
+pub fn diff(
+    old: &[Row],
+    new: &[Row],
+    threshold_pct: f64,
+    latency_threshold_pct: f64,
+) -> DiffReport {
     let mut report = DiffReport::default();
     let find = |rows: &[Row], e: &str, n: &str| -> Option<Row> {
         rows.iter()
@@ -172,6 +228,54 @@ pub fn diff(old: &[Row], new: &[Row], threshold_pct: f64) -> DiffReport {
                 }
             }
         }
+        // Bytes skipped: eliding less input is worse. A row that lost the
+        // column altogether is a regression too — dropped instrumentation
+        // must not read as "nothing to compare".
+        match (old_row.bytes_skipped_total, new_row.bytes_skipped_total) {
+            (Some(old_bytes), Some(new_bytes)) => {
+                if old_bytes > 0 {
+                    let drop_pct = (old_bytes as f64 - new_bytes as f64) / old_bytes as f64 * 100.0;
+                    if drop_pct > threshold_pct {
+                        report.regressions.push(Regression {
+                            row: key.clone(),
+                            detail: format!(
+                                "bytes skipped dropped {drop_pct:.1}% ({old_bytes} -> {new_bytes})"
+                            ),
+                        });
+                    }
+                }
+            }
+            (Some(_), None) => {
+                report.regressions.push(Regression {
+                    row: key.clone(),
+                    detail: "`bytes_skipped` column missing from the new report".to_owned(),
+                });
+            }
+            (None, _) => {}
+        }
+        // Latency p99: slower tail is worse; same missing-column rule.
+        match (old_row.latency_p99, new_row.latency_p99) {
+            (Some(old_p99), Some(new_p99)) => {
+                if old_p99 > 0 {
+                    let rise_pct = (new_p99 as f64 - old_p99 as f64) / old_p99 as f64 * 100.0;
+                    if rise_pct > latency_threshold_pct {
+                        report.regressions.push(Regression {
+                            row: key.clone(),
+                            detail: format!(
+                                "latency p99 rose {rise_pct:.1}% ({old_p99} -> {new_p99} ns)"
+                            ),
+                        });
+                    }
+                }
+            }
+            (Some(_), None) => {
+                report.regressions.push(Regression {
+                    row: key.clone(),
+                    detail: "`latency` column missing from the new report".to_owned(),
+                });
+            }
+            (None, _) => {}
+        }
     }
     for new_row in new {
         if find(old, &new_row.experiment, &new_row.name).is_none() {
@@ -216,13 +320,15 @@ mod tests {
             gbps,
             skips_total: skips,
             blocks_total: None,
+            bytes_skipped_total: None,
+            latency_p99: None,
         }
     }
 
     #[test]
     fn identical_reports_are_clean() {
         let rows = vec![row("tables", "B1", 3.0, Some(100))];
-        let report = diff(&rows, &rows, 10.0);
+        let report = diff(&rows, &rows, 10.0, 25.0);
         assert!(report.regressions.is_empty());
         assert_eq!(report.compared, 1);
     }
@@ -231,25 +337,25 @@ mod tests {
     fn throughput_drop_beyond_threshold_flags() {
         let old = vec![row("tables", "B1", 3.0, None)];
         let new = vec![row("tables", "B1", 2.5, None)];
-        let report = diff(&old, &new, 10.0);
+        let report = diff(&old, &new, 10.0, 25.0);
         assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
         assert!(report.regressions[0].detail.contains("throughput"));
         // The same drop passes a looser threshold.
-        assert!(diff(&old, &new, 20.0).regressions.is_empty());
+        assert!(diff(&old, &new, 20.0, 25.0).regressions.is_empty());
     }
 
     #[test]
     fn small_fluctuations_pass() {
         let old = vec![row("tables", "B1", 3.0, Some(100))];
         let new = vec![row("tables", "B1", 2.9, Some(95))];
-        assert!(diff(&old, &new, 10.0).regressions.is_empty());
+        assert!(diff(&old, &new, 10.0, 25.0).regressions.is_empty());
     }
 
     #[test]
     fn skip_count_decrease_flags() {
         let old = vec![row("ablations", "A1", 3.0, Some(1000))];
         let new = vec![row("ablations", "A1", 3.0, Some(500))];
-        let report = diff(&old, &new, 10.0);
+        let report = diff(&old, &new, 10.0, 25.0);
         assert_eq!(report.regressions.len(), 1);
         assert!(report.regressions[0].detail.contains("skip events"));
     }
@@ -260,16 +366,60 @@ mod tests {
         let mut new = vec![row("tables", "B1", 3.0, None)];
         old[0].blocks_total = Some(1000);
         new[0].blocks_total = Some(1500);
-        let report = diff(&old, &new, 10.0);
+        let report = diff(&old, &new, 10.0, 25.0);
         assert_eq!(report.regressions.len(), 1);
         assert!(report.regressions[0].detail.contains("blocks"));
+    }
+
+    #[test]
+    fn bytes_skipped_decrease_flags() {
+        let mut old = vec![row("skip-ablation", "B1", 3.0, None)];
+        let mut new = vec![row("skip-ablation", "B1", 3.0, None)];
+        old[0].bytes_skipped_total = Some(4_000_000);
+        new[0].bytes_skipped_total = Some(3_000_000);
+        let report = diff(&old, &new, 10.0, 25.0);
+        assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
+        assert!(report.regressions[0].detail.contains("bytes skipped"));
+        // Within the threshold is fine.
+        new[0].bytes_skipped_total = Some(3_900_000);
+        assert!(diff(&old, &new, 10.0, 25.0).regressions.is_empty());
+    }
+
+    #[test]
+    fn latency_p99_rise_flags_with_its_own_threshold() {
+        let mut old = vec![row("batch-scaling", "threads=4", 3.0, None)];
+        let mut new = vec![row("batch-scaling", "threads=4", 3.0, None)];
+        old[0].latency_p99 = Some(1_000_000);
+        new[0].latency_p99 = Some(1_200_000);
+        // A 20% rise passes the 25% latency threshold even though the
+        // main threshold is tighter...
+        assert!(diff(&old, &new, 10.0, 25.0).regressions.is_empty());
+        // ...but fails once the rise exceeds the latency threshold.
+        new[0].latency_p99 = Some(1_300_000);
+        let report = diff(&old, &new, 10.0, 25.0);
+        assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
+        assert!(report.regressions[0].detail.contains("latency p99"));
+    }
+
+    #[test]
+    fn lost_profile_column_is_a_regression() {
+        let mut old = vec![row("skip-ablation", "B1", 3.0, None)];
+        let new = vec![row("skip-ablation", "B1", 3.0, None)];
+        old[0].bytes_skipped_total = Some(4_000_000);
+        old[0].latency_p99 = Some(1_000_000);
+        let report = diff(&old, &new, 10.0, 25.0);
+        assert_eq!(report.regressions.len(), 2, "{:?}", report.regressions);
+        assert!(report.regressions[0].detail.contains("`bytes_skipped`"));
+        assert!(report.regressions[1].detail.contains("`latency`"));
+        // The other direction — a column gained — is not a regression.
+        assert!(diff(&new, &old, 10.0, 25.0).regressions.is_empty());
     }
 
     #[test]
     fn missing_row_is_a_regression_added_row_is_not() {
         let old = vec![row("tables", "B1", 3.0, None)];
         let new = vec![row("tables", "B2", 3.0, None)];
-        let report = diff(&old, &new, 10.0);
+        let report = diff(&old, &new, 10.0, 25.0);
         assert_eq!(report.regressions.len(), 1);
         assert!(report.regressions[0].detail.contains("missing"));
         assert_eq!(report.added, ["tables/B2"]);
@@ -277,7 +427,7 @@ mod tests {
 
     #[test]
     fn load_report_parses_bench_json() {
-        let json = br#"{"entries":[
+        let json = br#"{"schema_version":2,"entries":[
             {"experiment":"tables","name":"B1","query":"$..a","input_bytes":100,
              "count":5,"gbps":2.5,
              "stats":{"bytes":100,
@@ -285,7 +435,11 @@ mod tests {
                       "events":9,"toggle_flips":0,
                       "skips":{"leaf":1,"child":2,"sibling":3,"label":4},
                       "memmem_jumps":0,"memmem_declined":0,"resume_handoffs":0,
-                      "max_depth":3,"matches":5}},
+                      "max_depth":3,"matches":5},
+             "bytes_skipped":{"leaf":10,"child":20,"sibling":30,"label":0,"memmem":0,"total":60},
+             "skip_rate_pct":60.00,
+             "latency":{"count":4,"sum":4000,"mean":1000.0,"max":1500,
+                        "p50":900,"p90":1400,"p99":1500,"buckets":[[10,4]]}},
             {"experiment":"tables","name":"B2","input_bytes":10,"count":0,"gbps":1.0}
         ]}"#;
         let path = std::env::temp_dir().join(format!("rsq-bench-diff-{}.json", std::process::id()));
@@ -295,7 +449,28 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].skips_total, Some(10));
         assert_eq!(rows[0].blocks_total, Some(5));
+        assert_eq!(rows[0].bytes_skipped_total, Some(60));
+        assert_eq!(rows[0].latency_p99, Some(1500));
         assert!((rows[0].gbps - 2.5).abs() < 1e-9);
         assert_eq!(rows[1].skips_total, None);
+        assert_eq!(rows[1].bytes_skipped_total, None);
+        assert_eq!(rows[1].latency_p99, None);
+    }
+
+    #[test]
+    fn load_report_rejects_unversioned_and_mismatched_reports() {
+        let path =
+            std::env::temp_dir().join(format!("rsq-bench-diff-ver-{}.json", std::process::id()));
+        // Pre-profiling report without a schema version.
+        std::fs::write(&path, br#"{"entries":[]}"#).unwrap();
+        let err = load_report(&path).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+        // A future (or stale) version number is rejected too.
+        std::fs::write(&path, br#"{"schema_version":1,"entries":[]}"#).unwrap();
+        let err = load_report(&path).unwrap_err();
+        assert!(err.contains("version 1"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+        std::fs::remove_file(&path).unwrap();
     }
 }

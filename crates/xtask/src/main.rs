@@ -7,8 +7,9 @@
 //!   through `rsq-difftest` without needing nightly or cargo-fuzz.
 //! * `cargo xtask bench-diff OLD NEW` — the performance regression gate:
 //!   compares two `experiments --json` reports and fails on throughput
-//!   drops, skip-count drops, or classified-block increases beyond a
-//!   threshold.
+//!   drops, skip-count drops, skipped-byte drops, classified-block
+//!   increases, or latency-p99 rises beyond a threshold (latency has its
+//!   own, looser threshold).
 //!
 //! Exit codes: `0` success, `1` findings/mismatches/regressions, `2`
 //! usage or environment error.
@@ -31,9 +32,11 @@ commands:
               run the differential fuzz corpus + a bounded random phase
               (targets: classifier_diff, quotes_diff, depth_diff,
               engine_diff, reader_diff)
-  bench-diff  OLD.json NEW.json [--threshold PCT]
-              compare two `experiments --json` reports; fail on throughput
-              or skip-count regressions beyond PCT percent (default 10)
+  bench-diff  OLD.json NEW.json [--threshold PCT] [--latency-threshold PCT]
+              compare two `experiments --json` reports; fail on throughput,
+              skip-count, or skipped-byte regressions beyond PCT percent
+              (default 10), or latency-p99 rises beyond the latency
+              threshold (default 25); reports must carry schema_version 2
 ";
 
 fn main() -> ExitCode {
@@ -189,7 +192,7 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
         eprintln!("xtask bench-diff: expected OLD.json NEW.json\n\n{USAGE}");
         return ExitCode::from(2);
     };
-    let flags = match parse_flags(&args[2..], &["--threshold"]) {
+    let flags = match parse_flags(&args[2..], &["--threshold", "--latency-threshold"]) {
         Ok(flags) => flags,
         Err(e) => {
             eprintln!("xtask bench-diff: {e}\n\n{USAGE}");
@@ -197,16 +200,19 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
         }
     };
     let mut threshold = 10.0f64;
+    let mut latency_threshold = 25.0f64;
     for (flag, value) in &flags {
-        match flag.as_str() {
-            "--threshold" => match value.parse::<f64>() {
-                Ok(pct) if pct >= 0.0 && pct.is_finite() => threshold = pct,
-                _ => {
-                    eprintln!("xtask bench-diff: `--threshold` needs a non-negative percentage");
-                    return ExitCode::from(2);
-                }
-            },
+        let slot = match flag.as_str() {
+            "--threshold" => &mut threshold,
+            "--latency-threshold" => &mut latency_threshold,
             _ => unreachable!("parse_flags rejected unknown options"),
+        };
+        match value.parse::<f64>() {
+            Ok(pct) if pct >= 0.0 && pct.is_finite() => *slot = pct,
+            _ => {
+                eprintln!("xtask bench-diff: `{flag}` needs a non-negative percentage");
+                return ExitCode::from(2);
+            }
         }
     }
 
@@ -220,9 +226,9 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = bench_diff::diff(&old, &new, threshold);
+    let report = bench_diff::diff(&old, &new, threshold, latency_threshold);
     println!(
-        "bench-diff: {} rows compared (threshold {threshold}%)",
+        "bench-diff: {} rows compared (threshold {threshold}%, latency {latency_threshold}%)",
         report.compared
     );
     for added in &report.added {

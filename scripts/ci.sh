@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, the unsafe audit, tier-1 tests, an
-# overflow-checked test pass, differential fuzz smoke, and (when the
-# host toolchain provides them) Miri and AddressSanitizer lanes.
+# overflow-checked test pass, the profile-overhead gate, differential
+# fuzz smoke, and (when the host toolchain provides them) Miri and
+# AddressSanitizer lanes.
 # Run from anywhere; operates on the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,6 +37,22 @@ echo "==> workspace build + tests with the obs-trace feature (Tier B)"
 cargo build --workspace --features rsq-engine/obs-trace
 cargo test --workspace --features rsq-engine/obs-trace -q
 cargo test -p rsq-obs --features obs-trace -q
+
+echo "==> profile-overhead gate (Tier C compiles out of unprofiled runs)"
+# Tier C profiling is always-compiled (no cargo feature): the Recorder
+# hooks default to empty #[inline] bodies, so NoStats/RunStats runs must
+# stay byte-identical in matches and Tier A counters to a profiled run,
+# and the stats-overhead ablation must stay throughput-neutral. The
+# release-mode guard asserts the consistency half; the skip-map property
+# test pins the byte-span accounting across backends.
+cargo test -p rsq --release --features slow-tests --test obs_overhead -q
+cargo test -p rsq-engine --release --test skipmap -q
+RSQ_BACKEND=swar cargo test -p rsq-engine --release --test skipmap -q
+
+echo "==> profiling lanes (batch profile merge, CLI --profile surface)"
+cargo test -p rsq-batch --release -q profile
+cargo test -p rsq-cli -q profile
+cargo test -p rsq-cli -q metrics
 
 echo "==> differential fuzz smoke (30s budget across all targets)"
 cargo run --quiet --package xtask -- fuzz-smoke --max-seconds 30
