@@ -44,7 +44,7 @@ mod ndjson;
 mod queue;
 
 pub use cache::QueryCache;
-pub use ndjson::split_ndjson;
+pub use ndjson::{split_ndjson, Frame, NdjsonFramer, QuoteScan};
 
 use queue::WorkQueue;
 use rsq_engine::{Engine, EngineError, EngineOptions, LimitKind, ProfileStats, RunError, Scratch};
@@ -118,6 +118,30 @@ pub enum DocErrorKind {
     Limit(LimitKind),
     /// Strict-mode structural validation rejected the document.
     Malformed,
+    /// The per-document deadline passed before the work finished
+    /// (serve mode's watchdog; see [`RunError::DeadlineExceeded`]).
+    Timeout,
+    /// The worker processing this document panicked. The panic was
+    /// contained at the worker boundary; only this document failed.
+    Panic,
+}
+
+impl DocErrorKind {
+    /// Stable machine-readable code for this failure class, used in the
+    /// serve protocol's per-document error lines and in metrics labels.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            DocErrorKind::Io => "io",
+            DocErrorKind::Limit(LimitKind::Depth) => "limit:depth",
+            DocErrorKind::Limit(LimitKind::DocumentBytes) => "limit:document-bytes",
+            DocErrorKind::Limit(LimitKind::LabelBytes) => "limit:label-bytes",
+            DocErrorKind::Limit(LimitKind::Matches) => "limit:matches",
+            DocErrorKind::Malformed => "malformed",
+            DocErrorKind::Timeout => "timeout",
+            DocErrorKind::Panic => "panic",
+        }
+    }
 }
 
 /// A per-document failure. Never fatal to the batch: the remaining
@@ -131,16 +155,27 @@ pub struct DocError {
 }
 
 impl DocError {
-    fn from_run(err: &RunError) -> Self {
+    /// Maps an engine [`RunError`] onto its batch-side mirror, rendering
+    /// the message eagerly so the outcome stays clonable.
+    #[must_use]
+    pub fn from_run(err: &RunError) -> Self {
         let kind = match err {
             RunError::Io(_) => DocErrorKind::Io,
             RunError::LimitExceeded { kind, .. } => DocErrorKind::Limit(*kind),
             RunError::Malformed(_) => DocErrorKind::Malformed,
+            RunError::DeadlineExceeded => DocErrorKind::Timeout,
         };
         DocError {
             kind,
             message: err.to_string(),
         }
+    }
+
+    /// This failure's stable machine-readable code (see
+    /// [`DocErrorKind::code`]).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        self.kind.code()
     }
 }
 
@@ -306,30 +341,37 @@ impl BatchEngine {
                     p.worker.claims += 1;
                 }
                 for i in range {
+                    // Containment at the document boundary: a panic
+                    // inside the engine (or a user sink, via the serve
+                    // path) fails this document, not the whole batch.
                     let outcome = if let Some(p) = prof.as_mut() {
                         let t0 = Instant::now();
-                        let outcome = run_one(
-                            engine,
-                            docs[i],
-                            &mut scratch,
-                            collect_stats,
-                            &mut stats,
-                            Some(&mut p.profile),
-                        );
+                        let outcome = contain(|| {
+                            run_one(
+                                engine,
+                                docs[i],
+                                &mut scratch,
+                                collect_stats,
+                                &mut stats,
+                                Some(&mut p.profile),
+                            )
+                        });
                         let ns = elapsed_ns(t0);
                         p.latency.record(ns);
                         p.worker.busy_ns = p.worker.busy_ns.saturating_add(ns);
                         p.worker.documents += 1;
                         outcome
                     } else {
-                        run_one(
-                            engine,
-                            docs[i],
-                            &mut scratch,
-                            collect_stats,
-                            &mut stats,
-                            None,
-                        )
+                        contain(|| {
+                            run_one(
+                                engine,
+                                docs[i],
+                                &mut scratch,
+                                collect_stats,
+                                &mut stats,
+                                None,
+                            )
+                        })
                     };
                     local.push((i, outcome));
                 }
@@ -346,10 +388,13 @@ impl BatchEngine {
                 let handles: Vec<_> = (0..threads)
                     .map(|w| scope.spawn(move || shard(w)))
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("batch worker panicked"))
-                    .collect()
+                // Per-document panics are contained inside the shard
+                // loop; a join failure means the worker died outside it
+                // (e.g. an allocator abort path that still unwound).
+                // Drop that shard's results — its claimed documents stay
+                // at the "worker thread lost" default below — and keep
+                // the batch alive.
+                handles.into_iter().filter_map(|h| h.join().ok()).collect()
             })
         };
 
@@ -358,7 +403,16 @@ impl BatchEngine {
             profile: profile.then(BatchProfile::default),
             ..BatchResult::default()
         };
-        result.outcomes.resize(docs.len(), Ok(DocOutput::default()));
+        // Default every slot to a lost-worker error: any document whose
+        // shard never reported back (worker died outside the contained
+        // region) surfaces as a per-document failure, not silence.
+        result.outcomes.resize(
+            docs.len(),
+            Err(DocError {
+                kind: DocErrorKind::Panic,
+                message: "worker thread lost".to_owned(),
+            }),
+        );
         // Shards come back in worker-index order (spawn order), so the
         // merged `workers` vec is stable across runs of the same shape.
         for (local, stats, shard_profile) in shards.drain(..) {
@@ -371,12 +425,11 @@ impl BatchEngine {
                 merged.workers.push(sp.worker);
             }
             for (i, outcome) in local {
-                if outcome.is_err() {
-                    result.counters.failed_documents += 1;
-                }
                 result.outcomes[i] = outcome;
             }
         }
+        result.counters.failed_documents =
+            result.outcomes.iter().filter(|o| o.is_err()).count() as u64;
         result.counters.documents = docs.len() as u64;
         result.counters.shards = threads as u64;
         result.counters.queue_claims = queue.claims();
@@ -408,6 +461,56 @@ impl BatchEngine {
         }
         Ok(files)
     }
+}
+
+/// Renders a panic payload the way the default hook would: the `&str` or
+/// `String` message if there is one, a placeholder otherwise.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_owned()
+    }
+}
+
+/// Runs `f`, converting a panic into a per-document
+/// [`DocErrorKind::Panic`] outcome instead of unwinding into the worker
+/// pool. The engine holds no global state and its scratch buffers are
+/// plain `Vec`s, so observing them after an unwind is safe (the next
+/// document clears them); `AssertUnwindSafe` records that judgement.
+fn contain<T>(f: impl FnOnce() -> Result<T, DocError>) -> Result<T, DocError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(DocError {
+            kind: DocErrorKind::Panic,
+            message: format!("worker panicked: {}", panic_message(payload.as_ref())),
+        }),
+    }
+}
+
+/// Runs one document through `engine` into `sink` with panic containment
+/// at the boundary: a panic anywhere inside the run (including a
+/// panicking [`Sink`](rsq_engine::Sink) implementation) comes back as a
+/// [`DocErrorKind::Panic`] outcome for *this* document instead of
+/// unwinding the calling thread. This is the isolation primitive the
+/// batch shard loop and the serve workers share.
+///
+/// # Errors
+///
+/// As [`Engine::try_run`], mapped through [`DocError::from_run`], plus
+/// [`DocErrorKind::Panic`] for contained panics.
+pub fn run_document_contained<S: rsq_engine::Sink>(
+    engine: &Engine,
+    doc: &[u8],
+    sink: &mut S,
+) -> Result<(), DocError> {
+    contain(|| {
+        engine
+            .try_run(doc, sink)
+            .map_err(|e| DocError::from_run(&e))
+    })
 }
 
 /// One worker's accumulated Tier C profile: an engine-side profile shared
@@ -618,6 +721,72 @@ mod tests {
         assert_eq!(result.outcomes[1].as_ref().unwrap().count, 2);
         assert_eq!(result.outcomes[2].as_ref().unwrap().count, 0);
         assert_eq!(&input[ranges[2].clone()], b"[3]");
+    }
+
+    #[test]
+    fn panicking_sink_is_contained_as_doc_error() {
+        // A sink that panics partway through recording — the regression
+        // case for worker-boundary containment: the caller must get a
+        // per-document Panic outcome, not an unwinding thread.
+        struct Bomb {
+            fuse: usize,
+        }
+        impl rsq_engine::Sink for Bomb {
+            fn record(&mut self, _pos: usize) -> Result<(), rsq_engine::SinkFull> {
+                if self.fuse == 0 {
+                    panic!("sink exploded");
+                }
+                self.fuse -= 1;
+                Ok(())
+            }
+        }
+        let engine = Engine::from_text("$..a").unwrap();
+        let doc: &[u8] = br#"{"a": 1, "b": {"a": 2}, "c": {"a": 3}}"#;
+
+        // Silence the default panic hook for the expected panic so the
+        // test log stays readable; restore it after.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = run_document_contained(&engine, doc, &mut Bomb { fuse: 1 }).unwrap_err();
+        std::panic::set_hook(hook);
+
+        assert_eq!(err.kind, DocErrorKind::Panic);
+        assert_eq!(err.code(), "panic");
+        assert!(err.message.contains("sink exploded"), "{}", err.message);
+
+        // A healthy run through the same containment wrapper still works.
+        let mut out: Vec<usize> = Vec::new();
+        run_document_contained(&engine, doc, &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn doc_error_codes_are_distinct_and_stable() {
+        let kinds = [
+            DocErrorKind::Io,
+            DocErrorKind::Limit(LimitKind::Depth),
+            DocErrorKind::Limit(LimitKind::DocumentBytes),
+            DocErrorKind::Limit(LimitKind::LabelBytes),
+            DocErrorKind::Limit(LimitKind::Matches),
+            DocErrorKind::Malformed,
+            DocErrorKind::Timeout,
+            DocErrorKind::Panic,
+        ];
+        let codes: Vec<&str> = kinds.iter().map(|k| k.code()).collect();
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "codes must be distinct");
+        assert_eq!(codes[1], "limit:depth");
+        assert_eq!(codes[6], "timeout");
+    }
+
+    #[test]
+    fn deadline_error_maps_to_timeout_kind() {
+        let err = DocError::from_run(&RunError::DeadlineExceeded);
+        assert_eq!(err.kind, DocErrorKind::Timeout);
+        assert_eq!(err.code(), "timeout");
+        assert_eq!(err.message, "deadline exceeded");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Quote-aware NDJSON splitting.
+//! Quote-aware NDJSON splitting — one-shot and incremental.
 //!
 //! NDJSON (newline-delimited JSON) carries one document per line. A
 //! syntactically valid JSON document cannot contain a raw newline inside
@@ -16,8 +16,63 @@
 //! (CRLF input) is trimmed from each document. Offsets returned are
 //! ranges into the original buffer, so callers can borrow each document
 //! as a subslice without copying.
+//!
+//! Two front-ends share one automaton ([`QuoteScan`]):
+//!
+//! * [`split_ndjson`] — the one-shot batch splitter over a fully
+//!   resident buffer, returning borrowed ranges;
+//! * [`NdjsonFramer`] — the incremental serve-side framer, fed
+//!   arbitrarily fragmented chunks (a 1-byte chunk may split an escape
+//!   sequence or a CRLF pair), carrying string/escape state across chunk
+//!   boundaries and never buffering more than a configured byte cap.
+//!
+//! The two are differentially tested against each other: for any input
+//! and any chunk plan, the framer's documents are byte-identical to the
+//! splitter's.
 
 use std::ops::Range;
+
+/// The quote/escape automaton shared by [`split_ndjson`] and
+/// [`NdjsonFramer`]: tracks whether the scan is inside a JSON string,
+/// honoring backslash escapes (a `"` preceded by an odd run of
+/// backslashes does not close the string).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QuoteScan {
+    in_string: bool,
+    escaped: bool,
+}
+
+impl QuoteScan {
+    /// Advances over one byte. Returns `true` exactly when `b` is a
+    /// document boundary: a newline outside any string.
+    #[inline]
+    pub fn boundary(&mut self, b: u8) -> bool {
+        if self.in_string {
+            if self.escaped {
+                self.escaped = false;
+            } else if b == b'\\' {
+                self.escaped = true;
+            } else if b == b'"' {
+                self.in_string = false;
+            }
+            return false;
+        }
+        match b {
+            b'"' => {
+                self.in_string = true;
+                false
+            }
+            b'\n' => true,
+            _ => false,
+        }
+    }
+
+    /// True while the scan is inside an (unterminated) string.
+    #[must_use]
+    pub fn in_string(&self) -> bool {
+        self.in_string
+    }
+}
 
 /// Splits an NDJSON buffer into one byte range per document.
 ///
@@ -39,26 +94,11 @@ use std::ops::Range;
 pub fn split_ndjson(input: &[u8]) -> Vec<Range<usize>> {
     let mut docs = Vec::new();
     let mut start = 0usize;
-    let mut in_string = false;
-    let mut escaped = false;
+    let mut scan = QuoteScan::default();
     for (i, &b) in input.iter().enumerate() {
-        if in_string {
-            if escaped {
-                escaped = false;
-            } else if b == b'\\' {
-                escaped = true;
-            } else if b == b'"' {
-                in_string = false;
-            }
-            continue;
-        }
-        match b {
-            b'"' => in_string = true,
-            b'\n' => {
-                push_line(input, start, i, &mut docs);
-                start = i + 1;
-            }
-            _ => {}
+        if scan.boundary(b) {
+            push_line(input, start, i, &mut docs);
+            start = i + 1;
         }
     }
     push_line(input, start, input.len(), &mut docs);
@@ -76,12 +116,172 @@ fn push_line(input: &[u8], start: usize, mut end: usize, docs: &mut Vec<Range<us
     }
 }
 
+/// One framed unit produced by [`NdjsonFramer`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete document line (trailing `\r` already trimmed), owned
+    /// because the source chunks are gone by the time the line closes.
+    Doc(Vec<u8>),
+    /// A line that exceeded the framer's byte cap. Its bytes were
+    /// discarded as they arrived — the framer never buffers more than
+    /// the cap (plus one slack byte for `\r` trimming) — so only the
+    /// running length is known.
+    Oversize {
+        /// Bytes of the line seen so far (at least `limit + 1`,
+        /// counting a trailing `\r` if present).
+        bytes_seen: u64,
+        /// The configured cap that tripped.
+        limit: usize,
+    },
+}
+
+/// Incremental, quote-aware NDJSON framer for chunk streams.
+///
+/// The serve-side counterpart of [`split_ndjson`]: bytes arrive in
+/// arbitrarily fragmented chunks (a chunk boundary may fall between a
+/// backslash and the byte it escapes, or inside a CRLF pair) and the
+/// framer carries the [`QuoteScan`] state across them. Semantics are
+/// byte-identical to the one-shot splitter on the concatenated input:
+/// newlines inside strings don't split, blank lines are skipped, one
+/// trailing `\r` is trimmed per line, and [`finish`](Self::finish)
+/// treats end-of-stream like the splitter's final unterminated line.
+///
+/// The one divergence is deliberate: with a byte cap set, a line longer
+/// than the cap is emitted as [`Frame::Oversize`] and its bytes are
+/// *discarded on arrival*, so a hostile client streaming an unbounded
+/// line costs O(cap) memory, not O(line). A whitespace-only line that
+/// exceeds the cap is still silently skipped — the splitter would have
+/// skipped it too, and an error there would break parity.
+#[derive(Debug)]
+pub struct NdjsonFramer {
+    scan: QuoteScan,
+    buf: Vec<u8>,
+    max_document_bytes: Option<usize>,
+    /// The current line overflowed the cap: discard until boundary.
+    overflowing: bool,
+    /// Total bytes of the current (overflowing) line.
+    line_bytes: u64,
+    /// The current line is all-whitespace so far.
+    blank: bool,
+}
+
+impl NdjsonFramer {
+    /// A fresh framer. `max_document_bytes` bounds the per-line buffer;
+    /// `None` means unbounded (memory grows with the longest line).
+    #[must_use]
+    pub fn new(max_document_bytes: Option<usize>) -> Self {
+        NdjsonFramer {
+            scan: QuoteScan::default(),
+            buf: Vec::new(),
+            max_document_bytes,
+            overflowing: false,
+            line_bytes: 0,
+            blank: true,
+        }
+    }
+
+    /// Bytes currently buffered for the in-progress line. Never exceeds
+    /// the configured cap plus one (the one slack byte lets a line whose
+    /// *trimmed* length is exactly the cap keep its trailing `\r` until
+    /// the boundary decides).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Feeds one chunk, invoking `emit` once per completed frame, in
+    /// input order. Chunks may be any size, including empty; state is
+    /// carried so fragmentation never changes the emitted frames.
+    pub fn push(&mut self, chunk: &[u8], emit: &mut impl FnMut(Frame)) {
+        for &b in chunk {
+            if self.scan.boundary(b) {
+                self.close_line(emit);
+                continue;
+            }
+            self.blank = self.blank && b.is_ascii_whitespace();
+            self.line_bytes += 1;
+            if self.overflowing {
+                continue;
+            }
+            if let Some(limit) = self.max_document_bytes {
+                // One byte of slack beyond the cap: a line of exactly
+                // `limit` content bytes plus a trailing `\r` must not
+                // trip (the `\r` is trimmed at the boundary). Whether
+                // the cap really tripped is decided in `close_line`.
+                if self.buf.len() > limit {
+                    self.overflowing = true;
+                    self.buf.clear();
+                    continue;
+                }
+            }
+            self.buf.push(b);
+        }
+    }
+
+    /// Ends the stream: a non-empty trailing line (no final newline) is
+    /// framed exactly like [`split_ndjson`]'s last line. Returns the
+    /// final frame, if any, and resets the framer for reuse.
+    pub fn finish(&mut self) -> Option<Frame> {
+        let mut last = None;
+        if self.line_bytes > 0 {
+            let mut emit = |f: Frame| last = Some(f);
+            self.close_line(&mut emit);
+        }
+        self.scan = QuoteScan::default();
+        last
+    }
+
+    /// Closes the current line at a boundary (or at end of stream):
+    /// skips it if blank, emits `Oversize` if the cap tripped, otherwise
+    /// trims one trailing `\r` and emits the document.
+    fn close_line(&mut self, emit: &mut impl FnMut(Frame)) {
+        if !self.overflowing {
+            if self.buf.last() == Some(&b'\r') {
+                self.buf.pop();
+            }
+            // The slack byte may still be resident: a trimmed line one
+            // byte over the cap is oversize, decided here not in push.
+            if self
+                .max_document_bytes
+                .is_some_and(|limit| self.buf.len() > limit)
+            {
+                self.overflowing = true;
+            }
+        }
+        if self.overflowing {
+            if !self.blank {
+                emit(Frame::Oversize {
+                    bytes_seen: self.line_bytes,
+                    limit: self.max_document_bytes.unwrap_or(0),
+                });
+            }
+        } else if !self.blank {
+            emit(Frame::Doc(std::mem::take(&mut self.buf)));
+        }
+        self.buf.clear();
+        self.overflowing = false;
+        self.line_bytes = 0;
+        self.blank = true;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn lines(input: &[u8]) -> Vec<&[u8]> {
         split_ndjson(input).into_iter().map(|r| &input[r]).collect()
+    }
+
+    /// Frames `input` through the framer in chunks of `step` bytes.
+    fn frames(input: &[u8], step: usize, cap: Option<usize>) -> Vec<Frame> {
+        let mut out = Vec::new();
+        let mut framer = NdjsonFramer::new(cap);
+        for chunk in input.chunks(step.max(1)) {
+            framer.push(chunk, &mut |f| out.push(f));
+        }
+        out.extend(framer.finish());
+        out
     }
 
     #[test]
@@ -137,5 +337,125 @@ mod tests {
     fn unterminated_string_swallows_the_rest() {
         let input = b"{\"a\": \"open\nstill\nsame doc";
         assert_eq!(lines(input), [&input[..]]);
+    }
+
+    /// The shared oracle: for a corpus of tricky inputs and every chunk
+    /// granularity, the incremental framer must produce exactly the
+    /// documents the one-shot splitter does. This is the batch/serve
+    /// parity contract the serve layer leans on.
+    #[test]
+    fn framer_matches_splitter_for_all_chunk_plans() {
+        let corpus: &[&[u8]] = &[
+            b"{\"a\":1}\n[2,3]\ntrue",
+            b"\n\n{\"a\":1}\n   \n\t\n",
+            b"",
+            b"\n",
+            b"{\"a\":1}\r\n{\"b\":2}\r\n",
+            b"{\"a\": \"x\ny\"}\n{\"b\": 2}",
+            b"{\"a\": \"x\\\"\n\"}\n[1]",
+            b"{\"a\": \"}{][\"}\n{\"b\": 1}",
+            b"{\"a\": \"x\\\\\"}\n[2]",
+            b"{\"a\": \"open\nstill\nsame doc",
+            b"no newline at end",
+            b"trailing cr\r",
+            b"\r\n\r\n{\"x\": \"\\r\\n\"}\r\n",
+            b"{\"s\": \"a\\\\\\\"b\"}\n{\"t\": 1}\n",
+        ];
+        for input in corpus {
+            let expect: Vec<Vec<u8>> = split_ndjson(input)
+                .into_iter()
+                .map(|r| input[r].to_vec())
+                .collect();
+            for step in 1..=input.len().max(1) {
+                let got: Vec<Vec<u8>> = frames(input, step, None)
+                    .into_iter()
+                    .map(|f| match f {
+                        Frame::Doc(d) => d,
+                        Frame::Oversize { .. } => panic!("no cap set, no oversize"),
+                    })
+                    .collect();
+                assert_eq!(got, expect, "input {input:?} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn framer_caps_memory_and_reports_oversize() {
+        let long_line: &[u8] = b"{\"long\": \"xxxxxxxxxxxxxxxxxxxxxxxx\"}";
+        let mut input = b"{\"short\": 1}\n".to_vec();
+        input.extend_from_slice(long_line);
+        input.extend_from_slice(b"\n[7]\n");
+        for step in [1, 3, input.len()] {
+            let got = frames(&input, step, Some(16));
+            assert_eq!(
+                got,
+                vec![
+                    Frame::Doc(b"{\"short\": 1}".to_vec()),
+                    Frame::Oversize {
+                        bytes_seen: long_line.len() as u64,
+                        limit: 16
+                    },
+                    Frame::Doc(b"[7]".to_vec()),
+                ],
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn framer_never_buffers_more_than_cap() {
+        let mut framer = NdjsonFramer::new(Some(8));
+        let mut sink = Vec::new();
+        for _ in 0..1000 {
+            framer.push(b"xxxxxxxxxxxxxxxx", &mut |f| sink.push(f));
+            assert!(framer.buffered() <= 8 + 1, "buffered {}", framer.buffered());
+        }
+        assert!(sink.is_empty(), "line never closed");
+        assert_eq!(
+            framer.finish(),
+            Some(Frame::Oversize {
+                bytes_seen: 16_000,
+                limit: 8
+            })
+        );
+    }
+
+    #[test]
+    fn oversize_whitespace_only_line_is_skipped() {
+        // The splitter would skip it; an Oversize error here would break
+        // batch/serve parity.
+        let input = b"                \n[1]\n";
+        assert_eq!(frames(input, 1, Some(4)), vec![Frame::Doc(b"[1]".to_vec())]);
+    }
+
+    #[test]
+    fn finish_resets_for_reuse() {
+        let mut framer = NdjsonFramer::new(None);
+        let mut out = Vec::new();
+        framer.push(b"{\"a\": \"open", &mut |f| out.push(f));
+        assert_eq!(
+            framer.finish(),
+            Some(Frame::Doc(b"{\"a\": \"open".to_vec()))
+        );
+        // The unterminated string must not leak into the next stream.
+        framer.push(b"[1]\n", &mut |f| out.push(f));
+        assert_eq!(out, vec![Frame::Doc(b"[1]".to_vec())]);
+        assert_eq!(framer.finish(), None);
+    }
+
+    #[test]
+    fn exact_cap_length_line_is_not_oversize() {
+        let input = b"[1,2,34]\n";
+        assert_eq!(
+            frames(input, 1, Some(8)),
+            vec![Frame::Doc(b"[1,2,34]".to_vec())]
+        );
+        assert!(matches!(
+            frames(b"[1,2,345]\n", 1, Some(8)).as_slice(),
+            [Frame::Oversize {
+                bytes_seen: 9,
+                limit: 8
+            }]
+        ));
     }
 }

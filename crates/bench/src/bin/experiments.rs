@@ -9,7 +9,7 @@
 //!
 //! Subcommands: `table2`, `table3`, `a`, `b`, `c`, `d`, `appendix-c`,
 //! `semantics`, `ablations`, `stats-overhead`, `skip-ablation`,
-//! `batch-scaling`, `all`.
+//! `batch-scaling`, `serve-latency`, `all`.
 //!
 //! `skip-ablation` reproduces the paper's Table-6-style skip-rate view
 //! from the Tier C profiler: per dataset × query, the bytes each skipping
@@ -77,6 +77,7 @@ fn main() {
             "stats-overhead" => stats_overhead(&mut report),
             "skip-ablation" => skip_ablation(&mut report),
             "batch-scaling" => batch_scaling(&mut report),
+            "serve-latency" => serve_latency(&mut report),
             "all" => {
                 table2();
                 table3();
@@ -90,6 +91,7 @@ fn main() {
                 stats_overhead(&mut report);
                 skip_ablation(&mut report);
                 batch_scaling(&mut report);
+                serve_latency(&mut report);
             }
             other => {
                 eprintln!("unknown subcommand {other:?}");
@@ -589,6 +591,109 @@ fn batch_scaling(report: &mut Report) {
             ),
             result.counters.queue_claims
         );
+    }
+}
+
+/// Serve-mode latency under load (DESIGN.md §12): the same NDJSON corpus
+/// as `batch-scaling` streamed through the serving shell, per-document
+/// latency quantiles from the PR 5 histograms. Three client profiles:
+/// a smooth pipe (whole-buffer reads), a pathologically fragmented one
+/// (17-byte chunks with transient stalls — the framer carries state
+/// across every boundary), and a single-slot in-flight cap (maximum
+/// backpressure: every admit waits for the previous answer).
+fn serve_latency(report: &mut Report) {
+    use rsq_serve::{serve_connection, ChaosPlan, ResponseMode, ServeOptions};
+
+    heading("Serve latency: NDJSON stream through the serving shell, p50/p99 per document");
+    let entry = by_id("B1").expect("catalog has B1");
+    let total = rsq_datagen::default_target_bytes().min(32 * 1024 * 1024);
+    let doc_target = 64 * 1024;
+    let doc_count = (total / doc_target).clamp(8, 256);
+    let mut corpus: Vec<u8> = Vec::with_capacity(doc_count * doc_target);
+    for i in 0..doc_count {
+        let doc = entry.dataset.generate(&GenConfig {
+            target_bytes: doc_target,
+            seed: rsq_bench::BENCH_SEED ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        });
+        corpus.extend_from_slice(&rsq_bench::compact_json(doc.as_bytes()));
+        corpus.push(b'\n');
+    }
+    println!(
+        "{} documents, {:.1} MB; query {}",
+        doc_count,
+        corpus.len() as f64 / 1e6,
+        entry.query
+    );
+    println!(
+        "{:>12} {:>8} {:>8} {:>10} {:>10} {:>10} {:>6}",
+        "client", "ok", "GB/s", "p50(us)", "p99(us)", "max(us)", "waits"
+    );
+
+    let fragmented = ChaosPlan {
+        max_chunk: 17,
+        stall_octile: 1,
+        ..ChaosPlan::smooth(rsq_bench::BENCH_SEED)
+    };
+    let smooth = ChaosPlan::smooth(rsq_bench::BENCH_SEED);
+    let profiles: [(&str, ChaosPlan, usize); 3] = [
+        ("smooth", smooth, ServeOptions::DEFAULT_MAX_INFLIGHT),
+        ("fragmented", fragmented, ServeOptions::DEFAULT_MAX_INFLIGHT),
+        ("inflight-1", smooth, 1),
+    ];
+    let mut baseline_count: Option<u64> = None;
+    for (name, plan, max_inflight) in profiles {
+        let options = ServeOptions {
+            max_inflight,
+            mode: ResponseMode::Count,
+            ..ServeOptions::new(entry.query)
+        };
+        // One timed pass per profile: serve latency is about the shape
+        // of the distribution, and the histogram already aggregates
+        // every document in the corpus.
+        let reader = rsq_serve::ChaosStream::new(&corpus, plan);
+        let mut out = Vec::new();
+        let sink = std::io::sink();
+        let started = std::time::Instant::now();
+        let outcome =
+            serve_connection(&options, reader, &mut out, sink).expect("catalog query compiles");
+        let elapsed = started.elapsed().as_secs_f64();
+        assert!(outcome.clean, "bench stream must drain cleanly");
+        assert_eq!(
+            outcome.first_failure, None,
+            "bench corpus must serve without per-document errors"
+        );
+        let count = outcome.counters.responses_ok;
+        // Responses must not depend on the client's fragmentation or the
+        // in-flight cap.
+        assert_eq!(
+            *baseline_count.get_or_insert(count),
+            count,
+            "serve answered a different number of documents under {name}"
+        );
+        let gbps = corpus.len() as f64 / elapsed / 1e9;
+        let (accounting_waits, latency) = (outcome.counters.backpressure_waits, &outcome.latency);
+        println!(
+            "{:>12} {:>8} {:>8.2} {:>10.1} {:>10.1} {:>10.1} {:>6}",
+            name,
+            count,
+            gbps,
+            latency.p50() as f64 / 1e3,
+            latency.p99() as f64 / 1e3,
+            latency.max() as f64 / 1e3,
+            accounting_waits,
+        );
+        report.push(ReportEntry {
+            experiment: "serve-latency".to_owned(),
+            name: name.to_owned(),
+            query: Some(entry.query.to_owned()),
+            input_bytes: corpus.len() as u64,
+            count,
+            gbps,
+            speedup: None,
+            stats: None,
+            bytes_skipped: None,
+            latency: Some(outcome.latency.clone()),
+        });
     }
 }
 

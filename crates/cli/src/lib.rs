@@ -14,11 +14,14 @@ use rsq_engine::{
     CountSink, Engine, EngineOptions, PositionsSink, ProfileStage, ProfileStats, RunError,
     RunStats, Sink,
 };
-use rsq_obs::{prometheus, STATS_SCHEMA_VERSION};
+// Shared with the serve layer so both render identical value output.
+use rsq_json::node_text;
+use rsq_obs::{prometheus, prometheus_serve, STATS_SCHEMA_VERSION};
 use rsq_query::Query;
+use rsq_serve::{serve_connection, ResponseMode, ServeOptions, ServeReport};
 use std::fmt;
-use std::io::Write;
-use std::time::Instant;
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "\
@@ -62,11 +65,40 @@ in input order, byte-identical to looping rsq over each document):
 a failing document is reported on stderr and does not abort the batch;
 the exit code reflects the first failure's class
 
+serve mode (long-lived; NDJSON documents stream in as chunks, one
+response per document streams back, in input order, byte-identical to
+--batch-ndjson over the same lines):
+  --serve             serve the pipe protocol: documents on stdin,
+                      responses on stdout, error lines
+                      (document N: message [code]) on stderr
+  --serve-socket PATH accept connections on a Unix socket at PATH
+                      (responses and error lines share the socket)
+  --max-inflight N    bound on admitted-but-unanswered documents
+                      (default 64); at the bound the server stops
+                      reading, pushing backpressure to the client
+a failing document is answered with a per-document error and the
+connection keeps serving; --threads sets the per-connection worker
+pool, and the --max-* limits double as per-connection caps
+
+  --deadline-ms N     per-document processing budget; in serve mode
+                      expiry answers that document with a timeout
+                      error, in single-document mode it bounds ingest
+
 exit codes: 0 ok, 1 failure, 2 usage, 3 bad query, 4 I/O error,
-5 resource limit exceeded, 6 malformed document
+5 resource limit exceeded, 6 malformed document, 7 deadline missed
 
 reads from stdin when FILE is omitted (chunked; limits apply while
 bytes arrive)";
+
+/// How serve mode talks to its clients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeTransport {
+    /// One session over stdin/stdout (`--serve`).
+    Pipe,
+    /// A Unix socket accepting connections until killed
+    /// (`--serve-socket PATH`).
+    Unix(String),
+}
 
 /// Where a batch invocation takes its documents from.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -116,6 +148,8 @@ pub enum CliErrorKind {
     Limit,
     /// The document failed strict validation.
     Malformed,
+    /// A per-document deadline passed before the work finished.
+    Deadline,
 }
 
 impl CliErrorKind {
@@ -129,6 +163,7 @@ impl CliErrorKind {
             CliErrorKind::Io => 4,
             CliErrorKind::Limit => 5,
             CliErrorKind::Malformed => 6,
+            CliErrorKind::Deadline => 7,
         }
     }
 }
@@ -165,8 +200,20 @@ impl From<RunError> for CliError {
             RunError::Io(_) => CliErrorKind::Io,
             RunError::LimitExceeded { .. } => CliErrorKind::Limit,
             RunError::Malformed(_) => CliErrorKind::Malformed,
+            RunError::DeadlineExceeded => CliErrorKind::Deadline,
         };
         CliError::new(kind, e.to_string())
+    }
+}
+
+/// Maps a per-document failure class onto the CLI's exit-code classes.
+fn doc_error_kind(kind: DocErrorKind) -> CliErrorKind {
+    match kind {
+        DocErrorKind::Io => CliErrorKind::Io,
+        DocErrorKind::Limit(_) => CliErrorKind::Limit,
+        DocErrorKind::Malformed => CliErrorKind::Malformed,
+        DocErrorKind::Timeout => CliErrorKind::Deadline,
+        DocErrorKind::Panic => CliErrorKind::Failure,
     }
 }
 
@@ -196,6 +243,13 @@ pub struct Invocation {
     /// Write Prometheus-style text exposition to this path after the run
     /// (`--metrics-out`).
     pub metrics_out: Option<String>,
+    /// Serve mode transport (`--serve`/`--serve-socket`); `None` = a
+    /// one-shot invocation.
+    pub serve: Option<ServeTransport>,
+    /// Per-document deadline in milliseconds (`--deadline-ms`).
+    pub deadline_ms: Option<u64>,
+    /// Serve-mode in-flight bound (`--max-inflight`); `None` = default.
+    pub max_inflight: Option<usize>,
 }
 
 impl Invocation {
@@ -214,6 +268,9 @@ impl Invocation {
         let mut saw_stats_json = false;
         let mut profile = false;
         let mut metrics_out: Option<String> = None;
+        let mut serve: Option<ServeTransport> = None;
+        let mut deadline_ms: Option<u64> = None;
+        let mut max_inflight: Option<usize> = None;
         let mut rest: Vec<&str> = Vec::new();
         let mut it = args.iter();
         // A valued flag accepts both `--flag N` and `--flag=N`.
@@ -238,6 +295,7 @@ impl Invocation {
                 "--stats-json" => saw_stats_json = true,
                 "--profile" => profile = true,
                 "--compile" => mode = Mode::Compile,
+                "--serve" => serve = Some(ServeTransport::Pipe),
                 "--strict" => options.strict = true,
                 "--help" | "-h" => return Err(String::new()),
                 flag if flag.starts_with("--") => {
@@ -255,6 +313,12 @@ impl Invocation {
                         threads = Some(parse_number("--threads", &v?)?);
                     } else if let Some(v) = value_of("--metrics-out", flag, &mut it) {
                         metrics_out = Some(v?);
+                    } else if let Some(v) = value_of("--serve-socket", flag, &mut it) {
+                        serve = Some(ServeTransport::Unix(v?));
+                    } else if let Some(v) = value_of("--deadline-ms", flag, &mut it) {
+                        deadline_ms = Some(parse_number("--deadline-ms", &v?)?);
+                    } else if let Some(v) = value_of("--max-inflight", flag, &mut it) {
+                        max_inflight = Some(parse_number("--max-inflight", &v?)?);
                     } else {
                         return Err(format!("unknown flag {flag}"));
                     }
@@ -286,13 +350,36 @@ impl Invocation {
         if (profile || metrics_out.is_some()) && matches!(mode, Mode::Stats | Mode::Compile) {
             return Err("--profile/--metrics-out require a QUERY to run".to_owned());
         }
-        if threads.is_some() && batch.is_none() {
-            return Err("--threads requires --batch-ndjson or --batch-dir".to_owned());
+        if threads.is_some() && batch.is_none() && serve.is_none() {
+            return Err("--threads requires a batch or serve mode".to_owned());
         }
         if batch.is_some() && !matches!(mode, Mode::Values | Mode::Count | Mode::Positions) {
             return Err(
                 "batch mode supports the default, --count, and --positions modes".to_owned(),
             );
+        }
+        if serve.is_some() {
+            if batch.is_some() {
+                return Err("serve and batch modes are mutually exclusive".to_owned());
+            }
+            if !matches!(mode, Mode::Values | Mode::Count | Mode::Positions) {
+                return Err(
+                    "serve mode supports the default, --count, and --positions modes".to_owned(),
+                );
+            }
+            if profile {
+                return Err("--profile is not supported in serve mode".to_owned());
+            }
+        }
+        if max_inflight.is_some() && serve.is_none() {
+            return Err("--max-inflight requires --serve or --serve-socket".to_owned());
+        }
+        if max_inflight == Some(0) {
+            return Err("--max-inflight must be at least 1".to_owned());
+        }
+        if deadline_ms.is_some() && (batch.is_some() || matches!(mode, Mode::Stats | Mode::Compile))
+        {
+            return Err("--deadline-ms applies to serve and single-document runs".to_owned());
         }
         let threads = threads.unwrap_or(0);
         let invocation = |mode, query: &str, file: Option<&str>| Invocation {
@@ -305,7 +392,17 @@ impl Invocation {
             threads,
             profile,
             metrics_out: metrics_out.clone(),
+            serve: serve.clone(),
+            deadline_ms,
+            max_inflight,
         };
+        if serve.is_some() {
+            return match rest.as_slice() {
+                [query] => Ok(invocation(mode, query, None)),
+                [_, _] => Err("serve mode reads from its transport, not FILE".to_owned()),
+                _ => Err("expected QUERY".to_owned()),
+            };
+        }
         match mode {
             Mode::Stats => match rest.as_slice() {
                 [] => Ok(invocation(mode, "", None)),
@@ -340,21 +437,30 @@ fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, Stri
 
 /// Ingests the document through the engine's hardened reader path:
 /// chunked reads (stdin included), transient-error retry, and limits
-/// enforced while bytes arrive.
-fn read_input(engine: &Engine, file: Option<&str>) -> Result<Vec<u8>, CliError> {
+/// enforced while bytes arrive. With a `--deadline-ms` budget the
+/// ingest loop aborts once the deadline passes (sources that block
+/// inside the OS need a read timeout for the check to fire).
+fn read_input(
+    engine: &Engine,
+    file: Option<&str>,
+    deadline_ms: Option<u64>,
+) -> Result<Vec<u8>, CliError> {
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let ingest = |reader: &mut dyn Read| match deadline {
+        Some(d) => engine.read_document_with_deadline(reader, d),
+        None => engine.read_document(reader),
+    };
     match file {
         Some(path) => {
             let file = std::fs::File::open(path)
                 .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot read {path}: {e}")))?;
-            engine
-                .read_document(std::io::BufReader::new(file))
-                .map_err(|e| {
-                    let mut err = CliError::from(e);
-                    err.message = format!("{path}: {}", err.message);
-                    err
-                })
+            ingest(&mut std::io::BufReader::new(file)).map_err(|e| {
+                let mut err = CliError::from(e);
+                err.message = format!("{path}: {}", err.message);
+                err
+            })
         }
-        None => engine.read_document(std::io::stdin().lock()).map_err(|e| {
+        None => ingest(&mut std::io::stdin().lock()).map_err(|e| {
             let mut err = CliError::from(e);
             err.message = format!("stdin: {}", err.message);
             err
@@ -467,9 +573,15 @@ fn versioned_stats_json(stats: &RunStats, profile: Option<&ProfileStats>) -> Str
 /// mode) an engine/oracle mismatch.
 pub fn run(
     invocation: &Invocation,
-    out: &mut impl Write,
-    err: &mut impl Write,
+    out: &mut (impl Write + Send),
+    err: &mut (impl Write + Send),
 ) -> Result<(), CliError> {
+    if let Some(transport) = &invocation.serve {
+        return match transport {
+            ServeTransport::Pipe => run_serve_pipe(invocation, std::io::stdin().lock(), out, err),
+            ServeTransport::Unix(path) => run_serve_unix(invocation, path, err),
+        };
+    }
     let emit = |out: &mut dyn Write, text: std::fmt::Arguments<'_>| {
         writeln!(out, "{text}")
             .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))
@@ -533,7 +645,7 @@ pub fn run(
         Mode::Count => {
             let engine = compile(invocation)?;
             let t_ingest = want_profile.then(Instant::now);
-            let input = read_input(&engine, invocation.file.as_deref())?;
+            let input = read_input(&engine, invocation.file.as_deref(), invocation.deadline_ms)?;
             let ingest_ns = t_ingest.map(elapsed_ns);
             let mut sink = CountSink::new();
             let mut report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
@@ -545,7 +657,7 @@ pub fn run(
         Mode::Positions => {
             let engine = compile(invocation)?;
             let t_ingest = want_profile.then(Instant::now);
-            let input = read_input(&engine, invocation.file.as_deref())?;
+            let input = read_input(&engine, invocation.file.as_deref(), invocation.deadline_ms)?;
             let ingest_ns = t_ingest.map(elapsed_ns);
             let mut sink = PositionsSink::new();
             let mut report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
@@ -559,7 +671,7 @@ pub fn run(
         Mode::Values => {
             let engine = compile(invocation)?;
             let t_ingest = want_profile.then(Instant::now);
-            let input = read_input(&engine, invocation.file.as_deref())?;
+            let input = read_input(&engine, invocation.file.as_deref(), invocation.deadline_ms)?;
             let ingest_ns = t_ingest.map(elapsed_ns);
             let mut sink = PositionsSink::new();
             let mut report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
@@ -576,7 +688,7 @@ pub fn run(
                 .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))?;
             let engine = Engine::with_options(&query, invocation.options)
                 .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))?;
-            let input = read_input(&engine, invocation.file.as_deref())?;
+            let input = read_input(&engine, invocation.file.as_deref(), invocation.deadline_ms)?;
             let mut sink = PositionsSink::new();
             let report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
             let streamed = sink.into_positions();
@@ -601,6 +713,142 @@ pub fn run(
                 ))
             }
         }
+    }
+}
+
+/// Assembles [`ServeOptions`] from a parsed serve invocation.
+fn serve_options(invocation: &Invocation) -> ServeOptions {
+    ServeOptions {
+        query: invocation.query.clone(),
+        engine: invocation.options,
+        mode: match invocation.mode {
+            Mode::Count => ResponseMode::Count,
+            Mode::Positions => ResponseMode::Positions,
+            _ => ResponseMode::Values,
+        },
+        threads: invocation.threads,
+        max_inflight: invocation
+            .max_inflight
+            .unwrap_or(ServeOptions::DEFAULT_MAX_INFLIGHT),
+        deadline: invocation.deadline_ms.map(Duration::from_millis),
+    }
+}
+
+/// Writes the serve-mode reports (`--stats`/`--stats-json` on `err`,
+/// `--metrics-out` exposition including latency quantiles) and turns the
+/// session outcome into the exit classification: per-document failures
+/// map to the first failure's class, a lost connection to an I/O error.
+fn finish_serve(
+    invocation: &Invocation,
+    err: &mut impl Write,
+    report: &ServeReport,
+) -> Result<(), CliError> {
+    if let Some(path) = &invocation.metrics_out {
+        let text = prometheus_serve(&report.counters, Some(&report.latency));
+        std::fs::write(path, text)
+            .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot write {path}: {e}")))?;
+    }
+    match invocation.stats {
+        Some(StatsFormat::Json) => writeln!(
+            err,
+            "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"serve\":{}}}",
+            report.counters.to_json()
+        ),
+        Some(StatsFormat::Human) => writeln!(err, "{}", report.counters),
+        None => Ok(()),
+    }
+    .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))?;
+    if let Some(kind) = report.first_failure {
+        return Err(CliError::new(
+            doc_error_kind(kind),
+            format!(
+                "{} of {} documents failed",
+                report.counters.failed_documents(),
+                report.counters.documents
+            ),
+        ));
+    }
+    if !report.clean {
+        return Err(CliError::new(
+            CliErrorKind::Io,
+            "connection lost before the stream completed",
+        ));
+    }
+    Ok(())
+}
+
+/// Serves the pipe protocol over an arbitrary reader (stdin in the
+/// binary; test harnesses substitute chaos streams): one session, then
+/// the post-drain reports.
+///
+/// # Errors
+///
+/// As [`run`]: bad queries, report-write failures, and the session's
+/// exit classification.
+pub fn run_serve_pipe(
+    invocation: &Invocation,
+    reader: impl Read,
+    out: &mut (impl Write + Send),
+    err: &mut (impl Write + Send),
+) -> Result<(), CliError> {
+    let options = serve_options(invocation);
+    let report = serve_connection(&options, reader, &mut *out, &mut *err)
+        .map_err(|e| CliError::new(CliErrorKind::Query, e.message))?;
+    finish_serve(invocation, err, &report)
+}
+
+/// Serves connections on a Unix socket until the process is killed. A
+/// stale socket file at `path` is replaced. Reports (`--stats*`,
+/// `--metrics-out`) are refreshed after every connection drains, so a
+/// long-lived server keeps its metrics file current.
+fn run_serve_unix(
+    invocation: &Invocation,
+    path: &str,
+    err: &mut (impl Write + Send),
+) -> Result<(), CliError> {
+    let options = serve_options(invocation);
+    // Compile eagerly so a bad query fails at startup, not on the first
+    // connection.
+    compile(invocation)?;
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)
+        .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot bind {path}: {e}")))?;
+    let mut aggregate = ServeReport::default();
+    loop {
+        let (stream, _) = listener
+            .accept()
+            .map_err(|e| CliError::new(CliErrorKind::Io, format!("accept on {path}: {e}")))?;
+        let out = stream
+            .try_clone()
+            .and_then(|o| stream.try_clone().map(|e| (o, e)));
+        let (sock_out, sock_err) = match out {
+            Ok(pair) => pair,
+            // The client vanished between accept and setup: count it
+            // and keep serving.
+            Err(_) => {
+                aggregate.counters.io_errors += 1;
+                continue;
+            }
+        };
+        let report = serve_connection(&options, &stream, sock_out, sock_err)
+            .map_err(|e| CliError::new(CliErrorKind::Query, e.message))?;
+        aggregate.merge(&report);
+        if let Some(path) = &invocation.metrics_out {
+            let text = prometheus_serve(&aggregate.counters, Some(&aggregate.latency));
+            std::fs::write(path, text).map_err(|e| {
+                CliError::new(CliErrorKind::Io, format!("cannot write {path}: {e}"))
+            })?;
+        }
+        match invocation.stats {
+            Some(StatsFormat::Json) => writeln!(
+                err,
+                "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"serve\":{}}}",
+                aggregate.counters.to_json()
+            ),
+            Some(StatsFormat::Human) => writeln!(err, "{}", aggregate.counters),
+            None => Ok(()),
+        }
+        .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))?;
     }
 }
 
@@ -675,12 +923,7 @@ fn run_batch(
             .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))?,
             Err(doc_err) => {
                 failed += 1;
-                let kind = match doc_err.kind {
-                    DocErrorKind::Io => CliErrorKind::Io,
-                    DocErrorKind::Limit(_) => CliErrorKind::Limit,
-                    DocErrorKind::Malformed => CliErrorKind::Malformed,
-                };
-                first_failure.get_or_insert(kind);
+                first_failure.get_or_insert(doc_error_kind(doc_err.kind));
                 writeln!(err, "{}: {}", labels[i], doc_err.message).map_err(|e| {
                     CliError::new(CliErrorKind::Failure, format!("write error: {e}"))
                 })?;
@@ -752,65 +995,6 @@ fn add_driver_stages(
             p.add_stage_ns(ProfileStage::Sink, elapsed_ns(t0));
         }
     }
-}
-
-/// Extracts the text of the JSON value starting at `pos`.
-fn node_text(document: &[u8], pos: usize) -> Option<&str> {
-    let bytes = document.get(pos..)?;
-    let end = match bytes.first()? {
-        open @ (b'{' | b'[') => {
-            let close = if *open == b'{' { b'}' } else { b']' };
-            let open = *open;
-            let mut depth = 0usize;
-            let mut in_string = false;
-            let mut escaped = false;
-            let mut end = None;
-            for (i, &b) in bytes.iter().enumerate() {
-                if in_string {
-                    if escaped {
-                        escaped = false;
-                    } else if b == b'\\' {
-                        escaped = true;
-                    } else if b == b'"' {
-                        in_string = false;
-                    }
-                    continue;
-                }
-                if b == b'"' {
-                    in_string = true;
-                } else if b == open {
-                    depth += 1;
-                } else if b == close {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = Some(i + 1);
-                        break;
-                    }
-                }
-            }
-            end?
-        }
-        b'"' => {
-            let mut escaped = false;
-            let mut end = None;
-            for (i, &b) in bytes.iter().enumerate().skip(1) {
-                if escaped {
-                    escaped = false;
-                } else if b == b'\\' {
-                    escaped = true;
-                } else if b == b'"' {
-                    end = Some(i + 1);
-                    break;
-                }
-            }
-            end?
-        }
-        _ => bytes
-            .iter()
-            .position(|&b| matches!(b, b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r'))
-            .unwrap_or(bytes.len()),
-    };
-    std::str::from_utf8(&bytes[..end]).ok()
 }
 
 #[cfg(test)]
@@ -920,6 +1104,9 @@ mod tests {
                 threads: 0,
                 profile: false,
                 metrics_out: None,
+                serve: None,
+                deadline_ms: None,
+                max_inflight: None,
             };
             assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "2\n");
             assert_eq!(run_to_string(&inv(Mode::Values)).unwrap(), "2\n3\n");
@@ -942,6 +1129,9 @@ mod tests {
             threads: 0,
             profile: false,
             metrics_out: None,
+            serve: None,
+            deadline_ms: None,
+            max_inflight: None,
         };
         assert_eq!(
             run(&bad_query, &mut Vec::new(), &mut Vec::new())
@@ -960,6 +1150,9 @@ mod tests {
             threads: 0,
             profile: false,
             metrics_out: None,
+            serve: None,
+            deadline_ms: None,
+            max_inflight: None,
         };
         assert_eq!(
             run(&missing_file, &mut Vec::new(), &mut Vec::new())
@@ -982,6 +1175,9 @@ mod tests {
                 threads: 0,
                 profile: false,
                 metrics_out: None,
+                serve: None,
+                deadline_ms: None,
+                max_inflight: None,
             };
             assert_eq!(
                 run(&strict, &mut Vec::new(), &mut Vec::new())
@@ -1005,6 +1201,9 @@ mod tests {
                 threads: 0,
                 profile: false,
                 metrics_out: None,
+                serve: None,
+                deadline_ms: None,
+                max_inflight: None,
             };
             assert_eq!(
                 run(&limited, &mut Vec::new(), &mut Vec::new())
@@ -1028,6 +1227,9 @@ mod tests {
                 threads: 0,
                 profile: false,
                 metrics_out: None,
+                serve: None,
+                deadline_ms: None,
+                max_inflight: None,
             };
             let out = run_to_string(&inv).unwrap();
             assert!(out.contains("nodes     4"), "{out}");
@@ -1048,6 +1250,9 @@ mod tests {
                 threads: 0,
                 profile: false,
                 metrics_out: None,
+                serve: None,
+                deadline_ms: None,
+                max_inflight: None,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1113,6 +1318,9 @@ mod tests {
                     threads: 2,
                     profile: false,
                     metrics_out: None,
+                    serve: None,
+                    deadline_ms: None,
+                    max_inflight: None,
                 };
                 assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "1\n1\n0\n");
                 assert_eq!(
@@ -1140,6 +1348,9 @@ mod tests {
                 threads: 1,
                 profile: false,
                 metrics_out: None,
+                serve: None,
+                deadline_ms: None,
+                max_inflight: None,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1165,6 +1376,9 @@ mod tests {
                 threads: 1,
                 profile: false,
                 metrics_out: None,
+                serve: None,
+                deadline_ms: None,
+                max_inflight: None,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1198,6 +1412,9 @@ mod tests {
             threads: 2,
             profile: false,
             metrics_out: None,
+            serve: None,
+            deadline_ms: None,
+            max_inflight: None,
         };
         let mut out = Vec::new();
         let mut err = Vec::new();
@@ -1237,6 +1454,9 @@ mod tests {
                 threads: 0,
                 profile,
                 metrics_out: None,
+                serve: None,
+                deadline_ms: None,
+                max_inflight: None,
             };
             let mut err = Vec::new();
             run(&inv(false), &mut Vec::new(), &mut err).unwrap();
@@ -1283,6 +1503,9 @@ mod tests {
                 threads: 0,
                 profile: true,
                 metrics_out: None,
+                serve: None,
+                deadline_ms: None,
+                max_inflight: None,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1309,6 +1532,9 @@ mod tests {
                 threads: 0,
                 profile: true,
                 metrics_out: Some(metrics_path.clone()),
+                serve: None,
+                deadline_ms: None,
+                max_inflight: None,
             };
             let mut err = Vec::new();
             run(&inv, &mut Vec::new(), &mut err).unwrap();
@@ -1333,6 +1559,9 @@ mod tests {
                 threads: 1,
                 profile: true,
                 metrics_out: None,
+                serve: None,
+                deadline_ms: None,
+                max_inflight: None,
             };
             let mut err = Vec::new();
             run(&inv(Some(StatsFormat::Json)), &mut Vec::new(), &mut err).unwrap();
@@ -1370,9 +1599,138 @@ mod tests {
             threads: 0,
             profile: false,
             metrics_out: None,
+            serve: None,
+            deadline_ms: None,
+            max_inflight: None,
         };
         let out = run_to_string(&inv).unwrap();
         assert!(out.starts_with("digraph"));
         assert!(out.contains("doublecircle"));
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let inv = parse(&["--serve", "--count", "$..b"]).unwrap();
+        assert_eq!(inv.serve, Some(ServeTransport::Pipe));
+        assert_eq!(inv.mode, Mode::Count);
+        assert_eq!(inv.file, None);
+
+        let inv = parse(&[
+            "--serve-socket=/tmp/rsq.sock",
+            "--deadline-ms",
+            "250",
+            "--max-inflight",
+            "8",
+            "--threads",
+            "2",
+            "$..b",
+        ])
+        .unwrap();
+        assert_eq!(
+            inv.serve,
+            Some(ServeTransport::Unix("/tmp/rsq.sock".to_owned()))
+        );
+        assert_eq!(inv.deadline_ms, Some(250));
+        assert_eq!(inv.max_inflight, Some(8));
+        assert_eq!(inv.threads, 2);
+
+        // Serve reads from its transport: exactly one positional.
+        assert!(parse(&["--serve", "$..b", "f.json"]).is_err());
+        assert!(parse(&["--serve"]).is_err());
+        // Incompatible modes and flags.
+        assert!(parse(&["--serve", "--batch-ndjson", "$..b"]).is_err());
+        assert!(parse(&["--serve", "--verify", "$..b"]).is_err());
+        assert!(parse(&["--serve", "--profile", "$..b"]).is_err());
+        // Flag dependencies and ranges.
+        assert!(parse(&["--max-inflight", "4", "$..b"]).is_err());
+        assert!(parse(&["--max-inflight", "0", "--serve", "$..b"]).is_err());
+        assert!(parse(&["--deadline-ms", "5", "--batch-ndjson", "$..b"]).is_err());
+        assert!(parse(&["--deadline-ms", "5", "--compile", "$.a"]).is_err());
+        // Single-document runs may carry an ingest deadline.
+        assert_eq!(
+            parse(&["--deadline-ms", "5", "$..b", "f.json"])
+                .unwrap()
+                .deadline_ms,
+            Some(5)
+        );
+    }
+
+    fn serve_invocation(mode: Mode) -> Invocation {
+        Invocation {
+            mode,
+            query: "$..b".to_owned(),
+            file: None,
+            options: EngineOptions::default(),
+            stats: None,
+            batch: None,
+            threads: 2,
+            profile: false,
+            metrics_out: None,
+            serve: Some(ServeTransport::Pipe),
+            deadline_ms: None,
+            max_inflight: None,
+        }
+    }
+
+    const SERVE_INPUT: &[u8] = b"{\"a\": {\"b\": 1}}\n{\"b\": [1, {\"b\": 2}]}\n";
+
+    #[test]
+    fn serve_pipe_counts_and_reports_stats_json() {
+        let mut inv = serve_invocation(Mode::Count);
+        inv.stats = Some(StatsFormat::Json);
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        run_serve_pipe(&inv, SERVE_INPUT, &mut out, &mut err).unwrap();
+        assert_eq!(out, b"1\n2\n");
+        let stderr = String::from_utf8(err).unwrap();
+        assert!(stderr.contains("\"serve\":{"), "{stderr}");
+        assert!(stderr.contains("\"documents\":2"), "{stderr}");
+        assert!(stderr.contains("\"responses_ok\":2"), "{stderr}");
+    }
+
+    #[test]
+    fn serve_pipe_writes_metrics_exposition() {
+        with_temp_file("", |path| {
+            let mut inv = serve_invocation(Mode::Count);
+            inv.metrics_out = Some(path.to_owned());
+            let mut out = Vec::new();
+            run_serve_pipe(&inv, SERVE_INPUT, &mut out, &mut Vec::new()).unwrap();
+            let text = std::fs::read_to_string(path).unwrap();
+            assert!(text.contains("rsq_serve_documents_total 2"), "{text}");
+            assert!(
+                text.contains("rsq_serve_document_latency_ns{quantile=\"0.99\"}"),
+                "{text}"
+            );
+        });
+    }
+
+    #[test]
+    fn serve_deadline_classifies_as_deadline_exit() {
+        let mut inv = serve_invocation(Mode::Count);
+        inv.deadline_ms = Some(0);
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let error = run_serve_pipe(&inv, SERVE_INPUT, &mut out, &mut err).unwrap_err();
+        assert_eq!(error.kind, CliErrorKind::Deadline);
+        assert_eq!(error.kind.exit_code(), 7);
+        assert!(error.to_string().contains("2 of 2 documents failed"));
+        assert!(out.is_empty());
+        let stderr = String::from_utf8(err).unwrap();
+        assert!(stderr.contains("[timeout]"), "{stderr}");
+    }
+
+    #[test]
+    fn serve_limit_errors_answer_the_rest_and_set_exit_class() {
+        let mut inv = serve_invocation(Mode::Count);
+        inv.options.max_matches = Some(1);
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let error = run_serve_pipe(&inv, SERVE_INPUT, &mut out, &mut err).unwrap_err();
+        assert_eq!(error.kind, CliErrorKind::Limit);
+        // Document 1 (one match) still answers; document 2 trips the cap.
+        assert_eq!(out, b"1\n");
+        let stderr = String::from_utf8(err).unwrap();
+        assert!(stderr.contains("document 2:"), "{stderr}");
+        assert!(stderr.contains("[limit:matches]"), "{stderr}");
     }
 }

@@ -27,11 +27,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(
-        &invocation,
-        &mut std::io::stdout().lock(),
-        &mut std::io::stderr().lock(),
-    ) {
+    // Unlocked handles: serve mode hands the writers to an emitter
+    // thread, and the lock guards are not `Send`. `Stdout`/`Stderr`
+    // lock per write, which every mode's line-at-a-time output is
+    // already sized for.
+    match run(&invocation, &mut std::io::stdout(), &mut std::io::stderr()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(error) => {
             eprintln!("rsq: {error}");

@@ -75,16 +75,21 @@ pub enum Target {
     /// `run_reader` over randomized chunk splits vs the one-shot slice
     /// run (covers pipeline resume handoffs and the memmem head-start).
     Reader,
+    /// The incremental NDJSON framer over randomized chunk splits vs the
+    /// one-shot `split_ndjson` (covers quote/escape state carried across
+    /// chunk boundaries and the oversize-line cap).
+    Framer,
 }
 
 impl Target {
     /// All targets, in the order they are smoke-tested.
-    pub const ALL: [Target; 5] = [
+    pub const ALL: [Target; 6] = [
         Target::Classifier,
         Target::Quotes,
         Target::Depth,
         Target::Engine,
         Target::Reader,
+        Target::Framer,
     ];
 
     /// The target's name: fuzz-target binary and corpus directory name.
@@ -96,6 +101,7 @@ impl Target {
             Target::Depth => "depth_diff",
             Target::Engine => "engine_diff",
             Target::Reader => "reader_diff",
+            Target::Framer => "framer_diff",
         }
     }
 
@@ -111,6 +117,7 @@ impl Target {
             Target::Depth => check_depth(input),
             Target::Engine => check_engine(input),
             Target::Reader => check_reader(input),
+            Target::Framer => check_framer(input),
         }
     }
 }
@@ -691,6 +698,113 @@ pub fn check_reader(input: &[u8]) -> Result<(), Mismatch> {
                          slice got {slice_result:?}"
                     ),
                 ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Differentially checks the incremental NDJSON framer against the
+/// one-shot splitter: for every chunk plan — fixed sizes plus
+/// deterministic pseudo-random splits seeded from the input — and every
+/// byte cap in a small battery, feeding the input through
+/// [`rsq_batch::NdjsonFramer`] fragment by fragment must produce exactly
+/// one frame per [`rsq_batch::split_ndjson`] document, in order:
+///
+/// * uncapped (or under the cap), a [`rsq_batch::Frame::Doc`] with
+///   byte-identical content to the splitter's (trimmed) line;
+/// * over the cap, a [`rsq_batch::Frame::Oversize`] carrying the cap and
+///   a `bytes_seen` equal to the line's untrimmed length (the trimmed
+///   length, plus one if the line ended in `\r`);
+/// * and at no point may the framer buffer more than `cap + 1` bytes —
+///   the bounded-memory guarantee serve mode's hostile-input resistance
+///   rests on.
+///
+/// # Errors
+///
+/// Returns the first [`Mismatch`] found.
+pub fn check_framer(input: &[u8]) -> Result<(), Mismatch> {
+    use rsq_batch::{split_ndjson, Frame, NdjsonFramer};
+
+    let docs: Vec<&[u8]> = split_ndjson(input).into_iter().map(|r| &input[r]).collect();
+
+    // Fixed plans cover the pathological splits (every byte alone, CRLF
+    // and escape pairs straddling chunks); random plans come from the
+    // input so every corpus entry explores its own fragmentation.
+    let mut plans: Vec<Vec<usize>> = vec![vec![1], vec![2], vec![3], vec![7], vec![4096]];
+    let seed = input.iter().fold(0xA5A5_5A5A_DEAD_BEEF_u64, |acc, &b| {
+        acc.rotate_left(7) ^ u64::from(b)
+    }) | 1;
+    let mut rng = XorShift64::new(seed);
+    for _ in 0..3 {
+        let len = 1 + rng.below(6);
+        let plan: Vec<usize> = (0..len).map(|_| 1 + rng.below(96)).collect();
+        plans.push(plan);
+    }
+
+    for cap in [None, Some(0), Some(1), Some(8), Some(64)] {
+        for plan in &plans {
+            let mut framer = NdjsonFramer::new(cap);
+            let mut frames = Vec::new();
+            let mut rest = input;
+            let mut step = 0usize;
+            while !rest.is_empty() {
+                let n = plan[step % plan.len()].min(rest.len());
+                step += 1;
+                framer.push(&rest[..n], &mut |f| frames.push(f));
+                rest = &rest[n..];
+                if let Some(limit) = cap {
+                    if framer.buffered() > limit + 1 {
+                        return Err(mismatch(
+                            "framer",
+                            input,
+                            format!(
+                                "cap {limit}, chunk plan {plan:?}: framer buffered {} bytes, \
+                                 bound is cap + 1",
+                                framer.buffered(),
+                            ),
+                        ));
+                    }
+                }
+            }
+            frames.extend(framer.finish());
+
+            if frames.len() != docs.len() {
+                return Err(mismatch(
+                    "framer",
+                    input,
+                    format!(
+                        "cap {cap:?}, chunk plan {plan:?}: framer emitted {} frames, \
+                         split_ndjson found {} documents",
+                        frames.len(),
+                        docs.len(),
+                    ),
+                ));
+            }
+            for (i, (frame, doc)) in frames.iter().zip(&docs).enumerate() {
+                let agrees = match frame {
+                    Frame::Doc(bytes) => {
+                        cap.is_none_or(|limit| doc.len() <= limit) && bytes.as_slice() == *doc
+                    }
+                    Frame::Oversize { bytes_seen, limit } => {
+                        cap == Some(*limit)
+                            && doc.len() > *limit
+                            && (*bytes_seen == doc.len() as u64
+                                || *bytes_seen == doc.len() as u64 + 1)
+                    }
+                };
+                if !agrees {
+                    return Err(mismatch(
+                        "framer",
+                        input,
+                        format!(
+                            "cap {cap:?}, chunk plan {plan:?}: frame {i} is {frame:?}, \
+                             split_ndjson document is {} bytes: {:?}",
+                            doc.len(),
+                            String::from_utf8_lossy(&doc[..doc.len().min(64)]),
+                        ),
+                    ));
+                }
             }
         }
     }

@@ -59,6 +59,13 @@ pub enum RunError {
     },
     /// Structural validation rejected the document (strict mode only).
     Malformed(ValidationError),
+    /// A caller-supplied wall-clock deadline passed before the work
+    /// finished. Produced by the deadline-aware ingest entry points
+    /// ([`Engine::read_document_with_deadline`](crate::Engine::read_document_with_deadline)),
+    /// the serving layer's slow-loris protection: a client that trickles
+    /// bytes slower than the deadline allows is cut off mid-ingest
+    /// instead of holding a buffer open forever.
+    DeadlineExceeded,
 }
 
 impl RunError {
@@ -66,6 +73,12 @@ impl RunError {
     #[must_use]
     pub fn is_limit(&self, kind: LimitKind) -> bool {
         matches!(self, RunError::LimitExceeded { kind: k, .. } if *k == kind)
+    }
+
+    /// True if this is a deadline expiry.
+    #[must_use]
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, RunError::DeadlineExceeded)
     }
 }
 
@@ -77,6 +90,7 @@ impl fmt::Display for RunError {
                 write!(f, "{kind} limit exceeded (limit: {limit})")
             }
             RunError::Malformed(e) => write!(f, "malformed document: {e}"),
+            RunError::DeadlineExceeded => f.write_str("deadline exceeded"),
         }
     }
 }
@@ -87,6 +101,7 @@ impl std::error::Error for RunError {
             RunError::Io(e) => Some(e),
             RunError::LimitExceeded { .. } => None,
             RunError::Malformed(e) => Some(e),
+            RunError::DeadlineExceeded => None,
         }
     }
 }

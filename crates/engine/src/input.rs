@@ -33,6 +33,7 @@ use crate::EngineOptions;
 use rsq_classify::{StructuralValidator, ValidationError, ValidationErrorKind};
 use rsq_simd::Simd;
 use std::io::{self, Read};
+use std::time::Instant;
 
 /// Ingest chunk size. Large enough to amortize syscalls, small enough to
 /// keep limit enforcement responsive.
@@ -58,7 +59,7 @@ pub(crate) fn read_document<R: Read>(
     simd: Simd,
 ) -> Result<Vec<u8>, RunError> {
     let mut doc = Vec::new();
-    read_document_into(reader, options, simd, &mut doc)?;
+    read_document_into(reader, options, simd, &mut doc, None)?;
     Ok(doc)
 }
 
@@ -66,11 +67,20 @@ pub(crate) fn read_document<R: Read>(
 /// (cleared first), so repeated ingests — a batch worker walking a
 /// directory of files — reuse one allocation instead of growing a fresh
 /// `Vec` per document.
+///
+/// When `deadline` is set, the read loop checks the wall clock before
+/// every read and on every transient-error retry: a source that trickles
+/// bytes (or spins on `WouldBlock`) past the deadline aborts with
+/// [`RunError::DeadlineExceeded`] instead of holding the buffer open
+/// indefinitely. A single read blocked inside the OS cannot be
+/// interrupted this way — callers serving sockets should pair the
+/// deadline with a read timeout so blocked reads surface as `WouldBlock`.
 pub(crate) fn read_document_into<R: Read>(
     reader: &mut R,
     options: &EngineOptions,
     simd: Simd,
     doc: &mut Vec<u8>,
+    deadline: Option<Instant>,
 ) -> Result<(), RunError> {
     let mut validator = StructuralValidator::new(simd)
         .strict(options.strict)
@@ -78,6 +88,11 @@ pub(crate) fn read_document_into<R: Read>(
     doc.clear();
     let mut chunk = vec![0u8; CHUNK];
     loop {
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                return Err(RunError::DeadlineExceeded);
+            }
+        }
         match reader.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => {
@@ -98,6 +113,12 @@ pub(crate) fn read_document_into<R: Read>(
                 if e.kind() == io::ErrorKind::Interrupted
                     || e.kind() == io::ErrorKind::WouldBlock =>
             {
+                // With a deadline armed, a WouldBlock retry yields the
+                // CPU so a stalled non-blocking source counts down the
+                // clock instead of burning a core.
+                if deadline.is_some() && e.kind() == io::ErrorKind::WouldBlock {
+                    std::thread::yield_now();
+                }
                 continue;
             }
             Err(e) => return Err(RunError::Io(e)),
@@ -176,6 +197,68 @@ mod tests {
         let options = EngineOptions::default();
         let err = read_document(&mut Broken, &options, Simd::detect()).unwrap_err();
         assert!(matches!(err, RunError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_ingest() {
+        let doc = br#"{"a": 1}"#;
+        let options = EngineOptions::default();
+        let mut buf = Vec::new();
+        let deadline = Instant::now() - std::time::Duration::from_millis(1);
+        let err = read_document_into(
+            &mut &doc[..],
+            &options,
+            Simd::detect(),
+            &mut buf,
+            Some(deadline),
+        )
+        .unwrap_err();
+        assert!(err.is_deadline(), "{err}");
+    }
+
+    #[test]
+    fn would_block_source_respects_deadline() {
+        // A source that never delivers a byte: only the deadline stops it.
+        struct Stalled;
+        impl Read for Stalled {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"))
+            }
+        }
+        let options = EngineOptions::default();
+        let mut buf = Vec::new();
+        let deadline = Instant::now() + std::time::Duration::from_millis(5);
+        let err = read_document_into(
+            &mut Stalled,
+            &options,
+            Simd::detect(),
+            &mut buf,
+            Some(deadline),
+        )
+        .unwrap_err();
+        assert!(err.is_deadline(), "{err}");
+    }
+
+    #[test]
+    fn generous_deadline_does_not_interfere() {
+        let doc = br#"{"a": [1, 2, 3]}"#;
+        let mut reader = OneByteInterrupted {
+            data: doc,
+            at: 0,
+            interrupt_next: true,
+        };
+        let options = EngineOptions::default();
+        let mut buf = Vec::new();
+        let deadline = Instant::now() + std::time::Duration::from_secs(60);
+        read_document_into(
+            &mut reader,
+            &options,
+            Simd::detect(),
+            &mut buf,
+            Some(deadline),
+        )
+        .unwrap();
+        assert_eq!(buf, doc);
     }
 
     #[test]

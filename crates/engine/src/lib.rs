@@ -496,6 +496,33 @@ impl Engine {
         input::read_document(&mut reader, &self.options, self.simd)
     }
 
+    /// Like [`read_document`](Self::read_document), but aborts with
+    /// [`RunError::DeadlineExceeded`] if `deadline` passes before ingest
+    /// completes. The check runs before every chunk read and on every
+    /// transient-error retry — slow-loris protection for serving layers.
+    /// A read already blocked inside the OS is not interrupted; pair the
+    /// deadline with a read timeout on the underlying source.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_document`](Self::read_document), plus
+    /// [`RunError::DeadlineExceeded`].
+    pub fn read_document_with_deadline<R: Read>(
+        &self,
+        mut reader: R,
+        deadline: std::time::Instant,
+    ) -> Result<Vec<u8>, RunError> {
+        let mut doc = Vec::new();
+        input::read_document_into(
+            &mut reader,
+            &self.options,
+            self.simd,
+            &mut doc,
+            Some(deadline),
+        )?;
+        Ok(doc)
+    }
+
     /// Streams `input`, reporting every match to `sink` — the lenient
     /// classic API.
     ///

@@ -78,7 +78,29 @@ impl Engine {
         mut reader: R,
         doc: &mut Vec<u8>,
     ) -> Result<(), RunError> {
-        input::read_document_into(&mut reader, &self.options, self.simd, doc)
+        input::read_document_into(&mut reader, &self.options, self.simd, doc, None)
+    }
+
+    /// Like [`read_document_into`](Engine::read_document_into), but aborts
+    /// with [`RunError::DeadlineExceeded`] if `deadline` passes before the
+    /// document is fully ingested. The clock is checked before every chunk
+    /// read and on every transient-error retry, so a slow-loris source that
+    /// trickles bytes (or a stalled non-blocking source) is cut off instead
+    /// of holding the buffer open indefinitely. A read already blocked
+    /// inside the OS is not interrupted; pair the deadline with a read
+    /// timeout on the underlying source when serving sockets.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_document`](Engine::read_document), plus
+    /// [`RunError::DeadlineExceeded`].
+    pub fn read_document_into_with_deadline<R: Read>(
+        &self,
+        mut reader: R,
+        doc: &mut Vec<u8>,
+        deadline: std::time::Instant,
+    ) -> Result<(), RunError> {
+        input::read_document_into(&mut reader, &self.options, self.simd, doc, Some(deadline))
     }
 
     /// Runs the query over `input` using `scratch`'s positions buffer and

@@ -1,0 +1,101 @@
+//! Span extraction without parsing: the text of a single node.
+//!
+//! The streaming engines report matches as byte offsets. Turning an
+//! offset back into the matched node's text does not need a DOM — a
+//! quote-aware bracket scan finds the end of the value — and both the
+//! CLI's default output mode and the serve layer's value responses use
+//! this shared routine, so their rendered output is identical by
+//! construction.
+
+/// Extracts the text of the JSON value starting at `pos`.
+///
+/// Objects and arrays are scanned to their matching close bracket
+/// (quote- and escape-aware, so brackets inside strings don't confuse
+/// the scan); strings to their closing quote; scalars to the next
+/// delimiter. Returns `None` when `pos` is out of bounds, the value is
+/// unterminated, or the span is not valid UTF-8.
+#[must_use]
+pub fn node_text(document: &[u8], pos: usize) -> Option<&str> {
+    let bytes = document.get(pos..)?;
+    let end = match bytes.first()? {
+        open @ (b'{' | b'[') => {
+            let close = if *open == b'{' { b'}' } else { b']' };
+            let open = *open;
+            let mut depth = 0usize;
+            let mut in_string = false;
+            let mut escaped = false;
+            let mut end = None;
+            for (i, &b) in bytes.iter().enumerate() {
+                if in_string {
+                    if escaped {
+                        escaped = false;
+                    } else if b == b'\\' {
+                        escaped = true;
+                    } else if b == b'"' {
+                        in_string = false;
+                    }
+                    continue;
+                }
+                if b == b'"' {
+                    in_string = true;
+                } else if b == open {
+                    depth += 1;
+                } else if b == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(i + 1);
+                        break;
+                    }
+                }
+            }
+            end?
+        }
+        b'"' => {
+            let mut escaped = false;
+            let mut end = None;
+            for (i, &b) in bytes.iter().enumerate().skip(1) {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    end = Some(i + 1);
+                    break;
+                }
+            }
+            end?
+        }
+        _ => bytes
+            .iter()
+            .position(|&b| matches!(b, b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r'))
+            .unwrap_or(bytes.len()),
+    };
+    std::str::from_utf8(&bytes[..end]).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_each_value_shape() {
+        let doc = br#"{"a": [1, {"b": "x]"}], "s": "q\"t", "n": 12.5}"#;
+        assert_eq!(node_text(doc, 0), Some(std::str::from_utf8(doc).unwrap()));
+        assert_eq!(node_text(doc, 6), Some(r#"[1, {"b": "x]"}]"#));
+        assert_eq!(node_text(doc, 29), Some(r#""q\"t""#));
+        assert_eq!(node_text(doc, 42), Some("12.5"));
+    }
+
+    #[test]
+    fn unterminated_and_out_of_bounds_are_none() {
+        assert_eq!(node_text(b"{\"a\": ", 0), None);
+        assert_eq!(node_text(b"\"open", 0), None);
+        assert_eq!(node_text(b"[1]", 99), None);
+    }
+
+    #[test]
+    fn scalar_at_end_of_input() {
+        assert_eq!(node_text(b"true", 0), Some("true"));
+        assert_eq!(node_text(b"[1, 2]", 4), Some("2"));
+    }
+}

@@ -32,11 +32,13 @@
 
 #![warn(missing_docs)]
 
+mod extract;
 mod parser;
 mod serialize;
 mod stats;
 mod strings;
 
+pub use extract::node_text;
 pub use parser::{parse, parse_with_options, ParseError, ParseOptions};
 pub use serialize::{to_string, to_string_pretty};
 pub use stats::{document_stats, DocumentStats};

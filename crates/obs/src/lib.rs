@@ -43,6 +43,7 @@
 mod batch;
 mod hist;
 mod profile;
+mod serve;
 mod skipmap;
 mod stats;
 
@@ -52,6 +53,7 @@ pub use profile::{
     prometheus, BatchProfile, ProfileStage, ProfileStats, SkipBytes, StageTimes, WorkerProfile,
     STATS_SCHEMA_VERSION,
 };
+pub use serve::{prometheus_serve, ServeCounters};
 pub use skipmap::{SkipMap, SkipTechnique};
 pub use stats::{BlockStats, ClassifierCounters, NoStats, Recorder, RunStats, SkipStats};
 

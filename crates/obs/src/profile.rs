@@ -549,7 +549,13 @@ impl fmt::Display for BatchProfile {
     }
 }
 
-fn metric(out: &mut String, name: &str, labels: &str, value: impl fmt::Display, kind: &str) {
+pub(crate) fn metric(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    value: impl fmt::Display,
+    kind: &str,
+) {
     if !out.contains(&format!("# TYPE {name} ")) {
         let _ = writeln!(out, "# TYPE {name} {kind}");
     }

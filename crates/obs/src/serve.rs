@@ -1,0 +1,348 @@
+//! Serving-layer counters (Tier A).
+//!
+//! [`ServeCounters`] is the serve-mode sibling of
+//! [`BatchCounters`](crate::BatchCounters): plain saturating `u64`
+//! counters describing long-lived streaming service — connections
+//! handled, documents framed and answered, and one counter per failure
+//! class so an operator can tell a client streaming garbage (malformed)
+//! from one streaming too slowly (timeouts) from one streaming too much
+//! (oversize rejections, backpressure waits). `rsq-serve` fills one in
+//! per connection; reports from many connections merge with `+`/`+=`.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::ops::{Add, AddAssign};
+
+/// Counters describing streaming service over one or more connections.
+///
+/// All counters saturate instead of wrapping, so accumulation can never
+/// panic (even under `-C overflow-checks=on`) and merged totals are
+/// monotone. `max_inflight` is a high-water mark and merges with `max`,
+/// not `+`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Connections (or pipe sessions) served.
+    pub connections: u64,
+    /// Documents framed out of the chunk streams (whether they later
+    /// succeeded or failed).
+    pub documents: u64,
+    /// Raw bytes read off the wire, including framing newlines and
+    /// discarded oversize bytes.
+    pub bytes_in: u64,
+    /// Documents answered with a successful result line.
+    pub responses_ok: u64,
+    /// Documents that missed their deadline (error code `timeout`).
+    pub timeouts: u64,
+    /// Lines rejected by the framer's byte cap before buffering
+    /// (error code `limit:document-bytes`).
+    pub oversize_rejections: u64,
+    /// Documents rejected by an engine resource limit other than the
+    /// framer's byte cap (`limit:*` codes).
+    pub limit_errors: u64,
+    /// Documents rejected by strict-mode validation (`malformed`).
+    pub malformed_errors: u64,
+    /// Worker panics contained at the document boundary (`panic`).
+    pub panics: u64,
+    /// Connections that ended in a non-transient read error
+    /// (mid-stream disconnect) rather than clean EOF.
+    pub io_errors: u64,
+    /// Times the reader paused because the in-flight queue was full —
+    /// each wait is backpressure propagating to the client.
+    pub backpressure_waits: u64,
+    /// High-water mark of documents in flight at once. Merges with
+    /// `max`: the merged value is the worst moment across connections,
+    /// not a sum.
+    pub max_inflight: u64,
+}
+
+impl ServeCounters {
+    /// A zeroed report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Documents that ended in any per-document error.
+    #[must_use]
+    pub fn failed_documents(&self) -> u64 {
+        self.timeouts
+            .saturating_add(self.oversize_rejections)
+            .saturating_add(self.limit_errors)
+            .saturating_add(self.malformed_errors)
+            .saturating_add(self.panics)
+    }
+
+    /// Serializes the counters as single-line JSON (no trailing newline).
+    ///
+    /// Keys are stable: `connections`, `documents`, `bytes_in`,
+    /// `responses_ok`, `timeouts`, `oversize_rejections`, `limit_errors`,
+    /// `malformed_errors`, `panics`, `io_errors`, `backpressure_waits`,
+    /// `max_inflight`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"connections\":{},\"documents\":{},\"bytes_in\":{},\"responses_ok\":{},\"timeouts\":{},\"oversize_rejections\":{},\"limit_errors\":{},\"malformed_errors\":{},\"panics\":{},\"io_errors\":{},\"backpressure_waits\":{},\"max_inflight\":{}}}",
+            self.connections,
+            self.documents,
+            self.bytes_in,
+            self.responses_ok,
+            self.timeouts,
+            self.oversize_rejections,
+            self.limit_errors,
+            self.malformed_errors,
+            self.panics,
+            self.io_errors,
+            self.backpressure_waits,
+            self.max_inflight,
+        );
+        s
+    }
+}
+
+impl fmt::Display for ServeCounters {
+    /// Human-readable table (multi-line), for `--stats` output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "connections        {} ({} io errors)",
+            self.connections, self.io_errors
+        )?;
+        writeln!(
+            f,
+            "documents          {} ({} ok, {} failed)",
+            self.documents,
+            self.responses_ok,
+            self.failed_documents()
+        )?;
+        writeln!(f, "bytes in           {}", self.bytes_in)?;
+        writeln!(
+            f,
+            "rejections         {} timeout, {} oversize, {} limit, {} malformed, {} panic",
+            self.timeouts,
+            self.oversize_rejections,
+            self.limit_errors,
+            self.malformed_errors,
+            self.panics
+        )?;
+        write!(
+            f,
+            "backpressure       {} waits (max {} in flight)",
+            self.backpressure_waits, self.max_inflight
+        )
+    }
+}
+
+impl AddAssign for ServeCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.connections = self.connections.saturating_add(rhs.connections);
+        self.documents = self.documents.saturating_add(rhs.documents);
+        self.bytes_in = self.bytes_in.saturating_add(rhs.bytes_in);
+        self.responses_ok = self.responses_ok.saturating_add(rhs.responses_ok);
+        self.timeouts = self.timeouts.saturating_add(rhs.timeouts);
+        self.oversize_rejections = self
+            .oversize_rejections
+            .saturating_add(rhs.oversize_rejections);
+        self.limit_errors = self.limit_errors.saturating_add(rhs.limit_errors);
+        self.malformed_errors = self.malformed_errors.saturating_add(rhs.malformed_errors);
+        self.panics = self.panics.saturating_add(rhs.panics);
+        self.io_errors = self.io_errors.saturating_add(rhs.io_errors);
+        self.backpressure_waits = self
+            .backpressure_waits
+            .saturating_add(rhs.backpressure_waits);
+        self.max_inflight = self.max_inflight.max(rhs.max_inflight);
+    }
+}
+
+impl Add for ServeCounters {
+    type Output = ServeCounters;
+
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+/// Renders serve-mode counters (and, when present, the per-document
+/// latency histogram) as Prometheus-style text exposition, to be
+/// appended to [`prometheus`](crate::prometheus)'s output by the CLI's
+/// `--metrics-out`.
+#[must_use]
+pub fn prometheus_serve(counters: &ServeCounters, latency: Option<&crate::Histogram>) -> String {
+    use crate::profile::metric;
+    let mut out = String::with_capacity(1024);
+    metric(
+        &mut out,
+        "rsq_serve_connections_total",
+        "",
+        counters.connections,
+        "counter",
+    );
+    metric(
+        &mut out,
+        "rsq_serve_documents_total",
+        "",
+        counters.documents,
+        "counter",
+    );
+    metric(
+        &mut out,
+        "rsq_serve_bytes_in_total",
+        "",
+        counters.bytes_in,
+        "counter",
+    );
+    metric(
+        &mut out,
+        "rsq_serve_responses_ok_total",
+        "",
+        counters.responses_ok,
+        "counter",
+    );
+    for (class, v) in [
+        ("timeout", counters.timeouts),
+        ("oversize", counters.oversize_rejections),
+        ("limit", counters.limit_errors),
+        ("malformed", counters.malformed_errors),
+        ("panic", counters.panics),
+    ] {
+        metric(
+            &mut out,
+            "rsq_serve_rejections_total",
+            &format!("class=\"{class}\""),
+            v,
+            "counter",
+        );
+    }
+    metric(
+        &mut out,
+        "rsq_serve_io_errors_total",
+        "",
+        counters.io_errors,
+        "counter",
+    );
+    metric(
+        &mut out,
+        "rsq_serve_backpressure_waits_total",
+        "",
+        counters.backpressure_waits,
+        "counter",
+    );
+    metric(
+        &mut out,
+        "rsq_serve_max_inflight",
+        "",
+        counters.max_inflight,
+        "gauge",
+    );
+    if let Some(latency) = latency {
+        for (q, v) in [
+            ("0.5", latency.p50()),
+            ("0.9", latency.p90()),
+            ("0.99", latency.p99()),
+            ("1.0", latency.max()),
+        ] {
+            metric(
+                &mut out,
+                "rsq_serve_document_latency_ns",
+                &format!("quantile=\"{q}\""),
+                v,
+                "gauge",
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_saturates_and_maxes_inflight() {
+        let a = ServeCounters {
+            connections: 1,
+            documents: u64::MAX - 1,
+            bytes_in: 100,
+            responses_ok: 5,
+            max_inflight: 7,
+            ..ServeCounters::new()
+        };
+        let b = ServeCounters {
+            connections: 2,
+            documents: 10,
+            bytes_in: 50,
+            responses_ok: 1,
+            max_inflight: 3,
+            ..ServeCounters::new()
+        };
+        let sum = a + b;
+        assert_eq!(sum.connections, 3);
+        assert_eq!(sum.documents, u64::MAX, "saturating, not wrapping");
+        assert_eq!(sum.bytes_in, 150);
+        assert_eq!(sum.max_inflight, 7, "high-water mark merges with max");
+    }
+
+    #[test]
+    fn json_has_stable_keys() {
+        let json = ServeCounters::new().to_json();
+        for key in [
+            "connections",
+            "documents",
+            "bytes_in",
+            "responses_ok",
+            "timeouts",
+            "oversize_rejections",
+            "limit_errors",
+            "malformed_errors",
+            "panics",
+            "io_errors",
+            "backpressure_waits",
+            "max_inflight",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "{json}");
+        }
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn prometheus_serve_exposition_has_series() {
+        let c = ServeCounters {
+            connections: 2,
+            documents: 9,
+            timeouts: 1,
+            max_inflight: 4,
+            ..ServeCounters::new()
+        };
+        let mut latency = crate::Histogram::new();
+        latency.record(1000);
+        let text = prometheus_serve(&c, Some(&latency));
+        assert!(text.contains("# TYPE rsq_serve_connections_total counter"));
+        assert!(text.contains("rsq_serve_documents_total 9"));
+        assert!(text.contains("rsq_serve_rejections_total{class=\"timeout\"} 1"));
+        assert!(text.contains("rsq_serve_max_inflight 4"));
+        assert!(text.contains("rsq_serve_document_latency_ns{quantile=\"0.99\"}"));
+        assert_eq!(
+            text.matches("# TYPE rsq_serve_rejections_total counter")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn failed_documents_sums_failure_classes() {
+        let c = ServeCounters {
+            timeouts: 1,
+            oversize_rejections: 2,
+            limit_errors: 3,
+            malformed_errors: 4,
+            panics: 5,
+            ..ServeCounters::new()
+        };
+        assert_eq!(c.failed_documents(), 15);
+        let text = c.to_string();
+        assert!(text.contains("backpressure"), "{text}");
+        assert!(text.contains("15 failed"), "{text}");
+    }
+}

@@ -1,0 +1,590 @@
+//! Resilient streaming serve mode for `rsq`.
+//!
+//! Batch mode answers one request over inputs it can see whole; this
+//! crate keeps the engine resident and answers an *unbounded stream* of
+//! NDJSON documents arriving as arbitrary chunks on a pipe or Unix
+//! socket. The protocol is deliberately plain: the client streams
+//! newline-delimited JSON documents; the server streams back one
+//! response per document, **in input order**, in the same formats as
+//! `rsq --batch-ndjson` — so for every document that survives, serve
+//! output is byte-identical to a batch run over the same lines.
+//!
+//! What makes it *resilient* rather than merely incremental:
+//!
+//! * **Incremental framing** — [`NdjsonFramer`] carries the quote
+//!   scanner's in-string/escape state across chunk boundaries, so a
+//!   document split at any byte (including mid-escape) frames exactly
+//!   as the batch splitter would have framed it, and never buffers more
+//!   than the configured document byte cap.
+//! * **Backpressure** — at most [`ServeOptions::max_inflight`]
+//!   documents are admitted but unanswered at once. When the bound is
+//!   hit the server stops reading the connection, which propagates to
+//!   the client through the transport.
+//! * **Deadlines** — an optional per-document budget from admission;
+//!   expiry is a per-document `timeout` error, not a connection event.
+//! * **Fault isolation** — every per-document failure (resource limit,
+//!   strict-mode rejection, deadline, contained worker panic) answers
+//!   *that* document with a machine-readable error code and leaves the
+//!   connection serving. Only transport errors end a connection, and
+//!   even then already-admitted documents drain.
+//!
+//! [`ChaosStream`] is the test harness's hostile client: seeded
+//! pathological fragmentation, transient stalls, truncation, and
+//! mid-stream disconnects, replayable from a [`ChaosPlan`].
+
+#![warn(missing_docs)]
+
+mod chaos;
+mod pool;
+
+pub use chaos::{ChaosFault, ChaosPlan, ChaosStream};
+
+use pool::Pool;
+use rsq_batch::{DocError, DocErrorKind, Frame, NdjsonFramer};
+use rsq_engine::{Engine, EngineOptions, LimitKind, RunError};
+use rsq_obs::{Histogram, ServeCounters};
+use rsq_query::Query;
+use std::io::{self, Read, Write};
+use std::num::NonZeroUsize;
+use std::thread;
+use std::time::Duration;
+
+/// What the server writes back for each successfully processed
+/// document. Mirrors the batch CLI's output modes byte-for-byte.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ResponseMode {
+    /// One line per document: the match count.
+    #[default]
+    Count,
+    /// One line per match: the byte offset.
+    Positions,
+    /// One line per match: the matched node's text.
+    Values,
+}
+
+/// Configuration for a serving session.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// The JSONPath query every document is matched against.
+    pub query: String,
+    /// Engine options — including the resource limits
+    /// (`max_document_bytes`, `max_depth`, `max_label_bytes`,
+    /// `max_matches`) that double as the per-connection caps.
+    pub engine: EngineOptions,
+    /// Response format (see [`ResponseMode`]).
+    pub mode: ResponseMode,
+    /// Worker threads per connection (0 = one per available CPU).
+    pub threads: usize,
+    /// Bound on documents admitted but not yet answered. This caps the
+    /// job queue *and* the reorder buffer: worst-case buffered memory
+    /// is `max_inflight × max_document_bytes`.
+    pub max_inflight: usize,
+    /// Per-document processing budget, measured from admission.
+    /// `None` = no deadline. `Some(Duration::ZERO)` deterministically
+    /// times out every document (useful in tests).
+    pub deadline: Option<Duration>,
+}
+
+impl ServeOptions {
+    /// Default in-flight bound: deep enough to keep a pool of workers
+    /// busy over a bursty pipe, shallow enough that the reorder buffer
+    /// stays small next to the document cap.
+    pub const DEFAULT_MAX_INFLIGHT: usize = 64;
+
+    /// Options for `query` with engine defaults, count responses, one
+    /// worker per CPU, the default in-flight bound, and no deadline.
+    #[must_use]
+    pub fn new(query: &str) -> Self {
+        ServeOptions {
+            query: query.to_owned(),
+            engine: EngineOptions::default(),
+            mode: ResponseMode::Count,
+            threads: 0,
+            max_inflight: Self::DEFAULT_MAX_INFLIGHT,
+            deadline: None,
+        }
+    }
+
+    /// Worker count a connection will actually use.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Fatal serve-setup failure: the query does not parse or compile.
+/// (Everything after setup is per-document and non-fatal.)
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError {
+    /// Rendered description of the failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What one serving session (or an aggregate of sessions) did.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Tier A serve counters (documents, failure classes, backpressure).
+    pub counters: ServeCounters,
+    /// Admission-to-completion latency of worker-processed documents,
+    /// in nanoseconds.
+    pub latency: Histogram,
+    /// The first per-document failure's class, for exit-code mapping.
+    pub first_failure: Option<DocErrorKind>,
+    /// `true` when the stream ended in clean EOF and every response was
+    /// written; `false` after a mid-stream disconnect or a failed
+    /// response write.
+    pub clean: bool,
+}
+
+impl Default for ServeReport {
+    fn default() -> Self {
+        ServeReport {
+            counters: ServeCounters::new(),
+            latency: Histogram::new(),
+            first_failure: None,
+            clean: true,
+        }
+    }
+}
+
+impl ServeReport {
+    /// Folds another session's report into this aggregate.
+    pub fn merge(&mut self, other: &ServeReport) {
+        self.counters += other.counters;
+        self.latency += &other.latency;
+        if self.first_failure.is_none() {
+            self.first_failure = other.first_failure;
+        }
+        self.clean &= other.clean;
+    }
+}
+
+/// Renders the response body for one successful document — exactly the
+/// bytes batch mode would print for it.
+fn render(mode: ResponseMode, doc: &[u8], positions: &[usize]) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    match mode {
+        ResponseMode::Count => {
+            let _ = writeln!(s, "{}", positions.len());
+        }
+        ResponseMode::Positions => {
+            for p in positions {
+                let _ = writeln!(s, "{p}");
+            }
+        }
+        ResponseMode::Values => {
+            for &p in positions {
+                let _ = writeln!(
+                    s,
+                    "{}",
+                    rsq_json::node_text(doc, p).unwrap_or("<malformed>")
+                );
+            }
+        }
+    }
+    s.into_bytes()
+}
+
+/// The emitter thread's accumulated accounting.
+struct EmitTally {
+    ok: u64,
+    timeouts: u64,
+    oversize: u64,
+    limits: u64,
+    malformed: u64,
+    panics: u64,
+    io_docs: u64,
+    first_failure: Option<DocErrorKind>,
+    write_failed: bool,
+    latency: Histogram,
+}
+
+impl EmitTally {
+    fn new() -> Self {
+        EmitTally {
+            ok: 0,
+            timeouts: 0,
+            oversize: 0,
+            limits: 0,
+            malformed: 0,
+            panics: 0,
+            io_docs: 0,
+            first_failure: None,
+            write_failed: false,
+            latency: Histogram::new(),
+        }
+    }
+}
+
+/// Drains responses in admission order, writing result lines to `out`
+/// and error lines (`document N: message [code]`) to `err`. A write
+/// failure aborts the pool: the connection is gone, so draining further
+/// work would be wasted.
+fn emit_loop<W: Write, E: Write>(
+    pool: &Pool,
+    mode: ResponseMode,
+    out: &mut W,
+    err: &mut E,
+) -> EmitTally {
+    let mut tally = EmitTally::new();
+    while let Some((seq, resp)) = pool.take_next_response() {
+        if !resp.framer_rejected {
+            tally.latency.record(resp.latency_ns);
+        }
+        let wrote = match &resp.result {
+            Ok(positions) => {
+                tally.ok += 1;
+                let body = render(mode, &resp.doc, positions);
+                out.write_all(&body).and_then(|()| out.flush())
+            }
+            Err(e) => {
+                match e.kind {
+                    DocErrorKind::Timeout => tally.timeouts += 1,
+                    DocErrorKind::Limit(_) if resp.framer_rejected => tally.oversize += 1,
+                    DocErrorKind::Limit(_) => tally.limits += 1,
+                    DocErrorKind::Malformed => tally.malformed += 1,
+                    DocErrorKind::Panic => tally.panics += 1,
+                    DocErrorKind::Io => tally.io_docs += 1,
+                }
+                if tally.first_failure.is_none() {
+                    tally.first_failure = Some(e.kind);
+                }
+                let line = format!("document {}: {} [{}]\n", seq + 1, e.message, e.code());
+                err.write_all(line.as_bytes()).and_then(|()| err.flush())
+            }
+        };
+        if wrote.is_err() {
+            tally.write_failed = true;
+            pool.abort();
+            break;
+        }
+    }
+    tally
+}
+
+/// Admits one framed line: documents go to the worker queue; oversize
+/// rejections resolve immediately with the *same* error the engine's
+/// own `max_document_bytes` check produces, so the response is
+/// indistinguishable from batch mode rejecting the same line.
+fn admit_frame(pool: &Pool, frame: Frame) -> bool {
+    match frame {
+        Frame::Doc(doc) => pool.admit(doc),
+        Frame::Oversize { limit, .. } => {
+            pool.reject(DocError::from_run(&RunError::LimitExceeded {
+                kind: LimitKind::DocumentBytes,
+                limit: limit as u64,
+            }))
+        }
+    }
+}
+
+/// Serves one connection: reads NDJSON chunks from `reader` until EOF
+/// or a hard read error, answering each document on `out` (errors on
+/// `err`) in input order.
+///
+/// The calling thread is the producer; workers and the emitter run on
+/// scoped threads. On return every admitted document has been answered
+/// (or the connection was lost), and all threads have exited.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] only when the query fails to parse or
+/// compile. Transport and per-document failures are reported in the
+/// [`ServeReport`], not as `Err`.
+pub fn serve_connection<R, W, E>(
+    options: &ServeOptions,
+    mut reader: R,
+    out: W,
+    err: E,
+) -> Result<ServeReport, ServeError>
+where
+    R: Read,
+    W: Write + Send,
+    E: Write + Send,
+{
+    let query = Query::parse(&options.query).map_err(|e| ServeError {
+        message: format!("query error: {e}"),
+    })?;
+    let engine = Engine::with_options(&query, options.engine).map_err(|e| ServeError {
+        message: format!("query error: {e}"),
+    })?;
+
+    let pool = Pool::new(options.max_inflight);
+    let mut framer = NdjsonFramer::new(options.engine.max_document_bytes);
+    let mode = options.mode;
+    let deadline = options.deadline;
+    let mut bytes_in: u64 = 0;
+    let mut disconnected = false;
+
+    let tally = thread::scope(|scope| {
+        let emitter = scope.spawn({
+            let pool = &pool;
+            let mut out = out;
+            let mut err = err;
+            move || emit_loop(pool, mode, &mut out, &mut err)
+        });
+        let workers: Vec<_> = (0..options.effective_threads())
+            .map(|_| {
+                scope.spawn(|| {
+                    while let Some(job) = pool.take_job() {
+                        let mut resp = pool::process(&engine, deadline, &job);
+                        let seq = job.seq;
+                        resp.doc = job.doc;
+                        pool.complete(seq, resp);
+                    }
+                })
+            })
+            .collect();
+
+        let mut chunk = [0u8; 8192];
+        loop {
+            match reader.read(&mut chunk) {
+                Ok(0) => {
+                    if let Some(frame) = framer.finish() {
+                        admit_frame(&pool, frame);
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    bytes_in += n as u64;
+                    let mut alive = true;
+                    framer.push(&chunk[..n], &mut |frame| {
+                        if alive {
+                            alive = admit_frame(&pool, frame);
+                        }
+                    });
+                    if !alive {
+                        break;
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    thread::yield_now();
+                }
+                Err(_) => {
+                    // Hard transport error: the partial line (if any) is
+                    // dropped — it never framed — but admitted documents
+                    // still drain and answer below.
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        pool.close();
+
+        let mut worker_lost = false;
+        for h in workers {
+            worker_lost |= h.join().is_err();
+        }
+        if worker_lost {
+            // Can only happen if pool bookkeeping itself panicked (the
+            // document run is contained); unblock the emitter rather
+            // than deadlock on a response that will never arrive.
+            pool.abort();
+        }
+        emitter.join().unwrap_or_else(|_| {
+            let mut t = EmitTally::new();
+            t.write_failed = true;
+            t
+        })
+    });
+
+    let (documents, backpressure_waits, max_inflight) = pool.accounting();
+    let mut counters = ServeCounters::new();
+    counters.connections = 1;
+    counters.documents = documents;
+    counters.bytes_in = bytes_in;
+    counters.responses_ok = tally.ok;
+    counters.timeouts = tally.timeouts;
+    counters.oversize_rejections = tally.oversize;
+    counters.limit_errors = tally.limits;
+    counters.malformed_errors = tally.malformed;
+    counters.panics = tally.panics;
+    counters.io_errors = u64::from(disconnected) + tally.io_docs;
+    counters.backpressure_waits = backpressure_waits;
+    counters.max_inflight = max_inflight;
+
+    Ok(ServeReport {
+        counters,
+        latency: tally.latency,
+        first_failure: tally.first_failure,
+        clean: !disconnected && !tally.write_failed,
+    })
+}
+
+/// Accepts connections on a Unix socket until `shutdown` is set,
+/// serving each to completion (graceful drain: a set flag stops new
+/// accepts; the in-progress connection finishes first).
+///
+/// Both response streams share the socket: result lines and error lines
+/// interleave per document, which is unambiguous because error lines
+/// always carry the `document N:` prefix.
+///
+/// # Errors
+///
+/// Returns the accept-loop or socket-setup error; a bad query surfaces
+/// as [`io::ErrorKind::InvalidInput`]. Per-connection transport
+/// failures are *not* errors here — they land in the aggregated
+/// report's `io_errors`.
+#[cfg(unix)]
+pub fn serve_unix(
+    options: &ServeOptions,
+    listener: &std::os::unix::net::UnixListener,
+    shutdown: &std::sync::atomic::AtomicBool,
+) -> io::Result<ServeReport> {
+    use std::sync::atomic::Ordering;
+
+    listener.set_nonblocking(true)?;
+    let mut aggregate = ServeReport::default();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let out = stream.try_clone()?;
+                let errw = stream.try_clone()?;
+                match serve_connection(options, &stream, out, errw) {
+                    Ok(report) => aggregate.merge(&report),
+                    Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidInput, e.message)),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(aggregate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn opts(query: &str) -> ServeOptions {
+        let mut o = ServeOptions::new(query);
+        o.threads = 2;
+        o
+    }
+
+    fn serve_bytes(options: &ServeOptions, input: &[u8]) -> (Vec<u8>, Vec<u8>, ServeReport) {
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let report =
+            serve_connection(options, Cursor::new(input), &mut out, &mut err).expect("serve");
+        (out, err, report)
+    }
+
+    const INPUT: &[u8] = b"{\"a\": {\"b\": 1}}\n{\"b\": [1, 2]}\n{\"x\": 0}\n";
+
+    #[test]
+    fn counts_match_batch_per_document() {
+        let (out, err, report) = serve_bytes(&opts("$..b"), INPUT);
+        assert_eq!(out, b"1\n1\n0\n");
+        assert!(err.is_empty());
+        assert_eq!(report.counters.documents, 3);
+        assert_eq!(report.counters.responses_ok, 3);
+        assert_eq!(report.counters.bytes_in, INPUT.len() as u64);
+        assert!(report.clean);
+        assert_eq!(report.latency.count(), 3);
+    }
+
+    #[test]
+    fn positions_and_values_modes_render_batch_formats() {
+        let mut o = opts("$..b");
+        o.mode = ResponseMode::Positions;
+        let (out, _, _) = serve_bytes(&o, INPUT);
+        assert_eq!(out, b"12\n6\n");
+        o.mode = ResponseMode::Values;
+        let (out, _, _) = serve_bytes(&o, INPUT);
+        assert_eq!(out, b"1\n[1, 2]\n");
+    }
+
+    #[test]
+    fn bad_query_is_fatal_not_per_document() {
+        let e = serve_connection(&opts("$..["), Cursor::new(b"{}\n"), Vec::new(), Vec::new())
+            .unwrap_err();
+        assert!(e.message.starts_with("query error:"), "{e}");
+    }
+
+    #[test]
+    fn zero_deadline_times_out_every_document_deterministically() {
+        let mut o = opts("$..b");
+        o.deadline = Some(Duration::ZERO);
+        let (out, err, report) = serve_bytes(&o, INPUT);
+        assert!(out.is_empty());
+        let text = String::from_utf8(err).unwrap();
+        assert_eq!(
+            text,
+            "document 1: deadline exceeded [timeout]\n\
+             document 2: deadline exceeded [timeout]\n\
+             document 3: deadline exceeded [timeout]\n"
+        );
+        assert_eq!(report.counters.timeouts, 3);
+        assert_eq!(report.counters.responses_ok, 0);
+        assert_eq!(report.first_failure, Some(DocErrorKind::Timeout));
+        assert!(report.clean, "timeouts are per-document, not transport");
+    }
+
+    #[test]
+    fn in_flight_bound_forces_backpressure_waits() {
+        let mut o = opts("$..b");
+        o.max_inflight = 1;
+        let (out, _, report) = serve_bytes(&o, INPUT);
+        assert_eq!(out, b"1\n1\n0\n");
+        assert!(
+            report.counters.backpressure_waits >= 1,
+            "admitting doc 2 must wait for doc 1's slot: {:?}",
+            report.counters
+        );
+        assert_eq!(report.counters.max_inflight, 1);
+    }
+
+    #[test]
+    fn write_failure_aborts_instead_of_hanging() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let report =
+            serve_connection(&opts("$..b"), Cursor::new(INPUT), Broken, Vec::new()).expect("serve");
+        assert!(!report.clean);
+    }
+
+    #[test]
+    fn merge_aggregates_reports() {
+        let (_, _, a) = serve_bytes(&opts("$..b"), INPUT);
+        let (_, _, b) = serve_bytes(&opts("$..b"), INPUT);
+        let mut total = ServeReport::default();
+        total.merge(&a);
+        total.merge(&b);
+        assert_eq!(total.counters.connections, 2);
+        assert_eq!(total.counters.documents, 6);
+        assert_eq!(total.latency.count(), 6);
+        assert!(total.clean);
+    }
+}

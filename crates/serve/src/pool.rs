@@ -1,0 +1,316 @@
+//! The serve-side worker pool: a bounded in-flight queue with
+//! backpressure, deadline-aware document processing, and an in-order
+//! response emitter.
+//!
+//! Three roles share one [`Pool`]:
+//!
+//! * the **producer** (the connection's read loop) admits framed
+//!   documents with [`Pool::admit`] — blocking while the number of
+//!   unanswered documents is at the configured cap, which stops the
+//!   socket from being read and pushes backpressure to the client;
+//! * **workers** claim documents with [`Pool::take_job`], run the
+//!   engine with panic containment and an optional per-document
+//!   deadline, and post the outcome with [`Pool::complete`];
+//! * the **emitter** drains outcomes in admission order with
+//!   [`Pool::take_next_response`] — a `BTreeMap` reorder buffer keyed
+//!   by sequence number makes the response stream independent of
+//!   worker scheduling, so serve output is byte-identical to a
+//!   sequential batch run by construction.
+//!
+//! The in-flight bound counts *unanswered* documents (queued, running,
+//! or waiting in the reorder buffer), so the reorder buffer cannot grow
+//! without bound when one slow document holds back emission.
+
+use rsq_batch::{run_document_contained, DocError};
+use rsq_engine::{Engine, RunError, Sink, SinkFull};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One admitted document awaiting a worker.
+pub(crate) struct Job {
+    pub(crate) seq: u64,
+    pub(crate) doc: Vec<u8>,
+    pub(crate) admitted: Instant,
+}
+
+/// One finished document awaiting emission.
+pub(crate) struct Response {
+    /// The document bytes (needed to render value output).
+    pub(crate) doc: Vec<u8>,
+    /// Match positions, or the per-document failure.
+    pub(crate) result: Result<Vec<usize>, DocError>,
+    /// Admission-to-completion latency.
+    pub(crate) latency_ns: u64,
+    /// True when the framer rejected the line before any worker saw it
+    /// (oversize): counted separately from engine limit errors.
+    pub(crate) framer_rejected: bool,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    done: BTreeMap<u64, Response>,
+    /// Next sequence number to assign at admission.
+    next_seq: u64,
+    /// Next sequence number the emitter will release.
+    next_emit: u64,
+    /// Admitted but not yet emitted (bounded by the pool capacity).
+    outstanding: usize,
+    /// Producer finished: no further admissions.
+    closed: bool,
+    /// Emitter hit a write error: everyone winds down.
+    aborted: bool,
+    backpressure_waits: u64,
+    max_inflight_hwm: u64,
+}
+
+/// The shared coordination hub (see module docs).
+pub(crate) struct Pool {
+    state: Mutex<State>,
+    /// Workers wait here for jobs.
+    job_ready: Condvar,
+    /// The producer waits here for in-flight capacity.
+    slot_free: Condvar,
+    /// The emitter waits here for the next in-order response.
+    done_ready: Condvar,
+    capacity: usize,
+}
+
+impl Pool {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Pool {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                done: BTreeMap::new(),
+                next_seq: 0,
+                next_emit: 0,
+                outstanding: 0,
+                closed: false,
+                aborted: false,
+                backpressure_waits: 0,
+                max_inflight_hwm: 0,
+            }),
+            job_ready: Condvar::new(),
+            slot_free: Condvar::new(),
+            done_ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Blocks until an in-flight slot is free (backpressure), then runs
+    /// `f` on the locked state with the assigned sequence number.
+    /// Returns `None` without admitting when the pool has aborted.
+    fn admit_slot<T>(&self, f: impl FnOnce(&mut State, u64) -> T) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        while state.outstanding >= self.capacity && !state.aborted {
+            state.backpressure_waits += 1;
+            state = self.slot_free.wait(state).unwrap();
+        }
+        if state.aborted {
+            return None;
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.outstanding += 1;
+        state.max_inflight_hwm = state.max_inflight_hwm.max(state.outstanding as u64);
+        Some(f(&mut state, seq))
+    }
+
+    /// Admits a document for processing. Returns `false` when the pool
+    /// has aborted (the producer should stop reading).
+    pub(crate) fn admit(&self, doc: Vec<u8>) -> bool {
+        let admitted = self
+            .admit_slot(|state, seq| {
+                state.jobs.push_back(Job {
+                    seq,
+                    doc,
+                    admitted: Instant::now(),
+                });
+            })
+            .is_some();
+        if admitted {
+            self.job_ready.notify_one();
+        }
+        admitted
+    }
+
+    /// Admits a pre-resolved failure (e.g. the framer's oversize
+    /// rejection): it occupies a sequence slot so error lines come out
+    /// in document order, but never visits a worker. Returns `false`
+    /// when the pool has aborted.
+    pub(crate) fn reject(&self, err: DocError) -> bool {
+        let admitted = self
+            .admit_slot(|state, seq| {
+                state.done.insert(
+                    seq,
+                    Response {
+                        doc: Vec::new(),
+                        result: Err(err),
+                        latency_ns: 0,
+                        framer_rejected: true,
+                    },
+                );
+            })
+            .is_some();
+        if admitted {
+            self.done_ready.notify_one();
+        }
+        admitted
+    }
+
+    /// Marks the stream complete: no further admissions. Workers and the
+    /// emitter drain what is already in flight and exit.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.job_ready.notify_all();
+        self.done_ready.notify_all();
+    }
+
+    /// Emitter-side: a response line could not be written, so the
+    /// connection is dead. Everyone winds down without draining.
+    pub(crate) fn abort(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.aborted = true;
+        drop(state);
+        self.job_ready.notify_all();
+        self.done_ready.notify_all();
+        self.slot_free.notify_all();
+    }
+
+    /// Worker-side: blocks for the next job; `None` means drain-and-exit
+    /// (stream closed and queue empty, or pool aborted).
+    pub(crate) fn take_job(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.aborted {
+                return None;
+            }
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.job_ready.wait(state).unwrap();
+        }
+    }
+
+    /// Worker-side: posts a finished document's response.
+    pub(crate) fn complete(&self, seq: u64, response: Response) {
+        let mut state = self.state.lock().unwrap();
+        state.done.insert(seq, response);
+        drop(state);
+        self.done_ready.notify_one();
+    }
+
+    /// Emitter-side: blocks for the next response **in admission
+    /// order**; `None` means all admitted documents have been emitted
+    /// (or the pool aborted). Frees the in-flight slot.
+    pub(crate) fn take_next_response(&self) -> Option<(u64, Response)> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.aborted {
+                return None;
+            }
+            let seq = state.next_emit;
+            if let Some(response) = state.done.remove(&seq) {
+                state.next_emit += 1;
+                state.outstanding -= 1;
+                drop(state);
+                self.slot_free.notify_one();
+                return Some((seq, response));
+            }
+            if state.closed && state.next_emit == state.next_seq {
+                return None;
+            }
+            state = self.done_ready.wait(state).unwrap();
+        }
+    }
+
+    /// Post-run accounting: (documents admitted, backpressure waits,
+    /// in-flight high-water mark).
+    pub(crate) fn accounting(&self) -> (u64, u64, u64) {
+        let state = self.state.lock().unwrap();
+        (
+            state.next_seq,
+            state.backpressure_waits,
+            state.max_inflight_hwm,
+        )
+    }
+}
+
+/// A positions sink that checks the wall clock every few records: the
+/// matching-phase half of the per-document deadline. Tripping reports
+/// [`SinkFull`] — a *clean* early stop for the engine — and the worker
+/// turns the `expired` flag into a timeout outcome.
+struct DeadlineSink<'a> {
+    inner: &'a mut Vec<usize>,
+    deadline: Instant,
+    since_check: u32,
+    expired: bool,
+}
+
+impl DeadlineSink<'_> {
+    /// Records between clock reads. The engine can emit matches at
+    /// hundreds of millions per second; reading the clock every record
+    /// would dominate. 64 keeps the deadline granular to microseconds
+    /// of overrun at worst.
+    const CHECK_EVERY: u32 = 64;
+}
+
+impl Sink for DeadlineSink<'_> {
+    fn record(&mut self, pos: usize) -> Result<(), SinkFull> {
+        self.since_check += 1;
+        if self.since_check >= Self::CHECK_EVERY {
+            self.since_check = 0;
+            if Instant::now() >= self.deadline {
+                self.expired = true;
+                return Err(SinkFull);
+            }
+        }
+        self.inner.record(pos)
+    }
+}
+
+/// Runs one document with panic containment and the optional deadline.
+///
+/// The deadline is evaluated at deterministic points only: once before
+/// the run (a document admitted after its budget already passed — e.g.
+/// held back by backpressure — times out without running) and every few
+/// matches during it. A `deadline` of zero therefore times out every
+/// document deterministically, which the robustness suite leans on.
+pub(crate) fn process(engine: &Engine, deadline: Option<Duration>, job: &Job) -> Response {
+    let hard = deadline.map(|d| job.admitted + d);
+    let timeout = || DocError::from_run(&RunError::DeadlineExceeded);
+    let result = if hard.is_some_and(|h| Instant::now() >= h) {
+        Err(timeout())
+    } else {
+        let mut positions = Vec::new();
+        let run = match hard {
+            Some(h) => {
+                let mut sink = DeadlineSink {
+                    inner: &mut positions,
+                    deadline: h,
+                    since_check: 0,
+                    expired: false,
+                };
+                let run = run_document_contained(engine, &job.doc, &mut sink);
+                if sink.expired {
+                    Err(timeout())
+                } else {
+                    run
+                }
+            }
+            None => run_document_contained(engine, &job.doc, &mut positions),
+        };
+        run.map(|()| positions)
+    };
+    Response {
+        doc: Vec::new(),
+        result,
+        latency_ns: u64::try_from(job.admitted.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        framer_rejected: false,
+    }
+}

@@ -1,0 +1,14 @@
+//! Differential target: the incremental NDJSON framer over randomized
+//! chunk splits must frame byte-identically to the one-shot
+//! `split_ndjson`, honor the oversize cap, and never buffer more than
+//! `cap + 1` bytes — serve mode's bounded-memory guarantee.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use rsq_difftest::Target;
+
+fuzz_target!(|data: &[u8]| {
+    if let Err(mismatch) = Target::Framer.check(data) {
+        panic!("{mismatch:?}");
+    }
+});

@@ -33,6 +33,35 @@ echo "==> batch determinism gate (multi-threaded merge, SWAR override)"
 cargo test -p rsq-batch -q
 RSQ_BACKEND=swar cargo test -p rsq-batch -q
 
+echo "==> serve smoke gate (pipe protocol vs --batch-ndjson oracle)"
+# Stream a corpus with CRLF lines, a blank line, an in-string newline,
+# and no trailing newline through `rsq --serve`, fragmented into 3-byte
+# writes so the incremental framer crosses escape/CRLF boundaries, and
+# require byte-identical stdout to the batch run plus a clean drain
+# (exit 0, silent stderr). The deeper fragmentation/fault matrix lives
+# in the rsq-serve robustness suite below.
+cargo build --release -p rsq-cli
+SERVE_TMP="$(mktemp -d)"
+trap 'rm -rf "$SERVE_TMP"' EXIT
+printf '{"a": {"b": 1}}\n{"b": [1, 2, 3]}\r\n\n{"b": "x\\ny"}\n{"c": 0}' \
+  > "$SERVE_TMP/corpus.ndjson"
+./target/release/rsq --count '$..b' --batch-ndjson "$SERVE_TMP/corpus.ndjson" \
+  > "$SERVE_TMP/batch.out"
+dd if="$SERVE_TMP/corpus.ndjson" bs=3 2>/dev/null \
+  | ./target/release/rsq --serve --count '$..b' \
+  > "$SERVE_TMP/serve.out" 2> "$SERVE_TMP/serve.err"
+diff -u "$SERVE_TMP/batch.out" "$SERVE_TMP/serve.out"
+if [ -s "$SERVE_TMP/serve.err" ]; then
+  echo "serve smoke gate: unexpected diagnostics on stderr:"
+  cat "$SERVE_TMP/serve.err"
+  exit 1
+fi
+
+echo "==> serve robustness chaos sweep (slow-tests)"
+# 200 seeded fragmentation/stall/truncation/disconnect plans, each
+# checked for output parity with the batch oracle.
+cargo test -p rsq-serve --release --features slow-tests -q
+
 echo "==> workspace build + tests with the obs-trace feature (Tier B)"
 cargo build --workspace --features rsq-engine/obs-trace
 cargo test --workspace --features rsq-engine/obs-trace -q
