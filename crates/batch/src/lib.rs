@@ -48,7 +48,7 @@ pub use ndjson::{split_ndjson, Frame, NdjsonFramer, QuoteScan};
 
 use queue::WorkQueue;
 use rsq_engine::{Engine, EngineError, EngineOptions, LimitKind, ProfileStats, RunError, Scratch};
-use rsq_obs::{BatchCounters, BatchProfile, Histogram, RunStats, WorkerProfile};
+use rsq_obs::{BatchCounters, BatchProfile, Histogram, RunStats, Stopwatch, WorkerProfile};
 use std::fs;
 use std::io;
 use std::num::NonZeroUsize;
@@ -56,7 +56,6 @@ use std::ops::Range;
 use std::path::Path;
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
 
 /// Configuration for a [`BatchEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -333,11 +332,20 @@ impl BatchEngine {
             let mut stats = RunStats::default();
             let mut scratch = Scratch::new();
             let mut prof: Option<ShardProfile> = profile.then(ShardProfile::default);
+            // Lap timer shared with the serve pipeline's spans: the lap
+            // taken after `claim` returns is queue wait, the lap after
+            // each document is busy time, and consecutive laps telescope
+            // — the worker's wall clock partitions exactly into waits
+            // and work. Only a profiled run starts the watch; the plain
+            // path keeps its no-clock-reads guarantee.
+            let mut watch = prof.as_ref().map(|_| Stopwatch::start());
             loop {
-                let claim_start = prof.as_ref().map(|_| Instant::now());
+                if let Some(w) = watch.as_mut() {
+                    w.lap();
+                }
                 let Some(range) = queue.claim() else { break };
-                if let (Some(p), Some(t0)) = (prof.as_mut(), claim_start) {
-                    p.worker.queue_wait_ns = p.worker.queue_wait_ns.saturating_add(elapsed_ns(t0));
+                if let (Some(p), Some(w)) = (prof.as_mut(), watch.as_mut()) {
+                    p.worker.queue_wait_ns = p.worker.queue_wait_ns.saturating_add(w.lap());
                     p.worker.claims += 1;
                 }
                 for i in range {
@@ -345,7 +353,8 @@ impl BatchEngine {
                     // inside the engine (or a user sink, via the serve
                     // path) fails this document, not the whole batch.
                     let outcome = if let Some(p) = prof.as_mut() {
-                        let t0 = Instant::now();
+                        let w = watch.as_mut().expect("watch exists iff profiling");
+                        w.lap();
                         let outcome = contain(|| {
                             run_one(
                                 engine,
@@ -356,7 +365,7 @@ impl BatchEngine {
                                 Some(&mut p.profile),
                             )
                         });
-                        let ns = elapsed_ns(t0);
+                        let ns = w.lap();
                         p.latency.record(ns);
                         p.worker.busy_ns = p.worker.busy_ns.saturating_add(ns);
                         p.worker.documents += 1;
@@ -506,10 +515,31 @@ pub fn run_document_contained<S: rsq_engine::Sink>(
     doc: &[u8],
     sink: &mut S,
 ) -> Result<(), DocError> {
-    contain(|| {
-        engine
-            .try_run(doc, sink)
-            .map_err(|e| DocError::from_run(&e))
+    run_document_contained_with(engine, doc, sink, None)
+}
+
+/// [`run_document_contained`] with an optional Tier C profiling
+/// recorder threaded through the run. When `profile` is given the
+/// engine's monomorphized stage timers fire (the only configuration
+/// that reads the clock inside the run); serve-mode telemetry uses this
+/// to put an engine stage breakdown inside each document's pipeline
+/// span. `None` is byte-for-byte the uninstrumented path.
+///
+/// # Errors
+///
+/// As [`run_document_contained`].
+pub fn run_document_contained_with<S: rsq_engine::Sink>(
+    engine: &Engine,
+    doc: &[u8],
+    sink: &mut S,
+    profile: Option<&mut ProfileStats>,
+) -> Result<(), DocError> {
+    contain(move || {
+        let run = match profile {
+            Some(p) => engine.try_run_into_profile(doc, sink, p),
+            None => engine.try_run(doc, sink),
+        };
+        run.map_err(|e| DocError::from_run(&e))
     })
 }
 
@@ -522,11 +552,6 @@ struct ShardProfile {
     profile: ProfileStats,
     latency: Histogram,
     worker: WorkerProfile,
-}
-
-/// Nanoseconds since `t0`, saturated to `u64::MAX`.
-fn elapsed_ns(t0: Instant) -> u64 {
-    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Runs one document through the engine using the worker's scratch
@@ -758,6 +783,25 @@ mod tests {
         let mut out: Vec<usize> = Vec::new();
         run_document_contained(&engine, doc, &mut out).unwrap();
         assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn contained_run_with_profile_fills_stage_timers() {
+        let engine = Engine::from_text("$..a").unwrap();
+        let doc: &[u8] = br#"{"a": 1, "b": {"a": 2}, "c": {"a": 3}}"#;
+        let mut plain: Vec<usize> = Vec::new();
+        run_document_contained(&engine, doc, &mut plain).unwrap();
+
+        let mut profiled: Vec<usize> = Vec::new();
+        let mut profile = ProfileStats::new();
+        run_document_contained_with(&engine, doc, &mut profiled, Some(&mut profile)).unwrap();
+        assert_eq!(profiled, plain, "profiling never changes the answer");
+        assert_eq!(profile.stats.bytes, doc.len() as u64);
+        assert!(
+            profile.stages.get(rsq_obs::ProfileStage::Automaton) > 0,
+            "monomorphized stage timers fired: {:?}",
+            profile.stages
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!
 //! Subcommands: `table2`, `table3`, `a`, `b`, `c`, `d`, `appendix-c`,
 //! `semantics`, `ablations`, `stats-overhead`, `skip-ablation`,
-//! `batch-scaling`, `serve-latency`, `all`.
+//! `batch-scaling`, `serve-latency`, `telemetry-overhead`, `all`.
 //!
 //! `skip-ablation` reproduces the paper's Table-6-style skip-rate view
 //! from the Tier C profiler: per dataset × query, the bytes each skipping
@@ -78,6 +78,7 @@ fn main() {
             "skip-ablation" => skip_ablation(&mut report),
             "batch-scaling" => batch_scaling(&mut report),
             "serve-latency" => serve_latency(&mut report),
+            "telemetry-overhead" => telemetry_overhead(&mut report),
             "all" => {
                 table2();
                 table3();
@@ -92,6 +93,7 @@ fn main() {
                 skip_ablation(&mut report);
                 batch_scaling(&mut report);
                 serve_latency(&mut report);
+                telemetry_overhead(&mut report);
             }
             other => {
                 eprintln!("unknown subcommand {other:?}");
@@ -693,6 +695,109 @@ fn serve_latency(report: &mut Report) {
             stats: None,
             bytes_skipped: None,
             latency: Some(outcome.latency.clone()),
+        });
+    }
+}
+
+/// Live-telemetry ablation (DESIGN.md §13): the same smooth NDJSON
+/// stream served twice through `serve_connection_with`, once with no
+/// telemetry hub and once with a fully armed hub — live windows, a
+/// slow-document threshold that never fires, a postmortem directory
+/// and flight recorder that never dump. The telemetry tax is a handful
+/// of clock reads and one short mutex hold per document, so the two
+/// configurations must stay within 2% of each other; the assertion
+/// retries to ride out scheduler noise, then the `bench-diff` gate
+/// pins both rows across commits.
+fn telemetry_overhead(report: &mut Report) {
+    use rsq_serve::{
+        serve_connection_with, ChaosPlan, ResponseMode, ServeOptions, Telemetry, TelemetryOptions,
+    };
+
+    heading("Telemetry overhead: serve_connection with and without a live hub (GB/s)");
+    let entry = by_id("B1").expect("catalog has B1");
+    let total = rsq_datagen::default_target_bytes().min(8 * 1024 * 1024);
+    let doc_target = 64 * 1024;
+    let doc_count = (total / doc_target).clamp(8, 128);
+    let mut corpus: Vec<u8> = Vec::with_capacity(doc_count * doc_target);
+    for i in 0..doc_count {
+        let doc = entry.dataset.generate(&GenConfig {
+            target_bytes: doc_target,
+            seed: rsq_bench::BENCH_SEED ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        });
+        corpus.extend_from_slice(&rsq_bench::compact_json(doc.as_bytes()));
+        corpus.push(b'\n');
+    }
+    let options = ServeOptions {
+        mode: ResponseMode::Count,
+        ..ServeOptions::new(entry.query)
+    };
+    // Armed exactly as a production `--telemetry-socket --slow-log-ms
+    // --postmortem-dir` server would be; nothing fires on this corpus,
+    // so the measurement isolates the always-on recording cost.
+    let postmortem_dir = std::env::temp_dir().join("rsq-bench-telemetry-pm");
+    std::fs::create_dir_all(&postmortem_dir).expect("temp postmortem dir");
+    let hub_options = TelemetryOptions {
+        slow_log_ms: Some(60_000),
+        postmortem_dir: Some(postmortem_dir),
+        flight_window: 8,
+        live: true,
+    };
+
+    let serve_pass = |hub: Option<&std::sync::Arc<Telemetry>>| -> u64 {
+        let reader = rsq_serve::ChaosStream::new(&corpus, ChaosPlan::smooth(rsq_bench::BENCH_SEED));
+        let mut out = Vec::new();
+        let sink = std::io::sink();
+        let outcome = serve_connection_with(&options, hub, reader, &mut out, sink)
+            .expect("catalog query compiles");
+        assert!(outcome.clean, "bench stream must drain cleanly");
+        assert_eq!(outcome.first_failure, None, "bench corpus serves cleanly");
+        outcome.counters.responses_ok
+    };
+
+    // Scheduler noise can exceed the telemetry tax on a loaded runner:
+    // best-of-REPS per attempt, and the 2% bound gets three attempts
+    // before it counts as a regression.
+    let mut measured = None;
+    for attempt in 0..3 {
+        let off = measure(corpus.len(), REPS, || serve_pass(None));
+        let hub = Telemetry::new(&hub_options);
+        let on = measure(corpus.len(), REPS, || serve_pass(Some(&hub)));
+        assert_eq!(off.count, on.count, "telemetry changed the responses");
+        let ratio = on.gbps / off.gbps;
+        println!(
+            "{:>12} {:>8} {:>8.2} {:>8.2} {:>7.3}{}",
+            "attempt",
+            off.count,
+            off.gbps,
+            on.gbps,
+            ratio,
+            if ratio >= 0.98 { "" } else { "  (retry)" }
+        );
+        measured = Some((off, on));
+        if ratio >= 0.98 {
+            break;
+        }
+        assert!(
+            attempt < 2,
+            "telemetry overhead exceeded 2% in three consecutive attempts \
+             (off {:.2} GB/s, on {:.2} GB/s)",
+            off.gbps,
+            on.gbps
+        );
+    }
+    let (off, on) = measured.expect("at least one attempt ran");
+    for (name, m) in [("off", off), ("on", on)] {
+        report.push(ReportEntry {
+            experiment: "telemetry-overhead".to_owned(),
+            name: name.to_owned(),
+            query: Some(entry.query.to_owned()),
+            input_bytes: corpus.len() as u64,
+            count: m.count,
+            gbps: m.gbps,
+            speedup: None,
+            stats: None,
+            bytes_skipped: None,
+            latency: None,
         });
     }
 }

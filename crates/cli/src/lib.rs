@@ -16,11 +16,17 @@ use rsq_engine::{
 };
 // Shared with the serve layer so both render identical value output.
 use rsq_json::node_text;
-use rsq_obs::{prometheus, prometheus_serve, STATS_SCHEMA_VERSION};
+use rsq_obs::{prometheus, prometheus_serve, ServeCounters, STATS_SCHEMA_VERSION};
 use rsq_query::Query;
-use rsq_serve::{serve_connection, ResponseMode, ServeOptions, ServeReport};
+use rsq_serve::{
+    serve_connection_with, serve_telemetry_listener, ResponseMode, ServeOptions, ServeReport,
+    Telemetry, TelemetryOptions,
+};
 use std::fmt;
 use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Usage text printed on argument errors.
@@ -84,11 +90,64 @@ pool, and the --max-* limits double as per-connection caps
                       expiry answers that document with a timeout
                       error, in single-document mode it bounds ingest
 
+live telemetry (serve mode only; costs nothing when unused):
+  --telemetry-socket PATH
+                      answer GET /metrics (Prometheus text exposition
+                      with last-10s/last-60s rolling windows and live
+                      gauges), GET /healthz, GET /readyz, and POST
+                      /shutdown (graceful drain) over a second Unix
+                      socket — curl-able while serving
+  --slow-log-ms N     log one JSON line ({\"slow_document\":...}) on the
+                      server's stderr, with the pipeline stage
+                      breakdown, for every document whose
+                      admit-to-emit time reaches N ms
+  --postmortem-dir DIR
+                      on any per-document fault (timeout, panic,
+                      limit, malformed), write a postmortem JSON with
+                      the document's timeline and the worker's recent
+                      history to DIR
+  --flight-window N   per-worker flight-recorder depth backing
+                      postmortems (default 16)
+
 exit codes: 0 ok, 1 failure, 2 usage, 3 bad query, 4 I/O error,
 5 resource limit exceeded, 6 malformed document, 7 deadline missed
 
 reads from stdin when FILE is omitted (chunked; limits apply while
 bytes arrive)";
+
+/// Live-telemetry flags (serve mode only). All default to off; with
+/// every field unset the serve path compiles no spans, reads no clocks,
+/// and writes no rings.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Scrape-endpoint Unix-socket path (`--telemetry-socket`).
+    pub socket: Option<String>,
+    /// Slow-document threshold in milliseconds (`--slow-log-ms`).
+    pub slow_log_ms: Option<u64>,
+    /// Postmortem artifact directory (`--postmortem-dir`).
+    pub postmortem_dir: Option<String>,
+    /// Per-worker flight-recorder depth (`--flight-window`).
+    pub flight_window: Option<usize>,
+}
+
+impl TelemetryConfig {
+    /// True when any flag that arms telemetry was given.
+    /// (`--flight-window` alone arms nothing: it only sizes the ring
+    /// that `--postmortem-dir` consumes.)
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.socket.is_some() || self.slow_log_ms.is_some() || self.postmortem_dir.is_some()
+    }
+
+    fn to_options(&self) -> TelemetryOptions {
+        TelemetryOptions {
+            slow_log_ms: self.slow_log_ms,
+            postmortem_dir: self.postmortem_dir.as_ref().map(PathBuf::from),
+            flight_window: self.flight_window.unwrap_or(0),
+            live: self.socket.is_some(),
+        }
+    }
+}
 
 /// How serve mode talks to its clients.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -250,6 +309,9 @@ pub struct Invocation {
     pub deadline_ms: Option<u64>,
     /// Serve-mode in-flight bound (`--max-inflight`); `None` = default.
     pub max_inflight: Option<usize>,
+    /// Live-telemetry flags (`--telemetry-socket`/`--slow-log-ms`/
+    /// `--postmortem-dir`/`--flight-window`).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Invocation {
@@ -271,6 +333,7 @@ impl Invocation {
         let mut serve: Option<ServeTransport> = None;
         let mut deadline_ms: Option<u64> = None;
         let mut max_inflight: Option<usize> = None;
+        let mut telemetry = TelemetryConfig::default();
         let mut rest: Vec<&str> = Vec::new();
         let mut it = args.iter();
         // A valued flag accepts both `--flag N` and `--flag=N`.
@@ -319,6 +382,14 @@ impl Invocation {
                         deadline_ms = Some(parse_number("--deadline-ms", &v?)?);
                     } else if let Some(v) = value_of("--max-inflight", flag, &mut it) {
                         max_inflight = Some(parse_number("--max-inflight", &v?)?);
+                    } else if let Some(v) = value_of("--telemetry-socket", flag, &mut it) {
+                        telemetry.socket = Some(v?);
+                    } else if let Some(v) = value_of("--slow-log-ms", flag, &mut it) {
+                        telemetry.slow_log_ms = Some(parse_number("--slow-log-ms", &v?)?);
+                    } else if let Some(v) = value_of("--postmortem-dir", flag, &mut it) {
+                        telemetry.postmortem_dir = Some(v?);
+                    } else if let Some(v) = value_of("--flight-window", flag, &mut it) {
+                        telemetry.flight_window = Some(parse_number("--flight-window", &v?)?);
                     } else {
                         return Err(format!("unknown flag {flag}"));
                     }
@@ -374,6 +445,19 @@ impl Invocation {
         if max_inflight.is_some() && serve.is_none() {
             return Err("--max-inflight requires --serve or --serve-socket".to_owned());
         }
+        if (telemetry.enabled() || telemetry.flight_window.is_some()) && serve.is_none() {
+            return Err(
+                "--telemetry-socket/--slow-log-ms/--postmortem-dir/--flight-window require \
+                 --serve or --serve-socket"
+                    .to_owned(),
+            );
+        }
+        if telemetry.flight_window.is_some() && telemetry.postmortem_dir.is_none() {
+            return Err("--flight-window requires --postmortem-dir".to_owned());
+        }
+        if telemetry.flight_window == Some(0) {
+            return Err("--flight-window must be at least 1".to_owned());
+        }
         if max_inflight == Some(0) {
             return Err("--max-inflight must be at least 1".to_owned());
         }
@@ -395,6 +479,7 @@ impl Invocation {
             serve: serve.clone(),
             deadline_ms,
             max_inflight,
+            telemetry: telemetry.clone(),
         };
         if serve.is_some() {
             return match rest.as_slice() {
@@ -734,6 +819,73 @@ fn serve_options(invocation: &Invocation) -> ServeOptions {
     }
 }
 
+/// Builds the live-telemetry hub when any telemetry flag armed it.
+fn telemetry_hub(invocation: &Invocation) -> Option<Arc<Telemetry>> {
+    invocation
+        .telemetry
+        .enabled()
+        .then(|| Telemetry::new(&invocation.telemetry.to_options()))
+}
+
+/// Binds the scrape socket (replacing a stale file) and answers it from
+/// a background thread until the hub's listener-stop flag is raised.
+fn spawn_telemetry_listener(
+    hub: &Arc<Telemetry>,
+    path: &str,
+) -> Result<std::thread::JoinHandle<()>, CliError> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path).map_err(|e| {
+        CliError::new(
+            CliErrorKind::Io,
+            format!("cannot bind telemetry socket {path}: {e}"),
+        )
+    })?;
+    let hub = Arc::clone(hub);
+    Ok(std::thread::spawn(move || {
+        let _ = serve_telemetry_listener(&hub, &listener);
+    }))
+}
+
+/// Stops and joins the scrape-listener thread, if one is running.
+fn stop_telemetry_listener(
+    hub: Option<&Arc<Telemetry>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+) {
+    if let Some(h) = hub {
+        h.stop_listener();
+    }
+    if let Some(t) = handle {
+        let _ = t.join();
+    }
+}
+
+/// The serve-mode `--stats-json` line; with telemetry on it carries a
+/// `"telemetry"` object (rolling windows, slow-log/postmortem counts)
+/// next to the lifetime `"serve"` counters.
+fn serve_stats_line(counters: &ServeCounters, hub: Option<&Arc<Telemetry>>) -> String {
+    match hub {
+        Some(h) => format!(
+            "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"serve\":{},\"telemetry\":{}}}",
+            counters.to_json(),
+            h.to_json()
+        ),
+        None => format!(
+            "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"serve\":{}}}",
+            counters.to_json()
+        ),
+    }
+}
+
+/// The `--metrics-out` exposition: the hub's live rendering (lifetime
+/// series plus rolling windows and gauges — identical to a scrape) when
+/// telemetry is on, else the report's counters.
+fn serve_metrics_text(report: &ServeReport, hub: Option<&Arc<Telemetry>>) -> String {
+    match hub {
+        Some(h) => h.render_metrics(),
+        None => prometheus_serve(&report.counters, Some(&report.latency)),
+    }
+}
+
 /// Writes the serve-mode reports (`--stats`/`--stats-json` on `err`,
 /// `--metrics-out` exposition including latency quantiles) and turns the
 /// session outcome into the exit classification: per-document failures
@@ -742,18 +894,14 @@ fn finish_serve(
     invocation: &Invocation,
     err: &mut impl Write,
     report: &ServeReport,
+    hub: Option<&Arc<Telemetry>>,
 ) -> Result<(), CliError> {
     if let Some(path) = &invocation.metrics_out {
-        let text = prometheus_serve(&report.counters, Some(&report.latency));
-        std::fs::write(path, text)
+        std::fs::write(path, serve_metrics_text(report, hub))
             .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot write {path}: {e}")))?;
     }
     match invocation.stats {
-        Some(StatsFormat::Json) => writeln!(
-            err,
-            "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"serve\":{}}}",
-            report.counters.to_json()
-        ),
+        Some(StatsFormat::Json) => writeln!(err, "{}", serve_stats_line(&report.counters, hub)),
         Some(StatsFormat::Human) => writeln!(err, "{}", report.counters),
         None => Ok(()),
     }
@@ -792,15 +940,29 @@ pub fn run_serve_pipe(
     err: &mut (impl Write + Send),
 ) -> Result<(), CliError> {
     let options = serve_options(invocation);
-    let report = serve_connection(&options, reader, &mut *out, &mut *err)
-        .map_err(|e| CliError::new(CliErrorKind::Query, e.message))?;
-    finish_serve(invocation, err, &report)
+    let hub = telemetry_hub(invocation);
+    let listener = match (&hub, &invocation.telemetry.socket) {
+        (Some(h), Some(path)) => Some(spawn_telemetry_listener(h, path)?),
+        _ => None,
+    };
+    let result = serve_connection_with(&options, hub.as_ref(), reader, &mut *out, &mut *err)
+        .map_err(|e| CliError::new(CliErrorKind::Query, e.message));
+    stop_telemetry_listener(hub.as_ref(), listener);
+    let report = result?;
+    finish_serve(invocation, err, &report, hub.as_ref())
 }
 
-/// Serves connections on a Unix socket until the process is killed. A
-/// stale socket file at `path` is replaced. Reports (`--stats*`,
-/// `--metrics-out`) are refreshed after every connection drains, so a
-/// long-lived server keeps its metrics file current.
+/// Serves connections on a Unix socket. A stale socket file at `path`
+/// is replaced. Reports (`--stats*`, `--metrics-out`) are refreshed
+/// after every connection drains, so a long-lived server keeps its
+/// metrics file current.
+///
+/// Without telemetry the loop runs until the process is killed, exactly
+/// as before telemetry existed. With `--telemetry-socket`, `POST
+/// /shutdown` on the scrape endpoint requests a graceful drain: the
+/// in-progress connection finishes, no further connections are
+/// accepted, `/healthz` answers `503 draining` meanwhile, and the final
+/// reports (with exit classification) are written on the way out.
 fn run_serve_unix(
     invocation: &Invocation,
     path: &str,
@@ -810,46 +972,82 @@ fn run_serve_unix(
     // Compile eagerly so a bad query fails at startup, not on the first
     // connection.
     compile(invocation)?;
+    let hub = telemetry_hub(invocation);
     let _ = std::fs::remove_file(path);
     let listener = std::os::unix::net::UnixListener::bind(path)
         .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot bind {path}: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot configure {path}: {e}")))?;
+    let telemetry_thread = match (&hub, &invocation.telemetry.socket) {
+        (Some(h), Some(sock)) => Some(spawn_telemetry_listener(h, sock)?),
+        _ => None,
+    };
+    // Without a hub there is no shutdown channel: the flag below never
+    // flips and the loop runs until the process dies.
+    let never = AtomicBool::new(false);
+    let shutdown: &AtomicBool = hub.as_deref().map_or(&never, Telemetry::shutdown_flag);
+
     let mut aggregate = ServeReport::default();
-    loop {
-        let (stream, _) = listener
-            .accept()
-            .map_err(|e| CliError::new(CliErrorKind::Io, format!("accept on {path}: {e}")))?;
-        let out = stream
-            .try_clone()
-            .and_then(|o| stream.try_clone().map(|e| (o, e)));
-        let (sock_out, sock_err) = match out {
-            Ok(pair) => pair,
-            // The client vanished between accept and setup: count it
-            // and keep serving.
-            Err(_) => {
-                aggregate.counters.io_errors += 1;
-                continue;
+    let accept_loop = |aggregate: &mut ServeReport, err: &mut dyn Write| -> Result<(), CliError> {
+        while !shutdown.load(Ordering::SeqCst) {
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                Err(e) => {
+                    return Err(CliError::new(
+                        CliErrorKind::Io,
+                        format!("accept on {path}: {e}"),
+                    ))
+                }
+            };
+            stream
+                .set_nonblocking(false)
+                .map_err(|e| CliError::new(CliErrorKind::Io, format!("socket setup: {e}")))?;
+            let pair = stream
+                .try_clone()
+                .and_then(|o| stream.try_clone().map(|e| (o, e)));
+            let (sock_out, sock_err) = match pair {
+                Ok(pair) => pair,
+                // The client vanished between accept and setup: count it
+                // and keep serving.
+                Err(_) => {
+                    aggregate.counters.io_errors += 1;
+                    continue;
+                }
+            };
+            let report = serve_connection_with(&options, hub.as_ref(), &stream, sock_out, sock_err)
+                .map_err(|e| CliError::new(CliErrorKind::Query, e.message))?;
+            aggregate.merge(&report);
+            if let Some(mpath) = &invocation.metrics_out {
+                std::fs::write(mpath, serve_metrics_text(aggregate, hub.as_ref())).map_err(
+                    |e| CliError::new(CliErrorKind::Io, format!("cannot write {mpath}: {e}")),
+                )?;
             }
-        };
-        let report = serve_connection(&options, &stream, sock_out, sock_err)
-            .map_err(|e| CliError::new(CliErrorKind::Query, e.message))?;
-        aggregate.merge(&report);
-        if let Some(path) = &invocation.metrics_out {
-            let text = prometheus_serve(&aggregate.counters, Some(&aggregate.latency));
-            std::fs::write(path, text).map_err(|e| {
-                CliError::new(CliErrorKind::Io, format!("cannot write {path}: {e}"))
-            })?;
+            match invocation.stats {
+                Some(StatsFormat::Json) => {
+                    writeln!(
+                        err,
+                        "{}",
+                        serve_stats_line(&aggregate.counters, hub.as_ref())
+                    )
+                }
+                Some(StatsFormat::Human) => writeln!(err, "{}", aggregate.counters),
+                None => Ok(()),
+            }
+            .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))?;
         }
-        match invocation.stats {
-            Some(StatsFormat::Json) => writeln!(
-                err,
-                "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"serve\":{}}}",
-                aggregate.counters.to_json()
-            ),
-            Some(StatsFormat::Human) => writeln!(err, "{}", aggregate.counters),
-            None => Ok(()),
-        }
-        .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))?;
-    }
+        Ok(())
+    };
+    let result = accept_loop(&mut aggregate, err);
+    stop_telemetry_listener(hub.as_ref(), telemetry_thread);
+    result?;
+    // Only reachable through a graceful shutdown request: write the
+    // final reports and map the session onto an exit class.
+    finish_serve(invocation, err, &aggregate, hub.as_ref())
 }
 
 /// Executes a batch invocation: documents from the batch source, sharded
@@ -1107,6 +1305,7 @@ mod tests {
                 serve: None,
                 deadline_ms: None,
                 max_inflight: None,
+                telemetry: TelemetryConfig::default(),
             };
             assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "2\n");
             assert_eq!(run_to_string(&inv(Mode::Values)).unwrap(), "2\n3\n");
@@ -1132,6 +1331,7 @@ mod tests {
             serve: None,
             deadline_ms: None,
             max_inflight: None,
+            telemetry: TelemetryConfig::default(),
         };
         assert_eq!(
             run(&bad_query, &mut Vec::new(), &mut Vec::new())
@@ -1153,6 +1353,7 @@ mod tests {
             serve: None,
             deadline_ms: None,
             max_inflight: None,
+            telemetry: TelemetryConfig::default(),
         };
         assert_eq!(
             run(&missing_file, &mut Vec::new(), &mut Vec::new())
@@ -1178,6 +1379,7 @@ mod tests {
                 serve: None,
                 deadline_ms: None,
                 max_inflight: None,
+                telemetry: TelemetryConfig::default(),
             };
             assert_eq!(
                 run(&strict, &mut Vec::new(), &mut Vec::new())
@@ -1204,6 +1406,7 @@ mod tests {
                 serve: None,
                 deadline_ms: None,
                 max_inflight: None,
+                telemetry: TelemetryConfig::default(),
             };
             assert_eq!(
                 run(&limited, &mut Vec::new(), &mut Vec::new())
@@ -1230,6 +1433,7 @@ mod tests {
                 serve: None,
                 deadline_ms: None,
                 max_inflight: None,
+                telemetry: TelemetryConfig::default(),
             };
             let out = run_to_string(&inv).unwrap();
             assert!(out.contains("nodes     4"), "{out}");
@@ -1253,6 +1457,7 @@ mod tests {
                 serve: None,
                 deadline_ms: None,
                 max_inflight: None,
+                telemetry: TelemetryConfig::default(),
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1321,6 +1526,7 @@ mod tests {
                     serve: None,
                     deadline_ms: None,
                     max_inflight: None,
+                    telemetry: TelemetryConfig::default(),
                 };
                 assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "1\n1\n0\n");
                 assert_eq!(
@@ -1351,6 +1557,7 @@ mod tests {
                 serve: None,
                 deadline_ms: None,
                 max_inflight: None,
+                telemetry: TelemetryConfig::default(),
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1379,6 +1586,7 @@ mod tests {
                 serve: None,
                 deadline_ms: None,
                 max_inflight: None,
+                telemetry: TelemetryConfig::default(),
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1415,6 +1623,7 @@ mod tests {
             serve: None,
             deadline_ms: None,
             max_inflight: None,
+            telemetry: TelemetryConfig::default(),
         };
         let mut out = Vec::new();
         let mut err = Vec::new();
@@ -1457,6 +1666,7 @@ mod tests {
                 serve: None,
                 deadline_ms: None,
                 max_inflight: None,
+                telemetry: TelemetryConfig::default(),
             };
             let mut err = Vec::new();
             run(&inv(false), &mut Vec::new(), &mut err).unwrap();
@@ -1506,6 +1716,7 @@ mod tests {
                 serve: None,
                 deadline_ms: None,
                 max_inflight: None,
+                telemetry: TelemetryConfig::default(),
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1535,6 +1746,7 @@ mod tests {
                 serve: None,
                 deadline_ms: None,
                 max_inflight: None,
+                telemetry: TelemetryConfig::default(),
             };
             let mut err = Vec::new();
             run(&inv, &mut Vec::new(), &mut err).unwrap();
@@ -1562,6 +1774,7 @@ mod tests {
                 serve: None,
                 deadline_ms: None,
                 max_inflight: None,
+                telemetry: TelemetryConfig::default(),
             };
             let mut err = Vec::new();
             run(&inv(Some(StatsFormat::Json)), &mut Vec::new(), &mut err).unwrap();
@@ -1602,6 +1815,7 @@ mod tests {
             serve: None,
             deadline_ms: None,
             max_inflight: None,
+            telemetry: TelemetryConfig::default(),
         };
         let out = run_to_string(&inv).unwrap();
         assert!(out.starts_with("digraph"));
@@ -1655,6 +1869,52 @@ mod tests {
         );
     }
 
+    #[test]
+    fn parses_telemetry_flags() {
+        let inv = parse(&[
+            "--serve-socket=/tmp/rsq.sock",
+            "--telemetry-socket=/tmp/rsq-telemetry.sock",
+            "--slow-log-ms",
+            "250",
+            "--postmortem-dir",
+            "/tmp/postmortems",
+            "--flight-window",
+            "8",
+            "$..b",
+        ])
+        .unwrap();
+        assert_eq!(
+            inv.telemetry.socket.as_deref(),
+            Some("/tmp/rsq-telemetry.sock")
+        );
+        assert_eq!(inv.telemetry.slow_log_ms, Some(250));
+        assert_eq!(
+            inv.telemetry.postmortem_dir.as_deref(),
+            Some("/tmp/postmortems")
+        );
+        assert_eq!(inv.telemetry.flight_window, Some(8));
+        assert!(inv.telemetry.enabled());
+
+        let off = parse(&["--serve", "$..b"]).unwrap();
+        assert!(!off.telemetry.enabled());
+
+        // Telemetry rides on serve mode only.
+        assert!(parse(&["--telemetry-socket", "/tmp/t.sock", "$..b"]).is_err());
+        assert!(parse(&["--slow-log-ms", "5", "$..b"]).is_err());
+        assert!(parse(&["--postmortem-dir", "/tmp/p", "--count", "$..b"]).is_err());
+        // The flight window sizes the postmortem ring: pointless alone.
+        assert!(parse(&["--serve", "--flight-window", "4", "$..b"]).is_err());
+        assert!(parse(&[
+            "--serve",
+            "--postmortem-dir",
+            "/tmp/p",
+            "--flight-window",
+            "0",
+            "$..b"
+        ])
+        .is_err());
+    }
+
     fn serve_invocation(mode: Mode) -> Invocation {
         Invocation {
             mode,
@@ -1669,6 +1929,7 @@ mod tests {
             serve: Some(ServeTransport::Pipe),
             deadline_ms: None,
             max_inflight: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -1732,5 +1993,121 @@ mod tests {
         let stderr = String::from_utf8(err).unwrap();
         assert!(stderr.contains("document 2:"), "{stderr}");
         assert!(stderr.contains("[limit:matches]"), "{stderr}");
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "rsq-cli-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    /// Connects to a Unix socket, retrying while the server starts up.
+    fn poll_connect(path: &std::path::Path) -> std::os::unix::net::UnixStream {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match std::os::unix::net::UnixStream::connect(path) {
+                Ok(s) => return s,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => panic!("cannot connect to {}: {e}", path.display()),
+            }
+        }
+    }
+
+    /// One minimal HTTP GET against the telemetry socket.
+    fn http_get(path: &std::path::Path, target: &str) -> String {
+        let mut stream = poll_connect(path);
+        stream
+            .write_all(format!("GET {target} HTTP/1.0\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serve_pipe_telemetry_reports_postmortems_and_stats_json_object() {
+        let dir = temp_path("pm");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut inv = serve_invocation(Mode::Count);
+        inv.stats = Some(StatsFormat::Json);
+        inv.deadline_ms = Some(0);
+        inv.telemetry.postmortem_dir = Some(dir.to_str().unwrap().to_owned());
+        inv.telemetry.flight_window = Some(4);
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let error = run_serve_pipe(&inv, SERVE_INPUT, &mut out, &mut err).unwrap_err();
+        assert_eq!(error.kind, CliErrorKind::Deadline);
+        let stderr = String::from_utf8(err).unwrap();
+        assert!(stderr.contains("\"telemetry\":{"), "{stderr}");
+        assert!(stderr.contains("\"postmortems\":2"), "{stderr}");
+        assert!(stderr.contains("\"window_10s\":"), "{stderr}");
+        let dumped = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(dumped, 2, "one postmortem per timed-out document");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_unix_scrapes_live_and_drains_gracefully_on_shutdown() {
+        let serve_sock = temp_path("serve.sock");
+        let tele_sock = temp_path("tele.sock");
+        let metrics_path = temp_path("metrics.prom");
+        let mut inv = serve_invocation(Mode::Count);
+        inv.serve = Some(ServeTransport::Unix(
+            serve_sock.to_str().unwrap().to_owned(),
+        ));
+        inv.metrics_out = Some(metrics_path.to_str().unwrap().to_owned());
+        inv.telemetry.socket = Some(tele_sock.to_str().unwrap().to_owned());
+        let server = std::thread::spawn({
+            let inv = inv.clone();
+            let serve_sock = serve_sock.clone();
+            move || {
+                let mut err = Vec::new();
+                let result = run_serve_unix(&inv, serve_sock.to_str().unwrap(), &mut err);
+                (result, err)
+            }
+        });
+
+        // While serving: send documents and scrape until they show up.
+        let mut conn = poll_connect(&serve_sock);
+        conn.write_all(SERVE_INPUT).unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut answers = String::new();
+        conn.read_to_string(&mut answers).unwrap();
+        assert_eq!(answers, "1\n2\n");
+        drop(conn);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let scrape = loop {
+            let scrape = http_get(&tele_sock, "/metrics");
+            if scrape.contains("rsq_serve_documents_total 2") || Instant::now() >= deadline {
+                break scrape;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(scrape.starts_with("HTTP/1.0 200"), "{scrape}");
+        assert!(scrape.contains("rsq_serve_documents_total 2"), "{scrape}");
+        assert!(
+            scrape.contains("rsq_window_documents{window=\"10s\"}"),
+            "{scrape}"
+        );
+        assert!(scrape.contains("rsq_queue_depth 0"), "{scrape}");
+        let body = scrape.split("\r\n\r\n").nth(1).unwrap();
+        rsq_obs::expo::check(body).expect("scrape passes the exposition lint");
+        assert!(http_get(&tele_sock, "/healthz").starts_with("HTTP/1.0 200"));
+
+        // Graceful drain: /shutdown flips /healthz and ends the loop.
+        let shutdown = http_get(&tele_sock, "/shutdown");
+        assert!(shutdown.contains("draining"), "{shutdown}");
+        let (result, err) = server.join().unwrap();
+        result.expect("graceful shutdown exits cleanly");
+        assert!(err.is_empty(), "no --stats: nothing on stderr");
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.contains("rsq_serve_documents_total 2"), "{metrics}");
+        for p in [&serve_sock, &tele_sock, &metrics_path] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 }

@@ -1,0 +1,174 @@
+//! Shared Prometheus text-exposition formatting.
+//!
+//! Every renderer in the workspace (`prometheus`, `prometheus_serve`,
+//! `prometheus_telemetry`) builds its output through [`metric`], which
+//! emits the `# HELP`/`# TYPE` header pair exactly once per metric name
+//! and one sample line per call. Centralizing the formatter keeps the
+//! `--metrics-out` file writer and the live `/metrics` endpoint
+//! byte-compatible by construction, and gives `cargo xtask metrics-lint`
+//! one choke point to validate: [`check`] asserts the conventions
+//! (snake_case `rsq_*` names, headers before samples) that scrapers
+//! assume.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Appends one sample line for `name` to `out`, preceded by its
+/// `# HELP`/`# TYPE` header pair if this is the first sample of that
+/// name in `out`. `labels` is the raw label body (no braces), empty for
+/// an unlabelled series; `kind` is the Prometheus type (`counter` or
+/// `gauge`).
+pub fn metric(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &str,
+    value: impl fmt::Display,
+    kind: &str,
+) {
+    if !out.contains(&format!("# TYPE {name} ")) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+    }
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {value}");
+    }
+}
+
+/// True when `name` is a well-formed workspace metric name: `rsq_`
+/// prefix, then lowercase snake_case (`[a-z0-9_]`), no trailing or
+/// doubled underscores.
+#[must_use]
+pub fn valid_name(name: &str) -> bool {
+    name.strip_prefix("rsq_").is_some_and(|rest| {
+        !rest.is_empty()
+            && !rest.ends_with('_')
+            && !rest.contains("__")
+            && rest
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+    })
+}
+
+/// Validates a rendered exposition against the workspace conventions:
+/// every sample line's metric name must pass [`valid_name`] and must
+/// have been introduced by a `# HELP` line (with non-empty text) and a
+/// `# TYPE` line (`counter` or `gauge`) earlier in the text.
+///
+/// # Errors
+///
+/// Returns the first violation, rendered with the offending line.
+pub fn check(text: &str) -> Result<(), String> {
+    use std::collections::HashSet;
+    let mut helped: HashSet<&str> = HashSet::new();
+    let mut typed: HashSet<&str> = HashSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            if help.trim().is_empty() {
+                return Err(format!("HELP text missing: {line:?}"));
+            }
+            helped.insert(name);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').unwrap_or((rest, ""));
+            if !matches!(kind, "counter" | "gauge") {
+                return Err(format!("unknown metric type: {line:?}"));
+            }
+            typed.insert(name);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // A sample line: name, optional {labels}, space, value.
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("unparsable sample line: {line:?}"))?;
+        let name = &line[..name_end];
+        if !valid_name(name) {
+            return Err(format!("metric name not snake_case rsq_*: {name:?}"));
+        }
+        if !helped.contains(name) {
+            return Err(format!("sample before # HELP: {name:?}"));
+        }
+        if !typed.contains(name) {
+            return Err(format!("sample before # TYPE: {name:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_emits_header_pair_once() {
+        let mut out = String::new();
+        metric(
+            &mut out,
+            "rsq_things_total",
+            "Things seen.",
+            "",
+            3u64,
+            "counter",
+        );
+        metric(
+            &mut out,
+            "rsq_things_total",
+            "Things seen.",
+            "kind=\"a\"",
+            4u64,
+            "counter",
+        );
+        assert_eq!(out.matches("# HELP rsq_things_total").count(), 1);
+        assert_eq!(out.matches("# TYPE rsq_things_total counter").count(), 1);
+        assert!(out.contains("rsq_things_total 3\n"));
+        assert!(out.contains("rsq_things_total{kind=\"a\"} 4\n"));
+        check(&out).expect("well-formed exposition");
+    }
+
+    #[test]
+    fn valid_name_enforces_snake_case() {
+        assert!(valid_name("rsq_serve_documents_total"));
+        assert!(valid_name("rsq_window_latency_ns"));
+        assert!(!valid_name("serve_documents_total"), "missing prefix");
+        assert!(!valid_name("rsq_Serve_documents"), "uppercase");
+        assert!(!valid_name("rsq_docs-total"), "dash");
+        assert!(!valid_name("rsq_"), "empty tail");
+        assert!(!valid_name("rsq_docs__total"), "doubled underscore");
+        assert!(!valid_name("rsq_docs_"), "trailing underscore");
+    }
+
+    #[test]
+    fn check_rejects_missing_headers_and_bad_names() {
+        assert!(check("rsq_loose_metric 1\n").is_err(), "no HELP/TYPE");
+        let missing_type = "# HELP rsq_x_total x\nrsq_x_total 1\n";
+        assert!(check(missing_type).is_err());
+        let bad_name = "# HELP rsq_X x\n# TYPE rsq_X counter\nrsq_X 1\n";
+        assert!(check(bad_name).is_err());
+        let empty_help = "# HELP rsq_x_total \n# TYPE rsq_x_total counter\nrsq_x_total 1\n";
+        assert!(check(empty_help).is_err());
+    }
+
+    #[test]
+    fn check_accepts_float_values_and_labels() {
+        let mut out = String::new();
+        metric(
+            &mut out,
+            "rsq_window_docs_per_sec",
+            "Documents per second over the window.",
+            "window=\"10s\"",
+            1.25f64,
+            "gauge",
+        );
+        check(&out).expect("floats and labels are fine");
+    }
+}

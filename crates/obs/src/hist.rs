@@ -68,6 +68,17 @@ impl Histogram {
         }
     }
 
+    /// Resets the histogram to empty without releasing its storage.
+    /// The window ring (`crate::window`) cycles slots with
+    /// record/clear; a cleared histogram must be indistinguishable from
+    /// a fresh one so ring merges stay associative.
+    pub fn clear(&mut self) {
+        self.buckets = [0; BUCKETS];
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+
     /// Records one sample.
     #[inline]
     pub fn record(&mut self, value: u64) {
@@ -297,6 +308,104 @@ mod tests {
         assert_eq!(merged.sum(), u64::MAX);
         assert_eq!(merged.max(), u64::MAX);
         assert_eq!(merged.count(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero_at_every_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_histogram_answers_every_quantile_with_it() {
+        let mut h = Histogram::new();
+        h.record(777);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 777, "q={q}");
+        }
+        assert_eq!(h.mean(), 777);
+        assert_eq!(h.max(), 777);
+    }
+
+    #[test]
+    fn saturated_histogram_quantiles_stay_sane() {
+        // Drive count/sum to saturation by repeated self-merge doubling;
+        // quantiles must stay within the observed range, never panic or
+        // wrap.
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(u64::MAX);
+        for _ in 0..64 {
+            let snapshot = h.clone();
+            h += &snapshot;
+        }
+        assert_eq!(h.count(), u64::MAX, "count saturates");
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.max(), u64::MAX);
+        // Saturated bucket counts make cumulative rank scans resolve in
+        // the first occupied bucket; the answer is still a value the
+        // histogram observed, never garbage.
+        assert_eq!(h.p50(), 127);
+        assert!(h.quantile(1.0) <= h.max());
+        assert!(h.p99() >= h.p50());
+    }
+
+    #[test]
+    fn clear_matches_fresh_histogram() {
+        let mut h = Histogram::new();
+        for v in [1u64, 100, 10_000] {
+            h.record(v);
+        }
+        h.clear();
+        assert_eq!(h, Histogram::new());
+        h.record(42);
+        let mut fresh = Histogram::new();
+        fresh.record(42);
+        assert_eq!(h, fresh, "recording after clear matches a fresh histogram");
+    }
+
+    #[test]
+    fn ring_style_add_clear_cycling_preserves_merge_associativity() {
+        // Model the window ring: slots are cleared and refilled as ticks
+        // advance, and a scrape merges the live slots in arbitrary
+        // order. The merged result must equal a histogram fed the same
+        // live samples directly, for any merge order.
+        let samples: Vec<u64> = (0..300u64).map(|i| (i * 6151) % 50_000).collect();
+        let mut slots = vec![Histogram::new(); 4];
+        for (i, &v) in samples.iter().enumerate() {
+            let slot = &mut slots[i % 4];
+            // Every 8th landing clears the slot first (a stale tick being
+            // recycled), dropping what it held.
+            if i % 32 == i % 4 {
+                slot.clear();
+            }
+            slot.record(v);
+        }
+        // Ground truth: replay the same clear/record schedule into flat
+        // per-slot sample lists, then one histogram over the survivors.
+        let mut live: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        for (i, &v) in samples.iter().enumerate() {
+            if i % 32 == i % 4 {
+                live[i % 4].clear();
+            }
+            live[i % 4].push(v);
+        }
+        let mut whole = Histogram::new();
+        for s in live.iter().flatten() {
+            whole.record(*s);
+        }
+        let mut forward = Histogram::new();
+        for s in &slots {
+            forward += s;
+        }
+        let mut backward = Histogram::new();
+        for s in slots.iter().rev() {
+            backward += s;
+        }
+        assert_eq!(forward, whole, "forward merge of cycled slots");
+        assert_eq!(backward, whole, "reverse merge of cycled slots");
     }
 
     #[test]

@@ -28,6 +28,14 @@
 //!   skip decisions. With the feature off — the default — the macros
 //!   expand to nothing and the ring does not exist in the binary.
 //!
+//! On top of the tiers sits the **live-telemetry layer** consumed by
+//! serve mode's scrape endpoint: rolling-window aggregation
+//! ([`WindowRing`]), per-document pipeline spans ([`DocSpan`] /
+//! [`SpanRecord`]), the per-worker fault flight recorder
+//! ([`FlightRecorder`]), and the shared Prometheus text-exposition
+//! formatter ([`expo`]). All of it follows the same discipline: no
+//! clock reads and no ring writes unless telemetry is enabled.
+//!
 //! Why a cargo feature and not a runtime flag? A runtime flag costs a
 //! branch (or an atomic load) per recorded event on the hot path, and the
 //! engine records events at block rate. A compile-time feature costs
@@ -41,13 +49,18 @@
 #![warn(missing_docs)]
 
 mod batch;
+pub mod expo;
+mod flightrec;
 mod hist;
 mod profile;
 mod serve;
 mod skipmap;
+mod span;
 mod stats;
+mod window;
 
 pub use batch::BatchCounters;
+pub use flightrec::{FlightRecorder, DEFAULT_FLIGHT_WINDOW};
 pub use hist::Histogram;
 pub use profile::{
     prometheus, BatchProfile, ProfileStage, ProfileStats, SkipBytes, StageTimes, WorkerProfile,
@@ -55,7 +68,9 @@ pub use profile::{
 };
 pub use serve::{prometheus_serve, ServeCounters};
 pub use skipmap::{SkipMap, SkipTechnique};
+pub use span::{DocSpan, SpanRecord, Stopwatch};
 pub use stats::{BlockStats, ClassifierCounters, NoStats, Recorder, RunStats, SkipStats};
+pub use window::{prometheus_telemetry, TelemetryGauges, WindowRing, WindowSnapshot};
 
 #[cfg(feature = "obs-trace")]
 pub mod trace;

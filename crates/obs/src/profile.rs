@@ -549,23 +549,6 @@ impl fmt::Display for BatchProfile {
     }
 }
 
-pub(crate) fn metric(
-    out: &mut String,
-    name: &str,
-    labels: &str,
-    value: impl fmt::Display,
-    kind: &str,
-) {
-    if !out.contains(&format!("# TYPE {name} ")) {
-        let _ = writeln!(out, "# TYPE {name} {kind}");
-    }
-    if labels.is_empty() {
-        let _ = writeln!(out, "{name} {value}");
-    } else {
-        let _ = writeln!(out, "{name}{{{labels}}} {value}");
-    }
-}
-
 /// Renders a run's statistics and profile as Prometheus-style text
 /// exposition (counters and gauges, `rsq_` prefix). `batch` adds the
 /// batch-level series when present.
@@ -575,10 +558,12 @@ pub fn prometheus(
     profile: Option<&ProfileStats>,
     batch: Option<(&crate::BatchCounters, Option<&BatchProfile>)>,
 ) -> String {
+    use crate::expo::metric;
     let mut out = String::with_capacity(2048);
     metric(
         &mut out,
         "rsq_input_bytes_total",
+        "Input bytes processed.",
         "",
         stats.bytes,
         "counter",
@@ -592,12 +577,20 @@ pub fn prometheus(
         metric(
             &mut out,
             "rsq_blocks_classified_total",
+            "SIMD blocks classified, by classifier.",
             &format!("classifier=\"{kind}\""),
             v,
             "counter",
         );
     }
-    metric(&mut out, "rsq_events_total", "", stats.events, "counter");
+    metric(
+        &mut out,
+        "rsq_events_total",
+        "Structural events delivered to the automaton.",
+        "",
+        stats.events,
+        "counter",
+    );
     for (t, v) in [
         ("leaf", stats.skips.leaf),
         ("child", stats.skips.child),
@@ -607,6 +600,7 @@ pub fn prometheus(
         metric(
             &mut out,
             "rsq_skips_total",
+            "Skip decisions taken, by technique.",
             &format!("technique=\"{t}\""),
             v,
             "counter",
@@ -615,6 +609,7 @@ pub fn prometheus(
     metric(
         &mut out,
         "rsq_memmem_jumps_total",
+        "Head-start memmem jumps taken.",
         "",
         stats.memmem_jumps,
         "counter",
@@ -622,17 +617,33 @@ pub fn prometheus(
     metric(
         &mut out,
         "rsq_memmem_declined_total",
+        "Head-start memmem opportunities declined.",
         "",
         stats.memmem_declined,
         "counter",
     );
-    metric(&mut out, "rsq_matches_total", "", stats.matches, "counter");
-    metric(&mut out, "rsq_max_depth", "", stats.max_depth, "gauge");
+    metric(
+        &mut out,
+        "rsq_matches_total",
+        "Query matches reported.",
+        "",
+        stats.matches,
+        "counter",
+    );
+    metric(
+        &mut out,
+        "rsq_max_depth",
+        "Deepest nesting level observed.",
+        "",
+        stats.max_depth,
+        "gauge",
+    );
     if let Some(p) = profile {
         for t in SkipTechnique::ALL {
             metric(
                 &mut out,
                 "rsq_bytes_skipped_total",
+                "Bytes elided without event delivery, by technique.",
                 &format!("technique=\"{}\"", t.name()),
                 p.bytes_skipped.get(t),
                 "counter",
@@ -642,6 +653,7 @@ pub fn prometheus(
             metric(
                 &mut out,
                 "rsq_stage_ns_total",
+                "Wall-clock nanoseconds per pipeline stage.",
                 &format!("stage=\"{}\"", stage.name()),
                 p.stages.get(stage),
                 "counter",
@@ -652,6 +664,7 @@ pub fn prometheus(
         metric(
             &mut out,
             "rsq_batch_documents_total",
+            "Documents processed by batch runs.",
             "",
             counters.documents,
             "counter",
@@ -659,6 +672,7 @@ pub fn prometheus(
         metric(
             &mut out,
             "rsq_batch_failed_documents_total",
+            "Documents that ended in a per-document error.",
             "",
             counters.failed_documents,
             "counter",
@@ -666,6 +680,7 @@ pub fn prometheus(
         metric(
             &mut out,
             "rsq_batch_cache_hits_total",
+            "Compiled-query cache hits.",
             "",
             counters.cache_hits,
             "counter",
@@ -673,6 +688,7 @@ pub fn prometheus(
         metric(
             &mut out,
             "rsq_batch_cache_misses_total",
+            "Compiled-query cache misses.",
             "",
             counters.cache_misses,
             "counter",
@@ -680,6 +696,7 @@ pub fn prometheus(
         metric(
             &mut out,
             "rsq_batch_cache_evictions_total",
+            "Compiled-query cache evictions.",
             "",
             counters.cache_evictions,
             "counter",
@@ -694,6 +711,7 @@ pub fn prometheus(
                 metric(
                     &mut out,
                     "rsq_batch_document_latency_ns",
+                    "Per-document latency quantiles (log2-bucket resolution).",
                     &format!("quantile=\"{q}\""),
                     v,
                     "gauge",
@@ -703,6 +721,7 @@ pub fn prometheus(
                 metric(
                     &mut out,
                     "rsq_batch_worker_busy_ns_total",
+                    "Nanoseconds each worker spent running documents.",
                     &format!("worker=\"{i}\""),
                     w.busy_ns,
                     "counter",
@@ -710,6 +729,7 @@ pub fn prometheus(
                 metric(
                     &mut out,
                     "rsq_batch_worker_queue_wait_ns_total",
+                    "Nanoseconds each worker spent waiting on the queue.",
                     &format!("worker=\"{i}\""),
                     w.queue_wait_ns,
                     "counter",
@@ -790,6 +810,23 @@ mod tests {
         assert!(text.contains("rsq_stage_ns_total{stage=\"automaton\"}"));
         // Each TYPE line appears exactly once.
         assert_eq!(text.matches("# TYPE rsq_skips_total counter").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_passes_the_expo_lint() {
+        let mut p = ProfileStats::for_document(64);
+        p.skip_span(SkipTechnique::Child, 0, 32);
+        let counters = crate::BatchCounters {
+            documents: 3,
+            ..crate::BatchCounters::default()
+        };
+        let bp = BatchProfile {
+            workers: vec![WorkerProfile::default()],
+            ..BatchProfile::default()
+        };
+        let text = prometheus(&p.stats, Some(&p), Some((&counters, Some(&bp))));
+        crate::expo::check(&text).expect("every series has HELP/TYPE and a snake_case name");
+        assert!(text.contains("# HELP rsq_input_bytes_total "));
     }
 
     #[test]

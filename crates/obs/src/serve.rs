@@ -170,11 +170,12 @@ impl Add for ServeCounters {
 /// `--metrics-out`.
 #[must_use]
 pub fn prometheus_serve(counters: &ServeCounters, latency: Option<&crate::Histogram>) -> String {
-    use crate::profile::metric;
+    use crate::expo::metric;
     let mut out = String::with_capacity(1024);
     metric(
         &mut out,
         "rsq_serve_connections_total",
+        "Connections (or pipe sessions) served.",
         "",
         counters.connections,
         "counter",
@@ -182,6 +183,7 @@ pub fn prometheus_serve(counters: &ServeCounters, latency: Option<&crate::Histog
     metric(
         &mut out,
         "rsq_serve_documents_total",
+        "Documents framed out of the chunk streams.",
         "",
         counters.documents,
         "counter",
@@ -189,6 +191,7 @@ pub fn prometheus_serve(counters: &ServeCounters, latency: Option<&crate::Histog
     metric(
         &mut out,
         "rsq_serve_bytes_in_total",
+        "Raw bytes read off the wire.",
         "",
         counters.bytes_in,
         "counter",
@@ -196,6 +199,7 @@ pub fn prometheus_serve(counters: &ServeCounters, latency: Option<&crate::Histog
     metric(
         &mut out,
         "rsq_serve_responses_ok_total",
+        "Documents answered with a successful result line.",
         "",
         counters.responses_ok,
         "counter",
@@ -210,6 +214,7 @@ pub fn prometheus_serve(counters: &ServeCounters, latency: Option<&crate::Histog
         metric(
             &mut out,
             "rsq_serve_rejections_total",
+            "Failed documents, by failure class.",
             &format!("class=\"{class}\""),
             v,
             "counter",
@@ -218,6 +223,7 @@ pub fn prometheus_serve(counters: &ServeCounters, latency: Option<&crate::Histog
     metric(
         &mut out,
         "rsq_serve_io_errors_total",
+        "Connections ended by a non-transient read error.",
         "",
         counters.io_errors,
         "counter",
@@ -225,6 +231,7 @@ pub fn prometheus_serve(counters: &ServeCounters, latency: Option<&crate::Histog
     metric(
         &mut out,
         "rsq_serve_backpressure_waits_total",
+        "Reader pauses forced by a full in-flight queue.",
         "",
         counters.backpressure_waits,
         "counter",
@@ -232,6 +239,7 @@ pub fn prometheus_serve(counters: &ServeCounters, latency: Option<&crate::Histog
     metric(
         &mut out,
         "rsq_serve_max_inflight",
+        "High-water mark of documents in flight at once.",
         "",
         counters.max_inflight,
         "gauge",
@@ -246,6 +254,7 @@ pub fn prometheus_serve(counters: &ServeCounters, latency: Option<&crate::Histog
             metric(
                 &mut out,
                 "rsq_serve_document_latency_ns",
+                "Lifetime document latency quantiles (log2-bucket resolution).",
                 &format!("quantile=\"{q}\""),
                 v,
                 "gauge",
@@ -328,6 +337,7 @@ mod tests {
                 .count(),
             1
         );
+        crate::expo::check(&text).expect("serve exposition passes the lint");
     }
 
     #[test]

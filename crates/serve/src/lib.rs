@@ -36,18 +36,32 @@
 
 mod chaos;
 mod pool;
+mod telemetry;
 
 pub use chaos::{ChaosFault, ChaosPlan, ChaosStream};
+#[cfg(unix)]
+pub use telemetry::serve_telemetry_listener;
+pub use telemetry::{Telemetry, TelemetryOptions};
 
 use pool::Pool;
 use rsq_batch::{DocError, DocErrorKind, Frame, NdjsonFramer};
 use rsq_engine::{Engine, EngineOptions, LimitKind, RunError};
-use rsq_obs::{Histogram, ServeCounters};
+use rsq_obs::{FlightRecorder, Histogram, ProfileStats, ServeCounters};
 use rsq_query::Query;
 use std::io::{self, Read, Write};
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+
+/// One in every this-many documents per worker runs with the Tier C
+/// stage-timer recorder when telemetry is on; the rest take the plain
+/// (clock-free) engine path. The profiled path reads the monotonic
+/// clock around every fast-forward, which costs double-digit percent on
+/// skip-heavy queries — sampling keeps the armed-telemetry tax under
+/// the 2% budget the `telemetry-overhead` bench asserts, while slow-log
+/// and postmortem records still get a periodic stage breakdown.
+const STAGE_SAMPLE_INTERVAL: usize = 32;
 
 /// What the server writes back for each successfully processed
 /// document. Mirrors the batch CLI's output modes byte-for-byte.
@@ -235,14 +249,20 @@ impl EmitTally {
 /// and error lines (`document N: message [code]`) to `err`. A write
 /// failure aborts the pool: the connection is gone, so draining further
 /// work would be wasted.
+///
+/// With telemetry on, each document's span is finished here — the final
+/// lap is the emit phase — and fed to the hub (windows, live counters,
+/// slow log). Framer-rejected lines have no span; they count into the
+/// hub's live counters without polluting the latency windows.
 fn emit_loop<W: Write, E: Write>(
     pool: &Pool,
     mode: ResponseMode,
+    telemetry: Option<&Telemetry>,
     out: &mut W,
     err: &mut E,
 ) -> EmitTally {
     let mut tally = EmitTally::new();
-    while let Some((seq, resp)) = pool.take_next_response() {
+    while let Some((seq, mut resp)) = pool.take_next_response() {
         if !resp.framer_rejected {
             tally.latency.record(resp.latency_ns);
         }
@@ -268,6 +288,13 @@ fn emit_loop<W: Write, E: Write>(
                 err.write_all(line.as_bytes()).and_then(|()| err.flush())
             }
         };
+        if let Some(t) = telemetry {
+            if resp.framer_rejected {
+                t.record_reject();
+            } else if let Some(span) = resp.span.take() {
+                t.record_doc(&span.finish(), resp.latency_ns);
+            }
+        }
         if wrote.is_err() {
             tally.write_failed = true;
             pool.abort();
@@ -308,6 +335,33 @@ fn admit_frame(pool: &Pool, frame: Frame) -> bool {
 /// [`ServeReport`], not as `Err`.
 pub fn serve_connection<R, W, E>(
     options: &ServeOptions,
+    reader: R,
+    out: W,
+    err: E,
+) -> Result<ServeReport, ServeError>
+where
+    R: Read,
+    W: Write + Send,
+    E: Write + Send,
+{
+    serve_connection_with(options, None, reader, out, err)
+}
+
+/// [`serve_connection`] with an optional live-telemetry hub attached.
+///
+/// With a hub, every document gets a pipeline span (admit → queue wait
+/// → run, with engine stage timers → reorder wait → emit) feeding the
+/// hub's rolling windows and slow-document log; each worker keeps a
+/// flight-recorder ring of recent spans and dumps a postmortem artifact
+/// when a document faults. With `None` this is byte-for-byte
+/// [`serve_connection`]: no clock reads, no ring writes.
+///
+/// # Errors
+///
+/// As [`serve_connection`].
+pub fn serve_connection_with<R, W, E>(
+    options: &ServeOptions,
+    telemetry: Option<&Arc<Telemetry>>,
     mut reader: R,
     out: W,
     err: E,
@@ -324,7 +378,11 @@ where
         message: format!("query error: {e}"),
     })?;
 
-    let pool = Pool::new(options.max_inflight);
+    let hub: Option<&Telemetry> = telemetry.map(Arc::as_ref);
+    if let Some(t) = hub {
+        t.set_workers(options.effective_threads() as u64);
+    }
+    let pool = Pool::new(options.max_inflight, telemetry.cloned());
     let mut framer = NdjsonFramer::new(options.engine.max_document_bytes);
     let mode = options.mode;
     let deadline = options.deadline;
@@ -336,13 +394,55 @@ where
             let pool = &pool;
             let mut out = out;
             let mut err = err;
-            move || emit_loop(pool, mode, &mut out, &mut err)
+            move || emit_loop(pool, mode, hub, &mut out, &mut err)
         });
         let workers: Vec<_> = (0..options.effective_threads())
-            .map(|_| {
-                scope.spawn(|| {
-                    while let Some(job) = pool.take_job() {
-                        let mut resp = pool::process(&engine, deadline, &job);
+            .map(|worker_idx| {
+                let pool = &pool;
+                let engine = &engine;
+                scope.spawn(move || {
+                    // Per-worker flight recorder: local to the thread,
+                    // no locking; only exists with telemetry on.
+                    let mut flight = hub.map(|t| FlightRecorder::new(t.flight_window()));
+                    let mut doc_index = 0usize;
+                    while let Some(mut job) = pool.take_job() {
+                        // Stage-timer detail is *sampled*: the Tier C
+                        // recorder reads the clock around every
+                        // fast-forward, which costs double-digit
+                        // percent on skip-heavy queries, so only every
+                        // `STAGE_SAMPLE_INTERVAL`-th document per
+                        // worker runs profiled (a fresh recorder per
+                        // document, so the span carries this document's
+                        // breakdown, not a running total). Phase laps —
+                        // queue/run/reorder/emit — still cover every
+                        // document: they are a handful of clock reads.
+                        let sampled = doc_index.is_multiple_of(STAGE_SAMPLE_INTERVAL);
+                        doc_index = doc_index.wrapping_add(1);
+                        let mut profile = job
+                            .span
+                            .as_ref()
+                            .filter(|_| sampled)
+                            .map(|_| ProfileStats::new());
+                        let mut resp = pool::process(engine, deadline, &job, profile.as_mut());
+                        if let Some(mut span) = job.span.take() {
+                            span.ran();
+                            if let Some(p) = &profile {
+                                span.stages(p.stages);
+                            }
+                            if let Err(e) = &resp.result {
+                                span.fault(e.code());
+                            }
+                            let snap = span.snapshot();
+                            if snap.failed() {
+                                if let (Some(t), Some(f)) = (hub, flight.as_ref()) {
+                                    t.dump_postmortem(worker_idx, f, &snap);
+                                }
+                            }
+                            if let Some(f) = flight.as_mut() {
+                                f.push(snap);
+                            }
+                            resp.span = Some(span);
+                        }
                         let seq = job.seq;
                         resp.doc = job.doc;
                         pool.complete(seq, resp);
@@ -423,6 +523,13 @@ where
     counters.backpressure_waits = backpressure_waits;
     counters.max_inflight = max_inflight;
 
+    if let Some(t) = hub {
+        // Per-document facts already streamed into the hub at emit time;
+        // this folds in the connection-scoped remainder (connections,
+        // bytes_in, io_errors, backpressure, high-water mark).
+        t.record_connection(&counters);
+    }
+
     Ok(ServeReport {
         counters,
         latency: tally.latency,
@@ -451,6 +558,22 @@ pub fn serve_unix(
     listener: &std::os::unix::net::UnixListener,
     shutdown: &std::sync::atomic::AtomicBool,
 ) -> io::Result<ServeReport> {
+    serve_unix_with(options, None, listener, shutdown)
+}
+
+/// [`serve_unix`] with an optional live-telemetry hub attached to every
+/// served connection. See [`serve_connection_with`].
+///
+/// # Errors
+///
+/// As [`serve_unix`].
+#[cfg(unix)]
+pub fn serve_unix_with(
+    options: &ServeOptions,
+    telemetry: Option<&Arc<Telemetry>>,
+    listener: &std::os::unix::net::UnixListener,
+    shutdown: &std::sync::atomic::AtomicBool,
+) -> io::Result<ServeReport> {
     use std::sync::atomic::Ordering;
 
     listener.set_nonblocking(true)?;
@@ -461,7 +584,7 @@ pub fn serve_unix(
                 stream.set_nonblocking(false)?;
                 let out = stream.try_clone()?;
                 let errw = stream.try_clone()?;
-                match serve_connection(options, &stream, out, errw) {
+                match serve_connection_with(options, telemetry, &stream, out, errw) {
                     Ok(report) => aggregate.merge(&report),
                     Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidInput, e.message)),
                 }
@@ -573,6 +696,90 @@ mod tests {
         let report =
             serve_connection(&opts("$..b"), Cursor::new(INPUT), Broken, Vec::new()).expect("serve");
         assert!(!report.clean);
+    }
+
+    #[test]
+    fn telemetry_off_output_is_byte_identical() {
+        let (plain_out, plain_err, _) = serve_bytes(&opts("$..b"), INPUT);
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        serve_connection_with(&opts("$..b"), None, Cursor::new(INPUT), &mut out, &mut err)
+            .expect("serve");
+        assert_eq!(out, plain_out);
+        assert_eq!(err, plain_err);
+    }
+
+    #[test]
+    fn telemetry_hub_observes_connection_and_scrapes_valid_exposition() {
+        let hub = Telemetry::new(&TelemetryOptions {
+            live: true,
+            ..TelemetryOptions::default()
+        });
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        serve_connection_with(
+            &opts("$..b"),
+            Some(&hub),
+            Cursor::new(INPUT),
+            &mut out,
+            &mut err,
+        )
+        .expect("serve");
+        assert_eq!(out, b"1\n1\n0\n", "telemetry must not change output");
+        let text = hub.render_metrics();
+        rsq_obs::expo::check(&text).expect("scrape output passes the exposition lint");
+        assert!(
+            text.contains("rsq_serve_documents_total 3"),
+            "live doc counter in scrape:\n{text}"
+        );
+        assert!(
+            text.contains("rsq_window_documents{window=\"10s\"} 3"),
+            "{text}"
+        );
+        // All documents answered: gauges return to zero.
+        let g = hub.gauges();
+        assert_eq!((g.queue_depth, g.in_flight), (0, 0));
+        assert_eq!(g.workers, 2);
+    }
+
+    #[test]
+    fn faulted_documents_produce_postmortems_with_consistent_timelines() {
+        let dir = std::env::temp_dir().join(format!(
+            "rsq-serve-pm-{}-{:?}",
+            std::process::id(),
+            thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let hub = Telemetry::new(&TelemetryOptions {
+            postmortem_dir: Some(dir.clone()),
+            ..TelemetryOptions::default()
+        });
+        let mut o = opts("$..b");
+        o.deadline = Some(Duration::ZERO);
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        serve_connection_with(&o, Some(&hub), Cursor::new(INPUT), &mut out, &mut err)
+            .expect("serve");
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("postmortem dir exists")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        files.sort();
+        assert_eq!(files.len(), 3, "one postmortem per timed-out document");
+        for path in &files {
+            let name = path.file_name().unwrap().to_str().unwrap();
+            assert!(
+                name.starts_with("postmortem-") && name.contains("-timeout"),
+                "{name}"
+            );
+            let body = std::fs::read_to_string(path).expect("read postmortem");
+            assert!(body.contains("\"code\":\"timeout\""), "{body}");
+            // The timeline is telescoping laps, so the phase sum IS the
+            // recorded latency: consistent by construction.
+            assert!(body.contains("\"latency_ns\":"), "{body}");
+            assert!(body.contains("\"queue_wait_ns\":"), "{body}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -21,10 +21,12 @@
 //! or waiting in the reorder buffer), so the reorder buffer cannot grow
 //! without bound when one slow document holds back emission.
 
-use rsq_batch::{run_document_contained, DocError};
+use crate::telemetry::Telemetry;
+use rsq_batch::{run_document_contained_with, DocError};
 use rsq_engine::{Engine, RunError, Sink, SinkFull};
+use rsq_obs::{DocSpan, ProfileStats};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// One admitted document awaiting a worker.
@@ -32,6 +34,9 @@ pub(crate) struct Job {
     pub(crate) seq: u64,
     pub(crate) doc: Vec<u8>,
     pub(crate) admitted: Instant,
+    /// The document's live pipeline span — present iff telemetry is
+    /// enabled (the untelemetered path never reads the clock).
+    pub(crate) span: Option<DocSpan>,
 }
 
 /// One finished document awaiting emission.
@@ -45,6 +50,9 @@ pub(crate) struct Response {
     /// True when the framer rejected the line before any worker saw it
     /// (oversize): counted separately from engine limit errors.
     pub(crate) framer_rejected: bool,
+    /// The span handed on from the [`Job`], carried through the reorder
+    /// buffer so the emitter can mark release and emission.
+    pub(crate) span: Option<DocSpan>,
 }
 
 struct State {
@@ -74,10 +82,14 @@ pub(crate) struct Pool {
     /// The emitter waits here for the next in-order response.
     done_ready: Condvar,
     capacity: usize,
+    /// The session's telemetry hub. `None` keeps every pool operation
+    /// exactly as cheap as before telemetry existed: no spans, no
+    /// gauge atomics, no clock reads beyond the latency `Instant`.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Pool {
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize, telemetry: Option<Arc<Telemetry>>) -> Self {
         Pool {
             state: Mutex::new(State {
                 jobs: VecDeque::new(),
@@ -94,6 +106,7 @@ impl Pool {
             slot_free: Condvar::new(),
             done_ready: Condvar::new(),
             capacity: capacity.max(1),
+            telemetry,
         }
     }
 
@@ -119,16 +132,22 @@ impl Pool {
     /// Admits a document for processing. Returns `false` when the pool
     /// has aborted (the producer should stop reading).
     pub(crate) fn admit(&self, doc: Vec<u8>) -> bool {
+        let telemetry = self.telemetry.as_deref();
         let admitted = self
             .admit_slot(|state, seq| {
+                let span = telemetry.map(|_| DocSpan::begin(seq, doc.len() as u64));
                 state.jobs.push_back(Job {
                     seq,
                     doc,
                     admitted: Instant::now(),
+                    span,
                 });
             })
             .is_some();
         if admitted {
+            if let Some(t) = telemetry {
+                t.gauge_admitted(true);
+            }
             self.job_ready.notify_one();
         }
         admitted
@@ -148,11 +167,16 @@ impl Pool {
                         result: Err(err),
                         latency_ns: 0,
                         framer_rejected: true,
+                        span: None,
                     },
                 );
             })
             .is_some();
         if admitted {
+            if let Some(t) = self.telemetry.as_deref() {
+                // In flight (it occupies a slot) but never queued.
+                t.gauge_admitted(false);
+            }
             self.done_ready.notify_one();
         }
         admitted
@@ -187,7 +211,15 @@ impl Pool {
             if state.aborted {
                 return None;
             }
-            if let Some(job) = state.jobs.pop_front() {
+            if let Some(mut job) = state.jobs.pop_front() {
+                if let Some(span) = job.span.as_mut() {
+                    // Queue wait ends the moment a worker claims it.
+                    span.claimed();
+                }
+                drop(state);
+                if let Some(t) = self.telemetry.as_deref() {
+                    t.gauge_claimed();
+                }
                 return Some(job);
             }
             if state.closed {
@@ -215,10 +247,17 @@ impl Pool {
                 return None;
             }
             let seq = state.next_emit;
-            if let Some(response) = state.done.remove(&seq) {
+            if let Some(mut response) = state.done.remove(&seq) {
                 state.next_emit += 1;
                 state.outstanding -= 1;
                 drop(state);
+                if let Some(span) = response.span.as_mut() {
+                    // Reorder wait ends when the emitter receives it.
+                    span.released();
+                }
+                if let Some(t) = self.telemetry.as_deref() {
+                    t.gauge_emitted();
+                }
                 self.slot_free.notify_one();
                 return Some((seq, response));
             }
@@ -281,7 +320,16 @@ impl Sink for DeadlineSink<'_> {
 /// held back by backpressure — times out without running) and every few
 /// matches during it. A `deadline` of zero therefore times out every
 /// document deterministically, which the robustness suite leans on.
-pub(crate) fn process(engine: &Engine, deadline: Option<Duration>, job: &Job) -> Response {
+///
+/// `profile` threads the Tier C stage-timer recorder through the run —
+/// telemetry's source for the span's engine stage breakdown. `None` is
+/// the clock-free path.
+pub(crate) fn process(
+    engine: &Engine,
+    deadline: Option<Duration>,
+    job: &Job,
+    mut profile: Option<&mut ProfileStats>,
+) -> Response {
     let hard = deadline.map(|d| job.admitted + d);
     let timeout = || DocError::from_run(&RunError::DeadlineExceeded);
     let result = if hard.is_some_and(|h| Instant::now() >= h) {
@@ -296,14 +344,19 @@ pub(crate) fn process(engine: &Engine, deadline: Option<Duration>, job: &Job) ->
                     since_check: 0,
                     expired: false,
                 };
-                let run = run_document_contained(engine, &job.doc, &mut sink);
+                let run = run_document_contained_with(
+                    engine,
+                    &job.doc,
+                    &mut sink,
+                    profile.as_deref_mut(),
+                );
                 if sink.expired {
                     Err(timeout())
                 } else {
                     run
                 }
             }
-            None => run_document_contained(engine, &job.doc, &mut positions),
+            None => run_document_contained_with(engine, &job.doc, &mut positions, profile),
         };
         run.map(|()| positions)
     };
@@ -312,5 +365,6 @@ pub(crate) fn process(engine: &Engine, deadline: Option<Duration>, job: &Job) ->
         result,
         latency_ns: u64::try_from(job.admitted.elapsed().as_nanos()).unwrap_or(u64::MAX),
         framer_rejected: false,
+        span: None,
     }
 }

@@ -10,6 +10,10 @@
 //!   drops, skip-count drops, skipped-byte drops, classified-block
 //!   increases, or latency-p99 rises beyond a threshold (latency has its
 //!   own, looser threshold).
+//! * `cargo xtask metrics-lint` — renders every Prometheus exposition
+//!   the workspace emits with dummy data and checks the scrape
+//!   contract: snake_case `rsq_*` names, each preceded by `# HELP` and
+//!   `# TYPE`.
 //!
 //! Exit codes: `0` success, `1` findings/mismatches/regressions, `2`
 //! usage or environment error.
@@ -18,6 +22,7 @@ mod audit;
 mod bench_diff;
 mod fuzz_smoke;
 mod lexer;
+mod metrics_lint;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -37,6 +42,10 @@ commands:
               skip-count, or skipped-byte regressions beyond PCT percent
               (default 10), or latency-p99 rises beyond the latency
               threshold (default 25); reports must carry schema_version 2
+  metrics-lint
+              render every Prometheus exposition with dummy data and fail
+              unless each sample is an rsq_* snake_case series preceded
+              by # HELP and # TYPE comments
 ";
 
 fn main() -> ExitCode {
@@ -45,6 +54,7 @@ fn main() -> ExitCode {
         Some("audit") => cmd_audit(&args[1..]),
         Some("fuzz-smoke") => cmd_fuzz_smoke(&args[1..]),
         Some("bench-diff") => cmd_bench_diff(&args[1..]),
+        Some("metrics-lint") => cmd_metrics_lint(&args[1..]),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -243,6 +253,29 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
         }
         eprintln!("bench-diff: {} regression(s)", report.regressions.len());
         ExitCode::FAILURE
+    }
+}
+
+fn cmd_metrics_lint(args: &[String]) -> ExitCode {
+    if !args.is_empty() {
+        eprintln!("xtask metrics-lint: takes no options\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    match metrics_lint::run() {
+        Ok(count) => {
+            println!("metrics-lint: {count} expositions checked, all conform");
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("metrics-lint FAILURE [{f}]");
+            }
+            eprintln!(
+                "metrics-lint: {} nonconforming exposition(s)",
+                failures.len()
+            );
+            ExitCode::FAILURE
+        }
     }
 }
 

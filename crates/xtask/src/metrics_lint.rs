@@ -1,0 +1,182 @@
+//! The Prometheus-exposition lint (`cargo xtask metrics-lint`).
+//!
+//! Renders every text exposition the workspace can emit — the
+//! engine/profile report, the batch variant, the serve counters, and
+//! the live-telemetry rendering (rolling windows plus gauges) — with
+//! nonzero dummy data so every optional series appears, then runs
+//! [`rsq_obs::expo::check`] over each: every sample line must carry a
+//! snake_case `rsq_*` name preceded by non-empty `# HELP` and `# TYPE`
+//! comments. A formatter change that breaks the scrape contract fails
+//! here, not on a dashboard.
+
+use rsq_obs::{
+    prometheus, prometheus_serve, prometheus_telemetry, BatchCounters, BatchProfile, Histogram,
+    ProfileStage, ProfileStats, RunStats, ServeCounters, TelemetryGauges, WindowRing,
+    WorkerProfile,
+};
+
+/// One exposition to lint: a label for diagnostics plus the rendered
+/// text.
+fn renderings() -> Vec<(&'static str, String)> {
+    let stats = dummy_stats();
+    let profile = dummy_profile();
+    let batch_counters = dummy_batch_counters();
+    let batch_profile = dummy_batch_profile();
+    let serve = dummy_serve_counters();
+    let latency = dummy_histogram();
+    let (ring, gauges) = dummy_telemetry();
+    let w10 = ring.window(70, 10);
+    let w60 = ring.window(70, 60);
+
+    vec![
+        ("engine run", prometheus(&stats, None, None)),
+        ("engine profile", prometheus(&stats, Some(&profile), None)),
+        (
+            "batch profile",
+            prometheus(
+                &stats,
+                Some(&profile),
+                Some((&batch_counters, Some(&batch_profile))),
+            ),
+        ),
+        ("serve counters", prometheus_serve(&serve, None)),
+        (
+            "serve counters + latency",
+            prometheus_serve(&serve, Some(&latency)),
+        ),
+        (
+            "live telemetry",
+            prometheus_telemetry(&[&w10, &w60], &gauges),
+        ),
+    ]
+}
+
+/// Lints every rendering; returns the number checked, or per-rendering
+/// failure messages.
+pub fn run() -> Result<usize, Vec<String>> {
+    let rendered = renderings();
+    let count = rendered.len();
+    let failures: Vec<String> = rendered
+        .into_iter()
+        .filter_map(|(label, text)| {
+            rsq_obs::expo::check(&text)
+                .err()
+                .map(|e| format!("{label}: {e}"))
+        })
+        .collect();
+    if failures.is_empty() {
+        Ok(count)
+    } else {
+        Err(failures)
+    }
+}
+
+fn dummy_stats() -> RunStats {
+    let mut s = RunStats::new();
+    s.bytes = 4096;
+    s.blocks.structural = 64;
+    s.blocks.depth = 8;
+    s.blocks.seek = 4;
+    s.blocks.quote = 2;
+    s.events = 128;
+    s.toggle_flips = 3;
+    s.skips.leaf = 5;
+    s.skips.child = 4;
+    s.skips.sibling = 3;
+    s.skips.label = 2;
+    s.memmem_jumps = 7;
+    s.memmem_declined = 1;
+    s.resume_handoffs = 2;
+    s.max_depth = 9;
+    s.matches = 11;
+    s
+}
+
+fn dummy_profile() -> ProfileStats {
+    let mut p = ProfileStats::new();
+    p.stats = dummy_stats();
+    p.bytes_skipped.leaf = 1000;
+    p.bytes_skipped.child = 800;
+    p.bytes_skipped.sibling = 600;
+    p.bytes_skipped.label = 400;
+    p.bytes_skipped.memmem = 200;
+    for stage in ProfileStage::ALL {
+        p.stages.add_ns(stage, 1_000_000);
+    }
+    p
+}
+
+fn dummy_batch_counters() -> BatchCounters {
+    let mut b = BatchCounters::new();
+    b.documents = 10;
+    b.failed_documents = 1;
+    b.shards = 4;
+    b.queue_claims = 12;
+    b.cache_hits = 9;
+    b.cache_misses = 1;
+    b.cache_evictions = 0;
+    b
+}
+
+fn dummy_batch_profile() -> BatchProfile {
+    let profile = dummy_profile();
+    BatchProfile {
+        bytes_skipped: profile.bytes_skipped,
+        stages: profile.stages,
+        latency: dummy_histogram(),
+        workers: vec![WorkerProfile {
+            busy_ns: 5_000_000,
+            queue_wait_ns: 1_000_000,
+            documents: 10,
+            claims: 12,
+        }],
+    }
+}
+
+fn dummy_serve_counters() -> ServeCounters {
+    let mut s = ServeCounters::new();
+    s.connections = 2;
+    s.documents = 20;
+    s.bytes_in = 8192;
+    s.responses_ok = 17;
+    s.timeouts = 1;
+    s.oversize_rejections = 1;
+    s.limit_errors = 1;
+    s.backpressure_waits = 3;
+    s.max_inflight = 8;
+    s
+}
+
+fn dummy_histogram() -> Histogram {
+    let mut h = Histogram::new();
+    for ns in [1_000, 50_000, 2_000_000, 40_000_000] {
+        h.record(ns);
+    }
+    h
+}
+
+fn dummy_telemetry() -> (WindowRing, TelemetryGauges) {
+    let mut ring = WindowRing::new();
+    for tick in 60..70 {
+        ring.record(tick, 2_000_000, 1024, tick % 7 == 0, 1_500_000);
+    }
+    let gauges = TelemetryGauges {
+        queue_depth: 3,
+        in_flight: 5,
+        workers: 4,
+        slow_documents: 2,
+        postmortems: 1,
+    };
+    (ring, gauges)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_expositions_pass_the_lint() {
+        match super::run() {
+            Ok(n) => assert_eq!(n, 6, "every rendering variant is covered"),
+            Err(failures) => panic!("exposition lint failures: {failures:#?}"),
+        }
+    }
+}

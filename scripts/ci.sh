@@ -13,6 +13,9 @@ cargo fmt --all -- --check
 echo "==> cargo xtask audit (unsafe soundness gate)"
 cargo run --quiet --package xtask -- audit
 
+echo "==> cargo xtask metrics-lint (Prometheus exposition contract)"
+cargo run --quiet --package xtask -- metrics-lint
+
 echo "==> cargo clippy (deny warnings, undocumented unsafe blocks)"
 cargo clippy --workspace --all-targets -- -D warnings -W clippy::undocumented-unsafe-blocks
 
@@ -56,6 +59,113 @@ if [ -s "$SERVE_TMP/serve.err" ]; then
   cat "$SERVE_TMP/serve.err"
   exit 1
 fi
+
+echo "==> serve live-telemetry smoke gate (scrape under load + postmortem)"
+# Part 1: a socket server with the scrape endpoint armed. A client
+# streams fragmented NDJSON while curl scrapes /metrics through the
+# second socket: the exposition must pass the formatter contract already
+# linted above, carry rolling-window series, and show nonzero
+# worker/document gauges; /healthz must answer ok; POST /shutdown must
+# drain the server to a clean exit.
+TELEMETRY_PIDS=""
+trap 'kill $TELEMETRY_PIDS 2>/dev/null || true; rm -rf "$SERVE_TMP"' EXIT
+./target/release/rsq --serve-socket "$SERVE_TMP/serve-t.sock" \
+  --telemetry-socket "$SERVE_TMP/tele.sock" --count '$..b' &
+TELEMETRY_PIDS="$!"
+for _ in $(seq 1 100); do
+  [ -S "$SERVE_TMP/serve-t.sock" ] && [ -S "$SERVE_TMP/tele.sock" ] && break
+  sleep 0.05
+done
+python3 - "$SERVE_TMP/serve-t.sock" <<'PYEOF' &
+import socket, sys, threading, time
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+# Drain responses concurrently: the serve protocol is full-duplex, so a
+# client that sends everything before reading deadlocks both sides once
+# the response buffer fills.
+def drain_responses():
+    while s.recv(65536):
+        pass
+drain = threading.Thread(target=drain_responses)
+drain.start()
+payload = b'{"a": {"b": [1, 2]}, "b": 3}\n' * 4000
+for i in range(0, len(payload), 7):  # hostile fragmentation
+    s.sendall(payload[i : i + 7])
+    if i % 70000 == 0:
+        time.sleep(0.02)
+s.shutdown(socket.SHUT_WR)
+drain.join()
+PYEOF
+LOAD_PID=$!
+TELEMETRY_PIDS="$TELEMETRY_PIDS $LOAD_PID"
+sleep 0.5  # scrape mid-load: documents are flowing by now
+curl -sf --unix-socket "$SERVE_TMP/tele.sock" http://localhost/metrics \
+  > "$SERVE_TMP/scrape.prom"
+curl -sf --unix-socket "$SERVE_TMP/tele.sock" http://localhost/healthz | grep -q '^ok$'
+grep -q '^rsq_window_documents{window="10s"} [1-9]' "$SERVE_TMP/scrape.prom"
+grep -q '^rsq_workers [1-9]' "$SERVE_TMP/scrape.prom"
+grep -q '^rsq_window_latency_ns{window="10s",quantile="0.99"}' "$SERVE_TMP/scrape.prom"
+grep -q '^# TYPE rsq_queue_depth gauge' "$SERVE_TMP/scrape.prom"
+grep -q '^# TYPE rsq_serve_documents_total counter' "$SERVE_TMP/scrape.prom"
+wait "$LOAD_PID"
+curl -sf --unix-socket "$SERVE_TMP/tele.sock" -X POST http://localhost/shutdown \
+  | grep -q draining
+wait "${TELEMETRY_PIDS%% *}"
+
+# Part 2: a zero-deadline single-worker server times out both submitted
+# documents deterministically; each fault must leave a postmortem whose
+# stage timeline sums to its recorded latency (telescoping laps make
+# them equal by construction — the gate pins that invariant), and the
+# second postmortem's flight-recorder history must carry the first span.
+./target/release/rsq --serve-socket "$SERVE_TMP/serve-pm.sock" \
+  --telemetry-socket "$SERVE_TMP/tele-pm.sock" \
+  --postmortem-dir "$SERVE_TMP/pm" --flight-window 4 --threads 1 \
+  --deadline-ms 0 --count '$..b' &
+PM_SERVER_PID=$!
+TELEMETRY_PIDS="$TELEMETRY_PIDS $PM_SERVER_PID"
+for _ in $(seq 1 100); do
+  [ -S "$SERVE_TMP/serve-pm.sock" ] && [ -S "$SERVE_TMP/tele-pm.sock" ] && break
+  sleep 0.05
+done
+python3 - "$SERVE_TMP/serve-pm.sock" <<'PYEOF'
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(b'{"a": {"b": 1}}\n{"a": {"b": 2}}\n')
+s.shutdown(socket.SHUT_WR)
+data = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+assert data.count(b"[timeout]") == 2, data
+PYEOF
+curl -sf --unix-socket "$SERVE_TMP/tele-pm.sock" -X POST http://localhost/shutdown \
+  > /dev/null
+PM_STATUS=0
+wait "$PM_SERVER_PID" || PM_STATUS=$?
+[ "$PM_STATUS" -eq 7 ] # deadline failure class on exit
+[ "$(ls "$SERVE_TMP/pm" | wc -l)" -eq 2 ]
+python3 - "$SERVE_TMP"/pm/postmortem-*.json <<'PYEOF'
+import json, sys
+pms = [json.load(open(p)) for p in sorted(sys.argv[1:])]
+for pm in pms:
+    assert pm["schema_version"] == 2, pm
+    assert pm["code"] == "timeout", pm
+    doc = pm["doc"]
+    phases = (
+        doc["queue_wait_ns"]
+        + doc["run_ns"]
+        + doc["reorder_wait_ns"]
+        + doc["emit_ns"]
+    )
+    assert abs(phases - pm["latency_ns"]) <= 1_000_000, (phases, pm["latency_ns"])
+# Single worker: the second fault's flight recorder must remember the
+# first span.
+assert pms[1]["recent"], "flight recorder history present in second dump"
+assert pms[1]["recent"][0]["seq"] == pms[0]["doc"]["seq"], pms[1]["recent"]
+PYEOF
 
 echo "==> serve robustness chaos sweep (slow-tests)"
 # 200 seeded fragmentation/stall/truncation/disconnect plans, each
