@@ -300,6 +300,7 @@ impl BatchEngine {
         input: &[u8],
     ) -> Result<(Vec<Range<usize>>, BatchResult), EngineError> {
         let ranges = split_ndjson(input);
+        // PANIC-OK: split_ndjson ranges are derived from input and lie in bounds
         let docs: Vec<&[u8]> = ranges.iter().map(|r| &input[r.clone()]).collect();
         let result = self.run_slices(query, &docs)?;
         Ok((ranges, result))
@@ -353,11 +354,13 @@ impl BatchEngine {
                     // inside the engine (or a user sink, via the serve
                     // path) fails this document, not the whole batch.
                     let outcome = if let Some(p) = prof.as_mut() {
+                        // PANIC-OK: watch is constructed together with prof a few lines up; Some iff profiling
                         let w = watch.as_mut().expect("watch exists iff profiling");
                         w.lap();
                         let outcome = contain(|| {
                             run_one(
                                 engine,
+                                // PANIC-OK: doc indices come from the shared claim queue, all < docs.len()
                                 docs[i],
                                 &mut scratch,
                                 collect_stats,
@@ -374,6 +377,7 @@ impl BatchEngine {
                         contain(|| {
                             run_one(
                                 engine,
+                                // PANIC-OK: doc indices come from the shared claim queue, all < docs.len()
                                 docs[i],
                                 &mut scratch,
                                 collect_stats,
@@ -434,6 +438,7 @@ impl BatchEngine {
                 merged.workers.push(sp.worker);
             }
             for (i, outcome) in local {
+                // PANIC-OK: outcomes was pre-sized to docs.len(); queue indices stay in range
                 result.outcomes[i] = outcome;
             }
         }

@@ -108,9 +108,11 @@ pub fn split_ndjson(input: &[u8]) -> Vec<Range<usize>> {
 /// Appends `input[start..end]` (trailing `\r` trimmed) unless the line is
 /// blank.
 fn push_line(input: &[u8], start: usize, mut end: usize, docs: &mut Vec<Range<usize>>) {
+    // PANIC-OK: end > start on the same line guards end - 1; end <= input.len() is the scanner's invariant
     if end > start && input[end - 1] == b'\r' {
         end -= 1;
     }
+    // PANIC-OK: start <= end <= input.len() by the scanner's invariant
     if input[start..end].iter().any(|b| !b.is_ascii_whitespace()) {
         docs.push(start..end);
     }

@@ -193,6 +193,7 @@ impl<'a> BlockCursor<'a> {
         if start + SUPERBLOCK_SIZE <= self.input.len() {
             let chunk: &Superblock = self.input[start..start + SUPERBLOCK_SIZE]
                 .try_into()
+                // PANIC-OK: the slice is exactly SUPERBLOCK_SIZE bytes, so try_into cannot fail
                 .expect("superblock sized");
             let mut state_before = self.quote_state;
             let (within, after) = self.simd.classify_quotes4(chunk, &mut self.quote_state);
@@ -227,6 +228,7 @@ impl<'a> BlockCursor<'a> {
         if start + BLOCK_SIZE <= self.input.len() {
             self.input[start..start + BLOCK_SIZE]
                 .try_into()
+                // PANIC-OK: the slice is exactly BLOCK_SIZE bytes, so try_into cannot fail
                 .expect("full block in bounds")
         } else {
             debug_assert_eq!(self.tail_start, start, "tail block not synthesized");
@@ -375,6 +377,7 @@ impl<'a> StructuralIterator<'a> {
             let item = self.advance();
             self.peeked = Some(item);
         }
+        // PANIC-OK: peeked was filled on the line above
         self.peeked.expect("just filled")
     }
 
@@ -683,6 +686,7 @@ fn to_structural(byte: u8, pos: usize) -> Structural {
         b']' => Structural::Closing(BracketType::Bracket, pos),
         b':' => Structural::Colon(pos),
         b',' => Structural::Comma(pos),
+        // PANIC-OK: the classifier only emits the six structural bytes; anything else is a solver bug worth a loud, contained crash
         other => unreachable!("classifier yielded non-structural byte {other:#04x}"),
     }
 }

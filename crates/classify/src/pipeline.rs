@@ -98,6 +98,7 @@ impl<'a> QuoteScanner<'a> {
             let chunk: &Superblock = self.input
                 [self.block_start..self.block_start + SUPERBLOCK_SIZE]
                 .try_into()
+                // PANIC-OK: the slice is exactly SUPERBLOCK_SIZE bytes, so try_into cannot fail
                 .expect("superblock sized");
             let _ = self.simd.classify_quotes4(chunk, &mut self.state_before);
             self.block_start += SUPERBLOCK_SIZE;

@@ -212,6 +212,7 @@ impl StructuralValidator {
         // Whole blocks straight from the input.
         let mut chunks = bytes.chunks_exact(BLOCK_SIZE);
         for chunk in chunks.by_ref() {
+            // PANIC-OK: chunks_exact yields exactly BLOCK_SIZE-byte chunks
             let block: &Block = chunk.try_into().expect("exact chunk");
             self.process_block(block, BLOCK_SIZE);
             if let Some(err) = self.error {

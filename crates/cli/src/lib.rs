@@ -634,6 +634,7 @@ fn versioned_stats_json(stats: &RunStats, profile: Option<&ProfileStats>) -> Str
     let stats_json = stats.to_json();
     let mut s = format!(
         "{{\"schema_version\":{STATS_SCHEMA_VERSION},{}",
+        // PANIC-OK: RunStats::to_json always renders a brace-wrapped object, so byte 0 exists and is `{`
         &stats_json[1..]
     );
     if let Some(p) = profile {
@@ -990,7 +991,7 @@ fn run_serve_unix(
 
     let mut aggregate = ServeReport::default();
     let accept_loop = |aggregate: &mut ServeReport, err: &mut dyn Write| -> Result<(), CliError> {
-        while !shutdown.load(Ordering::SeqCst) {
+        while !shutdown.load(Ordering::Acquire) {
             let stream = match listener.accept() {
                 Ok((stream, _)) => stream,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -1085,6 +1086,7 @@ fn run_batch(
             };
             for range in rsq_batch::split_ndjson(&input) {
                 labels.push(format!("document {}", labels.len() + 1));
+                // PANIC-OK: split_ndjson ranges are derived from input and lie in bounds
                 buffers.push(input[range].to_vec());
             }
         }
@@ -1114,6 +1116,7 @@ fn run_batch(
                     .iter()
                     .try_for_each(|pos| writeln!(out, "{pos}")),
                 _ => output.positions.iter().try_for_each(|pos| {
+                    // PANIC-OK: one outcome per document, so i < docs.len()
                     let text = node_text(docs[i], *pos).unwrap_or("<malformed>");
                     writeln!(out, "{text}")
                 }),
@@ -1122,6 +1125,7 @@ fn run_batch(
             Err(doc_err) => {
                 failed += 1;
                 first_failure.get_or_insert(doc_error_kind(doc_err.kind));
+                // PANIC-OK: labels grows in lockstep with the documents, so i < labels.len()
                 writeln!(err, "{}: {}", labels[i], doc_err.message).map_err(|e| {
                     CliError::new(CliErrorKind::Failure, format!("write error: {e}"))
                 })?;

@@ -106,7 +106,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), ParseError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -160,6 +160,7 @@ impl<'a> Parser<'a> {
         } else {
             Err(self.error(format!(
                 "invalid literal (expected {})",
+                // PANIC-OK: JSON literal names (true/false/null) are ASCII
                 std::str::from_utf8(text).expect("literal is ASCII")
             )))
         }
@@ -169,7 +170,7 @@ impl<'a> Parser<'a> {
     /// between the quotes. Validates escape structure and that the bytes
     /// form valid UTF-8, but leaves escapes in place.
     fn parse_string_raw(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let content_start = self.pos;
         loop {
             match self.peek() {
@@ -202,7 +203,7 @@ impl<'a> Parser<'a> {
         let raw = std::str::from_utf8(&self.input[content_start..self.pos])
             .map_err(|_| self.error("string is not valid UTF-8"))?
             .to_owned();
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         Ok(raw)
     }
 
@@ -244,6 +245,7 @@ impl<'a> Parser<'a> {
             }
         }
         let raw = std::str::from_utf8(&self.input[start..self.pos])
+            // PANIC-OK: every byte was range-checked as an ASCII digit/sign/dot/exponent
             .expect("number text is ASCII")
             .to_owned();
         Ok(ValueNode {
@@ -256,7 +258,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_array(&mut self, depth: usize, start: usize) -> Result<ValueNode, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
@@ -292,7 +294,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_object(&mut self, depth: usize, start: usize) -> Result<ValueNode, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
@@ -317,7 +319,7 @@ impl<'a> Parser<'a> {
                 },
             };
             self.skip_whitespace();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_whitespace();
             let value = self.parse_value(depth + 1)?;
             members.push((key, value));

@@ -82,6 +82,7 @@ impl Histogram {
     /// Records one sample.
     #[inline]
     pub fn record(&mut self, value: u64) {
+        // PANIC-OK: bucket_of returns < BUCKETS by construction
         self.buckets[bucket_of(value)] = self.buckets[bucket_of(value)].saturating_add(1);
         self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);

@@ -107,6 +107,7 @@ impl StageTimes {
     /// Adds `ns` nanoseconds to `stage`.
     #[inline]
     pub fn add_ns(&mut self, stage: ProfileStage, ns: u64) {
+        // PANIC-OK: ProfileStage::index is < the per-stage array length (one slot per stage)
         let slot = &mut self.ns[stage.index()];
         *slot = slot.saturating_add(ns);
     }
@@ -114,6 +115,7 @@ impl StageTimes {
     /// Nanoseconds accumulated in `stage`.
     #[must_use]
     pub fn get(&self, stage: ProfileStage) -> u64 {
+        // PANIC-OK: ProfileStage::index is < the per-stage array length (one slot per stage)
         self.ns[stage.index()]
     }
 

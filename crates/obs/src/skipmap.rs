@@ -188,6 +188,7 @@ impl SkipMap {
         if first >= last {
             return;
         }
+        // PANIC-OK: first..last was clamped to cells.len() by the guards above
         for cell in &mut self.cells[first..last] {
             if *cell == 0 {
                 *cell = tag;
@@ -250,7 +251,9 @@ impl SkipMap {
             let lo = col * self.cells.len() / width;
             let hi = (((col + 1) * self.cells.len()) / width).max(lo + 1);
             let mut counts = [0usize; 6];
+            // PANIC-OK: hi <= cells.len() because col < width
             for &c in &self.cells[lo..hi] {
+                // PANIC-OK: counts has 6 slots and the index is clamped with min(5)
                 counts[usize::from(c.min(5))] += 1;
             }
             let (best_tag, best_n) = counts

@@ -93,6 +93,7 @@ impl Ring {
             self.len += 1;
         } else {
             // Full: overwrite the oldest record.
+            // PANIC-OK: head wraps modulo buf.len() (ring invariant)
             self.buf[self.head] = record;
             self.head = (self.head + 1) % TRACE_CAPACITY;
             self.dropped += 1;
@@ -101,7 +102,9 @@ impl Ring {
 
     fn drain(&mut self) -> Vec<TraceRecord> {
         let mut out = Vec::with_capacity(self.len);
+        // PANIC-OK: head <= buf.len() by the ring invariant
         out.extend_from_slice(&self.buf[self.head..]);
+        // PANIC-OK: head <= buf.len() by the ring invariant
         out.extend_from_slice(&self.buf[..self.head]);
         self.buf.clear();
         self.head = 0;

@@ -72,6 +72,7 @@ impl WindowRing {
 
     fn slot_mut(&mut self, tick: u64) -> &mut Slot {
         let idx = (tick % SLOTS as u64) as usize;
+        // PANIC-OK: idx is tick mod SLOTS and slots has exactly SLOTS entries
         let slot = &mut self.slots[idx];
         if slot.tick != tick {
             slot.clear(tick);

@@ -463,6 +463,7 @@ where
                 Ok(n) => {
                     bytes_in += n as u64;
                     let mut alive = true;
+                    // PANIC-OK: n <= chunk.len() by the Read contract
                     framer.push(&chunk[..n], &mut |frame| {
                         if alive {
                             alive = admit_frame(&pool, frame);
@@ -578,7 +579,7 @@ pub fn serve_unix_with(
 
     listener.set_nonblocking(true)?;
     let mut aggregate = ServeReport::default();
-    while !shutdown.load(Ordering::SeqCst) {
+    while !shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
                 stream.set_nonblocking(false)?;

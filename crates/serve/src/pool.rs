@@ -114,9 +114,11 @@ impl Pool {
     /// `f` on the locked state with the assigned sequence number.
     /// Returns `None` without admitting when the pool has aborted.
     fn admit_slot<T>(&self, f: impl FnOnce(&mut State, u64) -> T) -> Option<T> {
+        // PANIC-OK: poisoned only if a panic escaped per-document containment; the pool cannot recover, take the connection down
         let mut state = self.state.lock().unwrap();
         while state.outstanding >= self.capacity && !state.aborted {
             state.backpressure_waits += 1;
+            // PANIC-OK: poisoned only if a panic escaped per-document containment; the pool cannot recover, take the connection down
             state = self.slot_free.wait(state).unwrap();
         }
         if state.aborted {
@@ -185,6 +187,7 @@ impl Pool {
     /// Marks the stream complete: no further admissions. Workers and the
     /// emitter drain what is already in flight and exit.
     pub(crate) fn close(&self) {
+        // PANIC-OK: poisoned only if a panic escaped per-document containment; the pool cannot recover, take the connection down
         let mut state = self.state.lock().unwrap();
         state.closed = true;
         drop(state);
@@ -195,6 +198,7 @@ impl Pool {
     /// Emitter-side: a response line could not be written, so the
     /// connection is dead. Everyone winds down without draining.
     pub(crate) fn abort(&self) {
+        // PANIC-OK: poisoned only if a panic escaped per-document containment; the pool cannot recover, take the connection down
         let mut state = self.state.lock().unwrap();
         state.aborted = true;
         drop(state);
@@ -206,6 +210,7 @@ impl Pool {
     /// Worker-side: blocks for the next job; `None` means drain-and-exit
     /// (stream closed and queue empty, or pool aborted).
     pub(crate) fn take_job(&self) -> Option<Job> {
+        // PANIC-OK: poisoned only if a panic escaped per-document containment; the pool cannot recover, take the connection down
         let mut state = self.state.lock().unwrap();
         loop {
             if state.aborted {
@@ -225,12 +230,14 @@ impl Pool {
             if state.closed {
                 return None;
             }
+            // PANIC-OK: poisoned only if a panic escaped per-document containment; the pool cannot recover, take the connection down
             state = self.job_ready.wait(state).unwrap();
         }
     }
 
     /// Worker-side: posts a finished document's response.
     pub(crate) fn complete(&self, seq: u64, response: Response) {
+        // PANIC-OK: poisoned only if a panic escaped per-document containment; the pool cannot recover, take the connection down
         let mut state = self.state.lock().unwrap();
         state.done.insert(seq, response);
         drop(state);
@@ -241,6 +248,7 @@ impl Pool {
     /// order**; `None` means all admitted documents have been emitted
     /// (or the pool aborted). Frees the in-flight slot.
     pub(crate) fn take_next_response(&self) -> Option<(u64, Response)> {
+        // PANIC-OK: poisoned only if a panic escaped per-document containment; the pool cannot recover, take the connection down
         let mut state = self.state.lock().unwrap();
         loop {
             if state.aborted {
@@ -264,6 +272,7 @@ impl Pool {
             if state.closed && state.next_emit == state.next_seq {
                 return None;
             }
+            // PANIC-OK: poisoned only if a panic escaped per-document containment; the pool cannot recover, take the connection down
             state = self.done_ready.wait(state).unwrap();
         }
     }
@@ -271,6 +280,7 @@ impl Pool {
     /// Post-run accounting: (documents admitted, backpressure waits,
     /// in-flight high-water mark).
     pub(crate) fn accounting(&self) -> (u64, u64, u64) {
+        // PANIC-OK: poisoned only if a panic escaped per-document containment; the pool cannot recover, take the connection down
         let state = self.state.lock().unwrap();
         (
             state.next_seq,

@@ -144,18 +144,18 @@ impl Telemetry {
     /// embedding process).
     #[must_use]
     pub fn draining(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        self.shutdown.load(Ordering::Acquire)
     }
 
     /// Requests graceful shutdown: `/healthz` flips to draining, the
     /// accept loop stops taking connections, in-flight work drains.
     pub fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::Release);
     }
 
     /// Stops the telemetry listener thread (the serving session ended).
     pub fn stop_listener(&self) {
-        self.listener_stop.store(true, Ordering::SeqCst);
+        self.listener_stop.store(true, Ordering::Release);
     }
 
     pub(crate) fn gauge_admitted(&self, queued: bool) {
@@ -186,6 +186,7 @@ impl Telemetry {
     pub(crate) fn record_doc(&self, record: &SpanRecord, latency_ns: u64) {
         let tick = self.tick();
         {
+            // PANIC-OK: telemetry mutex poisoned only if a panic escaped containment; crash rather than publish torn counters
             let mut state = self.state.lock().unwrap();
             state.ring.record(
                 tick,
@@ -228,6 +229,7 @@ impl Telemetry {
     /// counters. It never visited a worker, so it has no span and no
     /// place in the latency windows.
     pub(crate) fn record_reject(&self) {
+        // PANIC-OK: telemetry mutex poisoned only if a panic escaped containment; crash rather than publish torn counters
         let mut state = self.state.lock().unwrap();
         state.counters.documents = state.counters.documents.saturating_add(1);
         state.counters.oversize_rejections = state.counters.oversize_rejections.saturating_add(1);
@@ -236,6 +238,7 @@ impl Telemetry {
     /// Folds connection-scoped accounting (fields the per-document path
     /// cannot see) into the live counters when a connection ends.
     pub(crate) fn record_connection(&self, counters: &ServeCounters) {
+        // PANIC-OK: telemetry mutex poisoned only if a panic escaped containment; crash rather than publish torn counters
         let mut state = self.state.lock().unwrap();
         let c = &mut state.counters;
         c.connections = c.connections.saturating_add(counters.connections);
@@ -290,6 +293,7 @@ impl Telemetry {
     #[must_use]
     pub fn render_metrics(&self) -> String {
         let tick = self.tick();
+        // PANIC-OK: telemetry mutex poisoned only if a panic escaped containment; crash rather than publish torn counters
         let state = self.state.lock().unwrap();
         let w10 = state.ring.window(tick, 10);
         let w60 = state.ring.window(tick, 60);
@@ -305,6 +309,7 @@ impl Telemetry {
     #[must_use]
     pub fn to_json(&self) -> String {
         let tick = self.tick();
+        // PANIC-OK: telemetry mutex poisoned only if a panic escaped containment; crash rather than publish torn counters
         let state = self.state.lock().unwrap();
         format!(
             "{{\"window_10s\":{},\"window_60s\":{},\"slow_documents\":{},\"postmortems\":{}}}",
@@ -339,6 +344,7 @@ fn read_request(stream: &mut impl Read) -> Option<(String, String)> {
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => {
+                // PANIC-OK: n <= chunk.len() by the Read contract
                 buf.extend_from_slice(&chunk[..n]);
                 if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 4096 {
                     break;
@@ -403,7 +409,7 @@ pub fn serve_telemetry_listener(
     listener: &std::os::unix::net::UnixListener,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
-    while !hub.listener_stop.load(Ordering::SeqCst) {
+    while !hub.listener_stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((mut stream, _)) => {
                 let _ = stream.set_nonblocking(false);

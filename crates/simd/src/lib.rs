@@ -123,6 +123,7 @@ fn env_override() -> Option<BackendKind> {
     static OVERRIDE: std::sync::OnceLock<Option<BackendKind>> = std::sync::OnceLock::new();
     *OVERRIDE.get_or_init(|| match std::env::var("RSQ_BACKEND") {
         Ok(value) if !value.is_empty() => {
+            // PANIC-OK: an explicit RSQ_BACKEND override with a typo should fail fast, not silently auto-detect
             Some(value.parse().unwrap_or_else(|e| panic!("RSQ_BACKEND: {e}")))
         }
         _ => None,
@@ -243,11 +244,13 @@ impl Simd {
             // SAFETY: `kind == Avx512` only when AVX-512F/BW was detected.
             BackendKind::Avx512 => unsafe { avx512::eq_mask(block, byte) },
             #[cfg(not(target_arch = "x86_64"))]
+            // PANIC-OK: cfg-gated arm: this backend kind is never constructed on this arch
             BackendKind::Avx512 => unreachable!("AVX-512 backend on non-x86_64"),
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `kind == Avx2` only when AVX2 was detected.
             BackendKind::Avx2 => unsafe { avx2::eq_mask(block, byte) },
             #[cfg(not(target_arch = "x86_64"))]
+            // PANIC-OK: cfg-gated arm: this backend kind is never constructed on this arch
             BackendKind::Avx2 => unreachable!("AVX2 backend on non-x86_64"),
             BackendKind::Swar => swar::eq_mask(block, byte),
         }
@@ -271,11 +274,13 @@ impl Simd {
             // SAFETY: `kind == Avx512` only when AVX-512F/BW was detected.
             BackendKind::Avx512 => unsafe { avx512::lookup_eq_mask(block, tables) },
             #[cfg(not(target_arch = "x86_64"))]
+            // PANIC-OK: cfg-gated arm: this backend kind is never constructed on this arch
             BackendKind::Avx512 => unreachable!("AVX-512 backend on non-x86_64"),
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `kind == Avx2` only when AVX2 was detected.
             BackendKind::Avx2 => unsafe { avx2::lookup_eq_mask(block, tables) },
             #[cfg(not(target_arch = "x86_64"))]
+            // PANIC-OK: cfg-gated arm: this backend kind is never constructed on this arch
             BackendKind::Avx2 => unreachable!("AVX2 backend on non-x86_64"),
             BackendKind::Swar => swar::lookup_eq_mask(block, tables),
         }
@@ -295,11 +300,13 @@ impl Simd {
             // SAFETY: `kind == Avx512` only when AVX-512F/BW was detected.
             BackendKind::Avx512 => unsafe { avx512::lookup_or_mask(block, tables) },
             #[cfg(not(target_arch = "x86_64"))]
+            // PANIC-OK: cfg-gated arm: this backend kind is never constructed on this arch
             BackendKind::Avx512 => unreachable!("AVX-512 backend on non-x86_64"),
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `kind == Avx2` only when AVX2 was detected.
             BackendKind::Avx2 => unsafe { avx2::lookup_or_mask(block, tables) },
             #[cfg(not(target_arch = "x86_64"))]
+            // PANIC-OK: cfg-gated arm: this backend kind is never constructed on this arch
             BackendKind::Avx2 => unreachable!("AVX2 backend on non-x86_64"),
             BackendKind::Swar => swar::lookup_or_mask(block, tables),
         }
@@ -315,11 +322,13 @@ impl Simd {
             // SAFETY: `kind == Avx512` only when AVX-512F/BW was detected.
             BackendKind::Avx512 => unsafe { avx512::eq_mask2(block, a, b) },
             #[cfg(not(target_arch = "x86_64"))]
+            // PANIC-OK: cfg-gated arm: this backend kind is never constructed on this arch
             BackendKind::Avx512 => unreachable!("AVX-512 backend on non-x86_64"),
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `kind == Avx2` only when AVX2 was detected.
             BackendKind::Avx2 => unsafe { avx2::eq_mask2(block, a, b) },
             #[cfg(not(target_arch = "x86_64"))]
+            // PANIC-OK: cfg-gated arm: this backend kind is never constructed on this arch
             BackendKind::Avx2 => unreachable!("AVX2 backend on non-x86_64"),
             BackendKind::Swar => swar::eq_mask2(block, a, b),
         }
@@ -348,6 +357,7 @@ impl Simd {
                 }
             },
             #[cfg(not(target_arch = "x86_64"))]
+            // PANIC-OK: cfg-gated arm: this backend kind is never constructed on this arch
             BackendKind::Avx512 => unreachable!("AVX-512 backend on non-x86_64"),
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `kind == Avx2` only when AVX2 was detected, and the
@@ -360,6 +370,7 @@ impl Simd {
                 }
             },
             #[cfg(not(target_arch = "x86_64"))]
+            // PANIC-OK: cfg-gated arm: this backend kind is never constructed on this arch
             BackendKind::Avx2 => unreachable!("AVX2 backend on non-x86_64"),
             BackendKind::Swar => swar::quotes4(chunk, state),
         }
@@ -397,11 +408,13 @@ impl Simd {
             // SAFETY: `kind == Avx512` only when AVX-512F/BW was detected.
             BackendKind::Avx512 => unsafe { avx512::find_pair(hay, start, first, last, gap) },
             #[cfg(not(target_arch = "x86_64"))]
+            // PANIC-OK: cfg-gated arm: this backend kind is never constructed on this arch
             BackendKind::Avx512 => unreachable!("AVX-512 backend on non-x86_64"),
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `kind == Avx2` only when AVX2 was detected.
             BackendKind::Avx2 => unsafe { avx2::find_pair(hay, start, first, last, gap) },
             #[cfg(not(target_arch = "x86_64"))]
+            // PANIC-OK: cfg-gated arm: this backend kind is never constructed on this arch
             BackendKind::Avx2 => unreachable!("AVX2 backend on non-x86_64"),
             BackendKind::Swar => swar::find_pair(hay, start, first, last, gap),
         }

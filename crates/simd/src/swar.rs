@@ -66,6 +66,7 @@ pub(crate) fn quotes4(
     for i in 0..crate::SUPERBLOCK_BLOCKS {
         let block: &Block = chunk[i * crate::BLOCK_SIZE..(i + 1) * crate::BLOCK_SIZE]
             .try_into()
+            // PANIC-OK: the slice is exactly BLOCK_SIZE bytes, so try_into cannot fail
             .expect("superblock slice is block-sized");
         let backslash = eq_mask(block, b'\\');
         let quotes = eq_mask(block, b'"');

@@ -1,0 +1,25 @@
+//! Seeded violations for the atomics pass: a bare `SeqCst` with no
+//! `// ORDERING:` justification (line 9) and a `Relaxed` load on a
+//! declared `AtomicBool` flag (line 18).
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub static COUNT: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    COUNT.fetch_add(1, Ordering::SeqCst)
+}
+
+pub struct Flags {
+    stop: AtomicBool,
+}
+
+impl Flags {
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    pub fn total_order(&self) -> bool {
+        // ORDERING: this one is justified, so it must not be reported
+        self.stop.load(Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeded violation: `write_all` (line 13) while the `sink` guard is
+//! held. The annotated flush on line 20 must not be reported.
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Out {
+    sink: Mutex<Vec<u8>>,
+}
+
+impl Out {
+    pub fn log(&self, w: &mut dyn Write, line: &[u8]) {
+        let mut g = self.sink.lock().unwrap();
+        w.write_all(line).unwrap();
+        g.extend_from_slice(line);
+    }
+
+    pub fn annotated(&self, w: &mut dyn Write) {
+        let g = self.sink.lock().unwrap();
+        // LOCK-OK: single-threaded teardown path, nothing contends
+        w.flush().unwrap();
+        drop(g);
+    }
+}

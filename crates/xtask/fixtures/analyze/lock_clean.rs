@@ -1,0 +1,30 @@
+//! Clean hierarchy: `a` is always acquired before `b`, and guards are
+//! dropped before the notify. The lock-order pass must report nothing.
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn weighted(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga * 2 + *gb
+    }
+
+    pub fn reset(&self) {
+        let mut ga = self.a.lock().unwrap();
+        *ga = 0;
+        drop(ga);
+        let mut gb = self.b.lock().unwrap();
+        *gb = 0;
+    }
+}

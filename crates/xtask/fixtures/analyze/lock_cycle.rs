@@ -1,0 +1,23 @@
+//! Seeded violation: `a` and `b` acquired in opposite orders by two
+//! functions — a classic ABBA deadlock. The lock-order pass must report
+//! exactly one cycle over {a, b}.
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga - *gb
+    }
+}

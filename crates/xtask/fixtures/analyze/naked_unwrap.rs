@@ -1,0 +1,14 @@
+//! Seeded violations for the panic pass, as if this file lived in an
+//! exterior-tier crate: a naked unwrap (line 7), then a direct index
+//! and a naked expect sharing line 8. The annotated unwrap on line 13
+//! must not be reported.
+
+pub fn parse(input: &str) -> u32 {
+    let first = input.lines().next().unwrap();
+    first[..2].parse().expect("two digits")
+}
+
+pub fn last_index(input: &str) -> usize {
+    // PANIC-OK: len is nonzero, the caller rejected empty input
+    input.len().checked_sub(1).unwrap()
+}

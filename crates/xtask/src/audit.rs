@@ -34,7 +34,7 @@
 use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
 use std::collections::HashMap;
 use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 /// Path prefixes (workspace-relative, `/`-separated) where `unsafe` is
 /// permitted. Everything else must be `unsafe`-free.
@@ -78,7 +78,7 @@ struct FeatureFn {
 
 /// Lexical scope kinds the checks care about.
 #[derive(Clone, Debug)]
-enum ScopeKind {
+pub(crate) enum ScopeKind {
     /// A function body, with the CPU features its item is compiled for.
     Fn { features: Vec<String> },
     /// An `unsafe { … }` block; `line` locates its `SAFETY:` comment.
@@ -90,10 +90,10 @@ enum ScopeKind {
 /// A brace-delimited scope as a token-index range (`start` is the `{`,
 /// `end` the matching `}` or one past the last token when unterminated).
 #[derive(Clone, Debug)]
-struct Scope {
-    kind: ScopeKind,
-    start: usize,
-    end: usize,
+pub(crate) struct Scope {
+    pub(crate) kind: ScopeKind,
+    pub(crate) start: usize,
+    pub(crate) end: usize,
 }
 
 /// A parsed source file queued for the cross-file passes.
@@ -175,43 +175,25 @@ pub fn audit_sources(files: &[(String, String)]) -> Vec<Diagnostic> {
 ///
 /// Returns an error when the workspace tree cannot be read.
 pub fn audit_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    // The tree walk is shared with `cargo xtask analyze` (see
+    // `analyze::source::walk_workspace`): both gates see exactly the
+    // same file set. `fuzz/` is outside the workspace (see the root
+    // manifest's `exclude`) and is skipped by the walker.
+    let all = crate::analyze::source::walk_workspace(root)?;
     let mut files = Vec::new();
     let mut manifests = Vec::new();
-    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
-    while let Some(dir) = stack.pop() {
-        for entry in std::fs::read_dir(&dir)? {
-            let entry = entry?;
-            let path = entry.path();
-            let name = entry.file_name().to_string_lossy().into_owned();
-            if path.is_dir() {
-                // `fuzz/` is outside the workspace (see the root manifest's
-                // `exclude`): its targets only compile under cargo-fuzz and
-                // cannot inherit workspace lints.
-                if matches!(name.as_str(), "target" | ".git" | "corpus" | "fuzz") {
-                    continue;
-                }
-                stack.push(path);
-            } else if name.ends_with(".rs") {
-                files.push((rel_path(root, &path), std::fs::read_to_string(&path)?));
-            } else if name == "Cargo.toml" {
-                manifests.push((rel_path(root, &path), std::fs::read_to_string(&path)?));
-            }
+    for (path, content) in all {
+        if path.ends_with(".rs") {
+            files.push((path, content));
+        } else if path.ends_with("Cargo.toml") {
+            manifests.push((path, content));
         }
     }
-    files.sort();
-    manifests.sort();
     let count = files.len();
     let mut diags = audit_sources(&files);
     check_lint_config(&manifests, &mut diags);
     diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok((diags, count))
-}
-
-fn rel_path(root: &Path, path: &Path) -> String {
-    path.strip_prefix(root)
-        .unwrap_or(path)
-        .to_string_lossy()
-        .replace('\\', "/")
 }
 
 fn in_allowlist(path: &str) -> bool {
@@ -226,7 +208,7 @@ fn in_allowlist(path: &str) -> bool {
 /// name's token index plus the sorted feature list. Multiple attributes
 /// and comma-separated feature strings (`enable = "avx2,pclmulqdq"`) both
 /// accumulate.
-fn collect_target_feature_fns(lexed: &Lexed) -> Vec<(usize, Vec<String>)> {
+pub(crate) fn collect_target_feature_fns(lexed: &Lexed) -> Vec<(usize, Vec<String>)> {
     let toks = &lexed.tokens;
     let mut out = Vec::new();
     let mut pending: Vec<String> = Vec::new();
@@ -306,7 +288,7 @@ fn parse_feature_literal(text: &str) -> Vec<String> {
 
 /// One pass over the token stream recovering the brace-scope tree as a
 /// flat list. `tf` maps fn-name token indices to their feature sets.
-fn build_scopes(lexed: &Lexed, tf: &[(usize, Vec<String>)]) -> Vec<Scope> {
+pub(crate) fn build_scopes(lexed: &Lexed, tf: &[(usize, Vec<String>)]) -> Vec<Scope> {
     let features_of: HashMap<usize, &Vec<String>> = tf.iter().map(|(idx, f)| (*idx, f)).collect();
     let toks = &lexed.tokens;
     let mut stack: Vec<(ScopeKind, usize)> = Vec::new();
@@ -362,7 +344,7 @@ fn build_scopes(lexed: &Lexed, tf: &[(usize, Vec<String>)]) -> Vec<Scope> {
 }
 
 /// The innermost scope of the wanted kind strictly containing token `i`.
-fn innermost<F>(scopes: &[Scope], i: usize, want: F) -> Option<&Scope>
+pub(crate) fn innermost<F>(scopes: &[Scope], i: usize, want: F) -> Option<&Scope>
 where
     F: Fn(&ScopeKind) -> bool,
 {
@@ -713,7 +695,7 @@ fn check_pointer_arith(unit: &FileUnit, diags: &mut Vec<Diagnostic>) {
 /// Manifest-level policy: kernel crates keep `unsafe_op_in_unsafe_fn`
 /// denied; all other workspace packages inherit the workspace `[lints]`
 /// table.
-fn check_lint_config(manifests: &[(String, String)], diags: &mut Vec<Diagnostic>) {
+pub(crate) fn check_lint_config(manifests: &[(String, String)], diags: &mut Vec<Diagnostic>) {
     for (path, content) in manifests {
         if !content.contains("[package]") {
             continue; // a virtual manifest

@@ -287,7 +287,13 @@ fn skip_string(bytes: &[u8], start: usize, line: &mut u32) -> usize {
     let mut i = start + 1;
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // A `\<newline>` continuation still ends a source line.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -364,6 +370,15 @@ mod tests {
             ["let", "x", "y"]
         );
         assert_eq!(idents(r#"let x = b"unsafe"; y"#), ["let", "x", "y"]);
+    }
+
+    #[test]
+    fn string_line_continuations_count_lines() {
+        // `\<newline>` inside a string still advances the line counter,
+        // so tokens after a multi-line usage string report true lines.
+        let l = lex("let u = \"first \\\n  second\";\nlet after = 1;");
+        let after = l.tokens.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! Exit codes: `0` success, `1` findings/mismatches/regressions, `2`
 //! usage or environment error.
 
+mod analyze;
 mod audit;
 mod bench_diff;
 mod fuzz_smoke;
@@ -31,8 +32,13 @@ const USAGE: &str = "\
 usage: cargo xtask <command> [options]
 
 commands:
+  analyze     [--root PATH] [--json] [--pass NAME]...
+              run the multi-pass workspace analyzer (passes: audit,
+              panic, locks, atomics, consistency, metrics; default all);
+              exits non-zero on any finding
   audit       [--root PATH]
               run the unsafe-audit static-analysis pass over the workspace
+              (alias for `analyze --pass audit` with the classic output)
   fuzz-smoke  [--max-seconds N] [--target NAME] [--seed N]
               run the differential fuzz corpus + a bounded random phase
               (targets: classifier_diff, quotes_diff, depth_diff,
@@ -45,12 +51,14 @@ commands:
   metrics-lint
               render every Prometheus exposition with dummy data and fail
               unless each sample is an rsq_* snake_case series preceded
-              by # HELP and # TYPE comments
+              by # HELP and # TYPE comments (alias for
+              `analyze --pass metrics` with the classic output)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         Some("fuzz-smoke") => cmd_fuzz_smoke(&args[1..]),
         Some("bench-diff") => cmd_bench_diff(&args[1..]),
@@ -97,6 +105,82 @@ fn workspace_root() -> PathBuf {
         .nth(2)
         .expect("crates/xtask has a workspace root two levels up")
         .to_path_buf()
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    // `--json` is a bare flag; peel it off before the flag/value parser.
+    let json = args.iter().any(|a| a == "--json");
+    let rest: Vec<String> = args.iter().filter(|a| *a != "--json").cloned().collect();
+    let flags = match parse_flags(&rest, &["--root", "--pass"]) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = flags
+        .iter()
+        .find(|(f, _)| f == "--root")
+        .map_or_else(workspace_root, |(_, v)| PathBuf::from(v));
+    let mut passes: Vec<&'static str> = Vec::new();
+    for (flag, value) in &flags {
+        if flag != "--pass" {
+            continue;
+        }
+        match analyze::ALL_PASSES.iter().find(|p| *p == value) {
+            Some(p) => {
+                if !passes.contains(p) {
+                    passes.push(p);
+                }
+            }
+            None => {
+                eprintln!(
+                    "xtask analyze: unknown pass `{value}` (expected one of: {})",
+                    analyze::ALL_PASSES.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if passes.is_empty() {
+        passes = analyze::ALL_PASSES.to_vec();
+    }
+
+    match analyze::analyze_workspace(&root, &passes) {
+        Ok(report) => {
+            if json {
+                println!("{}", analyze::render_json(&report));
+            } else {
+                for f in &report.findings {
+                    eprintln!("{f}\n");
+                }
+            }
+            if report.findings.is_empty() {
+                if !json {
+                    println!(
+                        "analyze: {} files scanned by {} pass(es), no findings",
+                        report.files_scanned,
+                        report.passes.len()
+                    );
+                }
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "analyze: {} finding(s) across {} scanned files",
+                    report.findings.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!(
+                "xtask analyze: cannot read workspace at {}: {e}",
+                root.display()
+            );
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn cmd_audit(args: &[String]) -> ExitCode {

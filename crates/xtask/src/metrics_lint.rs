@@ -16,8 +16,9 @@ use rsq_obs::{
 };
 
 /// One exposition to lint: a label for diagnostics plus the rendered
-/// text.
-fn renderings() -> Vec<(&'static str, String)> {
+/// text. Also the consistency pass's ground truth for which metric
+/// names exist (see `analyze::exposition_samples`).
+pub(crate) fn renderings() -> Vec<(&'static str, String)> {
     let stats = dummy_stats();
     let profile = dummy_profile();
     let batch_counters = dummy_batch_counters();

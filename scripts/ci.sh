@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, the unsafe audit, tier-1 tests, an
-# overflow-checked test pass, the profile-overhead gate, differential
-# fuzz smoke, and (when the host toolchain provides them) Miri and
-# AddressSanitizer lanes.
+# Local CI gate: formatting, lints, the static-analysis driver (unsafe
+# audit + concurrency/panic-surface/consistency passes), tier-1 tests,
+# an overflow-checked test pass, the profile-overhead gate, differential
+# fuzz smoke, and (when the host toolchain provides them) Miri,
+# AddressSanitizer, and ThreadSanitizer lanes.
 # Run from anywhere; operates on the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,11 +11,16 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo xtask audit (unsafe soundness gate)"
-cargo run --quiet --package xtask -- audit
-
-echo "==> cargo xtask metrics-lint (Prometheus exposition contract)"
-cargo run --quiet --package xtask -- metrics-lint
+echo "==> cargo xtask analyze (static-analysis gate, zero findings)"
+# All six passes (DESIGN.md §14): the unsafe audit, panic-surface
+# justification, lock order, atomic-ordering policy, doc consistency,
+# and the Prometheus exposition contract. The JSON rendering is part of
+# the contract, so sanity-check it too.
+cargo run --quiet --package xtask -- analyze
+cargo run --quiet --package xtask -- analyze --json \
+  | python3 -c 'import json,sys
+r = json.load(sys.stdin)
+assert r["schema_version"] == 1 and not r["findings"], r'
 
 echo "==> cargo clippy (deny warnings, undocumented unsafe blocks)"
 cargo clippy --workspace --all-targets -- -D warnings -W clippy::undocumented-unsafe-blocks
@@ -216,6 +222,19 @@ if [ "$(uname -sm)" = "Linux x86_64" ] && rustc +nightly --version >/dev/null 2>
     -p rsq-stackvec -p rsq-simd -q --tests --target x86_64-unknown-linux-gnu
 else
   echo "==> AddressSanitizer lane skipped (needs nightly on x86_64 Linux)"
+fi
+
+if [ "$(uname -sm)" = "Linux x86_64" ] && rustc +nightly --version >/dev/null 2>&1 \
+  && rustup component list --toolchain nightly 2>/dev/null | grep -q '^rust-src.*(installed)'; then
+  echo "==> ThreadSanitizer lane (batch determinism + serve robustness)"
+  # TSan needs std rebuilt with instrumentation (-Zbuild-std, hence the
+  # rust-src probe) or it reports false races inside precompiled std.
+  # The lock-order pass above is static; this lane is the dynamic check
+  # over the threaded crates' suites.
+  RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -Zbuild-std \
+    -p rsq-batch -p rsq-serve -q --tests --target x86_64-unknown-linux-gnu
+else
+  echo "==> ThreadSanitizer lane skipped (needs nightly + rust-src on x86_64 Linux)"
 fi
 
 echo "CI OK"
