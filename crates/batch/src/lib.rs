@@ -461,6 +461,35 @@ impl BatchEngine {
     /// problems surface later as per-document outcomes.
     pub fn load_dir(dir: &Path) -> io::Result<Vec<(String, Vec<u8>)>> {
         let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+        for (name, path) in Self::dir_entries(dir)? {
+            files.push((name, fs::read(&path)?));
+        }
+        Ok(files)
+    }
+
+    /// [`load_dir`](Self::load_dir) with zero-copy ingest: each file is
+    /// loaded under the given [`rsq_mmap::MapPolicy`], so large documents
+    /// are memory-mapped instead of copied into heap buffers (DESIGN.md
+    /// §15). Document order and error behavior match `load_dir` exactly;
+    /// only the backing storage differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first directory-walk or read error; per-file content
+    /// problems surface later as per-document outcomes.
+    pub fn load_dir_mapped(
+        dir: &Path,
+        policy: rsq_mmap::MapPolicy,
+    ) -> io::Result<Vec<(String, rsq_mmap::MmapInput)>> {
+        let mut files: Vec<(String, rsq_mmap::MmapInput)> = Vec::new();
+        for (name, path) in Self::dir_entries(dir)? {
+            files.push((name, rsq_mmap::load(&path, policy)?));
+        }
+        Ok(files)
+    }
+
+    /// The regular files of `dir`, sorted by file name.
+    fn dir_entries(dir: &Path) -> io::Result<Vec<(String, std::path::PathBuf)>> {
         let mut names: Vec<(String, std::path::PathBuf)> = Vec::new();
         for entry in fs::read_dir(dir)? {
             let entry = entry?;
@@ -470,10 +499,7 @@ impl BatchEngine {
             }
         }
         names.sort();
-        for (name, path) in names {
-            files.push((name, fs::read(&path)?));
-        }
-        Ok(files)
+        Ok(names)
     }
 }
 

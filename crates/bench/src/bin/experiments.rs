@@ -8,8 +8,20 @@
 //! ```
 //!
 //! Subcommands: `table2`, `table3`, `a`, `b`, `c`, `d`, `appendix-c`,
-//! `semantics`, `ablations`, `stats-overhead`, `skip-ablation`,
-//! `batch-scaling`, `serve-latency`, `telemetry-overhead`, `all`.
+//! `semantics`, `ablations`, `fast-path`, `mmap-ingest`,
+//! `stats-overhead`, `skip-ablation`, `batch-scaling`, `serve-latency`,
+//! `telemetry-overhead`, `all`.
+//!
+//! `dump-corpus <dir>` is not a benchmark: it materializes every catalog
+//! dataset as `<dir>/<letter>.json` plus a `catalog.tsv` manifest
+//! (`id <TAB> file <TAB> query`) so shell harnesses — the fast-path
+//! parity gate in `scripts/ci.sh` — can drive the CLI over the full
+//! query catalog without re-deriving it. Dataset sizes follow
+//! `RSQ_DATASET_MB` like every other subcommand.
+//!
+//! `fast-path` measures every catalog query the compile-time shape
+//! analyzer routes to the memmem-led walker against the same query with
+//! the route forced general, asserting position-for-position parity.
 //!
 //! `skip-ablation` reproduces the paper's Table-6-style skip-rate view
 //! from the Tier C profiler: per dataset × query, the bytes each skipping
@@ -41,6 +53,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
     let mut subcommands: Vec<String> = Vec::new();
+    let mut ran_utility = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         if let Some(path) = arg.strip_prefix("--json=") {
@@ -53,9 +66,23 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "dump-corpus" {
+            match it.next() {
+                Some(dir) => {
+                    dump_corpus(&dir);
+                    ran_utility = true;
+                }
+                None => {
+                    eprintln!("dump-corpus requires a directory");
+                    std::process::exit(2);
+                }
+            }
         } else {
             subcommands.push(arg);
         }
+    }
+    if subcommands.is_empty() && ran_utility {
+        return;
     }
     let subcommands: Vec<&str> = if subcommands.is_empty() {
         vec!["all"]
@@ -74,6 +101,8 @@ fn main() {
             "appendix-c" => appendix_c(&mut report),
             "semantics" => semantics(),
             "ablations" => ablations(&mut report),
+            "fast-path" => fast_path(&mut report),
+            "mmap-ingest" => mmap_ingest(&mut report),
             "stats-overhead" => stats_overhead(&mut report),
             "skip-ablation" => skip_ablation(&mut report),
             "batch-scaling" => batch_scaling(&mut report),
@@ -89,6 +118,8 @@ fn main() {
                 appendix_c(&mut report);
                 semantics();
                 ablations(&mut report);
+                fast_path(&mut report);
+                mmap_ingest(&mut report);
                 stats_overhead(&mut report);
                 skip_ablation(&mut report);
                 batch_scaling(&mut report);
@@ -474,6 +505,165 @@ fn ablations(report: &mut Report) {
         }
         println!();
     }
+}
+
+/// Fast-path routing (DESIGN.md §15): every catalog query whose compiled
+/// shape routes to the memmem-led walker, measured on the fast path and
+/// again with the route forced general. The two configurations must
+/// report byte-identical positions; the report carries both rows (with
+/// Tier A stats, so the `route` field survives into bench-diff).
+fn fast_path(report: &mut Report) {
+    use rsq_engine::{PositionsSink, Route, RouteChoice};
+    heading("Fast-path routing: memmem-led walker vs general main loop");
+    println!(
+        "{:<5} {:>11} {:>9} {:>9} {:>9}",
+        "id", "route", "fast", "general", "speedup"
+    );
+    let mut routed = 0usize;
+    for entry in catalog() {
+        let query = Query::parse(entry.query).expect("catalog query parses");
+        let fast = Engine::with_options(&query, EngineOptions::default()).expect("compiles");
+        if fast.route() == Route::General {
+            continue;
+        }
+        routed += 1;
+        let general = Engine::with_options(
+            &query,
+            EngineOptions {
+                route: RouteChoice::General,
+                ..EngineOptions::default()
+            },
+        )
+        .expect("compiles");
+        let input = dataset(entry.dataset);
+        // Parity first: the routes must agree position for position, not
+        // just on counts.
+        let mut fast_sink = PositionsSink::new();
+        let fast_stats = fast
+            .try_run_with_stats(input, &mut fast_sink)
+            .expect("fast run succeeds");
+        let mut general_sink = PositionsSink::new();
+        let general_stats = general
+            .try_run_with_stats(input, &mut general_sink)
+            .expect("general run succeeds");
+        assert_eq!(
+            fast_sink.positions(),
+            general_sink.positions(),
+            "routes disagree on {}",
+            entry.id
+        );
+        let m_fast = measure(input.len(), REPS, || fast.count(input));
+        let m_general = measure(input.len(), REPS, || general.count(input));
+        let speedup = m_fast.gbps / m_general.gbps;
+        println!(
+            "{:<5} {:>11} {:>9.2} {:>9.2} {:>8.2}x",
+            entry.id,
+            fast.route().to_string(),
+            m_fast.gbps,
+            m_general.gbps,
+            speedup,
+        );
+        for (tag, m, stats, speedup) in [
+            ("fast", m_fast, fast_stats, Some(speedup)),
+            ("general", m_general, general_stats, None),
+        ] {
+            report.push(ReportEntry {
+                experiment: "fast-path".to_owned(),
+                name: format!("{tag}/{}", entry.id),
+                query: Some(entry.query.to_owned()),
+                input_bytes: input.len() as u64,
+                count: m.count,
+                gbps: m.gbps,
+                speedup,
+                stats: Some(stats),
+                bytes_skipped: None,
+                latency: None,
+            });
+        }
+    }
+    assert!(routed >= 2, "expected several routed catalog queries");
+}
+
+/// Zero-copy ingest: end-to-end (load + query) throughput of a
+/// multi-megabyte on-disk document, read into a heap buffer vs mapped
+/// read-only by `rsq-mmap` (DESIGN.md §15). Match counts must be
+/// identical either way; the row pair is bench-diff's mmap-vs-read
+/// column, with the speedup recorded on the `mmap` row.
+fn mmap_ingest(report: &mut Report) {
+    use rsq_mmap::MapPolicy;
+    heading("Zero-copy ingest: buffered read vs mmap (load + query)");
+    let entry = by_id("B1").expect("catalog has B1");
+    let engine = Engine::from_text(entry.query).expect("catalog query compiles");
+    let input = dataset(entry.dataset);
+    let path = std::env::temp_dir().join(format!("rsq-bench-mmap-{}.json", std::process::id()));
+    std::fs::write(&path, input).expect("temp dataset written");
+    // The mapped load must actually map a dataset this size (On never
+    // maps below the kernel's granularity, Auto below 1 MiB).
+    assert!(
+        rsq_mmap::load(&path, MapPolicy::On)
+            .expect("mapped load succeeds")
+            .is_mapped(),
+        "dataset file was expected to map"
+    );
+    let m_read = measure(input.len(), REPS, || {
+        let buf = std::fs::read(&path).expect("buffered read succeeds");
+        engine.count(&buf)
+    });
+    let m_mmap = measure(input.len(), REPS, || {
+        let mapped = rsq_mmap::load(&path, MapPolicy::On).expect("mapped load succeeds");
+        engine.count(&mapped)
+    });
+    std::fs::remove_file(&path).expect("temp dataset removed");
+    assert_eq!(m_read.count, m_mmap.count, "ingest modes disagree");
+    let speedup = m_mmap.gbps / m_read.gbps;
+    println!("{:<5} {:>9} {:>9} {:>9}", "id", "read", "mmap", "speedup");
+    println!(
+        "{:<5} {:>9.2} {:>9.2} {:>8.2}x",
+        entry.id, m_read.gbps, m_mmap.gbps, speedup,
+    );
+    for (tag, m, speedup) in [("read", m_read, None), ("mmap", m_mmap, Some(speedup))] {
+        report.push(ReportEntry {
+            experiment: "mmap-ingest".to_owned(),
+            name: format!("{tag}/{}", entry.id),
+            query: Some(entry.query.to_owned()),
+            input_bytes: input.len() as u64,
+            count: m.count,
+            gbps: m.gbps,
+            speedup,
+            stats: None,
+            bytes_skipped: None,
+            latency: None,
+        });
+    }
+}
+
+/// Materializes the catalog corpus for shell harnesses: one
+/// `<letter>.json` per dataset plus a `catalog.tsv` manifest with one
+/// `id <TAB> file <TAB> query` line per catalog query. Queries never
+/// contain tabs, so the manifest splits cleanly with `IFS=$'\t'`.
+fn dump_corpus(dir: &str) {
+    use std::fmt::Write as _;
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir).expect("corpus directory created");
+    let mut written: BTreeMap<&str, ()> = BTreeMap::new();
+    let mut tsv = String::new();
+    let entries = catalog();
+    for entry in &entries {
+        let letter = entry.dataset.letter();
+        if written.insert(letter, ()).is_none() {
+            let path = dir.join(format!("{letter}.json"));
+            std::fs::write(&path, dataset(entry.dataset)).expect("dataset written");
+        }
+        assert!(!entry.query.contains('\t'), "catalog query contains a tab");
+        writeln!(tsv, "{}\t{letter}.json\t{}", entry.id, entry.query).expect("manifest line");
+    }
+    std::fs::write(dir.join("catalog.tsv"), tsv).expect("catalog.tsv written");
+    println!(
+        "corpus written to {}: {} datasets, {} catalog queries",
+        dir.display(),
+        written.len(),
+        entries.len()
+    );
 }
 
 /// Batch scaling: the sharded multi-document engine (`rsq-batch`) over

@@ -81,6 +81,18 @@ impl Structural {
     }
 }
 
+/// Outcome of [`StructuralIterator::seek_gap_scan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum GapScan {
+    /// The brace depth dropped to zero; the closing brace is left
+    /// pending and will be yielded by the next `next` call.
+    Boundary,
+    /// The block containing `until` is loaded and unconsumed.
+    Reached,
+    /// The input ended.
+    End,
+}
+
 /// A quote-and-structurally classified block in flight.
 #[derive(Clone, Copy, Debug)]
 struct CurrentBlock {
@@ -538,6 +550,44 @@ impl<'a> StructuralIterator<'a> {
     /// take over the stream).
     pub(crate) fn clear_peeked(&mut self) {
         self.peeked = None;
+    }
+
+    /// Tight brace-depth scan over whole blocks — the seek classifier's
+    /// gap loop, mirroring `depth_skip`'s phase 2. Advances block by
+    /// block counting `{`/`}` outside strings, until the depth drops to
+    /// zero (closing brace left pending), the block containing `until`
+    /// is loaded (left unconsumed for the caller's partial scan), or the
+    /// input ends. The caller must have fully scanned the current block
+    /// already.
+    pub(crate) fn seek_gap_scan(&mut self, until: usize, sim: &mut usize) -> GapScan {
+        let simd = self.cursor.simd;
+        loop {
+            let Some((start, within_quotes, state_before)) = self.cursor.next() else {
+                if let Some(cur) = &mut self.current {
+                    cur.mask = 0;
+                }
+                self.consumed_upto = self.cursor.input.len();
+                return GapScan::End;
+            };
+            self.counters.blocks_seek = self.counters.blocks_seek.saturating_add(1);
+            self.current = Some(CurrentBlock {
+                start,
+                within_quotes,
+                state_before,
+                mask: 0,
+            });
+            if self.consumed_upto < start {
+                self.consumed_upto = start;
+            }
+            if until < start + BLOCK_SIZE {
+                return GapScan::Reached;
+            }
+            let (opens, closes) = simd.eq_mask2(self.cursor.bytes_at(start), b'{', b'}');
+            if let Some(rel) = scan_block(opens & !within_quotes, closes & !within_quotes, sim) {
+                self.reposition_within_current(start + rel as usize, false);
+                return GapScan::Boundary;
+            }
+        }
     }
 
     /// The SIMD backend handle.

@@ -37,6 +37,6 @@ pub use pipeline::{QuoteScanner, ResumeState};
 // that crate.
 pub use quotes::{classify_quotes, QuoteClassification, QuoteState};
 pub use rsq_obs::ClassifierCounters;
-pub use seek::LabelSeek;
+pub use seek::{CandidateMemo, DirectSeek, LabelSeek};
 pub use structural::StructuralTables;
 pub use validate::{StructuralValidator, ValidationError, ValidationErrorKind};

@@ -17,7 +17,7 @@
 //! state an atomic value can never match.
 
 use crate::depth::{low_bits, scan_block};
-use crate::iterator::StructuralIterator;
+use crate::iterator::{GapScan, StructuralIterator};
 use rsq_memmem::Finder;
 use rsq_simd::BLOCK_SIZE;
 
@@ -41,7 +41,277 @@ pub enum LabelSeek {
     End,
 }
 
+/// Memoized `memmem` frontier for one needle over one input.
+///
+/// [`StructuralIterator::seek_direct_member`] runs once per container,
+/// and containers that do *not* hold the sought label would each pay a
+/// substring search all the way to the next occurrence elsewhere in the
+/// document — megabytes away, or clean through EOF for a rare label —
+/// only for the result to be discarded at the container boundary and
+/// re-derived by the next sibling's seek, turning a linear walk
+/// quadratic. Since seeks only ever move forward, the first occurrence
+/// at-or-after an already-searched position stays valid: the memo
+/// remembers it (or the proven absence of one) and answers later
+/// lookups from positions it covers without touching the haystack.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CandidateMemo {
+    /// `(covered_from, next)`: the first occurrence at or after
+    /// `covered_from` is `next` (`None` = no occurrence through EOF).
+    /// `None` until the first search.
+    state: Option<(usize, Option<usize>)>,
+}
+
+impl CandidateMemo {
+    /// The first occurrence of `finder`'s needle at or after `pos`,
+    /// searching only when the memo does not already cover `pos`.
+    pub fn find_from(&mut self, finder: &Finder, input: &[u8], pos: usize) -> Option<usize> {
+        if let Some((covered_from, next)) = self.state {
+            if pos >= covered_from {
+                match next {
+                    None => return None,
+                    Some(c) if c >= pos => return Some(c),
+                    Some(_) => {}
+                }
+            }
+        }
+        let found = finder.find_from(input, pos);
+        self.state = Some((pos, found));
+        found
+    }
+}
+
+/// Outcome of [`StructuralIterator::seek_direct_member`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirectSeek {
+    /// A *direct* member named `"label"` with a composite value was
+    /// found; the iterator will yield the value's opening character
+    /// next.
+    Composite {
+        /// Position of the value's opening `{` / `[`.
+        pos: usize,
+    },
+    /// A direct member with an atomic value was found (only reported
+    /// when `accept_atomic` is set); the iterator is positioned at the
+    /// value's first byte.
+    Atomic {
+        /// Position of the atomic value's first byte.
+        pos: usize,
+    },
+    /// The current container closed before another direct member named
+    /// `"label"`: the closing character is left pending and will be
+    /// yielded by the next `next` call.
+    Boundary,
+    /// The input ended (malformed document).
+    End,
+}
+
 impl<'a> StructuralIterator<'a> {
+    /// Fast-forwards to the next *direct* member of the current container
+    /// named by `needle` (a `"label"` byte string searched by `finder`),
+    /// or to the container's closing character — whichever comes first.
+    ///
+    /// This is the fast-path variant of [`seek_label`](Self::seek_label)
+    /// (DESIGN.md §15): the depth scan runs with the boundary one level
+    /// up (`levels = 0`), and candidates found *nested* below the current
+    /// container are declined in-scan without validation, so the caller
+    /// only ever sees members whose automaton transition it precomputed.
+    ///
+    /// The current container must be an **object** (the caller skips
+    /// array containers whole — a label step cannot match inside one),
+    /// which lets the depth scan track the brace pair alone, exactly
+    /// like [`skip_past_close`](Self::skip_past_close) tracks a single
+    /// pair: every labelled member sits directly inside some object, so
+    /// a candidate nested anywhere below this container is separated
+    /// from it by at least one brace, and the container's own closing
+    /// brace is the first position where the brace depth drops to zero.
+    /// Candidate validation is identical to the head start's: the closing
+    /// quote must lie outside a string (an escaped-quote lookalike reads
+    /// as inside), a colon must follow, and the member value decides the
+    /// outcome — composite values are always reported, atomic values only
+    /// when `accept_atomic` is set (the caller's state accepts), and
+    /// malformed constructs (`}`/`]`/`,`/`:` after the colon) are
+    /// declined. Every declined candidate bumps `declined`.
+    ///
+    /// `finder` must search for exactly the bytes of `needle`; the two
+    /// are passed separately so the caller can build the finder once per
+    /// run instead of once per seek. `memo` must likewise persist across
+    /// the seeks of one run (one per needle) — it is what keeps repeated
+    /// seeks over label-free sibling containers linear.
+    pub fn seek_direct_member(
+        &mut self,
+        finder: &Finder,
+        needle: &[u8],
+        memo: &mut CandidateMemo,
+        accept_atomic: bool,
+        declined: &mut u64,
+    ) -> DirectSeek {
+        self.clear_peeked();
+        let input = self.input();
+        let simd = self.simd();
+        debug_assert!(
+            needle.len() >= 2 && needle[0] == b'"' && needle[needle.len() - 1] == b'"',
+            "needle must be a quoted label"
+        );
+
+        // `sim` is the simulated *brace* depth with the boundary at
+        // zero: the current object is level 1; a candidate is a direct
+        // member exactly when `sim == 1` at its position.
+        let mut sim = 1usize;
+        let mut cand = memo.find_from(finder, input, self.position());
+        // A candidate whose depth scan is complete but whose closing
+        // quote lies in a block not yet quote-classified.
+        let mut deferred: Option<usize> = None;
+
+        loop {
+            let Some((start, within)) = self.seek_current_block() else {
+                return DirectSeek::End;
+            };
+            let block_end = start + BLOCK_SIZE;
+
+            if let Some(c) = deferred {
+                // The needle spans into this block; the bytes between the
+                // candidate and its closing quote are the needle text
+                // itself (no structural characters), so no depth scanning
+                // is owed for the skipped region and `sim` is still the
+                // candidate's depth.
+                let closing_quote = c + needle.len() - 1;
+                if closing_quote >= block_end {
+                    if !self.consume_rest_of_block() {
+                        return DirectSeek::End;
+                    }
+                    continue;
+                }
+                deferred = None;
+                match self.direct_validate(c, needle, within, start, sim, accept_atomic) {
+                    Some(outcome) => return outcome,
+                    None => {
+                        *declined = declined.saturating_add(1);
+                        self.reposition_within_current(closing_quote, true);
+                        cand = memo.find_from(finder, input, c + 1);
+                        continue;
+                    }
+                }
+            }
+
+            let from_bit = self.position().saturating_sub(start).min(64) as u32;
+            let keep = !low_bits(from_bit);
+            let (opens, closes) = {
+                let (o, c) = simd.eq_mask2(self.seek_block_bytes(start), b'{', b'}');
+                (o & !within, c & !within)
+            };
+
+            match cand {
+                Some(c) if c < block_end => {
+                    debug_assert!(c >= self.position(), "candidate behind the scan");
+                    // Scan depth only up to the candidate.
+                    let cand_bit = (c - start) as u32;
+                    let below = low_bits(cand_bit) & keep;
+                    if let Some(rel) = scan_block(opens & below, closes & below, &mut sim) {
+                        // Boundary crossing before the candidate.
+                        self.reposition_within_current(start + rel as usize, false);
+                        return DirectSeek::Boundary;
+                    }
+                    self.reposition_within_current(c, true);
+                    if sim != 1 {
+                        // Nested occurrence: not a direct member, decline
+                        // without validating.
+                        *declined = declined.saturating_add(1);
+                        cand = memo.find_from(finder, input, c + 1);
+                        continue;
+                    }
+                    let closing_quote = c + needle.len() - 1;
+                    if closing_quote >= block_end {
+                        // Needle straddles the block boundary: defer the
+                        // validation until its block is classified.
+                        deferred = Some(c);
+                        if !self.consume_rest_of_block() {
+                            return DirectSeek::End;
+                        }
+                        continue;
+                    }
+                    match self.direct_validate(c, needle, within, start, sim, accept_atomic) {
+                        Some(outcome) => return outcome,
+                        None => {
+                            *declined = declined.saturating_add(1);
+                            cand = memo.find_from(finder, input, c + 1);
+                            continue;
+                        }
+                    }
+                }
+                _ => {
+                    // No candidate in this block: full-depth scan of the
+                    // remainder, then a tight block loop across the gap
+                    // to the candidate (or the boundary, or EOF).
+                    if let Some(rel) = scan_block(opens & keep, closes & keep, &mut sim) {
+                        self.reposition_within_current(start + rel as usize, false);
+                        return DirectSeek::Boundary;
+                    }
+                    match self.seek_gap_scan(cand.unwrap_or(usize::MAX), &mut sim) {
+                        GapScan::Boundary => return DirectSeek::Boundary,
+                        GapScan::Reached => {}
+                        GapScan::End => return DirectSeek::End,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validates the direct-member candidate at `c` whose closing quote
+    /// lies in the current block (`start`/`within`). Returns the outcome
+    /// for a valid member, or `None` to decline and continue seeking.
+    fn direct_validate(
+        &mut self,
+        c: usize,
+        needle: &[u8],
+        within: u64,
+        start: usize,
+        sim: usize,
+        accept_atomic: bool,
+    ) -> Option<DirectSeek> {
+        let input = self.input();
+        // A deferred candidate's directness is checked here (its depth
+        // could not change while the needle text was being skipped).
+        if sim != 1 {
+            return None;
+        }
+        // A genuine label's closing quote lies outside a string; a
+        // lookalike with escaped quotes reads as inside.
+        let closing_quote = c + needle.len() - 1;
+        debug_assert!((start..start + BLOCK_SIZE).contains(&closing_quote));
+        if within >> (closing_quote - start) & 1 == 1 {
+            return None;
+        }
+        let colon = first_nonws(input, c + needle.len())?;
+        if input[colon] != b':' {
+            return None;
+        }
+        let v = first_nonws(input, colon + 1)?;
+        match input[v] {
+            b'{' | b'[' => {
+                // Position the iterator so the value's opening is the next
+                // event. The gap [c, v) holds only the label string,
+                // whitespace, and the colon — no structural characters
+                // survive the masks there.
+                if !self.advance_to(v) {
+                    return None;
+                }
+                Some(DirectSeek::Composite { pos: v })
+            }
+            b'}' | b']' | b',' | b':' => None, // malformed construct
+            _ if accept_atomic => {
+                // Atomic value: the bytes in [c, v) are non-structural, and
+                // the value itself contains structural characters only
+                // inside strings, so positioning at `v` keeps the depth
+                // scan consistent for the caller's follow-up fast-forward.
+                if !self.advance_to(v) {
+                    return None;
+                }
+                Some(DirectSeek::Atomic { pos: v })
+            }
+            _ => None, // atomic value cannot match in an internal state
+        }
+    }
+
     /// Fast-forwards to the next member named `label` (with a composite
     /// value) within the current element and its subtree, or to the
     /// closing character that would drop the depth more than `levels`

@@ -15,7 +15,8 @@ use rsq_engine::{
     RunStats, Sink,
 };
 // Shared with the serve layer so both render identical value output.
-use rsq_json::node_text;
+use rsq_json::node_span;
+use rsq_mmap::{MapPolicy, MmapInput};
 use rsq_obs::{prometheus, prometheus_serve, ServeCounters, STATS_SCHEMA_VERSION};
 use rsq_query::Query;
 use rsq_serve::{
@@ -62,6 +63,11 @@ options:
   --metrics-out PATH  write the run's counters (and profile, when
                       enabled) to PATH as Prometheus-style text
                       exposition
+  --mmap auto|on|off  zero-copy input: map FILE (and --batch-dir files)
+                      into memory instead of copying through a read
+                      loop; auto (the default) maps files of at least
+                      1 MiB, off always buffers (stdin and NDJSON
+                      always buffer; results are identical either way)
 
 batch mode (many documents, sharded across threads; output is printed
 in input order, byte-identical to looping rsq over each document):
@@ -312,6 +318,9 @@ pub struct Invocation {
     /// Live-telemetry flags (`--telemetry-socket`/`--slow-log-ms`/
     /// `--postmortem-dir`/`--flight-window`).
     pub telemetry: TelemetryConfig,
+    /// Zero-copy input policy (`--mmap auto|on|off`): whether file
+    /// inputs are memory-mapped or buffered through the reader.
+    pub mmap: MapPolicy,
 }
 
 impl Invocation {
@@ -334,6 +343,7 @@ impl Invocation {
         let mut deadline_ms: Option<u64> = None;
         let mut max_inflight: Option<usize> = None;
         let mut telemetry = TelemetryConfig::default();
+        let mut mmap = MapPolicy::Auto;
         let mut rest: Vec<&str> = Vec::new();
         let mut it = args.iter();
         // A valued flag accepts both `--flag N` and `--flag=N`.
@@ -390,12 +400,27 @@ impl Invocation {
                         telemetry.postmortem_dir = Some(v?);
                     } else if let Some(v) = value_of("--flight-window", flag, &mut it) {
                         telemetry.flight_window = Some(parse_number("--flight-window", &v?)?);
+                    } else if let Some(v) = value_of("--mmap", flag, &mut it) {
+                        let v = v?;
+                        mmap = MapPolicy::parse(&v)
+                            .ok_or_else(|| format!("--mmap: expected auto|on|off, got {v:?}"))?;
                     } else {
                         return Err(format!("unknown flag {flag}"));
                     }
                 }
                 other => rest.push(other),
             }
+        }
+        // Environment route override for ablation and parity harnesses
+        // (`RSQ_ROUTE=general ci.sh` forces the main loop everywhere
+        // without threading a flag through every script). Mirrors
+        // `RSQ_BACKEND`: an explicit override with a typo fails fast.
+        if let Ok(value) = std::env::var("RSQ_ROUTE") {
+            options.route = match value.as_str() {
+                "auto" => rsq_engine::RouteChoice::Auto,
+                "general" => rsq_engine::RouteChoice::General,
+                other => return Err(format!("RSQ_ROUTE: unknown route {other:?} (auto|general)")),
+            };
         }
         // `--stats` is overloaded: without a query it is the document
         // statistics mode (back compat); alongside a query (or with
@@ -480,6 +505,7 @@ impl Invocation {
             deadline_ms,
             max_inflight,
             telemetry: telemetry.clone(),
+            mmap,
         };
         if serve.is_some() {
             return match rest.as_slice() {
@@ -520,17 +546,35 @@ fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, Stri
         .map_err(|_| format!("{flag}: invalid number {value:?}"))
 }
 
-/// Ingests the document through the engine's hardened reader path:
-/// chunked reads (stdin included), transient-error retry, and limits
-/// enforced while bytes arrive. With a `--deadline-ms` budget the
-/// ingest loop aborts once the deadline passes (sources that block
-/// inside the OS need a read timeout for the check to fire).
-fn read_input(
-    engine: &Engine,
-    file: Option<&str>,
-    deadline_ms: Option<u64>,
-) -> Result<Vec<u8>, CliError> {
-    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+/// Ingests the document. File inputs are memory-mapped when the
+/// `--mmap` policy allows (zero-copy: the engine reads the page cache
+/// directly); the size limit is checked up front on that path, since
+/// mapping a too-large file and then refusing it would waste nothing
+/// but also prove nothing. Everything else — stdin, small or unmappable
+/// files, `--mmap off` — goes through the engine's hardened reader:
+/// chunked reads, transient-error retry, and limits enforced while
+/// bytes arrive. With a `--deadline-ms` budget the ingest loop aborts
+/// once the deadline passes (sources that block inside the OS need a
+/// read timeout for the check to fire).
+fn read_input(engine: &Engine, invocation: &Invocation) -> Result<MmapInput, CliError> {
+    let file = invocation.file.as_deref();
+    if let Some(path) = file {
+        // Map only files the size limit admits; an oversized file falls
+        // through to the reader, which rejects it with the exact error
+        // the buffered path always produced.
+        let fits = match invocation.options.max_document_bytes {
+            Some(limit) => std::fs::metadata(path).is_ok_and(|m| m.len() <= limit as u64),
+            None => true,
+        };
+        if fits {
+            if let Some(input) = rsq_mmap::map(std::path::Path::new(path), invocation.mmap) {
+                return Ok(input);
+            }
+        }
+    }
+    let deadline = invocation
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
     let ingest = |reader: &mut dyn Read| match deadline {
         Some(d) => engine.read_document_with_deadline(reader, d),
         None => engine.read_document(reader),
@@ -539,17 +583,21 @@ fn read_input(
         Some(path) => {
             let file = std::fs::File::open(path)
                 .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot read {path}: {e}")))?;
-            ingest(&mut std::io::BufReader::new(file)).map_err(|e| {
-                let mut err = CliError::from(e);
-                err.message = format!("{path}: {}", err.message);
-                err
-            })
+            ingest(&mut std::io::BufReader::new(file))
+                .map(MmapInput::from_vec)
+                .map_err(|e| {
+                    let mut err = CliError::from(e);
+                    err.message = format!("{path}: {}", err.message);
+                    err
+                })
         }
-        None => ingest(&mut std::io::stdin().lock()).map_err(|e| {
-            let mut err = CliError::from(e);
-            err.message = format!("stdin: {}", err.message);
-            err
-        }),
+        None => ingest(&mut std::io::stdin().lock())
+            .map(MmapInput::from_vec)
+            .map_err(|e| {
+                let mut err = CliError::from(e);
+                err.message = format!("stdin: {}", err.message);
+                err
+            }),
     }
 }
 
@@ -566,6 +614,25 @@ fn read_input_plain(file: Option<&str>) -> Result<Vec<u8>, CliError> {
             Ok(buf)
         }
     }
+}
+
+/// Writes one matched node as raw passthrough (DESIGN.md §15): the
+/// document's own bytes go straight to the writer — no per-match UTF-8
+/// validation, no intermediate `String`. Unterminated spans (truncated
+/// input) render as `<malformed>`, as the text path always did.
+fn write_node(out: &mut dyn Write, doc: &[u8], pos: usize) -> std::io::Result<()> {
+    match node_span(doc, pos) {
+        // PANIC-OK: node_span ranges are in bounds of `doc` by construction
+        Some(span) => out.write_all(&doc[span])?,
+        None => out.write_all(b"<malformed>")?,
+    }
+    out.write_all(b"\n")
+}
+
+/// [`write_node`] with the CLI's write-error classification.
+fn emit_node(out: &mut dyn Write, doc: &[u8], pos: usize) -> Result<(), CliError> {
+    write_node(out, doc, pos)
+        .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))
 }
 
 fn compile(invocation: &Invocation) -> Result<Engine, CliError> {
@@ -731,7 +798,7 @@ pub fn run(
         Mode::Count => {
             let engine = compile(invocation)?;
             let t_ingest = want_profile.then(Instant::now);
-            let input = read_input(&engine, invocation.file.as_deref(), invocation.deadline_ms)?;
+            let input = read_input(&engine, invocation)?;
             let ingest_ns = t_ingest.map(elapsed_ns);
             let mut sink = CountSink::new();
             let mut report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
@@ -743,7 +810,7 @@ pub fn run(
         Mode::Positions => {
             let engine = compile(invocation)?;
             let t_ingest = want_profile.then(Instant::now);
-            let input = read_input(&engine, invocation.file.as_deref(), invocation.deadline_ms)?;
+            let input = read_input(&engine, invocation)?;
             let ingest_ns = t_ingest.map(elapsed_ns);
             let mut sink = PositionsSink::new();
             let mut report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
@@ -757,14 +824,13 @@ pub fn run(
         Mode::Values => {
             let engine = compile(invocation)?;
             let t_ingest = want_profile.then(Instant::now);
-            let input = read_input(&engine, invocation.file.as_deref(), invocation.deadline_ms)?;
+            let input = read_input(&engine, invocation)?;
             let ingest_ns = t_ingest.map(elapsed_ns);
             let mut sink = PositionsSink::new();
             let mut report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
             let t_sink = want_profile.then(Instant::now);
             for pos in sink.into_positions() {
-                let text = node_text(&input, pos).unwrap_or("<malformed>");
-                emit(out, format_args!("{text}"))?;
+                emit_node(out, &input, pos)?;
             }
             add_driver_stages(&mut report, ingest_ns, t_sink);
             emit_stats(err, report)
@@ -774,7 +840,7 @@ pub fn run(
                 .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))?;
             let engine = Engine::with_options(&query, invocation.options)
                 .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))?;
-            let input = read_input(&engine, invocation.file.as_deref(), invocation.deadline_ms)?;
+            let input = read_input(&engine, invocation)?;
             let mut sink = PositionsSink::new();
             let report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
             let streamed = sink.into_positions();
@@ -1073,9 +1139,11 @@ fn run_batch(
     });
 
     // Load the corpus: ingest is sequential (one disk), compute parallel.
-    // Labels name documents in stderr diagnostics: line numbers for
-    // NDJSON, file names for directories.
-    let mut buffers: Vec<Vec<u8>> = Vec::new();
+    // Directory files honor the `--mmap` policy (large documents are
+    // mapped, not copied); NDJSON lines are always buffered, since they
+    // are slices of one shared read. Labels name documents in stderr
+    // diagnostics: line numbers for NDJSON, file names for directories.
+    let mut buffers: Vec<MmapInput> = Vec::new();
     let mut labels: Vec<String> = Vec::new();
     match source {
         BatchSource::Ndjson(path) => {
@@ -1087,19 +1155,21 @@ fn run_batch(
             for range in rsq_batch::split_ndjson(&input) {
                 labels.push(format!("document {}", labels.len() + 1));
                 // PANIC-OK: split_ndjson ranges are derived from input and lie in bounds
-                buffers.push(input[range].to_vec());
+                buffers.push(MmapInput::from_vec(input[range].to_vec()));
             }
         }
         BatchSource::Dir(path) => {
-            let files = BatchEngine::load_dir(std::path::Path::new(path))
-                .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot read {path}: {e}")))?;
-            for (name, bytes) in files {
+            let files = BatchEngine::load_dir_mapped(std::path::Path::new(path), invocation.mmap)
+                .map_err(|e| {
+                CliError::new(CliErrorKind::Io, format!("cannot read {path}: {e}"))
+            })?;
+            for (name, input) in files {
                 labels.push(name);
-                buffers.push(bytes);
+                buffers.push(input);
             }
         }
     }
-    let docs: Vec<&[u8]> = buffers.iter().map(Vec::as_slice).collect();
+    let docs: Vec<&[u8]> = buffers.iter().map(MmapInput::as_bytes).collect();
 
     let result = engine
         .run_slices(&invocation.query, &docs)
@@ -1115,11 +1185,11 @@ fn run_batch(
                     .positions
                     .iter()
                     .try_for_each(|pos| writeln!(out, "{pos}")),
-                _ => output.positions.iter().try_for_each(|pos| {
+                _ => output
+                    .positions
+                    .iter()
                     // PANIC-OK: one outcome per document, so i < docs.len()
-                    let text = node_text(docs[i], *pos).unwrap_or("<malformed>");
-                    writeln!(out, "{text}")
-                }),
+                    .try_for_each(|pos| write_node(out, docs[i], *pos)),
             }
             .map_err(|e| CliError::new(CliErrorKind::Failure, format!("write error: {e}")))?,
             Err(doc_err) => {
@@ -1276,6 +1346,89 @@ mod tests {
         assert!(parse(&["--max-bytes=many", "$..a"]).is_err());
     }
 
+    #[test]
+    fn parses_mmap_policy() {
+        assert_eq!(parse(&["$..a"]).unwrap().mmap, MapPolicy::Auto);
+        assert_eq!(
+            parse(&["--mmap", "on", "$..a"]).unwrap().mmap,
+            MapPolicy::On
+        );
+        assert_eq!(parse(&["--mmap=off", "$..a"]).unwrap().mmap, MapPolicy::Off);
+        assert_eq!(
+            parse(&["--mmap=auto", "$..a"]).unwrap().mmap,
+            MapPolicy::Auto
+        );
+        assert!(parse(&["--mmap", "sometimes", "$..a"]).is_err());
+        assert!(parse(&["--mmap"]).is_err());
+    }
+
+    /// `--mmap on` and `--mmap off` must be byte-identical on stdout for
+    /// every mode — the flag changes how bytes reach the engine, never
+    /// what comes out.
+    #[test]
+    fn mmap_on_and_off_agree_everywhere() {
+        // Body above AUTO_THRESHOLD would be slow to build per test run;
+        // `On` maps regardless of size, which is the interesting path.
+        let doc = format!(
+            r#"{{"pad": "{}", "a": [1, {{"b": 2}}], "b": 3}}"#,
+            "x".repeat(4096)
+        );
+        with_temp_file(&doc, |path| {
+            for mode in [Mode::Count, Mode::Values, Mode::Positions, Mode::Verify] {
+                let inv = |mmap| Invocation {
+                    mode: mode.clone(),
+                    query: "$..b".to_owned(),
+                    file: Some(path.to_owned()),
+                    options: EngineOptions::default(),
+                    stats: None,
+                    batch: None,
+                    threads: 0,
+                    profile: false,
+                    metrics_out: None,
+                    serve: None,
+                    deadline_ms: None,
+                    max_inflight: None,
+                    telemetry: TelemetryConfig::default(),
+                    mmap,
+                };
+                let mapped = run_to_string(&inv(MapPolicy::On)).unwrap();
+                let buffered = run_to_string(&inv(MapPolicy::Off)).unwrap();
+                assert_eq!(mapped, buffered, "mode {mode:?}");
+            }
+        });
+    }
+
+    /// An oversized file is rejected with the Limit class whether or not
+    /// mapping is requested (the mmap path defers to the reader's check).
+    #[test]
+    fn mmap_respects_max_bytes_limit() {
+        with_temp_file(&format!(r#"{{"a": "{}"}}"#, "y".repeat(2048)), |path| {
+            for mmap in [MapPolicy::On, MapPolicy::Off] {
+                let inv = Invocation {
+                    mode: Mode::Count,
+                    query: "$.a".to_owned(),
+                    file: Some(path.to_owned()),
+                    options: EngineOptions {
+                        max_document_bytes: Some(100),
+                        ..EngineOptions::default()
+                    },
+                    stats: None,
+                    batch: None,
+                    threads: 0,
+                    profile: false,
+                    metrics_out: None,
+                    serve: None,
+                    deadline_ms: None,
+                    max_inflight: None,
+                    telemetry: TelemetryConfig::default(),
+                    mmap,
+                };
+                let err = run_to_string(&inv).unwrap_err();
+                assert_eq!(err.kind, CliErrorKind::Limit, "policy {mmap:?}");
+            }
+        });
+    }
+
     fn run_to_string(inv: &Invocation) -> Result<String, CliError> {
         let mut out = Vec::new();
         run(inv, &mut out, &mut Vec::new())?;
@@ -1310,6 +1463,7 @@ mod tests {
                 deadline_ms: None,
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
+                mmap: MapPolicy::Auto,
             };
             assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "2\n");
             assert_eq!(run_to_string(&inv(Mode::Values)).unwrap(), "2\n3\n");
@@ -1336,6 +1490,7 @@ mod tests {
             deadline_ms: None,
             max_inflight: None,
             telemetry: TelemetryConfig::default(),
+            mmap: MapPolicy::Auto,
         };
         assert_eq!(
             run(&bad_query, &mut Vec::new(), &mut Vec::new())
@@ -1358,6 +1513,7 @@ mod tests {
             deadline_ms: None,
             max_inflight: None,
             telemetry: TelemetryConfig::default(),
+            mmap: MapPolicy::Auto,
         };
         assert_eq!(
             run(&missing_file, &mut Vec::new(), &mut Vec::new())
@@ -1384,6 +1540,7 @@ mod tests {
                 deadline_ms: None,
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
+                mmap: MapPolicy::Auto,
             };
             assert_eq!(
                 run(&strict, &mut Vec::new(), &mut Vec::new())
@@ -1411,6 +1568,7 @@ mod tests {
                 deadline_ms: None,
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
+                mmap: MapPolicy::Auto,
             };
             assert_eq!(
                 run(&limited, &mut Vec::new(), &mut Vec::new())
@@ -1438,6 +1596,7 @@ mod tests {
                 deadline_ms: None,
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
+                mmap: MapPolicy::Auto,
             };
             let out = run_to_string(&inv).unwrap();
             assert!(out.contains("nodes     4"), "{out}");
@@ -1462,6 +1621,7 @@ mod tests {
                 deadline_ms: None,
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
+                mmap: MapPolicy::Auto,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1531,6 +1691,7 @@ mod tests {
                     deadline_ms: None,
                     max_inflight: None,
                     telemetry: TelemetryConfig::default(),
+                    mmap: MapPolicy::Auto,
                 };
                 assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "1\n1\n0\n");
                 assert_eq!(
@@ -1562,6 +1723,7 @@ mod tests {
                 deadline_ms: None,
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
+                mmap: MapPolicy::Auto,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1591,6 +1753,7 @@ mod tests {
                 deadline_ms: None,
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
+                mmap: MapPolicy::Auto,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1628,6 +1791,7 @@ mod tests {
             deadline_ms: None,
             max_inflight: None,
             telemetry: TelemetryConfig::default(),
+            mmap: MapPolicy::Auto,
         };
         let mut out = Vec::new();
         let mut err = Vec::new();
@@ -1671,11 +1835,12 @@ mod tests {
                 deadline_ms: None,
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
+                mmap: MapPolicy::Auto,
             };
             let mut err = Vec::new();
             run(&inv(false), &mut Vec::new(), &mut err).unwrap();
             let plain = String::from_utf8(err).unwrap();
-            assert!(plain.starts_with("{\"schema_version\":2,"), "{plain}");
+            assert!(plain.starts_with("{\"schema_version\":3,"), "{plain}");
             assert!(!plain.contains("\"profile\""), "{plain}");
 
             let mut err = Vec::new();
@@ -1683,7 +1848,7 @@ mod tests {
             let profiled = String::from_utf8(err).unwrap();
             assert_eq!(profiled.lines().count(), 1, "{profiled}");
             for key in [
-                "\"schema_version\":2,",
+                "\"schema_version\":3,",
                 "\"profile\":{",
                 "\"bytes_skipped\":{",
                 "\"skip_rate_pct\":",
@@ -1696,7 +1861,7 @@ mod tests {
             // the profiled line still carries the identical stats body.
             let stats_body = plain
                 .trim_end()
-                .strip_prefix("{\"schema_version\":2,")
+                .strip_prefix("{\"schema_version\":3,")
                 .unwrap()
                 .strip_suffix('}')
                 .unwrap();
@@ -1721,6 +1886,7 @@ mod tests {
                 deadline_ms: None,
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
+                mmap: MapPolicy::Auto,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1751,6 +1917,7 @@ mod tests {
                 deadline_ms: None,
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
+                mmap: MapPolicy::Auto,
             };
             let mut err = Vec::new();
             run(&inv, &mut Vec::new(), &mut err).unwrap();
@@ -1779,13 +1946,14 @@ mod tests {
                 deadline_ms: None,
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
+                mmap: MapPolicy::Auto,
             };
             let mut err = Vec::new();
             run(&inv(Some(StatsFormat::Json)), &mut Vec::new(), &mut err).unwrap();
             let json = String::from_utf8(err).unwrap();
             assert_eq!(json.lines().count(), 1, "{json}");
             for key in [
-                "\"schema_version\":2,",
+                "\"schema_version\":3,",
                 "\"batch\":{",
                 "\"cache_hit_ratio\":",
                 "\"profile\":{",
@@ -1820,6 +1988,7 @@ mod tests {
             deadline_ms: None,
             max_inflight: None,
             telemetry: TelemetryConfig::default(),
+            mmap: MapPolicy::Auto,
         };
         let out = run_to_string(&inv).unwrap();
         assert!(out.starts_with("digraph"));
@@ -1934,6 +2103,7 @@ mod tests {
             deadline_ms: None,
             max_inflight: None,
             telemetry: TelemetryConfig::default(),
+            mmap: MapPolicy::Auto,
         }
     }
 

@@ -1,0 +1,53 @@
+//! The `RSQ_ROUTE` environment override (DESIGN.md §15): parity and
+//! ablation harnesses force the general main loop across whole CLI
+//! invocations without threading a flag through every script.
+//!
+//! Environment variables are process-global, so everything lives in one
+//! test function — this file is its own test binary and the mutations
+//! cannot race the unit tests in `src/lib.rs`.
+
+use rsq_cli::Invocation;
+use rsq_engine::RouteChoice;
+
+fn parse(args: &[&str]) -> Result<Invocation, String> {
+    let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+    Invocation::parse(&owned)
+}
+
+#[test]
+fn rsq_route_env_forces_the_general_route() {
+    // No override: the default routes automatically.
+    std::env::remove_var("RSQ_ROUTE");
+    assert_eq!(
+        parse(&["$.a.b"]).unwrap().options.route,
+        RouteChoice::Auto,
+        "no env → Auto"
+    );
+
+    std::env::set_var("RSQ_ROUTE", "general");
+    assert_eq!(
+        parse(&["$.a.b"]).unwrap().options.route,
+        RouteChoice::General,
+        "RSQ_ROUTE=general forces the main loop"
+    );
+    // The override flows into batch invocations too (that is the point:
+    // ci.sh diffs whole catalog runs under it).
+    assert_eq!(
+        parse(&["--batch-ndjson", "docs.ndjson", "$.a.b"])
+            .unwrap()
+            .options
+            .route,
+        RouteChoice::General
+    );
+
+    std::env::set_var("RSQ_ROUTE", "auto");
+    assert_eq!(parse(&["$.a.b"]).unwrap().options.route, RouteChoice::Auto);
+
+    // A typo fails fast instead of silently auto-routing (mirrors
+    // RSQ_BACKEND).
+    std::env::set_var("RSQ_ROUTE", "fastest");
+    let err = parse(&["$.a.b"]).unwrap_err();
+    assert!(err.contains("RSQ_ROUTE"), "{err}");
+
+    std::env::remove_var("RSQ_ROUTE");
+}

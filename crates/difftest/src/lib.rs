@@ -23,7 +23,7 @@
 pub mod oracle;
 
 use rsq_classify::{Structural, StructuralIterator};
-use rsq_engine::{Engine, EngineOptions, PositionsSink, RunError};
+use rsq_engine::{Engine, EngineOptions, PositionsSink, Route, RouteChoice, RunError};
 use rsq_simd::{
     BackendKind, ByteClassifier, ByteSet, QuoteState, Simd, Superblock, BLOCK_SIZE, SUPERBLOCK_SIZE,
 };
@@ -79,17 +79,23 @@ pub enum Target {
     /// one-shot `split_ndjson` (covers quote/escape state carried across
     /// chunk boundaries and the oversize-line cap).
     Framer,
+    /// The fast-path route (DESIGN.md §15) vs the forced general main
+    /// loop: routed field-chain and selective queries must report
+    /// identical positions on every backend, and on valid JSON the two
+    /// routes must agree bit-for-bit.
+    FastPathRoute,
 }
 
 impl Target {
     /// All targets, in the order they are smoke-tested.
-    pub const ALL: [Target; 6] = [
+    pub const ALL: [Target; 7] = [
         Target::Classifier,
         Target::Quotes,
         Target::Depth,
         Target::Engine,
         Target::Reader,
         Target::Framer,
+        Target::FastPathRoute,
     ];
 
     /// The target's name: fuzz-target binary and corpus directory name.
@@ -102,6 +108,7 @@ impl Target {
             Target::Engine => "engine_diff",
             Target::Reader => "reader_diff",
             Target::Framer => "framer_diff",
+            Target::FastPathRoute => "fast_path_diff",
         }
     }
 
@@ -118,6 +125,7 @@ impl Target {
             Target::Engine => check_engine(input),
             Target::Reader => check_reader(input),
             Target::Framer => check_framer(input),
+            Target::FastPathRoute => check_fast_path(input),
         }
     }
 }
@@ -596,6 +604,97 @@ pub fn check_engine(input: &[u8]) -> Result<(), Mismatch> {
                     input,
                     format!(
                         "query {query_text}: engine positions {positions:?} != reference {want:?}",
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The query battery the fast-path route target runs: field chains and
+/// selective (wildcard-mixed) shapes over the labels [`random_json`]
+/// emits, so the compile-time router (DESIGN.md §15) sends them to the
+/// fast-path walker, plus one descendant query that must route general
+/// (a degenerate lane: both sides run the same loop, the comparison is
+/// then a self-check).
+#[must_use]
+pub fn fast_path_queries() -> &'static [&'static str] {
+    &[
+        "$.a.b", "$.a.b.c", "$.a", "$.dd.b.a", "$.*.b", "$.a.*.c", "$..a",
+    ]
+}
+
+/// Differentially checks the fast-path route (DESIGN.md §15) against the
+/// forced general main loop: for every query in [`fast_path_queries`]
+/// and every backend, the auto-routed engine and a `RouteChoice::General`
+/// engine run the same input.
+///
+/// Two contracts, in increasing strength:
+///
+/// * **Cross-backend**: the auto-routed result (positions or error) must
+///   be identical on every backend, on *any* input — including malformed
+///   bytes.
+/// * **Cross-route**: when the input parses as JSON, the fast path must
+///   agree bit-for-bit with the general loop. Malformed inputs are
+///   exempt from this half only: each route's skipping techniques follow
+///   their own documented best-effort convention on broken structure
+///   (same caveat as sibling skipping vs the DOM reference, DESIGN.md
+///   §9), while valid documents admit no such freedom.
+///
+/// # Errors
+///
+/// Returns the first [`Mismatch`] found.
+pub fn check_fast_path(input: &[u8]) -> Result<(), Mismatch> {
+    let valid_json = rsq_json::parse(input).is_ok();
+    for query_text in fast_path_queries() {
+        let query = rsq_query::Query::parse(query_text).expect("battery queries parse");
+        let mut first_fast: Option<(BackendKind, String)> = None;
+        for simd in backends() {
+            let auto = EngineOptions {
+                backend: Some(simd.kind()),
+                ..EngineOptions::default()
+            };
+            let fast = Engine::with_options(&query, auto).expect("battery queries compile");
+            let fast_result = fast.try_positions(input);
+            let rendered = format!("{fast_result:?}");
+            match &first_fast {
+                None => first_fast = Some((simd.kind(), rendered.clone())),
+                Some((first_kind, first)) if *first != rendered => {
+                    return Err(mismatch(
+                        "fast_path",
+                        input,
+                        format!(
+                            "query {query_text}: routed engine disagrees across backends: \
+                             {first_kind} got {first}, {} got {rendered}",
+                            simd.kind()
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+            if !valid_json {
+                continue;
+            }
+            let general = Engine::with_options(
+                &query,
+                EngineOptions {
+                    route: RouteChoice::General,
+                    ..auto
+                },
+            )
+            .expect("battery queries compile");
+            debug_assert_eq!(general.route(), Route::General);
+            let general_result = general.try_positions(input);
+            if format!("{general_result:?}") != rendered {
+                return Err(mismatch(
+                    "fast_path",
+                    input,
+                    format!(
+                        "query {query_text} backend {}: route {} got {rendered}, \
+                         forced general got {general_result:?}",
+                        simd.kind(),
+                        fast.route(),
                     ),
                 ));
             }

@@ -62,6 +62,7 @@
 
 mod depth_stack;
 mod error;
+mod fast_path;
 mod head_start;
 mod input;
 mod main_loop;
@@ -79,7 +80,11 @@ pub use rsq_classify::{ValidationError, ValidationErrorKind};
 
 // Tier A observability: run statistics and the recorder abstraction, from
 // the dependency-free `rsq-obs` crate (see `try_run_with_stats`).
-pub use rsq_obs::{BlockStats, ClassifierCounters, NoStats, Recorder, RunStats, SkipStats};
+pub use rsq_obs::{BlockStats, ClassifierCounters, NoStats, Recorder, Route, RunStats, SkipStats};
+
+// Compile-time query-shape routing (DESIGN.md §15): the plan the engine
+// derives at compile time and executes on the fast path.
+pub use rsq_query::{PlanStep, RoutePlan};
 
 // Tier C observability: the profiling layer — byte-span accounting, stage
 // timers, latency histograms, and the document skip map (see
@@ -94,6 +99,19 @@ use rsq_query::{Automaton, CompileError, Query, QueryParseError};
 use rsq_simd::Simd;
 use std::fmt;
 use std::io::Read;
+
+/// How the engine picks its evaluation strategy for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RouteChoice {
+    /// Route eligible query shapes to the fast-path walker; everything
+    /// else (and every ineligible option combination) runs the general
+    /// main loop. The routes produce byte-identical results.
+    #[default]
+    Auto,
+    /// Always run the general main loop — the ablation and parity
+    /// baseline (`RSQ_ROUTE=general` in the CLI).
+    General,
+}
 
 /// Tuning knobs for the engine.
 ///
@@ -162,6 +180,11 @@ pub struct EngineOptions {
     /// before aborting with [`RunError::LimitExceeded`] (`None` =
     /// unlimited).
     pub max_matches: Option<u64>,
+    /// Evaluation-route selection (DESIGN.md §15). The default `Auto`
+    /// routes field-chain and selective query shapes to the `memmem`-led
+    /// fast-path walker when every skipping technique its parity
+    /// argument relies on is enabled; `General` forces the main loop.
+    pub route: RouteChoice,
 }
 
 impl EngineOptions {
@@ -185,6 +208,7 @@ impl Default for EngineOptions {
             max_document_bytes: None,
             max_label_bytes: None,
             max_matches: None,
+            route: RouteChoice::Auto,
         }
     }
 }
@@ -238,6 +262,7 @@ impl From<CompileError> for EngineError {
 #[derive(Clone, Debug)]
 pub struct Engine {
     automaton: Automaton,
+    plan: RoutePlan,
     options: EngineOptions,
     simd: Simd,
 }
@@ -271,12 +296,14 @@ impl Engine {
     /// cap.
     pub fn with_options(query: &Query, options: EngineOptions) -> Result<Self, CompileError> {
         let automaton = Automaton::compile(query)?;
+        let plan = RoutePlan::analyze(&automaton);
         let simd = match options.backend {
             Some(kind) => Simd::with_kind(kind),
             None => Simd::detect(),
         };
         Ok(Engine {
             automaton,
+            plan,
             options,
             simd,
         })
@@ -286,6 +313,45 @@ impl Engine {
     #[must_use]
     pub fn automaton(&self) -> &Automaton {
         &self.automaton
+    }
+
+    /// The fast-path plan derived from the automaton at compile time
+    /// (DESIGN.md §15). Its [`RoutePlan::route`] labels the query shape;
+    /// whether a run actually takes the fast path additionally depends
+    /// on the options — see [`Engine::route`].
+    #[must_use]
+    pub fn plan(&self) -> &RoutePlan {
+        &self.plan
+    }
+
+    /// The evaluation route runs of this engine take: the plan's route
+    /// when the fast path is eligible under the configured options,
+    /// [`Route::General`] otherwise.
+    #[must_use]
+    pub fn route(&self) -> Route {
+        if self.fast_path_eligible() {
+            self.plan.route
+        } else {
+            Route::General
+        }
+    }
+
+    /// Whether runs are dispatched to the fast-path walker: the plan
+    /// must route away from the general loop, routing must not be
+    /// forced off, and every technique the walker's parity argument
+    /// relies on must be enabled (the walker *is* those skips, fused;
+    /// ablating any of them must ablate the walker too). Label-length
+    /// limits fall back as well: the walker never examines labels, so
+    /// it could not enforce them.
+    fn fast_path_eligible(&self) -> bool {
+        self.plan.is_fast()
+            && self.options.route == RouteChoice::Auto
+            && self.options.skip_leaves
+            && self.options.skip_children
+            && self.options.skip_siblings
+            && self.options.label_seek
+            && self.options.sparse_stack
+            && self.options.max_label_bytes.is_none()
     }
 
     /// The options this engine runs with.
@@ -648,6 +714,23 @@ impl Engine {
     ) -> Result<(), Interrupt> {
         let _span = rsq_obs::span!(Dispatch);
         let initial = self.automaton.initial_state();
+        if self.fast_path_eligible() {
+            // Compile-time routing (DESIGN.md §15): the query shape is a
+            // field chain or selective path — drive it with memmem-led
+            // direct seeks. Mutually exclusive with the head start by
+            // construction (a waiting initial state is never a plan
+            // step: its fallback loops instead of rejecting).
+            rec.route(self.plan.route);
+            return fast_path::run_fast_path(
+                &self.automaton,
+                &self.plan,
+                &self.options,
+                self.simd,
+                input,
+                sink,
+                rec,
+            );
+        }
         if self.options.head_start && self.automaton.is_waiting(initial) {
             // A waiting state has exactly one label transition; resolve it
             // here so `run_head_start` needs no panicking lookup. If the

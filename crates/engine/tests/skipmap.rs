@@ -167,14 +167,18 @@ fn skip_map_never_conflicts_with_consumed_events_across_backends() {
                     );
                 }
 
-                // Property 2: classified blocks + memmem-elided bytes
-                // account for the padded document, ± two blocks per
-                // resume handoff (entry and exit boundary blocks).
+                // Property 2: classified blocks + never-classified
+                // elisions (memmem inter-candidate gaps, fast-path route
+                // exhaustion) account for the padded document, ± two
+                // blocks per resume handoff (entry and exit boundary
+                // blocks).
                 let covered = (profile.stats.blocks.structural
                     + profile.stats.blocks.depth
                     + profile.stats.blocks.seek)
                     * 64;
-                let accounted = covered + profile.bytes_skipped.get(SkipTechnique::Memmem);
+                let accounted = covered
+                    + profile.bytes_skipped.get(SkipTechnique::Memmem)
+                    + profile.bytes_skipped.get(SkipTechnique::Exit);
                 let padded = (input.len() as u64).div_ceil(64) * 64;
                 let slack = 64 * (2 * profile.stats.resume_handoffs + 1);
                 assert!(

@@ -58,9 +58,15 @@ fn head_start_stats_count_jumps_declines_and_handoffs() {
 
 #[test]
 fn main_loop_stats_count_skips_and_depth() {
-    // Disable the head start so `$.store.book.price` style queries drive
-    // the main loop over the whole document.
-    let engine = engine("$.store.book.price", EngineOptions::default());
+    // Force the general route so `$.store.book.price` drives the main
+    // loop over the whole document instead of the fast-path walker.
+    let engine = engine(
+        "$.store.book.price",
+        EngineOptions {
+            route: rsq_engine::RouteChoice::General,
+            ..EngineOptions::default()
+        },
+    );
     let (positions, stats) = positions_with_stats(&engine, RICH);
     assert_eq!(positions.len(), 1);
     // The `decoy` subtree enters on a rejecting transition.
@@ -72,6 +78,56 @@ fn main_loop_stats_count_skips_and_depth() {
     assert!(stats.events > 0);
     assert!(stats.max_depth >= 3, "max depth {}", stats.max_depth);
     assert!(stats.blocks.structural > 0);
+}
+
+#[test]
+fn fast_path_stats_report_route_and_memmem_counters() {
+    use rsq_engine::{Route, RouteChoice};
+
+    // A field chain routes to the fast-path walker: the route is
+    // reported and the direct seeks surface as memmem jumps/declines —
+    // previously always zero for non-descendant queries.
+    let fast = engine("$.store.book.price", EngineOptions::default());
+    assert_eq!(fast.route(), Route::FieldChain);
+    let (positions, stats) = positions_with_stats(&fast, RICH);
+    assert_eq!(positions.len(), 1);
+    assert_eq!(stats.route, Route::FieldChain);
+    assert!(stats.memmem_jumps > 0, "direct seeks count as jumps");
+    // The `"price"` string *value* under `note` sits outside the sought
+    // containers, so it is never even a candidate here; declines are
+    // exercised by the quote/escape proptests instead.
+    assert!(stats.skips.label > 0, "each seek is a label engagement");
+    // No sibling skips here: once the single match is recorded every
+    // frame is waiting out its container, and the walker stops instead
+    // of fast-forwarding to each closing brace (the `exit` elision).
+    assert_eq!(stats.skips.sibling, 0, "early exit preempts sibling skips");
+
+    // Forcing the general route must not change the positions, and the
+    // stats must say so.
+    let general = engine(
+        "$.store.book.price",
+        EngineOptions {
+            route: RouteChoice::General,
+            ..EngineOptions::default()
+        },
+    );
+    assert_eq!(general.route(), Route::General);
+    let (gen_positions, gen_stats) = positions_with_stats(&general, RICH);
+    assert_eq!(gen_positions, positions);
+    assert_eq!(gen_stats.route, Route::General);
+
+    // A selective shape reports its own route.
+    let selective = engine("$.store.*.price", EngineOptions::default());
+    assert_eq!(selective.route(), Route::Selective);
+    let (sel_positions, sel_stats) = positions_with_stats(&selective, RICH);
+    assert_eq!(sel_stats.route, Route::Selective);
+    assert_eq!(sel_positions.len(), 2);
+
+    // Descendant queries keep the head start; their route stays general.
+    let descendant = engine("$..price", EngineOptions::default());
+    assert_eq!(descendant.route(), Route::General);
+    let (_, desc_stats) = positions_with_stats(&descendant, RICH);
+    assert_eq!(desc_stats.route, Route::General);
 }
 
 #[test]

@@ -38,7 +38,7 @@ mod serialize;
 mod stats;
 mod strings;
 
-pub use extract::node_text;
+pub use extract::{node_span, node_text};
 pub use parser::{parse, parse_with_options, ParseError, ParseOptions};
 pub use serialize::{to_string, to_string_pretty};
 pub use stats::{document_stats, DocumentStats};

@@ -1,0 +1,422 @@
+//! Zero-copy input for rsq: read-only, private memory maps (DESIGN.md §15).
+//!
+//! The engine consumes plain `&[u8]`; for large inputs the dominant
+//! startup cost is copying the file through a read loop into a heap
+//! buffer. Mapping the file instead hands the engine the page cache
+//! directly — no copy, no allocation proportional to the input — which
+//! is worth a double-digit percentage of end-to-end latency on cold
+//! multi-hundred-megabyte runs and makes `--batch-dir` ingestion
+//! allocation-free.
+//!
+//! This is one of the three audited kernel crates (with `rsq-simd` and
+//! `rsq-stackvec`): the workspace-wide `unsafe_code = "forbid"` is lifted
+//! here and every unsafe block carries its proof obligation next to the
+//! code, checked by `cargo xtask audit`. The unsafe surface is
+//! deliberately tiny: two raw syscalls (`mmap`, `munmap` — issued via
+//! `asm!` so the workspace keeps its no-external-dependency rule; there
+//! is no libc) and one `slice::from_raw_parts` over the mapped region.
+//!
+//! Mapping is attempted only on `x86_64`-Linux; everywhere else — and on
+//! any syscall failure, empty files, or unstatable paths — [`load`]
+//! falls back to `std::fs::read`, so callers never observe a behavioral
+//! difference, only a performance one.
+//!
+//! # The one sharp edge
+//!
+//! A file-backed mapping is a window onto the file *as it changes*. If
+//! another process truncates the file while we read the tail, the load
+//! faults (`SIGBUS`) instead of returning short data. This is inherent
+//! to `mmap` (every mapping-based reader shares it) and is why the CLI
+//! exposes `--mmap off`. The safety argument for the `unsafe` blocks
+//! below covers memory safety of the mapping itself — pointer validity,
+//! length, lifetime — not concurrent-truncation signals, which are a
+//! process-level liveness hazard, not UB.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+/// File-size threshold for [`MapPolicy::Auto`]: mapping has a fixed
+/// syscall + page-table cost, so tiny files are cheaper to read into a
+/// buffer. 1 MiB keeps every catalog dataset on the mapped path while
+/// unit-test fixtures stay buffered.
+pub const AUTO_THRESHOLD: u64 = 1 << 20;
+
+/// How [`load`] decides between mapping and buffered reading; mirrors
+/// the CLI's `--mmap auto|on|off` flag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MapPolicy {
+    /// Map files of at least [`AUTO_THRESHOLD`] bytes, read smaller ones.
+    #[default]
+    Auto,
+    /// Always attempt to map (still falls back on unsupported targets
+    /// or syscall failure — `On` is a preference, not a guarantee).
+    On,
+    /// Never map; plain `std::fs::read`.
+    Off,
+}
+
+impl MapPolicy {
+    /// Parses a CLI flag value. Returns `None` for anything but
+    /// `auto`, `on`, or `off`.
+    pub fn parse(text: &str) -> Option<MapPolicy> {
+        match text {
+            "auto" => Some(MapPolicy::Auto),
+            "on" => Some(MapPolicy::On),
+            "off" => Some(MapPolicy::Off),
+            _ => None,
+        }
+    }
+}
+
+/// An input document: either a private read-only mapping of a file or
+/// an owned heap buffer. Both deref to `&[u8]`, so engines and sinks
+/// never care which they got.
+pub struct MmapInput {
+    repr: Repr,
+}
+
+enum Repr {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Mapped(Mapping),
+    Buffered(Vec<u8>),
+}
+
+impl MmapInput {
+    /// Wraps an already-materialized buffer (stdin, tests, network).
+    pub fn from_vec(bytes: Vec<u8>) -> MmapInput {
+        MmapInput {
+            repr: Repr::Buffered(bytes),
+        }
+    }
+
+    /// True when the bytes live in a mapping rather than a heap buffer.
+    /// Observability only — behavior is identical either way.
+    pub fn is_mapped(&self) -> bool {
+        match self.repr {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Repr::Mapped(_) => true,
+            Repr::Buffered(_) => false,
+        }
+    }
+
+    /// The input bytes, however they are backed.
+    pub fn as_bytes(&self) -> &[u8] {
+        match &self.repr {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Repr::Mapped(mapping) => mapping.as_slice(),
+            Repr::Buffered(bytes) => bytes,
+        }
+    }
+}
+
+impl Deref for MmapInput {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl AsRef<[u8]> for MmapInput {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+/// Loads `path` under `policy`. Mapping failures of any kind degrade to
+/// a buffered read; only the buffered read's own I/O errors surface.
+pub fn load(path: &Path, policy: MapPolicy) -> io::Result<MmapInput> {
+    if let Some(input) = map(path, policy) {
+        return Ok(input);
+    }
+    Ok(MmapInput::from_vec(std::fs::read(path)?))
+}
+
+/// Attempts *only* the mapping half of [`load`]: `None` when the policy,
+/// target, file size, or kernel declines. For callers with their own
+/// buffered path (the CLI's hardened chunked reader) that must stay
+/// byte-for-byte identical when no mapping happens.
+pub fn map(path: &Path, policy: MapPolicy) -> Option<MmapInput> {
+    if policy == MapPolicy::Off {
+        return None;
+    }
+    try_map(path, policy)
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn try_map(path: &Path, policy: MapPolicy) -> Option<MmapInput> {
+    let file = File::open(path).ok()?;
+    let len = file.metadata().ok()?.len();
+    // Empty files cannot be mapped (`mmap` rejects length 0) and
+    // sub-threshold files are not worth the page-table setup under Auto.
+    if len == 0 || (policy == MapPolicy::Auto && len < AUTO_THRESHOLD) {
+        return None;
+    }
+    let mapping = Mapping::of_file(&file, len as usize)?;
+    Some(MmapInput {
+        repr: Repr::Mapped(mapping),
+    })
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn try_map(_path: &Path, _policy: MapPolicy) -> Option<MmapInput> {
+    None
+}
+
+/// A live `PROT_READ`/`MAP_PRIVATE` mapping. Constructing one is the
+/// only way to obtain a non-null `ptr`; `Drop` unmaps exactly once.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+struct Mapping {
+    /// Page-aligned base returned by a successful `mmap`; never null,
+    /// valid for `len` bytes until `Drop` runs.
+    ptr: *const u8,
+    /// Exact file length at map time (the kernel rounds the mapping up
+    /// to a page internally; we only ever expose `len` bytes).
+    len: usize,
+}
+
+// SAFETY: the mapping is PROT_READ and MAP_PRIVATE — no thread can write
+// through it, and we hand out only `&[u8]`. Ownership of the region is
+// unique to this value (the pointer is never cloned out), so moving it
+// across threads or sharing shared references is as safe as for a
+// `Vec<u8>`.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe impl Send for Mapping {}
+
+// SAFETY: see the `Send` impl above — read-only region, shared access
+// only through `&[u8]`.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe impl Sync for Mapping {}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+impl Mapping {
+    /// Maps the first `len` bytes of `file` read-only, or `None` if the
+    /// kernel refuses (exotic filesystems, `RLIMIT_AS`, …).
+    fn of_file(file: &File, len: usize) -> Option<Mapping> {
+        use std::os::unix::io::AsRawFd;
+        debug_assert!(len > 0, "caller filters empty files");
+        // SAFETY: `fd` is a valid open read-only descriptor for the
+        // duration of the call (we hold `&File`), `len > 0`, and the
+        // request is PROT_READ + MAP_PRIVATE at offset 0 — the kernel
+        // either returns a fresh region valid for `len` bytes or an
+        // error, which `sys::mmap` reports as `Err`.
+        let ptr = unsafe { sys::mmap(len, file.as_raw_fd()) }.ok()?;
+        Some(Mapping { ptr, len })
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: `ptr` came from a successful `mmap` of at least `len`
+        // readable bytes and stays mapped until `Drop` (which takes
+        // `&mut self`, so no `&[u8]` borrow can outlive it); `len` is
+        // the exact mapped length, well under `isize::MAX`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        // SAFETY: `(ptr, len)` is exactly what `mmap` returned in
+        // `of_file` and has not been unmapped — `Drop` runs once and no
+        // other code path calls `munmap`. After this line the struct is
+        // gone, so the dangling `ptr` is never read.
+        unsafe { sys::munmap(self.ptr, self.len) };
+    }
+}
+
+/// Raw x86_64-Linux syscalls. No libc: the workspace builds offline
+/// with zero external crates, so the two calls we need are issued
+/// directly via the `syscall` instruction per the kernel ABI (args in
+/// rdi/rsi/rdx/r10/r8/r9, number in rax, result in rax, rcx/r11
+/// clobbered; errors are returned as `-errno` in `-4095..=-1`).
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use std::arch::asm;
+
+    const SYS_MMAP: usize = 9;
+    const SYS_MUNMAP: usize = 11;
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// Largest `-errno` the kernel returns; anything in
+    /// `-4095..=-1` is an error code, anything else a valid address.
+    const ERRNO_MAX: isize = 4095;
+
+    /// `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)`.
+    ///
+    /// # Safety
+    ///
+    /// `fd` must be an open, readable file descriptor and `len` must be
+    /// non-zero. On `Ok`, the returned pointer is page-aligned and valid
+    /// for `len` read-only bytes until passed to [`munmap`]; the caller
+    /// owns the region and must unmap it exactly once.
+    pub(crate) unsafe fn mmap(len: usize, fd: i32) -> Result<*const u8, i32> {
+        let ret: isize;
+        // SAFETY: a read-only, private, kernel-chosen-address mapping
+        // request touches no existing memory of this process; the asm
+        // matches the syscall ABI exactly (six args, rcx/r11 declared
+        // clobbered) and the preconditions on `fd`/`len` are the
+        // caller's contract above.
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") SYS_MMAP as isize => ret,
+                in("rdi") 0usize,
+                in("rsi") len,
+                in("rdx") PROT_READ,
+                in("r10") MAP_PRIVATE,
+                in("r8") fd as isize,
+                in("r9") 0usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        if (-ERRNO_MAX..0).contains(&ret) {
+            Err(-ret as i32)
+        } else {
+            Ok(ret as *const u8)
+        }
+    }
+
+    /// `munmap(ptr, len)`.
+    ///
+    /// # Safety
+    ///
+    /// `(ptr, len)` must be exactly a region returned by [`mmap`] that
+    /// has not been unmapped yet; no reference into the region may be
+    /// used afterwards.
+    pub(crate) unsafe fn munmap(ptr: *const u8, len: usize) {
+        let _ret: isize;
+        // SAFETY: per this function's contract the region is a live
+        // mapping we own, so removing it invalidates no reachable
+        // reference; asm per the syscall ABI as in `mmap` above. The
+        // result is ignored — on a valid region munmap cannot fail,
+        // and in `Drop` there is nothing to do about it anyway.
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") SYS_MUNMAP as isize => _ret,
+                in("rdi") ptr,
+                in("rsi") len,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A unique temp file that cleans up on drop; no tempfile crate in
+    /// the offline workspace.
+    struct TempFile(PathBuf);
+
+    impl TempFile {
+        fn with_bytes(bytes: &[u8]) -> TempFile {
+            static COUNTER: AtomicUsize = AtomicUsize::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "rsq-mmap-test-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            let mut file = File::create(&path).expect("create temp file");
+            file.write_all(bytes).expect("write temp file");
+            TempFile(path)
+        }
+    }
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn forced_map_matches_buffered_read() {
+        let content: Vec<u8> = (0..100_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let tmp = TempFile::with_bytes(&content);
+        let mapped = load(&tmp.0, MapPolicy::On).expect("load mapped");
+        let buffered = load(&tmp.0, MapPolicy::Off).expect("load buffered");
+        assert_eq!(&*mapped, &content[..]);
+        assert_eq!(&*buffered, &content[..]);
+        assert!(!buffered.is_mapped());
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(mapped.is_mapped(), "On maps on the supported target");
+    }
+
+    #[test]
+    fn auto_policy_buffers_small_and_maps_large() {
+        let small = TempFile::with_bytes(b"{\"a\": 1}");
+        let loaded = load(&small.0, MapPolicy::Auto).expect("load small");
+        assert_eq!(&*loaded, b"{\"a\": 1}");
+        assert!(!loaded.is_mapped(), "below AUTO_THRESHOLD stays buffered");
+
+        let big_bytes = vec![b'x'; AUTO_THRESHOLD as usize + 1];
+        let big = TempFile::with_bytes(&big_bytes);
+        let loaded = load(&big.0, MapPolicy::Auto).expect("load large");
+        assert_eq!(loaded.len(), big_bytes.len());
+        assert_eq!(&*loaded, &big_bytes[..]);
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(loaded.is_mapped(), "at threshold Auto maps");
+    }
+
+    #[test]
+    fn empty_file_degrades_to_buffered() {
+        let tmp = TempFile::with_bytes(b"");
+        let loaded = load(&tmp.0, MapPolicy::On).expect("load empty");
+        assert!(loaded.is_empty());
+        assert!(!loaded.is_mapped(), "zero-length files cannot be mapped");
+    }
+
+    #[test]
+    fn missing_file_reports_the_read_error() {
+        let path = std::env::temp_dir().join("rsq-mmap-test-definitely-missing");
+        assert!(load(&path, MapPolicy::On).is_err());
+        assert!(load(&path, MapPolicy::Off).is_err());
+    }
+
+    #[test]
+    fn many_mappings_map_and_unmap_cleanly() {
+        let content = vec![b'y'; 200_000];
+        let tmp = TempFile::with_bytes(&content);
+        for _ in 0..64 {
+            let loaded = load(&tmp.0, MapPolicy::On).expect("load");
+            assert_eq!(loaded.len(), content.len());
+            assert_eq!(loaded[0], b'y');
+            assert_eq!(loaded[content.len() - 1], b'y');
+        }
+    }
+
+    #[test]
+    fn from_vec_and_policy_parse() {
+        let input = MmapInput::from_vec(b"[1,2,3]".to_vec());
+        assert_eq!(input.as_ref(), b"[1,2,3]");
+        assert!(!input.is_mapped());
+        assert_eq!(MapPolicy::parse("auto"), Some(MapPolicy::Auto));
+        assert_eq!(MapPolicy::parse("on"), Some(MapPolicy::On));
+        assert_eq!(MapPolicy::parse("off"), Some(MapPolicy::Off));
+        assert_eq!(MapPolicy::parse("maybe"), None);
+        assert_eq!(MapPolicy::default(), MapPolicy::Auto);
+    }
+
+    /// Mapped input must be consumable from another thread (the batch
+    /// layer fans documents out to workers).
+    #[test]
+    fn mapped_input_crosses_threads() {
+        let content = vec![b'z'; 150_000];
+        let tmp = TempFile::with_bytes(&content);
+        let loaded = load(&tmp.0, MapPolicy::On).expect("load");
+        let handle = std::thread::spawn(move || loaded.iter().map(|&b| b as u64).sum::<u64>());
+        let sum = handle.join().expect("thread joins");
+        assert_eq!(sum, content.len() as u64 * u64::from(b'z'));
+    }
+}

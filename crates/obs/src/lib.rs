@@ -69,7 +69,7 @@ pub use profile::{
 pub use serve::{prometheus_serve, ServeCounters};
 pub use skipmap::{SkipMap, SkipTechnique};
 pub use span::{DocSpan, SpanRecord, Stopwatch};
-pub use stats::{BlockStats, ClassifierCounters, NoStats, Recorder, RunStats, SkipStats};
+pub use stats::{BlockStats, ClassifierCounters, NoStats, Recorder, Route, RunStats, SkipStats};
 pub use window::{prometheus_telemetry, TelemetryGauges, WindowRing, WindowSnapshot};
 
 #[cfg(feature = "obs-trace")]

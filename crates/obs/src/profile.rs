@@ -38,7 +38,10 @@ use std::time::Instant;
 /// the CLI (`--stats-json`) and `experiments --json`. Bumped when fields
 /// change meaning or required fields are added; consumers such as
 /// `xtask bench-diff` reject reports with a different version.
-pub const STATS_SCHEMA_VERSION: u64 = 2;
+///
+/// Version 3 added the `route` field to [`RunStats`] (the query-shape
+/// route chosen at compile time, DESIGN.md §15).
+pub const STATS_SCHEMA_VERSION: u64 = 3;
 
 /// A pipeline stage bracketed by [`Recorder::clock`] /
 /// [`Recorder::stage_ns`].
@@ -166,6 +169,9 @@ pub struct SkipBytes {
     pub label: u64,
     /// Bytes between head-start sub-runs never structurally classified.
     pub memmem: u64,
+    /// Bytes after a fast-path route exhaustion, never classified
+    /// (DESIGN.md §15).
+    pub exit: u64,
 }
 
 impl SkipBytes {
@@ -178,6 +184,7 @@ impl SkipBytes {
             SkipTechnique::Sibling => self.sibling,
             SkipTechnique::Label => self.label,
             SkipTechnique::Memmem => self.memmem,
+            SkipTechnique::Exit => self.exit,
         }
     }
 
@@ -189,6 +196,7 @@ impl SkipBytes {
             .saturating_add(self.sibling)
             .saturating_add(self.label)
             .saturating_add(self.memmem)
+            .saturating_add(self.exit)
     }
 
     /// Serializes as a single-line JSON object keyed by technique name,
@@ -212,6 +220,7 @@ impl AddAssign for SkipBytes {
         self.sibling = self.sibling.saturating_add(rhs.sibling);
         self.label = self.label.saturating_add(rhs.label);
         self.memmem = self.memmem.saturating_add(rhs.memmem);
+        self.exit = self.exit.saturating_add(rhs.exit);
     }
 }
 
@@ -395,6 +404,11 @@ impl Recorder for ProfileStats {
     }
 
     #[inline]
+    fn route(&mut self, route: crate::Route) {
+        self.stats.route(route);
+    }
+
+    #[inline]
     fn resume_handoff(&mut self) {
         self.stats.resume_handoff();
     }
@@ -429,6 +443,7 @@ impl Recorder for ProfileStats {
                 SkipTechnique::Sibling => &mut self.bytes_skipped.sibling,
                 SkipTechnique::Label => &mut self.bytes_skipped.label,
                 SkipTechnique::Memmem => &mut self.bytes_skipped.memmem,
+                SkipTechnique::Exit => &mut self.bytes_skipped.exit,
             };
             *slot = slot.saturating_add(bytes);
             if let Some(map) = &mut self.map {
@@ -519,13 +534,14 @@ impl fmt::Display for BatchProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "bytes skipped      {} total (leaf {}, child {}, sibling {}, label {}, memmem {})",
+            "bytes skipped      {} total (leaf {}, child {}, sibling {}, label {}, memmem {}, exit {})",
             self.bytes_skipped.total(),
             self.bytes_skipped.leaf,
             self.bytes_skipped.child,
             self.bytes_skipped.sibling,
             self.bytes_skipped.label,
             self.bytes_skipped.memmem,
+            self.bytes_skipped.exit,
         )?;
         writeln!(
             f,

@@ -43,16 +43,21 @@ pub enum SkipTechnique {
     /// `memmem` head start: inter-candidate regions never structurally
     /// classified.
     Memmem,
+    /// Route exhaustion (DESIGN.md §15): the fast-path walker proved
+    /// nothing further in the document can match and stopped; the rest
+    /// was never classified.
+    Exit,
 }
 
 impl SkipTechnique {
     /// All techniques, in display order.
-    pub const ALL: [SkipTechnique; 5] = [
+    pub const ALL: [SkipTechnique; 6] = [
         SkipTechnique::Leaf,
         SkipTechnique::Child,
         SkipTechnique::Sibling,
         SkipTechnique::Label,
         SkipTechnique::Memmem,
+        SkipTechnique::Exit,
     ];
 
     /// Stable lowercase name (used as a JSON key and metric label).
@@ -64,6 +69,7 @@ impl SkipTechnique {
             SkipTechnique::Sibling => "sibling",
             SkipTechnique::Label => "label",
             SkipTechnique::Memmem => "memmem",
+            SkipTechnique::Exit => "exit",
         }
     }
 
@@ -76,6 +82,7 @@ impl SkipTechnique {
             SkipTechnique::Sibling => 's',
             SkipTechnique::Label => 'L',
             SkipTechnique::Memmem => 'm',
+            SkipTechnique::Exit => 'x',
         }
     }
 
@@ -87,6 +94,7 @@ impl SkipTechnique {
             SkipTechnique::Sibling => 3,
             SkipTechnique::Label => 4,
             SkipTechnique::Memmem => 5,
+            SkipTechnique::Exit => 6,
         }
     }
 
@@ -98,6 +106,7 @@ impl SkipTechnique {
             3 => Some(SkipTechnique::Sibling),
             4 => Some(SkipTechnique::Label),
             5 => Some(SkipTechnique::Memmem),
+            6 => Some(SkipTechnique::Exit),
             _ => None,
         }
     }

@@ -66,6 +66,57 @@ impl BlockStats {
     }
 }
 
+/// The query-shape route the engine chose for a run: which driver
+/// executed the query (see DESIGN.md §15).
+///
+/// Routes are decided at compile time from the automaton's shape; the
+/// stats report carries the decision so fast-path work (and fallbacks)
+/// are visible in Tier A. This enum lives in `rsq-obs` (dependency-free)
+/// so both `rsq-query` (the analyzer) and the stats plumbing can share
+/// it without cycles — and so future multi-query/sharding layers route
+/// through the same stable seam.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Route {
+    /// Descendant-free label chain (optional interior/trailing
+    /// wildcards): driven by the memmem-led fast path.
+    FieldChain,
+    /// A rare anchor label exists: memmem jumps to its occurrences and
+    /// validates locally.
+    Selective,
+    /// Everything else: the general block-classifying main loop.
+    #[default]
+    General,
+}
+
+impl Route {
+    /// Stable machine-readable name, as emitted in `--stats-json`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Route::FieldChain => "field_chain",
+            Route::Selective => "selective",
+            Route::General => "general",
+        }
+    }
+
+    /// Parses a stable route name (the inverse of [`Route::as_str`]).
+    #[must_use]
+    pub fn from_str_opt(name: &str) -> Option<Self> {
+        match name {
+            "field_chain" => Some(Route::FieldChain),
+            "selective" => Some(Route::Selective),
+            "general" => Some(Route::General),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Skip events by technique (§3.3 of the paper).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SkipStats {
@@ -92,6 +143,9 @@ pub struct SkipStats {
 /// takes the maximum.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
+    /// The query-shape route the engine executed (merged reports keep
+    /// the first non-[`Route::General`] route seen).
+    pub route: Route,
     /// Input bytes processed (document length).
     pub bytes: u64,
     /// 64-byte blocks classified, by classifier kind.
@@ -126,8 +180,8 @@ impl RunStats {
 
     /// Serializes the report as single-line JSON (no trailing newline).
     ///
-    /// Keys are stable: `bytes`, `blocks_classified{structural, depth,
-    /// seek, quote, total}`, `events`, `toggle_flips`, `skips{leaf,
+    /// Keys are stable: `route`, `bytes`, `blocks_classified{structural,
+    /// depth, seek, quote, total}`, `events`, `toggle_flips`, `skips{leaf,
     /// child, sibling, label}`, `memmem_jumps`, `memmem_declined`,
     /// `resume_handoffs`, `max_depth`, `matches`.
     #[must_use]
@@ -135,7 +189,8 @@ impl RunStats {
         let mut s = String::with_capacity(256);
         let _ = write!(
             s,
-            "{{\"bytes\":{},\"blocks_classified\":{{\"structural\":{},\"depth\":{},\"seek\":{},\"quote\":{},\"total\":{}}},\"events\":{},\"toggle_flips\":{},\"skips\":{{\"leaf\":{},\"child\":{},\"sibling\":{},\"label\":{}}},\"memmem_jumps\":{},\"memmem_declined\":{},\"resume_handoffs\":{},\"max_depth\":{},\"matches\":{}}}",
+            "{{\"route\":\"{}\",\"bytes\":{},\"blocks_classified\":{{\"structural\":{},\"depth\":{},\"seek\":{},\"quote\":{},\"total\":{}}},\"events\":{},\"toggle_flips\":{},\"skips\":{{\"leaf\":{},\"child\":{},\"sibling\":{},\"label\":{}}},\"memmem_jumps\":{},\"memmem_declined\":{},\"resume_handoffs\":{},\"max_depth\":{},\"matches\":{}}}",
+            self.route,
             self.bytes,
             self.blocks.structural,
             self.blocks.depth,
@@ -161,6 +216,7 @@ impl RunStats {
 impl fmt::Display for RunStats {
     /// Human-readable table (multi-line), for `--stats` output.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "route              {}", self.route)?;
         writeln!(f, "bytes              {}", self.bytes)?;
         writeln!(
             f,
@@ -191,6 +247,12 @@ impl fmt::Display for RunStats {
 
 impl AddAssign for RunStats {
     fn add_assign(&mut self, rhs: Self) {
+        // Merged runs share one engine, so routes agree; the rule below
+        // only matters when folding into a default-initialized
+        // accumulator, which must not mask a fast-path route.
+        if self.route == Route::General {
+            self.route = rhs.route;
+        }
         self.bytes = self.bytes.saturating_add(rhs.bytes);
         self.blocks.structural = self.blocks.structural.saturating_add(rhs.blocks.structural);
         self.blocks.depth = self.blocks.depth.saturating_add(rhs.blocks.depth);
@@ -257,6 +319,14 @@ pub trait Recorder {
     /// One `memmem` head-start candidate declined.
     #[inline]
     fn memmem_decline(&mut self) {}
+
+    /// The engine committed to an evaluation route for this run (called
+    /// at most once per run, at dispatch; runs that never call it report
+    /// the default [`Route::General`]).
+    #[inline]
+    fn route(&mut self, route: Route) {
+        let _ = route;
+    }
 
     /// One classifier resume-state handoff.
     #[inline]
@@ -352,6 +422,11 @@ impl Recorder for RunStats {
     #[inline]
     fn memmem_decline(&mut self) {
         bump(&mut self.memmem_declined);
+    }
+
+    #[inline]
+    fn route(&mut self, route: Route) {
+        self.route = route;
     }
 
     #[inline]

@@ -102,6 +102,34 @@ fn add_assign_merges_chunked_runs() {
 }
 
 #[test]
+fn route_merge_keeps_fast_path_visible() {
+    use rsq_obs::Route;
+    assert_eq!(Route::default(), Route::General);
+    for (name, route) in [
+        ("field_chain", Route::FieldChain),
+        ("selective", Route::Selective),
+        ("general", Route::General),
+    ] {
+        assert_eq!(route.as_str(), name);
+        assert_eq!(Route::from_str_opt(name), Some(route));
+    }
+    assert_eq!(Route::from_str_opt("nope"), None);
+
+    // Folding fast-path stats into a default accumulator (batch merge)
+    // must not reset the route to `general`.
+    let mut acc = RunStats::default();
+    let doc = RunStats {
+        route: Route::FieldChain,
+        bytes: 10,
+        ..RunStats::default()
+    };
+    acc += doc;
+    assert_eq!(acc.route, Route::FieldChain);
+    acc += RunStats::default();
+    assert_eq!(acc.route, Route::FieldChain, "later general docs keep it");
+}
+
+#[test]
 fn json_is_single_line_with_stable_keys() {
     let mut stats = RunStats {
         bytes: 42,
@@ -112,6 +140,7 @@ fn json_is_single_line_with_stable_keys() {
     let json = stats.to_json();
     assert!(!json.contains('\n'), "must be a single line: {json}");
     for key in [
+        "\"route\":\"general\"",
         "\"bytes\":42",
         "\"blocks_classified\":",
         "\"structural\":",

@@ -47,6 +47,8 @@
 mod automaton;
 mod nfa;
 mod parser;
+mod route;
 
 pub use automaton::{Automaton, CompileError, PathSymbol, StateId};
 pub use parser::{ParseErrorKind, Query, QueryParseError, Selector};
+pub use route::{PlanStep, Route, RoutePlan};

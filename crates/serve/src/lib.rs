@@ -202,13 +202,19 @@ fn render(mode: ResponseMode, doc: &[u8], positions: &[usize]) -> Vec<u8> {
             }
         }
         ResponseMode::Values => {
+            // Raw passthrough (DESIGN.md §15): the matched spans are the
+            // document's own bytes, copied once into the response with
+            // no per-match UTF-8 validation or formatting.
+            let mut out = Vec::new();
             for &p in positions {
-                let _ = writeln!(
-                    s,
-                    "{}",
-                    rsq_json::node_text(doc, p).unwrap_or("<malformed>")
-                );
+                match rsq_json::node_span(doc, p) {
+                    // PANIC-OK: node_span ranges are in bounds of `doc` by construction
+                    Some(span) => out.extend_from_slice(&doc[span]),
+                    None => out.extend_from_slice(b"<malformed>"),
+                }
+                out.push(b'\n');
             }
+            return out;
         }
     }
     s.into_bytes()

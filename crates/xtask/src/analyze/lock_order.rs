@@ -264,9 +264,7 @@ fn find_acquisitions(
         if !matches!(method, "lock" | "read" | "write") {
             continue;
         }
-        if i == 0
-            || !toks[i - 1].is_punct('.')
-            || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        if i == 0 || !toks[i - 1].is_punct('.') || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
         {
             continue;
         }

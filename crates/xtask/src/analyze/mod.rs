@@ -167,12 +167,7 @@ fn exposition_samples() -> Vec<String> {
         .flat_map(|(_, text)| {
             text.lines()
                 .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
-                .map(|l| {
-                    l.split(['{', ' '])
-                        .next()
-                        .unwrap_or("")
-                        .to_owned()
-                })
+                .map(|l| l.split(['{', ' ']).next().unwrap_or("").to_owned())
                 .collect::<Vec<_>>()
         })
         .filter(|n| !n.is_empty())

@@ -8,7 +8,8 @@
 //!   (or `unsafe impl`/`unsafe trait`) needs a `# Safety` doc section or a
 //!   `SAFETY:` comment in the doc/attribute run directly above it.
 //! * **`unsafe-outside-allowlist`** — `unsafe` may appear only in the
-//!   audited kernel crates (`crates/simd`, `crates/stackvec`). The rest of
+//!   audited kernel crates (`crates/simd`, `crates/stackvec`,
+//!   `crates/mmap`). The rest of
 //!   the workspace is also covered by `unsafe_code = "forbid"`; the audit
 //!   additionally catches attempts to carve out exceptions with
 //!   `#[allow(unsafe_code)]`, which the compiler would accept.
@@ -38,7 +39,7 @@ use std::path::Path;
 
 /// Path prefixes (workspace-relative, `/`-separated) where `unsafe` is
 /// permitted. Everything else must be `unsafe`-free.
-pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/simd/", "crates/stackvec/"];
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/simd/", "crates/stackvec/", "crates/mmap/"];
 
 /// How many lines above an `unsafe` site a `SAFETY:` comment may sit.
 const SAFETY_COMMENT_REACH: u32 = 3;

@@ -14,7 +14,16 @@
 //!   skip-ablation profile columns) *decreased* by more than the
 //!   threshold — the fast-forwards are eliding less input;
 //! * **latency regressions**: the per-document `latency.p99` *rose* by
-//!   more than the threshold.
+//!   more than the threshold;
+//! * **route regressions**: a row the old report ran on a fast path
+//!   (`stats.route` of `field_chain` or `selective`, DESIGN.md §15) fell
+//!   back to `general` — or lost its `route` column — in the new report.
+//!   Losing the memmem-led walker must not read as mere throughput noise.
+//!
+//! Throughput thresholds are **per-route**: fast-path rows run an order
+//! of magnitude faster than classification-bound ones, so the same
+//! absolute jitter is a much larger percentage — they get their own
+//! (looser) `--fast-threshold`, while `general` rows keep `--threshold`.
 //!
 //! Rows present in the old report but missing from the new one are
 //! reported too: a silently dropped experiment must not read as "no
@@ -28,7 +37,7 @@
 //! column (modulo the missing-column check above); throughput checks
 //! always run.
 //!
-//! Reports must carry `"schema_version": 2` (written by `experiments
+//! Reports must carry `"schema_version": 3` (written by `experiments
 //! --json` since the profiling layer landed); older reports are rejected
 //! with an error asking for regeneration rather than silently compared
 //! with missing columns.
@@ -58,6 +67,14 @@ pub struct Row {
     /// 99th-percentile per-document latency in nanoseconds (from
     /// `latency.p99`), when the row carries a latency histogram.
     pub latency_p99: Option<u64>,
+    /// The evaluation route (from `stats.route`), when the row carries
+    /// stats: `"field_chain"`, `"selective"`, or `"general"`.
+    pub route: Option<String>,
+}
+
+/// Whether a reported route name is one of the memmem-led fast paths.
+fn is_fast_route(route: &str) -> bool {
+    route == "field_chain" || route == "selective"
 }
 
 /// One detected regression (or report-shape problem).
@@ -146,6 +163,7 @@ pub fn load_report(path: &Path) -> Result<Vec<Row>, String> {
         let latency_p99 = member(item, "latency")
             .and_then(|l| number_member(l, "p99"))
             .map(|n| n as u64);
+        let route = stats.and_then(|s| string_member(s, "route"));
         rows.push(Row {
             experiment,
             name,
@@ -154,6 +172,7 @@ pub fn load_report(path: &Path) -> Result<Vec<Row>, String> {
             blocks_total,
             bytes_skipped_total,
             latency_p99,
+            route,
         });
     }
     Ok(rows)
@@ -163,13 +182,16 @@ pub fn load_report(path: &Path) -> Result<Vec<Row>, String> {
 /// percent of the old value) beyond which a difference is a regression.
 /// The latency check gets its own `latency_threshold_pct` because
 /// wall-clock percentiles are far noisier than the deterministic skip
-/// and block counts.
+/// and block counts, and rows the *old* report ran on a fast path get
+/// `fast_threshold_pct` for the throughput check (memmem-led rows are
+/// faster and proportionally noisier).
 #[must_use]
 pub fn diff(
     old: &[Row],
     new: &[Row],
     threshold_pct: f64,
     latency_threshold_pct: f64,
+    fast_threshold_pct: f64,
 ) -> DiffReport {
     let mut report = DiffReport::default();
     let find = |rows: &[Row], e: &str, n: &str| -> Option<Row> {
@@ -187,10 +209,39 @@ pub fn diff(
             continue;
         };
         report.compared += 1;
-        // Throughput: lower is worse.
+        // Route: falling off a fast path (or losing the column) is a
+        // regression in its own right, before any throughput comparison.
+        let old_fast = old_row.route.as_deref().is_some_and(is_fast_route);
+        if old_fast {
+            match new_row.route.as_deref() {
+                Some(new_route) if is_fast_route(new_route) => {}
+                Some(new_route) => {
+                    report.regressions.push(Regression {
+                        row: key.clone(),
+                        detail: format!(
+                            "route regressed: {} -> {new_route}",
+                            old_row.route.as_deref().unwrap_or_default()
+                        ),
+                    });
+                }
+                None => {
+                    report.regressions.push(Regression {
+                        row: key.clone(),
+                        detail: "`route` column missing from the new report".to_owned(),
+                    });
+                }
+            }
+        }
+        // Throughput: lower is worse; fast-path rows use their own
+        // threshold.
+        let gbps_threshold = if old_fast {
+            fast_threshold_pct
+        } else {
+            threshold_pct
+        };
         if old_row.gbps > 0.0 {
             let drop_pct = (old_row.gbps - new_row.gbps) / old_row.gbps * 100.0;
-            if drop_pct > threshold_pct {
+            if drop_pct > gbps_threshold {
                 report.regressions.push(Regression {
                     row: key.clone(),
                     detail: format!(
@@ -322,13 +373,14 @@ mod tests {
             blocks_total: None,
             bytes_skipped_total: None,
             latency_p99: None,
+            route: None,
         }
     }
 
     #[test]
     fn identical_reports_are_clean() {
         let rows = vec![row("tables", "B1", 3.0, Some(100))];
-        let report = diff(&rows, &rows, 10.0, 25.0);
+        let report = diff(&rows, &rows, 10.0, 25.0, 20.0);
         assert!(report.regressions.is_empty());
         assert_eq!(report.compared, 1);
     }
@@ -337,25 +389,25 @@ mod tests {
     fn throughput_drop_beyond_threshold_flags() {
         let old = vec![row("tables", "B1", 3.0, None)];
         let new = vec![row("tables", "B1", 2.5, None)];
-        let report = diff(&old, &new, 10.0, 25.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0);
         assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
         assert!(report.regressions[0].detail.contains("throughput"));
         // The same drop passes a looser threshold.
-        assert!(diff(&old, &new, 20.0, 25.0).regressions.is_empty());
+        assert!(diff(&old, &new, 20.0, 25.0, 20.0).regressions.is_empty());
     }
 
     #[test]
     fn small_fluctuations_pass() {
         let old = vec![row("tables", "B1", 3.0, Some(100))];
         let new = vec![row("tables", "B1", 2.9, Some(95))];
-        assert!(diff(&old, &new, 10.0, 25.0).regressions.is_empty());
+        assert!(diff(&old, &new, 10.0, 25.0, 20.0).regressions.is_empty());
     }
 
     #[test]
     fn skip_count_decrease_flags() {
         let old = vec![row("ablations", "A1", 3.0, Some(1000))];
         let new = vec![row("ablations", "A1", 3.0, Some(500))];
-        let report = diff(&old, &new, 10.0, 25.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0);
         assert_eq!(report.regressions.len(), 1);
         assert!(report.regressions[0].detail.contains("skip events"));
     }
@@ -366,7 +418,7 @@ mod tests {
         let mut new = vec![row("tables", "B1", 3.0, None)];
         old[0].blocks_total = Some(1000);
         new[0].blocks_total = Some(1500);
-        let report = diff(&old, &new, 10.0, 25.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0);
         assert_eq!(report.regressions.len(), 1);
         assert!(report.regressions[0].detail.contains("blocks"));
     }
@@ -377,12 +429,12 @@ mod tests {
         let mut new = vec![row("skip-ablation", "B1", 3.0, None)];
         old[0].bytes_skipped_total = Some(4_000_000);
         new[0].bytes_skipped_total = Some(3_000_000);
-        let report = diff(&old, &new, 10.0, 25.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0);
         assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
         assert!(report.regressions[0].detail.contains("bytes skipped"));
         // Within the threshold is fine.
         new[0].bytes_skipped_total = Some(3_900_000);
-        assert!(diff(&old, &new, 10.0, 25.0).regressions.is_empty());
+        assert!(diff(&old, &new, 10.0, 25.0, 20.0).regressions.is_empty());
     }
 
     #[test]
@@ -393,12 +445,49 @@ mod tests {
         new[0].latency_p99 = Some(1_200_000);
         // A 20% rise passes the 25% latency threshold even though the
         // main threshold is tighter...
-        assert!(diff(&old, &new, 10.0, 25.0).regressions.is_empty());
+        assert!(diff(&old, &new, 10.0, 25.0, 20.0).regressions.is_empty());
         // ...but fails once the rise exceeds the latency threshold.
         new[0].latency_p99 = Some(1_300_000);
-        let report = diff(&old, &new, 10.0, 25.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0);
         assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
         assert!(report.regressions[0].detail.contains("latency p99"));
+    }
+
+    #[test]
+    fn fast_route_rows_use_their_own_threshold() {
+        let mut old = vec![row("fast-path", "N1/fast", 20.0, None)];
+        let mut new = vec![row("fast-path", "N1/fast", 17.0, None)];
+        old[0].route = Some("field_chain".to_owned());
+        new[0].route = Some("field_chain".to_owned());
+        // A 15% drop trips the 10% general threshold but not the 20%
+        // fast-route threshold...
+        assert!(diff(&old, &new, 10.0, 25.0, 20.0).regressions.is_empty());
+        // ...and a general-routed row with the same drop still fails.
+        old[0].route = Some("general".to_owned());
+        new[0].route = Some("general".to_owned());
+        let report = diff(&old, &new, 10.0, 25.0, 20.0);
+        assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
+        assert!(report.regressions[0].detail.contains("throughput"));
+    }
+
+    #[test]
+    fn falling_off_a_fast_route_is_a_regression() {
+        let mut old = vec![row("fast-path", "N1/fast", 20.0, None)];
+        let mut new = vec![row("fast-path", "N1/fast", 20.0, None)];
+        old[0].route = Some("selective".to_owned());
+        new[0].route = Some("general".to_owned());
+        let report = diff(&old, &new, 10.0, 25.0, 20.0);
+        assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
+        assert!(report.regressions[0].detail.contains("route regressed"));
+        // Losing the column altogether is flagged too.
+        new[0].route = None;
+        let report = diff(&old, &new, 10.0, 25.0, 20.0);
+        assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
+        assert!(report.regressions[0].detail.contains("`route`"));
+        // The opposite direction — gaining a fast route — is fine.
+        old[0].route = Some("general".to_owned());
+        new[0].route = Some("field_chain".to_owned());
+        assert!(diff(&old, &new, 10.0, 25.0, 20.0).regressions.is_empty());
     }
 
     #[test]
@@ -407,19 +496,19 @@ mod tests {
         let new = vec![row("skip-ablation", "B1", 3.0, None)];
         old[0].bytes_skipped_total = Some(4_000_000);
         old[0].latency_p99 = Some(1_000_000);
-        let report = diff(&old, &new, 10.0, 25.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0);
         assert_eq!(report.regressions.len(), 2, "{:?}", report.regressions);
         assert!(report.regressions[0].detail.contains("`bytes_skipped`"));
         assert!(report.regressions[1].detail.contains("`latency`"));
         // The other direction — a column gained — is not a regression.
-        assert!(diff(&new, &old, 10.0, 25.0).regressions.is_empty());
+        assert!(diff(&new, &old, 10.0, 25.0, 20.0).regressions.is_empty());
     }
 
     #[test]
     fn missing_row_is_a_regression_added_row_is_not() {
         let old = vec![row("tables", "B1", 3.0, None)];
         let new = vec![row("tables", "B2", 3.0, None)];
-        let report = diff(&old, &new, 10.0, 25.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0);
         assert_eq!(report.regressions.len(), 1);
         assert!(report.regressions[0].detail.contains("missing"));
         assert_eq!(report.added, ["tables/B2"]);
@@ -427,10 +516,10 @@ mod tests {
 
     #[test]
     fn load_report_parses_bench_json() {
-        let json = br#"{"schema_version":2,"entries":[
+        let json = br#"{"schema_version":3,"entries":[
             {"experiment":"tables","name":"B1","query":"$..a","input_bytes":100,
              "count":5,"gbps":2.5,
-             "stats":{"bytes":100,
+             "stats":{"route":"field_chain","bytes":100,
                       "blocks_classified":{"structural":4,"depth":1,"seek":0,"quote":0,"total":5},
                       "events":9,"toggle_flips":0,
                       "skips":{"leaf":1,"child":2,"sibling":3,"label":4},
@@ -451,10 +540,12 @@ mod tests {
         assert_eq!(rows[0].blocks_total, Some(5));
         assert_eq!(rows[0].bytes_skipped_total, Some(60));
         assert_eq!(rows[0].latency_p99, Some(1500));
+        assert_eq!(rows[0].route.as_deref(), Some("field_chain"));
         assert!((rows[0].gbps - 2.5).abs() < 1e-9);
         assert_eq!(rows[1].skips_total, None);
         assert_eq!(rows[1].bytes_skipped_total, None);
         assert_eq!(rows[1].latency_p99, None);
+        assert_eq!(rows[1].route, None);
     }
 
     #[test]

@@ -42,12 +42,15 @@ commands:
   fuzz-smoke  [--max-seconds N] [--target NAME] [--seed N]
               run the differential fuzz corpus + a bounded random phase
               (targets: classifier_diff, quotes_diff, depth_diff,
-              engine_diff, reader_diff)
+              engine_diff, reader_diff, framer_diff, fast_path_diff)
   bench-diff  OLD.json NEW.json [--threshold PCT] [--latency-threshold PCT]
+              [--fast-threshold PCT]
               compare two `experiments --json` reports; fail on throughput,
               skip-count, or skipped-byte regressions beyond PCT percent
-              (default 10), or latency-p99 rises beyond the latency
-              threshold (default 25); reports must carry schema_version 2
+              (default 10), latency-p99 rises beyond the latency threshold
+              (default 25), fast-path-routed rows dropping beyond the fast
+              threshold (default 20), or rows falling off a fast route;
+              reports must carry schema_version 3
   metrics-lint
               render every Prometheus exposition with dummy data and fail
               unless each sample is an rsq_* snake_case series preceded
@@ -286,7 +289,10 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
         eprintln!("xtask bench-diff: expected OLD.json NEW.json\n\n{USAGE}");
         return ExitCode::from(2);
     };
-    let flags = match parse_flags(&args[2..], &["--threshold", "--latency-threshold"]) {
+    let flags = match parse_flags(
+        &args[2..],
+        &["--threshold", "--latency-threshold", "--fast-threshold"],
+    ) {
         Ok(flags) => flags,
         Err(e) => {
             eprintln!("xtask bench-diff: {e}\n\n{USAGE}");
@@ -295,10 +301,12 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
     };
     let mut threshold = 10.0f64;
     let mut latency_threshold = 25.0f64;
+    let mut fast_threshold = 20.0f64;
     for (flag, value) in &flags {
         let slot = match flag.as_str() {
             "--threshold" => &mut threshold,
             "--latency-threshold" => &mut latency_threshold,
+            "--fast-threshold" => &mut fast_threshold,
             _ => unreachable!("parse_flags rejected unknown options"),
         };
         match value.parse::<f64>() {
@@ -320,9 +328,10 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = bench_diff::diff(&old, &new, threshold, latency_threshold);
+    let report = bench_diff::diff(&old, &new, threshold, latency_threshold, fast_threshold);
     println!(
-        "bench-diff: {} rows compared (threshold {threshold}%, latency {latency_threshold}%)",
+        "bench-diff: {} rows compared (threshold {threshold}%, latency {latency_threshold}%, \
+         fast routes {fast_threshold}%)",
         report.compared
     );
     for added in &report.added {

@@ -1,0 +1,14 @@
+//! Differential target: auto-routed engine runs (the fast-path walker
+//! for field-chain/selective query shapes, DESIGN.md §15) must be
+//! identical across backends on any input, and identical to the forced
+//! general main loop on every input that parses as JSON.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use rsq_difftest::Target;
+
+fuzz_target!(|data: &[u8]| {
+    if let Err(mismatch) = Target::FastPathRoute.check(data) {
+        panic!("{mismatch:?}");
+    }
+});

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, the static-analysis driver (unsafe
 # audit + concurrency/panic-surface/consistency passes), tier-1 tests,
-# an overflow-checked test pass, the profile-overhead gate, differential
-# fuzz smoke, and (when the host toolchain provides them) Miri,
-# AddressSanitizer, and ThreadSanitizer lanes.
+# an overflow-checked test pass, the fast-path parity gate (routed
+# walker vs the general engine over the full query catalog), the mmap
+# ingest smoke, the profile-overhead gate, differential fuzz smoke, and
+# (when the host toolchain provides them) Miri, AddressSanitizer, and
+# ThreadSanitizer lanes.
 # Run from anywhere; operates on the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -65,6 +67,60 @@ if [ -s "$SERVE_TMP/serve.err" ]; then
   cat "$SERVE_TMP/serve.err"
   exit 1
 fi
+
+echo "==> fast-path parity gate (routed walker vs RSQ_ROUTE=general, full catalog)"
+# Every catalog query on both the detected backend and the portable
+# SWAR override: forcing the general engine must not change a single
+# emitted position. dump-corpus materializes the datasets plus a query
+# manifest; the gate also requires that the shape analyzer routed a
+# healthy share of the catalog off the general path, so parity can't
+# pass vacuously because everything fell back.
+RSQ_DATASET_MB=2 cargo run --quiet --release -p rsq-bench --bin experiments -- \
+  dump-corpus "$SERVE_TMP/corpus"
+FAST_ROUTED=0
+QUERIES=0
+while IFS=$'\t' read -r id file query; do
+  doc="$SERVE_TMP/corpus/$file"
+  QUERIES=$((QUERIES + 1))
+  route="$(./target/release/rsq --stats-json --count "$query" "$doc" 2>&1 >/dev/null \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["route"])')"
+  case "$route" in
+    field_chain|selective) FAST_ROUTED=$((FAST_ROUTED + 1)) ;;
+  esac
+  for backend in "" swar; do
+    RSQ_BACKEND="$backend" ./target/release/rsq --positions "$query" "$doc" \
+      > "$SERVE_TMP/parity-fast.txt"
+    RSQ_BACKEND="$backend" RSQ_ROUTE=general ./target/release/rsq \
+      --positions "$query" "$doc" > "$SERVE_TMP/parity-general.txt"
+    if ! cmp -s "$SERVE_TMP/parity-fast.txt" "$SERVE_TMP/parity-general.txt"; then
+      echo "parity gate: $id ($query) diverges under backend '${backend:-auto}':"
+      diff "$SERVE_TMP/parity-fast.txt" "$SERVE_TMP/parity-general.txt" | head
+      exit 1
+    fi
+  done
+done < "$SERVE_TMP/corpus/catalog.tsv"
+if [ "$FAST_ROUTED" -lt 8 ]; then
+  echo "parity gate: only $FAST_ROUTED of $QUERIES queries routed fast (expected >= 8)"
+  exit 1
+fi
+echo "parity gate: $QUERIES queries x 2 backends agree; $FAST_ROUTED routed fast"
+
+echo "==> mmap smoke gate (--mmap on vs off over a multi-MB batch dir)"
+# Multi-MiB documents through --batch-dir under both ingest policies:
+# mapped and buffered reads must produce byte-identical output. The
+# corpus files are above the 1 MiB threshold, so `auto` maps too.
+MMAP_DIR="$SERVE_TMP/mmap-batch"
+mkdir -p "$MMAP_DIR"
+cp "$SERVE_TMP/corpus/B.json" "$SERVE_TMP/corpus/G.json" \
+  "$SERVE_TMP/corpus/Wa.json" "$MMAP_DIR/"
+./target/release/rsq --count '$..id' --batch-dir "$MMAP_DIR" --mmap on \
+  > "$SERVE_TMP/mmap-on.out"
+./target/release/rsq --count '$..id' --batch-dir "$MMAP_DIR" --mmap off \
+  > "$SERVE_TMP/mmap-off.out"
+./target/release/rsq --count '$..id' --batch-dir "$MMAP_DIR" \
+  > "$SERVE_TMP/mmap-auto.out"
+diff -u "$SERVE_TMP/mmap-on.out" "$SERVE_TMP/mmap-off.out"
+diff -u "$SERVE_TMP/mmap-auto.out" "$SERVE_TMP/mmap-off.out"
 
 echo "==> serve live-telemetry smoke gate (scrape under load + postmortem)"
 # Part 1: a socket server with the scrape endpoint armed. A client
