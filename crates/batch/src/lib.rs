@@ -48,7 +48,10 @@ pub use ndjson::{split_ndjson, Frame, NdjsonFramer, QuoteScan};
 
 use queue::WorkQueue;
 use rsq_engine::{Engine, EngineError, EngineOptions, LimitKind, ProfileStats, RunError, Scratch};
-use rsq_obs::{BatchCounters, BatchProfile, Histogram, RunStats, Stopwatch, WorkerProfile};
+use rsq_obs::{
+    BatchCounters, BatchProfile, DocSpan, Histogram, RunStats, SpanRecord, Stopwatch, WorkerProfile,
+};
+use rsq_perf::{CounterSet, PerfMode, PerfStats};
 use std::fs;
 use std::io;
 use std::num::NonZeroUsize;
@@ -56,6 +59,7 @@ use std::ops::Range;
 use std::path::Path;
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// Configuration for a [`BatchEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -82,6 +86,16 @@ pub struct BatchOptions {
     /// counters). Off by default: the profiled run reads the monotonic
     /// clock around every fast-forward and document.
     pub profile: bool,
+    /// Hardware-counter mode: with anything but [`PerfMode::Off`], each
+    /// worker arms a per-thread counter group and brackets every
+    /// document run, accumulating into [`BatchResult::perf`]. Denied
+    /// hosts degrade to no report with zero behavior change.
+    pub perf: PerfMode,
+    /// Collect a per-document pipeline [`SpanRecord`] (worker, route,
+    /// epoch offset, run time) into [`BatchResult::spans`] for
+    /// timeline-trace export. Off by default: the plain path keeps its
+    /// no-clock-reads guarantee.
+    pub collect_spans: bool,
 }
 
 impl Default for BatchOptions {
@@ -93,6 +107,8 @@ impl Default for BatchOptions {
             cache_capacity: 32,
             collect_stats: false,
             profile: false,
+            perf: PerfMode::Off,
+            collect_spans: false,
         }
     }
 }
@@ -205,6 +221,12 @@ pub struct BatchResult {
     /// worker index. Partial work from failed documents stays in the
     /// aggregate.
     pub profile: Option<BatchProfile>,
+    /// Hardware-counter totals across all workers (`None` unless
+    /// [`BatchOptions::perf`] armed counters the kernel granted).
+    pub perf: Option<PerfStats>,
+    /// Per-document pipeline spans ordered by document index (empty
+    /// unless [`BatchOptions::collect_spans`] is set).
+    pub spans: Vec<SpanRecord>,
 }
 
 impl BatchResult {
@@ -318,6 +340,12 @@ impl BatchEngine {
         let queue = WorkQueue::new(docs.len(), chunk);
         let collect_stats = self.options.collect_stats;
         let profile = self.options.profile;
+        let perf_mode = self.options.perf;
+        let collect_spans = self.options.collect_spans;
+        // Clock zero for span placement; the route is a static property
+        // of the compiled query, shared by every document.
+        let epoch = Instant::now();
+        let route = engine.route();
 
         // Each worker collects (index, outcome) pairs privately and
         // returns them with its local stats merge — no shared mutable
@@ -327,12 +355,23 @@ impl BatchEngine {
             Vec<(usize, Result<DocOutput, DocError>)>,
             RunStats,
             Option<ShardProfile>,
+            PerfStats,
+            Vec<SpanRecord>,
         );
-        let shard = |_worker: usize| -> ShardOutput {
+        let shard = |worker: usize| -> ShardOutput {
             let mut local: Vec<(usize, Result<DocOutput, DocError>)> = Vec::new();
             let mut stats = RunStats::default();
             let mut scratch = Scratch::new();
             let mut prof: Option<ShardProfile> = profile.then(ShardProfile::default);
+            // Per-worker counter group: perf events count the opening
+            // thread. `Off` (the default) and denied hosts both yield
+            // `Unavailable`, making the per-document bracket a no-op.
+            let counters = CounterSet::open(perf_mode);
+            let mut perf = PerfStats::default();
+            if let Some(g) = counters.group() {
+                perf.core_only = g.is_core_only();
+            }
+            let mut spans: Vec<SpanRecord> = Vec::new();
             // Lap timer shared with the serve pipeline's spans: the lap
             // taken after `claim` returns is queue wait, the lap after
             // each document is busy time, and consecutive laps telescope
@@ -350,6 +389,24 @@ impl BatchEngine {
                     p.worker.claims += 1;
                 }
                 for i in range {
+                    let mut span = collect_spans.then(|| {
+                        let mut s = DocSpan::begin_at(
+                            i as u64,
+                            // PANIC-OK: doc indices come from the shared claim queue, all < docs.len()
+                            docs[i].len() as u64,
+                            u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                        s.worker(worker as u32);
+                        s.route(route);
+                        // Batch has no admission queue: the span starts
+                        // at claim, so queue wait is ~zero by design.
+                        s.claimed();
+                        s
+                    });
+                    let group = counters.group();
+                    if let Some(g) = group {
+                        g.start();
+                    }
                     // Containment at the document boundary: a panic
                     // inside the engine (or a user sink, via the serve
                     // path) fails this document, not the whole batch.
@@ -386,10 +443,22 @@ impl BatchEngine {
                             )
                         })
                     };
+                    if let Some(delta) = group.and_then(|g| g.stop()) {
+                        // PANIC-OK: doc indices come from the shared claim queue, all < docs.len()
+                        perf.add_run(docs[i].len() as u64, &delta);
+                    }
+                    if let Some(mut s) = span.take() {
+                        s.ran();
+                        if let Err(e) = &outcome {
+                            s.fault(e.kind.code());
+                        }
+                        s.released();
+                        spans.push(s.finish());
+                    }
                     local.push((i, outcome));
                 }
             }
-            (local, stats, prof)
+            (local, stats, prof, perf, spans)
         };
 
         let mut shards: Vec<ShardOutput> = if threads == 1 {
@@ -428,8 +497,12 @@ impl BatchEngine {
         );
         // Shards come back in worker-index order (spawn order), so the
         // merged `workers` vec is stable across runs of the same shape.
-        for (local, stats, shard_profile) in shards.drain(..) {
+        for (local, stats, shard_profile, shard_perf, shard_spans) in shards.drain(..) {
             result.stats += stats;
+            if shard_perf.docs > 0 {
+                *result.perf.get_or_insert_with(PerfStats::default) += shard_perf;
+            }
+            result.spans.extend(shard_spans);
             if let (Some(merged), Some(sp)) = (result.profile.as_mut(), shard_profile) {
                 result.stats += sp.profile.stats;
                 merged.bytes_skipped += sp.profile.bytes_skipped;
@@ -442,6 +515,9 @@ impl BatchEngine {
                 result.outcomes[i] = outcome;
             }
         }
+        // Shards interleave document ranges; order the merged timeline
+        // by document index so trace output is deterministic.
+        result.spans.sort_by_key(|s| s.seq);
         result.counters.failed_documents =
             result.outcomes.iter().filter(|o| o.is_err()).count() as u64;
         result.counters.documents = docs.len() as u64;
@@ -750,6 +826,71 @@ mod tests {
         let without = plain.run_slices("$..b", &[doc_a, doc_b]).unwrap();
         let with = profiled.run_slices("$..b", &[doc_a, doc_b]).unwrap();
         assert_eq!(without.outcomes, with.outcomes);
+    }
+
+    #[test]
+    fn collect_spans_stamps_worker_route_and_epoch() {
+        let options = BatchOptions {
+            threads: 2,
+            collect_spans: true,
+            ..BatchOptions::default()
+        };
+        let batch = BatchEngine::new(options);
+        let doc: &[u8] = br#"{"a": 1, "b": {"a": 2}}"#;
+        let docs: Vec<&[u8]> = vec![doc; 6];
+        let result = batch.run_slices("$..a", &docs).unwrap();
+        assert_eq!(result.spans.len(), 6, "one span per document");
+        for (i, span) in result.spans.iter().enumerate() {
+            assert_eq!(span.seq, i as u64, "spans sorted by document index");
+            assert_eq!(span.bytes, doc.len() as u64);
+            assert!(span.route.is_some());
+            assert!(span.start_ns > 0);
+            assert!(span.run_ns > 0);
+            assert!(span.code.is_none());
+        }
+        let json = rsq_obs::chrome_trace_json(&result.spans);
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        // Span collection never changes outcomes.
+        let plain = BatchEngine::new(BatchOptions::default())
+            .run_slices("$..a", &docs)
+            .unwrap();
+        assert_eq!(result.outcomes, plain.outcomes);
+    }
+
+    #[test]
+    fn failed_documents_carry_codes_in_spans() {
+        let options = BatchOptions {
+            collect_spans: true,
+            engine: EngineOptions {
+                max_matches: Some(1),
+                ..EngineOptions::default()
+            },
+            ..BatchOptions::default()
+        };
+        let batch = BatchEngine::new(options);
+        let many: &[u8] = br#"{"a": 1, "b": {"a": 2}}"#;
+        let result = batch.run_slices("$..a", &[many]).unwrap();
+        assert!(result.outcomes[0].is_err());
+        assert_eq!(result.spans[0].code, Some("limit:matches"));
+    }
+
+    #[test]
+    fn perf_deny_and_auto_change_nothing_observable() {
+        let docs: [&[u8]; 2] = [br#"{"a": 1}"#, br#"{"b": {"a": 2}}"#];
+        let plain = BatchEngine::new(BatchOptions::default())
+            .run_slices("$..a", &docs)
+            .unwrap();
+        for mode in [PerfMode::Deny, PerfMode::Auto] {
+            let batch = BatchEngine::new(BatchOptions {
+                perf: mode,
+                ..BatchOptions::default()
+            });
+            let result = batch.run_slices("$..a", &docs).unwrap();
+            assert_eq!(result.outcomes, plain.outcomes, "{mode:?}");
+            if mode == PerfMode::Deny {
+                assert!(result.perf.is_none(), "denied counters leave no report");
+            }
+        }
     }
 
     #[test]

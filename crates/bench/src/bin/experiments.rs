@@ -10,7 +10,7 @@
 //! Subcommands: `table2`, `table3`, `a`, `b`, `c`, `d`, `appendix-c`,
 //! `semantics`, `ablations`, `fast-path`, `mmap-ingest`,
 //! `stats-overhead`, `skip-ablation`, `batch-scaling`, `serve-latency`,
-//! `telemetry-overhead`, `all`.
+//! `telemetry-overhead`, `kernel-efficiency`, `all`.
 //!
 //! `dump-corpus <dir>` is not a benchmark: it materializes every catalog
 //! dataset as `<dir>/<letter>.json` plus a `catalog.tsv` manifest
@@ -28,6 +28,16 @@
 //! technique elided, the aggregate skip rate, and throughput — and it
 //! checks the byte-accounting identity (classified + memmem-elided bytes
 //! equal the padded document size).
+//!
+//! `kernel-efficiency` re-runs the fast-path comparison in hardware-counter
+//! units: multiplex-corrected CPU cycles and instructions per input byte for
+//! each routed catalog query, fast route vs forced-general, read from a
+//! `perf_event_open` counter group on the measuring thread. Throughput can
+//! flatter a route that merely saturates memory bandwidth; cycles per byte is
+//! the frequency-independent cost the paper's kernel arguments are about. On
+//! hosts where the kernel denies counters (containers, VMs without a PMU,
+//! `perf_event_paranoid`) the experiment prints the denial reason and emits
+//! no rows — it never fails the run.
 //!
 //! `batch-scaling` sweeps worker threads over an NDJSON corpus through
 //! `rsq-batch`; the sweep's upper bound is the host's available
@@ -108,6 +118,7 @@ fn main() {
             "batch-scaling" => batch_scaling(&mut report),
             "serve-latency" => serve_latency(&mut report),
             "telemetry-overhead" => telemetry_overhead(&mut report),
+            "kernel-efficiency" => kernel_efficiency(&mut report),
             "all" => {
                 table2();
                 table3();
@@ -125,6 +136,7 @@ fn main() {
                 batch_scaling(&mut report);
                 serve_latency(&mut report);
                 telemetry_overhead(&mut report);
+                kernel_efficiency(&mut report);
             }
             other => {
                 eprintln!("unknown subcommand {other:?}");
@@ -272,6 +284,8 @@ fn run_table(title: &str, experiment: &str, entries: &[&str], report: &mut Repor
                 stats: Some(run_stats(&entry)),
                 bytes_skipped: None,
                 latency: None,
+                cycles_per_byte: None,
+                instructions_per_byte: None,
             });
         }
         println!(
@@ -353,6 +367,8 @@ fn experiment_d(report: &mut Report) {
             stats: Some(stats),
             bytes_skipped: None,
             latency: None,
+            cycles_per_byte: None,
+            instructions_per_byte: None,
         });
         println!(
             "{:>10.1} {:>10} {:>8.2}",
@@ -500,6 +516,8 @@ fn ablations(report: &mut Report) {
                 stats: None,
                 bytes_skipped: None,
                 latency: None,
+                cycles_per_byte: None,
+                instructions_per_byte: None,
             });
             print!(" {:>7.2}", m.gbps);
         }
@@ -578,6 +596,126 @@ fn fast_path(report: &mut Report) {
                 stats: Some(stats),
                 bytes_skipped: None,
                 latency: None,
+                cycles_per_byte: None,
+                instructions_per_byte: None,
+            });
+        }
+    }
+    assert!(routed >= 2, "expected several routed catalog queries");
+}
+
+/// Kernel efficiency: the fast-path comparison in hardware-counter units.
+/// For every routed catalog query, multiplex-corrected CPU cycles and
+/// instructions per input byte on the shape-routed engine vs the same
+/// query forced through the general main loop, read from a
+/// `perf_event_open` group on the measuring thread. Per configuration the
+/// minimum-cycles rep of `REPS` wins (noise only ever adds cycles). On
+/// hosts where the kernel denies counters this prints the reason and
+/// emits no rows.
+fn kernel_efficiency(report: &mut Report) {
+    use rsq_engine::{Route, RouteChoice};
+    use rsq_perf::{CounterSet, PerfMode, PerfStats};
+    heading("Kernel efficiency: cycles per byte by route (perf_event_open)");
+    let counters = CounterSet::open(PerfMode::Auto);
+    let Some(group) = counters.group() else {
+        let reason = counters.reason().unwrap_or("unknown");
+        println!("SKIPPED: hardware counters unavailable ({reason})");
+        println!("(no rows emitted; re-run on a host with perf_event_open access)");
+        return;
+    };
+    println!(
+        "{:<5} {:>11} {:>10} {:>10} {:>7} {:>10} {:>10}",
+        "id", "route", "fast c/B", "gen c/B", "ratio", "fast i/B", "gen i/B"
+    );
+    // One (stats, match count, throughput) sample per rep; the rep with
+    // the fewest cycles per byte is the run least disturbed by the rest
+    // of the machine.
+    let best_of = |engine: &Engine, input: &[u8]| -> (PerfStats, u64, f64) {
+        let mut best: Option<(PerfStats, u64, f64)> = None;
+        for _ in 0..REPS {
+            let mut stats = PerfStats {
+                core_only: group.is_core_only(),
+                ..PerfStats::default()
+            };
+            group.start();
+            let started = std::time::Instant::now();
+            let count = engine.count(input);
+            let secs = started.elapsed().as_secs_f64();
+            if let Some(delta) = group.stop() {
+                stats.add_run(input.len() as u64, &delta);
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let gbps = input.len() as f64 / secs / 1e9;
+            let replace = match &best {
+                None => true,
+                Some((incumbent, _, _)) => {
+                    stats.docs > 0 && stats.cycles_per_byte() < incumbent.cycles_per_byte()
+                }
+            };
+            if replace {
+                best = Some((stats, count, gbps));
+            }
+        }
+        best.expect("REPS >= 1")
+    };
+    let mut routed = 0usize;
+    for entry in catalog() {
+        let query = Query::parse(entry.query).expect("catalog query parses");
+        let fast = Engine::with_options(&query, EngineOptions::default()).expect("compiles");
+        if fast.route() == Route::General {
+            continue;
+        }
+        routed += 1;
+        let general = Engine::with_options(
+            &query,
+            EngineOptions {
+                route: RouteChoice::General,
+                ..EngineOptions::default()
+            },
+        )
+        .expect("compiles");
+        let input = dataset(entry.dataset);
+        let (fast_perf, fast_count, fast_gbps) = best_of(&fast, input);
+        let (general_perf, general_count, general_gbps) = best_of(&general, input);
+        assert_eq!(fast_count, general_count, "routes disagree on {}", entry.id);
+        if fast_perf.docs == 0 || general_perf.docs == 0 {
+            // The group opened but a read failed mid-experiment (e.g. a
+            // cgroup limit kicked in); skip the row rather than report
+            // a zero rate as if it were measured.
+            println!(
+                "{:<5} {:>11} counters unreadable, row skipped",
+                entry.id, "-"
+            );
+            continue;
+        }
+        let ratio = general_perf.cycles_per_byte() / fast_perf.cycles_per_byte();
+        println!(
+            "{:<5} {:>11} {:>10.3} {:>10.3} {:>6.2}x {:>10.3} {:>10.3}",
+            entry.id,
+            fast.route().to_string(),
+            fast_perf.cycles_per_byte(),
+            general_perf.cycles_per_byte(),
+            ratio,
+            fast_perf.instructions_per_byte(),
+            general_perf.instructions_per_byte(),
+        );
+        for (tag, perf, count, gbps, speedup) in [
+            ("fast", fast_perf, fast_count, fast_gbps, Some(ratio)),
+            ("general", general_perf, general_count, general_gbps, None),
+        ] {
+            report.push(ReportEntry {
+                experiment: "kernel-efficiency".to_owned(),
+                name: format!("{tag}/{}", entry.id),
+                query: Some(entry.query.to_owned()),
+                input_bytes: input.len() as u64,
+                count,
+                gbps,
+                speedup,
+                stats: None,
+                bytes_skipped: None,
+                latency: None,
+                cycles_per_byte: Some(perf.cycles_per_byte()),
+                instructions_per_byte: Some(perf.instructions_per_byte()),
             });
         }
     }
@@ -633,6 +771,8 @@ fn mmap_ingest(report: &mut Report) {
             stats: None,
             bytes_skipped: None,
             latency: None,
+            cycles_per_byte: None,
+            instructions_per_byte: None,
         });
     }
 }
@@ -770,6 +910,8 @@ fn batch_scaling(report: &mut Report) {
             stats: Some(result.stats),
             bytes_skipped: result.profile.as_ref().map(|p| p.bytes_skipped),
             latency: result.profile.as_ref().map(|p| p.latency.clone()),
+            cycles_per_byte: None,
+            instructions_per_byte: None,
         });
         println!(
             "{:>8} {:>10} {:>8.2} {:>7.2}x {:>11} {:>13}",
@@ -885,6 +1027,8 @@ fn serve_latency(report: &mut Report) {
             stats: None,
             bytes_skipped: None,
             latency: Some(outcome.latency.clone()),
+            cycles_per_byte: None,
+            instructions_per_byte: None,
         });
     }
 }
@@ -988,6 +1132,8 @@ fn telemetry_overhead(report: &mut Report) {
             stats: None,
             bytes_skipped: None,
             latency: None,
+            cycles_per_byte: None,
+            instructions_per_byte: None,
         });
     }
 }
@@ -1039,6 +1185,8 @@ fn stats_overhead(report: &mut Report) {
                 stats,
                 bytes_skipped: None,
                 latency: None,
+                cycles_per_byte: None,
+                instructions_per_byte: None,
             });
         }
         println!(
@@ -1132,6 +1280,8 @@ fn skip_ablation(report: &mut Report) {
             stats: Some(profile.stats),
             bytes_skipped: Some(profile.bytes_skipped),
             latency: None,
+            cycles_per_byte: None,
+            instructions_per_byte: None,
         });
     }
 }

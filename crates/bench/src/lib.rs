@@ -213,6 +213,13 @@ pub struct ReportEntry {
     pub bytes_skipped: Option<SkipBytes>,
     /// Per-document latency histogram, when the row measures a batch run.
     pub latency: Option<Histogram>,
+    /// Multiplex-corrected CPU cycles per input byte, when hardware
+    /// counters were readable (the `kernel-efficiency` experiment;
+    /// `bench-diff` gates regressions on this column).
+    pub cycles_per_byte: Option<f64>,
+    /// Multiplex-corrected instructions per input byte, when hardware
+    /// counters were readable.
+    pub instructions_per_byte: Option<f64>,
 }
 
 /// A machine-readable benchmark report, serialised as a single JSON
@@ -251,8 +258,9 @@ impl Report {
     /// `schema_version` (see [`STATS_SCHEMA_VERSION`]) and an `entries`
     /// array; every row carries `experiment`, `name`, `input_bytes`,
     /// `count`, `gbps`, and optionally `query`, the nested `stats` object
-    /// from [`RunStats::to_json`], `bytes_skipped`/`skip_rate_pct`, and a
-    /// `latency` histogram.
+    /// from [`RunStats::to_json`], `bytes_skipped`/`skip_rate_pct`, a
+    /// `latency` histogram, and hardware-counter rates
+    /// (`cycles_per_byte`/`instructions_per_byte`).
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut s = format!("{{\"schema_version\":{STATS_SCHEMA_VERSION},\"entries\":[");
@@ -294,6 +302,12 @@ impl Report {
             }
             if let Some(latency) = &e.latency {
                 s.push_str(&format!(",\"latency\":{}", latency.to_json()));
+            }
+            if let Some(cpb) = e.cycles_per_byte {
+                s.push_str(&format!(",\"cycles_per_byte\":{cpb:.4}"));
+            }
+            if let Some(ipb) = e.instructions_per_byte {
+                s.push_str(&format!(",\"instructions_per_byte\":{ipb:.4}"));
             }
             s.push('}');
         }
@@ -343,6 +357,8 @@ mod tests {
             stats: Some(RunStats::default()),
             bytes_skipped: None,
             latency: None,
+            cycles_per_byte: None,
+            instructions_per_byte: None,
         });
         report.push(ReportEntry {
             experiment: "stats-overhead".to_owned(),
@@ -355,6 +371,8 @@ mod tests {
             stats: None,
             bytes_skipped: None,
             latency: None,
+            cycles_per_byte: None,
+            instructions_per_byte: None,
         });
         let json = report.to_json();
         let dom = rsq_json::parse(json.as_bytes()).expect("report JSON parses");

@@ -17,7 +17,10 @@ use rsq_engine::{
 // Shared with the serve layer so both render identical value output.
 use rsq_json::node_span;
 use rsq_mmap::{MapPolicy, MmapInput};
-use rsq_obs::{prometheus, prometheus_serve, ServeCounters, STATS_SCHEMA_VERSION};
+use rsq_obs::{
+    chrome_trace_json, prometheus, prometheus_serve, ServeCounters, STATS_SCHEMA_VERSION,
+};
+use rsq_perf::{prometheus_perf_into, CounterSet, PerfMode, PerfRecorder, PerfStats};
 use rsq_query::Query;
 use rsq_serve::{
     serve_connection_with, serve_telemetry_listener, ResponseMode, ServeOptions, ServeReport,
@@ -63,6 +66,11 @@ options:
   --metrics-out PATH  write the run's counters (and profile, when
                       enabled) to PATH as Prometheus-style text
                       exposition
+  --trace-out PATH    (serve/batch) write the run's document timeline
+                      to PATH as Chrome trace-event JSON — open it in
+                      Perfetto (ui.perfetto.dev) or chrome://tracing
+                      for one track per worker with nested
+                      queue-wait/run/reorder-wait/emit slices
   --mmap auto|on|off  zero-copy input: map FILE (and --batch-dir files)
                       into memory instead of copying through a read
                       loop; auto (the default) maps files of at least
@@ -114,6 +122,15 @@ live telemetry (serve mode only; costs nothing when unused):
                       history to DIR
   --flight-window N   per-worker flight-recorder depth backing
                       postmortems (default 16)
+
+hardware counters (Linux perf_event_open; never change results):
+  runs that already gather statistics (--stats, --stats-json,
+  --profile, --metrics-out) also read CPU cycle/instruction/cache/
+  branch counters when the kernel allows, reporting cycles-per-byte
+  (per pipeline stage in single-document mode); a denying kernel
+  degrades to no counters with byte-identical output. RSQ_PERF forces
+  the policy: auto (default), off (never open counters), deny
+  (simulate a denying kernel)
 
 exit codes: 0 ok, 1 failure, 2 usage, 3 bad query, 4 I/O error,
 5 resource limit exceeded, 6 malformed document, 7 deadline missed
@@ -321,6 +338,13 @@ pub struct Invocation {
     /// Zero-copy input policy (`--mmap auto|on|off`): whether file
     /// inputs are memory-mapped or buffered through the reader.
     pub mmap: MapPolicy,
+    /// Hardware-counter policy (`RSQ_PERF` env: auto|off|deny). Counters
+    /// only arm on runs that already gather statistics; a denying kernel
+    /// (or `off`/`deny`) degrades to no counters with identical output.
+    pub perf: PerfMode,
+    /// Write the run's document timeline as Chrome trace-event JSON to
+    /// this path (`--trace-out`; serve and batch modes only).
+    pub trace_out: Option<String>,
 }
 
 impl Invocation {
@@ -344,6 +368,7 @@ impl Invocation {
         let mut max_inflight: Option<usize> = None;
         let mut telemetry = TelemetryConfig::default();
         let mut mmap = MapPolicy::Auto;
+        let mut trace_out: Option<String> = None;
         let mut rest: Vec<&str> = Vec::new();
         let mut it = args.iter();
         // A valued flag accepts both `--flag N` and `--flag=N`.
@@ -386,6 +411,8 @@ impl Invocation {
                         threads = Some(parse_number("--threads", &v?)?);
                     } else if let Some(v) = value_of("--metrics-out", flag, &mut it) {
                         metrics_out = Some(v?);
+                    } else if let Some(v) = value_of("--trace-out", flag, &mut it) {
+                        trace_out = Some(v?);
                     } else if let Some(v) = value_of("--serve-socket", flag, &mut it) {
                         serve = Some(ServeTransport::Unix(v?));
                     } else if let Some(v) = value_of("--deadline-ms", flag, &mut it) {
@@ -422,6 +449,13 @@ impl Invocation {
                 other => return Err(format!("RSQ_ROUTE: unknown route {other:?} (auto|general)")),
             };
         }
+        // Hardware-counter policy override, same fail-fast contract as
+        // `RSQ_ROUTE`: an explicit `RSQ_PERF` with a typo is a usage
+        // error, not a silent fall-through to the default.
+        let perf = match std::env::var("RSQ_PERF") {
+            Ok(value) => PerfMode::parse(&value)?,
+            Err(_) => PerfMode::default(),
+        };
         // `--stats` is overloaded: without a query it is the document
         // statistics mode (back compat); alongside a query (or with
         // `--stats-json` or another mode flag) it requests run statistics.
@@ -470,6 +504,9 @@ impl Invocation {
         if max_inflight.is_some() && serve.is_none() {
             return Err("--max-inflight requires --serve or --serve-socket".to_owned());
         }
+        if trace_out.is_some() && serve.is_none() && batch.is_none() {
+            return Err("--trace-out requires a serve or batch mode".to_owned());
+        }
         if (telemetry.enabled() || telemetry.flight_window.is_some()) && serve.is_none() {
             return Err(
                 "--telemetry-socket/--slow-log-ms/--postmortem-dir/--flight-window require \
@@ -506,6 +543,8 @@ impl Invocation {
             max_inflight,
             telemetry: telemetry.clone(),
             mmap,
+            perf,
+            trace_out: trace_out.clone(),
         };
         if serve.is_some() {
             return match rest.as_slice() {
@@ -668,24 +707,47 @@ impl EngineReport {
 /// Runs the engine over `input` into `sink`, gathering [`RunStats`] or a
 /// full [`ProfileStats`] only when requested — the plain path stays on
 /// the zero-overhead entry point.
+///
+/// When `counters` is armed, the whole run is bracketed by one counter
+/// group start/stop and the delta folds into `perf`; profiled runs
+/// additionally attribute cycles and instructions per pipeline stage by
+/// riding the stage-timer brackets with a [`PerfRecorder`]. An
+/// unavailable counter set (denied kernel, `RSQ_PERF=off`/`deny`) makes
+/// all of this a no-op with identical results.
 fn run_engine<S: Sink>(
     engine: &Engine,
     input: &[u8],
     sink: &mut S,
     want_stats: bool,
     want_profile: bool,
+    counters: &CounterSet,
+    perf: &mut PerfStats,
 ) -> Result<Option<EngineReport>, RunError> {
-    if want_profile {
-        engine
-            .try_run_with_profile(input, sink)
-            .map(|p| Some(EngineReport::Profile(Box::new(p))))
+    let group = counters.group();
+    if let Some(g) = group {
+        g.start();
+    }
+    let outcome = if want_profile {
+        let mut profile = ProfileStats::for_document(input.len());
+        match group {
+            Some(g) => {
+                let mut rec = PerfRecorder::new(&mut profile, g, perf);
+                engine.try_run_with_recorder(input, sink, &mut rec)
+            }
+            None => engine.try_run_with_recorder(input, sink, &mut profile),
+        }
+        .map(|()| Some(EngineReport::Profile(Box::new(profile))))
     } else if want_stats {
         engine
             .try_run_with_stats(input, sink)
             .map(|s| Some(EngineReport::Stats(s)))
     } else {
         engine.try_run(input, sink).map(|()| None)
+    };
+    if let Some(delta) = group.and_then(|g| g.stop()) {
+        perf.add_run(input.len() as u64, &delta);
     }
+    outcome
 }
 
 /// Nanoseconds since `t0`, saturated to `u64::MAX`.
@@ -695,20 +757,33 @@ fn elapsed_ns(t0: Instant) -> u64 {
 
 /// The single-document `--stats-json` line: the [`RunStats`] JSON with a
 /// leading `schema_version` field spliced in, plus a trailing `profile`
-/// object when profiling was on. With `--profile` off this is
-/// byte-identical to the unversioned report modulo the version field.
-fn versioned_stats_json(stats: &RunStats, profile: Option<&ProfileStats>) -> String {
+/// object when profiling was on and a `perf` object when hardware
+/// counters were readable. With `--profile` off and counters denied this
+/// is byte-identical to the unversioned report modulo the version field.
+fn versioned_stats_json(
+    stats: &RunStats,
+    profile: Option<&ProfileStats>,
+    perf: Option<&PerfStats>,
+) -> String {
     let stats_json = stats.to_json();
     let mut s = format!(
         "{{\"schema_version\":{STATS_SCHEMA_VERSION},{}",
         // PANIC-OK: RunStats::to_json always renders a brace-wrapped object, so byte 0 exists and is `{`
         &stats_json[1..]
     );
-    if let Some(p) = profile {
+    let mut append = |key: &str, object: String| {
         s.pop();
-        s.push_str(",\"profile\":");
-        s.push_str(&p.to_json());
+        s.push_str(",\"");
+        s.push_str(key);
+        s.push_str("\":");
+        s.push_str(&object);
         s.push('}');
+    };
+    if let Some(p) = profile {
+        append("profile", p.to_json());
+    }
+    if let Some(p) = perf {
+        append("perf", p.to_json());
     }
     s
 }
@@ -741,22 +816,49 @@ pub fn run(
     };
     // Writes the metrics exposition (when requested) and the stderr
     // stats/profile report for a finished single-document run.
-    let emit_stats = |err: &mut dyn Write, report: Option<EngineReport>| -> Result<(), CliError> {
+    let emit_stats = |err: &mut dyn Write,
+                      report: Option<EngineReport>,
+                      counters: &CounterSet,
+                      perf: &PerfStats|
+     -> Result<(), CliError> {
         let Some(report) = report else { return Ok(()) };
         if let Some(path) = &invocation.metrics_out {
-            let text = prometheus(report.stats(), report.profile(), None);
+            let mut text = prometheus(report.stats(), report.profile(), None);
+            if perf.docs > 0 {
+                prometheus_perf_into(&mut text, perf);
+            }
             std::fs::write(path, text).map_err(|e| {
                 CliError::new(CliErrorKind::Io, format!("cannot write {path}: {e}"))
             })?;
         }
+        // The hardware-counter block of the --profile report: the
+        // counter table, or one diagnostic line saying why there isn't
+        // one (denied kernel, RSQ_PERF=off/deny).
+        let hw = |err: &mut dyn Write| {
+            if perf.docs > 0 {
+                write!(err, "{perf}")
+            } else if let Some(reason) = counters.reason() {
+                writeln!(err, "hw counters        unavailable: {reason}")
+            } else {
+                Ok(())
+            }
+        };
         match (&report, invocation.stats) {
             (_, Some(StatsFormat::Json)) => writeln!(
                 err,
                 "{}",
-                versioned_stats_json(report.stats(), report.profile())
+                versioned_stats_json(
+                    report.stats(),
+                    report.profile(),
+                    (perf.docs > 0).then_some(perf)
+                )
             ),
-            (EngineReport::Profile(p), Some(StatsFormat::Human)) => writeln!(err, "{p}"),
-            (EngineReport::Profile(p), None) if invocation.profile => writeln!(err, "{p}"),
+            (EngineReport::Profile(p), Some(StatsFormat::Human)) => {
+                writeln!(err, "{p}").and_then(|()| hw(err))
+            }
+            (EngineReport::Profile(p), None) if invocation.profile => {
+                writeln!(err, "{p}").and_then(|()| hw(err))
+            }
             (EngineReport::Stats(stats), Some(StatsFormat::Human)) => write!(err, "{stats}"),
             // Stats gathered only to feed --metrics-out: nothing on stderr.
             (_, None) => Ok(()),
@@ -767,6 +869,17 @@ pub fn run(
     let want_stats = invocation.stats.is_some() || invocation.metrics_out.is_some();
     if let Some(source) = &invocation.batch {
         return run_batch(invocation, source, out, err);
+    }
+    // Hardware counters ride along only when a report will surface them;
+    // the plain result-only path never opens a perf fd.
+    let counters = if want_stats || want_profile {
+        CounterSet::open(invocation.perf)
+    } else {
+        CounterSet::open(PerfMode::Off)
+    };
+    let mut perf = PerfStats::default();
+    if let Some(g) = counters.group() {
+        perf.core_only = g.is_core_only();
     }
     match invocation.mode {
         Mode::Stats => {
@@ -801,11 +914,19 @@ pub fn run(
             let input = read_input(&engine, invocation)?;
             let ingest_ns = t_ingest.map(elapsed_ns);
             let mut sink = CountSink::new();
-            let mut report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
+            let mut report = run_engine(
+                &engine,
+                &input,
+                &mut sink,
+                want_stats,
+                want_profile,
+                &counters,
+                &mut perf,
+            )?;
             let t_sink = want_profile.then(Instant::now);
             emit(out, format_args!("{}", sink.count()))?;
             add_driver_stages(&mut report, ingest_ns, t_sink);
-            emit_stats(err, report)
+            emit_stats(err, report, &counters, &perf)
         }
         Mode::Positions => {
             let engine = compile(invocation)?;
@@ -813,13 +934,21 @@ pub fn run(
             let input = read_input(&engine, invocation)?;
             let ingest_ns = t_ingest.map(elapsed_ns);
             let mut sink = PositionsSink::new();
-            let mut report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
+            let mut report = run_engine(
+                &engine,
+                &input,
+                &mut sink,
+                want_stats,
+                want_profile,
+                &counters,
+                &mut perf,
+            )?;
             let t_sink = want_profile.then(Instant::now);
             for pos in sink.into_positions() {
                 emit(out, format_args!("{pos}"))?;
             }
             add_driver_stages(&mut report, ingest_ns, t_sink);
-            emit_stats(err, report)
+            emit_stats(err, report, &counters, &perf)
         }
         Mode::Values => {
             let engine = compile(invocation)?;
@@ -827,13 +956,21 @@ pub fn run(
             let input = read_input(&engine, invocation)?;
             let ingest_ns = t_ingest.map(elapsed_ns);
             let mut sink = PositionsSink::new();
-            let mut report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
+            let mut report = run_engine(
+                &engine,
+                &input,
+                &mut sink,
+                want_stats,
+                want_profile,
+                &counters,
+                &mut perf,
+            )?;
             let t_sink = want_profile.then(Instant::now);
             for pos in sink.into_positions() {
                 emit_node(out, &input, pos)?;
             }
             add_driver_stages(&mut report, ingest_ns, t_sink);
-            emit_stats(err, report)
+            emit_stats(err, report, &counters, &perf)
         }
         Mode::Verify => {
             let query = Query::parse(&invocation.query)
@@ -842,7 +979,15 @@ pub fn run(
                 .map_err(|e| CliError::new(CliErrorKind::Query, e.to_string()))?;
             let input = read_input(&engine, invocation)?;
             let mut sink = PositionsSink::new();
-            let report = run_engine(&engine, &input, &mut sink, want_stats, want_profile)?;
+            let report = run_engine(
+                &engine,
+                &input,
+                &mut sink,
+                want_stats,
+                want_profile,
+                &counters,
+                &mut perf,
+            )?;
             let streamed = sink.into_positions();
             let dom = rsq_json::parse(&input)
                 .map_err(|e| CliError::new(CliErrorKind::Malformed, e.to_string()))?;
@@ -852,7 +997,7 @@ pub fn run(
                     out,
                     format_args!("ok: {} matches, engine and oracle agree", streamed.len()),
                 )?;
-                emit_stats(err, report)
+                emit_stats(err, report, &counters, &perf)
             } else {
                 Err(CliError::new(
                     CliErrorKind::Failure,
@@ -883,6 +1028,17 @@ fn serve_options(invocation: &Invocation) -> ServeOptions {
             .max_inflight
             .unwrap_or(ServeOptions::DEFAULT_MAX_INFLIGHT),
         deadline: invocation.deadline_ms.map(Duration::from_millis),
+        collect_spans: invocation.trace_out.is_some(),
+        // Counters arm only when some report will surface them — the
+        // plain serve path opens no perf fds on the workers.
+        perf: if invocation.stats.is_some()
+            || invocation.metrics_out.is_some()
+            || invocation.telemetry.enabled()
+        {
+            invocation.perf
+        } else {
+            PerfMode::Off
+        },
     }
 }
 
@@ -928,19 +1084,27 @@ fn stop_telemetry_listener(
 
 /// The serve-mode `--stats-json` line; with telemetry on it carries a
 /// `"telemetry"` object (rolling windows, slow-log/postmortem counts)
-/// next to the lifetime `"serve"` counters.
-fn serve_stats_line(counters: &ServeCounters, hub: Option<&Arc<Telemetry>>) -> String {
-    match hub {
-        Some(h) => format!(
-            "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"serve\":{},\"telemetry\":{}}}",
-            counters.to_json(),
-            h.to_json()
-        ),
-        None => format!(
-            "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"serve\":{}}}",
-            counters.to_json()
-        ),
+/// next to the lifetime `"serve"` counters, and when hardware counters
+/// were readable a `"perf"` object with the cycles-per-byte report.
+fn serve_stats_line(
+    counters: &ServeCounters,
+    perf: Option<&PerfStats>,
+    hub: Option<&Arc<Telemetry>>,
+) -> String {
+    let mut line = format!(
+        "{{\"schema_version\":{STATS_SCHEMA_VERSION},\"serve\":{}",
+        counters.to_json()
+    );
+    if let Some(p) = perf {
+        line.push_str(",\"perf\":");
+        line.push_str(&p.to_json());
     }
+    if let Some(h) = hub {
+        line.push_str(",\"telemetry\":");
+        line.push_str(&h.to_json());
+    }
+    line.push('}');
+    line
 }
 
 /// The `--metrics-out` exposition: the hub's live rendering (lifetime
@@ -948,8 +1112,15 @@ fn serve_stats_line(counters: &ServeCounters, hub: Option<&Arc<Telemetry>>) -> S
 /// telemetry is on, else the report's counters.
 fn serve_metrics_text(report: &ServeReport, hub: Option<&Arc<Telemetry>>) -> String {
     match hub {
+        // The hub rendering already carries the folded rsq_perf_* series.
         Some(h) => h.render_metrics(),
-        None => prometheus_serve(&report.counters, Some(&report.latency)),
+        None => {
+            let mut text = prometheus_serve(&report.counters, Some(&report.latency));
+            if let Some(p) = &report.perf {
+                prometheus_perf_into(&mut text, p);
+            }
+            text
+        }
     }
 }
 
@@ -967,8 +1138,16 @@ fn finish_serve(
         std::fs::write(path, serve_metrics_text(report, hub))
             .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot write {path}: {e}")))?;
     }
+    if let Some(path) = &invocation.trace_out {
+        std::fs::write(path, chrome_trace_json(&report.spans))
+            .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot write {path}: {e}")))?;
+    }
     match invocation.stats {
-        Some(StatsFormat::Json) => writeln!(err, "{}", serve_stats_line(&report.counters, hub)),
+        Some(StatsFormat::Json) => writeln!(
+            err,
+            "{}",
+            serve_stats_line(&report.counters, report.perf.as_ref(), hub)
+        ),
         Some(StatsFormat::Human) => writeln!(err, "{}", report.counters),
         None => Ok(()),
     }
@@ -1094,12 +1273,23 @@ fn run_serve_unix(
                     |e| CliError::new(CliErrorKind::Io, format!("cannot write {mpath}: {e}")),
                 )?;
             }
+            // Like --metrics-out, the trace file is refreshed after every
+            // connection so a long-lived server's timeline stays current.
+            if let Some(tpath) = &invocation.trace_out {
+                std::fs::write(tpath, chrome_trace_json(&aggregate.spans)).map_err(|e| {
+                    CliError::new(CliErrorKind::Io, format!("cannot write {tpath}: {e}"))
+                })?;
+            }
             match invocation.stats {
                 Some(StatsFormat::Json) => {
                     writeln!(
                         err,
                         "{}",
-                        serve_stats_line(&aggregate.counters, hub.as_ref())
+                        serve_stats_line(
+                            &aggregate.counters,
+                            aggregate.perf.as_ref(),
+                            hub.as_ref()
+                        )
                     )
                 }
                 Some(StatsFormat::Human) => writeln!(err, "{}", aggregate.counters),
@@ -1135,6 +1325,16 @@ fn run_batch(
         engine: invocation.options,
         collect_stats: invocation.stats.is_some() || invocation.metrics_out.is_some(),
         profile: invocation.profile,
+        collect_spans: invocation.trace_out.is_some(),
+        // As in serve mode: counters only arm when a report surfaces them.
+        perf: if invocation.stats.is_some()
+            || invocation.metrics_out.is_some()
+            || invocation.profile
+        {
+            invocation.perf
+        } else {
+            PerfMode::Off
+        },
         ..BatchOptions::default()
     });
 
@@ -1204,14 +1404,27 @@ fn run_batch(
     }
 
     if let Some(path) = &invocation.metrics_out {
-        let text = prometheus(
+        let mut text = prometheus(
             &result.stats,
             None,
             Some((&result.counters, result.profile.as_ref())),
         );
+        if let Some(p) = &result.perf {
+            prometheus_perf_into(&mut text, p);
+        }
         std::fs::write(path, text)
             .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot write {path}: {e}")))?;
     }
+    if let Some(path) = &invocation.trace_out {
+        std::fs::write(path, chrome_trace_json(&result.spans))
+            .map_err(|e| CliError::new(CliErrorKind::Io, format!("cannot write {path}: {e}")))?;
+    }
+    // The hardware-counter table rides the human profile report; JSON
+    // reports carry the structured "perf" object instead.
+    let hw = |err: &mut dyn Write| match &result.perf {
+        Some(p) => write!(err, "{p}"),
+        None => Ok(()),
+    };
     match invocation.stats {
         Some(StatsFormat::Json) => {
             let mut line = format!(
@@ -1223,6 +1436,10 @@ fn run_batch(
                 line.push_str(",\"profile\":");
                 line.push_str(&profile.to_json());
             }
+            if let Some(p) = &result.perf {
+                line.push_str(",\"perf\":");
+                line.push_str(&p.to_json());
+            }
             line.push('}');
             writeln!(err, "{line}")
         }
@@ -1230,14 +1447,14 @@ fn run_batch(
             writeln!(err, "{}", result.counters).and_then(|()| match &result.profile {
                 // RunStats::Display ends without a newline; terminate it
                 // before the profile block.
-                Some(profile) => {
-                    writeln!(err, "{}", result.stats).and_then(|()| writeln!(err, "{profile}"))
-                }
+                Some(profile) => writeln!(err, "{}", result.stats)
+                    .and_then(|()| writeln!(err, "{profile}"))
+                    .and_then(|()| hw(err)),
                 None => write!(err, "{}", result.stats),
             })
         }
         None => match &result.profile {
-            Some(profile) => writeln!(err, "{profile}"),
+            Some(profile) => writeln!(err, "{profile}").and_then(|()| hw(err)),
             None => Ok(()),
         },
     }
@@ -1390,6 +1607,8 @@ mod tests {
                     max_inflight: None,
                     telemetry: TelemetryConfig::default(),
                     mmap,
+                    perf: PerfMode::Off,
+                    trace_out: None,
                 };
                 let mapped = run_to_string(&inv(MapPolicy::On)).unwrap();
                 let buffered = run_to_string(&inv(MapPolicy::Off)).unwrap();
@@ -1422,6 +1641,8 @@ mod tests {
                     max_inflight: None,
                     telemetry: TelemetryConfig::default(),
                     mmap,
+                    perf: PerfMode::Off,
+                    trace_out: None,
                 };
                 let err = run_to_string(&inv).unwrap_err();
                 assert_eq!(err.kind, CliErrorKind::Limit, "policy {mmap:?}");
@@ -1464,6 +1685,8 @@ mod tests {
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
                 mmap: MapPolicy::Auto,
+                perf: PerfMode::Off,
+                trace_out: None,
             };
             assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "2\n");
             assert_eq!(run_to_string(&inv(Mode::Values)).unwrap(), "2\n3\n");
@@ -1491,6 +1714,8 @@ mod tests {
             max_inflight: None,
             telemetry: TelemetryConfig::default(),
             mmap: MapPolicy::Auto,
+            perf: PerfMode::Off,
+            trace_out: None,
         };
         assert_eq!(
             run(&bad_query, &mut Vec::new(), &mut Vec::new())
@@ -1514,6 +1739,8 @@ mod tests {
             max_inflight: None,
             telemetry: TelemetryConfig::default(),
             mmap: MapPolicy::Auto,
+            perf: PerfMode::Off,
+            trace_out: None,
         };
         assert_eq!(
             run(&missing_file, &mut Vec::new(), &mut Vec::new())
@@ -1541,6 +1768,8 @@ mod tests {
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
                 mmap: MapPolicy::Auto,
+                perf: PerfMode::Off,
+                trace_out: None,
             };
             assert_eq!(
                 run(&strict, &mut Vec::new(), &mut Vec::new())
@@ -1569,6 +1798,8 @@ mod tests {
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
                 mmap: MapPolicy::Auto,
+                perf: PerfMode::Off,
+                trace_out: None,
             };
             assert_eq!(
                 run(&limited, &mut Vec::new(), &mut Vec::new())
@@ -1597,6 +1828,8 @@ mod tests {
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
                 mmap: MapPolicy::Auto,
+                perf: PerfMode::Off,
+                trace_out: None,
             };
             let out = run_to_string(&inv).unwrap();
             assert!(out.contains("nodes     4"), "{out}");
@@ -1622,6 +1855,8 @@ mod tests {
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
                 mmap: MapPolicy::Auto,
+                perf: PerfMode::Off,
+                trace_out: None,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1692,6 +1927,8 @@ mod tests {
                     max_inflight: None,
                     telemetry: TelemetryConfig::default(),
                     mmap: MapPolicy::Auto,
+                    perf: PerfMode::Off,
+                    trace_out: None,
                 };
                 assert_eq!(run_to_string(&inv(Mode::Count)).unwrap(), "1\n1\n0\n");
                 assert_eq!(
@@ -1724,6 +1961,8 @@ mod tests {
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
                 mmap: MapPolicy::Auto,
+                perf: PerfMode::Off,
+                trace_out: None,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1754,6 +1993,8 @@ mod tests {
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
                 mmap: MapPolicy::Auto,
+                perf: PerfMode::Off,
+                trace_out: None,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1792,6 +2033,8 @@ mod tests {
             max_inflight: None,
             telemetry: TelemetryConfig::default(),
             mmap: MapPolicy::Auto,
+            perf: PerfMode::Off,
+            trace_out: None,
         };
         let mut out = Vec::new();
         let mut err = Vec::new();
@@ -1836,11 +2079,13 @@ mod tests {
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
                 mmap: MapPolicy::Auto,
+                perf: PerfMode::Off,
+                trace_out: None,
             };
             let mut err = Vec::new();
             run(&inv(false), &mut Vec::new(), &mut err).unwrap();
             let plain = String::from_utf8(err).unwrap();
-            assert!(plain.starts_with("{\"schema_version\":3,"), "{plain}");
+            assert!(plain.starts_with("{\"schema_version\":4,"), "{plain}");
             assert!(!plain.contains("\"profile\""), "{plain}");
 
             let mut err = Vec::new();
@@ -1848,7 +2093,7 @@ mod tests {
             let profiled = String::from_utf8(err).unwrap();
             assert_eq!(profiled.lines().count(), 1, "{profiled}");
             for key in [
-                "\"schema_version\":3,",
+                "\"schema_version\":4,",
                 "\"profile\":{",
                 "\"bytes_skipped\":{",
                 "\"skip_rate_pct\":",
@@ -1861,7 +2106,7 @@ mod tests {
             // the profiled line still carries the identical stats body.
             let stats_body = plain
                 .trim_end()
-                .strip_prefix("{\"schema_version\":3,")
+                .strip_prefix("{\"schema_version\":4,")
                 .unwrap()
                 .strip_suffix('}')
                 .unwrap();
@@ -1887,6 +2132,8 @@ mod tests {
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
                 mmap: MapPolicy::Auto,
+                perf: PerfMode::Off,
+                trace_out: None,
             };
             let mut out = Vec::new();
             let mut err = Vec::new();
@@ -1918,6 +2165,8 @@ mod tests {
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
                 mmap: MapPolicy::Auto,
+                perf: PerfMode::Off,
+                trace_out: None,
             };
             let mut err = Vec::new();
             run(&inv, &mut Vec::new(), &mut err).unwrap();
@@ -1947,13 +2196,15 @@ mod tests {
                 max_inflight: None,
                 telemetry: TelemetryConfig::default(),
                 mmap: MapPolicy::Auto,
+                perf: PerfMode::Off,
+                trace_out: None,
             };
             let mut err = Vec::new();
             run(&inv(Some(StatsFormat::Json)), &mut Vec::new(), &mut err).unwrap();
             let json = String::from_utf8(err).unwrap();
             assert_eq!(json.lines().count(), 1, "{json}");
             for key in [
-                "\"schema_version\":3,",
+                "\"schema_version\":4,",
                 "\"batch\":{",
                 "\"cache_hit_ratio\":",
                 "\"profile\":{",
@@ -1989,6 +2240,8 @@ mod tests {
             max_inflight: None,
             telemetry: TelemetryConfig::default(),
             mmap: MapPolicy::Auto,
+            perf: PerfMode::Off,
+            trace_out: None,
         };
         let out = run_to_string(&inv).unwrap();
         assert!(out.starts_with("digraph"));
@@ -2104,6 +2357,8 @@ mod tests {
             max_inflight: None,
             telemetry: TelemetryConfig::default(),
             mmap: MapPolicy::Auto,
+            perf: PerfMode::Off,
+            trace_out: None,
         }
     }
 
@@ -2283,5 +2538,168 @@ mod tests {
         for p in [&serve_sock, &tele_sock, &metrics_path] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn parses_trace_out_flag() {
+        let serve = parse(&["--serve", "--trace-out", "t.json", "$..b"]).unwrap();
+        assert_eq!(serve.trace_out.as_deref(), Some("t.json"));
+        let batch = parse(&["--batch-ndjson", "x", "--trace-out=t.json", "$..b"]).unwrap();
+        assert_eq!(batch.trace_out.as_deref(), Some("t.json"));
+        // The timeline exists only where a worker pipeline does.
+        assert!(parse(&["--trace-out", "t.json", "$..b"]).is_err());
+        assert!(parse(&["--trace-out", "t.json", "$..b", "f.json"]).is_err());
+        assert!(parse(&["--trace-out"]).is_err());
+    }
+
+    /// Forced denial (`RSQ_PERF=deny`) and `off` must be observably
+    /// identical to a kernel that refuses `perf_event_open`: same
+    /// stdout, same exit class, and a stats JSON without a `"perf"`
+    /// object. `Auto` may add the object on capable hosts but must
+    /// never change stdout.
+    #[test]
+    fn perf_denial_changes_no_output() {
+        with_temp_file(r#"{"a": [1, {"b": 2}], "b": 3}"#, |path| {
+            let inv = |perf| Invocation {
+                mode: Mode::Count,
+                query: "$..b".to_owned(),
+                file: Some(path.to_owned()),
+                options: EngineOptions::default(),
+                stats: Some(StatsFormat::Json),
+                batch: None,
+                threads: 0,
+                profile: false,
+                metrics_out: None,
+                serve: None,
+                deadline_ms: None,
+                max_inflight: None,
+                telemetry: TelemetryConfig::default(),
+                mmap: MapPolicy::Auto,
+                perf,
+                trace_out: None,
+            };
+            let capture = |perf| {
+                let mut out = Vec::new();
+                let mut err = Vec::new();
+                run(&inv(perf), &mut out, &mut err).unwrap();
+                (out, String::from_utf8(err).unwrap())
+            };
+            let (out_off, err_off) = capture(PerfMode::Off);
+            let (out_deny, err_deny) = capture(PerfMode::Deny);
+            let (out_auto, err_auto) = capture(PerfMode::Auto);
+            assert_eq!(out_off, b"2\n");
+            assert_eq!(out_off, out_deny);
+            assert_eq!(out_off, out_auto);
+            assert_eq!(err_off, err_deny, "denial modes agree byte-for-byte");
+            assert!(!err_deny.contains("\"perf\""), "{err_deny}");
+            assert!(err_auto.starts_with("{\"schema_version\":4,"), "{err_auto}");
+            // Auto either matches the denied report exactly (denied
+            // host) or adds only the trailing "perf" object.
+            if err_auto != err_off {
+                assert!(err_auto.contains(",\"perf\":{\"core_only\":"), "{err_auto}");
+                let stats_body = err_off
+                    .trim_end()
+                    .strip_prefix('{')
+                    .unwrap()
+                    .strip_suffix('}')
+                    .unwrap();
+                assert!(err_auto.contains(stats_body), "{err_auto}");
+            }
+        });
+    }
+
+    /// `--profile` reports why counters are missing instead of silently
+    /// dropping the block.
+    #[test]
+    fn profile_reports_counter_denial_reason() {
+        with_temp_file(r#"{"a": 1}"#, |path| {
+            let inv = Invocation {
+                mode: Mode::Count,
+                query: "$.a".to_owned(),
+                file: Some(path.to_owned()),
+                options: EngineOptions::default(),
+                stats: None,
+                batch: None,
+                threads: 0,
+                profile: true,
+                metrics_out: None,
+                serve: None,
+                deadline_ms: None,
+                max_inflight: None,
+                telemetry: TelemetryConfig::default(),
+                mmap: MapPolicy::Auto,
+                perf: PerfMode::Deny,
+                trace_out: None,
+            };
+            let mut out = Vec::new();
+            let mut err = Vec::new();
+            run(&inv, &mut out, &mut err).unwrap();
+            assert_eq!(out, b"1\n", "stdout untouched");
+            let err = String::from_utf8(err).unwrap();
+            assert!(
+                err.contains("hw counters        unavailable: RSQ_PERF=deny:"),
+                "{err}"
+            );
+        });
+    }
+
+    #[test]
+    fn batch_trace_out_writes_a_complete_timeline() {
+        with_temp_file(
+            "{\"a\": 1}\n{\"b\": {\"a\": [2, 3]}}\n{\"c\": 0}\n",
+            |path| {
+                let trace_path = format!("{path}.trace.json");
+                let inv = Invocation {
+                    mode: Mode::Count,
+                    query: "$..a".to_owned(),
+                    file: None,
+                    options: EngineOptions::default(),
+                    stats: None,
+                    batch: Some(BatchSource::Ndjson(path.to_owned())),
+                    threads: 2,
+                    profile: false,
+                    metrics_out: None,
+                    serve: None,
+                    deadline_ms: None,
+                    max_inflight: None,
+                    telemetry: TelemetryConfig::default(),
+                    mmap: MapPolicy::Auto,
+                    perf: PerfMode::Off,
+                    trace_out: Some(trace_path.clone()),
+                };
+                let stdout = run_to_string(&inv).unwrap();
+                assert_eq!(stdout, "1\n1\n0\n", "stdout unchanged by --trace-out");
+                let trace = std::fs::read_to_string(&trace_path).unwrap();
+                let _ = std::fs::remove_file(&trace_path);
+                assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+                assert!(trace.ends_with("]}"), "{trace}");
+                // One doc slice plus four phase slices per document, all
+                // complete events — Perfetto opens this directly.
+                assert_eq!(trace.matches("\"ph\":\"X\"").count(), 3 * 5, "{trace}");
+                assert!(trace.contains("\"thread_name\""), "{trace}");
+                assert!(trace.contains("\"name\":\"doc 0 ["), "{trace}");
+                assert_eq!(
+                    trace.matches('{').count(),
+                    trace.matches('}').count(),
+                    "balanced JSON: {trace}"
+                );
+            },
+        );
+    }
+
+    #[test]
+    fn serve_trace_out_writes_a_complete_timeline() {
+        with_temp_file("", |path| {
+            let mut inv = serve_invocation(Mode::Count);
+            inv.trace_out = Some(path.to_owned());
+            let mut out = Vec::new();
+            run_serve_pipe(&inv, SERVE_INPUT, &mut out, &mut Vec::new()).unwrap();
+            assert_eq!(out, b"1\n2\n");
+            let trace = std::fs::read_to_string(path).unwrap();
+            assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+            assert_eq!(trace.matches("\"ph\":\"X\"").count(), 2 * 5, "{trace}");
+            assert!(trace.contains("\"queue-wait\""), "{trace}");
+            assert!(trace.contains("\"reorder-wait\""), "{trace}");
+        });
     }
 }

@@ -466,6 +466,25 @@ impl Engine {
         self.try_run_impl(input, sink, profile)
     }
 
+    /// Like [`try_run`](Self::try_run), but drives a caller-supplied
+    /// [`Recorder`] through the engine's monomorphized inner loops. This
+    /// is the extension point composite recorders (e.g. the hardware-
+    /// counter wrapper in `rsq-perf`) use to observe stage brackets and
+    /// route decisions without the engine knowing about them; with
+    /// [`NoStats`] it compiles to exactly [`try_run`](Self::try_run).
+    ///
+    /// # Errors
+    ///
+    /// As [`try_run`](Self::try_run).
+    pub fn try_run_with_recorder<S: Sink>(
+        &self,
+        input: &[u8],
+        sink: &mut S,
+        rec: &mut impl Recorder,
+    ) -> Result<(), RunError> {
+        self.try_run_impl(input, sink, rec)
+    }
+
     fn try_run_impl<S: Sink>(
         &self,
         input: &[u8],

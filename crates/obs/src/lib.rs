@@ -57,6 +57,7 @@ mod serve;
 mod skipmap;
 mod span;
 mod stats;
+mod timeline;
 mod window;
 
 pub use batch::BatchCounters;
@@ -70,6 +71,7 @@ pub use serve::{prometheus_serve, ServeCounters};
 pub use skipmap::{SkipMap, SkipTechnique};
 pub use span::{DocSpan, SpanRecord, Stopwatch};
 pub use stats::{BlockStats, ClassifierCounters, NoStats, Recorder, Route, RunStats, SkipStats};
+pub use timeline::chrome_trace_json;
 pub use window::{prometheus_telemetry, TelemetryGauges, WindowRing, WindowSnapshot};
 
 #[cfg(feature = "obs-trace")]

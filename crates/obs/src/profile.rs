@@ -40,8 +40,12 @@ use std::time::Instant;
 /// `xtask bench-diff` reject reports with a different version.
 ///
 /// Version 3 added the `route` field to [`RunStats`] (the query-shape
-/// route chosen at compile time, DESIGN.md §15).
-pub const STATS_SCHEMA_VERSION: u64 = 3;
+/// route chosen at compile time, DESIGN.md §15). Version 4 added the
+/// hardware-counter layer (DESIGN.md §16): an optional `perf` object
+/// (cycles/instructions per byte, per-stage attribution — absent when
+/// counters are unavailable), per-route document counters in serve
+/// reports, and `start_ns`/`worker`/`route` on pipeline span records.
+pub const STATS_SCHEMA_VERSION: u64 = 4;
 
 /// A pipeline stage bracketed by [`Recorder::clock`] /
 /// [`Recorder::stage_ns`].
@@ -81,8 +85,9 @@ impl ProfileStage {
         }
     }
 
+    /// Dense index of this stage in per-stage arrays (`< ALL.len()`).
     #[must_use]
-    fn index(self) -> usize {
+    pub fn index(self) -> usize {
         match self {
             ProfileStage::Ingest => 0,
             ProfileStage::Validate => 1,

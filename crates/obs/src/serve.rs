@@ -53,6 +53,10 @@ pub struct ServeCounters {
     /// `max`: the merged value is the worst moment across connections,
     /// not a sum.
     pub max_inflight: u64,
+    /// Successfully answered documents by the engine route that ran
+    /// them, indexed by [`Route::index`](crate::Route::index) — the
+    /// `rsq_route_docs_total{route=...}` series.
+    pub route_docs: [u64; 3],
 }
 
 impl ServeCounters {
@@ -60,6 +64,20 @@ impl ServeCounters {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Counts one answered document against `route`.
+    pub fn record_route(&mut self, route: crate::Route) {
+        // PANIC-OK: Route::index is < the per-route array length (one slot per route)
+        let slot = &mut self.route_docs[route.index()];
+        *slot = slot.saturating_add(1);
+    }
+
+    /// Documents answered via `route`.
+    #[must_use]
+    pub fn route_docs(&self, route: crate::Route) -> u64 {
+        // PANIC-OK: Route::index is < the per-route array length (one slot per route)
+        self.route_docs[route.index()]
     }
 
     /// Documents that ended in any per-document error.
@@ -77,13 +95,13 @@ impl ServeCounters {
     /// Keys are stable: `connections`, `documents`, `bytes_in`,
     /// `responses_ok`, `timeouts`, `oversize_rejections`, `limit_errors`,
     /// `malformed_errors`, `panics`, `io_errors`, `backpressure_waits`,
-    /// `max_inflight`.
+    /// `max_inflight`, `route_docs` (an object keyed by route name).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(256);
+        let mut s = String::with_capacity(320);
         let _ = write!(
             s,
-            "{{\"connections\":{},\"documents\":{},\"bytes_in\":{},\"responses_ok\":{},\"timeouts\":{},\"oversize_rejections\":{},\"limit_errors\":{},\"malformed_errors\":{},\"panics\":{},\"io_errors\":{},\"backpressure_waits\":{},\"max_inflight\":{}}}",
+            "{{\"connections\":{},\"documents\":{},\"bytes_in\":{},\"responses_ok\":{},\"timeouts\":{},\"oversize_rejections\":{},\"limit_errors\":{},\"malformed_errors\":{},\"panics\":{},\"io_errors\":{},\"backpressure_waits\":{},\"max_inflight\":{},\"route_docs\":{{",
             self.connections,
             self.documents,
             self.bytes_in,
@@ -97,6 +115,13 @@ impl ServeCounters {
             self.backpressure_waits,
             self.max_inflight,
         );
+        for (i, route) in crate::Route::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{}", route.as_str(), self.route_docs(*route));
+        }
+        s.push_str("}}");
         s
     }
 }
@@ -126,10 +151,17 @@ impl fmt::Display for ServeCounters {
             self.malformed_errors,
             self.panics
         )?;
-        write!(
+        writeln!(
             f,
             "backpressure       {} waits (max {} in flight)",
             self.backpressure_waits, self.max_inflight
+        )?;
+        write!(
+            f,
+            "routes             {} field_chain, {} selective, {} general",
+            self.route_docs(crate::Route::FieldChain),
+            self.route_docs(crate::Route::Selective),
+            self.route_docs(crate::Route::General),
         )
     }
 }
@@ -152,6 +184,9 @@ impl AddAssign for ServeCounters {
             .backpressure_waits
             .saturating_add(rhs.backpressure_waits);
         self.max_inflight = self.max_inflight.max(rhs.max_inflight);
+        for (a, b) in self.route_docs.iter_mut().zip(rhs.route_docs.iter()) {
+            *a = a.saturating_add(*b);
+        }
     }
 }
 
@@ -217,6 +252,16 @@ pub fn prometheus_serve(counters: &ServeCounters, latency: Option<&crate::Histog
             "Failed documents, by failure class.",
             &format!("class=\"{class}\""),
             v,
+            "counter",
+        );
+    }
+    for route in crate::Route::ALL {
+        metric(
+            &mut out,
+            "rsq_route_docs_total",
+            "Documents answered, by engine route.",
+            &format!("route=\"{}\"", route.as_str()),
+            counters.route_docs(route),
             "counter",
         );
     }
@@ -309,10 +354,39 @@ mod tests {
             "io_errors",
             "backpressure_waits",
             "max_inflight",
+            "route_docs",
+            "field_chain",
+            "selective",
+            "general",
         ] {
             assert!(json.contains(&format!("\"{key}\":")), "{json}");
         }
         assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn route_docs_count_and_merge() {
+        let mut a = ServeCounters::new();
+        a.record_route(crate::Route::FieldChain);
+        a.record_route(crate::Route::FieldChain);
+        a.record_route(crate::Route::General);
+        let mut b = ServeCounters::new();
+        b.record_route(crate::Route::Selective);
+        let sum = a + b;
+        assert_eq!(sum.route_docs(crate::Route::FieldChain), 2);
+        assert_eq!(sum.route_docs(crate::Route::Selective), 1);
+        assert_eq!(sum.route_docs(crate::Route::General), 1);
+        let json = sum.to_json();
+        assert!(
+            json.contains("\"route_docs\":{\"field_chain\":2,\"selective\":1,\"general\":1}"),
+            "{json}"
+        );
+        let text = prometheus_serve(&sum, None);
+        assert!(
+            text.contains("rsq_route_docs_total{route=\"field_chain\"} 2"),
+            "{text}"
+        );
+        crate::expo::check(&text).expect("route series pass the lint");
     }
 
     #[test]

@@ -56,6 +56,15 @@ pub struct SpanRecord {
     pub seq: u64,
     /// Document size in bytes.
     pub bytes: u64,
+    /// Admission timestamp, nanoseconds since the pipeline's epoch
+    /// (connection/batch start). Zero when the producer predates the
+    /// epoch plumbing; the trace renderer then falls back to packing
+    /// spans end-to-end.
+    pub start_ns: u64,
+    /// Index of the worker that ran the document (its trace track).
+    pub worker: u32,
+    /// The engine route that executed the document, when known.
+    pub route: Option<crate::Route>,
     /// Admission → worker claim.
     pub queue_wait_ns: u64,
     /// Worker claim → run finished (containment, deadline checks and
@@ -91,16 +100,23 @@ impl SpanRecord {
     }
 
     /// Serializes as a single-line JSON object with stable keys: `seq`,
-    /// `bytes`, `code`, `queue_wait_ns`, `run_ns`, `reorder_wait_ns`,
-    /// `emit_ns`, `total_ns`, `stages`.
+    /// `bytes`, `start_ns`, `worker`, `route`, `code`, `queue_wait_ns`,
+    /// `run_ns`, `reorder_wait_ns`, `emit_ns`, `total_ns`, `stages`.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256);
         let _ = write!(
             s,
-            "{{\"seq\":{},\"bytes\":{},\"code\":",
-            self.seq, self.bytes
+            "{{\"seq\":{},\"bytes\":{},\"start_ns\":{},\"worker\":{},\"route\":",
+            self.seq, self.bytes, self.start_ns, self.worker
         );
+        match self.route {
+            Some(route) => {
+                let _ = write!(s, "\"{route}\"");
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"code\":");
         match self.code {
             Some(code) => {
                 let _ = write!(s, "\"{code}\"");
@@ -135,14 +151,33 @@ impl DocSpan {
     /// Starts a span at admission time.
     #[must_use]
     pub fn begin(seq: u64, bytes: u64) -> Self {
+        Self::begin_at(seq, bytes, 0)
+    }
+
+    /// Starts a span at admission time, stamped `start_ns` nanoseconds
+    /// after the pipeline's epoch — the absolute placement a timeline
+    /// trace needs (phase laps alone only give durations).
+    #[must_use]
+    pub fn begin_at(seq: u64, bytes: u64, start_ns: u64) -> Self {
         DocSpan {
             record: SpanRecord {
                 seq,
                 bytes,
+                start_ns,
                 ..SpanRecord::default()
             },
             watch: Stopwatch::start(),
         }
+    }
+
+    /// Records which worker ran the document (its trace track).
+    pub fn worker(&mut self, worker: u32) {
+        self.record.worker = worker;
+    }
+
+    /// Records the engine route that executed the document.
+    pub fn route(&mut self, route: crate::Route) {
+        self.record.route = Some(route);
     }
 
     /// Nanoseconds since the previous mark; advances the mark.
@@ -248,6 +283,9 @@ mod tests {
         for key in [
             "\"seq\":2",
             "\"bytes\":64",
+            "\"start_ns\":0",
+            "\"worker\":0",
+            "\"route\":null",
             "\"code\":null",
             "\"queue_wait_ns\":",
             "\"run_ns\":",
@@ -264,5 +302,23 @@ mod tests {
             .snapshot()
             .to_json()
             .contains("\"code\":\"limit:depth\""));
+    }
+
+    #[test]
+    fn begin_at_stamps_epoch_offset_worker_and_route() {
+        let mut span = DocSpan::begin_at(5, 32, 9_000);
+        span.worker(3);
+        span.route(crate::Route::FieldChain);
+        span.claimed();
+        span.ran();
+        span.released();
+        let record = span.finish();
+        assert_eq!(record.start_ns, 9_000);
+        assert_eq!(record.worker, 3);
+        assert_eq!(record.route, Some(crate::Route::FieldChain));
+        let json = record.to_json();
+        assert!(json.contains("\"start_ns\":9000"), "{json}");
+        assert!(json.contains("\"worker\":3"), "{json}");
+        assert!(json.contains("\"route\":\"field_chain\""), "{json}");
     }
 }

@@ -89,6 +89,20 @@ pub enum Route {
 }
 
 impl Route {
+    /// All routes, in display order (the label order of
+    /// `rsq_route_docs_total`).
+    pub const ALL: [Route; 3] = [Route::FieldChain, Route::Selective, Route::General];
+
+    /// Dense index of this route in per-route arrays (`< ALL.len()`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Route::FieldChain => 0,
+            Route::Selective => 1,
+            Route::General => 2,
+        }
+    }
+
     /// Stable machine-readable name, as emitted in `--stats-json`.
     #[must_use]
     pub fn as_str(self) -> &'static str {

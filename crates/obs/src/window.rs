@@ -36,6 +36,7 @@ struct Slot {
     bytes: u64,
     errors: u64,
     busy_ns: u64,
+    route_docs: [u64; 3],
 }
 
 impl Slot {
@@ -46,6 +47,7 @@ impl Slot {
         self.bytes = 0;
         self.errors = 0;
         self.busy_ns = 0;
+        self.route_docs = [0; 3];
     }
 }
 
@@ -81,15 +83,28 @@ impl WindowRing {
     }
 
     /// Records one finished document into second `tick`: its end-to-end
-    /// latency, its size on the wire, whether it failed, and the worker
-    /// time it consumed.
-    pub fn record(&mut self, tick: u64, latency_ns: u64, bytes: u64, failed: bool, busy_ns: u64) {
+    /// latency, its size on the wire, whether it failed, the worker
+    /// time it consumed, and (when known) the engine route that ran it.
+    pub fn record(
+        &mut self,
+        tick: u64,
+        latency_ns: u64,
+        bytes: u64,
+        failed: bool,
+        busy_ns: u64,
+        route: Option<crate::Route>,
+    ) {
         let slot = self.slot_mut(tick);
         slot.latency.record(latency_ns);
         slot.docs = slot.docs.saturating_add(1);
         slot.bytes = slot.bytes.saturating_add(bytes);
         slot.errors = slot.errors.saturating_add(u64::from(failed));
         slot.busy_ns = slot.busy_ns.saturating_add(busy_ns);
+        if let Some(route) = route {
+            // PANIC-OK: Route::index is < the per-route array length (one slot per route)
+            let r = &mut slot.route_docs[route.index()];
+            *r = r.saturating_add(1);
+        }
     }
 
     /// Merges the last `secs` seconds ending at `now_tick` (inclusive)
@@ -112,6 +127,9 @@ impl WindowRing {
                 snap.bytes = snap.bytes.saturating_add(slot.bytes);
                 snap.errors = snap.errors.saturating_add(slot.errors);
                 snap.busy_ns = snap.busy_ns.saturating_add(slot.busy_ns);
+                for (a, b) in snap.route_docs.iter_mut().zip(slot.route_docs.iter()) {
+                    *a = a.saturating_add(*b);
+                }
             }
         }
         snap
@@ -134,6 +152,9 @@ pub struct WindowSnapshot {
     pub errors: u64,
     /// Worker nanoseconds consumed by those documents.
     pub busy_ns: u64,
+    /// Documents by engine route, indexed by
+    /// [`Route::index`](crate::Route::index).
+    pub route_docs: [u64; 3],
 }
 
 impl WindowSnapshot {
@@ -176,13 +197,13 @@ impl WindowSnapshot {
 
     /// Serializes as a single-line JSON object with stable keys:
     /// `secs`, `docs`, `bytes`, `errors`, `docs_per_sec`,
-    /// `bytes_per_sec`, `busy_ns`, `latency`.
+    /// `bytes_per_sec`, `busy_ns`, `route_docs`, `latency`.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(256);
+        let mut s = String::with_capacity(320);
         let _ = write!(
             s,
-            "{{\"secs\":{},\"docs\":{},\"bytes\":{},\"errors\":{},\"docs_per_sec\":{:.2},\"bytes_per_sec\":{:.2},\"busy_ns\":{},\"latency\":{}}}",
+            "{{\"secs\":{},\"docs\":{},\"bytes\":{},\"errors\":{},\"docs_per_sec\":{:.2},\"bytes_per_sec\":{:.2},\"busy_ns\":{},\"route_docs\":{{",
             self.secs,
             self.docs,
             self.bytes,
@@ -190,8 +211,20 @@ impl WindowSnapshot {
             self.docs_per_sec(),
             self.bytes_per_sec(),
             self.busy_ns,
-            self.latency.to_json(),
         );
+        for (i, route) in crate::Route::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            // PANIC-OK: Route::index is < the per-route array length (one slot per route)
+            let _ = write!(
+                s,
+                "\"{}\":{}",
+                route.as_str(),
+                self.route_docs[route.index()]
+            );
+        }
+        let _ = write!(s, "}},\"latency\":{}}}", self.latency.to_json());
         s
     }
 }
@@ -261,6 +294,17 @@ pub fn prometheus_telemetry(windows: &[&WindowSnapshot], gauges: &TelemetryGauge
             format!("{:.4}", snap.busy_fraction(gauges.workers.max(1))),
             "gauge",
         );
+        for route in crate::Route::ALL {
+            metric(
+                &mut out,
+                "rsq_window_route_docs",
+                "Documents by engine route inside the rolling window.",
+                &format!("{w},route=\"{}\"", route.as_str()),
+                // PANIC-OK: Route::index is < the per-route array length (one slot per route)
+                snap.route_docs[route.index()],
+                "gauge",
+            );
+        }
         for (q, v) in [
             ("0.5", snap.latency.p50()),
             ("0.9", snap.latency.p90()),
@@ -328,8 +372,8 @@ mod tests {
     fn window_merges_only_live_ticks() {
         let mut ring = WindowRing::new();
         for tick in 0..5u64 {
-            ring.record(tick, 1000, 100, false, 500);
-            ring.record(tick, 3000, 100, tick == 4, 500);
+            ring.record(tick, 1000, 100, false, 500, Some(crate::Route::FieldChain));
+            ring.record(tick, 3000, 100, tick == 4, 500, None);
         }
         let last3 = ring.window(4, 3);
         assert_eq!(last3.docs, 6, "ticks 2..=4, two docs each");
@@ -343,11 +387,11 @@ mod tests {
     #[test]
     fn stale_slots_are_recycled_not_double_counted() {
         let mut ring = WindowRing::new();
-        ring.record(3, 1000, 10, false, 0);
+        ring.record(3, 1000, 10, false, 0, None);
         // SLOTS ticks later the same physical slot is reused; the old
         // second's data must vanish.
         let later = 3 + SLOTS as u64;
-        ring.record(later, 2000, 20, false, 0);
+        ring.record(later, 2000, 20, false, 0, None);
         let snap = ring.window(later, 10);
         assert_eq!(snap.docs, 1);
         assert_eq!(snap.bytes, 20);
@@ -359,7 +403,7 @@ mod tests {
     #[test]
     fn quiet_ring_reports_zero_rates() {
         let mut ring = WindowRing::new();
-        ring.record(1, 1000, 50, false, 0);
+        ring.record(1, 1000, 50, false, 0, None);
         // 120 seconds later nothing recent is live.
         let snap = ring.window(121, 10);
         assert_eq!(snap.docs, 0);
@@ -372,7 +416,7 @@ mod tests {
         let mut ring = WindowRing::new();
         for tick in 0..10u64 {
             for _ in 0..5 {
-                ring.record(tick, 1_000_000, 200, false, 100_000_000);
+                ring.record(tick, 1_000_000, 200, false, 100_000_000, None);
             }
         }
         let snap = ring.window(9, 10);
@@ -387,7 +431,7 @@ mod tests {
     #[test]
     fn snapshot_json_has_stable_keys() {
         let mut ring = WindowRing::new();
-        ring.record(0, 500, 64, true, 100);
+        ring.record(0, 500, 64, true, 100, Some(crate::Route::General));
         let json = ring.window(0, 10).to_json();
         for key in [
             "\"secs\":10",
@@ -406,7 +450,7 @@ mod tests {
     #[test]
     fn telemetry_exposition_is_well_formed() {
         let mut ring = WindowRing::new();
-        ring.record(0, 500, 64, false, 100);
+        ring.record(0, 500, 64, false, 100, Some(crate::Route::Selective));
         let w10 = ring.window(0, 10);
         let w60 = ring.window(0, 60);
         let gauges = TelemetryGauges {
@@ -420,6 +464,10 @@ mod tests {
         crate::expo::check(&text).expect("exposition passes the lint");
         assert!(text.contains("rsq_window_latency_ns{window=\"10s\",quantile=\"0.99\"}"));
         assert!(text.contains("rsq_window_docs_per_sec{window=\"60s\"}"));
+        assert!(
+            text.contains("rsq_window_route_docs{window=\"10s\",route=\"selective\"} 1"),
+            "{text}"
+        );
         assert!(text.contains("rsq_queue_depth 2"));
         assert!(text.contains("rsq_in_flight 3"));
         assert_eq!(

@@ -46,11 +46,12 @@ pub use telemetry::{Telemetry, TelemetryOptions};
 use pool::Pool;
 use rsq_batch::{DocError, DocErrorKind, Frame, NdjsonFramer};
 use rsq_engine::{Engine, EngineOptions, LimitKind, RunError};
-use rsq_obs::{FlightRecorder, Histogram, ProfileStats, ServeCounters};
+use rsq_obs::{FlightRecorder, Histogram, ProfileStats, ServeCounters, SpanRecord};
+use rsq_perf::{CounterSet, PerfMode, PerfStats};
 use rsq_query::Query;
 use std::io::{self, Read, Write};
 use std::num::NonZeroUsize;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -97,6 +98,15 @@ pub struct ServeOptions {
     /// `None` = no deadline. `Some(Duration::ZERO)` deterministically
     /// times out every document (useful in tests).
     pub deadline: Option<Duration>,
+    /// Collect every document's finished pipeline span into
+    /// [`ServeReport::spans`] for timeline-trace export (`--trace-out`).
+    /// Off by default: the plain path keeps its no-clock-reads
+    /// guarantee.
+    pub collect_spans: bool,
+    /// Hardware-counter mode for the per-worker sampled cycle
+    /// accounting. [`PerfMode::Off`] by default — the CLI arms this
+    /// only when a reporting sink (stats, metrics, telemetry) exists.
+    pub perf: PerfMode,
 }
 
 impl ServeOptions {
@@ -116,6 +126,8 @@ impl ServeOptions {
             threads: 0,
             max_inflight: Self::DEFAULT_MAX_INFLIGHT,
             deadline: None,
+            collect_spans: false,
+            perf: PerfMode::Off,
         }
     }
 
@@ -162,6 +174,12 @@ pub struct ServeReport {
     /// written; `false` after a mid-stream disconnect or a failed
     /// response write.
     pub clean: bool,
+    /// Finished pipeline spans in emission order, for timeline-trace
+    /// export. Empty unless [`ServeOptions::collect_spans`] was set.
+    pub spans: Vec<SpanRecord>,
+    /// Sampled hardware-counter totals across the session's workers.
+    /// `None` when counters were off or unavailable (denied hosts).
+    pub perf: Option<PerfStats>,
 }
 
 impl Default for ServeReport {
@@ -171,6 +189,8 @@ impl Default for ServeReport {
             latency: Histogram::new(),
             first_failure: None,
             clean: true,
+            spans: Vec::new(),
+            perf: None,
         }
     }
 }
@@ -184,6 +204,10 @@ impl ServeReport {
             self.first_failure = other.first_failure;
         }
         self.clean &= other.clean;
+        self.spans.extend_from_slice(&other.spans);
+        if let Some(p) = other.perf {
+            *self.perf.get_or_insert_with(PerfStats::default) += p;
+        }
     }
 }
 
@@ -232,6 +256,9 @@ struct EmitTally {
     first_failure: Option<DocErrorKind>,
     write_failed: bool,
     latency: Histogram,
+    /// Finished spans in emission order (only filled when the session
+    /// collects spans for trace export).
+    spans: Vec<SpanRecord>,
 }
 
 impl EmitTally {
@@ -247,6 +274,7 @@ impl EmitTally {
             first_failure: None,
             write_failed: false,
             latency: Histogram::new(),
+            spans: Vec::new(),
         }
     }
 }
@@ -264,6 +292,7 @@ fn emit_loop<W: Write, E: Write>(
     pool: &Pool,
     mode: ResponseMode,
     telemetry: Option<&Telemetry>,
+    collect_spans: bool,
     out: &mut W,
     err: &mut E,
 ) -> EmitTally {
@@ -294,11 +323,17 @@ fn emit_loop<W: Write, E: Write>(
                 err.write_all(line.as_bytes()).and_then(|()| err.flush())
             }
         };
-        if let Some(t) = telemetry {
-            if resp.framer_rejected {
+        if resp.framer_rejected {
+            if let Some(t) = telemetry {
                 t.record_reject();
-            } else if let Some(span) = resp.span.take() {
-                t.record_doc(&span.finish(), resp.latency_ns);
+            }
+        } else if let Some(span) = resp.span.take() {
+            let record = span.finish();
+            if let Some(t) = telemetry {
+                t.record_doc(&record, resp.latency_ns);
+            }
+            if collect_spans {
+                tally.spans.push(record);
             }
         }
         if wrote.is_err() {
@@ -388,10 +423,19 @@ where
     if let Some(t) = hub {
         t.set_workers(options.effective_threads() as u64);
     }
-    let pool = Pool::new(options.max_inflight, telemetry.cloned());
+    let pool = Pool::new(
+        options.max_inflight,
+        telemetry.cloned(),
+        options.collect_spans,
+    );
     let mut framer = NdjsonFramer::new(options.engine.max_document_bytes);
     let mode = options.mode;
     let deadline = options.deadline;
+    let collect_spans = options.collect_spans;
+    let perf_mode = options.perf;
+    // Sampled per-worker hardware-counter deltas fold in here — one
+    // lock per worker at drain time, never on the per-document path.
+    let perf_total: Mutex<PerfStats> = Mutex::new(PerfStats::default());
     let mut bytes_in: u64 = 0;
     let mut disconnected = false;
 
@@ -400,16 +444,26 @@ where
             let pool = &pool;
             let mut out = out;
             let mut err = err;
-            move || emit_loop(pool, mode, hub, &mut out, &mut err)
+            move || emit_loop(pool, mode, hub, collect_spans, &mut out, &mut err)
         });
         let workers: Vec<_> = (0..options.effective_threads())
             .map(|worker_idx| {
                 let pool = &pool;
                 let engine = &engine;
+                let perf_total = &perf_total;
                 scope.spawn(move || {
                     // Per-worker flight recorder: local to the thread,
                     // no locking; only exists with telemetry on.
                     let mut flight = hub.map(|t| FlightRecorder::new(t.flight_window()));
+                    // Per-worker counter group: perf events count the
+                    // opening thread, so each worker arms its own set.
+                    // `Off` (the default) and denied hosts both land on
+                    // `Unavailable`, making the bracket below a no-op.
+                    let counters = CounterSet::open(perf_mode);
+                    let mut perf_local = PerfStats::default();
+                    if let Some(g) = counters.group() {
+                        perf_local.core_only = g.is_core_only();
+                    }
                     let mut doc_index = 0usize;
                     while let Some(mut job) = pool.take_job() {
                         // Stage-timer detail is *sampled*: the Tier C
@@ -429,8 +483,21 @@ where
                             .as_ref()
                             .filter(|_| sampled)
                             .map(|_| ProfileStats::new());
+                        // Hardware counters ride the same sampling
+                        // cadence: bracket the whole run (containment,
+                        // deadline checks and all) so cycles/byte
+                        // reflects what serving actually costs.
+                        let group = counters.group().filter(|_| sampled);
+                        if let Some(g) = group {
+                            g.start();
+                        }
                         let mut resp = pool::process(engine, deadline, &job, profile.as_mut());
+                        if let Some(delta) = group.and_then(|g| g.stop()) {
+                            perf_local.add_run(job.doc.len() as u64, &delta);
+                        }
                         if let Some(mut span) = job.span.take() {
+                            span.worker(worker_idx as u32);
+                            span.route(engine.route());
                             span.ran();
                             if let Some(p) = &profile {
                                 span.stages(p.stages);
@@ -452,6 +519,10 @@ where
                         let seq = job.seq;
                         resp.doc = job.doc;
                         pool.complete(seq, resp);
+                    }
+                    if perf_local.docs > 0 {
+                        // PANIC-OK: poisoned only if a panic escaped per-document containment
+                        *perf_total.lock().unwrap() += perf_local;
                     }
                 })
             })
@@ -516,11 +587,16 @@ where
     });
 
     let (documents, backpressure_waits, max_inflight) = pool.accounting();
+    let perf = perf_total.into_inner().unwrap_or_default();
     let mut counters = ServeCounters::new();
     counters.connections = 1;
     counters.documents = documents;
     counters.bytes_in = bytes_in;
     counters.responses_ok = tally.ok;
+    // The route is a static property of the compiled query, so every
+    // successfully answered document took the same one.
+    // PANIC-OK: Route::index is < the per-route array length (one slot per route)
+    counters.route_docs[engine.route().index()] = tally.ok;
     counters.timeouts = tally.timeouts;
     counters.oversize_rejections = tally.oversize;
     counters.limit_errors = tally.limits;
@@ -533,8 +609,10 @@ where
     if let Some(t) = hub {
         // Per-document facts already streamed into the hub at emit time;
         // this folds in the connection-scoped remainder (connections,
-        // bytes_in, io_errors, backpressure, high-water mark).
+        // bytes_in, io_errors, backpressure, high-water mark) and the
+        // sampled hardware-counter totals.
         t.record_connection(&counters);
+        t.record_perf(&perf);
     }
 
     Ok(ServeReport {
@@ -542,6 +620,8 @@ where
         latency: tally.latency,
         first_failure: tally.first_failure,
         clean: !disconnected && !tally.write_failed,
+        spans: tally.spans,
+        perf: (perf.docs > 0).then_some(perf),
     })
 }
 
@@ -787,6 +867,57 @@ mod tests {
             assert!(body.contains("\"queue_wait_ns\":"), "{body}");
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn collect_spans_builds_a_timeline_trace() {
+        let mut o = opts("$..b");
+        o.collect_spans = true;
+        let (out, err, report) = serve_bytes(&o, INPUT);
+        assert_eq!(out, b"1\n1\n0\n", "span collection must not change output");
+        assert!(err.is_empty());
+        assert_eq!(report.spans.len(), 3, "one span per document");
+        for (i, span) in report.spans.iter().enumerate() {
+            assert_eq!(span.seq, i as u64, "spans come back in emission order");
+            assert!(span.route.is_some(), "worker stamped the engine route");
+            assert!(span.start_ns > 0, "admission stamped against the epoch");
+            assert!(span.total_ns() > 0);
+        }
+        let json = rsq_obs::chrome_trace_json(&report.spans);
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert_eq!(
+            json.matches("\"ph\":\"X\"").count(),
+            3 * 5,
+            "doc + four phase slices per document: {json}"
+        );
+    }
+
+    #[test]
+    fn route_docs_account_for_every_answered_document() {
+        let (_, _, report) = serve_bytes(&opts("$..b"), INPUT);
+        let total: u64 = rsq_obs::Route::ALL
+            .iter()
+            .map(|&r| report.counters.route_docs(r))
+            .sum();
+        assert_eq!(total, report.counters.responses_ok);
+    }
+
+    #[test]
+    fn perf_deny_keeps_output_identical_and_report_empty() {
+        let (plain_out, plain_err, _) = serve_bytes(&opts("$..b"), INPUT);
+        for mode in [PerfMode::Deny, PerfMode::Auto] {
+            let mut o = opts("$..b");
+            o.perf = mode;
+            let (out, err, report) = serve_bytes(&o, INPUT);
+            assert_eq!(out, plain_out, "{mode:?}");
+            assert_eq!(err, plain_err, "{mode:?}");
+            if mode == PerfMode::Deny {
+                assert!(
+                    report.perf.is_none(),
+                    "denied counters must vanish from the report"
+                );
+            }
+        }
     }
 
     #[test]

@@ -86,10 +86,22 @@ pub(crate) struct Pool {
     /// exactly as cheap as before telemetry existed: no spans, no
     /// gauge atomics, no clock reads beyond the latency `Instant`.
     telemetry: Option<Arc<Telemetry>>,
+    /// Create pipeline spans even without a hub — set when the session
+    /// exports a timeline trace (`--trace-out`), which needs finished
+    /// span records but no live scrape endpoint.
+    collect_spans: bool,
+    /// The connection's clock zero: spans are stamped with their
+    /// admission offset from here, giving the timeline trace absolute
+    /// placement.
+    epoch: Instant,
 }
 
 impl Pool {
-    pub(crate) fn new(capacity: usize, telemetry: Option<Arc<Telemetry>>) -> Self {
+    pub(crate) fn new(
+        capacity: usize,
+        telemetry: Option<Arc<Telemetry>>,
+        collect_spans: bool,
+    ) -> Self {
         Pool {
             state: Mutex::new(State {
                 jobs: VecDeque::new(),
@@ -107,6 +119,8 @@ impl Pool {
             done_ready: Condvar::new(),
             capacity: capacity.max(1),
             telemetry,
+            collect_spans,
+            epoch: Instant::now(),
         }
     }
 
@@ -135,9 +149,14 @@ impl Pool {
     /// has aborted (the producer should stop reading).
     pub(crate) fn admit(&self, doc: Vec<u8>) -> bool {
         let telemetry = self.telemetry.as_deref();
+        let spans = telemetry.is_some() || self.collect_spans;
         let admitted = self
             .admit_slot(|state, seq| {
-                let span = telemetry.map(|_| DocSpan::begin(seq, doc.len() as u64));
+                let span = spans.then(|| {
+                    let since_epoch =
+                        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    DocSpan::begin_at(seq, doc.len() as u64, since_epoch)
+                });
                 state.jobs.push_back(Job {
                     seq,
                     doc,

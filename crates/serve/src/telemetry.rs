@@ -29,6 +29,7 @@ use rsq_obs::{
     prometheus_serve, prometheus_telemetry, FlightRecorder, Histogram, ServeCounters, SpanRecord,
     TelemetryGauges, WindowRing,
 };
+use rsq_perf::{prometheus_perf_into, PerfStats};
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -68,6 +69,11 @@ struct HubState {
     counters: ServeCounters,
     latency: Histogram,
     ring: WindowRing,
+    /// Hardware-counter totals folded in at connection end (sampled
+    /// per-worker deltas). All zeros until a connection with armed
+    /// counters reports; the exposition omits the `rsq_perf_*` series
+    /// while `docs == 0`.
+    perf: PerfStats,
 }
 
 /// The shared telemetry hub of one serving session (see module docs).
@@ -105,6 +111,7 @@ impl Telemetry {
                 counters: ServeCounters::new(),
                 latency: Histogram::new(),
                 ring: WindowRing::new(),
+                perf: PerfStats::default(),
             }),
             queue_depth: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
@@ -194,12 +201,16 @@ impl Telemetry {
                 record.bytes,
                 record.failed(),
                 record.run_ns,
+                record.route,
             );
             state.latency.record(latency_ns);
             state.counters.documents = state.counters.documents.saturating_add(1);
             match record.code {
                 None => {
                     state.counters.responses_ok = state.counters.responses_ok.saturating_add(1);
+                    if let Some(route) = record.route {
+                        state.counters.record_route(route);
+                    }
                 }
                 Some("timeout") => {
                     state.counters.timeouts = state.counters.timeouts.saturating_add(1);
@@ -248,6 +259,18 @@ impl Telemetry {
             .backpressure_waits
             .saturating_add(counters.backpressure_waits);
         c.max_inflight = c.max_inflight.max(counters.max_inflight);
+    }
+
+    /// Folds a connection's sampled hardware-counter totals into the
+    /// hub, surfacing them as `rsq_perf_*` series on the scrape
+    /// endpoint. No-op for all-zero stats (counters never armed).
+    pub(crate) fn record_perf(&self, perf: &PerfStats) {
+        if perf.docs == 0 {
+            return;
+        }
+        // PANIC-OK: telemetry mutex poisoned only if a panic escaped containment; crash rather than publish torn counters
+        let mut state = self.state.lock().unwrap();
+        state.perf += *perf;
     }
 
     /// Writes the postmortem artifact for a faulted document: the
@@ -299,6 +322,9 @@ impl Telemetry {
         let w60 = state.ring.window(tick, 60);
         let mut out = prometheus_serve(&state.counters, Some(&state.latency));
         out.push_str(&prometheus_telemetry(&[&w10, &w60], &self.gauges()));
+        if state.perf.docs > 0 {
+            prometheus_perf_into(&mut out, &state.perf);
+        }
         out
     }
 
@@ -496,6 +522,68 @@ mod tests {
         let json = hub.to_json();
         assert!(json.contains("\"window_10s\":{\"secs\":10"), "{json}");
         assert!(json.contains("\"slow_documents\":0"), "{json}");
+    }
+
+    #[test]
+    fn routed_spans_feed_route_series_and_windows() {
+        let hub = Telemetry::new(&TelemetryOptions {
+            live: true,
+            ..TelemetryOptions::default()
+        });
+        let mut span = DocSpan::begin(0, 100);
+        span.route(rsq_obs::Route::FieldChain);
+        span.claimed();
+        span.ran();
+        span.released();
+        hub.record_doc(&span.finish(), 5_000);
+        // A failed document's route never counts as answered.
+        let mut failed = DocSpan::begin(1, 100);
+        failed.route(rsq_obs::Route::FieldChain);
+        failed.claimed();
+        failed.ran();
+        failed.released();
+        failed.fault("timeout");
+        hub.record_doc(&failed.finish(), 5_000);
+        let text = hub.render_metrics();
+        rsq_obs::expo::check(&text).expect("exposition with route series passes the lint");
+        assert!(
+            text.contains("rsq_route_docs_total{route=\"field_chain\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rsq_window_route_docs{window=\"10s\",route=\"field_chain\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn perf_totals_surface_in_exposition_only_once_reported() {
+        let hub = Telemetry::new(&TelemetryOptions {
+            live: true,
+            ..TelemetryOptions::default()
+        });
+        assert!(
+            !hub.render_metrics().contains("rsq_perf_"),
+            "no perf series before any report"
+        );
+        hub.record_perf(&PerfStats::default()); // zero docs: ignored
+        assert!(!hub.render_metrics().contains("rsq_perf_"));
+        let mut perf = PerfStats::default();
+        perf.add_run(
+            1_000,
+            &rsq_perf::CounterValues {
+                cycles: 2_000,
+                instructions: 4_000,
+                time_enabled: 10,
+                time_running: 10,
+                ..rsq_perf::CounterValues::default()
+            },
+        );
+        hub.record_perf(&perf);
+        let text = hub.render_metrics();
+        rsq_obs::expo::check(&text).expect("exposition with perf series passes the lint");
+        assert!(text.contains("rsq_perf_cycles_total 2000"), "{text}");
+        assert!(text.contains("rsq_perf_cycles_per_byte 2.0000"), "{text}");
     }
 
     #[test]

@@ -39,7 +39,12 @@ use std::path::Path;
 
 /// Path prefixes (workspace-relative, `/`-separated) where `unsafe` is
 /// permitted. Everything else must be `unsafe`-free.
-pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/simd/", "crates/stackvec/", "crates/mmap/"];
+pub const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/simd/",
+    "crates/stackvec/",
+    "crates/mmap/",
+    "crates/perf/",
+];
 
 /// How many lines above an `unsafe` site a `SAFETY:` comment may sit.
 const SAFETY_COMMENT_REACH: u32 = 3;

@@ -15,6 +15,10 @@
 //!   threshold — the fast-forwards are eliding less input;
 //! * **latency regressions**: the per-document `latency.p99` *rose* by
 //!   more than the threshold;
+//! * **efficiency regressions**: hardware-counter `cycles_per_byte`
+//!   (the kernel-efficiency experiment) *rose* by more than its own
+//!   `--cpb-threshold` — the engine burns more CPU per input byte even
+//!   if wall-clock throughput hides it behind frequency scaling;
 //! * **route regressions**: a row the old report ran on a fast path
 //!   (`stats.route` of `field_chain` or `selective`, DESIGN.md §15) fell
 //!   back to `general` — or lost its `route` column — in the new report.
@@ -35,9 +39,13 @@
 //!
 //! Skip/work/byte/latency checks only run when *both* rows carry the
 //! column (modulo the missing-column check above); throughput checks
-//! always run.
+//! always run. The cycles-per-byte check also needs both sides, and a
+//! *lost* `cycles_per_byte` column is deliberately NOT a regression:
+//! counters are a host capability (perf-denied containers and VMs emit
+//! no kernel-efficiency rows at all), so their absence means "this
+//! machine can't measure", not "the engine got slower".
 //!
-//! Reports must carry `"schema_version": 3` (written by `experiments
+//! Reports must carry `"schema_version": 4` (written by `experiments
 //! --json` since the profiling layer landed); older reports are rejected
 //! with an error asking for regeneration rather than silently compared
 //! with missing columns.
@@ -70,6 +78,10 @@ pub struct Row {
     /// The evaluation route (from `stats.route`), when the row carries
     /// stats: `"field_chain"`, `"selective"`, or `"general"`.
     pub route: Option<String>,
+    /// Multiplex-corrected CPU cycles per input byte, when the row was
+    /// measured with hardware counters (the kernel-efficiency
+    /// experiment).
+    pub cycles_per_byte: Option<f64>,
 }
 
 /// Whether a reported route name is one of the memmem-led fast paths.
@@ -164,6 +176,7 @@ pub fn load_report(path: &Path) -> Result<Vec<Row>, String> {
             .and_then(|l| number_member(l, "p99"))
             .map(|n| n as u64);
         let route = stats.and_then(|s| string_member(s, "route"));
+        let cycles_per_byte = number_member(item, "cycles_per_byte");
         rows.push(Row {
             experiment,
             name,
@@ -173,6 +186,7 @@ pub fn load_report(path: &Path) -> Result<Vec<Row>, String> {
             bytes_skipped_total,
             latency_p99,
             route,
+            cycles_per_byte,
         });
     }
     Ok(rows)
@@ -184,7 +198,10 @@ pub fn load_report(path: &Path) -> Result<Vec<Row>, String> {
 /// wall-clock percentiles are far noisier than the deterministic skip
 /// and block counts, and rows the *old* report ran on a fast path get
 /// `fast_threshold_pct` for the throughput check (memmem-led rows are
-/// faster and proportionally noisier).
+/// faster and proportionally noisier). The hardware-counter
+/// cycles-per-byte check uses `cpb_threshold_pct` and only runs when
+/// both rows carry the column (counter availability is a host
+/// capability, not an engine property).
 #[must_use]
 pub fn diff(
     old: &[Row],
@@ -192,6 +209,7 @@ pub fn diff(
     threshold_pct: f64,
     latency_threshold_pct: f64,
     fast_threshold_pct: f64,
+    cpb_threshold_pct: f64,
 ) -> DiffReport {
     let mut report = DiffReport::default();
     let find = |rows: &[Row], e: &str, n: &str| -> Option<Row> {
@@ -327,6 +345,22 @@ pub fn diff(
             }
             (None, _) => {}
         }
+        // Cycles per byte: burning more CPU per input byte is worse.
+        // Both sides must have measured it; a lost column is a host
+        // capability change (perf-denied machine), not a regression.
+        if let (Some(old_cpb), Some(new_cpb)) = (old_row.cycles_per_byte, new_row.cycles_per_byte) {
+            if old_cpb > 0.0 {
+                let rise_pct = (new_cpb - old_cpb) / old_cpb * 100.0;
+                if rise_pct > cpb_threshold_pct {
+                    report.regressions.push(Regression {
+                        row: key.clone(),
+                        detail: format!(
+                            "cycles per byte rose {rise_pct:.1}% ({old_cpb:.4} -> {new_cpb:.4})"
+                        ),
+                    });
+                }
+            }
+        }
     }
     for new_row in new {
         if find(old, &new_row.experiment, &new_row.name).is_none() {
@@ -374,13 +408,14 @@ mod tests {
             bytes_skipped_total: None,
             latency_p99: None,
             route: None,
+            cycles_per_byte: None,
         }
     }
 
     #[test]
     fn identical_reports_are_clean() {
         let rows = vec![row("tables", "B1", 3.0, Some(100))];
-        let report = diff(&rows, &rows, 10.0, 25.0, 20.0);
+        let report = diff(&rows, &rows, 10.0, 25.0, 20.0, 20.0);
         assert!(report.regressions.is_empty());
         assert_eq!(report.compared, 1);
     }
@@ -389,25 +424,29 @@ mod tests {
     fn throughput_drop_beyond_threshold_flags() {
         let old = vec![row("tables", "B1", 3.0, None)];
         let new = vec![row("tables", "B1", 2.5, None)];
-        let report = diff(&old, &new, 10.0, 25.0, 20.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0, 20.0);
         assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
         assert!(report.regressions[0].detail.contains("throughput"));
         // The same drop passes a looser threshold.
-        assert!(diff(&old, &new, 20.0, 25.0, 20.0).regressions.is_empty());
+        assert!(diff(&old, &new, 20.0, 25.0, 20.0, 20.0)
+            .regressions
+            .is_empty());
     }
 
     #[test]
     fn small_fluctuations_pass() {
         let old = vec![row("tables", "B1", 3.0, Some(100))];
         let new = vec![row("tables", "B1", 2.9, Some(95))];
-        assert!(diff(&old, &new, 10.0, 25.0, 20.0).regressions.is_empty());
+        assert!(diff(&old, &new, 10.0, 25.0, 20.0, 20.0)
+            .regressions
+            .is_empty());
     }
 
     #[test]
     fn skip_count_decrease_flags() {
         let old = vec![row("ablations", "A1", 3.0, Some(1000))];
         let new = vec![row("ablations", "A1", 3.0, Some(500))];
-        let report = diff(&old, &new, 10.0, 25.0, 20.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0, 20.0);
         assert_eq!(report.regressions.len(), 1);
         assert!(report.regressions[0].detail.contains("skip events"));
     }
@@ -418,7 +457,7 @@ mod tests {
         let mut new = vec![row("tables", "B1", 3.0, None)];
         old[0].blocks_total = Some(1000);
         new[0].blocks_total = Some(1500);
-        let report = diff(&old, &new, 10.0, 25.0, 20.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0, 20.0);
         assert_eq!(report.regressions.len(), 1);
         assert!(report.regressions[0].detail.contains("blocks"));
     }
@@ -429,12 +468,14 @@ mod tests {
         let mut new = vec![row("skip-ablation", "B1", 3.0, None)];
         old[0].bytes_skipped_total = Some(4_000_000);
         new[0].bytes_skipped_total = Some(3_000_000);
-        let report = diff(&old, &new, 10.0, 25.0, 20.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0, 20.0);
         assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
         assert!(report.regressions[0].detail.contains("bytes skipped"));
         // Within the threshold is fine.
         new[0].bytes_skipped_total = Some(3_900_000);
-        assert!(diff(&old, &new, 10.0, 25.0, 20.0).regressions.is_empty());
+        assert!(diff(&old, &new, 10.0, 25.0, 20.0, 20.0)
+            .regressions
+            .is_empty());
     }
 
     #[test]
@@ -445,10 +486,12 @@ mod tests {
         new[0].latency_p99 = Some(1_200_000);
         // A 20% rise passes the 25% latency threshold even though the
         // main threshold is tighter...
-        assert!(diff(&old, &new, 10.0, 25.0, 20.0).regressions.is_empty());
+        assert!(diff(&old, &new, 10.0, 25.0, 20.0, 20.0)
+            .regressions
+            .is_empty());
         // ...but fails once the rise exceeds the latency threshold.
         new[0].latency_p99 = Some(1_300_000);
-        let report = diff(&old, &new, 10.0, 25.0, 20.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0, 20.0);
         assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
         assert!(report.regressions[0].detail.contains("latency p99"));
     }
@@ -461,11 +504,13 @@ mod tests {
         new[0].route = Some("field_chain".to_owned());
         // A 15% drop trips the 10% general threshold but not the 20%
         // fast-route threshold...
-        assert!(diff(&old, &new, 10.0, 25.0, 20.0).regressions.is_empty());
+        assert!(diff(&old, &new, 10.0, 25.0, 20.0, 20.0)
+            .regressions
+            .is_empty());
         // ...and a general-routed row with the same drop still fails.
         old[0].route = Some("general".to_owned());
         new[0].route = Some("general".to_owned());
-        let report = diff(&old, &new, 10.0, 25.0, 20.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0, 20.0);
         assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
         assert!(report.regressions[0].detail.contains("throughput"));
     }
@@ -476,18 +521,53 @@ mod tests {
         let mut new = vec![row("fast-path", "N1/fast", 20.0, None)];
         old[0].route = Some("selective".to_owned());
         new[0].route = Some("general".to_owned());
-        let report = diff(&old, &new, 10.0, 25.0, 20.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0, 20.0);
         assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
         assert!(report.regressions[0].detail.contains("route regressed"));
         // Losing the column altogether is flagged too.
         new[0].route = None;
-        let report = diff(&old, &new, 10.0, 25.0, 20.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0, 20.0);
         assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
         assert!(report.regressions[0].detail.contains("`route`"));
         // The opposite direction — gaining a fast route — is fine.
         old[0].route = Some("general".to_owned());
         new[0].route = Some("field_chain".to_owned());
-        assert!(diff(&old, &new, 10.0, 25.0, 20.0).regressions.is_empty());
+        assert!(diff(&old, &new, 10.0, 25.0, 20.0, 20.0)
+            .regressions
+            .is_empty());
+    }
+
+    #[test]
+    fn cycles_per_byte_rise_flags_with_its_own_threshold() {
+        let mut old = vec![row("kernel-efficiency", "fast/B3", 3.0, None)];
+        let mut new = vec![row("kernel-efficiency", "fast/B3", 3.0, None)];
+        old[0].cycles_per_byte = Some(2.0);
+        // A 15% rise passes the default 20% cycles threshold...
+        new[0].cycles_per_byte = Some(2.3);
+        assert!(diff(&old, &new, 10.0, 25.0, 20.0, 20.0)
+            .regressions
+            .is_empty());
+        // ...a 25% rise fails it...
+        new[0].cycles_per_byte = Some(2.5);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0, 20.0);
+        assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
+        assert!(report.regressions[0].detail.contains("cycles per byte"));
+        // ...and the same rise passes a looser threshold.
+        assert!(diff(&old, &new, 10.0, 25.0, 20.0, 30.0)
+            .regressions
+            .is_empty());
+    }
+
+    #[test]
+    fn lost_cycles_per_byte_column_is_not_a_regression() {
+        // Counter availability is a host capability: a baseline from a
+        // perf-capable machine must still compare clean on a denied one.
+        let mut old = vec![row("kernel-efficiency", "fast/B3", 3.0, None)];
+        let new = vec![row("kernel-efficiency", "fast/B3", 3.0, None)];
+        old[0].cycles_per_byte = Some(2.0);
+        assert!(diff(&old, &new, 10.0, 25.0, 20.0, 20.0)
+            .regressions
+            .is_empty());
     }
 
     #[test]
@@ -496,19 +576,21 @@ mod tests {
         let new = vec![row("skip-ablation", "B1", 3.0, None)];
         old[0].bytes_skipped_total = Some(4_000_000);
         old[0].latency_p99 = Some(1_000_000);
-        let report = diff(&old, &new, 10.0, 25.0, 20.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0, 20.0);
         assert_eq!(report.regressions.len(), 2, "{:?}", report.regressions);
         assert!(report.regressions[0].detail.contains("`bytes_skipped`"));
         assert!(report.regressions[1].detail.contains("`latency`"));
         // The other direction — a column gained — is not a regression.
-        assert!(diff(&new, &old, 10.0, 25.0, 20.0).regressions.is_empty());
+        assert!(diff(&new, &old, 10.0, 25.0, 20.0, 20.0)
+            .regressions
+            .is_empty());
     }
 
     #[test]
     fn missing_row_is_a_regression_added_row_is_not() {
         let old = vec![row("tables", "B1", 3.0, None)];
         let new = vec![row("tables", "B2", 3.0, None)];
-        let report = diff(&old, &new, 10.0, 25.0, 20.0);
+        let report = diff(&old, &new, 10.0, 25.0, 20.0, 20.0);
         assert_eq!(report.regressions.len(), 1);
         assert!(report.regressions[0].detail.contains("missing"));
         assert_eq!(report.added, ["tables/B2"]);
@@ -516,7 +598,7 @@ mod tests {
 
     #[test]
     fn load_report_parses_bench_json() {
-        let json = br#"{"schema_version":3,"entries":[
+        let json = br#"{"schema_version":4,"entries":[
             {"experiment":"tables","name":"B1","query":"$..a","input_bytes":100,
              "count":5,"gbps":2.5,
              "stats":{"route":"field_chain","bytes":100,
@@ -528,7 +610,8 @@ mod tests {
              "bytes_skipped":{"leaf":10,"child":20,"sibling":30,"label":0,"memmem":0,"total":60},
              "skip_rate_pct":60.00,
              "latency":{"count":4,"sum":4000,"mean":1000.0,"max":1500,
-                        "p50":900,"p90":1400,"p99":1500,"buckets":[[10,4]]}},
+                        "p50":900,"p90":1400,"p99":1500,"buckets":[[10,4]]},
+             "cycles_per_byte":1.2345,"instructions_per_byte":3.5000},
             {"experiment":"tables","name":"B2","input_bytes":10,"count":0,"gbps":1.0}
         ]}"#;
         let path = std::env::temp_dir().join(format!("rsq-bench-diff-{}.json", std::process::id()));
@@ -542,10 +625,12 @@ mod tests {
         assert_eq!(rows[0].latency_p99, Some(1500));
         assert_eq!(rows[0].route.as_deref(), Some("field_chain"));
         assert!((rows[0].gbps - 2.5).abs() < 1e-9);
+        assert!((rows[0].cycles_per_byte.unwrap() - 1.2345).abs() < 1e-9);
         assert_eq!(rows[1].skips_total, None);
         assert_eq!(rows[1].bytes_skipped_total, None);
         assert_eq!(rows[1].latency_p99, None);
         assert_eq!(rows[1].route, None);
+        assert_eq!(rows[1].cycles_per_byte, None);
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! * `cargo xtask bench-diff OLD NEW` — the performance regression gate:
 //!   compares two `experiments --json` reports and fails on throughput
 //!   drops, skip-count drops, skipped-byte drops, classified-block
-//!   increases, or latency-p99 rises beyond a threshold (latency has its
-//!   own, looser threshold).
+//!   increases, latency-p99 rises, or hardware-counter cycles-per-byte
+//!   rises beyond a threshold (latency and cycles-per-byte each have
+//!   their own).
 //! * `cargo xtask metrics-lint` — renders every Prometheus exposition
 //!   the workspace emits with dummy data and checks the scrape
 //!   contract: snake_case `rsq_*` names, each preceded by `# HELP` and
@@ -44,13 +45,15 @@ commands:
               (targets: classifier_diff, quotes_diff, depth_diff,
               engine_diff, reader_diff, framer_diff, fast_path_diff)
   bench-diff  OLD.json NEW.json [--threshold PCT] [--latency-threshold PCT]
-              [--fast-threshold PCT]
+              [--fast-threshold PCT] [--cpb-threshold PCT]
               compare two `experiments --json` reports; fail on throughput,
               skip-count, or skipped-byte regressions beyond PCT percent
               (default 10), latency-p99 rises beyond the latency threshold
               (default 25), fast-path-routed rows dropping beyond the fast
-              threshold (default 20), or rows falling off a fast route;
-              reports must carry schema_version 3
+              threshold (default 20), hardware-counter cycles-per-byte
+              rises beyond the cpb threshold (default 20, only when both
+              reports measured it), or rows falling off a fast route;
+              reports must carry schema_version 4
   metrics-lint
               render every Prometheus exposition with dummy data and fail
               unless each sample is an rsq_* snake_case series preceded
@@ -291,7 +294,12 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
     };
     let flags = match parse_flags(
         &args[2..],
-        &["--threshold", "--latency-threshold", "--fast-threshold"],
+        &[
+            "--threshold",
+            "--latency-threshold",
+            "--fast-threshold",
+            "--cpb-threshold",
+        ],
     ) {
         Ok(flags) => flags,
         Err(e) => {
@@ -302,11 +310,13 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
     let mut threshold = 10.0f64;
     let mut latency_threshold = 25.0f64;
     let mut fast_threshold = 20.0f64;
+    let mut cpb_threshold = 20.0f64;
     for (flag, value) in &flags {
         let slot = match flag.as_str() {
             "--threshold" => &mut threshold,
             "--latency-threshold" => &mut latency_threshold,
             "--fast-threshold" => &mut fast_threshold,
+            "--cpb-threshold" => &mut cpb_threshold,
             _ => unreachable!("parse_flags rejected unknown options"),
         };
         match value.parse::<f64>() {
@@ -328,10 +338,17 @@ fn cmd_bench_diff(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = bench_diff::diff(&old, &new, threshold, latency_threshold, fast_threshold);
+    let report = bench_diff::diff(
+        &old,
+        &new,
+        threshold,
+        latency_threshold,
+        fast_threshold,
+        cpb_threshold,
+    );
     println!(
         "bench-diff: {} rows compared (threshold {threshold}%, latency {latency_threshold}%, \
-         fast routes {fast_threshold}%)",
+         fast routes {fast_threshold}%, cycles/byte {cpb_threshold}%)",
         report.compared
     );
     for added in &report.added {

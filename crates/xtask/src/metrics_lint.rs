@@ -1,8 +1,10 @@
 //! The Prometheus-exposition lint (`cargo xtask metrics-lint`).
 //!
 //! Renders every text exposition the workspace can emit — the
-//! engine/profile report, the batch variant, the serve counters, and
-//! the live-telemetry rendering (rolling windows plus gauges) — with
+//! engine/profile report, the batch variant, the serve counters
+//! (including the per-route `rsq_route_docs_total` series), the
+//! live-telemetry rendering (rolling windows plus gauges), and the
+//! hardware-counter `rsq_perf_*` series — with
 //! nonzero dummy data so every optional series appears, then runs
 //! [`rsq_obs::expo::check`] over each: every sample line must carry a
 //! snake_case `rsq_*` name preceded by non-empty `# HELP` and `# TYPE`
@@ -48,6 +50,10 @@ pub(crate) fn renderings() -> Vec<(&'static str, String)> {
         (
             "live telemetry",
             prometheus_telemetry(&[&w10, &w60], &gauges),
+        ),
+        (
+            "hardware counters",
+            rsq_perf::prometheus_perf(&dummy_perf_stats()),
         ),
     ]
 }
@@ -145,7 +151,31 @@ fn dummy_serve_counters() -> ServeCounters {
     s.limit_errors = 1;
     s.backpressure_waits = 3;
     s.max_inflight = 8;
+    // One nonzero slot per route so the labelled `rsq_route_docs_total`
+    // series all render with real-looking data.
+    s.route_docs = [6, 3, 11];
     s
+}
+
+fn dummy_perf_stats() -> rsq_perf::PerfStats {
+    let mut p = rsq_perf::PerfStats {
+        bytes: 4096,
+        docs: 2,
+        ..rsq_perf::PerfStats::default()
+    };
+    p.total.cycles = 12_000;
+    p.total.instructions = 30_000;
+    p.total.branches = 4_000;
+    p.total.branch_misses = 40;
+    p.total.cache_references = 900;
+    p.total.cache_misses = 90;
+    p.total.time_enabled = 1_000_000;
+    p.total.time_running = 900_000;
+    for stage in ProfileStage::ALL {
+        p.stage_cycles[stage.index()] = 2_000;
+        p.stage_instructions[stage.index()] = 5_000;
+    }
+    p
 }
 
 fn dummy_histogram() -> Histogram {
@@ -159,7 +189,14 @@ fn dummy_histogram() -> Histogram {
 fn dummy_telemetry() -> (WindowRing, TelemetryGauges) {
     let mut ring = WindowRing::new();
     for tick in 60..70 {
-        ring.record(tick, 2_000_000, 1024, tick % 7 == 0, 1_500_000);
+        ring.record(
+            tick,
+            2_000_000,
+            1024,
+            tick % 7 == 0,
+            1_500_000,
+            Some(rsq_obs::Route::FieldChain),
+        );
     }
     let gauges = TelemetryGauges {
         queue_depth: 3,
@@ -176,7 +213,7 @@ mod tests {
     #[test]
     fn all_expositions_pass_the_lint() {
         match super::run() {
-            Ok(n) => assert_eq!(n, 6, "every rendering variant is covered"),
+            Ok(n) => assert_eq!(n, 7, "every rendering variant is covered"),
             Err(failures) => panic!("exposition lint failures: {failures:#?}"),
         }
     }

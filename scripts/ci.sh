@@ -3,9 +3,10 @@
 # audit + concurrency/panic-surface/consistency passes), tier-1 tests,
 # an overflow-checked test pass, the fast-path parity gate (routed
 # walker vs the general engine over the full query catalog), the mmap
-# ingest smoke, the profile-overhead gate, differential fuzz smoke, and
-# (when the host toolchain provides them) Miri, AddressSanitizer, and
-# ThreadSanitizer lanes.
+# ingest smoke, the hardware-counter and timeline-trace smokes, the
+# profile-overhead gate, differential fuzz smoke, and (when the host
+# toolchain provides them) Miri, AddressSanitizer, and ThreadSanitizer
+# lanes.
 # Run from anywhere; operates on the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -121,6 +122,67 @@ cp "$SERVE_TMP/corpus/B.json" "$SERVE_TMP/corpus/G.json" \
   > "$SERVE_TMP/mmap-auto.out"
 diff -u "$SERVE_TMP/mmap-on.out" "$SERVE_TMP/mmap-off.out"
 diff -u "$SERVE_TMP/mmap-auto.out" "$SERVE_TMP/mmap-off.out"
+
+echo "==> hardware-counter smoke gate (forced denial + armed path)"
+# Counters must never change results. The forced-denial half runs
+# everywhere: RSQ_PERF=deny (open fails with a simulated EPERM) must
+# leave stdout AND the stats JSON byte-identical to RSQ_PERF=off, with
+# no "perf" object in either. The armed half (RSQ_PERF unset → auto)
+# asserts nonzero counters only where the kernel grants access; denied
+# hosts — containers, VMs without a PMU — get a visible skip notice.
+PERF_DOC="$SERVE_TMP/perf-doc.json"
+printf '{"a": {"b": [1, 2, 3]}, "b": 7}' > "$PERF_DOC"
+RSQ_PERF=off ./target/release/rsq --count --stats-json '$..b' "$PERF_DOC" \
+  > "$SERVE_TMP/perf-off.out" 2> "$SERVE_TMP/perf-off.err"
+RSQ_PERF=deny ./target/release/rsq --count --stats-json '$..b' "$PERF_DOC" \
+  > "$SERVE_TMP/perf-deny.out" 2> "$SERVE_TMP/perf-deny.err"
+diff -u "$SERVE_TMP/perf-off.out" "$SERVE_TMP/perf-deny.out"
+diff -u "$SERVE_TMP/perf-off.err" "$SERVE_TMP/perf-deny.err"
+if grep -q '"perf"' "$SERVE_TMP/perf-deny.err"; then
+  echo "perf smoke gate: denied run leaked a perf object"
+  exit 1
+fi
+./target/release/rsq --count --stats-json '$..b' "$PERF_DOC" \
+  > "$SERVE_TMP/perf-auto.out" 2> "$SERVE_TMP/perf-auto.err"
+diff -u "$SERVE_TMP/perf-off.out" "$SERVE_TMP/perf-auto.out"
+if grep -q '"perf"' "$SERVE_TMP/perf-auto.err"; then
+  python3 - "$SERVE_TMP/perf-auto.err" <<'PYEOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+perf = stats["perf"]
+assert perf["docs"] == 1 and perf["bytes"] > 0, perf
+assert perf["counters"]["cycles"] > 0, perf
+assert perf["cycles_per_byte"] > 0.0, perf
+PYEOF
+  echo "perf smoke gate: counters armed, nonzero cycles recorded"
+else
+  echo "perf smoke gate: kernel denied counters on this host;" \
+    "armed-path assertions SKIPPED (denial path verified above)"
+fi
+
+echo "==> timeline trace smoke gate (--trace-out well-formedness)"
+# A batch run over the serve corpus must leave a Perfetto-loadable
+# Chrome trace: valid JSON, thread_name metadata, one doc slice plus
+# exactly four phase slices (queue-wait/run/reorder-wait/emit) per
+# document.
+./target/release/rsq --count '$..b' --batch-ndjson "$SERVE_TMP/corpus.ndjson" \
+  --trace-out "$SERVE_TMP/trace.json" > /dev/null
+python3 - "$SERVE_TMP/trace.json" <<'PYEOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+xs = [e for e in events if e["ph"] == "X"]
+metas = [e for e in events if e["ph"] == "M"]
+assert xs, "no X slices"
+assert any(e["name"] == "thread_name" for e in metas), metas
+for e in xs:
+    assert e["ts"] >= 0 and e["dur"] >= 0, e
+    assert isinstance(e["pid"], int) and isinstance(e["tid"], int), e
+docs = [e for e in xs if e["name"].startswith("doc ")]
+phases = [e for e in xs if e["name"] in ("queue-wait", "run", "reorder-wait", "emit")]
+assert docs, xs
+assert len(phases) == 4 * len(docs), (len(phases), len(docs))
+PYEOF
 
 echo "==> serve live-telemetry smoke gate (scrape under load + postmortem)"
 # Part 1: a socket server with the scrape endpoint armed. A client
